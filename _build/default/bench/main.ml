@@ -1,0 +1,172 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation section (Table I, Table II, Figs. 3-7), plus a Bechamel
+   micro-benchmark section for the core primitives.
+
+   Usage:
+     bench/main.exe                 run everything
+     bench/main.exe table1 fig6     run a subset
+     bench/main.exe --fast          fig6 at a subset of view counts *)
+
+module Profiles = Fc_benchkit.Profiles
+
+let line = String.make 78 '='
+let banner name = Printf.printf "\n%s\n%s\n%s\n%!" line name line
+
+(* ------------------------------------------------------------------ *)
+(* Experiments                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let table1 profiles =
+  banner "Table I: Similarity Matrix for Applications' Kernel Views";
+  let t = Fc_benchkit.Table1.compute profiles in
+  print_string (Fc_benchkit.Table1.render t);
+  let a, b, s = Fc_benchkit.Table1.min_similarity t in
+  Printf.printf
+    "\nmost dissimilar: %s vs %s = %.1f%%  (paper: top vs firefox, 33.6%%)\n" a b
+    (100. *. s);
+  let a, b, s = Fc_benchkit.Table1.max_similarity t in
+  Printf.printf "most similar:    %s vs %s = %.1f%%  (paper: eog vs totem, 86.5%%)\n"
+    a b (100. *. s)
+
+let table2 profiles =
+  banner "Table II: Security Evaluation Against a Spectrum of User/Kernel Malware";
+  let rows = Fc_benchkit.Table2.run_all profiles in
+  print_string (Fc_benchkit.Table2.render rows);
+  print_newline ();
+  print_endline (Fc_benchkit.Table2.summary rows)
+
+let fig3 profiles =
+  banner "Fig. 3: Cross-View Kernel Code Recovery (lazy vs instant)";
+  print_string (Fc_benchkit.Fig3.render (Fc_benchkit.Fig3.run profiles))
+
+let fig4 profiles =
+  banner "Fig. 4: Attack Pattern of Injectso's Payload";
+  print_string (Fc_benchkit.Fig4.render (Fc_benchkit.Fig4.run profiles))
+
+let fig5 profiles =
+  banner "Fig. 5: Attack Pattern of KBeast Rootkit";
+  print_string (Fc_benchkit.Fig5.render (Fc_benchkit.Fig5.run profiles))
+
+let fig6 ~fast profiles =
+  banner "Fig. 6: Normalized System Performance (UnixBench)";
+  let view_counts = if fast then Some [ 1; 2; 5; 11 ] else None in
+  print_string
+    (Fc_benchkit.Unixbench.render (Fc_benchkit.Unixbench.fig6 ?view_counts profiles))
+
+let fig7 profiles =
+  banner "Fig. 7: I/O Performance for Apache Web Server (httperf)";
+  print_string (Fc_benchkit.Httperf.render (Fc_benchkit.Httperf.run profiles))
+
+let ablations profiles =
+  banner "Ablations: the design choices of Section III";
+  print_string (Fc_benchkit.Ablation.render (Fc_benchkit.Ablation.run_all profiles))
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks of the core primitives                    *)
+(* ------------------------------------------------------------------ *)
+
+let micro profiles =
+  banner "Micro-benchmarks (Bechamel): core primitive costs (wall clock)";
+  let open Bechamel in
+  let image = Profiles.image profiles in
+  let cfg_top = Profiles.config_of profiles "top" in
+  let cfg_firefox = Profiles.config_of profiles "firefox" in
+  (* a reusable guest for view build / switch benches *)
+  let os = Fc_machine.Os.create image in
+  let hyp = Fc_hypervisor.Hypervisor.attach os in
+  let fc = Fc_core.Facechange.enable hyp in
+  let idx_top = Fc_core.Facechange.load_view fc cfg_top in
+  let idx_ff = Fc_core.Facechange.load_view fc cfg_firefox in
+  let flip = ref true in
+  let read_orig a = Fc_hypervisor.Hypervisor.read_original_code hyp a in
+  let sys_poll = Fc_kernel.Image.addr_of_exn image "sys_poll" in
+  let tests =
+    [
+      Test.make ~name:"similarity index (Eq. 1)"
+        (Staged.stage (fun () ->
+             ignore (Fc_profiler.View_config.similarity cfg_top cfg_firefox)));
+      Test.make ~name:"range-list intersection"
+        (Staged.stage (fun () ->
+             ignore
+               (Fc_ranges.Range_list.inter cfg_top.Fc_profiler.View_config.ranges
+                  cfg_firefox.Fc_profiler.View_config.ranges)));
+      Test.make ~name:"kernel view rebind (selector)"
+        (Staged.stage (fun () ->
+             flip := not !flip;
+             Fc_core.Facechange.bind fc ~comm:"micro"
+               ~index:(if !flip then idx_top else idx_ff)));
+      Test.make ~name:"prologue boundary scan (recovery)"
+        (Staged.stage (fun () ->
+             ignore
+               (Fc_isa.Scan.function_bounds ~read:read_orig
+                  ~lo:(Fc_kernel.Image.text_base image)
+                  ~hi:(Fc_kernel.Image.text_end image) (sys_poll + 40))));
+      Test.make ~name:"view build+destroy (top)"
+        (Staged.stage (fun () ->
+             let v = Fc_core.View.build ~hyp ~index:99 cfg_top in
+             Fc_core.View.destroy v));
+    ]
+  in
+  let benchmark test =
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+    in
+    let instance = Toolkit.Instance.monotonic_clock in
+    let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) () in
+    let raw = Benchmark.all cfg [ instance ] test in
+    Analyze.all ols instance raw
+  in
+  List.iter
+    (fun test ->
+      let results = benchmark (Test.make_grouped ~name:"micro" [ test ]) in
+      Hashtbl.iter
+        (fun name ols ->
+          let est =
+            match Analyze.OLS.estimates ols with
+            | Some [ t ] -> Printf.sprintf "%12.1f ns/op" t
+            | Some _ | None -> "(no estimate)"
+          in
+          Printf.printf "  %-42s %s\n%!" name est)
+        results)
+    tests
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let all_experiments =
+  [ "table1"; "table2"; "fig3"; "fig4"; "fig5"; "fig6"; "fig7"; "ablations"; "micro" ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let fast = List.mem "--fast" args in
+  let chosen = List.filter (fun a -> a <> "--fast") args in
+  let chosen = if chosen = [] then all_experiments else chosen in
+  List.iter
+    (fun e ->
+      if not (List.mem e all_experiments) then begin
+        Printf.eprintf "unknown experiment %s (available: %s, --fast)\n" e
+          (String.concat " " all_experiments);
+        exit 2
+      end)
+    chosen;
+  Printf.printf "FACE-CHANGE reproduction benchmark harness\n";
+  Printf.printf "building the synthetic kernel image...\n%!";
+  let image = Fc_kernel.Image.build_exn () in
+  Printf.printf "profiling the 12 applications (Table I workloads)...\n%!";
+  let profiles = Profiles.compute image in
+  List.iter
+    (fun e ->
+      match e with
+      | "table1" -> table1 profiles
+      | "table2" -> table2 profiles
+      | "fig3" -> fig3 profiles
+      | "fig4" -> fig4 profiles
+      | "fig5" -> fig5 profiles
+      | "fig6" -> fig6 ~fast profiles
+      | "fig7" -> fig7 profiles
+      | "ablations" -> ablations profiles
+      | "micro" -> micro profiles
+      | _ -> assert false)
+    chosen;
+  Printf.printf "\ndone.\n"

@@ -1,0 +1,339 @@
+(* The facechange command-line tool: profile applications, inspect view
+   configurations, and run enforced guests with optional attacks.
+
+     facechange apps                      list application models
+     facechange attacks                   list the malware corpus
+     facechange profile top -o top.view   profiling phase -> config file
+     facechange inspect top.view          summarize a view configuration
+     facechange matrix top firefox ...    similarity matrix (Table I)
+     facechange run top --attack Injectso runtime phase + recovery log *)
+
+open Cmdliner
+module App = Fc_apps.App
+module Attack = Fc_attacks.Attack
+module Os = Fc_machine.Os
+module Hypervisor = Fc_hypervisor.Hypervisor
+module Facechange = Fc_core.Facechange
+module Recovery_log = Fc_core.Recovery_log
+module View_config = Fc_profiler.View_config
+
+let image = lazy (Fc_kernel.Image.build_exn ())
+
+(* ---------------- apps ---------------- *)
+
+let apps_cmd =
+  let doc = "List the modelled applications (the paper's Table I set)." in
+  let run () =
+    List.iter
+      (fun a ->
+        Printf.printf "%-8s %-12s %s\n" a.App.name a.App.category a.App.description)
+      App.all
+  in
+  Cmd.v (Cmd.info "apps" ~doc) Term.(const run $ const ())
+
+(* ---------------- attacks ---------------- *)
+
+let attacks_cmd =
+  let doc = "List the malware corpus (the paper's Table II set)." in
+  let run () =
+    List.iter
+      (fun a ->
+        Printf.printf "%-13s host=%-8s %-40s %s\n" a.Attack.name a.Attack.host
+          (Attack.kind_label a.Attack.kind)
+          a.Attack.payload)
+      Attack.all
+  in
+  Cmd.v (Cmd.info "attacks" ~doc) Term.(const run $ const ())
+
+(* ---------------- profile ---------------- *)
+
+let app_arg =
+  let doc = "Application model name (see $(b,facechange apps))." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"APP" ~doc)
+
+let iterations_arg =
+  let doc = "Workload iterations for the profiling session." in
+  Arg.(value & opt int 12 & info [ "n"; "iterations" ] ~docv:"N" ~doc)
+
+let profile_cmd =
+  let doc = "Profiling phase: record an application's kernel view." in
+  let out =
+    let doc = "Output view-configuration file (default: $(i,APP).view)." in
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+  in
+  let run app_name out iterations =
+    match App.find app_name with
+    | None ->
+        Printf.eprintf "unknown application %s\n" app_name;
+        exit 1
+    | Some app ->
+        let cfg = App.profile ~iterations (Lazy.force image) app in
+        let path = Option.value out ~default:(app_name ^ ".view") in
+        View_config.save cfg path;
+        Printf.printf "%s: %d KB of kernel code in %d ranges -> %s\n" app_name
+          (View_config.size cfg / 1024) (View_config.len cfg) path
+  in
+  Cmd.v (Cmd.info "profile" ~doc)
+    Term.(const run $ app_arg $ out $ iterations_arg)
+
+(* ---------------- inspect ---------------- *)
+
+let inspect_cmd =
+  let doc = "Summarize a kernel view configuration file." in
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"View file.")
+  in
+  let run path =
+    match View_config.load path with
+    | Error e ->
+        Printf.eprintf "%s: %s\n" path e;
+        exit 1
+    | Ok cfg ->
+        Printf.printf "app: %s\n" cfg.View_config.app;
+        Printf.printf "size: %d KB in %d ranges\n"
+          (View_config.size cfg / 1024) (View_config.len cfg);
+        List.iter
+          (fun seg ->
+            Printf.printf "  %-18s %d KB\n"
+              (Fc_ranges.Segment.to_string seg)
+              (Fc_ranges.Range_list.size_of_segment cfg.View_config.ranges seg / 1024))
+          (Fc_ranges.Range_list.segments cfg.View_config.ranges)
+  in
+  Cmd.v (Cmd.info "inspect" ~doc) Term.(const run $ file)
+
+(* ---------------- matrix ---------------- *)
+
+let matrix_cmd =
+  let doc = "Similarity matrix over application kernel views (Table I)." in
+  let apps =
+    Arg.(value & pos_all string [] & info [] ~docv:"APP" ~doc:"Applications (default: all 12).")
+  in
+  let run names =
+    let names = if names = [] then App.names else names in
+    List.iter
+      (fun n -> if App.find n = None then (Printf.eprintf "unknown app %s\n" n; exit 1))
+      names;
+    let image = Lazy.force image in
+    let configs = List.map (fun n -> (n, App.profile image (App.find_exn n))) names in
+    let w = 9 in
+    Printf.printf "%*s" w "";
+    List.iter (fun (n, _) -> Printf.printf "%*s" w n) configs;
+    print_newline ();
+    List.iteri
+      (fun i (a, ca) ->
+        Printf.printf "%*s" w a;
+        List.iteri
+          (fun j (_, cb) ->
+            let s =
+              if i = j then Printf.sprintf "[%dKB]" (View_config.size ca / 1024)
+              else if j > i then
+                Printf.sprintf "%dKB"
+                  (Fc_ranges.Range_list.size
+                     (Fc_ranges.Range_list.inter ca.View_config.ranges
+                        cb.View_config.ranges)
+                  / 1024)
+              else Printf.sprintf "%.1f%%" (100. *. View_config.similarity ca cb)
+            in
+            Printf.printf "%*s" w s)
+          configs;
+        print_newline ())
+      configs
+  in
+  Cmd.v (Cmd.info "matrix" ~doc) Term.(const run $ apps)
+
+(* ---------------- run ---------------- *)
+
+let run_cmd =
+  let doc =
+    "Runtime phase: enforce an application's kernel view and report the \
+     recovery log.  Optionally arm an attack or use the union view."
+  in
+  let attack =
+    let doc = "Arm an attack from the corpus against the host application." in
+    Arg.(value & opt (some string) None & info [ "attack" ] ~docv:"NAME" ~doc)
+  in
+  let union =
+    let doc = "Bind the host to the union of all 12 views (system-wide minimization)." in
+    Arg.(value & flag & info [ "union" ] ~doc)
+  in
+  let kvm =
+    let doc = "Use the KVM runtime clocksource (exhibits the benign kvmclock recovery)." in
+    Arg.(value & flag & info [ "kvmclock" ] ~doc)
+  in
+  let log_out =
+    let doc = "Save the recovery log (evidence artifact) to this file." in
+    Arg.(value & opt (some string) None & info [ "log-out" ] ~docv:"FILE" ~doc)
+  in
+  let monitor =
+    let doc = "Also profile and enforce the application's syscall behavior \
+               (catches in-view attacks; SV-A extension)." in
+    Arg.(value & flag & info [ "monitor" ] ~doc)
+  in
+  let vcpus =
+    let doc = "Number of guest vCPUs (SV-C extension)." in
+    Arg.(value & opt int 1 & info [ "vcpus" ] ~docv:"N" ~doc)
+  in
+  let run app_name attack union kvm iterations log_out monitor vcpus =
+    (match App.find app_name with
+    | None ->
+        Printf.eprintf "unknown application %s\n" app_name;
+        exit 1
+    | Some _ -> ());
+    let attack =
+      Option.map
+        (fun n ->
+          match Attack.find n with
+          | Some a -> a
+          | None ->
+              Printf.eprintf "unknown attack %s\n" n;
+              exit 1)
+        attack
+    in
+    (match attack with
+    | Some a when a.Attack.host <> app_name ->
+        Printf.eprintf "note: %s normally targets %s\n" a.Attack.name a.Attack.host
+    | _ -> ());
+    let image = Lazy.force image in
+    let app = App.find_exn app_name in
+    let clocksource =
+      if kvm then Fc_kernel.Irq_paths.Kvmclock else Fc_kernel.Irq_paths.Acpi_pm
+    in
+    let behavior =
+      if monitor then begin
+        Printf.printf "profiling %s's syscall behavior...\n%!" app_name;
+        Some
+          (Fc_profiler.Behavior.profile_app ~config:(App.os_config app) image
+             ~name:app_name (app.App.script iterations))
+      end
+      else None
+    in
+    let os = Os.create ~config:(App.os_config ~clocksource app) ~vcpus image in
+    let hyp = Hypervisor.attach os in
+    let fc = Facechange.enable hyp in
+    let bmon = Option.map (Fc_core.Behavior_monitor.attach hyp) behavior in
+    let proc = Os.spawn os ~name:app_name (app.App.script iterations) in
+    (match attack with
+    | Some a ->
+        Printf.printf "arming %s (%s)\n" a.Attack.name (Attack.kind_label a.Attack.kind);
+        a.Attack.launch os proc
+    | None -> ());
+    (if union then begin
+       Printf.printf "profiling all 12 applications for the union view...\n%!";
+       let profiles = Fc_benchkit.Profiles.compute image in
+       let idx = Facechange.load_view fc (Fc_benchkit.Profiles.union_config profiles) in
+       Facechange.bind fc ~comm:app_name ~index:idx
+     end
+     else begin
+       Printf.printf "profiling %s...\n%!" app_name;
+       ignore (Facechange.load_view fc (App.profile image app))
+     end);
+    Printf.printf "running...\n%!";
+    (try Os.run ~max_rounds:50_000 os
+     with Os.Guest_panic m -> Printf.printf "GUEST PANIC: %s\n" m);
+    Printf.printf "\ncompleted: %b\n" (Fc_machine.Process.is_exited proc);
+    Format.printf "%a@.@." Fc_core.Stats.pp (Fc_core.Stats.capture fc);
+    Format.printf "%a@." Recovery_log.pp (Facechange.log fc);
+    print_string (Fc_core.Report.render (Facechange.log fc));
+    (match Fc_core.Integrity.scan_module_area hyp with
+    | [] -> ()
+    | findings ->
+        print_newline ();
+        List.iter
+          (fun f -> Format.printf "integrity scan: %a@." Fc_core.Integrity.pp_finding f)
+          findings);
+    (match bmon with
+    | Some m ->
+        let alerts = Fc_core.Behavior_monitor.alerts m in
+        Printf.printf "\nbehavior monitor: %d syscalls observed, %d alerts\n"
+          (Fc_core.Behavior_monitor.syscalls_seen m)
+          (List.length alerts);
+        List.iter
+          (fun a -> Format.printf "  %a@." Fc_core.Behavior_monitor.pp_alert a)
+          alerts
+    | None -> ());
+    (match log_out with
+    | Some path ->
+        Recovery_log.save (Facechange.log fc) path;
+        Printf.printf "\nrecovery log saved to %s\n" path
+    | None -> ());
+    match attack with
+    | Some a ->
+        let hits =
+          List.filter
+            (fun n -> List.mem n a.Attack.signature)
+            (Recovery_log.recovered_names (Facechange.log fc))
+        in
+        Printf.printf "attack evidence: %s -> %s\n"
+          (String.concat ", " hits)
+          (if hits <> [] then "DETECTED" else "not detected")
+    | None -> ()
+  in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(
+      const run $ app_arg $ attack $ union $ kvm $ iterations_arg $ log_out
+      $ monitor $ vcpus)
+
+(* ---------------- report ---------------- *)
+
+let report_cmd =
+  let doc = "Analyze a saved recovery log (classification, origins)." in
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
+           ~doc:"Log saved with $(b,run --log-out).")
+  in
+  let run path =
+    match Recovery_log.load path with
+    | Error e ->
+        Printf.eprintf "%s: %s\n" path e;
+        exit 1
+    | Ok log -> print_string (Fc_core.Report.render log)
+  in
+  Cmd.v (Cmd.info "report" ~doc) Term.(const run $ file)
+
+(* ---------------- syscalls ---------------- *)
+
+let syscalls_cmd =
+  let doc = "List the syscall variants of the synthetic kernel." in
+  let run () =
+    List.iter
+      (fun (sc : Fc_kernel.Syscalls.t) ->
+        Printf.printf "%-22s %-18s %s\n" sc.Fc_kernel.Syscalls.sc_name
+          sc.Fc_kernel.Syscalls.entry
+          (String.concat " -> " sc.Fc_kernel.Syscalls.dispatch))
+      Fc_kernel.Syscalls.all
+  in
+  Cmd.v (Cmd.info "syscalls" ~doc) Term.(const run $ const ())
+
+(* ---------------- trace ---------------- *)
+
+let trace_cmd =
+  let doc = "Print the exact kernel call tree of a syscall variant." in
+  let variant =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"VARIANT"
+           ~doc:"Syscall variant, e.g. read:ext4 (see the syscall table).")
+  in
+  let depth =
+    Arg.(value & opt int 8 & info [ "depth" ] ~docv:"N" ~doc:"Maximum tree depth.")
+  in
+  let run variant depth =
+    if Fc_kernel.Syscalls.find variant = None then begin
+      Printf.eprintf "unknown syscall variant %s; known variants:\n" variant;
+      List.iter (Printf.eprintf "  %s\n") Fc_kernel.Syscalls.names;
+      exit 1
+    end;
+    let trees = Fc_profiler.Calltrace.trace_syscall (Lazy.force image) variant in
+    List.iter
+      (fun n ->
+        Printf.printf "%s (%d kernel functions)\n" variant
+          (Fc_profiler.Calltrace.node_count n);
+        Format.printf "%a@." (Fc_profiler.Calltrace.pp_tree ~max_depth:depth) n)
+      trees
+  in
+  Cmd.v (Cmd.info "trace" ~doc) Term.(const run $ variant $ depth)
+
+let () =
+  let doc = "FACE-CHANGE: application-driven dynamic kernel view switching (simulated)" in
+  let info = Cmd.info "facechange" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info
+       [ apps_cmd; attacks_cmd; syscalls_cmd; profile_cmd; inspect_cmd;
+         matrix_cmd; run_cmd; trace_cmd; report_cmd ]))

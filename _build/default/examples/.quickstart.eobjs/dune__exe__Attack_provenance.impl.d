@@ -1,0 +1,1 @@
+examples/attack_provenance.ml: Fc_apps Fc_attacks Fc_core Fc_hypervisor Fc_kernel Fc_machine Format List Printf String

@@ -1,0 +1,1 @@
+examples/hotplug_views.mli:

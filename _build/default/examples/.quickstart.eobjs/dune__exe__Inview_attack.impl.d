@@ -1,0 +1,1 @@
+examples/inview_attack.ml: Fc_apps Fc_core Fc_hypervisor Fc_kernel Fc_machine Fc_profiler Format List Printf

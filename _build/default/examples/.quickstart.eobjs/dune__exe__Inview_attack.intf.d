@@ -1,0 +1,1 @@
+examples/inview_attack.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Fc_core Fc_hypervisor Fc_kernel Fc_machine Fc_profiler Format List Printf

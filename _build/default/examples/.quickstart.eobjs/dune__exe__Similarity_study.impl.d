@@ -1,0 +1,1 @@
+examples/similarity_study.ml: Fc_apps Fc_kernel Fc_profiler Fc_ranges List Printf String

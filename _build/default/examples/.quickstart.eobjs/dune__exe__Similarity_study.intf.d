@@ -1,0 +1,1 @@
+examples/similarity_study.mli:

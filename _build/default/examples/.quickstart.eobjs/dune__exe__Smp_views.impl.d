@@ -1,0 +1,1 @@
+examples/smp_views.ml: Fc_apps Fc_core Fc_hypervisor Fc_kernel Fc_machine List Printf String

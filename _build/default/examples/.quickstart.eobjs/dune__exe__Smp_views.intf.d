@@ -1,0 +1,1 @@
+examples/smp_views.mli:

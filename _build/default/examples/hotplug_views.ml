@@ -1,0 +1,68 @@
+(* Hot-plugging kernel views (the paper's flexibility goal, §III-B4) and
+   the cross-view recovery it can trigger (Fig. 3).
+
+   A process blocks inside the kernel (pipe_poll) under the full view;
+   its customized view is then loaded without interrupting the guest.
+   When the process is rescheduled it resumes mid-kernel under the new
+   view: functions already on its stack are missing and get recovered —
+   lazily where the UD2 fill traps, instantly where an odd return address
+   would misdecode.  Finally the view is unloaded again, also live.
+
+   Run with:  dune exec examples/hotplug_views.exe *)
+
+module Action = Fc_machine.Action
+module Os = Fc_machine.Os
+module Hypervisor = Fc_hypervisor.Hypervisor
+module Facechange = Fc_core.Facechange
+module Recovery_log = Fc_core.Recovery_log
+module App = Fc_apps.App
+
+let () =
+  let image = Fc_kernel.Image.build_exn () in
+  let app = App.find_exn "top" in
+  let view = App.profile image app in
+
+  let config = { (App.os_config app) with Os.wake_delay = 3 } in
+  let os = Os.create ~config image in
+  let hyp = Hypervisor.attach os in
+  let fc = Facechange.enable hyp in
+
+  let p =
+    Os.spawn os ~name:"top"
+      [
+        Action.Syscall "getpid";
+        Action.Syscall "poll:pipe" (* blocks inside pipe_poll *);
+        Action.Syscall "read:proc:stat";
+        Action.Sleep 2;
+        Action.Syscall "read:proc:stat";
+        Action.Sleep 2;
+        Action.Syscall "write:tty";
+        Action.Exit;
+      ]
+  in
+
+  (* While the process sleeps mid-kernel, hot-plug its view... *)
+  let idx = ref Facechange.full_view_index in
+  Os.schedule_at_round os 2 (fun _ ->
+      Printf.printf "[round %d] hot-plugging kernel view for top\n" (Os.round os);
+      idx := Facechange.load_view fc view);
+  (* ...and unload it again later, equally live. *)
+  Os.schedule_at_round os 8 (fun _ ->
+      Printf.printf "[round %d] unloading the view (back to the full kernel)\n"
+        (Os.round os);
+      Facechange.unload_view fc !idx);
+
+  Os.run os;
+  Printf.printf "\nprocess completed: %b\n" (Fc_machine.Process.is_exited p);
+  Printf.printf "view switches: %d, recoveries: %d\n\n" (Facechange.switches fc)
+    (Facechange.recoveries fc);
+  List.iter
+    (fun (e : Recovery_log.entry) ->
+      Printf.printf "recovered %s%s\n"
+        (match e.Recovery_log.recovered with (_, _, s) :: _ -> s | [] -> "?")
+        (match e.Recovery_log.instant with
+        | [] -> ""
+        | l ->
+            Printf.sprintf "  [instant: %s]"
+              (String.concat ", " (List.map (fun (_, _, s) -> s) l))))
+    (Recovery_log.entries (Facechange.log fc))

@@ -1,0 +1,71 @@
+(* The paper's admitted blind spot (§V-A) — and its proposed fix.
+
+   A compromised web server hosts a command-and-control beacon that uses
+   ONLY kernel functionality already in apache's kernel view (sockets,
+   connect, send).  Kernel code recovery sees nothing: no view boundary is
+   ever crossed.  The behavior monitor — the paper's future-work proposal,
+   implemented here — still catches it, because the beacon's syscall
+   transitions never appeared in apache's behavioral profile.
+
+   Run with:  dune exec examples/inview_attack.exe *)
+
+module Action = Fc_machine.Action
+module Os = Fc_machine.Os
+module Hypervisor = Fc_hypervisor.Hypervisor
+module Facechange = Fc_core.Facechange
+module Behavior_monitor = Fc_core.Behavior_monitor
+module Behavior = Fc_profiler.Behavior
+module App = Fc_apps.App
+
+(* The parasite C&C server (the paper's own example): bind a control
+   port, accept commands, respond — every kernel path it takes is already
+   in a web server's view. *)
+let parasite =
+  [
+    Action.Syscall "socket:tcp";
+    Action.Syscall "bind:tcp";
+    Action.Syscall "listen:tcp";
+    Action.Syscall "accept:tcp";
+    Action.Syscall "recv:tcp";
+    Action.Syscall "send:tcp";
+    Action.Syscall "close:tcp";
+  ]
+
+let () =
+  let image = Fc_kernel.Image.build_exn () in
+  let apache = App.find_exn "apache" in
+
+  Printf.printf "profiling apache (code view + behavior profile)...\n%!";
+  let view = App.profile image apache in
+  let behavior =
+    Behavior.profile_app ~config:(App.os_config apache) image ~name:"apache"
+      (apache.App.script 12)
+  in
+  Printf.printf "behavior profile: %d handlers, %d transitions\n\n"
+    (List.length behavior.Behavior.handlers)
+    (List.length behavior.Behavior.bigrams);
+
+  let os = Os.create ~config:(App.os_config apache) image in
+  let hyp = Hypervisor.attach os in
+  let fc = Facechange.enable hyp in
+  let (_ : int) = Facechange.load_view fc view in
+  let monitor = Behavior_monitor.attach hyp behavior in
+
+  (* infect apache mid-run with the in-view beacon *)
+  let proc = Os.spawn os ~name:"apache" (apache.App.script 3) in
+  Os.schedule_at_round os 4 (fun _ ->
+      Fc_machine.Process.prepend_script proc parasite);
+  Os.run os;
+
+  Printf.printf "kernel code recoveries: %d   <- the paper's blind spot: zero\n"
+    (Facechange.recoveries fc);
+  Printf.printf "syscalls observed by the behavior monitor: %d\n"
+    (Behavior_monitor.syscalls_seen monitor);
+  let alerts = Behavior_monitor.alerts monitor in
+  Printf.printf "behavior alerts: %d\n\n" (List.length alerts);
+  List.iter
+    (fun a -> Format.printf "  %a@." Behavior_monitor.pp_alert a)
+    alerts;
+  if Facechange.recoveries fc = 0 && alerts <> [] then
+    print_endline
+      "\n=> invisible to code-view enforcement, caught by behavior profiling."

@@ -1,0 +1,1 @@
+lib/apps/app.ml: Fc_kernel Fc_machine Fc_profiler List String

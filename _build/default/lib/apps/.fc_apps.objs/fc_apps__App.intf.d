@@ -1,0 +1,1 @@
+lib/apps/app.mli: Fc_kernel Fc_machine Fc_profiler

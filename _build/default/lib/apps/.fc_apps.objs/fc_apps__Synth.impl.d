@@ -1,0 +1,1 @@
+lib/apps/synth.ml: App Array Fc_machine List Printf

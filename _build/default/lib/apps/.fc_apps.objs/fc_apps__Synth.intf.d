@@ -1,0 +1,1 @@
+lib/apps/synth.mli: App Fc_machine

@@ -1,0 +1,343 @@
+module Action = Fc_machine.Action
+module Irq = Fc_kernel.Irq_paths
+
+type t = {
+  name : string;
+  category : string;
+  description : string;
+  script : int -> Action.t list;
+  irq_env : (Irq.source * int) list;
+}
+
+let s v = Action.Syscall v
+let c n = Action.Compute n
+let rep = Action.repeat
+
+(* Process startup: dynamic linking and mapping, shared by every app. *)
+let startup =
+  [
+    s "brk"; s "mmap"; s "access"; s "open:ext4"; s "fstat"; s "read:ext4";
+    s "mmap"; s "close"; s "open:ext4"; s "read:ext4"; s "mmap"; s "close";
+    Action.Fault; Action.Fault; s "mprotect"; s "getpid"; s "getuid";
+    s "sigaction"; s "sigprocmask"; s "nanosleep"; s "gettimeofday";
+  ]
+
+let teardown = [ s "munmap"; Action.Exit ]
+
+(* Default desktop-ish interrupt environment. *)
+let quiet_env =
+  [
+    (Irq.Net_rx_tcp, 160_000);
+    (Irq.Keyboard_console, 140_000);
+    (Irq.Disk, 110_000);
+  ]
+
+let desktop_env =
+  [
+    (Irq.Net_rx_tcp, 120_000);
+    (Irq.Keyboard_evdev, 60_000);
+    (Irq.Keyboard_console, 150_000);
+    (Irq.Disk, 90_000);
+  ]
+
+let server_env =
+  [
+    (Irq.Net_rx_tcp, 40_000);
+    (Irq.Net_rx_udp, 150_000);
+    (Irq.Disk, 70_000);
+    (Irq.Keyboard_console, 200_000);
+  ]
+
+let firefox =
+  {
+    name = "firefox";
+    category = "interactive";
+    description = "web browser: X11 + GPU rendering + TCP + disk cache + audio";
+    irq_env = desktop_env;
+    script =
+      (fun n ->
+        startup
+        @ [ s "socket:unix"; s "connect:unix"; s "socket:tcp"; s "connect:tcp";
+            s "epoll_create"; s "epoll_ctl"; s "open:drm"; s "open:snd";
+            s "shmget"; s "shmat"; s "clone"; s "clone";
+            s "socketpair:unix"; s "eventfd"; s "inotify_init"; s "inotify_add";
+            s "open:sysfs"; s "read:sysfs"; s "close"; s "getrlimit";
+            (* DNS resolution over UDP *)
+            s "socket:udp"; s "bind:udp"; s "sendto:udp"; s "recvfrom:udp" ]
+        @ rep n
+            [
+              s "recvmsg:unix"; s "sendmsg:unix"; s "select:unix";
+              s "send:tcp"; s "recv:tcp"; s "epoll_wait:tcp";
+              s "ioctl:drm:exec"; s "ioctl:drm:vblank"; s "ioctl:drm:mmap";
+              s "open:ext4"; s "read:ext4"; s "write:ext4"; s "close";
+              s "futex:wait"; s "futex:wake"; s "ioctl:snd:write";
+              s "write:eventfd"; s "read:eventfd"; s "madvise";
+              s "gettimeofday"; Action.Fault; c 3_000;
+            ]
+        @ [ s "shmdt"; s "close:tcp"; s "close:unix" ]
+        @ teardown);
+  }
+
+let totem =
+  {
+    name = "totem";
+    category = "interactive";
+    description = "media player: disk streaming + audio + video + X11";
+    irq_env = desktop_env;
+    script =
+      (fun n ->
+        startup
+        @ [ s "socket:unix"; s "connect:unix"; s "open:snd"; s "open:drm";
+            s "ioctl:snd:prepare"; s "inotify_init"; s "inotify_add";
+            s "open:ext4" ]
+        @ rep n
+            [
+              s "read:ext4:miss"; s "read:ext4"; s "lseek";
+              s "ioctl:snd:write"; s "ioctl:drm:exec"; s "ioctl:drm:vblank";
+              s "recvmsg:unix"; s "select:unix"; s "gettimeofday";
+              Action.Fault; c 4_000;
+            ]
+        @ [ s "close"; s "close:unix" ] @ teardown);
+  }
+
+let gvim =
+  {
+    name = "gvim";
+    category = "interactive";
+    description = "GUI editor: X11 + file editing";
+    irq_env = desktop_env;
+    script =
+      (fun n ->
+        startup
+        @ [ s "socket:unix"; s "connect:unix"; s "open:drm"; s "open:ext4";
+            s "read:ext4"; s "fstat"; s "getcwd"; s "inotify_init"; s "inotify_add" ]
+        @ rep n
+            [
+              s "recvmsg:unix"; s "sendmsg:unix"; s "select:unix";
+              s "ioctl:drm:exec"; s "read:ext4"; s "write:ext4"; s "stat:ext4";
+              s "rename:ext4"; s "fsync:ext4"; s "gettimeofday"; c 2_500;
+            ]
+        @ [ s "close"; s "close:unix" ] @ teardown);
+  }
+
+let apache =
+  {
+    name = "apache";
+    category = "server";
+    description = "web server: TCP accept/serve loop over disk files";
+    irq_env = server_env;
+    script =
+      (fun n ->
+        startup
+        @ [ s "uname"; s "getrlimit"; s "setrlimit"; s "socket:tcp";
+            s "setsockopt:tcp"; s "getsockopt"; s "bind:tcp"; s "listen:tcp";
+            s "epoll_create"; s "epoll_ctl"; s "eventfd"; s "open:ext4" ]
+        @ rep n
+            [
+              s "epoll_wait:tcp"; s "accept:tcp"; s "recv:tcp"; s "stat:ext4";
+              s "open:ext4"; s "read:ext4"; s "sendfile:tcp"; s "send:tcp"; s "write:ext4";
+              s "close"; s "close:tcp"; s "gettimeofday"; c 1_500;
+            ]
+        @ [ s "shutdown:tcp" ] @ teardown);
+  }
+
+let vsftpd =
+  {
+    name = "vsftpd";
+    category = "server";
+    description = "ftp server: TCP control/data + disk transfer";
+    irq_env = server_env;
+    script =
+      (fun n ->
+        startup
+        @ [ s "socket:tcp"; s "setsockopt:tcp"; s "bind:tcp"; s "listen:tcp";
+            (* vsftpd arms SIGALRM-based session timeouts *)
+            s "sigaction"; s "setitimer"; s "getrlimit"; s "setrlimit" ]
+        @ rep n
+            [
+              s "select:tcp"; s "accept:tcp"; s "recv:tcp"; s "sigreturn"; s "fork";
+              s "open:ext4"; s "read:ext4"; s "read:ext4:miss"; s "sendfile:tcp";
+              s "send:tcp"; s "write:ext4"; s "chmod:ext4"; s "utime:ext4";
+              s "stat:ext4"; s "getdents:ext4"; s "close";
+              s "close:tcp"; s "waitpid"; c 1_500;
+            ]
+        @ [ s "shutdown:tcp" ] @ teardown);
+  }
+
+let top =
+  {
+    name = "top";
+    category = "utility";
+    description = "task manager: procfs statistics to the terminal";
+    irq_env = quiet_env;
+    script =
+      (fun n ->
+        startup
+        @ [ s "open:tty"; s "ioctl:tty"; s "uname" ]
+        @ rep n
+            [
+              s "sysinfo"; s "open:proc"; s "read:proc:stat"; s "read:proc:meminfo";
+              s "read:proc:loadavg"; s "getdents:proc"; s "read:proc:pid";
+              s "close"; s "write:tty"; s "select:tty"; s "nanosleep"; c 1_000;
+            ]
+        @ [ s "close:tty" ] @ teardown);
+  }
+
+let tcpdump =
+  {
+    name = "tcpdump";
+    category = "utility";
+    description = "packet sniffer: AF_PACKET tap to the terminal";
+    irq_env =
+      [
+        (Irq.Net_rx_sniffed_tcp, 45_000);
+        (Irq.Net_rx_sniffed_udp, 90_000);
+        (Irq.Keyboard_console, 180_000);
+        (Irq.Disk, 140_000);
+      ];
+    script =
+      (fun n ->
+        startup
+        @ [ s "socket:netlink"; s "bind:netlink"; s "sendmsg:netlink";
+            s "recvmsg:netlink"; s "close";
+            s "socket:packet"; s "bind:packet"; s "setsockopt:packet";
+            s "open:tty" ]
+        @ rep n
+            [
+              s "recvmsg:packet"; s "recvmsg:packet"; s "write:tty";
+              s "select:packet"; s "sendmsg:packet"; s "gettimeofday"; c 800;
+            ]
+        @ [ s "close:tty" ] @ teardown);
+  }
+
+let mysqld =
+  {
+    name = "mysqld";
+    category = "server";
+    description = "database server: TCP + unix socket clients, journaled disk I/O";
+    irq_env = server_env;
+    script =
+      (fun n ->
+        startup
+        @ [ s "setrlimit"; s "mlock"; s "socket:tcp"; s "bind:tcp"; s "listen:tcp";
+            s "socket:unix"; s "bind:unix"; s "open:ext4"; s "fallocate:ext4";
+            s "epoll_create"; s "epoll_ctl" ]
+        @ rep n
+            [
+              s "epoll_wait:tcp"; s "accept:tcp"; s "recv:tcp"; s "read:ext4";
+              s "lseek"; s "writev:ext4"; s "write:ext4"; s "fsync:ext4"; s "send:tcp";
+              s "futex:wait"; s "futex:wake"; s "recvmsg:unix:dgram";
+              s "close:tcp"; s "gettimeofday"; c 2_500;
+            ]
+        @ [ s "close:unix" ] @ teardown);
+  }
+
+let bash =
+  {
+    name = "bash";
+    category = "interactive";
+    description = "shell: terminal line discipline, job control, pipelines";
+    irq_env =
+      [
+        (Irq.Keyboard_console, 30_000);
+        (Irq.Net_rx_tcp, 200_000);
+        (Irq.Disk, 120_000);
+      ];
+    script =
+      (fun n ->
+        startup
+        @ [ s "open:tty"; s "ioctl:tty"; s "sigaction"; s "sigaction";
+            s "getcwd"; s "umask"; s "uname" ]
+        @ rep n
+            [
+              s "read:tty"; s "fork"; s "execve"; s "waitpid"; s "pipe";
+              s "write:pipe"; s "read:pipe"; s "dup2"; s "write:tty";
+              s "stat:ext4"; s "getdents:ext4"; s "kill"; s "sigreturn";
+              s "close"; c 1_200;
+            ]
+        @ [ s "close:tty" ] @ teardown);
+  }
+
+let sshd =
+  {
+    name = "sshd";
+    category = "server";
+    description = "ssh daemon: TCP sessions, pty allocation, child shells";
+    irq_env = server_env;
+    script =
+      (fun n ->
+        startup
+        @ [ s "socket:tcp"; s "setsockopt:tcp"; s "bind:tcp"; s "listen:tcp";
+            s "sigaction"; s "sigaltstack"; s "getrlimit" ]
+        @ rep n
+            [
+              s "select:tcp"; s "accept:tcp"; s "setsockopt:tcp:md5"; s "recv:tcp";
+              s "fork"; s "execve"; s "open:tty"; s "write:pty"; s "read:tty";
+              s "send:tcp"; s "open:ext4"; s "read:ext4"; s "writev:ext4";
+              s "kill"; s "waitpid"; s "close:tty"; s "close"; s "close:tcp";
+              s "gettimeofday"; c 2_000;
+            ]
+        @ [ s "shutdown:tcp" ] @ teardown);
+  }
+
+let gzip =
+  {
+    name = "gzip";
+    category = "utility";
+    description = "compressor: sequential disk read/write, CPU bound";
+    irq_env = quiet_env;
+    script =
+      (fun n ->
+        startup
+        @ [ s "open:ext4"; s "fstat"; s "open:ext4" ]
+        @ rep n
+            [
+              s "read:ext4"; s "read:ext4:miss"; c 6_000; s "write:ext4";
+              Action.Fault; s "brk";
+            ]
+        @ [ s "utime:ext4"; s "chmod:ext4"; s "unlink:ext4"; s "close"; s "close" ]
+        @ teardown);
+  }
+
+let eog =
+  {
+    name = "eog";
+    category = "interactive";
+    description = "image viewer: disk decode + X11 + GPU blit";
+    irq_env = desktop_env;
+    script =
+      (fun n ->
+        startup
+        @ [ s "socket:unix"; s "connect:unix"; s "open:drm"; s "open:ext4";
+            s "inotify_init"; s "inotify_add"; s "fstat" ]
+        @ rep n
+            [
+              s "read:ext4:miss"; s "read:ext4"; s "mmap"; Action.Fault;
+              s "recvmsg:unix"; s "sendmsg:unix"; s "select:unix";
+              s "ioctl:drm:mode"; s "ioctl:drm:mmap"; s "ioctl:drm:exec";
+              s "stat:ext4"; s "getdents:ext4"; s "munmap"; c 3_500;
+            ]
+        @ [ s "close"; s "close:unix" ] @ teardown);
+  }
+
+let all =
+  [ firefox; totem; gvim; apache; vsftpd; top; tcpdump; mysqld; bash; sshd; gzip; eog ]
+
+let names = List.map (fun a -> a.name) all
+let find name = List.find_opt (fun a -> String.equal a.name name) all
+
+let find_exn name =
+  match find name with
+  | Some a -> a
+  | None -> invalid_arg ("App.find_exn: unknown application " ^ name)
+
+let os_config ?(clocksource = Irq.Acpi_pm) t =
+  {
+    Fc_machine.Os.profiling_config with
+    clocksource;
+    background_irqs = t.irq_env;
+  }
+
+let profile ?(iterations = 12) image t =
+  Fc_profiler.Profiler.profile_app ~config:(os_config t) image ~name:t.name
+    (t.script iterations)

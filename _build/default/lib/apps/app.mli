@@ -1,0 +1,37 @@
+(** Application workload models.
+
+    Each of the paper's 12 evaluated applications is modelled as a syscall
+    workload (its test suite, §III-A2) plus the interrupt environment its
+    profiling session runs under — e.g. tcpdump's session sees sniffed
+    packets, a server's session sees client traffic.  Scripts are
+    deterministic; [script n] yields [n] iterations of the app's steady
+    state on top of its startup phase. *)
+
+type t = {
+  name : string;
+  category : string;  (** "server", "interactive", "utility", … *)
+  description : string;
+  script : int -> Fc_machine.Action.t list;
+  irq_env : (Fc_kernel.Irq_paths.source * int) list;
+      (** background interrupt mix for this app's profiling/runtime
+          sessions: (source, period in cycles) *)
+}
+
+val all : t list
+(** The 12 applications of Table I, in the paper's order: firefox, totem,
+    gvim, apache, vsftpd, top, tcpdump, mysqld, bash, sshd, gzip, eog. *)
+
+val names : string list
+val find : string -> t option
+val find_exn : string -> t
+
+val os_config : ?clocksource:Fc_kernel.Irq_paths.clocksource -> t -> Fc_machine.Os.config
+(** The guest configuration for running this app: the standard profiling
+    environment with the app's interrupt mix.  [clocksource] defaults to
+    [Acpi_pm] (the QEMU profiling environment); pass [Kvmclock] for
+    runtime sessions. *)
+
+val profile :
+  ?iterations:int -> Fc_kernel.Image.t -> t -> Fc_profiler.View_config.t
+(** Off-line profiling session for this application (default 12
+    iterations). *)

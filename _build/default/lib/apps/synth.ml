@@ -1,0 +1,61 @@
+module Action = Fc_machine.Action
+
+type profile = Mixed | File_heavy | Net_heavy | Interactive
+
+(* Deterministic LCG (numerical recipes constants). *)
+let lcg state = (state * 1664525) + 1013904223 land max_int
+
+let pools =
+  let file =
+    [ "open:ext4"; "read:ext4"; "read:ext4:miss"; "write:ext4"; "stat:ext4";
+      "lseek"; "fsync:ext4"; "getdents:ext4"; "close"; "fstat" ]
+  in
+  let net =
+    [ "socket:tcp"; "bind:tcp"; "listen:tcp"; "accept:tcp"; "send:tcp";
+      "recv:tcp"; "close:tcp"; "socket:udp"; "bind:udp"; "sendto:udp";
+      "recvfrom:udp"; "close:udp"; "getsockname"; "setsockopt:tcp" ]
+  in
+  let tty =
+    [ "open:tty"; "read:tty"; "write:tty"; "ioctl:tty"; "select:tty";
+      "close:tty"; "socket:unix"; "connect:unix"; "sendmsg:unix";
+      "recvmsg:unix"; "close:unix" ]
+  in
+  let misc =
+    [ "getpid"; "getuid"; "gettimeofday"; "brk"; "mmap"; "munmap"; "uname";
+      "sigaction"; "kill"; "sigreturn"; "pipe"; "write:pipe"; "read:pipe";
+      "fork"; "waitpid"; "getcwd" ]
+  in
+  function
+  | Mixed -> file @ net @ tty @ misc
+  | File_heavy -> file @ misc
+  | Net_heavy -> net @ misc
+  | Interactive -> tty @ misc
+
+let script ~seed ?(profile = Mixed) ~length () =
+  let pool = Array.of_list (pools profile) in
+  let state = ref (abs seed + 1) in
+  let next bound =
+    state := lcg !state;
+    abs !state mod bound
+  in
+  let rec go n acc =
+    if n = 0 then List.rev (Action.Exit :: acc)
+    else
+      let act =
+        match next 10 with
+        | 0 -> Action.Compute (200 + (next 30 * 100))
+        | 1 -> Action.Fault
+        | _ -> Action.Syscall pool.(next (Array.length pool))
+      in
+      go (n - 1) (act :: acc)
+  in
+  go (max 1 length) []
+
+let app ~seed ?(profile = Mixed) ?(length = 40) name =
+  {
+    App.name;
+    category = "synthetic";
+    description = Printf.sprintf "synthetic workload (seed %d)" seed;
+    irq_env = App.(find_exn "top").App.irq_env;
+    script = (fun n -> script ~seed ~profile ~length:(length * max 1 n) ());
+  }

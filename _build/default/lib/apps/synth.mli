@@ -1,0 +1,24 @@
+(** Deterministic synthetic workload generation.
+
+    Generates syscall scripts from a seed using a linear congruential
+    generator — no global randomness, so every script is reproducible.
+    Useful for stress/fuzz harnesses and for synthesizing "unknown
+    application" workloads (the paper's flexibility goal: profiling new
+    applications in independent sessions). *)
+
+type profile =
+  | Mixed       (** a bit of everything *)
+  | File_heavy  (** ext4 open/read/write/stat *)
+  | Net_heavy   (** tcp/udp client-server traffic *)
+  | Interactive (** tty/unix-socket/select *)
+
+val script :
+  seed:int -> ?profile:profile -> length:int -> unit -> Fc_machine.Action.t list
+(** A terminating script of roughly [length] actions (always ends with
+    [Exit]).  Scripts only use syscall variants that exist in the
+    syscall table; the same (seed, profile, length) always yields the
+    same script. *)
+
+val app : seed:int -> ?profile:profile -> ?length:int -> string -> App.t
+(** Wrap a synthetic workload as an application model (name given), so it
+    can be profiled and enforced like the catalog applications. *)

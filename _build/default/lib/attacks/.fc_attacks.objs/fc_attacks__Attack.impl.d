@@ -1,0 +1,1 @@
+lib/attacks/attack.ml: Fc_kernel Fc_machine List String

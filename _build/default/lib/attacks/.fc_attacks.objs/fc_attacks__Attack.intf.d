@@ -1,0 +1,1 @@
+lib/attacks/attack.mli: Fc_machine

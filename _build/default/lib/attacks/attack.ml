@@ -1,0 +1,300 @@
+module Action = Fc_machine.Action
+module Os = Fc_machine.Os
+module Process = Fc_machine.Process
+module Kfunc = Fc_kernel.Kfunc
+module Syscalls = Fc_kernel.Syscalls
+
+type kind =
+  | Online_infection of string
+  | Offline_infection of string
+  | Kernel_rootkit
+
+type t = {
+  name : string;
+  kind : kind;
+  host : string;
+  payload : string;
+  note : string;
+  launch : Os.t -> Process.t -> unit;
+  signature : string list;
+}
+
+let s v = Action.Syscall v
+
+(* Online infection: the payload detours the victim's execution a few
+   scheduler rounds into its run. *)
+let inject_online payload os (proc : Process.t) =
+  Os.schedule_at_round os (Os.round os + 3) (fun _ -> Process.prepend_script proc payload)
+
+(* Offline infection: the trojaned binary runs the payload at entry. *)
+let inject_offline payload _os (proc : Process.t) = Process.prepend_script proc payload
+
+(* ------------------------------------------------------------------ *)
+(* User-level malware                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let udp_server_payload =
+  [ s "socket:udp"; s "bind:udp"; s "recvfrom:udp"; s "recvfrom:udp" ]
+
+let tcp_bind_shell_payload =
+  [ s "socket:tcp"; s "bind:tcp"; s "listen:tcp"; s "accept:tcp"; s "recv:tcp"; s "send:tcp" ]
+
+let injectso =
+  {
+    name = "Injectso";
+    kind = Online_infection "Shared object injection";
+    host = "top";
+    payload = "UDP server";
+    note = "Case study I";
+    launch = inject_online udp_server_payload;
+    signature =
+      [ "inet_create"; "sys_bind"; "inet_bind"; "udp_v4_get_port"; "udp_recvmsg" ];
+  }
+
+let cymothoa_v1 =
+  {
+    name = "Cymothoa v1";
+    kind = Online_infection "Fork process";
+    host = "top";
+    payload = "Bind /bin/sh to TCP port and fork shell";
+    note = "Recover sys_fork and TCP server";
+    launch = inject_online (s "fork" :: tcp_bind_shell_payload);
+    signature = [ "sys_fork"; "inet_create"; "inet_csk_accept"; "tcp_sendmsg" ];
+  }
+
+let cymothoa_v2 =
+  {
+    name = "Cymothoa v2";
+    kind = Online_infection "Clone thread";
+    host = "top";
+    payload = "Bind /bin/sh to TCP port and fork shell";
+    note = "Recover sys_clone and TCP server";
+    launch = inject_online (s "clone" :: tcp_bind_shell_payload);
+    signature = [ "sys_clone"; "inet_create"; "inet_csk_accept" ];
+  }
+
+let cymothoa_v3 =
+  {
+    name = "Cymothoa v3";
+    kind = Online_infection "Settimer parasite";
+    host = "top";
+    payload = "Remote file sniffer";
+    note = "Recover sys_setitimer and signal handler";
+    launch =
+      inject_online
+        [ s "setitimer"; s "socket:udp"; s "connect:udp"; s "sendto:udp"; s "sigreturn" ];
+    signature = [ "sys_setitimer"; "it_real_fn"; "udp_sendmsg"; "sys_sigreturn" ];
+  }
+
+let cymothoa_v4 =
+  {
+    name = "Cymothoa v4";
+    kind = Online_infection "Signal/Alarm parasite";
+    host = "bash";
+    payload = "Single process backdoor";
+    note = "Case study II";
+    launch =
+      inject_online ([ s "setitimer" ] @ tcp_bind_shell_payload @ [ s "sigreturn" ]);
+    signature =
+      [ "sys_setitimer"; "it_real_fn"; "inet_create"; "inet_bind"; "inet_csk_accept" ];
+  }
+
+let hotpatch =
+  {
+    name = "Hotpatch";
+    kind = Online_infection "Library injection";
+    host = "top";
+    payload = "File writing of injecting timestamp";
+    note = "Recover injection and file writing procedure";
+    launch = inject_online [ s "open:ext4"; s "write:ext4"; s "close" ];
+    signature = [ "do_sync_write"; "ext4_file_write" ];
+  }
+
+let xlibtrace =
+  {
+    name = "Xlibtrace";
+    kind = Online_infection "$LD_PRELOAD linker";
+    host = "eog";
+    payload = "Tracking function invocation";
+    note = "Recover tty procedures on terminal";
+    launch = inject_online [ s "open:tty"; s "write:tty"; s "write:tty" ];
+    signature = [ "tty_write"; "con_write" ];
+  }
+
+let hijacker =
+  {
+    name = "Hijacker";
+    kind = Online_infection "Global offset table poisoning";
+    host = "gvim";
+    payload = "Redirection of library function";
+    note = "Recover the procedure of hijacking";
+    launch = inject_online [ s "socket:udp"; s "connect:udp"; s "sendto:udp" ];
+    signature = [ "inet_create"; "udp_sendmsg" ];
+  }
+
+let infelf_v1 =
+  {
+    name = "Infelf v1";
+    kind = Offline_infection "Binary infection";
+    host = "gzip";
+    payload = "Remote shell server";
+    note = "Recover remote shell socket operations";
+    launch = inject_offline tcp_bind_shell_payload;
+    signature = [ "inet_create"; "inet_bind"; "tcp_recvmsg"; "tcp_sendmsg" ];
+  }
+
+let infelf_v2 =
+  {
+    name = "Infelf v2";
+    kind = Offline_infection "Binary infection";
+    host = "gvim";
+    payload = "Register dumping";
+    note = "Case study III";
+    launch = inject_offline [ s "open:tty"; s "write:tty"; s "write:tty"; s "write:tty" ];
+    signature = [ "tty_write"; "con_write" ];
+  }
+
+let arches =
+  {
+    name = "Arches";
+    kind = Offline_infection "Binary infection";
+    host = "gzip";
+    payload = "Register dumping";
+    note = "Recover register dumping operations on terminal";
+    launch = inject_offline [ s "open:tty"; s "write:tty" ];
+    signature = [ "tty_write"; "con_write" ];
+  }
+
+let elf_infector =
+  {
+    name = "Elf-infector";
+    kind = Offline_infection "Binary infection";
+    host = "eog";
+    payload = "Register dumping";
+    note = "Same as above";
+    launch = inject_offline [ s "open:tty"; s "write:tty" ];
+    signature = [ "tty_write"; "con_write" ];
+  }
+
+let eresi =
+  {
+    name = "ERESI";
+    kind = Offline_infection "Binary infection";
+    host = "totem";
+    payload = "UDP server";
+    note = "Recover creation of udp server";
+    launch = inject_offline udp_server_payload;
+    signature = [ "inet_create"; "inet_bind"; "udp_v4_get_port"; "udp_recvmsg" ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Kernel rootkits                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let kbeast_module_name = "kbeast"
+let sebek_module_name = "sebek"
+let adore_module_name = "adore_ng"
+
+let kbeast_fns =
+  [
+    Kfunc.v ~size:192 ~sub:"kbeast" "kbeast_sys_read"
+      [ Kfunc.C "kbeast_log_keys"; Kfunc.C "kbeast_write_log"; Kfunc.D ];
+    Kfunc.v ~size:128 ~sub:"kbeast" "kbeast_log_keys" [ Kfunc.C "snprintf" ];
+    Kfunc.v ~size:224 ~sub:"kbeast" "kbeast_write_log"
+      [ Kfunc.C "filp_open"; Kfunc.C "do_sync_write"; Kfunc.C "filp_close" ];
+    Kfunc.v ~size:144 ~sub:"kbeast" "kbeast_hide" [ Kfunc.C "strcmp" ];
+  ]
+
+(* Dispatch queue for the detoured read:tty (in consumption order):
+   kbeast_write_log -> filp_open (fs open op), do_sync_write's write
+   chain, filp_close's release op; then the hook tail-calls the real
+   sys_read which reaches the tty. *)
+let kbeast_read_dispatch =
+  [
+    "ext4_file_open"; "ext4_file_write"; "ext4_dirty_inode"; "ext4_write_begin";
+    "release_none"; "sys_read"; "tty_read";
+  ]
+
+let kbeast =
+  {
+    name = "KBeast";
+    kind = Kernel_rootkit;
+    host = "bash";
+    payload = "File/Process hiding, keystroke sniffer";
+    note = "Case study IV";
+    launch =
+      (fun os _proc ->
+        let (_ : Os.module_info) = Os.load_module_fns os ~name:kbeast_module_name kbeast_fns in
+        Os.hide_module os kbeast_module_name;
+        Os.set_syscall_rewriter os (fun sc ->
+            if String.equal sc.Syscalls.sc_name "read:tty" then
+              Some ("kbeast_sys_read", kbeast_read_dispatch)
+            else None));
+    signature = [ "strnlen"; "vsnprintf"; "snprintf"; "filp_open"; "do_sync_write" ];
+  }
+
+let sebek_fns =
+  [
+    Kfunc.v ~size:224 ~sub:"sebek" "sebek_sys_read" [ Kfunc.C "sebek_log"; Kfunc.D ];
+    Kfunc.v ~size:192 ~sub:"sebek" "sebek_log" [ Kfunc.C "memcpy" ];
+  ]
+
+let sebek =
+  {
+    name = "Sebek";
+    kind = Kernel_rootkit;
+    host = "bash";
+    payload = "Confidential data collection";
+    note = "Recover kernel code in sebek module";
+    launch =
+      (fun os _proc ->
+        let (_ : Os.module_info) = Os.load_module_fns os ~name:sebek_module_name sebek_fns in
+        Os.set_syscall_rewriter os (fun sc ->
+            if String.equal sc.Syscalls.sc_name "read:tty" then
+              Some ("sebek_sys_read", [ "sys_read"; "tty_read" ])
+            else None));
+    signature = [ "mod:sebek" ];
+  }
+
+let adore_fns =
+  [
+    Kfunc.v ~size:224 ~sub:"adore" "adore_readdir" [ Kfunc.C "adore_filter"; Kfunc.D ];
+    Kfunc.v ~size:160 ~sub:"adore" "adore_filter" [ Kfunc.C "strcmp" ];
+  ]
+
+let adore_ng =
+  {
+    name = "Adore-ng";
+    kind = Kernel_rootkit;
+    host = "bash";
+    payload = "File/Process hiding";
+    note = "Recover kernel code in adore-ng module";
+    launch =
+      (fun os _proc ->
+        let (_ : Os.module_info) = Os.load_module_fns os ~name:adore_module_name adore_fns in
+        Os.set_syscall_rewriter os (fun sc ->
+            if String.equal sc.Syscalls.sc_name "getdents:ext4" then
+              Some ("adore_readdir", [ "sys_getdents64"; "ext4_readdir" ])
+            else None));
+    signature = [ "mod:adore_ng" ];
+  }
+
+let all =
+  [
+    injectso; cymothoa_v1; cymothoa_v2; cymothoa_v3; cymothoa_v4; hotpatch;
+    xlibtrace; hijacker; infelf_v1; infelf_v2; arches; elf_infector; eresi;
+    kbeast; sebek; adore_ng;
+  ]
+
+let names = List.map (fun a -> a.name) all
+let find name = List.find_opt (fun a -> String.equal a.name name) all
+
+let find_exn name =
+  match find name with
+  | Some a -> a
+  | None -> invalid_arg ("Attack.find_exn: unknown attack " ^ name)
+
+let kind_label = function
+  | Online_infection m -> "Online infection: " ^ m
+  | Offline_infection m -> "Offline " ^ String.lowercase_ascii m
+  | Kernel_rootkit -> "Kernel rootkit"

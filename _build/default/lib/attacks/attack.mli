@@ -1,0 +1,47 @@
+(** The malware corpus of Table II: 13 user-level attacks and 3 kernel
+    rootkits.
+
+    User-level attacks are modelled by their {e kernel footprint}: the
+    payload syscalls an infected host process starts issuing.  Online
+    infections splice the payload into the victim mid-run (Injectso,
+    Cymothoa, …); offline infections run it from process start (the
+    binary was trojaned on disk: Infelf, Arches, …).  Kernel rootkits
+    load a module and detour syscall handling through it; KBeast also
+    unlinks itself from the guest module list, which is what makes its
+    backtrace frames render as [<UNKNOWN>] (Fig. 5).
+
+    [signature] lists the function names whose {e recovery} is the
+    paper's detection evidence for this attack; for rootkit-module code
+    the rendered name is [mod:<name>] (VMI sees the module region but has
+    no symbols for it). *)
+
+type kind =
+  | Online_infection of string  (** infection method, per Table II *)
+  | Offline_infection of string
+  | Kernel_rootkit
+
+type t = {
+  name : string;
+  kind : kind;
+  host : string;     (** victim application ({!Fc_apps.App}) name *)
+  payload : string;  (** payload description, per Table II *)
+  note : string;     (** the paper's "Note" column *)
+  launch : Fc_machine.Os.t -> Fc_machine.Process.t -> unit;
+      (** arm the attack against a spawned host process (call before
+          [Os.run]) *)
+  signature : string list;
+}
+
+val all : t list
+(** Table II order: Injectso, Cymothoa v1–v4, Hotpatch, Xlibtrace,
+    Hijacker, Infelf v1/v2, Arches, Elf-infector, ERESI, KBeast, Sebek,
+    Adore-ng. *)
+
+val names : string list
+val find : string -> t option
+val find_exn : string -> t
+val kind_label : kind -> string
+
+val kbeast_module_name : string
+val sebek_module_name : string
+val adore_module_name : string

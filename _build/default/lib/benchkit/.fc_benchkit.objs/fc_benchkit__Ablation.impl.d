@@ -1,0 +1,1 @@
+lib/benchkit/ablation.ml: Buffer Fc_apps Fc_core Fc_hypervisor Fc_machine List Option Printf Profiles String

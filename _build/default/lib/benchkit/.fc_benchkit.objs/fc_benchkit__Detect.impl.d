@@ -1,0 +1,1 @@
+lib/benchkit/detect.ml: Fc_apps Fc_attacks Fc_core Fc_hypervisor Fc_machine List Profiles

@@ -1,0 +1,1 @@
+lib/benchkit/detect.mli: Fc_attacks Fc_core Profiles

@@ -1,0 +1,1 @@
+lib/benchkit/fig3.ml: Buffer Fc_apps Fc_core Fc_hypervisor Fc_machine List Printf Profiles String

@@ -1,0 +1,1 @@
+lib/benchkit/fig3.mli: Fc_core Profiles

@@ -1,0 +1,1 @@
+lib/benchkit/fig4.ml: Buffer Detect Fc_attacks Fc_core Hashtbl List Printf String

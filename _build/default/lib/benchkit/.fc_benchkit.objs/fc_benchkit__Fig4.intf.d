@@ -1,0 +1,1 @@
+lib/benchkit/fig4.mli: Detect Profiles

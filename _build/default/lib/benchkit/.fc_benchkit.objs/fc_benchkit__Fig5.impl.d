@@ -1,0 +1,1 @@
+lib/benchkit/fig5.ml: Buffer Detect Fc_attacks Fc_core List Printf String

@@ -1,0 +1,1 @@
+lib/benchkit/fig5.mli: Detect Profiles

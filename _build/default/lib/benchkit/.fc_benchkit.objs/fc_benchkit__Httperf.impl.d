@@ -1,0 +1,1 @@
+lib/benchkit/httperf.ml: Buffer Fc_apps Fc_core Fc_hypervisor Fc_machine Float List Printf Profiles

@@ -1,0 +1,1 @@
+lib/benchkit/profiles.ml: Fc_apps Fc_kernel Fc_profiler List

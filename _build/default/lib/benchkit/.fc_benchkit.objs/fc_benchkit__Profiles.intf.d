@@ -1,0 +1,1 @@
+lib/benchkit/profiles.mli: Fc_kernel Fc_profiler

@@ -1,0 +1,1 @@
+lib/benchkit/table1.ml: Buffer Fc_profiler Fc_ranges List Printf Profiles

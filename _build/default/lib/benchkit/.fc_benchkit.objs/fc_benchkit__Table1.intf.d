@@ -1,0 +1,1 @@
+lib/benchkit/table1.mli: Profiles

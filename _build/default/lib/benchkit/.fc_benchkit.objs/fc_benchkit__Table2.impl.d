@@ -1,0 +1,1 @@
+lib/benchkit/table2.ml: Buffer Detect Fc_attacks List Printf String

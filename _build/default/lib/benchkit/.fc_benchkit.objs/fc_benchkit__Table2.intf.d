@@ -1,0 +1,1 @@
+lib/benchkit/table2.mli: Detect Profiles

@@ -1,0 +1,1 @@
+lib/benchkit/unixbench.ml: Buffer Fc_core Fc_hypervisor Fc_machine Fc_profiler List Printf Profiles

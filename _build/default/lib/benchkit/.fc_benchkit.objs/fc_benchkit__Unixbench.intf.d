@@ -1,0 +1,1 @@
+lib/benchkit/unixbench.mli: Fc_kernel Fc_machine Fc_profiler Profiles

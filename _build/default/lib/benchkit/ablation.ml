@@ -1,0 +1,240 @@
+module Os = Fc_machine.Os
+module Action = Fc_machine.Action
+module Process = Fc_machine.Process
+module Hyp = Fc_hypervisor.Hypervisor
+module Facechange = Fc_core.Facechange
+module View = Fc_core.View
+module Recovery_log = Fc_core.Recovery_log
+module App = Fc_apps.App
+
+type row = { label : string; metrics : (string * string) list }
+
+let m k v = (k, v)
+let mi k v = (k, string_of_int v)
+
+(* ------------------------------------------------------------------ *)
+(* whole-function load                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let run_top ~opts profiles =
+  let app = App.find_exn "top" in
+  let os = Os.create ~config:(App.os_config app) (Profiles.image profiles) in
+  let hyp = Hyp.attach os in
+  let fc = Facechange.enable ~opts hyp in
+  let idx = Facechange.load_view fc (Profiles.config_of profiles "top") in
+  let view = Option.get (Facechange.find_view fc idx) in
+  let build_bytes = View.loaded_bytes view in
+  let build_pages = View.private_page_count view in
+  (* phase 1: the profiled workload, taking the usual (hot) paths *)
+  let p = Os.spawn os ~name:"top" (app.App.script 3) in
+  Os.run os;
+  let hot_recoveries = Facechange.recoveries fc in
+  (* phase 2: same workload, but the kernel takes its rarely-taken error
+     paths (cold Jcc blocks) — intra-function code that profiling never
+     recorded.  This is the situation the whole-function relaxation is
+     for: the function's cold bytes were loaded along with its hot ones. *)
+  Os.set_branch_policy os (Some (fun _ -> false));
+  let p2 = Os.spawn os ~name:"top" (app.App.script 2) in
+  let outcome =
+    match Os.run ~max_rounds:20_000 os with
+    | () -> if Process.is_exited p2 then "completed" else "stuck"
+    | exception Os.Guest_panic _ -> "GUEST PANIC (misdecoded UD2 inside a function)"
+  in
+  ( build_bytes,
+    build_pages,
+    hot_recoveries,
+    Facechange.recoveries fc - hot_recoveries,
+    outcome,
+    Process.is_exited p )
+
+let whole_function_load profiles =
+  List.map
+    (fun (label, wfl) ->
+      let opts = { Facechange.default_opts with whole_function_load = wfl } in
+      let bytes, pages, hot, cold, outcome, ok = run_top ~opts profiles in
+      {
+        label;
+        metrics =
+          [
+            mi "view bytes loaded" bytes;
+            mi "view private pages" pages;
+            mi "recoveries, profiled workload" hot;
+            mi "recoveries, error-path workload" cold;
+            m "error-path outcome" outcome;
+            m "profiled workload completed" (string_of_bool ok);
+          ];
+      })
+    [ ("whole-function load (paper)", true); ("raw profiled spans", false) ]
+
+(* ------------------------------------------------------------------ *)
+(* same-view optimization                                              *)
+(* ------------------------------------------------------------------ *)
+
+let same_view_opt profiles =
+  List.map
+    (fun (label, svo) ->
+      let opts = { Facechange.default_opts with same_view_opt = svo } in
+      let app = App.find_exn "top" in
+      let os = Os.create ~config:(App.os_config app) (Profiles.image profiles) in
+      let hyp = Hyp.attach os in
+      let fc = Facechange.enable ~opts hyp in
+      let (_ : int) = Facechange.load_view fc (Profiles.config_of profiles "top") in
+      (* two instances of the same application share one view *)
+      let a = Os.spawn os ~name:"top" (app.App.script 3) in
+      let b = Os.spawn os ~name:"top" (app.App.script 3) in
+      let c0 = Os.cycles os in
+      Os.run os;
+      ignore (Process.is_exited a && Process.is_exited b);
+      {
+        label;
+        metrics =
+          [
+            mi "EPT view installs" (Facechange.switches fc);
+            mi "installs avoided" (Facechange.switch_skips fc);
+            mi "guest cycles" (Os.cycles os - c0);
+          ];
+      })
+    [ ("same-view optimization on", true); ("off", false) ]
+
+(* ------------------------------------------------------------------ *)
+(* switch at resume-userspace                                          *)
+(* ------------------------------------------------------------------ *)
+
+let switch_at_resume profiles =
+  List.map
+    (fun (label, sar) ->
+      let opts = { Facechange.default_opts with switch_at_resume = sar } in
+      let app = App.find_exn "apache" in
+      let config = { (App.os_config app) with Os.wake_delay = 2 } in
+      let os = Os.create ~config (Profiles.image profiles) in
+      let hyp = Hyp.attach os in
+      let fc = Facechange.enable ~opts hyp in
+      let (_ : int) = Facechange.load_view fc (Profiles.config_of profiles "apache") in
+      let p = Os.spawn os ~name:"apache" (app.App.script 4) in
+      let c0 = Os.cycles os in
+      Os.run os;
+      ignore (Process.is_exited p);
+      {
+        label;
+        metrics =
+          [
+            mi "EPT view installs" (Facechange.switches fc);
+            mi "switches deferred to resume" (Facechange.deferred_switches fc);
+            mi "breakpoint VM exits" (Hyp.breakpoint_exits hyp);
+            mi "guest cycles" (Os.cycles os - c0);
+          ];
+      })
+    [ ("switch at resume-userspace (paper)", true); ("switch at context switch", false) ]
+
+(* ------------------------------------------------------------------ *)
+(* instant recovery                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let cross_view ~opts profiles =
+  let app = App.find_exn "top" in
+  let config = { (App.os_config app) with Os.wake_delay = 3 } in
+  let os = Os.create ~config (Profiles.image profiles) in
+  let hyp = Hyp.attach os in
+  let fc = Facechange.enable ~opts hyp in
+  let p =
+    Os.spawn os ~name:"top"
+      [ Action.Syscall "getpid"; Action.Syscall "poll:pipe";
+        Action.Syscall "getpid"; Action.Exit ]
+  in
+  Os.schedule_at_round os 2 (fun _ ->
+      ignore (Facechange.load_view fc (Profiles.config_of profiles "top")));
+  match Os.run ~max_rounds:5_000 os with
+  | () -> (fc, (if Process.is_exited p then "completed" else "stuck"))
+  | exception Os.Guest_panic _ -> (fc, "GUEST PANIC")
+
+let instant_recovery profiles =
+  List.map
+    (fun (label, ir) ->
+      let opts = { Facechange.default_opts with instant_recovery = ir } in
+      let fc, outcome = cross_view ~opts profiles in
+      {
+        label;
+        metrics =
+          [
+            m "outcome" outcome;
+            mi "recoveries" (Facechange.recoveries fc);
+            m "recovered"
+              (String.concat ", " (Recovery_log.recovered_names (Facechange.log fc)));
+          ];
+      })
+    [ ("instant recovery on (paper)", true); ("off (the bug of Fig. 3)", false) ]
+
+(* ------------------------------------------------------------------ *)
+(* multi-vCPU scaling (SV-C extension)                                  *)
+(* ------------------------------------------------------------------ *)
+
+let smp_scaling profiles =
+  let apps = [ "top"; "apache"; "gvim"; "tcpdump" ] in
+  let measure ~vcpus ~enabled =
+    let os =
+      Os.create ~config:Os.profiling_config ~vcpus (Profiles.image profiles)
+    in
+    if enabled then begin
+      let hyp = Hyp.attach os in
+      let fc = Facechange.enable hyp in
+      List.iter
+        (fun a -> ignore (Facechange.load_view fc (Profiles.config_of profiles a)))
+        apps;
+      let procs =
+        List.map (fun a -> Os.spawn os ~name:a ((App.find_exn a).App.script 2)) apps
+      in
+      let c0 = Os.cycles os in
+      Os.run os;
+      ignore procs;
+      (Os.cycles os - c0, Facechange.switches fc + Facechange.switch_skips fc)
+    end
+    else begin
+      let procs =
+        List.map (fun a -> Os.spawn os ~name:a ((App.find_exn a).App.script 2)) apps
+      in
+      let c0 = Os.cycles os in
+      Os.run os;
+      ignore procs;
+      (Os.cycles os - c0, 0)
+    end
+  in
+  List.map
+    (fun vcpus ->
+      let base, _ = measure ~vcpus ~enabled:false in
+      let fc, switch_events = measure ~vcpus ~enabled:true in
+      {
+        label = Printf.sprintf "%d vCPU%s" vcpus (if vcpus = 1 then "" else "s");
+        metrics =
+          [
+            mi "baseline cycles" base;
+            mi "FACE-CHANGE cycles" fc;
+            m "overhead" (Printf.sprintf "%.1f%%" (100. *. (float_of_int fc /. float_of_int base -. 1.)));
+            mi "view switch decisions" switch_events;
+          ];
+      })
+    [ 1; 2; 4 ]
+
+let run_all profiles =
+  [
+    ("Whole-function load relaxation (§III-B1)", whole_function_load profiles);
+    ("Same-view optimization (§III-B2)", same_view_opt profiles);
+    ("Switch point: resume-userspace vs context switch (§III-B2)", switch_at_resume profiles);
+    ("Instant recovery (Fig. 3)", instant_recovery profiles);
+    ("Multi-vCPU scaling (SV-C extension: per-vCPU EPT views)", smp_scaling profiles);
+  ]
+
+let render sections =
+  let buf = Buffer.create 2048 in
+  List.iter
+    (fun (title, rows) ->
+      Buffer.add_string buf (Printf.sprintf "%s\n" title);
+      List.iter
+        (fun r ->
+          Buffer.add_string buf (Printf.sprintf "  %s\n" r.label);
+          List.iter
+            (fun (k, v) -> Buffer.add_string buf (Printf.sprintf "    %-32s %s\n" k v))
+            r.metrics)
+        rows;
+      Buffer.add_char buf '\n')
+    sections;
+  Buffer.contents buf

@@ -1,0 +1,30 @@
+(** Ablations of the design choices DESIGN.md calls out.
+
+    Each ablation toggles one {!Fc_core.Facechange.opts} knob and reports
+    the metrics it moves:
+
+    - {b whole-function load} (§III-B1's relaxation): view construction
+      size/pages with raw profiled spans instead of whole functions.  Note
+      that in this simulator kernel function bodies are straight-line, so
+      profiled spans already cover whole bodies and the recovery-frequency
+      benefit the paper cites (branchy real code) does not manifest; the
+      ablation quantifies the construction-side difference and verifies
+      behavioural equivalence on a matching workload.
+    - {b same-view optimization}: EPT installs actually performed when two
+      processes share one view.
+    - {b switch at resume-userspace} (§III-B2): deferral and coalescing of
+      custom-view switches.
+    - {b instant recovery} (Fig. 3): disabling it lets an odd return
+      address misdecode UD2 fill — the guest either dies or produces
+      garbage recoveries. *)
+
+type row = { label : string; metrics : (string * string) list }
+
+val whole_function_load : Profiles.t -> row list
+val smp_scaling : Profiles.t -> row list
+val same_view_opt : Profiles.t -> row list
+val switch_at_resume : Profiles.t -> row list
+val instant_recovery : Profiles.t -> row list
+
+val run_all : Profiles.t -> (string * row list) list
+val render : (string * row list) list -> string

@@ -1,0 +1,74 @@
+module Os = Fc_machine.Os
+module Hyp = Fc_hypervisor.Hypervisor
+module Facechange = Fc_core.Facechange
+module Recovery_log = Fc_core.Recovery_log
+module Attack = Fc_attacks.Attack
+module App = Fc_apps.App
+
+type view_mode = Per_app | Union
+
+type outcome = {
+  attack : Attack.t;
+  mode : view_mode;
+  completed : bool;
+  recovered : string list;
+  evidence : string list;
+  detected : bool;
+  unknown_frames : bool;
+  recoveries : int;
+  log : Recovery_log.t;
+}
+
+let boot_guest profiles ~host =
+  let app = App.find_exn host in
+  let os = Os.create ~config:(App.os_config app) (Profiles.image profiles) in
+  let hyp = Hyp.attach os in
+  let fc = Facechange.enable hyp in
+  (os, fc, app)
+
+let load_views profiles fc ~mode ~host =
+  match mode with
+  | Per_app ->
+      let (_ : int) = Facechange.load_view fc (Profiles.config_of profiles host) in
+      ()
+  | Union ->
+      let idx = Facechange.load_view fc (Profiles.union_config profiles) in
+      Facechange.bind fc ~comm:host ~index:idx
+
+let run profiles ~mode (attack : Attack.t) =
+  let os, fc, app = boot_guest profiles ~host:attack.Attack.host in
+  let proc = Os.spawn os ~name:attack.Attack.host (app.App.script 3) in
+  (* The attack is armed first: a rootkit module already resident when the
+     kernel view materializes gets UD2-filled like all module code, which
+     is the paper's "no rootkit code can be included in the view" premise;
+     user-level payloads fire later regardless. *)
+  attack.Attack.launch os proc;
+  load_views profiles fc ~mode ~host:attack.Attack.host;
+  let completed =
+    match Os.run ~max_rounds:20_000 os with
+    | () -> Fc_machine.Process.is_exited proc
+    | exception Os.Guest_panic _ -> false
+  in
+  let log = Facechange.log fc in
+  let recovered = Recovery_log.recovered_names log in
+  let evidence =
+    List.filter (fun s -> List.mem s attack.Attack.signature) recovered
+  in
+  {
+    attack;
+    mode;
+    completed;
+    recovered;
+    evidence;
+    detected = evidence <> [];
+    unknown_frames = Recovery_log.any_unknown log;
+    recoveries = Recovery_log.count log;
+    log;
+  }
+
+let run_clean profiles ~mode host =
+  let os, fc, app = boot_guest profiles ~host in
+  load_views profiles fc ~mode ~host;
+  let (_ : Fc_machine.Process.t) = Os.spawn os ~name:host (app.App.script 3) in
+  Os.run ~max_rounds:20_000 os;
+  Recovery_log.count (Facechange.log fc)

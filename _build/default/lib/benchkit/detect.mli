@@ -1,0 +1,30 @@
+(** Attack scenario runner — the engine behind Table II.
+
+    Runs one attack against its host application in a FACE-CHANGE guest,
+    under either the host's own minimized view or the "union" view
+    (system-wide minimization), and reports the recovery-log evidence. *)
+
+type view_mode = Per_app | Union
+
+type outcome = {
+  attack : Fc_attacks.Attack.t;
+  mode : view_mode;
+  completed : bool;  (** the host ran to completion (recovery is silent) *)
+  recovered : string list;  (** recovered function names, chronological *)
+  evidence : string list;   (** recovered ∩ attack signature *)
+  detected : bool;
+  unknown_frames : bool;    (** hidden-module frames appeared (Fig. 5) *)
+  recoveries : int;
+  log : Fc_core.Recovery_log.t;
+}
+
+val run :
+  Profiles.t -> mode:view_mode -> Fc_attacks.Attack.t -> outcome
+(** Boot a fresh guest with the host's interrupt environment, enable
+    FACE-CHANGE, load + bind the view per [mode], spawn the host, arm the
+    attack, run, and evaluate the log against the attack signature. *)
+
+val run_clean : Profiles.t -> mode:view_mode -> string -> int
+(** Control run: the host application {e without} any attack; returns the
+    recovery count — the false-positive check (0 under the matching
+    clocksource). *)

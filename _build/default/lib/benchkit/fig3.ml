@@ -1,0 +1,95 @@
+module Os = Fc_machine.Os
+module Action = Fc_machine.Action
+module Hyp = Fc_hypervisor.Hypervisor
+module Facechange = Fc_core.Facechange
+module Recovery_log = Fc_core.Recovery_log
+module App = Fc_apps.App
+
+type result = {
+  log : Recovery_log.t;
+  completed : bool;
+  lazy_recovered : string list;
+  instant_recovered : string list;
+}
+
+let bare s =
+  match (String.index_opt s '<', String.index_opt s '+') with
+  | Some i, Some j when j > i -> String.sub s (i + 1) (j - i - 1)
+  | _ -> s
+
+let run profiles =
+  let app = App.find_exn "top" in
+  let config =
+    { (App.os_config app) with Fc_machine.Os.wake_delay = 3 }
+  in
+  let os = Os.create ~config (Profiles.image profiles) in
+  let hyp = Hyp.attach os in
+  let fc = Facechange.enable hyp in
+  let proc =
+    Os.spawn os ~name:"top"
+      [
+        Action.Syscall "getpid";
+        Action.Syscall "poll:pipe";
+        Action.Syscall "getpid";
+        Action.Exit;
+      ]
+  in
+  Os.schedule_at_round os 2 (fun _ ->
+      let (_ : int) = Facechange.load_view fc (Profiles.config_of profiles "top") in
+      ());
+  let completed =
+    match Os.run ~max_rounds:10_000 os with
+    | () -> Fc_machine.Process.is_exited proc
+    | exception Os.Guest_panic _ -> false
+  in
+  let log = Facechange.log fc in
+  let entries = Recovery_log.entries log in
+  let instant_recovered =
+    List.concat_map
+      (fun e -> List.map (fun (_, _, s) -> bare s) e.Recovery_log.instant)
+      entries
+  in
+  let lazy_recovered =
+    List.concat_map
+      (fun e -> List.map (fun (_, _, s) -> bare s) e.Recovery_log.recovered)
+      entries
+  in
+  { log; completed; lazy_recovered; instant_recovered }
+
+let render r =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "Cross-View Kernel Code Recovery (cf. paper Fig. 3)\n";
+  Buffer.add_string buf "===================================================\n";
+  List.iter
+    (fun e ->
+      Buffer.add_string buf
+        (Printf.sprintf "Recover %s for kernel[%s]:\n"
+           (match e.Recovery_log.recovered with (_, _, s) :: _ -> s | [] -> "?")
+           e.Recovery_log.view_app);
+      List.iter
+        (fun f ->
+          Buffer.add_string buf
+            (Printf.sprintf "|--Backtrace: %s\n   " f.Recovery_log.rendered);
+          List.iter
+            (fun b -> Buffer.add_string buf (Printf.sprintf "0x%x " b))
+            f.Recovery_log.view_bytes;
+          (match f.Recovery_log.view_bytes with
+          | 0x0f :: 0x0b :: _ ->
+              Buffer.add_string buf "  <- '0xf 0xb' can trap => Lazy recovery"
+          | 0x0b :: 0x0f :: _ ->
+              Buffer.add_string buf "  <- '0xb 0xf' cannot trap => Instant recovery"
+          | _ -> ());
+          Buffer.add_char buf '\n')
+        (match e.Recovery_log.backtrace with _ :: rest -> rest | [] -> []);
+      List.iter
+        (fun (_, _, s) ->
+          Buffer.add_string buf (Printf.sprintf "|== instantly recovered: %s\n" s))
+        e.Recovery_log.instant;
+      Buffer.add_char buf '\n')
+    (Recovery_log.entries r.log);
+  Buffer.add_string buf
+    (Printf.sprintf "lazy: %s\ninstant: %s\ncompleted: %b\n"
+       (String.concat ", " r.lazy_recovered)
+       (String.concat ", " r.instant_recovered)
+       r.completed);
+  Buffer.contents buf

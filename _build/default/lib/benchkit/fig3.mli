@@ -1,0 +1,19 @@
+(** Fig. 3: cross-view kernel code recovery.
+
+    Reproduces the paper's scenario: the [top] process blocks inside
+    [pipe_poll] under the full kernel view; its customized view is then
+    hot-plugged; on reschedule the process resumes mid-kernel under the
+    new view and faults in the UD2 fill.  The recovery backtrace shows
+    [do_sys_poll]'s even return target reading [0xf 0xb …] (lazy recovery
+    works) while [sys_poll]'s odd return target reads [0xb 0xf …] and must
+    be recovered instantly. *)
+
+type result = {
+  log : Fc_core.Recovery_log.t;
+  completed : bool;
+  lazy_recovered : string list;   (** functions recovered via later traps *)
+  instant_recovered : string list;
+}
+
+val run : Profiles.t -> result
+val render : result -> string

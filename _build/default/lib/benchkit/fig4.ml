@@ -1,0 +1,54 @@
+module Recovery_log = Fc_core.Recovery_log
+module Attack = Fc_attacks.Attack
+
+let run profiles = Detect.run profiles ~mode:Detect.Per_app (Attack.find_exn "Injectso")
+
+let bare s =
+  match (String.index_opt s '<', String.index_opt s '+') with
+  | Some i, Some j when j > i -> String.sub s (i + 1) (j - i - 1)
+  | _ -> s
+
+(* The syscall gate frame a recovery came through: the deepest sys_*
+   function in the backtrace (or the recovered function itself). *)
+let syscall_of_entry (e : Recovery_log.entry) =
+  let names =
+    (match e.Recovery_log.recovered with (_, _, s) :: _ -> [ bare s ] | [] -> [])
+    @ List.map (fun f -> bare f.Recovery_log.rendered) e.Recovery_log.backtrace
+  in
+  match
+    List.find_opt (fun n -> String.length n > 4 && String.sub n 0 4 = "sys_") names
+  with
+  | Some n -> n
+  | None -> "(no syscall frame)"
+
+let render (o : Detect.outcome) =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "Attack Pattern of Injectso's Payload (cf. paper Fig. 4)\n";
+  Buffer.add_string buf "========================================================\n";
+  Buffer.add_string buf "Kernel code recovery log for kernel[top]:\n\n";
+  let groups = Hashtbl.create 8 in
+  let order = ref [] in
+  List.iter
+    (fun e ->
+      let k = syscall_of_entry e in
+      if not (Hashtbl.mem groups k) then begin
+        Hashtbl.add groups k [];
+        order := k :: !order
+      end;
+      Hashtbl.replace groups k (Hashtbl.find groups k @ [ e ]))
+    (Recovery_log.entries o.Detect.log);
+  List.iter
+    (fun k ->
+      Buffer.add_string buf (Printf.sprintf "%s:\n" k);
+      List.iter
+        (fun (e : Recovery_log.entry) ->
+          List.iter
+            (fun (_, _, s) -> Buffer.add_string buf (Printf.sprintf "  %s\n" s))
+            e.Recovery_log.recovered)
+        (Hashtbl.find groups k);
+      Buffer.add_char buf '\n')
+    (List.rev !order);
+  Buffer.add_string buf
+    (Printf.sprintf "detected: %b   evidence: %s\n" o.Detect.detected
+       (String.concat ", " o.Detect.evidence));
+  Buffer.contents buf

@@ -1,0 +1,8 @@
+(** Fig. 4: the Injectso attack pattern.
+
+    Runs the Injectso case study (UDP server payload injected into [top])
+    and renders the kernel code recovery log grouped by the originating
+    system call — the paper's [socket:]/[bind:]/[recvfrom:] columns. *)
+
+val run : Profiles.t -> Detect.outcome
+val render : Detect.outcome -> string

@@ -1,0 +1,25 @@
+module Recovery_log = Fc_core.Recovery_log
+module Attack = Fc_attacks.Attack
+
+let run profiles = Detect.run profiles ~mode:Detect.Per_app (Attack.find_exn "KBeast")
+
+let render (o : Detect.outcome) =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "Attack Pattern of KBeast Rootkit (cf. paper Fig. 5)\n";
+  Buffer.add_string buf "====================================================\n";
+  List.iter
+    (fun (e : Recovery_log.entry) ->
+      (match e.Recovery_log.recovered with
+      | (_, _, s) :: _ -> Buffer.add_string buf (Printf.sprintf "%s\n" s)
+      | [] -> ());
+      List.iter
+        (fun f -> Buffer.add_string buf (Printf.sprintf "|-- %s\n" f.Recovery_log.rendered))
+        (match e.Recovery_log.backtrace with _ :: rest -> rest | [] -> []);
+      Buffer.add_char buf '\n')
+    (Recovery_log.entries o.Detect.log);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "hidden-module (UNKNOWN) frames present: %b\ndetected: %b   evidence: %s\n"
+       o.Detect.unknown_frames o.Detect.detected
+       (String.concat ", " o.Detect.evidence));
+  Buffer.contents buf

@@ -1,0 +1,9 @@
+(** Fig. 5: the KBeast rootkit attack pattern.
+
+    Runs the KBeast case study (hidden keystroke-sniffing module hooking
+    the read path under [bash]'s kernel view) and renders the recovery
+    backtraces — the module's own frames appear as [<UNKNOWN>] because it
+    removed itself from the guest module list. *)
+
+val run : Profiles.t -> Detect.outcome
+val render : Detect.outcome -> string

@@ -1,0 +1,24 @@
+(** The httperf-like Apache I/O experiment (Fig. 7).
+
+    The apache workload serves a fixed batch of requests; measuring the
+    simulated cycles per request with and without FACE-CHANGE gives the
+    server's CPU capacity in each mode.  Offered load below the enabled
+    capacity is served at ratio 1.0; past it, throughput is capacity-bound
+    and the ratio dips — the paper's ~55 req/s threshold. *)
+
+type result = {
+  base_capacity : float;  (** requests/second, FACE-CHANGE disabled *)
+  fc_capacity : float;    (** requests/second, FACE-CHANGE enabled *)
+  cycles_per_second : float;
+      (** simulated clock calibration: chosen so the baseline server
+          saturates near the paper's 60 req/s testbed capacity *)
+  series : (int * float) list;  (** (request rate, throughput ratio) *)
+}
+
+val requests : int
+(** Requests per measurement batch (100, as in the paper). *)
+
+val run : ?rates:int list -> Profiles.t -> result
+(** Default rates: 5, 10, …, 60 req/s. *)
+
+val render : result -> string

@@ -1,0 +1,63 @@
+module View_config = Fc_profiler.View_config
+module Range_list = Fc_ranges.Range_list
+
+type t = {
+  app_names : string list;
+  configs : (string * View_config.t) list;
+}
+
+let compute profiles = { app_names = Profiles.apps profiles; configs = Profiles.all_configs profiles }
+let apps t = t.app_names
+let cfg t name = List.assoc name t.configs
+let size_kb t name = View_config.size (cfg t name) / 1024
+
+let overlap_kb t a b =
+  Range_list.size
+    (Range_list.inter (cfg t a).View_config.ranges (cfg t b).View_config.ranges)
+  / 1024
+
+let similarity t a b = View_config.similarity (cfg t a) (cfg t b)
+
+let pairs t =
+  let rec go = function
+    | [] -> []
+    | a :: rest -> List.map (fun b -> (a, b)) rest @ go rest
+  in
+  go t.app_names
+
+let min_similarity t =
+  List.fold_left
+    (fun (ba, bb, bs) (a, b) ->
+      let s = similarity t a b in
+      if s < bs then (a, b, s) else (ba, bb, bs))
+    ("", "", infinity) (pairs t)
+
+let max_similarity t =
+  List.fold_left
+    (fun (ba, bb, bs) (a, b) ->
+      let s = similarity t a b in
+      if s > bs then (a, b, s) else (ba, bb, bs))
+    ("", "", neg_infinity) (pairs t)
+
+let render t =
+  let buf = Buffer.create 4096 in
+  let w = 9 in
+  let cell s = Printf.sprintf "%*s" w s in
+  Buffer.add_string buf (cell "");
+  List.iter (fun a -> Buffer.add_string buf (cell a)) t.app_names;
+  Buffer.add_char buf '\n';
+  List.iteri
+    (fun i a ->
+      Buffer.add_string buf (cell a);
+      List.iteri
+        (fun j b ->
+          let s =
+            if i = j then Printf.sprintf "[%dKB]" (size_kb t a)
+            else if j > i then Printf.sprintf "%dKB" (overlap_kb t a b)
+            else Printf.sprintf "%.1f%%" (100. *. similarity t a b)
+          in
+          Buffer.add_string buf (cell s))
+        t.app_names;
+      Buffer.add_char buf '\n')
+    t.app_names;
+  Buffer.contents buf

@@ -1,0 +1,22 @@
+(** Table I: the similarity matrix of application kernel views.
+
+    Diagonal cells carry each application's profiled kernel-code size;
+    cells above the diagonal the byte overlap between two views; cells
+    below the diagonal the similarity index (Equation 1). *)
+
+type t
+
+val compute : Profiles.t -> t
+val apps : t -> string list
+val size_kb : t -> string -> int
+val overlap_kb : t -> string -> string -> int
+val similarity : t -> string -> string -> float
+
+val min_similarity : t -> string * string * float
+(** The most dissimilar application pair (paper: top vs firefox, 33.6%). *)
+
+val max_similarity : t -> string * string * float
+(** The most similar pair (paper: eog vs totem, 86.5%). *)
+
+val render : t -> string
+(** The full matrix, formatted like the paper's Table I. *)

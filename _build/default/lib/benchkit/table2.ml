@@ -1,0 +1,41 @@
+module Attack = Fc_attacks.Attack
+
+type row = { per_app : Detect.outcome; union : Detect.outcome }
+
+let run_all profiles =
+  List.map
+    (fun attack ->
+      {
+        per_app = Detect.run profiles ~mode:Detect.Per_app attack;
+        union = Detect.run profiles ~mode:Detect.Union attack;
+      })
+    Attack.all
+
+let render rows =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf "%-13s %-38s %-9s %-9s %-7s %s\n" "Name" "Infection Method"
+       "Detected" "Union" "Unknown" "Evidence (recovered)");
+  List.iter
+    (fun { per_app; union } ->
+      let a = per_app.Detect.attack in
+      Buffer.add_string buf
+        (Printf.sprintf "%-13s %-38s %-9s %-9s %-7s %s\n" a.Attack.name
+           (Attack.kind_label a.Attack.kind)
+           (if per_app.Detect.detected then "YES" else "no")
+           (if union.Detect.detected then "YES" else "no")
+           (if per_app.Detect.unknown_frames then "yes" else "-")
+           (String.concat ", " per_app.Detect.evidence)))
+    rows;
+  Buffer.contents buf
+
+let summary rows =
+  let count f = List.length (List.filter f rows) in
+  Printf.sprintf
+    "detected %d/%d under per-application views; %d/%d under the union view \
+     (system-wide minimization blind spot: %d attacks)"
+    (count (fun r -> r.per_app.Detect.detected))
+    (List.length rows)
+    (count (fun r -> r.union.Detect.detected))
+    (List.length rows)
+    (count (fun r -> r.per_app.Detect.detected && not r.union.Detect.detected))

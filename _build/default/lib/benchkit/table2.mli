@@ -1,0 +1,20 @@
+(** Table II: security evaluation against the malware corpus.
+
+    For each attack, the per-application-view run must reveal the payload
+    via kernel code recovery; the same attack is rerun under the union
+    (system-wide minimization) view to measure the paper's "blind spot" —
+    user-level payloads whose kernel needs are covered by some co-resident
+    application go undetected there. *)
+
+type row = {
+  per_app : Detect.outcome;
+  union : Detect.outcome;
+}
+
+val run_all : Profiles.t -> row list
+(** Table II order. *)
+
+val render : row list -> string
+
+val summary : row list -> string
+(** One-line aggregate: detected counts under each view regime. *)

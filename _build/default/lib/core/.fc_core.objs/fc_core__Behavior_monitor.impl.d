@@ -1,0 +1,1 @@
+lib/core/behavior_monitor.ml: Fc_hypervisor Fc_kernel Fc_machine Fc_profiler Format Hashtbl List Option String

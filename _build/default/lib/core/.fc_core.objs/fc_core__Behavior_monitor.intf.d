@@ -1,0 +1,1 @@
+lib/core/behavior_monitor.mli: Fc_hypervisor Fc_profiler Format

@@ -1,0 +1,1 @@
+lib/core/facechange.ml: Array Fc_hypervisor Fc_isa Fc_kernel Fc_machine Fc_mem Fc_profiler List Option Printf Recovery_log String View

@@ -1,0 +1,1 @@
+lib/core/facechange.mli: Fc_hypervisor Fc_profiler Recovery_log View

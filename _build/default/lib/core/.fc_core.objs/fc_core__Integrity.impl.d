@@ -1,0 +1,1 @@
+lib/core/integrity.ml: Fc_hypervisor Fc_isa Fc_kernel Format List

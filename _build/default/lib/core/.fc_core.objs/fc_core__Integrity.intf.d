@@ -1,0 +1,1 @@
+lib/core/integrity.mli: Fc_hypervisor Format

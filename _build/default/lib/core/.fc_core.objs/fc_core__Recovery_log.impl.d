@@ -1,0 +1,1 @@
+lib/core/recovery_log.ml: Buffer Format Fun Hashtbl In_channel List Printf String

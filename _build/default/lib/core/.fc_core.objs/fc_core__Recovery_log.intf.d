@@ -1,0 +1,1 @@
+lib/core/recovery_log.mli: Format

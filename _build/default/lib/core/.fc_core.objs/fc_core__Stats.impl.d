@@ -1,0 +1,1 @@
+lib/core/stats.ml: Facechange Fc_hypervisor Fc_machine Format List

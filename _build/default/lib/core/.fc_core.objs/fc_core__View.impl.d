@@ -1,0 +1,1 @@
+lib/core/view.ml: Fc_hypervisor Fc_isa Fc_kernel Fc_machine Fc_mem Fc_profiler Fc_ranges Hashtbl List String

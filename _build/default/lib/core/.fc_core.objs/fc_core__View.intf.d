@@ -1,0 +1,1 @@
+lib/core/view.mli: Fc_hypervisor Fc_mem Fc_profiler

@@ -1,0 +1,96 @@
+module Hyp = Fc_hypervisor.Hypervisor
+module Os = Fc_machine.Os
+module Behavior = Fc_profiler.Behavior
+module Image = Fc_kernel.Image
+
+type alert = {
+  at_cycle : int;
+  pid : int;
+  comm : string;
+  prev : string option;
+  cur : string;
+  reason : [ `Unknown_handler | `Novel_transition ];
+}
+
+type t = {
+  hyp : Hyp.t;
+  profile : Behavior.t;
+  entry_names : (int, string) Hashtbl.t;
+  handler_counts : (string, int) Hashtbl.t;
+  bigram_counts : (string * string, int) Hashtbl.t;
+  (* previous handler per pid: transitions are per-process *)
+  prev_by_pid : (int, string) Hashtbl.t;
+  mutable rev_alerts : alert list;
+  mutable seen : int;
+}
+
+let bump tbl key =
+  Hashtbl.replace tbl key (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key))
+
+let handle t addr =
+  match Hashtbl.find_opt t.entry_names addr with
+  | None -> ()
+  | Some cur ->
+      let pid, comm = Hyp.current_task t.hyp in
+      if String.equal comm t.profile.Behavior.app then begin
+        t.seen <- t.seen + 1;
+        bump t.handler_counts cur;
+        let prev = Hashtbl.find_opt t.prev_by_pid pid in
+        (match prev with Some p -> bump t.bigram_counts (p, cur) | None -> ());
+        Hashtbl.replace t.prev_by_pid pid cur;
+        let alert reason =
+          t.rev_alerts <-
+            { at_cycle = Os.cycles (Hyp.os t.hyp); pid; comm; prev; cur; reason }
+            :: t.rev_alerts
+        in
+        if not (Behavior.knows_handler t.profile cur) then alert `Unknown_handler
+        else
+          match prev with
+          | Some p when not (Behavior.knows_bigram t.profile ~prev:p ~cur) ->
+              alert `Novel_transition
+          | Some _ | None -> ()
+      end
+
+let attach hyp profile =
+  let entry_names = Hashtbl.create 128 in
+  List.iter
+    (fun (addr, name) -> Hashtbl.replace entry_names addr name)
+    (Behavior.handler_names (Os.image (Hyp.os hyp)));
+  let t =
+    {
+      hyp;
+      profile;
+      entry_names;
+      handler_counts = Hashtbl.create 64;
+      bigram_counts = Hashtbl.create 256;
+      prev_by_pid = Hashtbl.create 8;
+      rev_alerts = [];
+      seen = 0;
+    }
+  in
+  Hashtbl.iter (fun addr _ -> Hyp.set_breakpoint hyp addr) entry_names;
+  Hyp.on_breakpoint hyp (fun _hyp _regs addr -> handle t addr);
+  t
+
+let detach t = Hashtbl.iter (fun addr _ -> Hyp.clear_breakpoint t.hyp addr) t.entry_names
+let alerts t = List.rev t.rev_alerts
+
+let sorted_assoc tbl =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] |> List.sort compare
+
+let observed t =
+  {
+    Behavior.app = t.profile.Behavior.app;
+    handlers = sorted_assoc t.handler_counts;
+    bigrams = sorted_assoc t.bigram_counts;
+  }
+
+let syscalls_seen t = t.seen
+
+let pp_alert ppf a =
+  Format.fprintf ppf "[cycle %d] %s (pid %d): %s%s -> %s" a.at_cycle a.comm a.pid
+    (match a.reason with
+    | `Unknown_handler -> "handler never profiled: "
+    | `Novel_transition -> "novel transition: ")
+    (Option.value ~default:"(start)" a.prev)
+    a.cur

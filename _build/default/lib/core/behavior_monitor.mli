@@ -1,0 +1,42 @@
+(** Runtime behavior monitoring — the enforcement half of the paper's
+    §V-A future work.
+
+    Kernel code recovery cannot reveal an attack whose kernel needs fit
+    inside the host's view (the paper's in-view C&C server example).  This
+    monitor closes that gap: it sets hypervisor breakpoints on every
+    [sys_*] handler entry and checks, for the monitored application, each
+    handler and each (previous → current) transition against the behavior
+    profile recorded during profiling.  Deviations raise alerts; execution
+    continues silently, like code recovery.
+
+    The cost is one VM exit per system call of the monitored process —
+    the classic syscall-interposition overhead, measurable via
+    {!Fc_hypervisor.Hypervisor.breakpoint_exits}. *)
+
+type alert = {
+  at_cycle : int;
+  pid : int;
+  comm : string;
+  prev : string option;  (** previous handler in this process, if any *)
+  cur : string;
+  reason : [ `Unknown_handler | `Novel_transition ];
+}
+
+type t
+
+val attach : Fc_hypervisor.Hypervisor.t -> Fc_profiler.Behavior.t -> t
+(** Monitor the application named by the profile's [app] (matched against
+    the guest comm).  Installs breakpoints on every [sys_*] entry. *)
+
+val detach : t -> unit
+(** Remove only this monitor's breakpoints (those not shared with other
+    users of the hypervisor). *)
+
+val alerts : t -> alert list
+(** Chronological. *)
+
+val observed : t -> Fc_profiler.Behavior.t
+(** What the monitor has seen so far, as a profile (for offline diffing). *)
+
+val syscalls_seen : t -> int
+val pp_alert : Format.formatter -> alert -> unit

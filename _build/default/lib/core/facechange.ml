@@ -1,0 +1,356 @@
+module Hyp = Fc_hypervisor.Hypervisor
+module Cost = Fc_hypervisor.Cost
+module Os = Fc_machine.Os
+module Cpu = Fc_machine.Cpu
+module Layout = Fc_kernel.Layout
+module Image = Fc_kernel.Image
+module Ept = Fc_mem.Ept
+module Scan = Fc_isa.Scan
+
+type opts = {
+  switch_at_resume : bool;
+  same_view_opt : bool;
+  whole_function_load : bool;
+  instant_recovery : bool;
+}
+
+let default_opts =
+  {
+    switch_at_resume = true;
+    same_view_opt = true;
+    whole_function_load = true;
+    instant_recovery = true;
+  }
+
+let full_view_index = 0
+
+type t = {
+  hyp : Hyp.t;
+  opts : opts;
+  mutable views : View.t list;
+  mutable bindings : (string * int) list;
+  mutable next_index : int;
+  active : int array;           (* active view index, per vCPU *)
+  pending : int option array;   (* deferred switch armed at resume, per vCPU *)
+  ctx_switch_addr : int;
+  resume_addr : int;
+  all_dirs : int list;
+  log : Recovery_log.t;
+  mutable switches : int;
+  mutable switch_skips : int;
+  mutable deferred : int;
+  mutable recoveries : int;
+  mutable recovered_bytes : int;
+  mutable enabled : bool;
+}
+
+let hyp t = t.hyp
+let log t = t.log
+let opts t = t.opts
+let views t = t.views
+let find_view t index = List.find_opt (fun v -> View.index v = index) t.views
+let active_index ?(vid = 0) t = t.active.(vid)
+let switches t = t.switches
+let switch_skips t = t.switch_skips
+let deferred_switches t = t.deferred
+let recoveries t = t.recoveries
+let recovered_bytes t = t.recovered_bytes
+
+let selector t ~comm =
+  match List.assoc_opt comm t.bindings with Some i -> i | None -> full_view_index
+
+let bind t ~comm ~index =
+  t.bindings <- (comm, index) :: List.remove_assoc comm t.bindings
+
+let unbind t ~comm = t.bindings <- List.remove_assoc comm t.bindings
+
+(* ---------------- view switching (per-vCPU, the paper's SV-C) ------- *)
+
+let install_tables t ~vid tables =
+  let ept = Os.ept_of (Hyp.os t.hyp) ~vid in
+  List.iter
+    (fun (dir, table) ->
+      Ept.set_dir ept ~dir (Some table);
+      Hyp.charge t.hyp Cost.ept_dir_switch)
+    tables
+
+let switch_kernel_view t ~vid index =
+  if t.opts.same_view_opt && t.active.(vid) = index then
+    t.switch_skips <- t.switch_skips + 1
+  else begin
+    (if index = full_view_index then
+       install_tables t ~vid
+         (List.filter_map
+            (fun dir ->
+              Option.map (fun tb -> (dir, tb)) (Hyp.original_table t.hyp ~dir))
+            t.all_dirs)
+     else
+       match find_view t index with
+       | Some v -> install_tables t ~vid (View.tables v)
+       | None -> invalid_arg "Facechange: switching to an unloaded view");
+    t.active.(vid) <- index;
+    t.switches <- t.switches + 1
+  end
+
+(* ---------------- VMI helpers ---------------- *)
+
+let vmi_in_kernel t pid =
+  match Hyp.read_guest_u32 t.hyp (Layout.task_struct_addr ~pid + 20) with
+  | Some v -> v <> 0
+  | None -> false
+
+(* ---------------- breakpoint handler (Algorithm 1, lines 30-42) ------ *)
+
+(* The resume-userspace breakpoint is a shared guest address: keep it set
+   while any vCPU has a deferred switch pending. *)
+let sync_resume_breakpoint t =
+  if Array.exists Option.is_some t.pending then
+    Hyp.set_breakpoint t.hyp t.resume_addr
+  else Hyp.clear_breakpoint t.hyp t.resume_addr
+
+let handle_kernel_view_trap t (_regs : Cpu.regs) addr =
+  Hyp.charge t.hyp Cost.breakpoint_handler;
+  let vid = Os.active_vcpu_id (Hyp.os t.hyp) in
+  if addr = t.ctx_switch_addr then begin
+    let pid, comm = Hyp.current_task t.hyp in
+    let index = selector t ~comm in
+    if index = full_view_index then begin
+      t.pending.(vid) <- None;
+      sync_resume_breakpoint t;
+      switch_kernel_view t ~vid index
+    end
+    else if t.opts.switch_at_resume && not (vmi_in_kernel t pid) then begin
+      t.pending.(vid) <- Some index;
+      sync_resume_breakpoint t;
+      t.deferred <- t.deferred + 1
+    end
+    else begin
+      (* immediate switch: either the optimization is off, or the process
+         resumes mid-kernel (cross-view case) *)
+      t.pending.(vid) <- None;
+      sync_resume_breakpoint t;
+      switch_kernel_view t ~vid index
+    end
+  end
+  else if addr = t.resume_addr then begin
+    match t.pending.(vid) with
+    | Some index ->
+        t.pending.(vid) <- None;
+        sync_resume_breakpoint t;
+        switch_kernel_view t ~vid index
+    | None -> ()
+  end
+
+(* ---------------- kernel code recovery (Algorithm 1, lines 1-17) ----- *)
+
+let code_region t addr =
+  let image = Os.image (Hyp.os t.hyp) in
+  if addr >= Image.text_base image && addr < Image.text_end image then
+    Some (Image.text_base image, Image.text_end image)
+  else if Layout.is_module_address addr then
+    List.find_map
+      (fun (_, base, size) ->
+        if base <= addr && addr < base + size then Some (base, base + size) else None)
+      (Hyp.module_list t.hyp)
+  else None
+
+(* Fetch the whole containing function from the original kernel pages and
+   fill it into the view.  Returns (start, stop) on success. *)
+let fetch_fill_code t view addr =
+  match code_region t addr with
+  | None -> None
+  | Some (lo, hi) -> (
+      let read = Hyp.read_original_code t.hyp in
+      match Scan.function_bounds ~read ~lo ~hi addr with
+      | None -> None
+      | Some (start, stop) ->
+          for gva = start to stop - 1 do
+            match read gva with
+            | Some b -> View.write_code view ~gva b
+            | None -> ()
+          done;
+          Hyp.charge t.hyp ((stop - start) / 16 * Cost.code_copy_per_16_bytes);
+          t.recovered_bytes <- t.recovered_bytes + (stop - start);
+          Some (start, stop))
+
+(* The paper "inspect[s] the current call stack to determine whether the
+   current execution is in interrupt context": true when any frame lies in
+   the interrupt entry path. *)
+let is_interrupt_frame t frames =
+  List.exists
+    (fun f ->
+      match Fc_kernel.Symbols.find (Hyp.symbols t.hyp) f with
+      | Some (name, _) -> String.equal name "irq_entry"
+      | None -> false)
+    frames
+
+let handle_invalid_opcode t (regs : Cpu.regs) =
+  let vid = Os.active_vcpu_id (Hyp.os t.hyp) in
+  if t.active.(vid) = full_view_index then
+    `Unhandled
+      (Printf.sprintf "invalid opcode at 0x%x under the full kernel view" regs.Cpu.eip)
+  else
+    match find_view t t.active.(vid) with
+    | None -> `Unhandled "active view disappeared"
+    | Some view -> (
+        Hyp.charge t.hyp Cost.invalid_opcode_handler;
+        (* symbols may have changed (modules hidden/loaded) since attach *)
+        Hyp.refresh_symbols t.hyp;
+        let pid, comm = Hyp.current_task t.hyp in
+        let frames =
+          Hyp.stack_frames t.hyp ~eip:regs.Cpu.eip ~ebp:regs.Cpu.ebp
+            ~esp:regs.Cpu.esp ()
+        in
+        (* capture what the view presented at each frame before recovery
+           rewrites it (the hex dumps of Fig. 3) *)
+        let frame_bytes =
+          List.map
+            (fun a ->
+              List.filter_map
+                (fun i -> View.read_code view ~gva:(a + i))
+                [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ])
+            frames
+        in
+        (* Instant recovery: any caller whose return target reads back as
+           0x0b 0x0f in this view would be misdecoded instead of trapping;
+           recover it now (Fig. 3). *)
+        let instant =
+          if not t.opts.instant_recovery then []
+          else
+            List.filter_map
+              (fun ret ->
+                match (View.read_code view ~gva:ret, View.read_code view ~gva:(ret + 1)) with
+                | Some 0x0b, Some 0x0f -> (
+                    match fetch_fill_code t view ret with
+                    | Some (start, stop) ->
+                        Some (start, stop, Hyp.render_addr t.hyp start)
+                    | None -> None)
+                | _ -> None)
+              (match frames with _ :: rest -> rest | [] -> [])
+        in
+        match fetch_fill_code t view regs.Cpu.eip with
+        | None ->
+            `Unhandled
+              (Printf.sprintf "cannot locate kernel code containing 0x%x" regs.Cpu.eip)
+        | Some (start, stop) ->
+            t.recoveries <- t.recoveries + 1;
+            let rendered = List.map (fun a -> Hyp.render_addr t.hyp a) frames in
+            let unknown_frames =
+              List.exists
+                (fun s ->
+                  let n = String.length s in
+                  n >= 9 && String.sub s (n - 9) 9 = "<UNKNOWN>")
+                rendered
+            in
+            Recovery_log.add t.log
+              {
+                Recovery_log.cycle = Os.cycles (Hyp.os t.hyp);
+                pid;
+                comm;
+                view_app = View.app view;
+                fault_addr = regs.Cpu.eip;
+                recovered = [ (start, stop, Hyp.render_addr t.hyp start) ];
+                instant;
+                backtrace =
+                  (let rec zip3 a b c =
+                     match (a, b, c) with
+                     | x :: xs, y :: ys, z :: zs ->
+                         { Recovery_log.addr = x; rendered = y; view_bytes = z }
+                         :: zip3 xs ys zs
+                     | _ -> []
+                   in
+                   zip3 frames rendered frame_bytes);
+                interrupt_context =
+                  Os.in_interrupt (Hyp.os t.hyp) || is_interrupt_frame t frames;
+                unknown_frames;
+              };
+            `Handled)
+
+(* ---------------- lifecycle ---------------- *)
+
+let enable ?(opts = default_opts) hyp =
+  let os = Hyp.os hyp in
+  let image = Os.image os in
+  let ctx_switch_addr = Image.addr_of_exn image "__switch_to" in
+  let resume_addr = Image.addr_of_exn image "resume_userspace" in
+  let dir_of gva = Ept.dir_of_page (Layout.page_of (Layout.gva_to_gpa gva)) in
+  let all_dirs =
+    let acc = ref [] in
+    let add d = if not (List.mem d !acc) then acc := d :: !acc in
+    let rec sweep gva limit =
+      if gva < limit then begin
+        add (dir_of gva);
+        sweep (gva + (Ept.dir_span_pages * Layout.page_size)) limit
+      end
+    in
+    sweep (Image.text_base image) (Image.text_end image);
+    add (dir_of (Image.text_end image - 1));
+    sweep Layout.module_area_base Layout.module_area_limit;
+    add (dir_of (Layout.module_area_limit - 1));
+    List.rev !acc
+  in
+  let nvcpus = Os.vcpu_count (Hyp.os hyp) in
+  let t =
+    {
+      hyp;
+      opts;
+      views = [];
+      bindings = [];
+      next_index = 1;
+      active = Array.make nvcpus full_view_index;
+      pending = Array.make nvcpus None;
+      ctx_switch_addr;
+      resume_addr;
+      all_dirs;
+      log = Recovery_log.create ();
+      switches = 0;
+      switch_skips = 0;
+      deferred = 0;
+      recoveries = 0;
+      recovered_bytes = 0;
+      enabled = true;
+    }
+  in
+  Hyp.on_breakpoint hyp (fun _hyp regs addr -> handle_kernel_view_trap t regs addr);
+  Hyp.on_invalid_opcode hyp (fun _hyp regs -> handle_invalid_opcode t regs);
+  Hyp.set_breakpoint hyp ctx_switch_addr;
+  t
+
+let load_view t config =
+  let index = t.next_index in
+  t.next_index <- index + 1;
+  let v =
+    View.build ~hyp:t.hyp ~whole_function_load:t.opts.whole_function_load ~index
+      config
+  in
+  t.views <- t.views @ [ v ];
+  bind t ~comm:config.Fc_profiler.View_config.app ~index;
+  index
+
+let unload_view t index =
+  match find_view t index with
+  | None -> ()
+  | Some v ->
+      Array.iteri
+        (fun vid active ->
+          if active = index then switch_kernel_view t ~vid full_view_index)
+        t.active;
+      t.bindings <- List.filter (fun (_, i) -> i <> index) t.bindings;
+      t.views <- List.filter (fun v' -> View.index v' <> index) t.views;
+      Array.iteri
+        (fun vid p -> if p = Some index then t.pending.(vid) <- None)
+        t.pending;
+      sync_resume_breakpoint t;
+      View.destroy v
+
+let disable t =
+  if t.enabled then begin
+    t.enabled <- false;
+    Array.iteri (fun vid _ -> switch_kernel_view t ~vid full_view_index) t.active;
+    Array.fill t.pending 0 (Array.length t.pending) None;
+    Hyp.clear_breakpoint t.hyp t.ctx_switch_addr;
+    Hyp.clear_breakpoint t.hyp t.resume_addr;
+    List.iter View.destroy t.views;
+    t.views <- [];
+    t.bindings <- []
+  end

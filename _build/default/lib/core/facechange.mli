@@ -1,0 +1,84 @@
+(** The FACE-CHANGE runtime (Algorithm 1).
+
+    Enable it on an attached hypervisor to get dynamic per-application
+    kernel view switching:
+
+    - a breakpoint on the guest's context-switch function ([__switch_to])
+      fires on every switch; VMI reads the incoming process' identity and
+      the view selector picks its kernel view;
+    - switching to the full kernel view happens immediately; switching to
+      a customized view is deferred to the [resume_userspace] breakpoint
+      (the paper's missed-interrupt optimization) {e unless} the incoming
+      process is resuming mid-kernel, in which case the view applies at
+      once — which is precisely the situation that exercises the paper's
+      cross-view recovery (Fig. 3);
+    - a process whose previous and next views coincide costs nothing (the
+      same-view optimization);
+    - invalid-opcode VM exits trigger kernel code recovery: backtrace,
+      provenance logging, whole-function fetch from the original kernel
+      pages, and instant recovery of any caller whose return address
+      lands on a misdecoding [0x0b 0x0f] boundary. *)
+
+type opts = {
+  switch_at_resume : bool;
+      (** defer custom-view switches to resume-userspace (default true) *)
+  same_view_opt : bool;     (** skip EPT updates on same-view switches *)
+  whole_function_load : bool;  (** §III-B1 relaxation *)
+  instant_recovery : bool;  (** Fig. 3's odd-boundary caller recovery *)
+}
+
+val default_opts : opts
+
+type t
+
+val enable : ?opts:opts -> Fc_hypervisor.Hypervisor.t -> t
+(** Install the traps and the VM-exit handlers.  The full kernel view is
+    active and selected for every process until views are loaded. *)
+
+val disable : t -> unit
+(** Switch back to the full view, clear all traps, and destroy every
+    loaded view without interrupting the guest (§III-B4). *)
+
+val hyp : t -> Fc_hypervisor.Hypervisor.t
+val log : t -> Recovery_log.t
+val opts : t -> opts
+
+(* ---------------- views ---------------- *)
+
+val full_view_index : int
+(** 0 — the guest's unmodified kernel mapping. *)
+
+val load_view : t -> Fc_profiler.View_config.t -> int
+(** Materialize a view and bind the selector for the configuration's
+    application name to it.  Returns the view index. *)
+
+val unload_view : t -> int -> unit
+(** Destroy a view; processes bound to it fall back to the full view.  If
+    it is active, the full view is installed first. *)
+
+val bind : t -> comm:string -> index:int -> unit
+(** Point a process name at a view (e.g. binding every application to a
+    single "union" view to emulate system-wide minimization). *)
+
+val unbind : t -> comm:string -> unit
+val selector : t -> comm:string -> int
+val views : t -> View.t list
+val find_view : t -> int -> View.t option
+val active_index : ?vid:int -> t -> int
+(** The view active on the given vCPU (default 0). *)
+
+(* ---------------- statistics ---------------- *)
+
+val switches : t -> int
+(** EPT view installations actually performed. *)
+
+val switch_skips : t -> int
+(** Switches avoided by the same-view optimization. *)
+
+val deferred_switches : t -> int
+(** Custom-view switches deferred to resume-userspace. *)
+
+val recoveries : t -> int
+(** Invalid-opcode recoveries performed. *)
+
+val recovered_bytes : t -> int

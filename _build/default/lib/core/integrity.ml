@@ -1,0 +1,39 @@
+module Hyp = Fc_hypervisor.Hypervisor
+module Layout = Fc_kernel.Layout
+module Scan = Fc_isa.Scan
+
+type finding = { region_lo : int; region_hi : int; functions : int }
+
+let scan_module_area hyp =
+  let visible = Hyp.module_list hyp in
+  let claimed addr =
+    List.exists (fun (_, base, size) -> base <= addr && addr < base + size) visible
+  in
+  let read = Hyp.read_original_code hyp in
+  (* collect unaccounted prologue starts, in address order *)
+  let starts = ref [] in
+  let a = ref Layout.module_area_base in
+  while !a < Layout.module_area_limit do
+    if (not (claimed !a)) && Scan.is_prologue_at ~read !a then starts := !a :: !starts;
+    a := !a + 16
+  done;
+  (* cluster starts separated by less than a page into regions *)
+  let rec cluster acc cur = function
+    | [] -> ( match cur with None -> List.rev acc | Some c -> List.rev (c :: acc))
+    | s :: rest -> (
+        match cur with
+        | Some c when s - c.region_hi < Layout.page_size ->
+            cluster acc (Some { c with region_hi = s + 16; functions = c.functions + 1 }) rest
+        | Some c ->
+            cluster (c :: acc)
+              (Some { region_lo = s; region_hi = s + 16; functions = 1 })
+              rest
+        | None ->
+            cluster acc (Some { region_lo = s; region_hi = s + 16; functions = 1 }) rest)
+  in
+  cluster [] None (List.rev !starts)
+
+let pp_finding ppf f =
+  Format.fprintf ppf
+    "unaccounted kernel code at [0x%x, 0x%x): %d function(s) with no owning module"
+    f.region_lo f.region_hi f.functions

@@ -1,0 +1,24 @@
+(** Hidden kernel code detection — a §V-B-adjacent extension.
+
+    A rootkit that unlinks itself from the guest module list (KBeast)
+    leaves its code resident but unaccounted for: VMI sees no module, yet
+    the module area contains function prologues.  FACE-CHANGE's recovery
+    log only reveals such code {e lazily}, when the rootkit calls into a
+    UD2 hole; this scanner finds it {e proactively} by sweeping the module
+    area's original frames for prologue signatures and diffing against the
+    VMI module list — the kind of cross-view validation the paper's §V-B
+    discussion points at (it does not address DKOM on kernel {e data},
+    which remains out of scope here as in the paper). *)
+
+type finding = {
+  region_lo : int;  (** first unaccounted function start *)
+  region_hi : int;  (** one past the last unaccounted function start *)
+  functions : int;  (** prologues found in the region *)
+}
+
+val scan_module_area : Fc_hypervisor.Hypervisor.t -> finding list
+(** Regions of code in the module area that no VMI-visible module claims.
+    Clean guests report none; a hidden module reports one region covering
+    its code. *)
+
+val pp_finding : Format.formatter -> finding -> unit

@@ -1,0 +1,197 @@
+type frame = { addr : int; rendered : string; view_bytes : int list }
+
+type entry = {
+  cycle : int;
+  pid : int;
+  comm : string;
+  view_app : string;
+  fault_addr : int;
+  recovered : (int * int * string) list;
+  instant : (int * int * string) list;
+  backtrace : frame list;
+  interrupt_context : bool;
+  unknown_frames : bool;
+}
+
+type t = { mutable rev_entries : entry list; mutable count : int }
+
+let create () = { rev_entries = []; count = 0 }
+
+let add t e =
+  t.rev_entries <- e :: t.rev_entries;
+  t.count <- t.count + 1
+
+let entries t = List.rev t.rev_entries
+let count t = t.count
+
+let clear t =
+  t.rev_entries <- [];
+  t.count <- 0
+
+let recovered_symbols t =
+  List.concat_map (fun e -> List.map (fun (_, _, s) -> s) e.recovered) (entries t)
+
+let bare_name rendered =
+  match (String.index_opt rendered '<', String.index_opt rendered '+') with
+  | Some i, Some j when j > i -> String.sub rendered (i + 1) (j - i - 1)
+  | _ -> rendered
+
+let recovered_names t =
+  let seen = Hashtbl.create 64 in
+  List.filter_map
+    (fun s ->
+      let n = bare_name s in
+      if Hashtbl.mem seen n then None
+      else begin
+        Hashtbl.add seen n ();
+        Some n
+      end)
+    (recovered_symbols t)
+
+let any_unknown t = List.exists (fun e -> e.unknown_frames) t.rev_entries
+
+let pp_entry ppf e =
+  Format.fprintf ppf "@[<v>Recover ";
+  (match e.recovered with
+  | (_, _, s) :: _ -> Format.fprintf ppf "%s" s
+  | [] -> Format.fprintf ppf "0x%x" e.fault_addr);
+  Format.fprintf ppf " for kernel[%s] (pid %d %s%s)@," e.view_app e.pid e.comm
+    (if e.interrupt_context then ", interrupt context" else "");
+  List.iter
+    (fun f -> Format.fprintf ppf "|-- %s@," f.rendered)
+    (match e.backtrace with _ :: rest -> rest | [] -> []);
+  List.iter
+    (fun (_, _, s) -> Format.fprintf ppf "|== instant recovery: %s@," s)
+    e.instant;
+  Format.fprintf ppf "@]"
+
+let pp ppf t =
+  List.iter (fun e -> Format.fprintf ppf "%a@." pp_entry e) (entries t)
+
+(* ---------------- persistence ---------------- *)
+
+let to_string t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "# facechange recovery log\n";
+  List.iter
+    (fun e ->
+      Buffer.add_string buf
+        (Printf.sprintf "entry %d %d %s %s 0x%x %d %d\n" e.cycle e.pid e.comm
+           e.view_app e.fault_addr
+           (if e.interrupt_context then 1 else 0)
+           (if e.unknown_frames then 1 else 0));
+      List.iter
+        (fun (lo, hi, s) ->
+          Buffer.add_string buf (Printf.sprintf "rec 0x%x 0x%x %s\n" lo hi s))
+        e.recovered;
+      List.iter
+        (fun (lo, hi, s) ->
+          Buffer.add_string buf (Printf.sprintf "ins 0x%x 0x%x %s\n" lo hi s))
+        e.instant;
+      List.iter
+        (fun f ->
+          Buffer.add_string buf
+            (Printf.sprintf "bt 0x%x %s %s\n" f.addr
+               (String.concat "," (List.map string_of_int f.view_bytes))
+               f.rendered))
+        e.backtrace)
+    (entries t);
+  Buffer.contents buf
+
+(* Split off the first [n] space-separated tokens; the remainder (which may
+   itself contain spaces, e.g. a rendered symbol) is returned verbatim. *)
+let split_tokens n line =
+  let rec go acc start remaining =
+    if remaining = 0 then Some (List.rev acc, String.sub line start (String.length line - start))
+    else
+      match String.index_from_opt line start ' ' with
+      | None -> None
+      | Some i -> go (String.sub line start (i - start) :: acc) (i + 1) (remaining - 1)
+  in
+  go [] 0 n
+
+let of_string text =
+  let exception Bad of string in
+  let int_of s =
+    match int_of_string_opt s with
+    | Some v -> v
+    | None -> raise (Bad ("bad integer " ^ s))
+  in
+  try
+    let t = create () in
+    let current = ref None in
+    let flush () =
+      match !current with
+      | Some e ->
+          add t
+            { e with
+              recovered = List.rev e.recovered;
+              instant = List.rev e.instant;
+              backtrace = List.rev e.backtrace;
+            };
+          current := None
+      | None -> ()
+    in
+    List.iter
+      (fun line ->
+        let line = String.trim line in
+        if line = "" || line.[0] = '#' then ()
+        else
+          match split_tokens 1 line with
+          | None -> raise (Bad "unparseable line")
+          | Some ([ "entry" ], rest) -> (
+              flush ();
+              match String.split_on_char ' ' rest with
+              | [ cycle; pid; comm; view_app; fault; irq; unk ] ->
+                  current :=
+                    Some
+                      {
+                        cycle = int_of cycle;
+                        pid = int_of pid;
+                        comm;
+                        view_app;
+                        fault_addr = int_of fault;
+                        recovered = [];
+                        instant = [];
+                        backtrace = [];
+                        interrupt_context = irq = "1";
+                        unknown_frames = unk = "1";
+                      }
+              | _ -> raise (Bad "bad entry line"))
+          | Some ([ kind ], _) when kind = "rec" || kind = "ins" -> (
+              match (split_tokens 3 line, !current) with
+              | Some ([ _; lo; hi ], rendered), Some e ->
+                  let item = (int_of lo, int_of hi, rendered) in
+                  current :=
+                    Some
+                      (if kind = "rec" then { e with recovered = item :: e.recovered }
+                       else { e with instant = item :: e.instant })
+              | _, None -> raise (Bad "rec/ins outside entry")
+              | _ -> raise (Bad "bad rec/ins line"))
+          | Some ([ "bt" ], _) -> (
+              match (split_tokens 3 line, !current) with
+              | Some ([ _; addr; bytes ], rendered), Some e ->
+                  let view_bytes =
+                    if bytes = "" then []
+                    else List.map int_of (String.split_on_char ',' bytes)
+                  in
+                  let f = { addr = int_of addr; rendered; view_bytes } in
+                  current := Some { e with backtrace = f :: e.backtrace }
+              | _, None -> raise (Bad "bt outside entry")
+              | _ -> raise (Bad "bad bt line"))
+          | Some _ -> raise (Bad ("unknown record: " ^ line)))
+      (String.split_on_char '\n' text);
+    flush ();
+    Ok t
+  with Bad msg -> Error msg
+
+let save t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string t))
+
+let load path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> of_string text
+  | exception Sys_error e -> Error e

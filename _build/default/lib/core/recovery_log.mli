@@ -1,0 +1,68 @@
+(** The kernel code recovery log — FACE-CHANGE's forensic output.
+
+    Every invalid-opcode recovery appends an entry carrying the paper's
+    provenance evidence: which process (and which kernel view) reached
+    outside its boundary, the recovered function(s), the full call-stack
+    backtrace (rendered with symbols, [<UNKNOWN>] for frames in hidden
+    code), and any callers recovered {e instantly} because their return
+    address landed on a misdecoding [0x0b 0x0f] boundary (Fig. 3). *)
+
+type frame = {
+  addr : int;
+  rendered : string;
+  view_bytes : int list;
+      (** the first bytes at [addr] as the active view presented them at
+          trap time — UD2 fill ([0xf 0xb 0xf 0xb …]) for a lazily
+          recoverable caller, the misdecoding [0xb 0xf …] stream for an
+          odd-offset one (Fig. 3's hex dumps) *)
+}
+
+type entry = {
+  cycle : int;
+  pid : int;
+  comm : string;
+  view_app : string;  (** the view being enforced when the fault hit *)
+  fault_addr : int;
+  recovered : (int * int * string) list;
+      (** (start, stop, rendered start) — the lazily recovered function *)
+  instant : (int * int * string) list;
+      (** functions recovered instantly for odd-return callers *)
+  backtrace : frame list;
+  interrupt_context : bool;
+      (** the backtrace roots in the interrupt entry path *)
+  unknown_frames : bool;
+      (** some frame could not be symbolized — hidden/injected code *)
+}
+
+type t
+
+val create : unit -> t
+val add : t -> entry -> unit
+val entries : t -> entry list
+(** Chronological. *)
+
+val count : t -> int
+val clear : t -> unit
+
+val recovered_symbols : t -> string list
+(** The rendered start symbol of every recovery, chronological — the
+    paper's "kernel code recovery log" summary used in Fig. 4 and
+    Table II. *)
+
+val recovered_names : t -> string list
+(** Like {!recovered_symbols} but just the bare function names (the
+    [<name+0x0>] part), deduplicated, chronological. *)
+
+val any_unknown : t -> bool
+val pp_entry : Format.formatter -> entry -> unit
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+(** Line-oriented serialization of the full log (entries, backtraces,
+    instant recoveries) — the evidence artifact an administrator archives. *)
+
+val of_string : string -> (t, string) result
+(** Inverse of {!to_string} (frame byte dumps are preserved). *)
+
+val save : t -> string -> unit
+val load : string -> (t, string) result

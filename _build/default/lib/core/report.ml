@@ -1,0 +1,106 @@
+type classification = Benign_interrupt | Hidden_code | Unprofiled_path
+
+let classify (e : Recovery_log.entry) =
+  if e.Recovery_log.interrupt_context then Benign_interrupt
+  else if e.Recovery_log.unknown_frames then Hidden_code
+  else Unprofiled_path
+
+let classification_label = function
+  | Benign_interrupt -> "benign (interrupt context)"
+  | Hidden_code -> "ANOMALY (hidden/injected kernel code)"
+  | Unprofiled_path -> "unprofiled path (triage)"
+
+type origin = Via_syscall of string | Via_interrupt | Origin_unknown
+
+let bare rendered =
+  match (String.index_opt rendered '<', String.index_opt rendered '+') with
+  | Some i, Some j when j > i -> String.sub rendered (i + 1) (j - i - 1)
+  | _ -> rendered
+
+let origin_of (e : Recovery_log.entry) =
+  if e.Recovery_log.interrupt_context then Via_interrupt
+  else
+    let names =
+      (match e.Recovery_log.recovered with (_, _, s) :: _ -> [ bare s ] | [] -> [])
+      @ List.map (fun f -> bare f.Recovery_log.rendered) e.Recovery_log.backtrace
+    in
+    match
+      List.find_opt
+        (fun n -> String.length n > 4 && String.sub n 0 4 = "sys_")
+        names
+    with
+    | Some n -> Via_syscall n
+    | None -> Origin_unknown
+
+let origin_label = function
+  | Via_syscall n -> n
+  | Via_interrupt -> "(interrupt)"
+  | Origin_unknown -> "(unknown origin)"
+
+type summary = {
+  total : int;
+  benign_interrupt : int;
+  hidden_code : int;
+  unprofiled : int;
+  by_origin : (string * int) list;
+  by_process : (string * int) list;
+}
+
+let bump table key =
+  let n = match List.assoc_opt key !table with Some n -> n | None -> 0 in
+  table := (key, n + 1) :: List.remove_assoc key !table
+
+let summarize log =
+  let entries = Recovery_log.entries log in
+  let by_origin = ref [] and by_process = ref [] in
+  let benign = ref 0 and hidden = ref 0 and unprofiled = ref 0 in
+  List.iter
+    (fun e ->
+      (match classify e with
+      | Benign_interrupt -> incr benign
+      | Hidden_code -> incr hidden
+      | Unprofiled_path -> incr unprofiled);
+      bump by_origin (origin_label (origin_of e));
+      bump by_process e.Recovery_log.comm)
+    entries;
+  {
+    total = List.length entries;
+    benign_interrupt = !benign;
+    hidden_code = !hidden;
+    unprofiled = !unprofiled;
+    by_origin = List.rev !by_origin;
+    by_process = List.rev !by_process;
+  }
+
+let render log =
+  let s = summarize log in
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "Kernel code recovery report\n";
+  Buffer.add_string buf "---------------------------\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "%d recoveries: %d benign (interrupt context), %d unprofiled paths, %d involving hidden code\n"
+       s.total s.benign_interrupt s.unprofiled s.hidden_code);
+  if s.by_origin <> [] then begin
+    Buffer.add_string buf "by origin:\n";
+    List.iter
+      (fun (o, n) -> Buffer.add_string buf (Printf.sprintf "  %-24s %d\n" o n))
+      s.by_origin
+  end;
+  if s.by_process <> [] then begin
+    Buffer.add_string buf "by process:\n";
+    List.iter
+      (fun (c, n) -> Buffer.add_string buf (Printf.sprintf "  %-24s %d\n" c n))
+      s.by_process
+  end;
+  Buffer.add_string buf "entries:\n";
+  List.iter
+    (fun (e : Recovery_log.entry) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  [%s] %s via %s (pid %d %s)\n"
+           (classification_label (classify e))
+           (match e.Recovery_log.recovered with (_, _, s) :: _ -> bare s | [] -> "?")
+           (origin_label (origin_of e))
+           e.Recovery_log.pid e.Recovery_log.comm))
+    (Recovery_log.entries log);
+  Buffer.contents buf

@@ -1,0 +1,47 @@
+(** Recovery-log analysis — the administrator's view of FACE-CHANGE's
+    output (§III-B3).
+
+    The paper distinguishes benign recoveries (interrupt-context code and
+    incompletely-profiled paths, "recorded as a reference for the
+    administrator to ameliorate the profiling test suite") from anomalous
+    executions caused by attacks.  This module encodes those heuristics:
+    interrupt-context recoveries are benign; recoveries whose backtrace
+    contains unsymbolizable frames point at hidden/injected kernel code;
+    everything else is an unprofiled path for the administrator to triage
+    (possibly a user-level payload, possibly a test-suite gap). *)
+
+type classification =
+  | Benign_interrupt
+      (** triggered while servicing an interrupt (e.g. the kvmclock
+          chain) *)
+  | Hidden_code
+      (** the call stack passes through code VMI cannot attribute —
+          a hidden module or injected kernel code (Fig. 5) *)
+  | Unprofiled_path
+      (** process-context recovery: incomplete profiling or a user-level
+          payload; needs triage *)
+
+val classify : Recovery_log.entry -> classification
+val classification_label : classification -> string
+
+type origin =
+  | Via_syscall of string  (** the [sys_*] gate frame the fault came through *)
+  | Via_interrupt
+  | Origin_unknown
+
+val origin_of : Recovery_log.entry -> origin
+
+type summary = {
+  total : int;
+  benign_interrupt : int;
+  hidden_code : int;
+  unprofiled : int;
+  by_origin : (string * int) list;  (** rendered origin -> count *)
+  by_process : (string * int) list; (** comm -> count *)
+}
+
+val summarize : Recovery_log.t -> summary
+
+val render : Recovery_log.t -> string
+(** The administrator report: summary plus one line per recovery with its
+    classification and origin. *)

@@ -1,0 +1,54 @@
+module Hyp = Fc_hypervisor.Hypervisor
+module Os = Fc_machine.Os
+
+type t = {
+  guest_cycles : int;
+  rounds : int;
+  context_switches : int;
+  vcpus : int;
+  breakpoint_exits : int;
+  invalid_opcode_exits : int;
+  hypervisor_cycles : int;
+  view_switches : int;
+  switches_skipped : int;
+  switches_deferred : int;
+  recoveries : int;
+  recovered_bytes : int;
+  views_loaded : int;
+}
+
+let capture fc =
+  let hyp = Facechange.hyp fc in
+  let os = Hyp.os hyp in
+  {
+    guest_cycles = Os.cycles os;
+    rounds = Os.round os;
+    context_switches = Os.context_switches os;
+    vcpus = Os.vcpu_count os;
+    breakpoint_exits = Hyp.breakpoint_exits hyp;
+    invalid_opcode_exits = Hyp.invalid_opcode_exits hyp;
+    hypervisor_cycles = Hyp.cycles_charged hyp;
+    view_switches = Facechange.switches fc;
+    switches_skipped = Facechange.switch_skips fc;
+    switches_deferred = Facechange.deferred_switches fc;
+    recoveries = Facechange.recoveries fc;
+    recovered_bytes = Facechange.recovered_bytes fc;
+    views_loaded = List.length (Facechange.views fc);
+  }
+
+let overhead_fraction t =
+  if t.guest_cycles = 0 then 0.
+  else float_of_int t.hypervisor_cycles /. float_of_int t.guest_cycles
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>guest: %d cycles, %d rounds, %d context switches, %d vCPU(s)@,\
+     hypervisor: %d VM exits (%d breakpoints, %d invalid opcodes), %d cycles charged (%.1f%%)@,\
+     views: %d loaded, %d switches (%d skipped, %d deferred)@,\
+     recovery: %d recoveries, %d bytes@]"
+    t.guest_cycles t.rounds t.context_switches t.vcpus
+    (t.breakpoint_exits + t.invalid_opcode_exits)
+    t.breakpoint_exits t.invalid_opcode_exits t.hypervisor_cycles
+    (100. *. overhead_fraction t)
+    t.views_loaded t.view_switches t.switches_skipped t.switches_deferred
+    t.recoveries t.recovered_bytes

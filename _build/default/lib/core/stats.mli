@@ -1,0 +1,26 @@
+(** One-stop run statistics — the summary block the CLI and examples
+    print after an enforced run. *)
+
+type t = {
+  guest_cycles : int;
+  rounds : int;
+  context_switches : int;
+  vcpus : int;
+  breakpoint_exits : int;
+  invalid_opcode_exits : int;
+  hypervisor_cycles : int;  (** charged by the cost model *)
+  view_switches : int;
+  switches_skipped : int;
+  switches_deferred : int;
+  recoveries : int;
+  recovered_bytes : int;
+  views_loaded : int;
+}
+
+val capture : Facechange.t -> t
+(** Snapshot the counters of a FACE-CHANGE instance and its guest. *)
+
+val overhead_fraction : t -> float
+(** Hypervisor-charged cycles as a fraction of all guest cycles. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,194 @@
+module Hyp = Fc_hypervisor.Hypervisor
+module Cost = Fc_hypervisor.Cost
+module Os = Fc_machine.Os
+module Layout = Fc_kernel.Layout
+module Image = Fc_kernel.Image
+module Ept = Fc_mem.Ept
+module Phys = Fc_mem.Phys_mem
+module Scan = Fc_isa.Scan
+module Range_list = Fc_ranges.Range_list
+module Segment = Fc_ranges.Segment
+module Span = Fc_ranges.Span
+
+type t = {
+  hyp : Hyp.t;
+  index : int;
+  config : Fc_profiler.View_config.t;
+  tables : (int * Ept.table) list;
+  page_frames : (int, int) Hashtbl.t; (* gpa_page -> private frame *)
+  mutable loaded_bytes : int;
+  mutable destroyed : bool;
+}
+
+let index t = t.index
+let config t = t.config
+let app t = t.config.Fc_profiler.View_config.app
+let tables t = t.tables
+let dirs t = List.map fst t.tables
+let private_page_count t = Hashtbl.length t.page_frames
+let loaded_bytes t = t.loaded_bytes
+
+let ud2_pattern = [ Fc_isa.Insn.ud2_first_byte; Fc_isa.Insn.ud2_second_byte ]
+
+(* Find (creating on demand) the view's table for a directory, starting
+   from a copy of the original table so data/unknown pages keep their real
+   mapping (the paper "reuses any entries ... that point to kernel data"). *)
+let table_for t dir =
+  match List.assoc_opt dir t.tables with
+  | Some table -> Some table
+  | None -> None
+
+let private_page t gpa_page =
+  match Hashtbl.find_opt t.page_frames gpa_page with
+  | Some frame -> frame
+  | None -> (
+      let dir = Ept.dir_of_page gpa_page in
+      match table_for t dir with
+      | None -> invalid_arg "View.private_page: page outside view directories"
+      | Some table ->
+          let phys = Os.phys (Hyp.os t.hyp) in
+          let frame = Phys.alloc phys in
+          Phys.fill phys ~addr:(Phys.addr_of_frame frame) ~len:Phys.page_size
+            ~pattern:ud2_pattern;
+          Ept.table_set table ~idx:(Ept.slot_of_page gpa_page) (Some frame);
+          Hashtbl.replace t.page_frames gpa_page frame;
+          Hyp.charge t.hyp Cost.view_page_init;
+          frame)
+
+let covers t ~gva =
+  Layout.is_kernel_address gva
+  && Hashtbl.mem t.page_frames (Layout.page_of (Layout.gva_to_gpa gva))
+
+let write_code t ~gva v =
+  let gpa = Layout.gva_to_gpa gva in
+  let frame = private_page t (Layout.page_of gpa) in
+  Phys.write_byte (Os.phys (Hyp.os t.hyp))
+    (Phys.addr_of_frame frame + (gpa mod Phys.page_size))
+    v
+
+let read_code t ~gva =
+  if not (Layout.is_kernel_address gva) then None
+  else
+    let gpa = Layout.gva_to_gpa gva in
+    match Hashtbl.find_opt t.page_frames (Layout.page_of gpa) with
+    | Some frame ->
+        Some
+          (Phys.read_byte (Os.phys (Hyp.os t.hyp))
+             (Phys.addr_of_frame frame + (gpa mod Phys.page_size)))
+    | None -> Hyp.read_original_code t.hyp gva
+
+(* Copy [lo, hi) of original kernel code into the view's private pages. *)
+let load_range t ~lo ~hi =
+  for gva = lo to hi - 1 do
+    match Hyp.read_original_code t.hyp gva with
+    | Some b -> write_code t ~gva b
+    | None -> ()
+  done;
+  t.loaded_bytes <- t.loaded_bytes + (hi - lo);
+  Hyp.charge t.hyp ((hi - lo) / 16 * Cost.code_copy_per_16_bytes)
+
+(* Load a profiled span, relaxed to whole containing functions when
+   requested.  [region_lo, region_hi) bounds the prologue scan (base
+   kernel text, or one module's code). *)
+let load_span t ~whole_function_load ~region_lo ~region_hi (s : Span.t) =
+  if not whole_function_load then load_range t ~lo:s.Span.lo ~hi:s.Span.hi
+  else begin
+    let read = Hyp.read_original_code t.hyp in
+    let rec go a =
+      if a < s.Span.hi then
+        match Scan.function_bounds ~read ~lo:region_lo ~hi:region_hi a with
+        | Some (start, stop) ->
+            load_range t ~lo:start ~hi:stop;
+            go (max stop (a + 1))
+        | None ->
+            (* no enclosing prologue (shouldn't happen for profiled code):
+               fall back to the raw span *)
+            load_range t ~lo:a ~hi:s.Span.hi
+    in
+    go s.Span.lo
+  end
+
+let build ~hyp ?(whole_function_load = true) ~index config =
+  let os = Hyp.os hyp in
+  let image = Os.image os in
+  let text_lo = Image.text_base image and text_hi = Image.text_end image in
+  let dir_of gva = Ept.dir_of_page (Layout.page_of (Layout.gva_to_gpa gva)) in
+  (* collect affected directories: base text + module area *)
+  let dirs = ref [] in
+  let add_dir d = if not (List.mem d !dirs) then dirs := d :: !dirs in
+  let rec sweep gva limit =
+    if gva < limit then begin
+      add_dir (dir_of gva);
+      sweep (gva + (Ept.dir_span_pages * Layout.page_size)) limit
+    end
+  in
+  sweep text_lo text_hi;
+  add_dir (dir_of (text_hi - 1));
+  sweep Layout.module_area_base Layout.module_area_limit;
+  add_dir (dir_of (Layout.module_area_limit - 1));
+  let tables =
+    List.rev_map
+      (fun dir ->
+        match Hyp.original_table hyp ~dir with
+        | Some table -> (dir, Ept.table_copy table)
+        | None -> (dir, Ept.table_create ()))
+      !dirs
+  in
+  let t =
+    {
+      hyp;
+      index;
+      config;
+      tables;
+      page_frames = Hashtbl.create 256;
+      loaded_bytes = 0;
+      destroyed = false;
+    }
+  in
+  (* UD2-fill every base text page *)
+  let lo_page = Layout.page_of (Layout.gva_to_gpa text_lo) in
+  let hi_page = Layout.page_of (Layout.gva_to_gpa (text_hi - 1)) in
+  for p = lo_page to hi_page do
+    ignore (private_page t p)
+  done;
+  (* UD2-fill the code pages of every VMI-visible module *)
+  let visible = Hyp.module_list hyp in
+  List.iter
+    (fun (_name, base, size) ->
+      let lo_page = Layout.page_of (Layout.gva_to_gpa base) in
+      let hi_page = Layout.page_of (Layout.gva_to_gpa (base + size - 1)) in
+      for p = lo_page to hi_page do
+        ignore (private_page t p)
+      done)
+    visible;
+  (* load profiled ranges *)
+  let ranges = config.Fc_profiler.View_config.ranges in
+  List.iter
+    (fun seg ->
+      match seg with
+      | Segment.Base_kernel ->
+          List.iter
+            (fun s ->
+              load_span t ~whole_function_load ~region_lo:text_lo ~region_hi:text_hi s)
+            (Range_list.spans ranges seg)
+      | Segment.Kernel_module name -> (
+          (* locate the module's current base via the VMI module list;
+             a module absent at runtime is skipped *)
+          match List.find_opt (fun (n, _, _) -> String.equal n name) visible with
+          | None -> ()
+          | Some (_, base, size) ->
+              List.iter
+                (fun s ->
+                  load_span t ~whole_function_load ~region_lo:base
+                    ~region_hi:(base + size) (Span.shift s base))
+                (Range_list.spans ranges seg)))
+    (Range_list.segments ranges);
+  t
+
+let destroy t =
+  if not t.destroyed then begin
+    t.destroyed <- true;
+    let phys = Os.phys (Hyp.os t.hyp) in
+    Hashtbl.iter (fun _ frame -> Phys.free phys frame) t.page_frames;
+    Hashtbl.reset t.page_frames
+  end

@@ -1,0 +1,53 @@
+(** Materialized kernel views (§III-B1).
+
+    A view is a private copy of the guest's kernel code pages — base kernel
+    text plus the code pages of every VMI-visible module — where everything
+    outside the application's profiled ranges is filled with UD2
+    ([0x0f 0x0b]) and, for each profiled basic block, the {e whole
+    containing kernel function} is loaded (boundaries found by scanning for
+    the prologue signature in the original code, never by consulting a
+    function database).
+
+    The view owns EPT page tables for the affected directories; installing
+    a view is {!tables}-for-directory pointer assignment, done by
+    {!Facechange}. *)
+
+type t
+
+val build :
+  hyp:Fc_hypervisor.Hypervisor.t ->
+  ?whole_function_load:bool ->
+  index:int ->
+  Fc_profiler.View_config.t ->
+  t
+(** Materialize a view from a configuration.  [whole_function_load]
+    (default true) is the paper's relaxation; disabling it loads raw
+    profiled byte ranges instead (the ablation shows why that is a bad
+    idea: more recoveries, and UD2 fill that starts at odd addresses). *)
+
+val index : t -> int
+val config : t -> Fc_profiler.View_config.t
+val app : t -> string
+
+val tables : t -> (int * Fc_mem.Ept.table) list
+(** (directory, page table) pairs to install on switch-in. *)
+
+val dirs : t -> int list
+
+val private_page_count : t -> int
+
+val loaded_bytes : t -> int
+(** Bytes of real code loaded at build time (after the whole-function
+    relaxation). *)
+
+val write_code : t -> gva:int -> int -> unit
+(** Patch one byte of the view's private copy (code recovery). *)
+
+val read_code : t -> gva:int -> int option
+(** Read a byte as the vCPU would see it under this view. *)
+
+val covers : t -> gva:int -> bool
+(** Is the address inside a page this view privately owns? *)
+
+val destroy : t -> unit
+(** Free all private frames (view unload, §III-B4). *)

@@ -1,0 +1,1 @@
+lib/hypervisor/hypervisor.ml: Cost Fc_isa Fc_kernel Fc_machine Fc_mem Hashtbl List Printf

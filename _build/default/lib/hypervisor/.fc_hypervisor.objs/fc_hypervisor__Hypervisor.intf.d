@@ -1,0 +1,1 @@
+lib/hypervisor/hypervisor.mli: Fc_kernel Fc_machine Fc_mem

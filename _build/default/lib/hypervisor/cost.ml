@@ -1,0 +1,7 @@
+let vm_exit = 2500
+let breakpoint_handler = 1200
+let invalid_opcode_handler = 1500
+let ept_dir_switch = 150
+let backtrace_frame = 60
+let code_copy_per_16_bytes = 4
+let view_page_init = 250

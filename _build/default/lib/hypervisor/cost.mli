@@ -1,0 +1,31 @@
+(** The hypervisor cycle cost model.
+
+    FACE-CHANGE's runtime overhead comes from VM exits (context-switch and
+    resume-userspace breakpoints, invalid-opcode traps), EPT manipulation,
+    and code recovery work.  These constants, in simulated guest cycles,
+    are calibrated so the whole-system overhead lands in the paper's
+    5–7% band (Fig. 6) with the pipe-based context-switching subtest as
+    the worst case. *)
+
+val vm_exit : int
+(** One VM exit + re-entry round trip. *)
+
+val breakpoint_handler : int
+(** Handling a context-switch / resume-userspace trap: VMI read of the
+    current task and the view-selector lookup. *)
+
+val invalid_opcode_handler : int
+(** Fixed part of a kernel code recovery: fault decode plus function
+    boundary search. *)
+
+val ept_dir_switch : int
+(** Swapping one EPT page-directory entry. *)
+
+val backtrace_frame : int
+(** Walking one stack frame during provenance backtracing. *)
+
+val code_copy_per_16_bytes : int
+(** Copying recovered code from the original frames into view pages. *)
+
+val view_page_init : int
+(** UD2-filling and populating one page at view load time. *)

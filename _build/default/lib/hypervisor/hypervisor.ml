@@ -1,0 +1,164 @@
+module Os = Fc_machine.Os
+module Cpu = Fc_machine.Cpu
+module Layout = Fc_kernel.Layout
+module Image = Fc_kernel.Image
+module Symbols = Fc_kernel.Symbols
+module Catalog = Fc_kernel.Catalog
+
+type t = {
+  os : Os.t;
+  original_tables : (int, Fc_mem.Ept.table) Hashtbl.t;
+  mutable symbols : Symbols.t;
+  mutable visible_modules : (string * int * int) list;
+  mutable bp_handlers : (t -> Cpu.regs -> int -> unit) list;
+  mutable io_handler : t -> Cpu.regs -> [ `Handled | `Unhandled of string ];
+  mutable breakpoint_exits : int;
+  mutable invalid_opcode_exits : int;
+  mutable cycles_charged : int;
+}
+
+let os t = t.os
+
+let charge t n =
+  t.cycles_charged <- t.cycles_charged + n;
+  Os.add_cycles t.os n
+
+let set_breakpoint t a = Os.set_trap t.os a
+let clear_breakpoint t a = Os.clear_trap t.os a
+let has_breakpoint t a = List.mem a (Os.trap_addresses t.os)
+let breakpoint_exits t = t.breakpoint_exits
+let invalid_opcode_exits t = t.invalid_opcode_exits
+let vm_exits t = t.breakpoint_exits + t.invalid_opcode_exits
+let cycles_charged t = t.cycles_charged
+let on_breakpoint t f = t.bp_handlers <- t.bp_handlers @ [ f ]
+let on_invalid_opcode t f = t.io_handler <- f
+let current_task t = Os.vmi_current_task t.os
+let module_list t = Os.vmi_module_list t.os
+let read_guest_byte t a = Os.read_guest_byte t.os a
+let read_guest_u32 t a = Os.read_guest_u32 t.os a
+let read_original_code t a = Os.read_guest_byte t.os a
+let read_active_code t a = Os.fetch_code t.os a
+let original_frame t ~gpa_page = Os.ram_frame t.os ~gpa_page
+let original_table t ~dir = Hashtbl.find_opt t.original_tables dir
+
+let stack_frames t ~eip ~ebp ?esp ?(max_depth = 64) () =
+  let rec go acc ebp depth =
+    if depth >= max_depth || ebp = 0 || not (Layout.is_kernel_address ebp) then
+      List.rev acc
+    else begin
+      charge t Cost.backtrace_frame;
+      match (read_guest_u32 t (ebp + 4), read_guest_u32 t ebp) with
+      | Some ret, Some prev_ebp ->
+          if ret = Cpu.sentinel_return || not (Layout.is_kernel_address ret) then
+            List.rev acc
+          else go (ret :: acc) prev_ebp (depth + 1)
+      | _ -> List.rev acc
+    end
+  in
+  (* a fault at a function entry has not pushed ebp yet: the immediate
+     caller's return address still sits at the top of the stack *)
+  let entry_caller =
+    match esp with
+    | Some esp
+      when Fc_isa.Scan.is_prologue_at ~read:(read_original_code t) eip -> (
+        charge t Cost.backtrace_frame;
+        match read_guest_u32 t esp with
+        | Some ret
+          when ret <> Cpu.sentinel_return && Layout.is_kernel_address ret ->
+            [ ret ]
+        | Some _ | None -> [])
+    | Some _ | None -> []
+  in
+  (eip :: entry_caller) @ go [] ebp 0
+
+let refresh_symbols t =
+  let syms = Symbols.create () in
+  (* System.map: the base kernel's function symbols. *)
+  Symbols.add_unit syms (Image.unit_image (Os.image t.os));
+  (* VMI-visible modules: if the name matches a known distro module, we
+     have its .ko symbols; assemble its layout at the observed base. *)
+  let mods = module_list t in
+  List.iter
+    (fun (name, base, _size) ->
+      if List.mem_assoc name Catalog.module_functions then
+        match Image.assemble_module (Os.image t.os) ~name ~base with
+        | Ok u -> Symbols.add_unit syms ~module_name:name u
+        | Error _ -> ())
+    mods;
+  t.visible_modules <- mods;
+  t.symbols <- syms
+
+let symbols t = t.symbols
+let addr_of_symbol t name = Symbols.addr_of t.symbols name
+
+let render_addr t addr =
+  match Symbols.find t.symbols addr with
+  | Some _ -> Symbols.render t.symbols addr
+  | None -> (
+      match
+        List.find_opt
+          (fun (_, base, size) -> base <= addr && addr < base + size)
+          t.visible_modules
+      with
+      | Some (name, base, _) ->
+          Printf.sprintf "0x%x <mod:%s+0x%x>" addr name (addr - base)
+      | None -> Printf.sprintf "0x%x <UNKNOWN>" addr)
+
+let dispatch_exit t regs = function
+  | Os.Exit_breakpoint addr ->
+      t.breakpoint_exits <- t.breakpoint_exits + 1;
+      charge t Cost.vm_exit;
+      List.iter (fun h -> h t regs addr) t.bp_handlers;
+      Os.Resume
+  | Os.Exit_invalid_opcode -> (
+      t.invalid_opcode_exits <- t.invalid_opcode_exits + 1;
+      charge t Cost.vm_exit;
+      match t.io_handler t regs with
+      | `Handled -> Os.Resume
+      | `Unhandled reason -> Os.Panic reason)
+
+let snapshot_tables os =
+  let tables = Hashtbl.create 16 in
+  let note gva =
+    let dir = Fc_mem.Ept.dir_of_page (Layout.page_of (Layout.gva_to_gpa gva)) in
+    if not (Hashtbl.mem tables dir) then
+      match Fc_mem.Ept.get_dir (Os.ept os) ~dir with
+      | Some table -> Hashtbl.replace tables dir table
+      | None -> ()
+  in
+  let img = Os.image os in
+  let rec sweep gva limit =
+    if gva < limit then begin
+      note gva;
+      sweep (gva + (Fc_mem.Ept.dir_span_pages * Layout.page_size)) limit
+    end
+  in
+  sweep (Image.text_base img) (Image.text_end img);
+  note (Image.text_end img - 1);
+  sweep Layout.module_area_base Layout.module_area_limit;
+  note (Layout.module_area_limit - 1);
+  tables
+
+let attach os =
+  let t =
+    {
+      os;
+      original_tables = snapshot_tables os;
+      symbols = Symbols.create ();
+      visible_modules = [];
+      bp_handlers = [];
+      io_handler = (fun _ _ -> `Unhandled "invalid opcode (no recovery installed)");
+      breakpoint_exits = 0;
+      invalid_opcode_exits = 0;
+      cycles_charged = 0;
+    }
+  in
+  refresh_symbols t;
+  Os.set_exit_handler os (fun _os regs exit -> dispatch_exit t regs exit);
+  t
+
+let detach t =
+  List.iter (Os.clear_trap t.os) (Os.trap_addresses t.os);
+  Os.set_exit_handler t.os (fun _ _ -> function
+    | Os.Exit_breakpoint _ -> Os.Resume
+    | Os.Exit_invalid_opcode -> Os.Panic "invalid opcode in guest kernel (no hypervisor)")

@@ -1,0 +1,99 @@
+(** The hypervisor attachment point.
+
+    [attach] hooks the guest's VM-exit path and gives FACE-CHANGE the same
+    narrow capabilities a KVM module has: guest breakpoints, invalid-opcode
+    interception, EPT access, guest-physical RAM reads (VMI), and a symbol
+    registry assembled from the kernel's System.map plus the module list
+    observed through VMI.  Every operation charges the {!Cost} model onto
+    the guest cycle counter, which is how Figs. 6 and 7 acquire their
+    overhead. *)
+
+type t
+
+val attach : Fc_machine.Os.t -> t
+(** Install the VM-exit dispatcher on the guest.  Only one hypervisor may
+    be attached per guest at a time. *)
+
+val detach : t -> unit
+(** Restore the guest's default (panicking) exit handler and clear all
+    breakpoints. *)
+
+val os : t -> Fc_machine.Os.t
+
+(* ---------------- exits ---------------- *)
+
+val on_breakpoint : t -> (t -> Fc_machine.Cpu.regs -> int -> unit) -> unit
+(** Register a breakpoint listener; all registered listeners run on every
+    guest breakpoint hit (FACE-CHANGE's view switcher and, e.g., a syscall
+    behavior monitor can coexist).  Execution resumes afterwards. *)
+
+val on_invalid_opcode :
+  t -> (t -> Fc_machine.Cpu.regs -> [ `Handled | `Unhandled of string ]) -> unit
+(** Called on every invalid-opcode VM exit.  Return [`Handled] after
+    repairing the faulting code (execution retries the same [eip]), or
+    [`Unhandled reason] to let the guest die. *)
+
+val set_breakpoint : t -> int -> unit
+val clear_breakpoint : t -> int -> unit
+val has_breakpoint : t -> int -> bool
+
+(* ---------------- accounting ---------------- *)
+
+val charge : t -> int -> unit
+(** Add hypervisor work to the guest cycle counter. *)
+
+val breakpoint_exits : t -> int
+val invalid_opcode_exits : t -> int
+val vm_exits : t -> int
+val cycles_charged : t -> int
+
+(* ---------------- VMI ---------------- *)
+
+val current_task : t -> int * string
+val module_list : t -> (string * int * int) list
+
+val read_guest_byte : t -> int -> int option
+val read_guest_u32 : t -> int -> int option
+
+val read_original_code : t -> int -> int option
+(** Read a byte of kernel code from the {e original} guest RAM frames —
+    the source of truth that code recovery copies from, unaffected by any
+    installed view. *)
+
+val read_active_code : t -> int -> int option
+(** Read a byte through the EPT — what the vCPU would fetch right now
+    (i.e. the active view's contents). *)
+
+val original_frame : t -> gpa_page:int -> int option
+
+val original_table : t -> dir:int -> Fc_mem.Ept.table option
+(** The EPT page table that directory entry [dir] pointed at when the
+    hypervisor attached (i.e. the guest's real RAM mapping) — what a full
+    kernel view restores and what custom views start from. *)
+
+val stack_frames :
+  t -> eip:int -> ebp:int -> ?esp:int -> ?max_depth:int -> unit -> int list
+(** Walk the guest rbp chain: the result is [eip] followed by each saved
+    return address, stopping at the user-mode sentinel, a non-kernel
+    address, or [max_depth] (default 64).  When [esp] is given and the
+    original code at [eip] carries the prologue signature (the fault hit a
+    function entry, before [push ebp] ran), the immediate caller's return
+    address is read from [[esp]] first — otherwise the rbp chain would
+    skip it.  Charges {!Cost.backtrace_frame} per frame. *)
+
+(* ---------------- symbols ---------------- *)
+
+val refresh_symbols : t -> unit
+(** Rebuild the symbol registry: base kernel (System.map) plus per-function
+    symbols for VMI-visible modules whose names match known distro modules.
+    Modules hidden from the guest list disappear — their frames render as
+    [<UNKNOWN>], as in Fig. 5. *)
+
+val symbols : t -> Fc_kernel.Symbols.t
+
+val render_addr : t -> int -> string
+(** ["0xc021a526 <do_sys_poll+0x136>"]; ["0xf8078bbe <mod:sebek+0xbe>"] for
+    an address inside a VMI-visible module without function symbols;
+    ["0xf8078bbe <UNKNOWN>"] otherwise. *)
+
+val addr_of_symbol : t -> string -> int option

@@ -1,0 +1,1 @@
+lib/isa/asm.ml: Buffer Bytes Char Hashtbl Insn List String

@@ -1,0 +1,1 @@
+lib/isa/scan.mli:

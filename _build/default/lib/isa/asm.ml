@@ -1,0 +1,136 @@
+type parity = Any | Even_return | Odd_return
+
+type item =
+  | Call of string
+  | Call_parity of string * parity
+  | Dispatch_call
+  | Block_point of int
+  | Fill of int
+  | Cold of int
+
+type func_spec = { fname : string; items : item list; min_size : int }
+type placed = { pname : string; addr : int; size : int }
+type unit_image = { base : int; code : Bytes.t; functions : placed list }
+
+let align_up v a = (v + a - 1) / a * a
+
+(* Filler immediates cycle through a range that excludes 0x55 and 0x0f so
+   neither the prologue signature nor a UD2 prefix can appear in filler. *)
+let filler_imm i = 0x10 + (i mod 0x40)
+
+let filler n =
+  if n < 0 then invalid_arg "Asm.filler: negative length";
+  let rec go acc i n =
+    if n = 0 then List.rev acc
+    else if n = 1 then List.rev (Insn.Nop :: acc)
+    else go (Insn.Alu (filler_imm i) :: acc) (i + 1) (n - 2)
+  in
+  go [] 0 n
+
+type fixup = { at : int; target : string }
+
+(* Emit one function starting at absolute [start]; returns the encoded
+   bytes and the call fixups (absolute addresses of call opcodes). *)
+let emit_function start spec =
+  let buf = Buffer.create 64 in
+  let fixups = ref [] in
+  let here () = start + Buffer.length buf in
+  let emit i = List.iter (fun b -> Buffer.add_char buf (Char.chr b)) (Insn.encode i) in
+  let emit_call target =
+    fixups := { at = here (); target } :: !fixups;
+    emit (Insn.Call_rel 0)
+  in
+  let pad_for_parity p =
+    (* A call at address A returns to A+5: odd return needs even A. *)
+    match p with
+    | Any -> ()
+    | Odd_return -> if here () land 1 = 1 then emit Insn.Nop
+    | Even_return -> if here () land 1 = 0 then emit Insn.Nop
+  in
+  emit Insn.Push_ebp;
+  emit Insn.Mov_ebp_esp;
+  List.iter
+    (fun item ->
+      match item with
+      | Call target -> emit_call target
+      | Call_parity (target, p) ->
+          pad_for_parity p;
+          emit_call target
+      | Dispatch_call -> emit Insn.Call_indirect
+      | Block_point id ->
+          (* Keep the resume address (yield + 2) even: a sleeping thread
+             whose saved EIP lands on an odd offset inside UD2 fill would
+             misdecode instead of trapping when its view changes while it
+             sleeps (the hazard behind Fig. 3's instant recovery). *)
+          if here () land 1 = 1 then emit Insn.Nop;
+          emit (Insn.Yield id)
+      | Fill n -> List.iter emit (filler n)
+      | Cold n ->
+          let n = min n 120 in
+          emit (Insn.Jcc_rel n);
+          List.iter emit (filler n))
+    spec.items;
+  let body = Buffer.length buf in
+  let pad = spec.min_size - (body + 2) in
+  if pad > 0 then List.iter emit (filler pad);
+  emit Insn.Leave;
+  emit Insn.Ret;
+  (Buffer.to_bytes buf, List.rev !fixups)
+
+let assemble ~base ?(align = 16) ?(resolve = fun _ -> None) specs =
+  let exception Fail of string in
+  try
+    (* Reject duplicates up front. *)
+    let seen = Hashtbl.create 16 in
+    List.iter
+      (fun s ->
+        if Hashtbl.mem seen s.fname then
+          raise (Fail ("duplicate function: " ^ s.fname));
+        Hashtbl.add seen s.fname ())
+      specs;
+    (* Pass 1: layout and encode with zero displacements. *)
+    let cursor = ref base in
+    let parts = ref [] and fixups = ref [] and placed = ref [] in
+    List.iter
+      (fun spec ->
+        let start = align_up !cursor align in
+        let bytes, fx = emit_function start spec in
+        parts := (start, bytes) :: !parts;
+        fixups := fx @ !fixups;
+        placed := { pname = spec.fname; addr = start; size = Bytes.length bytes } :: !placed;
+        cursor := start + Bytes.length bytes)
+      specs;
+    let functions = List.rev !placed in
+    let total = !cursor - base in
+    let code = Bytes.make (max total 0) '\x90' in
+    List.iter
+      (fun (start, bytes) -> Bytes.blit bytes 0 code (start - base) (Bytes.length bytes))
+      !parts;
+    (* Pass 2: resolve call displacements. *)
+    let symtab = Hashtbl.create 64 in
+    List.iter (fun p -> Hashtbl.replace symtab p.pname p.addr) functions;
+    let lookup name =
+      match Hashtbl.find_opt symtab name with
+      | Some a -> a
+      | None -> (
+          match resolve name with
+          | Some a -> a
+          | None -> raise (Fail ("unresolved call target: " ^ name)))
+    in
+    List.iter
+      (fun { at; target } ->
+        let disp = lookup target - (at + 5) in
+        let u = disp land 0xffffffff in
+        let off = at - base + 1 in
+        Bytes.set_uint8 code off (u land 0xff);
+        Bytes.set_uint8 code (off + 1) ((u lsr 8) land 0xff);
+        Bytes.set_uint8 code (off + 2) ((u lsr 16) land 0xff);
+        Bytes.set_uint8 code (off + 3) ((u lsr 24) land 0xff))
+      !fixups;
+    Ok { base; code; functions }
+  with Fail msg -> Error msg
+
+let find_function u name = List.find_opt (fun p -> String.equal p.pname name) u.functions
+
+let function_at u addr =
+  List.find_opt (fun p -> p.addr <= addr && addr < p.addr + p.size) u.functions

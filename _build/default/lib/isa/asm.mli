@@ -1,0 +1,70 @@
+(** Two-pass assembler for synthetic kernel functions.
+
+    The kernel image builder describes each function as a list of {!item}s
+    plus a minimum size; the assembler lays functions out sequentially from
+    a base address, aligns every function start (the kernel is "compiled
+    with [-falign-functions]", §III-B1 of the paper), emits real byte
+    encodings, and resolves direct calls in a second pass.
+
+    Inter-function gaps are filled with [nop] (0x90) — these are the "free
+    alignment areas between functions" that the Infelf attack implants code
+    into. *)
+
+type parity =
+  | Any
+  | Even_return  (** pad so the call's return address is even *)
+  | Odd_return
+      (** pad so the call's return address is odd — the Fig. 3 case where a
+          UD2-filled caller reads back as [0x0b 0x0f] and cannot trap *)
+
+type item =
+  | Call of string  (** direct call to a named function *)
+  | Call_parity of string * parity
+  | Dispatch_call   (** indirect call through the runtime dispatch queue *)
+  | Block_point of int  (** [Yield id]: the process sleeps here *)
+  | Fill of int     (** at least [n] bytes of executable filler *)
+  | Cold of int
+      (** a conditionally-skipped cold block of [n] filler bytes guarded
+          by a [Jcc]: the error path almost never executed at runtime and
+          typically missed by profiling *)
+
+type func_spec = {
+  fname : string;
+  items : item list;
+  min_size : int;
+      (** the emitted function is padded with filler up to this size,
+          letting the catalog control realistic per-function sizes *)
+}
+
+type placed = {
+  pname : string;
+  addr : int;   (** absolute start address (aligned) *)
+  size : int;   (** bytes from [addr] up to (not including) the gap *)
+}
+
+type unit_image = {
+  base : int;           (** first address of the unit *)
+  code : Bytes.t;       (** bytes for [[base, base + Bytes.length code)] *)
+  functions : placed list;  (** in layout order *)
+}
+
+val assemble :
+  base:int ->
+  ?align:int ->
+  ?resolve:(string -> int option) ->
+  func_spec list ->
+  (unit_image, string) result
+(** [assemble ~base specs] lays out and encodes [specs] in order.
+    [align] defaults to 16.  Direct calls first look up the target among
+    [specs], then via [resolve] (for cross-unit calls, e.g. a module
+    calling the base kernel).  Fails on unknown call targets or duplicate
+    function names. *)
+
+val find_function : unit_image -> string -> placed option
+val function_at : unit_image -> int -> placed option
+(** The function whose [[addr, addr+size)] contains the given address. *)
+
+val filler : int -> Insn.t list
+(** [filler n] is straight-line executable filler of exactly [n] bytes
+    (alternating [Alu]/[Nop]); immediates avoid the [0x55] byte so the
+    prologue signature cannot appear inside filler. *)

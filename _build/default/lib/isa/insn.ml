@@ -1,0 +1,132 @@
+type t =
+  | Push_ebp
+  | Mov_ebp_esp
+  | Nop
+  | Ud2
+  | Call_rel of int
+  | Call_indirect
+  | Ret
+  | Leave
+  | Alu of int
+  | Or_mem of int
+  | Jmp_rel of int
+  | Jcc_rel of int
+  | Yield of int
+  | Iret
+  | Int_sw of int
+
+let length = function
+  | Push_ebp | Nop | Ret | Leave | Iret -> 1
+  | Mov_ebp_esp | Ud2 | Call_indirect | Alu _ | Or_mem _ | Jmp_rel _ | Jcc_rel _
+  | Yield _ | Int_sw _ ->
+      2
+  | Call_rel _ -> 5
+
+let byte v = v land 0xff
+
+(* Two's-complement of [v] over [bits] bits. *)
+let to_unsigned bits v = v land ((1 lsl bits) - 1)
+
+let of_signed bits v =
+  let half = 1 lsl (bits - 1) in
+  if v >= half then v - (1 lsl bits) else v
+
+let encode = function
+  | Push_ebp -> [ 0x55 ]
+  | Mov_ebp_esp -> [ 0x89; 0xe5 ]
+  | Nop -> [ 0x90 ]
+  | Ud2 -> [ 0x0f; 0x0b ]
+  | Call_rel d ->
+      let u = to_unsigned 32 d in
+      [ 0xe8; byte u; byte (u lsr 8); byte (u lsr 16); byte (u lsr 24) ]
+  | Call_indirect -> [ 0xff; 0xd0 ]
+  | Ret -> [ 0xc3 ]
+  | Leave -> [ 0xc9 ]
+  | Alu imm -> [ 0x01; byte imm ]
+  | Or_mem imm -> [ 0x0b; byte imm ]
+  | Jmp_rel d -> [ 0xeb; byte (to_unsigned 8 d) ]
+  | Jcc_rel d -> [ 0x75; byte (to_unsigned 8 d) ]
+  | Yield id -> [ 0xf4; byte id ]
+  | Iret -> [ 0xcf ]
+  | Int_sw n -> [ 0xcd; byte n ]
+
+let encode_into buf off i =
+  List.fold_left
+    (fun off b ->
+      Bytes.set_uint8 buf off b;
+      off + 1)
+    off (encode i)
+
+type decode_error = Unknown_opcode of int | Truncated
+
+let decode ~read addr =
+  let ( let* ) x f = match x with Some v -> f v | None -> Error Truncated in
+  let* b0 = read addr in
+  match b0 with
+  | 0x55 -> Ok (Push_ebp, 1)
+  | 0x90 -> Ok (Nop, 1)
+  | 0xc3 -> Ok (Ret, 1)
+  | 0xc9 -> Ok (Leave, 1)
+  | 0xcf -> Ok (Iret, 1)
+  | 0x89 -> (
+      let* b1 = read (addr + 1) in
+      match b1 with 0xe5 -> Ok (Mov_ebp_esp, 2) | b -> Error (Unknown_opcode b))
+  | 0x0f -> (
+      let* b1 = read (addr + 1) in
+      match b1 with 0x0b -> Ok (Ud2, 2) | b -> Error (Unknown_opcode b))
+  | 0xff -> (
+      let* b1 = read (addr + 1) in
+      match b1 with
+      | 0xd0 -> Ok (Call_indirect, 2)
+      | b -> Error (Unknown_opcode b))
+  | 0xe8 ->
+      let* b1 = read (addr + 1) in
+      let* b2 = read (addr + 2) in
+      let* b3 = read (addr + 3) in
+      let* b4 = read (addr + 4) in
+      let u = b1 lor (b2 lsl 8) lor (b3 lsl 16) lor (b4 lsl 24) in
+      Ok (Call_rel (of_signed 32 u), 5)
+  | 0x01 ->
+      let* b1 = read (addr + 1) in
+      Ok (Alu b1, 2)
+  | 0x0b ->
+      let* b1 = read (addr + 1) in
+      Ok (Or_mem b1, 2)
+  | 0xeb ->
+      let* b1 = read (addr + 1) in
+      Ok (Jmp_rel (of_signed 8 b1), 2)
+  | 0x75 ->
+      let* b1 = read (addr + 1) in
+      Ok (Jcc_rel (of_signed 8 b1), 2)
+  | 0xf4 ->
+      let* b1 = read (addr + 1) in
+      Ok (Yield b1, 2)
+  | 0xcd ->
+      let* b1 = read (addr + 1) in
+      Ok (Int_sw b1, 2)
+  | b -> Error (Unknown_opcode b)
+
+let is_call = function Call_rel _ | Call_indirect -> true | _ -> false
+let is_terminator = function Ret | Iret | Jmp_rel _ -> true | _ -> false
+
+let pp ppf = function
+  | Push_ebp -> Format.pp_print_string ppf "push ebp"
+  | Mov_ebp_esp -> Format.pp_print_string ppf "mov ebp, esp"
+  | Nop -> Format.pp_print_string ppf "nop"
+  | Ud2 -> Format.pp_print_string ppf "ud2"
+  | Call_rel d -> Format.fprintf ppf "call %+d" d
+  | Call_indirect -> Format.pp_print_string ppf "call *dispatch"
+  | Ret -> Format.pp_print_string ppf "ret"
+  | Leave -> Format.pp_print_string ppf "leave"
+  | Alu imm -> Format.fprintf ppf "alu 0x%x" imm
+  | Or_mem imm -> Format.fprintf ppf "or eax, 0x%x" imm
+  | Jmp_rel d -> Format.fprintf ppf "jmp %+d" d
+  | Jcc_rel d -> Format.fprintf ppf "jne %+d" d
+  | Yield id -> Format.fprintf ppf "yield %d" id
+  | Iret -> Format.pp_print_string ppf "iret"
+  | Int_sw n -> Format.fprintf ppf "int 0x%x" n
+
+let to_string i = Format.asprintf "%a" pp i
+let ud2_first_byte = 0x0f
+let ud2_second_byte = 0x0b
+let prologue_signature = [ 0x55; 0x89; 0xe5 ]

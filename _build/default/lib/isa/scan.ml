@@ -1,0 +1,33 @@
+let is_prologue_at ~read addr =
+  let byte_is a v = match read a with Some b -> b = v | None -> false in
+  byte_is addr 0x55 && byte_is (addr + 1) 0x89 && byte_is (addr + 2) 0xe5
+
+let align_down v a = v / a * a
+
+let search_backward ~read ?(align = 16) ~limit addr =
+  let rec go a =
+    if a < limit then None
+    else if is_prologue_at ~read a then Some a
+    else go (a - align)
+  in
+  go (align_down addr align)
+
+let search_forward ~read ?(align = 16) ~limit addr =
+  let first = align_down addr align + align in
+  let rec go a =
+    if a >= limit then None
+    else if is_prologue_at ~read a then Some a
+    else go (a + align)
+  in
+  go first
+
+let function_bounds ~read ?(align = 16) ~lo ~hi addr =
+  match search_backward ~read ~align ~limit:lo addr with
+  | None -> None
+  | Some start ->
+      let stop =
+        match search_forward ~read ~align ~limit:hi addr with
+        | Some next -> next
+        | None -> hi
+      in
+      Some (start, stop)

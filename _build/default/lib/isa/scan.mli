@@ -1,0 +1,37 @@
+(** Function-boundary discovery by prologue-signature scanning.
+
+    Kernel code recovery must turn a faulting instruction pointer into the
+    containing function's [[start, end)] range by searching "backwards and
+    forwards" for the [push ebp; mov ebp, esp] header signature
+    (§III-B1).  Candidate addresses are restricted to the function
+    alignment (the kernel is compiled with [-falign-functions]), which is
+    what makes the signature reliable; the scan transparently crosses page
+    boundaries via the caller-supplied [read] (the paper's "one single
+    instruction may split across pages" case). *)
+
+val is_prologue_at : read:(int -> int option) -> int -> bool
+(** True iff the three signature bytes [0x55 0x89 0xe5] are readable at the
+    given address. *)
+
+val search_backward :
+  read:(int -> int option) -> ?align:int -> limit:int -> int -> int option
+(** [search_backward ~read ~limit addr] finds the greatest aligned address
+    [a <= addr] with [a >= limit] carrying the prologue signature — the
+    start of the function containing [addr]. *)
+
+val search_forward :
+  read:(int -> int option) -> ?align:int -> limit:int -> int -> int option
+(** [search_forward ~read ~limit addr] finds the least aligned address
+    [a > addr] with [a < limit] carrying the prologue signature — the start
+    of the next function, i.e. the (padded) end of the current one. *)
+
+val function_bounds :
+  read:(int -> int option) ->
+  ?align:int ->
+  lo:int ->
+  hi:int ->
+  int ->
+  (int * int) option
+(** [function_bounds ~read ~lo ~hi addr] = [(start, stop)] where [start] is
+    the containing function's prologue and [stop] is the next prologue (or
+    [hi] when [addr] lies in the last function of the region). *)

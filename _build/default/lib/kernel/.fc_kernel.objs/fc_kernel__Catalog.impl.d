@@ -1,0 +1,1 @@
+lib/kernel/catalog.ml: Fc_isa Hashtbl Kfunc List Printf String

@@ -1,0 +1,1 @@
+lib/kernel/catalog.mli: Kfunc

@@ -1,0 +1,1 @@
+lib/kernel/image.ml: Array Bytes Catalog Fc_isa Hashtbl Kfunc Layout List Option

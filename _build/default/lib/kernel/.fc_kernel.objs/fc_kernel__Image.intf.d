@@ -1,0 +1,1 @@
+lib/kernel/image.mli: Fc_isa Kfunc

@@ -1,0 +1,1 @@
+lib/kernel/irq_paths.mli:

@@ -1,0 +1,1 @@
+lib/kernel/kfunc.ml: Fc_isa List

@@ -1,0 +1,1 @@
+lib/kernel/kfunc.mli: Fc_isa

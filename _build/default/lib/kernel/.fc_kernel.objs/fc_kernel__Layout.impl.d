@@ -1,0 +1,1 @@
+lib/kernel/layout.ml: Fc_mem

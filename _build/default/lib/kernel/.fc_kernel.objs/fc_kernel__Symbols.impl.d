@@ -1,0 +1,1 @@
+lib/kernel/symbols.ml: Array Fc_isa Format Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/kernel/symbols.mli: Fc_isa Format

@@ -1,0 +1,1 @@
+lib/kernel/syscalls.ml: Hashtbl List

@@ -1,0 +1,834 @@
+open Kfunc
+
+let f = Kfunc.v
+
+(* Helper-tree sizing knobs.  Tree node sizes (bytes) are the main lever
+   for matching the paper's per-application view sizes (Table I). *)
+let node = 471  (* deliberately not 16-aligned: real functions are not *)
+
+let tree ~sub ~prefix ~n ~size =
+  let name k = Printf.sprintf "%s_%03d" prefix k in
+  List.init n (fun i ->
+      let kids = List.filter (fun k -> k < n) [ (2 * i) + 1; (2 * i) + 2 ] in
+      f ~size ~sub (name i) (List.map (fun k -> C (name k)) kids))
+
+let root prefix = prefix ^ "_000"
+
+(* ------------------------------------------------------------------ *)
+(* core: syscall gate, user-return, signal-return glue                 *)
+(* ------------------------------------------------------------------ *)
+
+let core_fns =
+  [
+    (* The syscall gate dispatches through the syscall table: the first
+       entry of every invocation's dispatch queue is the sys_* handler. *)
+    f ~size:64 ~sub:"core" "syscall_call" [ D ];
+    f ~size:64 ~sub:"core" "resume_userspace" [ F 8 ];
+    f ~size:64 ~sub:"core" "ret_from_intr" [ F 8 ];
+    f ~size:96 ~sub:"core" "do_notify_resume" [ C "do_signal" ];
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* sched                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let sched_fns =
+  [
+    f ~size:288 ~sub:"sched" "schedule"
+      [ C "pick_next_task_fair"; C (root "sched_aux"); C "context_switch" ];
+    f ~size:192 ~sub:"sched" "pick_next_task_fair"
+      [ C "update_curr"; C "pick_next_entity" ];
+    f ~size:144 ~sub:"sched" "update_curr" [];
+    f ~size:128 ~sub:"sched" "pick_next_entity" [];
+    f ~size:160 ~sub:"sched" "context_switch"
+      [ C "prepare_task_switch"; C "__switch_to"; C "finish_task_switch" ];
+    f ~size:96 ~sub:"sched" "prepare_task_switch" [];
+    f ~size:128 ~sub:"sched" "__switch_to" [];
+    f ~size:96 ~sub:"sched" "finish_task_switch" [];
+    f ~size:176 ~sub:"sched" "scheduler_tick" [ C "task_tick_fair" ];
+    f ~size:128 ~sub:"sched" "task_tick_fair" [ C "update_curr" ];
+    f ~size:176 ~sub:"sched" "try_to_wake_up"
+      [ C "enqueue_task_fair"; C "check_preempt_curr" ];
+    f ~size:128 ~sub:"sched" "enqueue_task_fair" [];
+    f ~size:128 ~sub:"sched" "dequeue_task_fair" [];
+    f ~size:96 ~sub:"sched" "check_preempt_curr" [];
+    f ~size:112 ~sub:"sched" "__wake_up" [ C "try_to_wake_up" ];
+    f ~size:96 ~sub:"sched" "prepare_to_wait_exclusive" [];
+    f ~size:96 ~sub:"sched" "prepare_to_wait" [];
+    f ~size:64 ~sub:"sched" "finish_wait" [];
+    f ~size:128 ~sub:"sched" "sys_sched_yield" [ C "schedule" ];
+  ]
+  @ tree ~sub:"sched" ~prefix:"sched_aux" ~n:24 ~size:node
+
+(* ------------------------------------------------------------------ *)
+(* irq: entry glue, timer, net-rx, keyboard, disk                      *)
+(* ------------------------------------------------------------------ *)
+
+let irq_fns =
+  [
+    (* Dispatch 1: the device handler; softirq dispatches its action. *)
+    f ~size:144 ~sub:"irq" "irq_entry" [ C "irq_enter"; D; C "irq_exit" ];
+    f ~size:64 ~sub:"irq" "irq_enter" [];
+    f ~size:96 ~sub:"irq" "irq_exit" [ C "do_softirq" ];
+    f ~size:128 ~sub:"irq" "do_softirq" [ D ];
+    f ~size:32 ~sub:"irq" "softirq_none" [];
+    (* timer *)
+    f ~size:128 ~sub:"irq" "timer_interrupt" [ C "tick_periodic" ];
+    f ~size:144 ~sub:"irq" "tick_periodic"
+      [ C "clocksource_read"; C "do_timer"; C "update_process_times" ];
+    f ~size:64 ~sub:"irq" "clocksource_read" [ D ];
+    f ~size:96 ~sub:"irq" "do_timer" [ C "calc_global_load" ];
+    f ~size:96 ~sub:"irq" "calc_global_load" [];
+    f ~size:144 ~sub:"irq" "update_process_times"
+      [ C "account_process_tick"; C "run_local_timers"; C "scheduler_tick" ];
+    f ~size:96 ~sub:"irq" "account_process_tick" [];
+    f ~size:96 ~sub:"irq" "run_local_timers" [ C "raise_softirq" ];
+    f ~size:64 ~sub:"irq" "raise_softirq" [];
+    f ~size:160 ~sub:"irq" "run_timer_softirq" [ C "__run_timers" ];
+    f ~size:128 ~sub:"irq" "__run_timers" [ D; C (root "timer_aux") ];
+    f ~size:96 ~sub:"irq" "process_timeout" [ C "__wake_up" ];
+    (* network receive *)
+    f ~size:160 ~sub:"irq" "e1000_intr" [ C "__napi_schedule" ];
+    f ~size:64 ~sub:"irq" "__napi_schedule" [];
+    f ~size:192 ~sub:"net" "net_rx_action" [ C "process_backlog" ];
+    f ~size:128 ~sub:"net" "process_backlog" [ C "netif_receive_skb" ];
+    (* Two delivery slots: a packet-socket tap (tcpdump) and the inet
+       stack; non-sniffed traffic uses deliver_skb_none for the tap. *)
+    f ~size:192 ~sub:"net" "netif_receive_skb" [ D; D ];
+    f ~size:32 ~sub:"net" "deliver_skb_none" [];
+    (* keyboard *)
+    f ~size:128 ~sub:"irq" "keyboard_interrupt" [ C "kbd_event" ];
+    f ~size:128 ~sub:"input" "kbd_event" [ C "input_event" ];
+    f ~size:128 ~sub:"input" "input_event" [ C "input_pass_event" ];
+    f ~size:96 ~sub:"input" "input_pass_event" [ D ];
+    (* disk *)
+    f ~size:128 ~sub:"irq" "ahci_intr" [ C "blk_irq_done" ];
+    f ~size:96 ~sub:"irq" "blk_irq_done" [ C "raise_softirq" ];
+    f ~size:128 ~sub:"block" "blk_done_softirq" [ C "bio_endio" ];
+    f ~size:96 ~sub:"block" "bio_endio" [ C "__wake_up" ];
+  ]
+  @ tree ~sub:"irq" ~prefix:"timer_aux" ~n:12 ~size:397
+
+(* ------------------------------------------------------------------ *)
+(* clock: base-kernel clocksources.  The kvmclock read path lives in   *)
+(* the kvmclock module and is never exercised while profiling (QEMU    *)
+(* uses the ACPI PM timer), so pvclock_clocksource_read and            *)
+(* native_read_tsc are also absent from every profiled view.           *)
+(* ------------------------------------------------------------------ *)
+
+let clock_fns =
+  [
+    f ~size:96 ~sub:"clock" "acpi_pm_read" [];
+    f ~size:112 ~sub:"clock" "pvclock_clocksource_read" [ C "native_read_tsc" ];
+    f ~size:64 ~sub:"clock" "native_read_tsc" [];
+    f ~size:128 ~sub:"clock" "ktime_get" [ C "clocksource_read" ];
+    f ~size:112 ~sub:"clock" "sys_gettimeofday" [ C "ktime_get" ];
+    f ~size:128 ~sub:"clock" "sys_nanosleep"
+      [ C "ktime_get"; B 1; C "schedule" ];
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* task: fork/clone/exec/exit/wait                                     *)
+(* ------------------------------------------------------------------ *)
+
+let task_fns =
+  [
+    f ~size:128 ~sub:"task" "sys_fork" [ C "do_fork" ];
+    f ~size:128 ~sub:"task" "sys_clone" [ C "do_fork" ];
+    f ~size:256 ~sub:"task" "do_fork"
+      [ Cold 48; C "copy_process"; C "wake_up_new_task" ];
+    f ~size:320 ~sub:"task" "copy_process"
+      [ C "dup_task_struct"; C "copy_mm"; C "copy_files"; C "copy_thread"; C "alloc_pid" ];
+    f ~size:160 ~sub:"task" "dup_task_struct" [ C "kmem_cache_alloc" ];
+    f ~size:192 ~sub:"task" "copy_mm" [ C "kmem_cache_alloc" ];
+    f ~size:160 ~sub:"task" "copy_files" [ C "kmem_cache_alloc" ];
+    f ~size:128 ~sub:"task" "copy_thread" [];
+    f ~size:128 ~sub:"task" "alloc_pid" [ C "kmem_cache_alloc" ];
+    f ~size:112 ~sub:"task" "wake_up_new_task" [ C "try_to_wake_up" ];
+    f ~size:160 ~sub:"task" "sys_execve" [ C "do_execve" ];
+    f ~size:288 ~sub:"task" "do_execve"
+      [ C "open_exec"; C "search_binary_handler"; C (root "exec_aux") ];
+    f ~size:144 ~sub:"task" "open_exec" [ C "do_filp_open" ];
+    f ~size:224 ~sub:"task" "search_binary_handler" [ C "load_elf_binary" ];
+    f ~size:320 ~sub:"task" "load_elf_binary"
+      [ C "do_mmap_pgoff"; C "do_mmap_pgoff" ];
+    f ~size:160 ~sub:"task" "sys_exit_group" [ C "do_exit" ];
+    f ~size:288 ~sub:"task" "do_exit"
+      [ C "exit_mm"; C "exit_files"; C "exit_notify"; C "schedule" ];
+    f ~size:144 ~sub:"task" "exit_mm" [];
+    f ~size:144 ~sub:"task" "exit_files" [ C "fput" ];
+    f ~size:128 ~sub:"task" "exit_notify" [ C "send_signal" ];
+    f ~size:192 ~sub:"task" "sys_waitpid" [ C "do_wait" ];
+    f ~size:224 ~sub:"task" "do_wait" [ C "prepare_to_wait"; B 2; C "finish_wait" ];
+    f ~size:128 ~sub:"task" "sys_getpid" [];
+    f ~size:112 ~sub:"task" "sys_getuid" [];
+    f ~size:144 ~sub:"task" "sys_uname" [ C "copy_to_user" ];
+    f ~size:176 ~sub:"task" "sys_sysinfo" [ C "copy_to_user" ];
+    f ~size:144 ~sub:"task" "sys_getrlimit" [ C "copy_to_user" ];
+    f ~size:160 ~sub:"task" "sys_setrlimit" [ C "copy_from_user" ];
+  ]
+  @ tree ~sub:"task" ~prefix:"exec_aux" ~n:36 ~size:node
+
+(* ------------------------------------------------------------------ *)
+(* signal + itimer                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let signal_fns =
+  [
+    f ~size:176 ~sub:"signal" "sys_rt_sigaction" [ C "do_sigaction" ];
+    f ~size:144 ~sub:"signal" "do_sigaction" [];
+    f ~size:144 ~sub:"signal" "sys_rt_sigprocmask" [];
+    f ~size:128 ~sub:"signal" "sys_kill" [ C "send_signal" ];
+    f ~size:176 ~sub:"signal" "send_signal" [ C "signal_wake_up" ];
+    f ~size:96 ~sub:"signal" "signal_wake_up" [ C "try_to_wake_up" ];
+    f ~size:224 ~sub:"signal" "do_signal"
+      [ C "get_signal_to_deliver"; C "handle_signal" ];
+    f ~size:160 ~sub:"signal" "get_signal_to_deliver" [];
+    f ~size:176 ~sub:"signal" "handle_signal" [ C "setup_frame" ];
+    f ~size:160 ~sub:"signal" "setup_frame" [ C "copy_to_user" ];
+    f ~size:128 ~sub:"signal" "sys_sigreturn" [ C "restore_sigcontext" ];
+    f ~size:112 ~sub:"signal" "restore_sigcontext" [ C "copy_from_user" ];
+    f ~size:160 ~sub:"signal" "sys_setitimer" [ C "hrtimer_start" ];
+    f ~size:144 ~sub:"signal" "hrtimer_start" [];
+    f ~size:128 ~sub:"signal" "it_real_fn" [ C "send_signal" ];
+    f ~size:112 ~sub:"signal" "sys_alarm" [ C "hrtimer_start" ];
+    f ~size:96 ~sub:"signal" "sys_pause" [ B 3; C "schedule" ];
+    f ~size:144 ~sub:"signal" "sys_sigaltstack" [ C "copy_from_user" ];
+    f ~size:128 ~sub:"signal" "sys_rt_sigsuspend" [ B 28; C "schedule" ];
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* mm: faults, mmap/brk, allocators                                    *)
+(* ------------------------------------------------------------------ *)
+
+let mm_fns =
+  [
+    f ~size:224 ~sub:"mm" "do_page_fault" [ C "handle_mm_fault" ];
+    f ~size:256 ~sub:"mm" "handle_mm_fault" [ Cold 56; C "__do_fault" ];
+    f ~size:224 ~sub:"mm" "__do_fault" [ C "filemap_fault" ];
+    f ~size:256 ~sub:"mm" "filemap_fault"
+      [ C "find_get_page"; C (root "mm_fault_aux") ];
+    f ~size:144 ~sub:"mm" "find_get_page" [];
+    f ~size:160 ~sub:"mm" "sys_brk" [ C "do_brk" ];
+    f ~size:224 ~sub:"mm" "do_brk" [ C "kmem_cache_alloc" ];
+    f ~size:192 ~sub:"mm" "sys_mmap2" [ C "do_mmap_pgoff" ];
+    f ~size:320 ~sub:"mm" "do_mmap_pgoff"
+      [ C "get_unmapped_area"; Cold 48; C "mmap_region" ];
+    f ~size:160 ~sub:"mm" "get_unmapped_area" [];
+    f ~size:256 ~sub:"mm" "mmap_region"
+      [ C "kmem_cache_alloc"; C (root "mm_map_aux") ];
+    f ~size:176 ~sub:"mm" "sys_munmap" [ C "do_munmap" ];
+    f ~size:224 ~sub:"mm" "do_munmap" [ C "kmem_cache_free" ];
+    f ~size:160 ~sub:"mm" "sys_mprotect" [];
+    f ~size:192 ~sub:"mm" "__kmalloc" [ C "kmem_cache_alloc" ];
+    f ~size:176 ~sub:"mm" "kmem_cache_alloc" [];
+    f ~size:144 ~sub:"mm" "kmem_cache_free" [];
+    f ~size:144 ~sub:"mm" "kfree" [ C "kmem_cache_free" ];
+    f ~size:192 ~sub:"mm" "__alloc_pages_nodemask" [];
+    f ~size:176 ~sub:"mm" "sys_madvise" [];
+    f ~size:192 ~sub:"mm" "sys_mlock" [ C "__alloc_pages_nodemask" ];
+    f ~size:128 ~sub:"mm" "__free_pages" [];
+  ]
+  @ tree ~sub:"mm" ~prefix:"mm_fault_aux" ~n:22 ~size:node
+  @ tree ~sub:"mm" ~prefix:"mm_map_aux" ~n:16 ~size:node
+
+(* ------------------------------------------------------------------ *)
+(* lib: string/format/uaccess helpers                                  *)
+(* ------------------------------------------------------------------ *)
+
+let lib_fns =
+  [
+    f ~size:112 ~sub:"lib" "strnlen" [];
+    f ~size:96 ~sub:"lib" "strlen" [];
+    f ~size:128 ~sub:"lib" "memcpy" [];
+    f ~size:112 ~sub:"lib" "memset" [];
+    f ~size:112 ~sub:"lib" "strcmp" [];
+    (* Fig. 5: vsnprintf invokes strnlen on %s arguments. *)
+    f ~size:512 ~sub:"lib" "vsnprintf" [ C "strnlen"; C "memcpy" ];
+    f ~size:112 ~sub:"lib" "snprintf" [ C "vsnprintf" ];
+    f ~size:96 ~sub:"lib" "sprintf" [ C "vsnprintf" ];
+    f ~size:144 ~sub:"lib" "copy_to_user" [ C "memcpy" ];
+    f ~size:144 ~sub:"lib" "copy_from_user" [ C "memcpy" ];
+    f ~size:96 ~sub:"lib" "strncpy_from_user" [ C "copy_from_user" ];
+  ]
+  @ tree ~sub:"lib" ~prefix:"lib_aux" ~n:10 ~size:311
+
+(* ------------------------------------------------------------------ *)
+(* vfs: open/read/write/stat/poll/select + namei/dcache                *)
+(* ------------------------------------------------------------------ *)
+
+let vfs_fns =
+  [
+    f ~size:192 ~sub:"vfs" "sys_open" [ C "do_sys_open" ];
+    f ~size:224 ~sub:"vfs" "do_sys_open" [ C "do_filp_open"; C "fd_install" ];
+    f ~size:160 ~sub:"vfs" "filp_open" [ C "do_filp_open" ];
+    f ~size:320 ~sub:"vfs" "do_filp_open"
+      [ C "path_lookup"; Cold 56; C "security_file_open"; D ];
+    f ~size:288 ~sub:"vfs" "path_lookup"
+      [ C "link_path_walk"; C (root "namei_aux") ];
+    f ~size:256 ~sub:"vfs" "link_path_walk" [ C "d_lookup"; C "d_lookup" ];
+    f ~size:176 ~sub:"vfs" "d_lookup" [];
+    f ~size:96 ~sub:"vfs" "fd_install" [];
+    f ~size:128 ~sub:"vfs" "fget" [];
+    f ~size:112 ~sub:"vfs" "fput" [];
+    f ~size:160 ~sub:"vfs" "sys_close" [ C "filp_close" ];
+    (* The dispatch slot is the file's release op (sock_close for sockets,
+       release_none for plain files). *)
+    f ~size:144 ~sub:"vfs" "filp_close" [ D; C "fput" ];
+    f ~size:32 ~sub:"vfs" "release_none" [];
+    f ~size:224 ~sub:"vfs" "sys_read" [ C "fget"; C "vfs_read"; C "fput" ];
+    f ~size:256 ~sub:"vfs" "vfs_read"
+      [ C "rw_verify_area"; C "security_file_permission"; Cold 40; D; C "copy_to_user" ];
+    f ~size:224 ~sub:"vfs" "sys_write" [ C "fget"; C "vfs_write"; C "fput" ];
+    f ~size:256 ~sub:"vfs" "vfs_write"
+      [ C "rw_verify_area"; C "security_file_permission"; Cold 40; C "copy_from_user"; D ];
+    f ~size:128 ~sub:"vfs" "rw_verify_area" [];
+    f ~size:176 ~sub:"vfs" "do_sync_read" [ D ];
+    f ~size:176 ~sub:"vfs" "do_sync_write" [ D ];
+    f ~size:192 ~sub:"vfs" "sys_stat64" [ C "vfs_stat" ];
+    f ~size:176 ~sub:"vfs" "sys_fstat64" [ C "vfs_getattr" ];
+    f ~size:192 ~sub:"vfs" "vfs_stat" [ C "path_lookup"; C "vfs_getattr" ];
+    f ~size:160 ~sub:"vfs" "vfs_getattr" [ D ];
+    f ~size:160 ~sub:"vfs" "sys_lseek" [ C "fget"; C "fput" ];
+    f ~size:176 ~sub:"vfs" "sys_fcntl64" [ C "fget"; C "fput" ];
+    f ~size:160 ~sub:"vfs" "sys_dup2" [ C "fget"; C "fd_install" ];
+    f ~size:176 ~sub:"vfs" "sys_ioctl" [ C "fget"; C "do_vfs_ioctl"; C "fput" ];
+    f ~size:192 ~sub:"vfs" "do_vfs_ioctl" [ D ];
+    f ~size:224 ~sub:"vfs" "sys_getdents64" [ C "fget"; C "vfs_readdir"; C "fput" ];
+    f ~size:192 ~sub:"vfs" "vfs_readdir" [ C "security_file_permission"; D ];
+    f ~size:192 ~sub:"vfs" "sys_access" [ C "path_lookup" ];
+    f ~size:224 ~sub:"vfs" "sys_unlink" [ C "path_lookup"; D ];
+    f ~size:192 ~sub:"vfs" "sys_rename" [ C "path_lookup"; C "path_lookup"; D ];
+    f ~size:192 ~sub:"vfs" "sys_mkdir" [ C "path_lookup"; D ];
+    f ~size:160 ~sub:"vfs" "sys_fsync" [ C "fget"; D; C "fput" ];
+    f ~size:176 ~sub:"vfs" "file_update_time" [ C "__mark_inode_dirty" ];
+    f ~size:160 ~sub:"vfs" "__mark_inode_dirty" [ D ];
+    f ~size:32 ~sub:"vfs" "dirty_inode_none" [];
+    (* Fig. 3 chain: sys_poll's call to do_sys_poll returns to an odd
+       address (instant recovery); do_sys_poll's call to do_poll returns
+       to an even address (lazy recovery). *)
+    f ~size:160 ~sub:"vfs" "sys_poll" [ Cp ("do_sys_poll", Fc_isa.Asm.Odd_return) ];
+    f ~size:384 ~sub:"vfs" "do_sys_poll"
+      [ C "copy_from_user"; Cp ("do_poll", Fc_isa.Asm.Even_return); C "copy_to_user" ];
+    f ~size:288 ~sub:"vfs" "do_poll" [ D; C "prepare_to_wait"; C "finish_wait" ];
+    f ~size:224 ~sub:"vfs" "sys_select" [ C "core_sys_select" ];
+    f ~size:288 ~sub:"vfs" "core_sys_select" [ C "copy_from_user"; C "do_select"; C "copy_to_user" ];
+    f ~size:320 ~sub:"vfs" "do_select" [ D; C "prepare_to_wait"; C "finish_wait" ];
+    f ~size:192 ~sub:"vfs" "sys_epoll_create" [ C "kmem_cache_alloc" ];
+    f ~size:224 ~sub:"vfs" "sys_epoll_ctl" [ C "fget"; C "fput" ];
+    f ~size:288 ~sub:"vfs" "sys_epoll_wait" [ C "ep_poll"; C "copy_to_user" ];
+    f ~size:224 ~sub:"vfs" "ep_poll" [ D; C "prepare_to_wait"; B 4; C "finish_wait" ];
+    f ~size:160 ~sub:"vfs" "generic_file_llseek" [];
+    (* zero-copy file->socket path used by network file servers *)
+    f ~size:224 ~sub:"vfs" "sys_sendfile64" [ C "fget"; C "do_sendfile"; C "fput" ];
+    f ~size:288 ~sub:"vfs" "do_sendfile" [ C (root "splice_aux"); D; D ];
+    (* vectored I/O: one vfs round per iovec segment *)
+    f ~size:256 ~sub:"vfs" "sys_readv" [ C "fget"; C "vfs_read"; C "vfs_read"; C "fput" ];
+    f ~size:256 ~sub:"vfs" "sys_writev" [ C "fget"; C "vfs_write"; C "vfs_write"; C "fput" ];
+    (* attribute changes dispatch to the filesystem's setattr op *)
+    f ~size:208 ~sub:"vfs" "sys_chmod" [ C "path_lookup"; D ];
+    f ~size:208 ~sub:"vfs" "sys_chown" [ C "path_lookup"; D ];
+    f ~size:192 ~sub:"vfs" "sys_utime" [ C "path_lookup"; D ];
+    f ~size:192 ~sub:"vfs" "sys_ftruncate" [ C "fget"; D; C "fput" ];
+    f ~size:208 ~sub:"vfs" "sys_fallocate" [ C "fget"; D; C "fput" ];
+    f ~size:176 ~sub:"vfs" "sys_sync" [ C "sync_filesystems" ];
+    f ~size:192 ~sub:"vfs" "sync_filesystems"
+      [ C "jbd2_commit_transaction"; C "submit_bio" ];
+    f ~size:144 ~sub:"vfs" "sys_getcwd" [ C "copy_to_user" ];
+    f ~size:112 ~sub:"vfs" "sys_umask" [];
+    f ~size:128 ~sub:"vfs" "generic_permission" [];
+  ]
+  @ tree ~sub:"vfs" ~prefix:"namei_aux" ~n:20 ~size:node
+  @ tree ~sub:"vfs" ~prefix:"splice_aux" ~n:36 ~size:node
+
+(* ------------------------------------------------------------------ *)
+(* pagecache write path shared by disk filesystems (Fig. 5 chain)      *)
+(* ------------------------------------------------------------------ *)
+
+let pagecache_fns =
+  [
+    f ~size:224 ~sub:"vfs" "generic_file_aio_write" [ C "__generic_file_aio_write" ];
+    f ~size:320 ~sub:"vfs" "__generic_file_aio_write"
+      [ C "file_update_time"; C "generic_file_buffered_write" ];
+    f ~size:288 ~sub:"vfs" "generic_file_buffered_write"
+      [ C "copy_from_user"; D ];
+    f ~size:256 ~sub:"vfs" "generic_file_aio_read"
+      [ C "find_get_page"; C "copy_to_user"; D ];
+    f ~size:32 ~sub:"vfs" "readpage_none" [];
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* pipe + fifo                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let pipe_fns =
+  [
+    f ~size:192 ~sub:"pipe" "sys_pipe" [ C "do_pipe"; C "fd_install"; C "fd_install" ];
+    f ~size:224 ~sub:"pipe" "do_pipe" [ C "get_pipe_inode" ];
+    f ~size:176 ~sub:"pipe" "get_pipe_inode" [ C "kmem_cache_alloc" ];
+    f ~size:256 ~sub:"pipe" "pipe_read" [ C "pipe_wait"; C "copy_to_user"; C "__wake_up" ];
+    f ~size:256 ~sub:"pipe" "pipe_write" [ Cold 32; C "copy_from_user"; C "__wake_up" ];
+    f ~size:208 ~sub:"pipe" "pipe_poll" [ B 5 ];
+    f ~size:144 ~sub:"pipe" "pipe_wait" [ C "prepare_to_wait"; B 6; C "finish_wait" ];
+    f ~size:128 ~sub:"pipe" "pipe_release" [ C "kmem_cache_free" ];
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* procfs                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let procfs_fns =
+  [
+    f ~size:176 ~sub:"procfs" "proc_reg_open" [];
+    f ~size:208 ~sub:"procfs" "proc_file_read" [ C "snprintf"; Cold 24; D ];
+    f ~size:224 ~sub:"procfs" "proc_pid_status_show" [ C "snprintf"; C "snprintf" ];
+    f ~size:256 ~sub:"procfs" "proc_stat_show" [ C "snprintf"; C "ktime_get" ];
+    f ~size:224 ~sub:"procfs" "proc_meminfo_show" [ C "snprintf" ];
+    f ~size:224 ~sub:"procfs" "proc_loadavg_show" [ C "snprintf" ];
+    f ~size:256 ~sub:"procfs" "proc_pid_readdir" [ C "snprintf"; C (root "proc_aux") ];
+    f ~size:208 ~sub:"procfs" "proc_lookup" [ C "d_lookup" ];
+    f ~size:160 ~sub:"procfs" "proc_getattr" [];
+  ]
+  @ tree ~sub:"procfs" ~prefix:"proc_aux" ~n:32 ~size:node
+
+(* ------------------------------------------------------------------ *)
+(* tty: line discipline, console, pty                                  *)
+(* ------------------------------------------------------------------ *)
+
+let tty_fns =
+  [
+    f ~size:256 ~sub:"tty" "tty_read" [ C "n_tty_read" ];
+    f ~size:320 ~sub:"tty" "n_tty_read"
+      [ C "prepare_to_wait"; B 7; C "finish_wait"; C "copy_to_user" ];
+    f ~size:256 ~sub:"tty" "tty_write" [ C "n_tty_write" ];
+    f ~size:288 ~sub:"tty" "n_tty_write" [ C "copy_from_user"; D ];
+    f ~size:224 ~sub:"tty" "con_write" [ C "do_con_write" ];
+    f ~size:352 ~sub:"tty" "do_con_write" [ C (root "console_aux") ];
+    f ~size:192 ~sub:"tty" "pty_write" [ C (root "pty_aux"); C "tty_insert_flip_string" ];
+    f ~size:176 ~sub:"tty" "tty_insert_flip_string" [ C "memcpy" ];
+    f ~size:160 ~sub:"tty" "tty_flip_buffer_push" [ C "n_tty_receive_buf" ];
+    f ~size:288 ~sub:"tty" "n_tty_receive_buf" [ C "__wake_up" ];
+    f ~size:96 ~sub:"tty" "tty_receive_char" [ C "tty_flip_buffer_push" ];
+    f ~size:224 ~sub:"tty" "tty_poll" [ B 8 ];
+    f ~size:256 ~sub:"tty" "tty_ioctl" [ C (root "tty_aux") ];
+    f ~size:192 ~sub:"tty" "tty_open" [ C "kmem_cache_alloc" ];
+    f ~size:160 ~sub:"tty" "tty_release" [ C "kmem_cache_free" ];
+  ]
+  @ tree ~sub:"tty" ~prefix:"console_aux" ~n:26 ~size:node
+  @ tree ~sub:"tty" ~prefix:"pty_aux" ~n:26 ~size:node
+  @ tree ~sub:"tty" ~prefix:"tty_aux" ~n:14 ~size:397
+
+(* ------------------------------------------------------------------ *)
+(* ext4 + jbd2 + block (built into the base kernel, as in the paper's  *)
+(* Ubuntu 10.04 guest: Fig. 5 shows ext4/jbd2 at base addresses)       *)
+(* ------------------------------------------------------------------ *)
+
+let ext4_fns =
+  [
+    f ~size:224 ~sub:"ext4" "ext4_file_open" [ C "generic_permission" ];
+    f ~size:208 ~sub:"ext4" "ext4_file_read" [ C "generic_file_aio_read" ];
+    (* Fig. 5 write chain *)
+    f ~size:224 ~sub:"ext4" "ext4_file_write" [ Cold 32; C "generic_file_aio_write" ];
+    f ~size:256 ~sub:"ext4" "ext4_write_begin" [ C "ext4_journal_start"; C "ext4_get_block" ];
+    f ~size:224 ~sub:"ext4" "ext4_write_end" [ C "ext4_journal_stop" ];
+    f ~size:288 ~sub:"ext4" "ext4_get_block" [ Cold 48; C (root "ext4_map_aux") ];
+    f ~size:208 ~sub:"ext4" "ext4_readpage" [ C "ext4_get_block"; C "submit_bio" ];
+    f ~size:224 ~sub:"ext4" "ext4_dirty_inode" [ C "ext4_journal_start"; C "__ext4_journal_stop" ];
+    f ~size:176 ~sub:"ext4" "ext4_journal_start" [ C "jbd2_journal_start" ];
+    f ~size:160 ~sub:"ext4" "ext4_journal_stop" [ C "__ext4_journal_stop" ];
+    f ~size:192 ~sub:"ext4" "__ext4_journal_stop" [ C "jbd2_journal_stop" ];
+    f ~size:224 ~sub:"ext4" "ext4_getattr" [];
+    f ~size:240 ~sub:"ext4" "ext4_setattr"
+      [ C "ext4_journal_start"; C "__mark_inode_dirty"; C "ext4_journal_stop" ];
+    f ~size:288 ~sub:"ext4" "ext4_truncate"
+      [ C "ext4_journal_start"; C "ext4_get_block"; C "ext4_journal_stop" ];
+    f ~size:256 ~sub:"ext4" "ext4_fallocate"
+      [ C "ext4_journal_start"; C "ext4_get_block"; C "ext4_journal_stop" ];
+    f ~size:256 ~sub:"ext4" "ext4_readdir" [ C "ext4_get_block" ];
+    f ~size:224 ~sub:"ext4" "ext4_lookup" [ C "ext4_get_block"; C "d_lookup" ];
+    f ~size:256 ~sub:"ext4" "ext4_unlink" [ C "ext4_journal_start"; C "ext4_journal_stop" ];
+    f ~size:256 ~sub:"ext4" "ext4_rename" [ C "ext4_journal_start"; C "ext4_journal_stop" ];
+    f ~size:256 ~sub:"ext4" "ext4_mkdir" [ C "ext4_journal_start"; C "ext4_journal_stop" ];
+    f ~size:224 ~sub:"ext4" "ext4_sync_file"
+      [ C "jbd2_commit_transaction"; C "jbd2_log_wait_commit" ];
+    f ~size:176 ~sub:"jbd2" "jbd2_journal_start" [ C "kmem_cache_alloc" ];
+    f ~size:208 ~sub:"jbd2" "jbd2_journal_stop" [ C "__jbd2_log_start_commit" ];
+    f ~size:176 ~sub:"jbd2" "__jbd2_log_start_commit" [ C "__wake_up" ];
+    f ~size:192 ~sub:"jbd2" "jbd2_log_wait_commit" [ C "prepare_to_wait"; B 9; C "finish_wait" ];
+    f ~size:192 ~sub:"block" "submit_bio" [ C "generic_make_request" ];
+    f ~size:256 ~sub:"block" "generic_make_request" [ C "__make_request" ];
+    f ~size:288 ~sub:"block" "__make_request" [ C (root "elv_aux") ];
+  ]
+  @ tree ~sub:"ext4" ~prefix:"ext4_map_aux" ~n:110 ~size:node
+  @ tree ~sub:"jbd2" ~prefix:"jbd2_aux" ~n:32 ~size:node
+  @ tree ~sub:"block" ~prefix:"elv_aux" ~n:28 ~size:node
+
+(* jbd2_aux is reached from the commit path *)
+let ext4_fns =
+  ext4_fns
+  @ [ f ~size:224 ~sub:"jbd2" "jbd2_commit_transaction" [ C (root "jbd2_aux"); C "submit_bio" ] ]
+
+(* ------------------------------------------------------------------ *)
+(* net core: socket syscalls, skb helpers                              *)
+(* ------------------------------------------------------------------ *)
+
+let net_fns =
+  [
+    f ~size:224 ~sub:"net" "sys_socket" [ C "sock_create"; C "fd_install" ];
+    f ~size:256 ~sub:"net" "sock_create" [ C "security_socket_create"; D ];
+    (* Fig. 4 bind chain *)
+    f ~size:224 ~sub:"net" "sys_bind" [ C "security_socket_bind"; D ];
+    f ~size:224 ~sub:"net" "sys_connect" [ C "security_socket_connect"; D ];
+    f ~size:224 ~sub:"net" "sys_listen" [ D ];
+    f ~size:288 ~sub:"net" "sys_accept" [ D; C "sock_alloc"; C "fd_install" ];
+    f ~size:256 ~sub:"net" "sys_sendto" [ C "sock_sendmsg" ];
+    f ~size:224 ~sub:"net" "sys_send" [ C "sock_sendmsg" ];
+    (* Fig. 4 recvfrom chain *)
+    f ~size:256 ~sub:"net" "sys_recvfrom" [ C "sock_recvmsg" ];
+    f ~size:224 ~sub:"net" "sys_recv" [ C "sock_recvmsg" ];
+    f ~size:224 ~sub:"net" "sys_sendmsg" [ C "sock_sendmsg" ];
+    f ~size:224 ~sub:"net" "sys_recvmsg" [ C "sock_recvmsg" ];
+    f ~size:208 ~sub:"net" "sock_sendmsg" [ C "security_socket_sendmsg"; Cold 24; D ];
+    f ~size:208 ~sub:"net" "sock_recvmsg" [ C "security_socket_recvmsg"; D ];
+    f ~size:176 ~sub:"net" "sock_common_recvmsg" [ D ];
+    f ~size:176 ~sub:"net" "sys_setsockopt" [ D ];
+    f ~size:160 ~sub:"net" "sys_getsockname" [ C "copy_to_user" ];
+    f ~size:176 ~sub:"net" "sys_getsockopt" [ D; C "copy_to_user" ];
+    f ~size:32 ~sub:"net" "getsockopt_none" [];
+    f ~size:224 ~sub:"net" "sys_socketpair" [ D; D; C "fd_install"; C "fd_install" ];
+    f ~size:176 ~sub:"net" "sys_shutdown" [ D ];
+    f ~size:160 ~sub:"net" "sock_alloc" [ C "kmem_cache_alloc" ];
+    f ~size:176 ~sub:"net" "sk_alloc" [ C "kmem_cache_alloc" ];
+    f ~size:160 ~sub:"net" "sock_poll" [ D ];
+    f ~size:144 ~sub:"net" "lock_sock_nested" [];
+    f ~size:128 ~sub:"net" "release_sock" [];
+    f ~size:192 ~sub:"net" "alloc_skb" [ C "kmem_cache_alloc" ];
+    f ~size:160 ~sub:"net" "kfree_skb" [ C "kmem_cache_free" ];
+    f ~size:208 ~sub:"net" "skb_copy_datagram_iovec" [ C "copy_to_user" ];
+    f ~size:224 ~sub:"net" "__skb_recv_datagram" [ C "prepare_to_wait_exclusive"; B 10 ];
+    f ~size:176 ~sub:"net" "sock_queue_rcv_skb" [ C "__wake_up" ];
+    f ~size:256 ~sub:"net" "dev_queue_xmit" [ C (root "qdisc_aux") ];
+    f ~size:176 ~sub:"net" "sock_close" [ D; C "fput" ];
+  ]
+  @ tree ~sub:"net" ~prefix:"qdisc_aux" ~n:12 ~size:397
+
+(* ------------------------------------------------------------------ *)
+(* ip: routing, input/output path                                      *)
+(* ------------------------------------------------------------------ *)
+
+let ip_fns =
+  [
+    f ~size:256 ~sub:"ip" "ip_rcv" [ C "ip_rcv_finish" ];
+    f ~size:224 ~sub:"ip" "ip_rcv_finish" [ C "ip_route_input"; C "ip_local_deliver" ];
+    f ~size:256 ~sub:"ip" "ip_route_input" [ C "fib_lookup"; C (root "route_aux") ];
+    f ~size:224 ~sub:"ip" "fib_lookup" [];
+    f ~size:192 ~sub:"ip" "ip_local_deliver" [ D ];
+    f ~size:224 ~sub:"ip" "ip_queue_xmit" [ C "ip_route_output_flow"; C "ip_local_out" ];
+    f ~size:224 ~sub:"ip" "ip_route_output_flow" [ C "fib_lookup" ];
+    f ~size:176 ~sub:"ip" "ip_local_out" [ C "dst_output" ];
+    f ~size:160 ~sub:"ip" "dst_output" [ C "dev_queue_xmit" ];
+    f ~size:224 ~sub:"ip" "ip_append_data" [ C "alloc_skb"; C "copy_from_user" ];
+    f ~size:208 ~sub:"ip" "ip_push_pending_frames" [ C "ip_local_out" ];
+    f ~size:176 ~sub:"ip" "inet_addr_type" [ C "fib_lookup" ];
+    f ~size:192 ~sub:"ip" "icmp_send" [ C "ip_queue_xmit" ];
+    (* inet socket glue *)
+    f ~size:256 ~sub:"ip" "inet_create" [ C "sk_alloc" ];
+    f ~size:288 ~sub:"ip" "inet_bind"
+      [ C "inet_addr_type"; Cold 32; C "lock_sock_nested"; D; C "release_sock" ];
+    f ~size:224 ~sub:"ip" "inet_listen" [ C "lock_sock_nested"; C "release_sock" ];
+    f ~size:224 ~sub:"ip" "inet_stream_connect" [ D; B 11 ];
+    f ~size:192 ~sub:"ip" "inet_dgram_connect" [ D ];
+    f ~size:176 ~sub:"ip" "inet_sendmsg" [ D ];
+    f ~size:176 ~sub:"ip" "inet_shutdown" [ C "lock_sock_nested"; C "release_sock" ];
+    f ~size:160 ~sub:"ip" "inet_release" [ D ];
+  ]
+  @ tree ~sub:"ip" ~prefix:"route_aux" ~n:16 ~size:node
+
+(* ------------------------------------------------------------------ *)
+(* tcp                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let tcp_fns =
+  [
+    f ~size:320 ~sub:"tcp" "tcp_v4_rcv" [ C "tcp_rcv_established" ];
+    f ~size:384 ~sub:"tcp" "tcp_rcv_established"
+      [ C "tcp_ack"; C "tcp_data_queue"; C (root "tcp_rcv_aux") ];
+    f ~size:256 ~sub:"tcp" "tcp_ack" [];
+    f ~size:256 ~sub:"tcp" "tcp_data_queue" [ C "sock_queue_rcv_skb" ];
+    f ~size:320 ~sub:"tcp" "tcp_sendmsg"
+      [ C "lock_sock_nested"; Cold 64; C "alloc_skb"; C "copy_from_user"; C "tcp_push"; C "release_sock" ];
+    f ~size:192 ~sub:"tcp" "tcp_push" [ C "tcp_write_xmit" ];
+    f ~size:288 ~sub:"tcp" "tcp_write_xmit" [ C "tcp_transmit_skb" ];
+    f ~size:256 ~sub:"tcp" "tcp_transmit_skb" [ C "ip_queue_xmit"; C (root "tcp_out_aux") ];
+    f ~size:320 ~sub:"tcp" "tcp_recvmsg"
+      [ C "lock_sock_nested"; Cold 48; B 12; C (root "tcp_in_aux");
+        C "skb_copy_datagram_iovec"; C "release_sock" ];
+    f ~size:224 ~sub:"tcp" "tcp_poll" [ B 13 ];
+    f ~size:288 ~sub:"tcp" "inet_csk_accept"
+      [ C "prepare_to_wait_exclusive"; B 14; C (root "accept_aux"); C "finish_wait" ];
+    f ~size:288 ~sub:"tcp" "tcp_v4_connect"
+      [ C "ip_route_output_flow"; C "tcp_connect" ];
+    f ~size:256 ~sub:"tcp" "tcp_connect" [ C "alloc_skb"; C "tcp_transmit_skb" ];
+    f ~size:256 ~sub:"tcp" "tcp_close" [ C "tcp_send_fin" ];
+    f ~size:192 ~sub:"tcp" "tcp_send_fin" [ C "tcp_transmit_skb" ];
+    f ~size:224 ~sub:"tcp" "tcp_v4_get_port" [ C "inet_csk_get_port" ];
+    f ~size:224 ~sub:"tcp" "inet_csk_get_port" [];
+    f ~size:208 ~sub:"tcp" "tcp_setsockopt" [ C "lock_sock_nested"; D; C "release_sock" ];
+    f ~size:32 ~sub:"tcp" "sockopt_none" [];
+    f ~size:224 ~sub:"tcp" "tcp_md5_setkey" [ D ];
+    f ~size:192 ~sub:"tcp" "tcp_shutdown" [ C "tcp_send_fin" ];
+  ]
+  @ tree ~sub:"tcp" ~prefix:"tcp_rcv_aux" ~n:10 ~size:node
+  @ tree ~sub:"tcp" ~prefix:"tcp_out_aux" ~n:64 ~size:node
+  @ tree ~sub:"tcp" ~prefix:"tcp_in_aux" ~n:40 ~size:node
+  @ tree ~sub:"tcp" ~prefix:"accept_aux" ~n:24 ~size:node
+
+(* ------------------------------------------------------------------ *)
+(* udp (Fig. 4 chains)                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let udp_fns =
+  [
+    f ~size:224 ~sub:"udp" "udp_v4_get_port" [ C "udp_lib_get_port" ];
+    f ~size:256 ~sub:"udp" "udp_lib_get_port" [ C "udp_lib_lport_inuse" ];
+    f ~size:176 ~sub:"udp" "udp_lib_lport_inuse" [];
+    f ~size:320 ~sub:"udp" "udp_recvmsg"
+      [ Cold 40; C "__skb_recv_datagram"; C "skb_copy_datagram_iovec" ];
+    f ~size:288 ~sub:"udp" "udp_sendmsg"
+      [ C "ip_route_output_flow"; C "ip_append_data"; C "udp_push_pending_frames" ];
+    f ~size:192 ~sub:"udp" "udp_push_pending_frames" [ C "ip_push_pending_frames" ];
+    f ~size:256 ~sub:"udp" "udp_rcv" [ C "udp_queue_rcv_skb" ];
+    f ~size:192 ~sub:"udp" "udp_queue_rcv_skb" [ C "sock_queue_rcv_skb" ];
+    f ~size:176 ~sub:"udp" "udp_poll" [ B 15 ];
+    f ~size:160 ~sub:"udp" "udp_close" [];
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* unix domain sockets (X11 transport for GUI apps)                    *)
+(* ------------------------------------------------------------------ *)
+
+let unix_fns =
+  [
+    f ~size:224 ~sub:"unix" "unix_create" [ C "sk_alloc" ];
+    f ~size:256 ~sub:"unix" "unix_stream_connect" [ C "path_lookup"; C "sk_alloc" ];
+    f ~size:224 ~sub:"unix" "unix_bind" [ C "path_lookup" ];
+    f ~size:288 ~sub:"unix" "unix_stream_sendmsg"
+      [ C "alloc_skb"; C "copy_from_user"; C "sock_queue_rcv_skb" ];
+    f ~size:288 ~sub:"unix" "unix_stream_recvmsg"
+      [ C "prepare_to_wait"; B 16; C "finish_wait"; C "skb_copy_datagram_iovec" ];
+    f ~size:256 ~sub:"unix" "unix_dgram_sendmsg"
+      [ C "alloc_skb"; C "copy_from_user"; C "sock_queue_rcv_skb" ];
+    f ~size:224 ~sub:"unix" "unix_dgram_recvmsg" [ C "__skb_recv_datagram"; C "skb_copy_datagram_iovec" ];
+    f ~size:176 ~sub:"unix" "unix_poll" [ B 17 ];
+    f ~size:160 ~sub:"unix" "unix_accept" [ B 18 ];
+    f ~size:160 ~sub:"unix" "unix_release" [ C "kfree_skb"; C "unix_gc" ];
+  ]
+  @ tree ~sub:"unix" ~prefix:"unix_aux" ~n:20 ~size:node
+
+(* unix_aux reached from stream send (garbage-collection of fds etc.) *)
+let unix_fns =
+  unix_fns
+  @ [ f ~size:176 ~sub:"unix" "unix_gc" [ C (root "unix_aux") ] ]
+
+(* ------------------------------------------------------------------ *)
+(* security: LSM hooks + AppArmor (built in, as on Ubuntu)             *)
+(* ------------------------------------------------------------------ *)
+
+let security_fns =
+  [
+    f ~size:128 ~sub:"security" "security_socket_create" [ C "apparmor_socket_create" ];
+    f ~size:128 ~sub:"security" "security_socket_bind" [ C "apparmor_socket_bind" ];
+    f ~size:128 ~sub:"security" "security_socket_connect" [ C "apparmor_socket_connect" ];
+    f ~size:128 ~sub:"security" "security_socket_sendmsg" [ C "apparmor_socket_sendmsg" ];
+    f ~size:128 ~sub:"security" "security_socket_recvmsg" [ C "apparmor_socket_recvmsg" ];
+    f ~size:128 ~sub:"security" "security_file_open" [ C "apparmor_file_open" ];
+    f ~size:128 ~sub:"security" "security_file_permission" [ C "apparmor_file_permission" ];
+    f ~size:160 ~sub:"security" "apparmor_socket_create" [];
+    f ~size:160 ~sub:"security" "apparmor_socket_bind" [];
+    f ~size:160 ~sub:"security" "apparmor_socket_connect" [];
+    f ~size:160 ~sub:"security" "apparmor_socket_sendmsg" [];
+    f ~size:160 ~sub:"security" "apparmor_socket_recvmsg" [];
+    f ~size:192 ~sub:"security" "apparmor_file_open" [ C (root "aa_aux") ];
+    f ~size:176 ~sub:"security" "apparmor_file_permission" [];
+  ]
+  @ tree ~sub:"security" ~prefix:"aa_aux" ~n:10 ~size:397
+
+(* ------------------------------------------------------------------ *)
+(* futex / ipc                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let futex_fns =
+  [
+    f ~size:288 ~sub:"futex" "sys_futex" [ C "do_futex" ];
+    f ~size:256 ~sub:"futex" "do_futex" [ C "hash_futex"; D ];
+    f ~size:176 ~sub:"futex" "hash_futex" [];
+    f ~size:256 ~sub:"futex" "futex_wait" [ C "prepare_to_wait"; B 19; C "finish_wait" ];
+    f ~size:224 ~sub:"futex" "futex_wake" [ C (root "futex_aux"); C "__wake_up" ];
+    f ~size:224 ~sub:"ipc" "sys_shmget" [ C "kmem_cache_alloc" ];
+    f ~size:256 ~sub:"ipc" "sys_shmat" [ C "do_mmap_pgoff" ];
+    f ~size:192 ~sub:"ipc" "sys_shmdt" [ C "do_munmap" ];
+  ]
+  @ tree ~sub:"futex" ~prefix:"futex_aux" ~n:24 ~size:node
+
+let futex_fns =
+  futex_fns
+  @ [ f ~size:160 ~sub:"futex" "futex_requeue" [ C (root "futex_aux"); C "__wake_up" ] ]
+
+(* ------------------------------------------------------------------ *)
+(* input: evdev (X server side of interactive apps)                    *)
+(* ------------------------------------------------------------------ *)
+
+let input_fns =
+  [
+    f ~size:224 ~sub:"input" "evdev_event" [ C "__wake_up" ];
+    f ~size:256 ~sub:"input" "evdev_read"
+      [ C "prepare_to_wait"; B 20; C "finish_wait"; C "copy_to_user" ];
+    f ~size:176 ~sub:"input" "evdev_poll" [ B 21 ];
+    f ~size:192 ~sub:"input" "evdev_open" [ C "kmem_cache_alloc" ];
+    f ~size:160 ~sub:"input" "evdev_ioctl" [];
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* video: drm/fb (GUI apps)                                            *)
+(* ------------------------------------------------------------------ *)
+
+let video_fns =
+  [
+    f ~size:288 ~sub:"video" "drm_ioctl" [ D ];
+    f ~size:256 ~sub:"video" "drm_mode_setcrtc" [ C (root "drm_mode_aux") ];
+    f ~size:256 ~sub:"video" "drm_gem_execbuffer"
+      [ C (root "drm_exec_aux"); C "kmem_cache_alloc" ];
+    f ~size:224 ~sub:"video" "drm_gem_mmap" [ C (root "drm_gem_aux"); C "do_mmap_pgoff" ];
+    f ~size:224 ~sub:"video" "drm_wait_vblank" [ C (root "drm_vblank_aux"); B 22 ];
+    f ~size:192 ~sub:"video" "drm_open" [ C "kmem_cache_alloc" ];
+    f ~size:208 ~sub:"video" "fb_write" [ C "copy_from_user"; C "memcpy" ];
+    f ~size:192 ~sub:"video" "fb_mmap" [ C "do_mmap_pgoff" ];
+  ]
+  @ tree ~sub:"video" ~prefix:"drm_mode_aux" ~n:40 ~size:node
+  @ tree ~sub:"video" ~prefix:"drm_exec_aux" ~n:80 ~size:node
+  @ tree ~sub:"video" ~prefix:"drm_gem_aux" ~n:20 ~size:node
+  @ tree ~sub:"video" ~prefix:"drm_vblank_aux" ~n:12 ~size:node
+
+(* ------------------------------------------------------------------ *)
+(* Default loadable modules                                            *)
+(* ------------------------------------------------------------------ *)
+
+let kvmclock_module =
+  [
+    f ~size:96 ~sub:"kvmclock" "kvm_clock_get_cycles" [ C "kvm_clock_read" ];
+    f ~size:112 ~sub:"kvmclock" "kvm_clock_read" [ C "pvclock_clocksource_read" ];
+  ]
+
+let af_packet_module =
+  [
+    f ~size:224 ~sub:"af_packet" "packet_create" [ C "sk_alloc" ];
+    f ~size:256 ~sub:"af_packet" "packet_rcv" [ C "sock_queue_rcv_skb" ];
+    f ~size:288 ~sub:"af_packet" "packet_recvmsg"
+      [ C "__skb_recv_datagram"; C (root "pkt_rx_aux"); C "skb_copy_datagram_iovec" ];
+    f ~size:224 ~sub:"af_packet" "packet_bind" [];
+    f ~size:176 ~sub:"af_packet" "packet_poll" [ B 23 ];
+    f ~size:192 ~sub:"af_packet" "packet_setsockopt" [ C "copy_from_user" ];
+    f ~size:224 ~sub:"af_packet" "packet_mmap" [ C "do_mmap_pgoff" ];
+  ]
+  @ tree ~sub:"af_packet" ~prefix:"pkt_aux" ~n:12 ~size:397
+  @ tree ~sub:"af_packet" ~prefix:"pkt_rx_aux" ~n:80 ~size:node
+  @ [ f ~size:160 ~sub:"af_packet" "packet_snd" [ C (root "pkt_aux"); C "dev_queue_xmit" ] ]
+
+let snd_module =
+  [
+    f ~size:256 ~sub:"snd" "snd_pcm_open" [ C "kmem_cache_alloc" ];
+    f ~size:320 ~sub:"snd" "snd_pcm_ioctl" [ D ];
+    f ~size:288 ~sub:"snd" "snd_pcm_lib_write" [ C "copy_from_user"; B 24; C (root "snd_aux") ];
+    f ~size:224 ~sub:"snd" "snd_pcm_update_hw_ptr" [];
+    f ~size:176 ~sub:"snd" "snd_pcm_poll" [ B 25 ];
+    f ~size:192 ~sub:"snd" "snd_pcm_prepare" [];
+  ]
+  @ tree ~sub:"snd" ~prefix:"snd_aux" ~n:52 ~size:node
+
+let crypto_module =
+  [
+    f ~size:256 ~sub:"crypto" "crypto_aes_encrypt" [ C (root "crypto_aux") ];
+    f ~size:256 ~sub:"crypto" "crypto_aes_decrypt" [ C (root "crypto_aux") ];
+    f ~size:224 ~sub:"crypto" "crypto_sha1_update" [ C (root "crypto_aux") ];
+    f ~size:192 ~sub:"crypto" "crypto_hmac" [ C "crypto_sha1_update" ];
+  ]
+  @ tree ~sub:"crypto" ~prefix:"crypto_aux" ~n:40 ~size:node
+
+(* ------------------------------------------------------------------ *)
+(* sysfs, netlink, inotify, eventfd: desktop/daemon plumbing            *)
+(* ------------------------------------------------------------------ *)
+
+let sysfs_fns =
+  [
+    f ~size:176 ~sub:"sysfs" "sysfs_open" [ C "kmem_cache_alloc" ];
+    f ~size:208 ~sub:"sysfs" "sysfs_read" [ C "snprintf"; C (root "sysfs_aux") ];
+    f ~size:176 ~sub:"sysfs" "sysfs_lookup" [ C "d_lookup" ];
+  ]
+  @ tree ~sub:"sysfs" ~prefix:"sysfs_aux" ~n:12 ~size:397
+
+let netlink_fns =
+  [
+    f ~size:224 ~sub:"netlink" "netlink_create" [ C "sk_alloc" ];
+    f ~size:208 ~sub:"netlink" "netlink_bind" [];
+    f ~size:256 ~sub:"netlink" "netlink_sendmsg"
+      [ C "alloc_skb"; C "copy_from_user"; C (root "nl_aux") ];
+    f ~size:224 ~sub:"netlink" "netlink_recvmsg"
+      [ C "__skb_recv_datagram"; C "skb_copy_datagram_iovec" ];
+  ]
+  @ tree ~sub:"netlink" ~prefix:"nl_aux" ~n:10 ~size:397
+
+let inotify_fns =
+  [
+    f ~size:176 ~sub:"inotify" "sys_inotify_init" [ C "kmem_cache_alloc"; C "fd_install" ];
+    f ~size:224 ~sub:"inotify" "sys_inotify_add_watch"
+      [ C "path_lookup"; C (root "inotify_aux") ];
+    f ~size:240 ~sub:"inotify" "inotify_read"
+      [ C "prepare_to_wait"; B 26; C "finish_wait"; C "copy_to_user" ];
+  ]
+  @ tree ~sub:"inotify" ~prefix:"inotify_aux" ~n:8 ~size:397
+
+let eventfd_fns =
+  [
+    f ~size:160 ~sub:"eventfd" "sys_eventfd" [ C "kmem_cache_alloc"; C "fd_install" ];
+    f ~size:176 ~sub:"eventfd" "eventfd_read" [ B 27; C "copy_to_user" ];
+    f ~size:160 ~sub:"eventfd" "eventfd_write" [ C "copy_from_user"; C "__wake_up" ];
+  ]
+
+let module_functions =
+  [
+    ("kvmclock", kvmclock_module);
+    ("af_packet", af_packet_module);
+    ("snd_hda", snd_module);
+    ("crypto_aes", crypto_module);
+  ]
+
+let base_functions =
+  core_fns @ sched_fns @ irq_fns @ clock_fns @ task_fns @ signal_fns @ mm_fns
+  @ lib_fns @ vfs_fns @ pagecache_fns @ pipe_fns @ procfs_fns @ tty_fns
+  @ ext4_fns @ net_fns @ ip_fns @ tcp_fns @ udp_fns @ unix_fns @ security_fns
+  @ futex_fns @ input_fns @ video_fns @ sysfs_fns @ netlink_fns @ inotify_fns
+  @ eventfd_fns
+
+let subsystems =
+  let seen = Hashtbl.create 16 in
+  List.filter_map
+    (fun (fn : Kfunc.t) ->
+      if Hashtbl.mem seen fn.subsystem then None
+      else begin
+        Hashtbl.add seen fn.subsystem ();
+        Some fn.subsystem
+      end)
+    base_functions
+
+let functions_of_subsystem sub =
+  List.filter (fun (fn : Kfunc.t) -> String.equal fn.subsystem sub) base_functions
+
+let all_functions =
+  base_functions @ List.concat_map snd module_functions
+
+let index =
+  let h = Hashtbl.create 512 in
+  List.iter (fun (fn : Kfunc.t) -> Hashtbl.replace h fn.name fn) all_functions;
+  h
+
+let find name = Hashtbl.find_opt index name

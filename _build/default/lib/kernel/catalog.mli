@@ -1,0 +1,50 @@
+(** The synthetic kernel's function catalog.
+
+    Declares every base-kernel function and every default loadable module,
+    organized by subsystem, with the call chains the paper's figures rely
+    on laid out verbatim:
+
+    - Fig. 3: [sys_poll → do_sys_poll → do_poll → (dispatch) pipe_poll],
+      with the [do_sys_poll] call site forced to an {e odd} return address
+      inside [sys_poll] and an {e even} one inside [do_sys_poll];
+    - Fig. 4: the [socket]/[bind]/[recvfrom] UDP chains
+      ([sys_bind → security_socket_bind → apparmor_socket_bind →
+      inet_bind → inet_addr_type → lock_sock_nested → udp_v4_get_port →
+      udp_lib_get_port → udp_lib_lport_inuse → release_sock], …);
+    - Fig. 5: [vsnprintf → strnlen], [filp_open], and the ext4/jbd2 write
+      chain [do_sync_write → ext4_file_write → generic_file_aio_write →
+      … → __jbd2_log_start_commit];
+    - §III-B3(i): the KVM para-virtual clock chain
+      [kvm_clock_get_cycles → kvm_clock_read → pvclock_clocksource_read →
+      native_read_tsc], where the first two live in the [kvmclock] module
+      that is {e never} exercised while profiling (QEMU uses the emulated
+      ACPI PM timer), producing the paper's benign recovery.
+
+    Subsystem byte budgets are filled out with generated helper trees so
+    that per-application profiled sizes land in the paper's 150–450 KB
+    band. *)
+
+val base_functions : Kfunc.t list
+(** All base-kernel functions, in image layout order. *)
+
+val module_functions : (string * Kfunc.t list) list
+(** Default loadable modules: [kvmclock], [af_packet], [snd_hda],
+    [crypto_aes] — each a (module name, functions) pair.  Rootkit modules
+    are {e not} here; attacks load them dynamically. *)
+
+val subsystems : string list
+(** Distinct subsystem tags, in layout order. *)
+
+val functions_of_subsystem : string -> Kfunc.t list
+(** Base-kernel functions tagged with the given subsystem. *)
+
+val all_functions : Kfunc.t list
+(** Base functions followed by every default module's functions. *)
+
+val find : string -> Kfunc.t option
+(** Look up any base or module function by name. *)
+
+val tree : sub:string -> prefix:string -> n:int -> size:int -> Kfunc.t list
+(** [tree ~sub ~prefix ~n ~size] generates [n] helper functions named
+    [<prefix>_000 …] forming a binary call tree rooted at [<prefix>_000];
+    walking the root reaches every node.  Exposed for tests. *)

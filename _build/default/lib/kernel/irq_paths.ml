@@ -1,0 +1,54 @@
+type clocksource = Acpi_pm | Kvmclock
+
+type source =
+  | Timer of clocksource
+  | Timer_itimer of clocksource
+  | Keyboard_console
+  | Keyboard_evdev
+  | Net_rx_tcp
+  | Net_rx_udp
+  | Net_rx_sniffed_tcp
+  | Net_rx_sniffed_udp
+  | Disk
+
+let entry = "irq_entry"
+
+let clock_fn = function
+  | Acpi_pm -> "acpi_pm_read"
+  | Kvmclock -> "kvm_clock_get_cycles"
+
+let dispatch = function
+  | Timer cs -> [ "timer_interrupt"; clock_fn cs; "run_timer_softirq"; "process_timeout" ]
+  | Timer_itimer cs -> [ "timer_interrupt"; clock_fn cs; "run_timer_softirq"; "it_real_fn" ]
+  | Keyboard_console -> [ "keyboard_interrupt"; "tty_receive_char"; "softirq_none" ]
+  | Keyboard_evdev -> [ "keyboard_interrupt"; "evdev_event"; "softirq_none" ]
+  | Net_rx_tcp -> [ "e1000_intr"; "net_rx_action"; "deliver_skb_none"; "ip_rcv"; "tcp_v4_rcv" ]
+  | Net_rx_udp -> [ "e1000_intr"; "net_rx_action"; "deliver_skb_none"; "ip_rcv"; "udp_rcv" ]
+  | Net_rx_sniffed_tcp -> [ "e1000_intr"; "net_rx_action"; "packet_rcv"; "ip_rcv"; "tcp_v4_rcv" ]
+  | Net_rx_sniffed_udp -> [ "e1000_intr"; "net_rx_action"; "packet_rcv"; "ip_rcv"; "udp_rcv" ]
+  | Disk -> [ "ahci_intr"; "blk_done_softirq" ]
+
+let describe = function
+  | Timer Acpi_pm -> "timer tick (acpi_pm clocksource)"
+  | Timer Kvmclock -> "timer tick (kvmclock clocksource)"
+  | Timer_itimer _ -> "timer tick expiring an itimer"
+  | Keyboard_console -> "keyboard interrupt (console)"
+  | Keyboard_evdev -> "keyboard interrupt (evdev)"
+  | Net_rx_tcp -> "network rx (tcp)"
+  | Net_rx_udp -> "network rx (udp)"
+  | Net_rx_sniffed_tcp -> "network rx (tcp, packet tap)"
+  | Net_rx_sniffed_udp -> "network rx (udp, packet tap)"
+  | Disk -> "disk completion"
+
+let all_sources =
+  [
+    Timer Acpi_pm;
+    Timer_itimer Acpi_pm;
+    Keyboard_console;
+    Keyboard_evdev;
+    Net_rx_tcp;
+    Net_rx_udp;
+    Net_rx_sniffed_tcp;
+    Net_rx_sniffed_udp;
+    Disk;
+  ]

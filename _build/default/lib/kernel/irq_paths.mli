@@ -1,0 +1,36 @@
+(** Interrupt sources and their handler invocation paths.
+
+    Hardware interrupts execute in whatever process context is current
+    (§III-A3): the profiler records them into the shared interrupt profile
+    and every kernel view includes them.  Each source resolves to the
+    [irq_entry] invocation plus the dispatch chain its handlers consume. *)
+
+type clocksource =
+  | Acpi_pm
+      (** what the QEMU profiling environment exposes (base kernel) *)
+  | Kvmclock
+      (** the runtime KVM para-virtual clock — lives in the [kvmclock]
+          module, never profiled, hence the paper's benign recovery *)
+
+type source =
+  | Timer of clocksource
+  | Timer_itimer of clocksource
+      (** a timer tick that also expires a pending [setitimer] alarm,
+          firing [it_real_fn] (the Cymothoa signal-parasite path) *)
+  | Keyboard_console  (** keystroke routed to the tty flip buffer *)
+  | Keyboard_evdev    (** keystroke routed to evdev (X server) *)
+  | Net_rx_tcp
+  | Net_rx_udp
+  | Net_rx_sniffed_tcp  (** delivered to the af_packet tap, then inet *)
+  | Net_rx_sniffed_udp
+  | Disk
+
+val entry : string
+(** Always ["irq_entry"]. *)
+
+val dispatch : source -> string list
+(** The dispatch chain consumed along the handler path, in order. *)
+
+val describe : source -> string
+val all_sources : source list
+(** One representative of each shape (with [Acpi_pm] clocksources). *)

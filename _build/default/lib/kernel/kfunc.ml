@@ -1,0 +1,27 @@
+type body_item =
+  | C of string
+  | Cp of string * Fc_isa.Asm.parity
+  | D
+  | B of int
+  | F of int
+  | Cold of int
+
+type t = { name : string; subsystem : string; size : int; body : body_item list }
+
+let v ?(size = 96) ~sub name body = { name; subsystem = sub; size; body }
+
+let to_spec t =
+  let item = function
+    | C target -> Fc_isa.Asm.Call target
+    | Cp (target, p) -> Fc_isa.Asm.Call_parity (target, p)
+    | D -> Fc_isa.Asm.Dispatch_call
+    | B id -> Fc_isa.Asm.Block_point id
+    | F n -> Fc_isa.Asm.Fill n
+    | Cold n -> Fc_isa.Asm.Cold n
+  in
+  { Fc_isa.Asm.fname = t.name; items = List.map item t.body; min_size = t.size }
+
+let callees t =
+  List.filter_map
+    (function C x | Cp (x, _) -> Some x | D | B _ | F _ | Cold _ -> None)
+    t.body

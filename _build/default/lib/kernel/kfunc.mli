@@ -1,0 +1,39 @@
+(** Kernel function descriptors — the declaration DSL the catalog uses.
+
+    A kernel function is declared by name, owning subsystem, a target byte
+    size (functions are padded with executable filler to reach it, giving
+    the image realistic per-function and per-subsystem sizes) and a body:
+    the ordered calls it makes.  Bodies compile to real {!Fc_isa.Asm}
+    items. *)
+
+type body_item =
+  | C of string
+      (** direct call to a named kernel function *)
+  | Cp of string * Fc_isa.Asm.parity
+      (** direct call with forced return-address parity — used to lay out
+          the Fig. 3 lazy/instant recovery chain *)
+  | D  (** indirect (dispatch) call: target taken from the invocation's
+          dispatch queue, modelling vfs/clocksource function pointers *)
+  | B of int
+      (** block point: the executing process sleeps here (poll, blocking
+          read, accept) until the OS wakes it *)
+  | F of int  (** extra executable filler bytes at this position *)
+  | Cold of int
+      (** a [Jcc]-guarded cold block (error path) of [n] bytes, skipped
+          unless the machine's branch oracle says otherwise *)
+
+type t = {
+  name : string;
+  subsystem : string;
+  size : int;  (** minimum emitted size in bytes (padded with filler) *)
+  body : body_item list;
+}
+
+val v : ?size:int -> sub:string -> string -> body_item list -> t
+(** [v ~sub name body] declares a function; [size] defaults to 96 bytes. *)
+
+val to_spec : t -> Fc_isa.Asm.func_spec
+(** Compile to an assembler spec. *)
+
+val callees : t -> string list
+(** Direct-call targets, in body order (dispatch sites excluded). *)

@@ -1,0 +1,52 @@
+module Asm = Fc_isa.Asm
+
+type unit_syms = { base : int; funcs : Asm.placed array }
+
+type t = { mutable units : unit_syms list; by_name : (string, int) Hashtbl.t }
+
+let create () = { units = []; by_name = Hashtbl.create 1024 }
+
+let add_unit t ?module_name (u : Asm.unit_image) =
+  ignore module_name;
+  let funcs = Array.of_list u.functions in
+  t.units <- { base = u.base; funcs } :: t.units;
+  List.iter (fun (p : Asm.placed) -> Hashtbl.replace t.by_name p.pname p.addr) u.functions
+
+let remove_unit t ~base =
+  let removed, kept = List.partition (fun u -> u.base = base) t.units in
+  t.units <- kept;
+  List.iter
+    (fun u ->
+      Array.iter
+        (fun (p : Asm.placed) ->
+          match Hashtbl.find_opt t.by_name p.pname with
+          | Some a when a = p.addr -> Hashtbl.remove t.by_name p.pname
+          | Some _ | None -> ())
+        u.funcs)
+    removed
+
+let find_in_unit u addr =
+  let n = Array.length u.funcs in
+  let rec go lo hi =
+    if lo >= hi then lo - 1
+    else
+      let mid = (lo + hi) / 2 in
+      if u.funcs.(mid).Asm.addr <= addr then go (mid + 1) hi else go lo mid
+  in
+  let i = go 0 n in
+  if i < 0 then None
+  else
+    let p = u.funcs.(i) in
+    if addr < p.Asm.addr + p.Asm.size then Some (p.Asm.pname, addr - p.Asm.addr)
+    else None
+
+let find t addr = List.find_map (fun u -> find_in_unit u addr) t.units
+let addr_of t name = Hashtbl.find_opt t.by_name name
+
+let render t addr =
+  match find t addr with
+  | Some (name, 0) -> Printf.sprintf "0x%x <%s+0x0>" addr name
+  | Some (name, off) -> Printf.sprintf "0x%x <%s+0x%x>" addr name off
+  | None -> Printf.sprintf "0x%x <UNKNOWN>" addr
+
+let pp t ppf addr = Format.pp_print_string ppf (render t addr)

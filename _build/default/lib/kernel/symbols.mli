@@ -1,0 +1,30 @@
+(** Symbolization of guest code addresses for human-readable logs.
+
+    The recovery and provenance logs print frames as
+    ["0xc021a526 <do_sys_poll+0x136>"].  Addresses in {e unregistered}
+    regions print as ["<UNKNOWN>"] — exactly how a hidden rootkit module
+    (removed from the guest module list) shows up in Fig. 5.  As the paper
+    notes, symbols are a demonstration aid; backtracking itself never
+    needs them. *)
+
+type t
+
+val create : unit -> t
+
+val add_unit : t -> ?module_name:string -> Fc_isa.Asm.unit_image -> unit
+(** Register the functions of an assembled unit.  [module_name] tags
+    symbols from a loadable module. *)
+
+val remove_unit : t -> base:int -> unit
+(** Forget a unit by its base address (module unload / rootkit hiding). *)
+
+val find : t -> int -> (string * int) option
+(** [find t addr] — (symbol, offset) of the containing function. *)
+
+val addr_of : t -> string -> int option
+
+val render : t -> int -> string
+(** ["0xc021a526 <do_sys_poll+0x136>"], offset omitted when zero;
+    ["0xf8078bbe <UNKNOWN>"] for unregistered addresses. *)
+
+val pp : t -> Format.formatter -> int -> unit

@@ -1,0 +1,185 @@
+type t = { sc_name : string; entry : string; dispatch : string list }
+
+let v sc_name entry dispatch = { sc_name; entry; dispatch }
+
+let all =
+  [
+    (* -------- process / time -------- *)
+    v "getpid" "sys_getpid" [];
+    v "getuid" "sys_getuid" [];
+    v "gettimeofday" "sys_gettimeofday" [ "@clocksource" ];
+    v "nanosleep" "sys_nanosleep" [ "@clocksource" ];
+    v "sched_yield" "sys_sched_yield" [];
+    v "fork" "sys_fork" [];
+    v "clone" "sys_clone" [];
+    v "execve" "sys_execve" [ "ext4_file_open" ];
+    v "exit" "sys_exit_group" [];
+    v "waitpid" "sys_waitpid" [];
+    (* -------- signals / timers -------- *)
+    v "sigaction" "sys_rt_sigaction" [];
+    v "sigprocmask" "sys_rt_sigprocmask" [];
+    v "kill" "sys_kill" [];
+    v "setitimer" "sys_setitimer" [];
+    v "alarm" "sys_alarm" [];
+    v "sigreturn" "sys_sigreturn" [];
+    v "pause" "sys_pause" [];
+    (* -------- memory -------- *)
+    v "brk" "sys_brk" [];
+    v "mmap" "sys_mmap2" [];
+    v "munmap" "sys_munmap" [];
+    v "mprotect" "sys_mprotect" [];
+    (* -------- vfs: generic -------- *)
+    v "open:ext4" "sys_open" [ "ext4_file_open" ];
+    v "open:proc" "sys_open" [ "proc_reg_open" ];
+    v "open:tty" "sys_open" [ "tty_open" ];
+    v "open:evdev" "sys_open" [ "evdev_open" ];
+    v "open:drm" "sys_open" [ "drm_open" ];
+    v "open:snd" "sys_open" [ "snd_pcm_open" ];
+    v "close" "sys_close" [ "release_none" ];
+    v "close:tcp" "sys_close" [ "sock_close"; "inet_release"; "tcp_close" ];
+    v "close:udp" "sys_close" [ "sock_close"; "inet_release"; "udp_close" ];
+    v "close:unix" "sys_close" [ "sock_close"; "unix_release" ];
+    v "close:tty" "sys_close" [ "tty_release" ];
+    v "read:ext4" "sys_read" [ "do_sync_read"; "ext4_file_read"; "readpage_none" ];
+    v "read:ext4:miss" "sys_read" [ "do_sync_read"; "ext4_file_read"; "ext4_readpage" ];
+    v "read:proc:stat" "sys_read" [ "proc_file_read"; "proc_stat_show"; "@clocksource" ];
+    v "read:proc:pid" "sys_read" [ "proc_file_read"; "proc_pid_status_show" ];
+    v "read:proc:meminfo" "sys_read" [ "proc_file_read"; "proc_meminfo_show" ];
+    v "read:proc:loadavg" "sys_read" [ "proc_file_read"; "proc_loadavg_show" ];
+    v "read:tty" "sys_read" [ "tty_read" ];
+    v "read:pipe" "sys_read" [ "pipe_read" ];
+    v "read:evdev" "sys_read" [ "evdev_read" ];
+    v "write:ext4" "sys_write"
+      [ "do_sync_write"; "ext4_file_write"; "ext4_dirty_inode"; "ext4_write_begin" ];
+    v "write:tty" "sys_write" [ "tty_write"; "con_write" ];
+    v "write:pty" "sys_write" [ "tty_write"; "pty_write" ];
+    v "write:pipe" "sys_write" [ "pipe_write" ];
+    v "write:fb" "sys_write" [ "fb_write" ];
+    v "stat:ext4" "sys_stat64" [ "ext4_getattr" ];
+    v "stat:proc" "sys_stat64" [ "proc_getattr" ];
+    v "fstat" "sys_fstat64" [ "ext4_getattr" ];
+    v "lseek" "sys_lseek" [];
+    v "fcntl" "sys_fcntl64" [];
+    v "dup2" "sys_dup2" [];
+    v "access" "sys_access" [];
+    v "getdents:ext4" "sys_getdents64" [ "ext4_readdir" ];
+    v "getdents:proc" "sys_getdents64" [ "proc_pid_readdir" ];
+    v "unlink:ext4" "sys_unlink" [ "ext4_unlink" ];
+    v "rename:ext4" "sys_rename" [ "ext4_rename" ];
+    v "mkdir:ext4" "sys_mkdir" [ "ext4_mkdir" ];
+    v "fsync:ext4" "sys_fsync" [ "ext4_sync_file" ];
+    v "sendfile:tcp" "sys_sendfile64" [ "ext4_file_read"; "readpage_none"; "tcp_sendmsg" ];
+    v "pipe" "sys_pipe" [];
+    (* -------- poll / select / epoll -------- *)
+    v "poll:pipe" "sys_poll" [ "pipe_poll" ];
+    v "poll:tty" "sys_poll" [ "tty_poll" ];
+    v "poll:tcp" "sys_poll" [ "sock_poll"; "tcp_poll" ];
+    v "poll:udp" "sys_poll" [ "sock_poll"; "udp_poll" ];
+    v "select:tcp" "sys_select" [ "sock_poll"; "tcp_poll" ];
+    v "select:tty" "sys_select" [ "tty_poll" ];
+    v "select:unix" "sys_select" [ "sock_poll"; "unix_poll" ];
+    v "select:packet" "sys_select" [ "sock_poll"; "packet_poll" ];
+    v "epoll_create" "sys_epoll_create" [];
+    v "epoll_ctl" "sys_epoll_ctl" [];
+    v "epoll_wait:tcp" "sys_epoll_wait" [ "sock_poll"; "tcp_poll" ];
+    (* -------- ioctl -------- *)
+    v "ioctl:tty" "sys_ioctl" [ "tty_ioctl" ];
+    v "ioctl:evdev" "sys_ioctl" [ "evdev_ioctl" ];
+    v "ioctl:drm:mode" "sys_ioctl" [ "drm_ioctl"; "drm_mode_setcrtc" ];
+    v "ioctl:drm:exec" "sys_ioctl" [ "drm_ioctl"; "drm_gem_execbuffer" ];
+    v "ioctl:drm:mmap" "sys_ioctl" [ "drm_ioctl"; "drm_gem_mmap" ];
+    v "ioctl:drm:vblank" "sys_ioctl" [ "drm_ioctl"; "drm_wait_vblank" ];
+    v "ioctl:snd:write" "sys_ioctl" [ "snd_pcm_ioctl"; "snd_pcm_lib_write" ];
+    v "ioctl:snd:prepare" "sys_ioctl" [ "snd_pcm_ioctl"; "snd_pcm_prepare" ];
+    (* -------- sockets -------- *)
+    v "socket:tcp" "sys_socket" [ "inet_create" ];
+    v "socket:udp" "sys_socket" [ "inet_create" ];
+    v "socket:unix" "sys_socket" [ "unix_create" ];
+    v "socket:packet" "sys_socket" [ "packet_create" ];
+    v "bind:udp" "sys_bind" [ "inet_bind"; "udp_v4_get_port" ];
+    v "bind:tcp" "sys_bind" [ "inet_bind"; "tcp_v4_get_port" ];
+    v "bind:unix" "sys_bind" [ "unix_bind" ];
+    v "bind:packet" "sys_bind" [ "packet_bind" ];
+    v "listen:tcp" "sys_listen" [ "inet_listen" ];
+    v "accept:tcp" "sys_accept" [ "inet_csk_accept" ];
+    v "accept:unix" "sys_accept" [ "unix_accept" ];
+    v "connect:tcp" "sys_connect" [ "inet_stream_connect"; "tcp_v4_connect" ];
+    v "connect:udp" "sys_connect" [ "inet_dgram_connect"; "ip_route_output_flow" ];
+    v "connect:unix" "sys_connect" [ "unix_stream_connect" ];
+    v "send:tcp" "sys_send" [ "inet_sendmsg"; "tcp_sendmsg" ];
+    v "recv:tcp" "sys_recv" [ "sock_common_recvmsg"; "tcp_recvmsg" ];
+    v "sendto:udp" "sys_sendto" [ "inet_sendmsg"; "udp_sendmsg" ];
+    v "recvfrom:udp" "sys_recvfrom" [ "sock_common_recvmsg"; "udp_recvmsg" ];
+    v "sendmsg:unix" "sys_sendmsg" [ "unix_stream_sendmsg" ];
+    v "recvmsg:unix" "sys_recvmsg" [ "unix_stream_recvmsg" ];
+    v "sendmsg:unix:dgram" "sys_sendmsg" [ "unix_dgram_sendmsg" ];
+    v "recvmsg:unix:dgram" "sys_recvmsg" [ "unix_dgram_recvmsg" ];
+    v "recvmsg:packet" "sys_recvmsg" [ "packet_recvmsg" ];
+    v "sendmsg:packet" "sys_sendmsg" [ "packet_snd" ];
+    v "setsockopt:tcp" "sys_setsockopt" [ "tcp_setsockopt"; "sockopt_none" ];
+    v "setsockopt:tcp:md5" "sys_setsockopt"
+      [ "tcp_setsockopt"; "tcp_md5_setkey"; "crypto_sha1_update" ];
+    v "setsockopt:packet" "sys_setsockopt" [ "packet_setsockopt" ];
+    v "getsockname" "sys_getsockname" [];
+    v "shutdown:tcp" "sys_shutdown" [ "inet_shutdown" ];
+    (* -------- futex / ipc -------- *)
+    v "futex:wait" "sys_futex" [ "futex_wait" ];
+    v "futex:wake" "sys_futex" [ "futex_wake" ];
+    v "futex:requeue" "sys_futex" [ "futex_requeue" ];
+    v "shmget" "sys_shmget" [];
+    v "shmat" "sys_shmat" [];
+    v "shmdt" "sys_shmdt" [];
+    (* -------- misc process / limits -------- *)
+    v "uname" "sys_uname" [];
+    v "sysinfo" "sys_sysinfo" [];
+    v "getrlimit" "sys_getrlimit" [];
+    v "setrlimit" "sys_setrlimit" [];
+    v "umask" "sys_umask" [];
+    v "getcwd" "sys_getcwd" [];
+    v "madvise" "sys_madvise" [];
+    v "mlock" "sys_mlock" [];
+    v "sigaltstack" "sys_sigaltstack" [];
+    v "sigsuspend" "sys_rt_sigsuspend" [];
+    (* -------- vectored / attribute / space management I/O -------- *)
+    v "readv:ext4" "sys_readv"
+      [ "do_sync_read"; "ext4_file_read"; "readpage_none";
+        "do_sync_read"; "ext4_file_read"; "readpage_none" ];
+    v "writev:ext4" "sys_writev"
+      [ "do_sync_write"; "ext4_file_write"; "ext4_dirty_inode"; "ext4_write_begin";
+        "do_sync_write"; "ext4_file_write"; "ext4_dirty_inode"; "ext4_write_begin" ];
+    v "chmod:ext4" "sys_chmod" [ "ext4_setattr"; "ext4_dirty_inode" ];
+    v "chown:ext4" "sys_chown" [ "ext4_setattr"; "ext4_dirty_inode" ];
+    v "utime:ext4" "sys_utime" [ "ext4_setattr"; "ext4_dirty_inode" ];
+    v "ftruncate:ext4" "sys_ftruncate" [ "ext4_truncate" ];
+    v "fallocate:ext4" "sys_fallocate" [ "ext4_fallocate" ];
+    v "sync" "sys_sync" [];
+    (* -------- sysfs / netlink / inotify / eventfd -------- *)
+    v "open:sysfs" "sys_open" [ "sysfs_open" ];
+    v "read:sysfs" "sys_read" [ "sysfs_read" ];
+    v "socket:netlink" "sys_socket" [ "netlink_create" ];
+    v "bind:netlink" "sys_bind" [ "netlink_bind" ];
+    v "sendmsg:netlink" "sys_sendmsg" [ "netlink_sendmsg" ];
+    v "recvmsg:netlink" "sys_recvmsg" [ "netlink_recvmsg" ];
+    v "inotify_init" "sys_inotify_init" [];
+    v "inotify_add" "sys_inotify_add_watch" [];
+    v "read:inotify" "sys_read" [ "inotify_read" ];
+    v "eventfd" "sys_eventfd" [];
+    v "read:eventfd" "sys_read" [ "eventfd_read" ];
+    v "write:eventfd" "sys_write" [ "eventfd_write" ];
+    v "getsockopt" "sys_getsockopt" [ "getsockopt_none" ];
+    v "socketpair:unix" "sys_socketpair" [ "unix_create"; "unix_create" ];
+  ]
+
+let index =
+  let h = Hashtbl.create 128 in
+  List.iter (fun s -> Hashtbl.replace h s.sc_name s) all;
+  h
+
+let find name = Hashtbl.find_opt index name
+
+let find_exn name =
+  match find name with
+  | Some s -> s
+  | None -> invalid_arg ("Syscalls.find_exn: unknown variant " ^ name)
+
+let names = List.map (fun s -> s.sc_name) all

@@ -1,0 +1,27 @@
+(** The syscall table: named syscall {e variants}.
+
+    A variant pins down not just the handler ([sys_read]) but the whole
+    indirect-dispatch chain the invocation takes through the kernel — the
+    paper's observation that "different values passed as parameters to the
+    same system calls may lead to totally different execution paths" (a
+    [read] on procfs and a [read] on ext4 diverge at the vfs dispatch).
+
+    A variant's [dispatch] lists the targets consumed, in execution order,
+    by every [D] site along the path, {e excluding} the initial
+    [syscall_call] dispatch to [entry] (the runtime prepends it).
+
+    The placeholder ["@clocksource"] stands for the guest's configured
+    clocksource read function; the OS substitutes [acpi_pm_read] (QEMU
+    profiling environment) or [kvm_clock_get_cycles] (KVM runtime) when
+    building the invocation. *)
+
+type t = {
+  sc_name : string;  (** e.g. ["read:ext4"] *)
+  entry : string;    (** the [sys_*] handler *)
+  dispatch : string list;
+}
+
+val find : string -> t option
+val find_exn : string -> t
+val all : t list
+val names : string list

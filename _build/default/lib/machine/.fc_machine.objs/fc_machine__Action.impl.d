@@ -1,0 +1,1 @@
+lib/machine/action.ml: Format List

@@ -1,0 +1,1 @@
+lib/machine/cpu.ml: Fc_isa Format Queue

@@ -1,0 +1,1 @@
+lib/machine/cpu.mli: Fc_isa Format Queue

@@ -1,0 +1,1 @@
+lib/machine/os.ml: Action Array Buffer Bytes Char Cpu Fc_isa Fc_kernel Fc_mem Format Hashtbl List Option Printf Process Queue String

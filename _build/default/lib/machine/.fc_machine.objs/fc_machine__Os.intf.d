@@ -1,0 +1,1 @@
+lib/machine/os.mli: Action Cpu Fc_isa Fc_kernel Fc_mem Process

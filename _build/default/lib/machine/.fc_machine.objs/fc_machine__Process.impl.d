@@ -1,0 +1,1 @@
+lib/machine/process.ml: Action Cpu Fc_kernel Fc_mem Format Printf Queue

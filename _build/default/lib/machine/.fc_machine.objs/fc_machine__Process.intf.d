@@ -1,0 +1,1 @@
+lib/machine/process.mli: Action Cpu Fc_mem Format Queue

@@ -1,0 +1,10 @@
+type t = Syscall of string | Compute of int | Sleep of int | Fault | Exit
+
+let repeat n acts = List.concat (List.init n (fun _ -> acts))
+
+let pp ppf = function
+  | Syscall s -> Format.fprintf ppf "syscall(%s)" s
+  | Compute n -> Format.fprintf ppf "compute(%d)" n
+  | Sleep n -> Format.fprintf ppf "sleep(%d)" n
+  | Fault -> Format.pp_print_string ppf "fault"
+  | Exit -> Format.pp_print_string ppf "exit"

@@ -1,0 +1,19 @@
+(** Workload actions — the unit of a process' user-space script.
+
+    Application models (and malware payloads spliced into them) are lists
+    of actions.  Only [Syscall] and [Fault] enter the kernel; [Compute]
+    charges user-mode cycles. *)
+
+type t =
+  | Syscall of string  (** a {!Fc_kernel.Syscalls} variant name *)
+  | Compute of int     (** user-mode work, in cycles *)
+  | Sleep of int
+      (** a [nanosleep] that parks the process for the given number of
+          scheduler rounds (long I/O waits, idle residents) *)
+  | Fault              (** a user page fault ([do_page_fault] path) *)
+  | Exit               (** terminate the process ([sys_exit_group] path) *)
+
+val repeat : int -> t list -> t list
+(** [repeat n acts] — [acts] concatenated [n] times. *)
+
+val pp : Format.formatter -> t -> unit

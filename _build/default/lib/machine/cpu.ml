@@ -1,0 +1,126 @@
+module Insn = Fc_isa.Insn
+
+type regs = { mutable eip : int; mutable ebp : int; mutable esp : int }
+
+let copy_regs r = { eip = r.eip; ebp = r.ebp; esp = r.esp }
+let sentinel_return = 0
+
+type fault =
+  | Unmapped_code of int
+  | Unmapped_data of int
+  | Dispatch_underflow of int
+  | Runaway
+
+type exit_reason =
+  | Breakpoint of int
+  | Invalid_opcode
+  | Blocked of int
+  | Returned
+  | Fault of fault
+
+let pp_exit ppf = function
+  | Breakpoint a -> Format.fprintf ppf "breakpoint@0x%x" a
+  | Invalid_opcode -> Format.pp_print_string ppf "invalid-opcode"
+  | Blocked id -> Format.fprintf ppf "blocked(%d)" id
+  | Returned -> Format.pp_print_string ppf "returned"
+  | Fault (Unmapped_code a) -> Format.fprintf ppf "fault: unmapped code 0x%x" a
+  | Fault (Unmapped_data a) -> Format.fprintf ppf "fault: unmapped data 0x%x" a
+  | Fault (Dispatch_underflow a) -> Format.fprintf ppf "fault: dispatch underflow at 0x%x" a
+  | Fault Runaway -> Format.pp_print_string ppf "fault: runaway execution"
+
+let push ~write_u32 regs v =
+  regs.esp <- regs.esp - 4;
+  write_u32 regs.esp v
+
+type decode_result = D_ok of Insn.t * int | D_invalid | D_unmapped
+
+let decoder_of_fetch fetch pc =
+  match fetch pc with
+  | None -> D_unmapped
+  | Some _ -> (
+      match Insn.decode ~read:fetch pc with
+      | Ok (i, len) -> D_ok (i, len)
+      | Error (Insn.Unknown_opcode _) | Error Insn.Truncated -> D_invalid)
+
+type event = Ev_call of int | Ev_return
+
+let run ~decode ~read_u32 ~write_u32 ~is_trap ~trace ?events
+    ?(branch = fun _ -> true) ~cycles ~dispatch ?skip_bp
+    ?(max_instr = 2_000_000) regs =
+  let emit e = match events with Some f -> f e | None -> () in
+  let skip_bp = ref skip_bp in
+  let exception Stop of exit_reason in
+  let pop () =
+    match read_u32 regs.esp with
+    | Some v ->
+        regs.esp <- regs.esp + 4;
+        v
+    | None -> raise (Stop (Fault (Unmapped_data regs.esp)))
+  in
+  let push v = push ~write_u32 regs v in
+  try
+    for _ = 1 to max_instr do
+      let pc = regs.eip in
+      (match !skip_bp with
+      | Some a when a = pc -> skip_bp := None
+      | Some _ | None -> if is_trap pc then raise (Stop (Breakpoint pc)));
+      match decode pc with
+      | D_unmapped -> raise (Stop (Fault (Unmapped_code pc)))
+      | D_invalid -> raise (Stop Invalid_opcode)
+      | D_ok (insn, len) -> (
+          (match trace with Some f -> f pc len | None -> ());
+          incr cycles;
+          match insn with
+          | Insn.Ud2 -> raise (Stop Invalid_opcode)
+          | Insn.Push_ebp ->
+              push regs.ebp;
+              regs.eip <- pc + len
+          | Insn.Mov_ebp_esp ->
+              regs.ebp <- regs.esp;
+              regs.eip <- pc + len
+          | Insn.Leave ->
+              regs.esp <- regs.ebp;
+              regs.ebp <- pop ();
+              regs.eip <- pc + len
+          | Insn.Ret ->
+              incr cycles;
+              let target = pop () in
+              if target = sentinel_return then raise (Stop Returned)
+              else begin
+                emit Ev_return;
+                regs.eip <- target
+              end
+          | Insn.Iret ->
+              incr cycles;
+              let target = pop () in
+              if target = sentinel_return then raise (Stop Returned)
+              else begin
+                emit Ev_return;
+                regs.eip <- target
+              end
+          | Insn.Call_rel d ->
+              incr cycles;
+              push (pc + len);
+              regs.eip <- pc + len + d;
+              emit (Ev_call regs.eip)
+          | Insn.Call_indirect ->
+              incr cycles;
+              if Queue.is_empty dispatch then
+                raise (Stop (Fault (Dispatch_underflow pc)))
+              else begin
+                let target = Queue.pop dispatch in
+                push (pc + len);
+                regs.eip <- target;
+                emit (Ev_call target)
+              end
+          | Insn.Jmp_rel d -> regs.eip <- pc + len + d
+          | Insn.Jcc_rel d ->
+              regs.eip <- (if branch pc then pc + len + d else pc + len)
+          | Insn.Yield id ->
+              regs.eip <- pc + len;
+              raise (Stop (Blocked id))
+          | Insn.Nop | Insn.Alu _ | Insn.Or_mem _ | Insn.Int_sw _ ->
+              regs.eip <- pc + len)
+    done;
+    Fault Runaway
+  with Stop r -> r

@@ -1,0 +1,82 @@
+(** The virtual CPU: a fetch/decode/execute loop over guest-translated
+    memory.
+
+    The CPU executes kernel paths only (user-mode execution is modelled by
+    the OS as a cycle cost).  It maintains the three registers the paper's
+    recovery mechanism reads — [eip], [ebp], [esp] — and materializes real
+    stack frames in guest memory: [call] pushes a return address,
+    [push ebp; mov ebp, esp] links the frame chain, so the hypervisor's
+    rbp-chain backtrace works exactly as in Algorithm 1.
+
+    Every exit condition becomes an {!exit_reason} handed back to the OS,
+    which routes hypervisor-relevant ones (breakpoints, invalid opcodes)
+    to the registered VM-exit handler. *)
+
+type regs = { mutable eip : int; mutable ebp : int; mutable esp : int }
+
+val copy_regs : regs -> regs
+
+val sentinel_return : int
+(** The pseudo return address marking "return to user mode" (0). *)
+
+type fault =
+  | Unmapped_code of int     (** fetch from an unmapped page (EPT violation) *)
+  | Unmapped_data of int     (** stack access to an unmapped page *)
+  | Dispatch_underflow of int
+      (** an indirect-call site fired with an empty dispatch queue *)
+  | Runaway
+      (** instruction budget exhausted — e.g. execution fell into UD2
+          fill at an odd offset and walked it as valid [Or_mem]s *)
+
+type exit_reason =
+  | Breakpoint of int
+      (** [eip] reached a hypervisor trap address (checked {e before}
+          executing the instruction); resume with [skip_bp = Some addr] *)
+  | Invalid_opcode
+      (** UD2 or an undecodable byte at [eip]; [eip] unchanged *)
+  | Blocked of int  (** a [Yield id] executed; [eip] already advanced *)
+  | Returned        (** the outermost frame returned to the sentinel *)
+  | Fault of fault
+
+val pp_exit : Format.formatter -> exit_reason -> unit
+
+type decode_result =
+  | D_ok of Fc_isa.Insn.t * int
+  | D_invalid   (** undecodable bytes at the address *)
+  | D_unmapped  (** the address does not translate (EPT violation) *)
+
+val decoder_of_fetch : (int -> int option) -> int -> decode_result
+(** Straightforward decoder over a byte reader (no caching). *)
+
+type event =
+  | Ev_call of int  (** a call executed; the target address *)
+  | Ev_return       (** a ret/iret executed (excluding the final return to
+                        user mode) *)
+
+val run :
+  decode:(int -> decode_result) ->
+  read_u32:(int -> int option) ->
+  write_u32:(int -> int -> unit) ->
+  is_trap:(int -> bool) ->
+  trace:(int -> int -> unit) option ->
+  ?events:(event -> unit) ->
+  ?branch:(int -> bool) ->
+  cycles:int ref ->
+  dispatch:int Queue.t ->
+  ?skip_bp:int ->
+  ?max_instr:int ->
+  regs ->
+  exit_reason
+(** Execute starting at [regs.eip] until an exit condition.  [regs] is
+    mutated in place so the caller can save/restore process contexts.
+    [decode] supplies instructions (typically through the OS's per-frame
+    decode cache).  [branch] is the conditional-jump oracle, queried with
+    the Jcc's address; the default takes every conditional jump (cold
+    blocks skipped).  [trace] sees every executed instruction as
+    [(address, byte length)].  [skip_bp] suppresses the trap check for the
+    first instruction when resuming from a [Breakpoint] at that address.
+    [max_instr] defaults to 2,000,000. *)
+
+val push : write_u32:(int -> int -> unit) -> regs -> int -> unit
+(** Push a 32-bit value (used by the OS to seed the sentinel return
+    address, and by attack models to build fake frames). *)

@@ -1,0 +1,771 @@
+module Phys = Fc_mem.Phys_mem
+module Pt = Fc_mem.Page_table
+module Ept = Fc_mem.Ept
+module Layout = Fc_kernel.Layout
+module Image = Fc_kernel.Image
+module Syscalls = Fc_kernel.Syscalls
+module Irq_paths = Fc_kernel.Irq_paths
+module Asm = Fc_isa.Asm
+
+type clocksource = Irq_paths.clocksource
+
+type config = {
+  clocksource : clocksource;
+  timer_period : int;
+  quantum : int;
+  wake_delay : int;
+  background_irqs : (Irq_paths.source * int) list;
+}
+
+let default_config =
+  {
+    clocksource = Irq_paths.Acpi_pm;
+    timer_period = 60_000;
+    quantum = 4;
+    wake_delay = 1;
+    background_irqs = [];
+  }
+
+let profiling_config =
+  {
+    default_config with
+    clocksource = Irq_paths.Acpi_pm;
+    background_irqs =
+      [
+        (Irq_paths.Net_rx_tcp, 55_000);
+        (Irq_paths.Net_rx_udp, 130_000);
+        (Irq_paths.Keyboard_console, 85_000);
+        (Irq_paths.Keyboard_evdev, 105_000);
+        (Irq_paths.Disk, 70_000);
+      ];
+  }
+
+let runtime_config = { profiling_config with clocksource = Irq_paths.Kvmclock }
+
+exception Guest_panic of string
+
+type module_info = {
+  mod_name : string;
+  unit_image : Asm.unit_image;
+  mutable hidden : bool;
+}
+
+type vm_exit = Exit_breakpoint of int | Exit_invalid_opcode
+type exit_action = Resume | Panic of string
+
+type irq_timer = {
+  source : Irq_paths.source;
+  period : int;
+  mutable next_at : int;
+}
+
+(* One virtual CPU: its own EPT (so FACE-CHANGE can switch views
+   per-vCPU, the paper's SV-C extension), its own idle task, and its own
+   notion of the current process and interrupt nesting. *)
+type vcpu = {
+  vid : int;
+  vept : Ept.t;
+  vidle : Process.t;
+  mutable vcurrent : Process.t;
+  mutable vin_interrupt : bool;
+}
+
+type t = {
+  image : Image.t;
+  config : config;
+  phys : Phys.t;
+  vcpus : vcpu array;
+  mutable active : int; (* the vCPU currently executing (sequential sim) *)
+  ram : (int, int) Hashtbl.t;
+      (* gpa_page -> hpa frame: the hypervisor's ground-truth map of guest
+         RAM.  The EPT starts out agreeing with it; kernel views later
+         redirect code-fetch translations while guest data accesses (and
+         guest writes, e.g. module loading) always reach real RAM. *)
+  master_pt : Pt.t;
+  mutable page_tables : Pt.t list;
+  traps : (int, unit) Hashtbl.t;
+  mutable trace : (int -> int -> unit) option;
+  mutable events : (Cpu.event -> unit) option;
+  mutable branch_policy : (int -> bool) option;
+  cycles : int ref;
+  mutable round_no : int;
+  mutable context_switches : int;
+  mutable procs : Process.t list; (* excludes idles; pid order *)
+  mutable next_pid : int;
+  mutable handler : handler;
+  mutable modules : module_info list; (* load order *)
+  mutable next_module_base : int;
+  mutable timers : irq_timer list;
+  decode_cache : (int, decode_line) Hashtbl.t; (* host frame -> line *)
+  mutable at_round : (int * (t -> unit)) list;
+  mutable rewriter : (Syscalls.t -> (string * string list) option) option;
+  itimers : (int, unit) Hashtbl.t;
+  symbols : (string, int) Hashtbl.t; (* OS ground truth, incl. hidden *)
+  mutable sleep_override : int option; (* wake delay for the next block *)
+}
+
+and handler = t -> Cpu.regs -> vm_exit -> exit_action
+
+and decode_line = {
+  mutable line_version : int;
+  line : Cpu.decode_result option array; (* per byte offset in the frame *)
+}
+
+let image t = t.image
+let config t = t.config
+let phys t = t.phys
+let active_vcpu t = t.vcpus.(t.active)
+let active_vcpu_id t = t.active
+let vcpu_count t = Array.length t.vcpus
+let ept t = (active_vcpu t).vept
+
+let ept_of t ~vid =
+  if vid < 0 || vid >= Array.length t.vcpus then invalid_arg "Os.ept_of: bad vcpu";
+  t.vcpus.(vid).vept
+
+let processes t = t.procs
+let find_process t ~pid = List.find_opt (fun (p : Process.t) -> p.pid = pid) t.procs
+let current t = (active_vcpu t).vcurrent
+let in_interrupt t = (active_vcpu t).vin_interrupt
+let cycles t = !(t.cycles)
+let add_cycles t n = t.cycles := !(t.cycles) + n
+let round t = t.round_no
+let context_switches t = t.context_switches
+let set_exit_handler t h = t.handler <- h
+let set_trap t a = Hashtbl.replace t.traps a ()
+let clear_trap t a = Hashtbl.remove t.traps a
+let trap_addresses t = Hashtbl.fold (fun a () acc -> a :: acc) t.traps []
+let set_trace t f = t.trace <- f
+let set_event_trace t f = t.events <- f
+let set_branch_policy t f = t.branch_policy <- f
+let set_syscall_rewriter t f = t.rewriter <- Some f
+let clear_syscall_rewriter t = t.rewriter <- None
+let pending_itimer t ~pid = Hashtbl.mem t.itimers pid
+let arm_itimer t ~pid = Hashtbl.replace t.itimers pid ()
+
+(* ---------------- guest memory plumbing ---------------- *)
+
+(* Data path: guest-virtual -> guest-physical -> real RAM frame.  Used for
+   stacks, VMI and guest writes; kernel views never affect it. *)
+let ram_translate t gva =
+  match Pt.translate t.master_pt gva with
+  | None -> None
+  | Some gpa -> (
+      match Hashtbl.find_opt t.ram (gpa / Layout.page_size) with
+      | None -> None
+      | Some frame -> Some ((frame * Layout.page_size) + (gpa mod Layout.page_size)))
+
+let ram_frame t ~gpa_page = Hashtbl.find_opt t.ram gpa_page
+
+let read_guest_byte t gva =
+  match ram_translate t gva with
+  | None -> None
+  | Some hpa -> Some (Phys.read_byte t.phys hpa)
+
+(* Fetch path: goes through the EPT, so an installed kernel view redirects
+   it to the view's frames. *)
+let fetch_code t gva =
+  match Pt.translate t.master_pt gva with
+  | None -> None
+  | Some gpa -> (
+      match Ept.translate (active_vcpu t).vept gpa with
+      | None -> None
+      | Some hpa -> Some (Phys.read_byte t.phys hpa))
+
+let read_guest_u32 t gva =
+  let b i =
+    match read_guest_byte t (gva + i) with Some v -> v | None -> raise Exit
+  in
+  match b 0 lor (b 1 lsl 8) lor (b 2 lsl 16) lor (b 3 lsl 24) with
+  | v -> Some v
+  | exception Exit -> None
+
+let write_guest_byte t gva v =
+  match ram_translate t gva with
+  | None -> invalid_arg (Printf.sprintf "Os.write_guest_byte: unmapped 0x%x" gva)
+  | Some hpa -> Phys.write_byte t.phys hpa v
+
+let write_guest_u32 t gva v =
+  for i = 0 to 3 do
+    write_guest_byte t (gva + i) ((v lsr (8 * i)) land 0xff)
+  done
+
+(* Map [lo, hi) of guest-virtual space to freshly allocated frames, in the
+   EPT and in every page table. *)
+let map_fresh_range t ~lo ~hi =
+  let lo_page = Layout.page_of lo and hi_page = Layout.page_of (hi - 1) + 1 in
+  let e0 = t.vcpus.(0).vept in
+  for gva_page = lo_page to hi_page - 1 do
+    let gpa_page = Layout.page_of (Layout.gva_to_gpa (gva_page * Layout.page_size)) in
+    let frame = Phys.alloc t.phys in
+    Hashtbl.replace t.ram gpa_page frame;
+    (* map in vCPU 0, then alias its leaf table into any vCPU that does
+       not have that directory yet: RAM mappings stay shared while each
+       vCPU keeps its own directory (views replace directory entries
+       per-vCPU) *)
+    Ept.map_page e0 ~gpa_page ~hpa_frame:frame;
+    let dir = Ept.dir_of_page gpa_page in
+    let table = Option.get (Ept.get_dir e0 ~dir) in
+    Array.iter
+      (fun v ->
+        if v.vid > 0 && Ept.get_dir v.vept ~dir = None then
+          Ept.set_dir v.vept ~dir (Some table))
+      t.vcpus;
+    List.iter (fun pt -> Pt.map pt ~gva_page ~gpa_page) t.page_tables
+  done
+
+let copy_code_in t ~base (code : Bytes.t) =
+  for i = 0 to Bytes.length code - 1 do
+    write_guest_byte t (base + i) (Bytes.get_uint8 code i)
+  done
+
+(* ---------------- VMI surface ---------------- *)
+
+let vmi_current_task t =
+  match read_guest_u32 t (Layout.current_task_ptr_cpu ~vid:t.active) with
+  | None -> (-1, "?")
+  | Some task -> (
+      match read_guest_u32 t task with
+      | None -> (-1, "?")
+      | Some pid ->
+          let buf = Buffer.create 16 in
+          (try
+             for i = 0 to 15 do
+               match read_guest_byte t (task + 4 + i) with
+               | Some 0 | None -> raise Exit
+               | Some c -> Buffer.add_char buf (Char.chr c)
+             done
+           with Exit -> ());
+          (pid, Buffer.contents buf))
+
+let vmi_module_list t =
+  let rec go acc node =
+    if node = 0 then List.rev acc
+    else
+      match (read_guest_u32 t node, read_guest_u32 t (node + 4), read_guest_u32 t (node + 8)) with
+      | Some next, Some base, Some size ->
+          let buf = Buffer.create 16 in
+          (try
+             for i = 0 to 15 do
+               match read_guest_byte t (node + 12 + i) with
+               | Some 0 | None -> raise Exit
+               | Some c -> Buffer.add_char buf (Char.chr c)
+             done
+           with Exit -> ());
+          go ((Buffer.contents buf, base, size) :: acc) next
+      | _ -> List.rev acc
+  in
+  match read_guest_u32 t Layout.module_list_head with
+  | None -> []
+  | Some head -> go [] head
+
+(* ---------------- modules ---------------- *)
+
+let register_symbols t (u : Asm.unit_image) =
+  List.iter (fun (p : Asm.placed) -> Hashtbl.replace t.symbols p.pname p.addr) u.functions
+
+let rewrite_guest_module_list t =
+  (* Rebuild the linked list from non-hidden modules, in load order. *)
+  let visible = List.filter (fun m -> not m.hidden) t.modules in
+  let node_of = Hashtbl.create 8 in
+  let node_addr = ref (Layout.data_base + 0x8000) in
+  List.iter
+    (fun m ->
+      Hashtbl.replace node_of m.mod_name !node_addr;
+      node_addr := !node_addr + 32)
+    visible;
+  let rec write_nodes = function
+    | [] -> ()
+    | m :: rest ->
+        let node = Hashtbl.find node_of m.mod_name in
+        let next = match rest with [] -> 0 | n :: _ -> Hashtbl.find node_of n.mod_name in
+        write_guest_u32 t node next;
+        write_guest_u32 t (node + 4) m.unit_image.Asm.base;
+        write_guest_u32 t (node + 8) (Bytes.length m.unit_image.Asm.code);
+        for i = 0 to 15 do
+          let c = if i < String.length m.mod_name then Char.code m.mod_name.[i] else 0 in
+          write_guest_byte t (node + 12 + i) c
+        done;
+        write_nodes rest
+  in
+  write_nodes visible;
+  write_guest_u32 t Layout.module_list_head
+    (match visible with [] -> 0 | m :: _ -> Hashtbl.find node_of m.mod_name)
+
+let load_module_fns t ~name fns =
+  let base = t.next_module_base in
+  match Image.assemble_module_fns t.image ~base fns with
+  | Error e -> raise (Guest_panic (Printf.sprintf "module %s: %s" name e))
+  | Ok u ->
+      let len = Bytes.length u.Asm.code in
+      if base + len > Layout.module_area_limit then
+        raise (Guest_panic "module area exhausted");
+      copy_code_in t ~base u.Asm.code;
+      (* leave a guard page between modules *)
+      t.next_module_base <-
+        ((base + len + Layout.page_size - 1) / Layout.page_size * Layout.page_size)
+        + Layout.page_size;
+      let info = { mod_name = name; unit_image = u; hidden = false } in
+      t.modules <- t.modules @ [ info ];
+      register_symbols t u;
+      rewrite_guest_module_list t;
+      info
+
+let load_module t name =
+  match List.assoc_opt name Fc_kernel.Catalog.module_functions with
+  | None -> raise (Guest_panic ("unknown module " ^ name))
+  | Some fns -> load_module_fns t ~name fns
+
+let hide_module t name =
+  match List.find_opt (fun m -> String.equal m.mod_name name) t.modules with
+  | None -> raise (Guest_panic ("hide_module: not loaded: " ^ name))
+  | Some m ->
+      m.hidden <- true;
+      rewrite_guest_module_list t
+
+let modules t = t.modules
+let resolve t name = Hashtbl.find_opt t.symbols name
+
+let resolve_exn t name =
+  match resolve t name with
+  | Some a -> a
+  | None -> raise (Guest_panic ("unresolved kernel symbol: " ^ name))
+
+(* ---------------- construction ---------------- *)
+
+let default_handler _t _regs = function
+  | Exit_breakpoint _ -> Resume
+  | Exit_invalid_opcode -> Panic "invalid opcode in guest kernel (no hypervisor handler)"
+
+let write_task_struct t (p : Process.t) =
+  let task = Layout.task_struct_addr ~pid:p.pid in
+  write_guest_u32 t task p.pid;
+  for i = 0 to 15 do
+    let c = if i < String.length p.name then Char.code p.name.[i] else 0 in
+    write_guest_byte t (task + 4 + i) c
+  done
+
+let create ?(config = default_config) ?(vcpus = 1) image =
+  if vcpus < 1 || vcpus > 8 then invalid_arg "Os.create: 1-8 vcpus";
+  let master_pt = Pt.create () in
+  let mk_vcpu vid =
+    let name = if vid = 0 then "swapper" else Printf.sprintf "swapper/%d" vid in
+    let vidle = Process.create ~cpu:vid ~pid:vid ~name ~page_table:master_pt [] in
+    { vid; vept = Ept.create (); vidle; vcurrent = vidle; vin_interrupt = false }
+  in
+  let t =
+    {
+      image;
+      config;
+      phys = Phys.create ();
+      vcpus = Array.init vcpus mk_vcpu;
+      active = 0;
+      ram = Hashtbl.create 2048;
+      master_pt;
+      page_tables = [ master_pt ];
+      traps = Hashtbl.create 8;
+      trace = None;
+      events = None;
+      branch_policy = None;
+      cycles = ref 0;
+      round_no = 0;
+      context_switches = 0;
+      procs = [];
+      next_pid = vcpus;
+      handler = default_handler;
+      modules = [];
+      next_module_base = Layout.module_area_base;
+      timers =
+        { source = Irq_paths.Timer config.clocksource; period = config.timer_period; next_at = config.timer_period }
+        :: List.map
+             (fun (source, period) -> { source; period; next_at = period })
+             config.background_irqs;
+      decode_cache = Hashtbl.create 512;
+      at_round = [];
+      rewriter = None;
+      itimers = Hashtbl.create 8;
+      symbols = Hashtbl.create 2048;
+      sleep_override = None;
+    }
+  in
+  (* base kernel text *)
+  let text_lo = Image.text_base image and text_hi = Image.text_end image in
+  map_fresh_range t ~lo:text_lo ~hi:text_hi;
+  copy_code_in t ~base:text_lo (Image.unit_image image).Asm.code;
+  register_symbols t (Image.unit_image image);
+  (* kernel data: current pointer, task structs, module nodes *)
+  map_fresh_range t ~lo:Layout.data_base ~hi:(Layout.data_base + 0x10000);
+  (* the whole module area is guest RAM from the start, like real memory;
+     module loading only writes bytes into it *)
+  map_fresh_range t ~lo:Layout.module_area_base ~hi:Layout.module_area_limit;
+  (* idle tasks: one per vCPU, with per-CPU current pointers and stacks *)
+  Array.iter
+    (fun v ->
+      write_task_struct t v.vidle;
+      write_guest_u32 t
+        (Layout.current_task_ptr_cpu ~vid:v.vid)
+        (Layout.task_struct_addr ~pid:v.vidle.Process.pid);
+      map_fresh_range t
+        ~lo:(Layout.kstack_base + (v.vid * Layout.kstack_size))
+        ~hi:(Layout.kstack_base + ((v.vid + 1) * Layout.kstack_size)))
+    t.vcpus;
+  (* default modules *)
+  List.iter
+    (fun (name, _) -> ignore (load_module t name))
+    Fc_kernel.Catalog.module_functions;
+  t
+
+let spawn ?cpu t ~name script =
+  let pid = t.next_pid in
+  t.next_pid <- pid + 1;
+  if pid > 200 then raise (Guest_panic "too many processes");
+  let cpu =
+    match cpu with
+    | Some c when c >= 0 && c < Array.length t.vcpus -> c
+    | Some _ -> invalid_arg "Os.spawn: bad cpu"
+    | None -> pid mod Array.length t.vcpus
+  in
+  (* map this process' kernel stack everywhere *)
+  map_fresh_range t
+    ~lo:(Layout.kstack_base + (pid * Layout.kstack_size))
+    ~hi:(Layout.kstack_base + ((pid + 1) * Layout.kstack_size));
+  let page_table = Pt.create () in
+  Pt.copy_range ~src:t.master_pt ~dst:page_table ~lo_page:0 ~hi_page:max_int;
+  t.page_tables <- page_table :: t.page_tables;
+  let p = Process.create ~cpu ~pid ~name ~page_table script in
+  t.procs <- t.procs @ [ p ];
+  write_task_struct t p;
+  p
+
+(* ---------------- CPU plumbing ---------------- *)
+
+(* Per-host-frame decode cache.  Keyed by host physical frame, it is
+   naturally coherent across kernel view switches (different views fetch
+   from different frames); writes invalidate through the frame version. *)
+let cached_decode t pc =
+  match Pt.translate t.master_pt pc with
+  | None -> Cpu.D_unmapped
+  | Some gpa -> (
+      match Ept.translate (active_vcpu t).vept gpa with
+      | None -> Cpu.D_unmapped
+      | Some hpa ->
+          let frame = hpa / Layout.page_size and off = hpa mod Layout.page_size in
+          if off > Layout.page_size - 6 then
+            (* possible page-crossing instruction: decode uncached *)
+            Cpu.decoder_of_fetch (fun a -> fetch_code t a) pc
+          else begin
+            let version = Phys.version t.phys frame in
+            let ln =
+              match Hashtbl.find_opt t.decode_cache frame with
+              | Some ln when ln.line_version = version -> ln
+              | Some ln ->
+                  Array.fill ln.line 0 (Array.length ln.line) None;
+                  ln.line_version <- version;
+                  ln
+              | None ->
+                  let ln =
+                    { line_version = version; line = Array.make Layout.page_size None }
+                  in
+                  Hashtbl.replace t.decode_cache frame ln;
+                  ln
+            in
+            match ln.line.(off) with
+            | Some r -> r
+            | None ->
+                let r = Cpu.decoder_of_fetch (fun a -> fetch_code t a) pc in
+                ln.line.(off) <- Some r;
+                r
+          end)
+
+let run_cpu t (regs : Cpu.regs) dispatch =
+  let decode pc = cached_decode t pc in
+  let read_u32 a = read_guest_u32 t a in
+  let write_u32 a v = write_guest_u32 t a v in
+  let is_trap a = Hashtbl.mem t.traps a in
+  let rec go skip =
+    match
+      Cpu.run ~decode ~read_u32 ~write_u32 ~is_trap ~trace:t.trace
+        ?events:t.events ?branch:t.branch_policy ~cycles:t.cycles ~dispatch
+        ?skip_bp:skip regs
+    with
+    | Cpu.Breakpoint a -> (
+        match t.handler t regs (Exit_breakpoint a) with
+        | Resume -> go (Some a)
+        | Panic m -> raise (Guest_panic m))
+    | Cpu.Invalid_opcode -> (
+        match t.handler t regs Exit_invalid_opcode with
+        | Resume -> go None
+        | Panic m -> raise (Guest_panic m))
+    | Cpu.Blocked id -> `Blocked id
+    | Cpu.Returned -> `Returned
+    | Cpu.Fault f ->
+        let cur = (active_vcpu t).vcurrent in
+        raise
+          (Guest_panic
+             (Format.asprintf "%a (vcpu %d, pid %d %s, eip=0x%x)" Cpu.pp_exit
+                (Cpu.Fault f) t.active cur.Process.pid cur.Process.name
+                regs.Cpu.eip))
+  in
+  go None
+
+let exec_invocation t ~entry_addr ~dispatch_addrs ~esp =
+  let regs = { Cpu.eip = entry_addr; ebp = 0; esp } in
+  Cpu.push ~write_u32:(write_guest_u32 t) regs Cpu.sentinel_return;
+  let q = Queue.create () in
+  List.iter (fun a -> Queue.add a q) dispatch_addrs;
+  let outcome = run_cpu t regs q in
+  (outcome, regs, q)
+
+(* ---------------- interrupts ---------------- *)
+
+let actual_timer_source t source =
+  let cur = (active_vcpu t).vcurrent in
+  match source with
+  | Irq_paths.Timer cs when Hashtbl.mem t.itimers cur.Process.pid ->
+      Hashtbl.remove t.itimers cur.Process.pid;
+      Irq_paths.Timer_itimer cs
+  | s -> s
+
+let deliver_irq t source =
+  let v = active_vcpu t in
+  let source = actual_timer_source t source in
+  let was = v.vin_interrupt in
+  v.vin_interrupt <- true;
+  let esp = Process.kstack_top v.vcurrent - 0x800 in
+  let dispatch = List.map (resolve_exn t) (Irq_paths.dispatch source) in
+  let outcome, _, _ =
+    exec_invocation t ~entry_addr:(resolve_exn t Irq_paths.entry) ~dispatch_addrs:dispatch ~esp
+  in
+  v.vin_interrupt <- was;
+  match outcome with
+  | `Returned -> ()
+  | `Blocked _ -> raise (Guest_panic "interrupt handler blocked")
+
+let inject_irq t source = deliver_irq t source
+
+let check_irqs t =
+  List.iter
+    (fun tm ->
+      (* if we fell far behind (e.g. a long hypervisor operation advanced
+         the clock), drop the backlog like real hardware drops ticks *)
+      if !(t.cycles) - tm.next_at > 2 * tm.period then
+        tm.next_at <- !(t.cycles);
+      let fired = ref 0 in
+      while !(t.cycles) >= tm.next_at && !fired < 2 do
+        tm.next_at <- tm.next_at + tm.period;
+        incr fired;
+        deliver_irq t tm.source
+      done;
+      if !(t.cycles) >= tm.next_at then tm.next_at <- !(t.cycles) + tm.period)
+    t.timers
+
+(* ---------------- syscalls ---------------- *)
+
+(* Guest-visible in-kernel flag at task_struct+20, so the hypervisor's VMI
+   can tell a process returning to user mode apart from one resuming
+   mid-kernel (the Fig. 3 cross-view situation). *)
+let write_in_kernel_flag t (p : Process.t) v =
+  write_guest_u32 t (Layout.task_struct_addr ~pid:p.Process.pid + 20) (if v then 1 else 0)
+
+let exec_resume_userspace t (p : Process.t) =
+  let outcome, _, _ =
+    exec_invocation t
+      ~entry_addr:(resolve_exn t "resume_userspace")
+      ~dispatch_addrs:[] ~esp:(Process.kstack_top p)
+  in
+  match outcome with
+  | `Returned -> ()
+  | `Blocked _ -> raise (Guest_panic "resume_userspace blocked")
+
+let finish_syscall t (p : Process.t) =
+  p.Process.in_kernel <- false;
+  write_in_kernel_flag t p false;
+  p.Process.syscall_count <- p.Process.syscall_count + 1;
+  exec_resume_userspace t p
+
+let exec_syscall t (p : Process.t) variant_name =
+  let sc = Syscalls.find_exn variant_name in
+  let queue_names =
+    match t.rewriter with
+    | Some f -> (
+        match f sc with
+        | Some (entry, dispatch) -> entry :: dispatch
+        | None -> sc.entry :: sc.dispatch)
+    | None -> sc.entry :: sc.dispatch
+  in
+  p.Process.in_kernel <- true;
+  write_in_kernel_flag t p true;
+  let clock_fn =
+    match t.config.clocksource with
+    | Irq_paths.Acpi_pm -> "acpi_pm_read"
+    | Irq_paths.Kvmclock -> "kvm_clock_get_cycles"
+  in
+  let subst n = if String.equal n "@clocksource" then clock_fn else n in
+  let dispatch_addrs = List.map (fun n -> resolve_exn t (subst n)) queue_names in
+  let outcome, regs, q =
+    exec_invocation t
+      ~entry_addr:(resolve_exn t "syscall_call")
+      ~dispatch_addrs ~esp:(Process.kstack_top p)
+  in
+  match outcome with
+  | `Returned ->
+      (* setitimer/alarm arm a real interval timer: subsequent timer
+         interrupts in this process' context expire it (it_real_fn). *)
+      if String.equal sc.entry "sys_setitimer" || String.equal sc.entry "sys_alarm"
+      then arm_itimer t ~pid:p.Process.pid;
+      finish_syscall t p;
+      `Done
+  | `Blocked id ->
+      let delay =
+        match t.sleep_override with
+        | Some n ->
+            t.sleep_override <- None;
+            n
+        | None -> t.config.wake_delay
+      in
+      Process.block p ~yield_id:id ~wake_round:(t.round_no + delay) ~regs
+        ~dispatch:q;
+      `Blocked
+
+let continue_syscall t (p : Process.t) regs q =
+  match run_cpu t regs q with
+  | `Returned ->
+      finish_syscall t p;
+      `Done
+  | `Blocked id ->
+      Process.block p ~yield_id:id ~wake_round:(t.round_no + t.config.wake_delay)
+        ~regs ~dispatch:q;
+      `Blocked
+
+(* ---------------- scheduler ---------------- *)
+
+let switch_to t (next : Process.t) =
+  let v = active_vcpu t in
+  if next != v.vcurrent then begin
+    t.context_switches <- t.context_switches + 1;
+    write_guest_u32 t
+      (Layout.current_task_ptr_cpu ~vid:v.vid)
+      (Layout.task_struct_addr ~pid:next.Process.pid);
+    v.vcurrent <- next;
+    let esp =
+      match next.Process.saved_regs with
+      | Some r -> r.Cpu.esp - 16
+      | None -> Process.kstack_top next
+    in
+    let outcome, _, _ =
+      exec_invocation t ~entry_addr:(resolve_exn t "schedule") ~dispatch_addrs:[] ~esp
+    in
+    match outcome with
+    | `Returned -> ()
+    | `Blocked _ -> raise (Guest_panic "schedule blocked")
+  end;
+  next.Process.last_scheduled_round <- t.round_no
+
+let perform_action t (p : Process.t) (act : Action.t) =
+  match act with
+  | Action.Compute n ->
+      add_cycles t n;
+      `Done
+  | Action.Fault ->
+      let outcome, _, _ =
+        exec_invocation t
+          ~entry_addr:(resolve_exn t "do_page_fault")
+          ~dispatch_addrs:[] ~esp:(Process.kstack_top p)
+      in
+      (match outcome with
+      | `Returned -> `Done
+      | `Blocked _ -> raise (Guest_panic "fault path blocked"))
+  | Action.Syscall v -> exec_syscall t p v
+  | Action.Sleep rounds ->
+      t.sleep_override <- Some rounds;
+      let r = exec_syscall t p "nanosleep" in
+      t.sleep_override <- None;
+      r
+  | Action.Exit ->
+      let (_ : [ `Done | `Blocked ]) = exec_syscall t p "exit" in
+      p.Process.state <- Process.Exited;
+      `Exited
+
+let run_quantum t (p : Process.t) =
+  let budget = ref t.config.quantum in
+  let continue_ = ref true in
+  (* resume a blocked syscall first *)
+  (match Process.take_saved p with
+  | Some (regs, q) -> (
+      match continue_syscall t p regs q with
+      | `Done -> decr budget
+      | `Blocked -> continue_ := false)
+  | None -> exec_resume_userspace t p);
+  check_irqs t;
+  while !continue_ && !budget > 0 && Process.is_ready p do
+    (match p.Process.script with
+    | [] -> p.Process.state <- Process.Exited
+    | act :: rest -> (
+        p.Process.script <- rest;
+        match perform_action t p act with
+        | `Done -> decr budget
+        | `Blocked | `Exited -> continue_ := false));
+    check_irqs t
+  done
+
+let fire_round_hooks t =
+  let due, later = List.partition (fun (r, _) -> r <= t.round_no) t.at_round in
+  t.at_round <- later;
+  List.iter (fun (_, f) -> f t) due
+
+let schedule_at_round t r f = t.at_round <- t.at_round @ [ (r, f) ]
+
+let pick_ready t ~vid =
+  let ready =
+    List.filter (fun (p : Process.t) -> Process.is_ready p && p.cpu = vid) t.procs
+  in
+  match ready with
+  | [] -> None
+  | _ ->
+      (* least-recently-scheduled first; pid breaks ties *)
+      Some
+        (List.fold_left
+           (fun best (p : Process.t) ->
+             match best with
+             | None -> Some p
+             | Some (b : Process.t) ->
+                 if
+                   p.last_scheduled_round < b.last_scheduled_round
+                   || (p.last_scheduled_round = b.last_scheduled_round && p.pid < b.pid)
+                 then Some p
+                 else best)
+           None ready
+        |> Option.get)
+
+let run ?(max_rounds = 1_000_000) ?(until = fun _ -> false) t =
+  let live () = List.exists (fun p -> not (Process.is_exited p)) t.procs in
+  let rounds = ref 0 in
+  while live () && (not (until t)) && !rounds < max_rounds do
+    incr rounds;
+    t.round_no <- t.round_no + 1;
+    fire_round_hooks t;
+    List.iter (fun p -> Process.wake_if_due p ~round:t.round_no) t.procs;
+    Array.iter
+      (fun v ->
+        t.active <- v.vid;
+        match pick_ready t ~vid:v.vid with
+        | None ->
+            (* nothing runnable on this vCPU: idle in its swapper *)
+            switch_to t v.vidle;
+            add_cycles t 2_000;
+            check_irqs t
+        | Some p ->
+            switch_to t p;
+            run_quantum t p)
+      t.vcpus;
+    t.active <- 0
+  done;
+  if live () && !rounds >= max_rounds then
+    raise (Guest_panic "scheduler round budget exhausted")
+
+let run_process_solo t (p : Process.t) =
+  let others_live =
+    List.exists (fun (q : Process.t) -> q != p && not (Process.is_exited q)) t.procs
+  in
+  if others_live then invalid_arg "Os.run_process_solo: other processes are live";
+  run t

@@ -1,0 +1,191 @@
+(** The guest operating system simulation — scheduler, syscalls,
+    interrupts, module loading — running over the vCPU, guest page
+    tables and the EPT.
+
+    This is the "guest VM" of the paper.  The hypervisor side
+    (FACE-CHANGE) observes it only through the narrow interface a real
+    hypervisor has: EPT manipulation, breakpoint traps on guest addresses,
+    invalid-opcode VM exits, and guest-physical memory reads (VMI). *)
+
+type clocksource = Fc_kernel.Irq_paths.clocksource
+
+type config = {
+  clocksource : clocksource;
+      (** [Acpi_pm] in the profiling environment (QEMU), [Kvmclock] at
+          runtime (KVM) — the source of the paper's benign recovery *)
+  timer_period : int;  (** cycles between timer interrupts *)
+  quantum : int;       (** actions per scheduling quantum *)
+  wake_delay : int;    (** scheduler rounds a blocked process sleeps *)
+  background_irqs : (Fc_kernel.Irq_paths.source * int) list;
+      (** environment interrupt mix: (source, period in cycles) *)
+}
+
+val default_config : config
+val profiling_config : config
+(** QEMU-like environment: ACPI PM clocksource, a background mix with
+    network/keyboard/disk interrupts so the interrupt profile matches a
+    live system. *)
+
+val runtime_config : config
+(** KVM-like environment: kvmclock clocksource. *)
+
+exception Guest_panic of string
+(** Raised when a kernel path faults and no handler recovers — the
+    paper's "violation may crash the application or even panic the
+    kernel" outcome when recovery is disabled. *)
+
+type t
+
+(* ---------------- construction ---------------- *)
+
+val create : ?config:config -> ?vcpus:int -> Fc_kernel.Image.t -> t
+(** Boots the guest: lays the base kernel image into guest-physical
+    frames, builds one identity EPT {e per vCPU} (default 1, max 8 — the
+    paper's §V-C extension), creates one idle process per vCPU
+    ("swapper", "swapper/1", …) with per-CPU current-task pointers, and
+    loads the default modules from
+    {!Fc_kernel.Catalog.module_functions}. *)
+
+val vcpu_count : t -> int
+
+val active_vcpu_id : t -> int
+(** The vCPU currently executing; inside a VM-exit handler this is the
+    vCPU that trapped (the simulation interleaves vCPUs at quantum
+    granularity, so it is always well defined). *)
+
+val image : t -> Fc_kernel.Image.t
+val config : t -> config
+val phys : t -> Fc_mem.Phys_mem.t
+
+val ept : t -> Fc_mem.Ept.t
+(** The {e active} vCPU's EPT — inside a VM-exit handler, the trapping
+    vCPU's (which is what per-vCPU view switching manipulates). *)
+
+val ept_of : t -> vid:int -> Fc_mem.Ept.t
+
+(* ---------------- processes ---------------- *)
+
+val spawn : ?cpu:int -> t -> name:string -> Action.t list -> Process.t
+(** Spawn a process; pinned to [cpu] if given, else assigned round-robin
+    across the vCPUs. *)
+
+val processes : t -> Process.t list
+val find_process : t -> pid:int -> Process.t option
+val current : t -> Process.t
+val in_interrupt : t -> bool
+
+(* ---------------- modules ---------------- *)
+
+type module_info = {
+  mod_name : string;
+  unit_image : Fc_isa.Asm.unit_image;
+  mutable hidden : bool;
+}
+
+val load_module : t -> string -> module_info
+(** Load a default module by catalog name. *)
+
+val load_module_fns : t -> name:string -> Fc_kernel.Kfunc.t list -> module_info
+(** Load arbitrary module code (rootkits). *)
+
+val hide_module : t -> string -> unit
+(** Unlink from the guest module list without unmapping the code —
+    KBeast-style self-hiding.  VMI traversal no longer sees it. *)
+
+val modules : t -> module_info list
+(** OS-side ground truth, including hidden modules. *)
+
+val resolve : t -> string -> int option
+(** Resolve a function name to its guest address, searching the base
+    kernel then loaded modules (including hidden ones — this is the OS's
+    own view, not VMI's). *)
+
+val resolve_exn : t -> string -> int
+
+(* ---------------- hypervisor-facing surface ---------------- *)
+
+type vm_exit =
+  | Exit_breakpoint of int
+  | Exit_invalid_opcode
+
+type exit_action =
+  | Resume
+  | Panic of string
+
+val set_exit_handler : t -> (t -> Cpu.regs -> vm_exit -> exit_action) -> unit
+(** FACE-CHANGE's VM-exit dispatch (Algorithm 1).  The default handler
+    resumes breakpoints and panics on invalid opcodes. *)
+
+val set_trap : t -> int -> unit
+val clear_trap : t -> int -> unit
+val trap_addresses : t -> int list
+
+val set_trace : t -> (int -> int -> unit) option -> unit
+(** Per-instruction observer [(address, length)] — the profiler. *)
+
+val set_event_trace : t -> (Cpu.event -> unit) option -> unit
+(** Exact call/return event observer — the call tracer. *)
+
+val set_branch_policy : t -> (int -> bool) option -> unit
+(** Override the conditional-branch oracle (queried with each Jcc's
+    address; [true] = take the jump, skipping the cold block).  [None]
+    restores the default (all cold blocks skipped) — use a policy to
+    drive rarely-taken error paths that profiling missed. *)
+
+val read_guest_byte : t -> int -> int option
+(** VMI / data path: read guest-virtual memory through the page tables and
+    the hypervisor's ground-truth RAM map.  Kernel views never affect this
+    path — they only redirect instruction fetch. *)
+
+val read_guest_u32 : t -> int -> int option
+
+val fetch_code : t -> int -> int option
+(** Instruction-fetch path: translates through the {e EPT}, so it sees the
+    currently installed kernel view.  What the vCPU decodes from; also what
+    a hypervisor uses to inspect the active view's bytes. *)
+
+val ram_frame : t -> gpa_page:int -> int option
+(** The hypervisor's ground-truth frame for a guest-physical page — the
+    "original kernel code pages" that recovery fetches from, and the frames
+    a full kernel view maps back to. *)
+
+val vmi_current_task : t -> int * string
+(** Read the guest's current-task pointer chain: (pid, comm). *)
+
+val vmi_module_list : t -> (string * int * int) list
+(** Traverse the guest module linked list: (name, base, size) — omits
+    hidden modules, unlike {!modules}. *)
+
+(* ---------------- execution ---------------- *)
+
+val cycles : t -> int
+val add_cycles : t -> int -> unit
+val round : t -> int
+val context_switches : t -> int
+
+val run : ?max_rounds:int -> ?until:(t -> bool) -> t -> unit
+(** Drive the scheduler until every non-idle process has exited, [until]
+    returns true (checked each round), or [max_rounds] elapses. *)
+
+val run_process_solo : t -> Process.t -> unit
+(** Run a single process to completion, round-robining only with
+    interrupt delivery — used by the profiler for per-application
+    sessions. *)
+
+val inject_irq : t -> Fc_kernel.Irq_paths.source -> unit
+(** Deliver one interrupt in the current context, immediately. *)
+
+val schedule_at_round : t -> int -> (t -> unit) -> unit
+(** Run a callback when the scheduler reaches the given round — used to
+    hot-plug kernel views mid-execution (Fig. 3). *)
+
+val set_syscall_rewriter : t -> (Fc_kernel.Syscalls.t -> (string * string list) option) -> unit
+(** Kernel-level attack hook: rewrite a syscall's (entry, dispatch) before
+    execution — how rootkit models detour the kernel's control flow. *)
+
+val clear_syscall_rewriter : t -> unit
+
+val pending_itimer : t -> pid:int -> bool
+val arm_itimer : t -> pid:int -> unit
+(** A [setitimer]-armed process receives [Timer_itimer] expiries (the
+    Cymothoa parasite's SIGALRM path) on subsequent timer interrupts. *)

@@ -1,0 +1,1 @@
+lib/mem/ept.ml: Array Hashtbl Option Phys_mem

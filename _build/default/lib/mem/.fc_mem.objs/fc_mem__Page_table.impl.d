@@ -1,0 +1,1 @@
+lib/mem/page_table.ml: Hashtbl Int List Option Phys_mem

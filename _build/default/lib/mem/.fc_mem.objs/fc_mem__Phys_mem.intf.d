@@ -1,0 +1,1 @@
+lib/mem/phys_mem.mli: Bytes

@@ -1,0 +1,51 @@
+let entries_per_table = 1024
+let dir_span_pages = entries_per_table
+
+type table = int option array
+
+let table_create () : table = Array.make entries_per_table None
+let table_copy (t : table) : table = Array.copy t
+
+let check_idx idx =
+  if idx < 0 || idx >= entries_per_table then invalid_arg "Ept: table index out of range"
+
+let table_set t ~idx v =
+  check_idx idx;
+  t.(idx) <- v
+
+let table_get t ~idx =
+  check_idx idx;
+  t.(idx)
+
+type t = (int, table) Hashtbl.t
+
+let create () : t = Hashtbl.create 32
+
+let set_dir t ~dir = function
+  | Some table -> Hashtbl.replace t dir table
+  | None -> Hashtbl.remove t dir
+
+let get_dir t ~dir = Hashtbl.find_opt t dir
+let dir_of_page p = p / dir_span_pages
+let slot_of_page p = p mod dir_span_pages
+
+let map_page t ~gpa_page ~hpa_frame =
+  let dir = dir_of_page gpa_page in
+  let table =
+    match get_dir t ~dir with
+    | Some tb -> tb
+    | None ->
+        let tb = table_create () in
+        set_dir t ~dir (Some tb);
+        tb
+  in
+  table_set table ~idx:(slot_of_page gpa_page) (Some hpa_frame)
+
+let translate_page t gpa_page =
+  match get_dir t ~dir:(dir_of_page gpa_page) with
+  | None -> None
+  | Some table -> table_get table ~idx:(slot_of_page gpa_page)
+
+let translate t gpa =
+  let page = gpa / Phys_mem.page_size and off = gpa mod Phys_mem.page_size in
+  Option.map (fun f -> (f * Phys_mem.page_size) + off) (translate_page t page)

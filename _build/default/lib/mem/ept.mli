@@ -1,0 +1,52 @@
+(** Extended Page Tables: guest-physical → host-physical, two levels.
+
+    The structure mirrors what FACE-CHANGE manipulates on real hardware: a
+    page {e directory} whose entries each point to a page {e table} mapping
+    a 4 MiB-aligned slice of guest-physical space (1024 × 4 KiB pages) to
+    host frames.  Kernel view switching (§III-B2, steps 3A/3B) does not
+    remap individual pages — it swaps {e directory entries} so that the
+    guest-physical pages holding kernel code resolve to the view's frames
+    instead of the original ones.  [set_dir] is therefore the unit of
+    switching cost.
+
+    Page tables are first-class ({!table}) so that every kernel view can
+    pre-build its tables once at load time and switching is pointer
+    assignment, exactly as in the paper. *)
+
+val entries_per_table : int
+(** 1024. *)
+
+val dir_span_pages : int
+(** Guest-physical pages covered by one directory entry (1024). *)
+
+type table
+
+val table_create : unit -> table
+val table_copy : table -> table
+val table_set : table -> idx:int -> int option -> unit
+(** Map table slot [idx] (0..1023) to a host frame, or unmap with [None]. *)
+
+val table_get : table -> idx:int -> int option
+
+type t
+
+val create : unit -> t
+
+val set_dir : t -> dir:int -> table option -> unit
+(** Point directory entry [dir] at a (possibly shared) page table. *)
+
+val get_dir : t -> dir:int -> table option
+
+val map_page : t -> gpa_page:int -> hpa_frame:int -> unit
+(** Convenience single-page mapping; allocates the directory's table if
+    absent.  Used to build the initial identity-style guest mapping. *)
+
+val translate_page : t -> int -> int option
+(** [translate_page t gpa_page] — host frame number. *)
+
+val translate : t -> int -> int option
+(** [translate t gpa] — host physical {e address}; [None] = EPT violation. *)
+
+val dir_of_page : int -> int
+val slot_of_page : int -> int
+(** Decompose a guest-physical page number into (directory, table slot). *)

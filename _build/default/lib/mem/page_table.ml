@@ -1,0 +1,20 @@
+type t = (int, int) Hashtbl.t
+
+let create () : t = Hashtbl.create 256
+let map t ~gva_page ~gpa_page = Hashtbl.replace t gva_page gpa_page
+let unmap t ~gva_page = Hashtbl.remove t gva_page
+let translate_page t gva_page = Hashtbl.find_opt t gva_page
+
+let translate t gva =
+  let page = gva / Phys_mem.page_size and off = gva mod Phys_mem.page_size in
+  Option.map (fun gpa_page -> (gpa_page * Phys_mem.page_size) + off) (translate_page t page)
+
+let mappings t =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+let copy_range ~src ~dst ~lo_page ~hi_page =
+  Hashtbl.iter
+    (fun gva_page gpa_page ->
+      if gva_page >= lo_page && gva_page < hi_page then map dst ~gva_page ~gpa_page)
+    src

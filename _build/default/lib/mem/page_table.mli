@@ -1,0 +1,28 @@
+(** Guest page tables: guest-virtual → guest-physical, page granularity.
+
+    Each guest process owns one; the kernel half (addresses at or above
+    [0xc0000000]) is shared by construction — the guest OS installs the same
+    kernel mappings in every process table, as Linux does. *)
+
+type t
+
+val create : unit -> t
+
+val map : t -> gva_page:int -> gpa_page:int -> unit
+(** Install or replace one page mapping (page numbers, not addresses). *)
+
+val unmap : t -> gva_page:int -> unit
+
+val translate_page : t -> int -> int option
+(** [translate_page t gva_page] — the mapped guest-physical page. *)
+
+val translate : t -> int -> int option
+(** [translate t gva] — guest-physical {e address}, preserving the offset;
+    [None] on a fault (unmapped page). *)
+
+val mappings : t -> (int * int) list
+(** All (gva_page, gpa_page) pairs, sorted by gva_page. *)
+
+val copy_range : src:t -> dst:t -> lo_page:int -> hi_page:int -> unit
+(** Share [src]'s mappings in [[lo_page, hi_page)] into [dst] (used to give
+    every process the same kernel-half mappings). *)

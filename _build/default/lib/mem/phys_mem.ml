@@ -1,0 +1,99 @@
+let page_size = 4096
+
+type t = {
+  mutable frames : Bytes.t option array;  (* None = never allocated / freed *)
+  mutable versions : int array;           (* bumped on each write *)
+  mutable next : int;                     (* high-water mark *)
+  mutable free_list : int list;
+  mutable live : int;
+}
+
+let create () =
+  { frames = Array.make 64 None; versions = Array.make 64 0; next = 0;
+    free_list = []; live = 0 }
+
+let grow t want =
+  if want >= Array.length t.frames then begin
+    let cap = max (want + 1) (2 * Array.length t.frames) in
+    let a = Array.make cap None in
+    Array.blit t.frames 0 a 0 (Array.length t.frames);
+    t.frames <- a;
+    let v = Array.make cap 0 in
+    Array.blit t.versions 0 v 0 (Array.length t.versions);
+    t.versions <- v
+  end
+
+let alloc t =
+  let f =
+    match t.free_list with
+    | f :: rest ->
+        t.free_list <- rest;
+        f
+    | [] ->
+        let f = t.next in
+        t.next <- f + 1;
+        grow t f;
+        f
+  in
+  t.frames.(f) <- Some (Bytes.make page_size '\x00');
+  t.versions.(f) <- t.versions.(f) + 1;
+  t.live <- t.live + 1;
+  f
+
+let alloc_n t n = List.init n (fun _ -> alloc t)
+
+let is_live t f = f >= 0 && f < Array.length t.frames && t.frames.(f) <> None
+
+let free t f =
+  if not (is_live t f) then invalid_arg "Phys_mem.free: frame not live";
+  t.frames.(f) <- None;
+  t.free_list <- f :: t.free_list;
+  t.live <- t.live - 1
+
+let live_frames t = t.live
+
+let frame_of_addr a = a / page_size
+let offset_of_addr a = a mod page_size
+let addr_of_frame f = f * page_size
+
+let frame_bytes t f =
+  match if f >= 0 && f < Array.length t.frames then t.frames.(f) else None with
+  | Some b -> b
+  | None -> invalid_arg (Printf.sprintf "Phys_mem: frame %d not live" f)
+
+let read_byte t hpa = Bytes.get_uint8 (frame_bytes t (frame_of_addr hpa)) (offset_of_addr hpa)
+
+let write_byte t hpa v =
+  let f = frame_of_addr hpa in
+  Bytes.set_uint8 (frame_bytes t f) (offset_of_addr hpa) (v land 0xff);
+  t.versions.(f) <- t.versions.(f) + 1
+
+let version t f = if f >= 0 && f < Array.length t.versions then t.versions.(f) else 0
+
+let read_u32 t hpa =
+  let b i = read_byte t (hpa + i) in
+  b 0 lor (b 1 lsl 8) lor (b 2 lsl 16) lor (b 3 lsl 24)
+
+let write_u32 t hpa v =
+  for i = 0 to 3 do
+    write_byte t (hpa + i) ((v lsr (8 * i)) land 0xff)
+  done
+
+let fill t ~addr ~len ~pattern =
+  match pattern with
+  | [] -> invalid_arg "Phys_mem.fill: empty pattern"
+  | _ ->
+      let p = Array.of_list pattern in
+      for i = 0 to len - 1 do
+        write_byte t (addr + i) p.(i mod Array.length p)
+      done
+
+let blit_bytes t ~src ~src_off ~dst ~len =
+  for i = 0 to len - 1 do
+    write_byte t (dst + i) (Bytes.get_uint8 src (src_off + i))
+  done
+
+let copy t ~src ~dst ~len =
+  for i = 0 to len - 1 do
+    write_byte t (dst + i) (read_byte t (src + i))
+  done

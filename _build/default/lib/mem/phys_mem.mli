@@ -1,0 +1,60 @@
+(** Host physical memory: a growable pool of 4 KiB frames.
+
+    Both the guest's "real" memory and every materialized kernel view live
+    here.  A host physical address is [frame * page_size + offset].  Frames
+    freed when a kernel view is unloaded (§III-B4, "hot-plugging" views)
+    are recycled. *)
+
+type t
+
+val page_size : int
+(** 4096. *)
+
+val create : unit -> t
+
+val alloc : t -> int
+(** Allocate a zeroed frame; returns its frame number. *)
+
+val alloc_n : t -> int -> int list
+(** [n] fresh frames, in ascending allocation order. *)
+
+val free : t -> int -> unit
+(** Return a frame to the pool.  Freeing an unallocated frame raises
+    [Invalid_argument]. *)
+
+val is_live : t -> int -> bool
+val live_frames : t -> int
+(** Number of currently allocated frames. *)
+
+val read_byte : t -> int -> int
+(** [read_byte t hpa] — the byte at host physical address [hpa].
+    @raise Invalid_argument if the frame is not live. *)
+
+val write_byte : t -> int -> int -> unit
+
+val read_u32 : t -> int -> int
+(** Little-endian 32-bit read (used for stack slots: saved ebp and return
+    addresses). *)
+
+val write_u32 : t -> int -> int -> unit
+
+val fill : t -> addr:int -> len:int -> pattern:int list -> unit
+(** Tile [pattern] over [[addr, addr+len)] — e.g. UD2-filling a view page
+    with [pattern = [0x0f; 0x0b]].  The pattern restarts at [addr], so a
+    2-byte pattern keeps its phase with respect to [addr]. *)
+
+val blit_bytes : t -> src:Bytes.t -> src_off:int -> dst:int -> len:int -> unit
+(** Copy from an OCaml buffer into physical memory. *)
+
+val copy : t -> src:int -> dst:int -> len:int -> unit
+(** Physical-to-physical copy (code recovery: original frame → view
+    frame). *)
+
+val frame_of_addr : int -> int
+val offset_of_addr : int -> int
+val addr_of_frame : int -> int
+
+val version : t -> int -> int
+(** A counter bumped on every write into the frame (and on reallocation).
+    Decoded-instruction caches key their entries on (frame, version) so
+    that code patched by recovery or module loading is never stale. *)

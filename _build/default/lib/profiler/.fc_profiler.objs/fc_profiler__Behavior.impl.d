@@ -1,0 +1,1 @@
+lib/profiler/behavior.ml: Buffer Fc_isa Fc_kernel Fc_machine Fun Hashtbl In_channel List Option Printf String

@@ -1,0 +1,1 @@
+lib/profiler/behavior.mli: Fc_kernel Fc_machine

@@ -1,0 +1,1 @@
+lib/profiler/calltrace.ml: Fc_isa Fc_kernel Fc_machine Format Hashtbl List Printf String

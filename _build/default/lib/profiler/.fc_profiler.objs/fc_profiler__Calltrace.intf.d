@@ -1,0 +1,1 @@
+lib/profiler/calltrace.mli: Fc_kernel Fc_machine Format

@@ -1,0 +1,1 @@
+lib/profiler/profiler.ml: Fc_kernel Fc_machine Fc_ranges Hashtbl List View_config

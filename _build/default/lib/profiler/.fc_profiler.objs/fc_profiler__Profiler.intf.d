@@ -1,0 +1,1 @@
+lib/profiler/profiler.mli: Fc_kernel Fc_machine Fc_ranges View_config

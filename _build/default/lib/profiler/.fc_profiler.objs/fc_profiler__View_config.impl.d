@@ -1,0 +1,1 @@
+lib/profiler/view_config.ml: Buffer Fc_ranges Fun In_channel List Printf String

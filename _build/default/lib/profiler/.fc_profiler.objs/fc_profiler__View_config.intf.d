@@ -1,0 +1,1 @@
+lib/profiler/view_config.mli: Fc_ranges

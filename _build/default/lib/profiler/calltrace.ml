@@ -1,0 +1,100 @@
+module Os = Fc_machine.Os
+module Cpu = Fc_machine.Cpu
+module Asm = Fc_isa.Asm
+
+type node = { fn : string; addr : int; children : node list }
+
+(* Mutable build state: a stack of open frames. *)
+type frame = { f_fn : string; f_addr : int; mutable rev_children : node list }
+
+type session = {
+  os : Os.t;
+  target_pid : int;
+  names : (int, string) Hashtbl.t;
+  mutable stack : frame list;
+  mutable rev_roots : node list;
+  mutable active : bool;
+}
+
+let close_frame f = { fn = f.f_fn; addr = f.f_addr; children = List.rev f.rev_children }
+
+let add_child s node =
+  match s.stack with
+  | top :: _ -> top.rev_children <- node :: top.rev_children
+  | [] -> s.rev_roots <- node :: s.rev_roots
+
+let rec unwind_all s =
+  match s.stack with
+  | [] -> ()
+  | f :: rest ->
+      s.stack <- rest;
+      add_child s (close_frame f);
+      unwind_all s
+
+let on_event s ev =
+  if (Os.current s.os).Fc_machine.Process.pid = s.target_pid then
+    match ev with
+    | Cpu.Ev_call target ->
+        let fn =
+          match Hashtbl.find_opt s.names target with
+          | Some n -> n
+          | None -> Printf.sprintf "0x%x" target
+        in
+        s.stack <- { f_fn = fn; f_addr = target; rev_children = [] } :: s.stack
+    | Cpu.Ev_return -> (
+        match s.stack with
+        | f :: rest ->
+            s.stack <- rest;
+            add_child s (close_frame f)
+        | [] -> ())
+
+let start os ~target_pid =
+  let names = Hashtbl.create 2048 in
+  List.iter
+    (fun (p : Asm.placed) -> Hashtbl.replace names p.Asm.addr p.Asm.pname)
+    (Fc_kernel.Image.functions (Os.image os));
+  List.iter
+    (fun m ->
+      List.iter
+        (fun (p : Asm.placed) -> Hashtbl.replace names p.Asm.addr p.Asm.pname)
+        m.Os.unit_image.Asm.functions)
+    (Os.modules os);
+  let s = { os; target_pid; names; stack = []; rev_roots = []; active = true } in
+  Os.set_event_trace os (Some (fun ev -> on_event s ev));
+  s
+
+let stop s =
+  if s.active then begin
+    Os.set_event_trace s.os None;
+    unwind_all s;
+    s.active <- false
+  end
+
+let roots s =
+  unwind_all s;
+  List.rev s.rev_roots
+
+let rec node_count n = 1 + List.fold_left (fun a c -> a + node_count c) 0 n.children
+
+let pp_tree ?(max_depth = 64) ppf root =
+  let rec go depth n =
+    if depth <= max_depth then begin
+      Format.fprintf ppf "%s%s@." (String.make (2 * depth) ' ') n.fn;
+      List.iter (go (depth + 1)) n.children
+    end
+  in
+  go 0 root
+
+let trace_syscall image ?(config = Fc_machine.Os.default_config) variant =
+  let os = Os.create ~config image in
+  let p =
+    Os.spawn os ~name:"tracee"
+      [ Fc_machine.Action.Syscall variant; Fc_machine.Action.Exit ]
+  in
+  let s = start os ~target_pid:p.Fc_machine.Process.pid in
+  Os.run os;
+  stop s;
+  (* keep only the tree(s) rooted at the variant's handler: the run also
+     records scheduler paths, the exit syscall and any interrupts *)
+  let entry = (Fc_kernel.Syscalls.find_exn variant).Fc_kernel.Syscalls.entry in
+  List.filter (fun n -> n.fn = entry) (roots s)

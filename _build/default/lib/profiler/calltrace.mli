@@ -1,0 +1,44 @@
+(** Exact kernel call trees — a debugging/analysis aid.
+
+    Subscribes to the vCPU's call/return events and reconstructs, for a
+    target process, the call tree of every kernel entry (syscall,
+    interrupt, scheduler path).  Useful for understanding what a syscall
+    variant actually executes, for validating profiles, and for teaching —
+    the kind of introspection tooling a released artifact ships with. *)
+
+type node = {
+  fn : string;     (** symbolized function name, or ["0x…"] if unknown *)
+  addr : int;
+  children : node list;  (** calls made, in order *)
+}
+
+type session
+
+val start : Fc_machine.Os.t -> target_pid:int -> session
+(** Record call trees for the target process (takes over the guest event
+    hook). *)
+
+val stop : session -> unit
+
+val roots : session -> node list
+(** One tree per kernel entry executed in the target's context,
+    chronological. *)
+
+val node_count : node -> int
+
+val pp_tree : ?max_depth:int -> Format.formatter -> node -> unit
+(** Indented rendering, e.g.
+    {v
+    sys_read
+      fget
+      vfs_read
+        rw_verify_area
+        ...
+    v} *)
+
+val trace_syscall :
+  Fc_kernel.Image.t -> ?config:Fc_machine.Os.config -> string -> node list
+(** Convenience: run one syscall variant in a fresh guest and return the
+    tree(s) rooted at its handler.  Because the tracer hooks {e calls},
+    each root is a function called from an entry gate ([sys_*] for
+    syscalls); the gates themselves hold no frame. *)

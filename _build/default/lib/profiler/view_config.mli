@@ -1,0 +1,31 @@
+(** Kernel view configuration files.
+
+    The profiling phase's output: the application name and its recorded
+    kernel-code range list [K[app]].  Base-kernel ranges hold absolute
+    guest-virtual addresses; module ranges are {e relative to the module
+    base} (modules relocate between profiling and runtime, §III-A1).
+
+    The on-disk format is line-oriented text:
+    {v
+    # facechange kernel view
+    app top
+    base 0xc0100000 0xc0100040
+    module:kvmclock 0x0 0x60
+    v} *)
+
+type t = { app : string; ranges : Fc_ranges.Range_list.t }
+
+val make : app:string -> Fc_ranges.Range_list.t -> t
+
+val union : app:string -> t list -> t
+(** The paper's "union kernel view": the union of several configurations,
+    representing traditional system-wide minimization. *)
+
+val size : t -> int
+val len : t -> int
+val similarity : t -> t -> float
+
+val to_string : t -> string
+val of_string : string -> (t, string) result
+val save : t -> string -> unit
+val load : string -> (t, string) result

@@ -1,0 +1,1 @@
+lib/ranges/range_list.ml: Format List Map Option Segment Span

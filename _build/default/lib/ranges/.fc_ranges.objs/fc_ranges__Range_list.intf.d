@@ -1,0 +1,1 @@
+lib/ranges/range_list.mli: Format Segment Span

@@ -1,0 +1,1 @@
+lib/ranges/segment.ml: Format String

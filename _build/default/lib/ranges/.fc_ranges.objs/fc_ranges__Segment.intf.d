@@ -1,0 +1,1 @@
+lib/ranges/segment.mli: Format

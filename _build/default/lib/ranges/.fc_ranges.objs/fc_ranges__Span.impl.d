@@ -1,0 +1,1 @@
+lib/ranges/span.ml: Format Int

@@ -1,0 +1,1 @@
+lib/ranges/span.mli: Format

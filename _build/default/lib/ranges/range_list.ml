@@ -1,0 +1,108 @@
+module Seg_map = Map.Make (Segment)
+
+(* Invariant: each segment maps to a sorted list of non-empty, pairwise
+   disjoint, non-adjacent spans; no segment maps to []. *)
+type t = Span.t list Seg_map.t
+
+let empty = Seg_map.empty
+let is_empty = Seg_map.is_empty
+
+(* Insert [s] into sorted disjoint list [spans], merging overlaps and
+   adjacencies. *)
+let insert_span spans s =
+  let rec go acc s = function
+    | [] -> List.rev (s :: acc)
+    | x :: rest ->
+        if Span.overlaps s x || Span.adjacent s x then go acc (Span.hull s x) rest
+        else if (x : Span.t).hi < (s : Span.t).lo then go (x :: acc) s rest
+        else List.rev_append acc (s :: x :: rest)
+  in
+  go [] s spans
+
+let add t seg s =
+  if Span.is_empty s then t
+  else
+    Seg_map.update seg
+      (function None -> Some [ s ] | Some spans -> Some (insert_span spans s))
+      t
+
+let add_range t seg ~lo ~hi = add t seg (Span.make ~lo ~hi)
+let of_list l = List.fold_left (fun t (seg, s) -> add t seg s) empty l
+
+let to_list t =
+  Seg_map.fold (fun seg spans acc -> List.map (fun s -> (seg, s)) spans :: acc) t []
+  |> List.rev |> List.concat
+
+let segments t = Seg_map.fold (fun seg _ acc -> seg :: acc) t [] |> List.rev
+let spans t seg = Option.value ~default:[] (Seg_map.find_opt seg t)
+let mem t seg addr = List.exists (fun s -> Span.contains s addr) (spans t seg)
+let union a b = Seg_map.fold (fun seg spans t -> List.fold_left (fun t s -> add t seg s) t spans) b a
+
+let inter_spans xs ys =
+  let rec go acc xs ys =
+    match (xs, ys) with
+    | [], _ | _, [] -> List.rev acc
+    | (x : Span.t) :: xr, (y : Span.t) :: yr ->
+        let acc = match Span.inter x y with Some s -> s :: acc | None -> acc in
+        if x.hi <= y.hi then go acc xr ys else go acc xs yr
+  in
+  go [] xs ys
+
+let inter a b =
+  Seg_map.merge
+    (fun _seg xa xb ->
+      match (xa, xb) with
+      | Some xs, Some ys -> (
+          match inter_spans xs ys with [] -> None | l -> Some l)
+      | _ -> None)
+    a b
+
+(* Subtract sorted disjoint [ys] from span [x]. *)
+let diff_span (x : Span.t) ys =
+  let rec go acc lo = function
+    | [] -> if lo < x.hi then Span.make ~lo ~hi:x.hi :: acc else acc
+    | (y : Span.t) :: yr ->
+        if y.hi <= lo then go acc lo yr
+        else if y.lo >= x.hi then go acc lo []
+        else
+          let acc = if y.lo > lo then Span.make ~lo ~hi:y.lo :: acc else acc in
+          if y.hi < x.hi then go acc y.hi yr else acc
+  in
+  List.rev (go [] x.lo ys)
+
+let diff a b =
+  Seg_map.merge
+    (fun _seg xa xb ->
+      match (xa, xb) with
+      | Some xs, Some ys -> (
+          match List.concat_map (fun x -> diff_span x ys) xs with
+          | [] -> None
+          | l -> Some l)
+      | Some xs, None -> Some xs
+      | None, _ -> None)
+    a b
+
+let len t = Seg_map.fold (fun _ spans n -> n + List.length spans) t 0
+
+let size t =
+  Seg_map.fold (fun _ spans n -> List.fold_left (fun n s -> n + Span.size s) n spans) t 0
+
+let size_of_segment t seg = List.fold_left (fun n s -> n + Span.size s) 0 (spans t seg)
+
+let similarity a b =
+  let m = max (size a) (size b) in
+  if m = 0 then 0. else float_of_int (size (inter a b)) /. float_of_int m
+
+let subset a b = is_empty (diff a b)
+
+let equal a b =
+  Seg_map.equal (fun xs ys -> List.equal Span.equal xs ys) a b
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun (seg, s) -> Format.fprintf ppf "%a %a@," Segment.pp seg Span.pp s)
+    (to_list t);
+  Format.fprintf ppf "@]"
+
+let covered_spans t seg window = inter_spans (spans t seg) [ window ]

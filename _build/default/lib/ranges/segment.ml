@@ -1,0 +1,26 @@
+type t = Base_kernel | Kernel_module of string
+
+let compare a b =
+  match (a, b) with
+  | Base_kernel, Base_kernel -> 0
+  | Base_kernel, Kernel_module _ -> -1
+  | Kernel_module _, Base_kernel -> 1
+  | Kernel_module x, Kernel_module y -> String.compare x y
+
+let equal a b = compare a b = 0
+let is_module = function Base_kernel -> false | Kernel_module _ -> true
+let module_name = function Base_kernel -> None | Kernel_module m -> Some m
+
+let to_string = function
+  | Base_kernel -> "base"
+  | Kernel_module m -> "module:" ^ m
+
+let of_string s =
+  if String.equal s "base" then Base_kernel
+  else
+    match String.index_opt s ':' with
+    | Some i when String.sub s 0 i = "module" && i + 1 < String.length s ->
+        Kernel_module (String.sub s (i + 1) (String.length s - i - 1))
+    | Some _ | None -> invalid_arg ("Segment.of_string: " ^ s)
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

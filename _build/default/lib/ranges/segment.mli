@@ -1,0 +1,25 @@
+(** Segment tags [T_i] for range lists.
+
+    The paper records, for every code range, whether it lies in the
+    statically-placed base kernel image or inside a dynamically loaded
+    kernel module.  Module ranges are stored relative to the module's base
+    address because modules relocate between profiling and runtime. *)
+
+type t =
+  | Base_kernel
+  | Kernel_module of string  (** module name, e.g. ["ext4"] *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val is_module : t -> bool
+
+val module_name : t -> string option
+(** [Some name] for [Kernel_module name], [None] for [Base_kernel]. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val of_string : string -> t
+(** Inverse of [to_string]: ["base"] maps to [Base_kernel], anything of the
+    form ["module:<name>"] to [Kernel_module name].
+    @raise Invalid_argument on any other input. *)

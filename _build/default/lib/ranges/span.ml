@@ -1,0 +1,31 @@
+type t = { lo : int; hi : int }
+
+let make ~lo ~hi =
+  if lo < 0 then invalid_arg "Span.make: negative lo";
+  if hi < lo then invalid_arg "Span.make: hi < lo";
+  { lo; hi }
+
+let size s = s.hi - s.lo
+let is_empty s = s.hi = s.lo
+let contains s a = s.lo <= a && a < s.hi
+let overlaps a b = a.lo < b.hi && b.lo < a.hi && not (is_empty a) && not (is_empty b)
+let adjacent a b = a.hi = b.lo || b.hi = a.lo
+
+let inter a b =
+  let lo = max a.lo b.lo and hi = min a.hi b.hi in
+  if lo < hi then Some { lo; hi } else None
+
+let hull a b = { lo = min a.lo b.lo; hi = max a.hi b.hi }
+
+let merge a b =
+  if overlaps a b || adjacent a b || is_empty a || is_empty b then hull a b
+  else invalid_arg "Span.merge: disjoint spans"
+
+let shift s d = make ~lo:(s.lo + d) ~hi:(s.hi + d)
+
+let compare a b =
+  match Int.compare a.lo b.lo with 0 -> Int.compare a.hi b.hi | c -> c
+
+let equal a b = compare a b = 0
+let pp ppf s = Format.fprintf ppf "[0x%x, 0x%x)" s.lo s.hi
+let to_string s = Format.asprintf "%a" pp s

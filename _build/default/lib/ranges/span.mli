@@ -1,0 +1,48 @@
+(** Half-open address intervals [[lo, hi)].
+
+    A [Span.t] is the primitive building block of the paper's range lists
+    [K[app] = {([B_i, E_i], T_i)}].  We use half-open intervals so that
+    adjacent code segments merge without off-by-one adjustments and so that
+    [size] is simply [hi - lo]. *)
+
+type t = private { lo : int; hi : int }
+
+val make : lo:int -> hi:int -> t
+(** [make ~lo ~hi] builds the span [[lo, hi)].
+    @raise Invalid_argument if [hi < lo] or [lo < 0]. *)
+
+val size : t -> int
+(** Number of addresses covered; [0] for an empty span. *)
+
+val is_empty : t -> bool
+
+val contains : t -> int -> bool
+(** [contains s a] is [true] iff [lo <= a < hi]. *)
+
+val overlaps : t -> t -> bool
+(** Non-empty intersection. *)
+
+val adjacent : t -> t -> bool
+(** [adjacent a b] is [true] when the spans touch end-to-start (either
+    order) without overlapping, e.g. [[0,4)] and [[4,8)]. *)
+
+val inter : t -> t -> t option
+(** Intersection, [None] when disjoint or empty. *)
+
+val merge : t -> t -> t
+(** Smallest span covering both.
+    @raise Invalid_argument if the spans neither overlap nor are adjacent
+    (merging would silently cover a gap). *)
+
+val hull : t -> t -> t
+(** Smallest span covering both, gaps allowed. *)
+
+val shift : t -> int -> t
+(** [shift s d] translates both bounds by [d]. *)
+
+val compare : t -> t -> int
+(** Order by [lo], then [hi]. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Fc_apps Fc_benchkit Fc_kernel Fc_machine Fc_profiler Fc_ranges Lazy List Test_env

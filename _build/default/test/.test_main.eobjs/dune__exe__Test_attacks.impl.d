@@ -1,0 +1,1 @@
+test/test_attacks.ml: Alcotest Fc_apps Fc_attacks Fc_benchkit Fc_core Fc_kernel Lazy List String Test_env

@@ -1,0 +1,1 @@
+test/test_behavior.ml: Alcotest Fc_apps Fc_benchkit Fc_core Fc_hypervisor Fc_machine Fc_profiler Filename Lazy List String Sys Test_env

@@ -1,0 +1,1 @@
+test/test_benchkit.ml: Alcotest Fc_attacks Fc_benchkit Fc_profiler Fc_ranges Lazy List String Test_env

@@ -1,0 +1,1 @@
+test/test_calltrace.ml: Alcotest Fc_kernel Fc_machine Fc_profiler Format Lazy List String Test_env

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Fc_core Fc_hypervisor Fc_isa Fc_kernel Fc_machine Fc_mem Fc_profiler Fc_ranges Filename Lazy List String Sys

@@ -1,0 +1,1 @@
+test/test_env.ml: Fc_benchkit Fc_kernel Lazy

@@ -1,0 +1,1 @@
+test/test_hypervisor.ml: Alcotest Fc_core Fc_hypervisor Fc_isa Fc_kernel Fc_machine Fc_mem Fc_profiler Fc_ranges Lazy List Option Printf

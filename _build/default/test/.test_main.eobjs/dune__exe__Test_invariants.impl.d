@@ -1,0 +1,1 @@
+test/test_invariants.ml: Array Bytes Fc_core Fc_hypervisor Fc_isa Fc_kernel Fc_machine Fc_mem Fc_profiler Fc_ranges Format Lazy List Option Printf QCheck QCheck_alcotest String

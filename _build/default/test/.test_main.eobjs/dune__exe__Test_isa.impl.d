@@ -1,0 +1,1 @@
+test/test_isa.ml: Alcotest Bytes Fc_isa List Option Printf QCheck QCheck_alcotest

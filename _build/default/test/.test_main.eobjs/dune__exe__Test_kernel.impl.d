@@ -1,0 +1,1 @@
+test/test_kernel.ml: Alcotest Bytes Fc_isa Fc_kernel Hashtbl Lazy List Option Printf Result

@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Buffer Bytes Char Fc_isa Fc_kernel Fc_machine Fc_mem Format Hashtbl Lazy List Option Printf Queue

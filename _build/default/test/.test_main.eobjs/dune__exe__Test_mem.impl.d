@@ -1,0 +1,1 @@
+test/test_mem.ml: Alcotest Bytes Char Fc_mem Option QCheck QCheck_alcotest

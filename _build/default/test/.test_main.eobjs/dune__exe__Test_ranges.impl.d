@@ -1,0 +1,1 @@
+test/test_ranges.ml: Alcotest Fc_ranges Format List QCheck QCheck_alcotest Range_list Segment Span

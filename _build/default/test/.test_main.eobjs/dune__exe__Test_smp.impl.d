@@ -1,0 +1,1 @@
+test/test_smp.ml: Alcotest Fc_core Fc_hypervisor Fc_kernel Fc_machine Fc_profiler Lazy List Printf Test_env

@@ -1,0 +1,1 @@
+test/test_synth.ml: Alcotest Fc_apps Fc_benchkit Fc_core Fc_hypervisor Fc_kernel Fc_machine Format Lazy List String Test_env

@@ -1,0 +1,140 @@
+module App = Fc_apps.App
+module Action = Fc_machine.Action
+module Os = Fc_machine.Os
+module View_config = Fc_profiler.View_config
+module Range_list = Fc_ranges.Range_list
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_twelve_apps () =
+  check_int "12 applications" 12 (List.length App.all);
+  Alcotest.(check (list string))
+    "paper order"
+    [ "firefox"; "totem"; "gvim"; "apache"; "vsftpd"; "top"; "tcpdump";
+      "mysqld"; "bash"; "sshd"; "gzip"; "eog" ]
+    App.names
+
+let test_scripts_use_valid_syscalls () =
+  List.iter
+    (fun app ->
+      List.iter
+        (function
+          | Action.Syscall v ->
+              if Fc_kernel.Syscalls.find v = None then
+                Alcotest.failf "%s uses unknown syscall %s" app.App.name v
+          | Action.Compute _ | Action.Sleep _ | Action.Fault | Action.Exit -> ())
+        (app.App.script 2))
+    App.all
+
+let test_scripts_end_with_exit () =
+  List.iter
+    (fun app ->
+      match List.rev (app.App.script 1) with
+      | Action.Exit :: _ -> ()
+      | _ -> Alcotest.failf "%s script does not end with Exit" app.App.name)
+    App.all
+
+let test_every_app_runs_clean () =
+  (* each app's workload must run to completion in its own environment *)
+  List.iter
+    (fun app ->
+      let os = Os.create ~config:(App.os_config app) (Lazy.force Test_env.image) in
+      let p = Os.spawn os ~name:app.App.name (app.App.script 2) in
+      (try Os.run os
+       with Os.Guest_panic m -> Alcotest.failf "%s panicked: %s" app.App.name m);
+      if not (Fc_machine.Process.is_exited p) then
+        Alcotest.failf "%s did not finish" app.App.name)
+    App.all
+
+let test_find () =
+  check_bool "find" true (App.find "mysqld" <> None);
+  check_bool "missing" true (App.find "emacs" = None);
+  match App.find_exn "top" with
+  | { App.category = "utility"; _ } -> ()
+  | _ -> Alcotest.fail "top should be a utility"
+
+let cfg name = Fc_benchkit.Profiles.config_of (Lazy.force Test_env.profiles) name
+
+let test_profile_sizes_shape () =
+  (* Table I shape: top is the smallest view, firefox the largest. *)
+  let sizes = List.map (fun n -> (n, View_config.size (cfg n))) App.names in
+  let top = List.assoc "top" sizes and firefox = List.assoc "firefox" sizes in
+  List.iter
+    (fun (n, s) ->
+      if n <> "top" && s < top then Alcotest.failf "%s smaller than top" n;
+      if n <> "firefox" && s > firefox then Alcotest.failf "%s larger than firefox" n)
+    sizes;
+  (* magnitudes comparable to the paper's 167-443 KB *)
+  check_bool "top >= 60KB" true (top >= 60 * 1024);
+  check_bool "firefox <= 600KB" true (firefox <= 600 * 1024)
+
+let test_similarity_extremes () =
+  let s a b = View_config.similarity (cfg a) (cfg b) in
+  (* orthogonal categories: low; same category: high (paper: 33.6-86.5%) *)
+  check_bool "top vs firefox low" true (s "top" "firefox" < 0.45);
+  check_bool "apache vs vsftpd high" true (s "apache" "vsftpd" > 0.75);
+  check_bool "eog vs totem high" true (s "eog" "totem" > 0.75);
+  check_bool "low < high" true (s "top" "firefox" < s "apache" "vsftpd")
+
+let test_profiles_include_common_kernel () =
+  let img = Lazy.force Test_env.image in
+  List.iter
+    (fun name ->
+      let r = (cfg name).View_config.ranges in
+      List.iter
+        (fun f ->
+          if
+            not
+              (Range_list.mem r Fc_ranges.Segment.Base_kernel
+                 (Fc_kernel.Image.addr_of_exn img f))
+          then Alcotest.failf "%s view lacks %s" name f)
+        [ "schedule"; "__switch_to"; "syscall_call"; "resume_userspace";
+          "timer_interrupt"; "irq_entry" ])
+    App.names
+
+let test_category_specific_code () =
+  let img = Lazy.force Test_env.image in
+  let has name f =
+    Range_list.mem (cfg name).View_config.ranges Fc_ranges.Segment.Base_kernel
+      (Fc_kernel.Image.addr_of_exn img f)
+  in
+  check_bool "top reads procfs" true (has "top" "proc_stat_show");
+  check_bool "firefox does not" false (has "firefox" "proc_stat_show");
+  check_bool "apache accepts tcp" true (has "apache" "inet_csk_accept");
+  check_bool "gzip does not" false (has "gzip" "inet_csk_accept");
+  check_bool "mysqld journals" true (has "mysqld" "jbd2_commit_transaction");
+  check_bool "top does not" false (has "top" "jbd2_commit_transaction")
+
+let test_module_code_in_profiles () =
+  let m name = Fc_ranges.Segment.Kernel_module name in
+  let segs name = Range_list.segments (cfg name).View_config.ranges in
+  check_bool "tcpdump uses af_packet" true (List.mem (m "af_packet") (segs "tcpdump"));
+  check_bool "top does not" false (List.mem (m "af_packet") (segs "top"));
+  check_bool "totem uses snd" true (List.mem (m "snd_hda") (segs "totem"));
+  check_bool "sshd uses crypto" true (List.mem (m "crypto_aes") (segs "sshd"));
+  check_bool "nobody profiled kvmclock" true
+    (List.for_all (fun n -> not (List.mem (m "kvmclock") (segs n))) App.names)
+
+let tc name f = Alcotest.test_case name `Quick f
+let tc_slow name f = Alcotest.test_case name `Slow f
+
+let suites =
+  [
+    ( "apps.catalog",
+      [
+        tc "twelve applications, paper order" test_twelve_apps;
+        tc "scripts use valid syscalls" test_scripts_use_valid_syscalls;
+        tc "scripts end with exit" test_scripts_end_with_exit;
+        tc "find" test_find;
+        tc_slow "every app runs clean" test_every_app_runs_clean;
+      ] );
+    ( "apps.profiles",
+      [
+        tc_slow "Table I size shape (top min, firefox max)" test_profile_sizes_shape;
+        tc_slow "similarity extremes" test_similarity_extremes;
+        tc_slow "common kernel code in every view" test_profiles_include_common_kernel;
+        tc_slow "category-specific code" test_category_specific_code;
+        tc_slow "module code recorded module-relative" test_module_code_in_profiles;
+      ] );
+  ]

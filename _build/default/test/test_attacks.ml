@@ -1,0 +1,101 @@
+module Attack = Fc_attacks.Attack
+module App = Fc_apps.App
+module Detect = Fc_benchkit.Detect
+module Recovery_log = Fc_core.Recovery_log
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let profiles () = Lazy.force Test_env.profiles
+
+let test_corpus_shape () =
+  check_int "16 attacks" 16 (List.length Attack.all);
+  let rootkits =
+    List.filter (fun a -> a.Attack.kind = Attack.Kernel_rootkit) Attack.all
+  in
+  check_int "3 rootkits" 3 (List.length rootkits);
+  List.iter
+    (fun a ->
+      if App.find a.Attack.host = None then
+        Alcotest.failf "%s targets unknown host %s" a.Attack.name a.Attack.host;
+      if a.Attack.signature = [] then Alcotest.failf "%s has no signature" a.Attack.name)
+    Attack.all
+
+let test_signatures_resolve () =
+  (* every signature entry is either a catalog function or a module tag *)
+  List.iter
+    (fun a ->
+      List.iter
+        (fun s ->
+          let is_mod = String.length s > 4 && String.sub s 0 4 = "mod:" in
+          if (not is_mod) && Fc_kernel.Catalog.find s = None then
+            Alcotest.failf "%s signature names unknown function %s" a.Attack.name s)
+        a.Attack.signature)
+    Attack.all
+
+let test_find () =
+  check_bool "found" true (Attack.find "KBeast" <> None);
+  check_bool "missing" true (Attack.find "Stuxnet" = None)
+
+let test_injectso_detected_per_app () =
+  let o = Detect.run (profiles ()) ~mode:Detect.Per_app (Attack.find_exn "Injectso") in
+  check_bool "completed (recovery silent)" true o.Detect.completed;
+  check_bool "detected" true o.Detect.detected;
+  check_bool "udp evidence" true (List.mem "udp_recvmsg" o.Detect.evidence)
+
+let test_injectso_union_blind_spot () =
+  let o = Detect.run (profiles ()) ~mode:Detect.Union (Attack.find_exn "Injectso") in
+  check_bool "completed" true o.Detect.completed;
+  check_bool "not detected under union" false o.Detect.detected;
+  check_int "no recoveries at all" 0 o.Detect.recoveries
+
+let test_kbeast_unknown_frames () =
+  let o = Detect.run (profiles ()) ~mode:Detect.Per_app (Attack.find_exn "KBeast") in
+  check_bool "detected" true o.Detect.detected;
+  check_bool "hidden module shows as UNKNOWN" true o.Detect.unknown_frames;
+  check_bool "strnlen chain recovered" true (List.mem "strnlen" o.Detect.evidence)
+
+let test_sebek_module_recovery () =
+  let o = Detect.run (profiles ()) ~mode:Detect.Per_app (Attack.find_exn "Sebek") in
+  check_bool "detected via module code recovery" true
+    (List.mem "mod:sebek" o.Detect.evidence);
+  check_bool "visible module is not UNKNOWN" false o.Detect.unknown_frames
+
+let test_cymothoa_v4_itimer_path () =
+  let o = Detect.run (profiles ()) ~mode:Detect.Per_app (Attack.find_exn "Cymothoa v4") in
+  check_bool "detected" true o.Detect.detected;
+  check_bool "setitimer evidence" true (List.mem "sys_setitimer" o.Detect.evidence);
+  check_bool "alarm expiry evidence" true (List.mem "it_real_fn" o.Detect.evidence)
+
+let test_offline_infection_runs_at_entry () =
+  let o = Detect.run (profiles ()) ~mode:Detect.Per_app (Attack.find_exn "Infelf v2") in
+  check_bool "tty recovery for a GUI editor" true (List.mem "tty_write" o.Detect.evidence)
+
+let test_clean_runs_have_no_recoveries () =
+  List.iter
+    (fun host ->
+      let n = Detect.run_clean (profiles ()) ~mode:Detect.Per_app host in
+      if n <> 0 then Alcotest.failf "%s clean run produced %d recoveries" host n)
+    [ "top"; "gvim"; "bash"; "apache" ]
+
+let tc name f = Alcotest.test_case name `Quick f
+let tc_slow name f = Alcotest.test_case name `Slow f
+
+let suites =
+  [
+    ( "attacks.corpus",
+      [
+        tc "corpus shape (13 user + 3 rootkits)" test_corpus_shape;
+        tc "signatures resolve" test_signatures_resolve;
+        tc "find" test_find;
+      ] );
+    ( "attacks.detection",
+      [
+        tc_slow "injectso detected under per-app view" test_injectso_detected_per_app;
+        tc_slow "injectso invisible under union view" test_injectso_union_blind_spot;
+        tc_slow "kbeast hidden module -> UNKNOWN frames" test_kbeast_unknown_frames;
+        tc_slow "sebek detected via module code recovery" test_sebek_module_recovery;
+        tc_slow "cymothoa v4 itimer/alarm path" test_cymothoa_v4_itimer_path;
+        tc_slow "offline infection fires at entry" test_offline_infection_runs_at_entry;
+        tc_slow "clean runs: zero false positives" test_clean_runs_have_no_recoveries;
+      ] );
+  ]

@@ -1,0 +1,167 @@
+module Action = Fc_machine.Action
+module Os = Fc_machine.Os
+module Process = Fc_machine.Process
+module Hyp = Fc_hypervisor.Hypervisor
+module Behavior = Fc_profiler.Behavior
+module Behavior_monitor = Fc_core.Behavior_monitor
+module Facechange = Fc_core.Facechange
+module App = Fc_apps.App
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let image () = Lazy.force Test_env.image
+
+let test_handler_names () =
+  let names = Behavior.handler_names (image ()) in
+  check_bool "plenty of handlers" true (List.length names > 60);
+  List.iter
+    (fun (_, n) ->
+      if not (String.length n > 4 && String.sub n 0 4 = "sys_") then
+        Alcotest.failf "non-handler %s" n)
+    names
+
+let tiny_script =
+  [
+    Action.Syscall "getpid"; Action.Syscall "getuid"; Action.Syscall "getpid";
+    Action.Syscall "getuid"; Action.Exit;
+  ]
+
+let test_profile_counts () =
+  let p = Behavior.profile_app (image ()) ~name:"tiny" tiny_script in
+  Alcotest.(check string) "app" "tiny" p.Behavior.app;
+  check_int "getpid count" 2 (List.assoc "sys_getpid" p.Behavior.handlers);
+  check_int "getuid count" 2 (List.assoc "sys_getuid" p.Behavior.handlers);
+  check_int "exit count" 1 (List.assoc "sys_exit_group" p.Behavior.handlers);
+  check_int "getpid->getuid bigram" 2
+    (List.assoc ("sys_getpid", "sys_getuid") p.Behavior.bigrams);
+  check_int "getuid->getpid bigram" 1
+    (List.assoc ("sys_getuid", "sys_getpid") p.Behavior.bigrams);
+  check_bool "knows handler" true (Behavior.knows_handler p "sys_getpid");
+  check_bool "unknown handler" false (Behavior.knows_handler p "sys_socket");
+  check_bool "knows bigram" true
+    (Behavior.knows_bigram p ~prev:"sys_getpid" ~cur:"sys_getuid");
+  check_bool "final bigram known" true
+    (Behavior.knows_bigram p ~prev:"sys_getuid" ~cur:"sys_exit_group");
+  check_bool "unknown bigram" false
+    (Behavior.knows_bigram p ~prev:"sys_exit_group" ~cur:"sys_getpid")
+
+let test_profile_roundtrip () =
+  let p = Behavior.profile_app (image ()) ~name:"tiny" tiny_script in
+  match Behavior.of_string (Behavior.to_string p) with
+  | Error e -> Alcotest.fail e
+  | Ok p' ->
+      Alcotest.(check string) "app" p.Behavior.app p'.Behavior.app;
+      check_bool "handlers" true (p.Behavior.handlers = p'.Behavior.handlers);
+      check_bool "bigrams" true (p.Behavior.bigrams = p'.Behavior.bigrams)
+
+let test_profile_save_load () =
+  let p = Behavior.profile_app (image ()) ~name:"tiny" tiny_script in
+  let path = Filename.temp_file "fc_behavior" ".prof" in
+  Behavior.save p path;
+  (match Behavior.load path with
+  | Error e -> Alcotest.fail e
+  | Ok p' -> check_bool "equal" true (p = p'));
+  Sys.remove path
+
+let test_novel_bigrams () =
+  let base = Behavior.profile_app (image ()) ~name:"t" tiny_script in
+  let other =
+    Behavior.profile_app (image ()) ~name:"t"
+      [ Action.Syscall "getpid"; Action.Syscall "brk"; Action.Exit ]
+  in
+  let novel = Behavior.novel_bigrams base ~observed:other in
+  check_bool "getpid->brk is novel" true (List.mem ("sys_getpid", "sys_brk") novel);
+  check_int "self-diff empty" 0 (List.length (Behavior.novel_bigrams base ~observed:base))
+
+(* The §V-A scenario: an in-view parasite is invisible to code recovery
+   but caught by the monitor. *)
+let test_inview_parasite_detection () =
+  let apache = App.find_exn "apache" in
+  let view = Fc_benchkit.Profiles.config_of (Lazy.force Test_env.profiles) "apache" in
+  let behavior =
+    Behavior.profile_app ~config:(App.os_config apache) (image ()) ~name:"apache"
+      (apache.App.script 8)
+  in
+  let os = Os.create ~config:(App.os_config apache) (image ()) in
+  let hyp = Hyp.attach os in
+  let fc = Facechange.enable hyp in
+  let (_ : int) = Facechange.load_view fc view in
+  let monitor = Behavior_monitor.attach hyp behavior in
+  let parasite =
+    [ Action.Syscall "socket:tcp"; Action.Syscall "bind:tcp";
+      Action.Syscall "listen:tcp"; Action.Syscall "accept:tcp";
+      Action.Syscall "recv:tcp"; Action.Syscall "send:tcp" ]
+  in
+  let proc = Os.spawn os ~name:"apache" (apache.App.script 3) in
+  Os.schedule_at_round os 4 (fun _ -> Process.prepend_script proc parasite);
+  Os.run os;
+  check_bool "completed" true (Process.is_exited proc);
+  check_int "code recovery blind" 0 (Facechange.recoveries fc);
+  check_bool "behavior alerts raised" true (Behavior_monitor.alerts monitor <> []);
+  check_bool "monitor observed traffic" true (Behavior_monitor.syscalls_seen monitor > 20)
+
+let test_clean_run_no_alerts () =
+  let apache = App.find_exn "apache" in
+  let behavior =
+    Behavior.profile_app ~config:(App.os_config apache) (image ()) ~name:"apache"
+      (apache.App.script 8)
+  in
+  let os = Os.create ~config:(App.os_config apache) (image ()) in
+  let hyp = Hyp.attach os in
+  let monitor = Behavior_monitor.attach hyp behavior in
+  let proc = Os.spawn os ~name:"apache" (apache.App.script 3) in
+  Os.run os;
+  check_bool "completed" true (Process.is_exited proc);
+  check_int "no alerts on profiled behavior" 0
+    (List.length (Behavior_monitor.alerts monitor))
+
+let test_monitor_ignores_other_processes () =
+  let behavior = Behavior.profile_app (image ()) ~name:"watched" tiny_script in
+  let os = Os.create (image ()) in
+  let hyp = Hyp.attach os in
+  let monitor = Behavior_monitor.attach hyp behavior in
+  let _ = Os.spawn os ~name:"bystander" [ Action.Syscall "socket:udp"; Action.Exit ] in
+  Os.run os;
+  check_int "bystander not monitored" 0 (Behavior_monitor.syscalls_seen monitor)
+
+let test_monitor_detach () =
+  let behavior = Behavior.profile_app (image ()) ~name:"watched" tiny_script in
+  let os = Os.create (image ()) in
+  let hyp = Hyp.attach os in
+  let monitor = Behavior_monitor.attach hyp behavior in
+  Behavior_monitor.detach monitor;
+  let _ = Os.spawn os ~name:"watched" [ Action.Syscall "brk"; Action.Exit ] in
+  Os.run os;
+  check_int "nothing observed after detach" 0 (Behavior_monitor.syscalls_seen monitor)
+
+let test_monitor_observed_profile () =
+  let behavior = Behavior.profile_app (image ()) ~name:"watched" tiny_script in
+  let os = Os.create (image ()) in
+  let hyp = Hyp.attach os in
+  let monitor = Behavior_monitor.attach hyp behavior in
+  let _ = Os.spawn os ~name:"watched" tiny_script in
+  Os.run os;
+  let obs = Behavior_monitor.observed monitor in
+  check_int "observed getpid" 2 (List.assoc "sys_getpid" obs.Behavior.handlers);
+  check_int "novel vs profile: none" 0
+    (List.length (Behavior.novel_bigrams behavior ~observed:obs))
+
+let tc name f = Alcotest.test_case name `Quick f
+let tc_slow name f = Alcotest.test_case name `Slow f
+
+let suites =
+  [
+    ( "behavior",
+      [
+        tc "handler observation points" test_handler_names;
+        tc "profile counts handlers and transitions" test_profile_counts;
+        tc "profile to_string/of_string roundtrip" test_profile_roundtrip;
+        tc "profile save/load" test_profile_save_load;
+        tc "novel bigram diffing" test_novel_bigrams;
+        tc_slow "in-view parasite: code-blind, behavior-caught (§V-A)" test_inview_parasite_detection;
+        tc_slow "clean run raises no alerts" test_clean_run_no_alerts;
+        tc "other processes not monitored" test_monitor_ignores_other_processes;
+        tc "detach stops observation" test_monitor_detach;
+        tc "observed profile matches reality" test_monitor_observed_profile;
+      ] );
+  ]

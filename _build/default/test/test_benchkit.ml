@@ -1,0 +1,177 @@
+module Profiles = Fc_benchkit.Profiles
+module Table1 = Fc_benchkit.Table1
+module Fig3 = Fc_benchkit.Fig3
+module Unixbench = Fc_benchkit.Unixbench
+module Httperf = Fc_benchkit.Httperf
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let profiles () = Lazy.force Test_env.profiles
+
+let contains hay needle =
+  let n = String.length needle and m = String.length hay in
+  let rec go i = i + n <= m && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+let test_table1_matrix () =
+  let t = Table1.compute (profiles ()) in
+  check_int "12 apps" 12 (List.length (Table1.apps t));
+  (* symmetry and self-similarity *)
+  Alcotest.(check (float 1e-9))
+    "self" 1.0 (Table1.similarity t "top" "top");
+  Alcotest.(check (float 1e-9))
+    "symmetric"
+    (Table1.similarity t "top" "firefox")
+    (Table1.similarity t "firefox" "top");
+  (* overlap <= min size *)
+  check_bool "overlap bounded" true
+    (Table1.overlap_kb t "top" "firefox" <= min (Table1.size_kb t "top") (Table1.size_kb t "firefox"));
+  let a, b, s = Table1.min_similarity t in
+  check_bool "min involves top" true (a = "top" || b = "top");
+  check_bool "min in band" true (s > 0.15 && s < 0.45);
+  let _, _, smax = Table1.max_similarity t in
+  check_bool "max in band" true (smax > 0.75 && smax < 0.99);
+  let rendered = Table1.render t in
+  List.iter
+    (fun app -> check_bool (app ^ " rendered") true (contains rendered app))
+    (Table1.apps t)
+
+let test_fig3_shape () =
+  let r = Fig3.run (profiles ()) in
+  check_bool "completed" true r.Fig3.completed;
+  check_bool "pipe_poll lazy" true (List.mem "pipe_poll" r.Fig3.lazy_recovered);
+  check_bool "do_sys_poll lazy" true (List.mem "do_sys_poll" r.Fig3.lazy_recovered);
+  check_bool "sys_poll instant" true (List.mem "sys_poll" r.Fig3.instant_recovered);
+  check_bool "do_sys_poll NOT instant" false
+    (List.mem "do_sys_poll" r.Fig3.instant_recovered);
+  let text = Fig3.render r in
+  check_bool "lazy annotation" true (contains text "Lazy recovery");
+  check_bool "instant annotation" true (contains text "Instant recovery")
+
+let test_unixbench_scores_positive () =
+  let scores =
+    Unixbench.run_suite (Profiles.image (profiles ())) ~views:[] ~enabled:false
+  in
+  check_int "9 subtests" 9 (List.length scores);
+  List.iter
+    (fun (n, v) -> if v <= 0. then Alcotest.failf "%s score %f" n v)
+    scores
+
+let test_fig6_overhead_band () =
+  let pts = Unixbench.fig6 ~view_counts:[ 2 ] (profiles ()) in
+  match pts with
+  | [ base; p ] ->
+      Alcotest.(check (float 1e-9)) "baseline 1.0" 1.0 base.Unixbench.overall;
+      check_bool "overhead exists" true (p.Unixbench.overall < 1.0);
+      check_bool "overhead moderate (paper: 5-7%)" true (p.Unixbench.overall > 0.85);
+      (* pipe-based context switching is the worst subtest *)
+      let worst =
+        List.fold_left
+          (fun (bn, bv) (n, v) -> if v < bv then (n, v) else (bn, bv))
+          ("", infinity) p.Unixbench.per_test
+      in
+      Alcotest.(check string)
+        "worst subtest" "Pipe-based Context Switching" (fst worst)
+  | _ -> Alcotest.fail "expected 2 points"
+
+let test_fig7_crossover () =
+  let r = Httperf.run (profiles ()) in
+  check_bool "fc capacity below baseline" true
+    (r.Httperf.fc_capacity < r.Httperf.base_capacity);
+  check_bool "fc capacity in paper band (50-60)" true
+    (r.Httperf.fc_capacity > 48. && r.Httperf.fc_capacity < 60.5);
+  (* ratio flat at 1.0 for low rates, dipping at the end *)
+  List.iter
+    (fun (rate, ratio) ->
+      if float_of_int rate <= r.Httperf.fc_capacity && ratio < 0.999 then
+        Alcotest.failf "ratio %.3f below capacity at %d req/s" ratio rate)
+    r.Httperf.series;
+  let _, last = List.nth r.Httperf.series (List.length r.Httperf.series - 1) in
+  check_bool "degrades at 60 req/s" true (last < 0.999)
+
+let test_table2_full_regression () =
+  (* the headline security result: every attack detected under per-app
+     views; every user-level attack invisible under the union view;
+     rootkits caught either way *)
+  let rows = Fc_benchkit.Table2.run_all (profiles ()) in
+  check_int "16 attacks" 16 (List.length rows);
+  List.iter
+    (fun (r : Fc_benchkit.Table2.row) ->
+      let a = r.Fc_benchkit.Table2.per_app.Fc_benchkit.Detect.attack in
+      if not r.Fc_benchkit.Table2.per_app.Fc_benchkit.Detect.detected then
+        Alcotest.failf "%s not detected under per-app view" a.Fc_attacks.Attack.name;
+      match a.Fc_attacks.Attack.kind with
+      | Fc_attacks.Attack.Kernel_rootkit ->
+          if not r.Fc_benchkit.Table2.union.Fc_benchkit.Detect.detected then
+            Alcotest.failf "%s (rootkit) should be caught under union too"
+              a.Fc_attacks.Attack.name
+      | _ ->
+          if r.Fc_benchkit.Table2.union.Fc_benchkit.Detect.detected then
+            Alcotest.failf "%s should be invisible under the union view"
+              a.Fc_attacks.Attack.name)
+    rows;
+  let kbeast =
+    List.find
+      (fun (r : Fc_benchkit.Table2.row) ->
+        r.Fc_benchkit.Table2.per_app.Fc_benchkit.Detect.attack.Fc_attacks.Attack.name
+        = "KBeast")
+      rows
+  in
+  check_bool "only KBeast has UNKNOWN frames" true
+    kbeast.Fc_benchkit.Table2.per_app.Fc_benchkit.Detect.unknown_frames
+
+let test_fig4_render () =
+  let text = Fc_benchkit.Fig4.render (Fc_benchkit.Fig4.run (profiles ())) in
+  List.iter
+    (fun chain ->
+      if not (contains text chain) then Alcotest.failf "fig4 missing %s" chain)
+    [ "sys_bind"; "udp_lib_lport_inuse"; "prepare_to_wait_exclusive";
+      "detected: true" ]
+
+let test_fig5_render () =
+  let text = Fc_benchkit.Fig5.render (Fc_benchkit.Fig5.run (profiles ())) in
+  List.iter
+    (fun s -> if not (contains text s) then Alcotest.failf "fig5 missing %s" s)
+    [ "<UNKNOWN>"; "strnlen"; "filp_open"; "do_sync_write";
+      "hidden-module (UNKNOWN) frames present: true" ]
+
+let test_ablation_whole_function () =
+  match Fc_benchkit.Ablation.whole_function_load (profiles ()) with
+  | [ paper; raw ] ->
+      let err_recoveries r =
+        int_of_string (List.assoc "recoveries, error-path workload" r.Fc_benchkit.Ablation.metrics)
+      in
+      check_int "whole-function absorbs error paths" 0 (err_recoveries paper);
+      check_bool "raw spans trap on error paths" true (err_recoveries raw > 0)
+  | _ -> Alcotest.fail "expected two rows"
+
+let test_union_view_is_superset () =
+  let p = profiles () in
+  let union = Profiles.union_config p in
+  List.iter
+    (fun (name, cfg) ->
+      if
+        not
+          (Fc_ranges.Range_list.subset cfg.Fc_profiler.View_config.ranges
+             union.Fc_profiler.View_config.ranges)
+      then Alcotest.failf "union does not cover %s" name)
+    (Profiles.all_configs p)
+
+let tc_slow name f = Alcotest.test_case name `Slow f
+
+let suites =
+  [
+    ( "benchkit",
+      [
+        tc_slow "Table I matrix properties" test_table1_matrix;
+        tc_slow "Fig 3 lazy/instant shape" test_fig3_shape;
+        tc_slow "UnixBench scores positive" test_unixbench_scores_positive;
+        tc_slow "Fig 6 overhead band and worst subtest" test_fig6_overhead_band;
+        tc_slow "Fig 7 capacity crossover" test_fig7_crossover;
+        tc_slow "union view is a superset" test_union_view_is_superset;
+        tc_slow "Table II full regression (16 attacks, both regimes)" test_table2_full_regression;
+        tc_slow "Fig 4 rendering carries the paper's chains" test_fig4_render;
+        tc_slow "Fig 5 rendering shows hidden-module frames" test_fig5_render;
+        tc_slow "whole-function ablation shape" test_ablation_whole_function;
+      ] );
+  ]

@@ -1,0 +1,96 @@
+module Action = Fc_machine.Action
+module Os = Fc_machine.Os
+module Calltrace = Fc_profiler.Calltrace
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let image () = Lazy.force Test_env.image
+
+let rec find_node name (n : Calltrace.node) =
+  if n.Calltrace.fn = name then Some n
+  else List.find_map (find_node name) n.Calltrace.children
+
+let test_trace_getpid () =
+  match Calltrace.trace_syscall (image ()) "getpid" with
+  | [ n ] ->
+      Alcotest.(check string) "root" "sys_getpid" n.Calltrace.fn;
+      check_int "leaf" 0 (List.length n.Calltrace.children)
+  | l -> Alcotest.failf "expected one tree, got %d" (List.length l)
+
+let test_trace_read_ext4_shape () =
+  match Calltrace.trace_syscall (image ()) "read:ext4" with
+  | [ n ] ->
+      Alcotest.(check string) "root" "sys_read" n.Calltrace.fn;
+      (* the vfs dispatch chain appears in order *)
+      check_bool "vfs_read" true (find_node "vfs_read" n <> None);
+      check_bool "security hook" true (find_node "apparmor_file_permission" n <> None);
+      check_bool "fs op via dispatch" true (find_node "ext4_file_read" n <> None);
+      check_bool "no write path" true (find_node "ext4_file_write" n = None);
+      check_bool "substantial tree" true (Calltrace.node_count n > 8)
+  | l -> Alcotest.failf "expected one tree, got %d" (List.length l)
+
+let test_trace_blocking_syscall_single_tree () =
+  (* a blocking poll spans a reschedule; the tree must still be one
+     coherent unit *)
+  match Calltrace.trace_syscall (image ()) "poll:pipe" with
+  | [ n ] ->
+      Alcotest.(check string) "root" "sys_poll" n.Calltrace.fn;
+      check_bool "pipe_poll reached" true (find_node "pipe_poll" n <> None)
+  | l -> Alcotest.failf "expected one tree, got %d" (List.length l)
+
+let test_trace_matches_dispatch_declaration () =
+  (* every declared dispatch target of a variant must appear in its tree *)
+  List.iter
+    (fun name ->
+      let sc = Fc_kernel.Syscalls.find_exn name in
+      match Calltrace.trace_syscall (image ()) name with
+      | [ n ] ->
+          List.iter
+            (fun d ->
+              if d <> "@clocksource" && find_node d n = None then
+                Alcotest.failf "%s: dispatch target %s missing from tree" name d)
+            sc.Fc_kernel.Syscalls.dispatch
+      | l -> Alcotest.failf "%s: expected one tree, got %d" name (List.length l))
+    [ "write:ext4"; "bind:udp"; "sendfile:tcp"; "ioctl:drm:exec"; "recvmsg:packet" ]
+
+let test_trace_session_filters_pid () =
+  let os = Os.create (image ()) in
+  let watched = Os.spawn os ~name:"watched" [ Action.Syscall "getpid"; Action.Exit ] in
+  let _other = Os.spawn os ~name:"other" [ Action.Syscall "brk"; Action.Exit ] in
+  let s = Calltrace.start os ~target_pid:watched.Fc_machine.Process.pid in
+  Os.run os;
+  Calltrace.stop s;
+  let roots = Calltrace.roots s in
+  check_bool "has trees" true (roots <> []);
+  check_bool "other's brk absent" true
+    (List.for_all (fun n -> find_node "sys_brk" n = None) roots);
+  check_bool "watched's exit present" true
+    (List.exists (fun n -> find_node "do_exit" n <> None || n.Calltrace.fn = "sys_exit_group") roots)
+
+let test_pp_tree () =
+  match Calltrace.trace_syscall (image ()) "read:pipe" with
+  | [ n ] ->
+      let text = Format.asprintf "%a" (Calltrace.pp_tree ~max_depth:3) n in
+      let contains sub =
+        let m = String.length text and k = String.length sub in
+        let rec go i = i + k <= m && (String.sub text i k = sub || go (i + 1)) in
+        go 0
+      in
+      check_bool "renders root" true (contains "sys_read");
+      check_bool "renders indentation" true (contains "  fget")
+  | _ -> Alcotest.fail "expected one tree"
+
+let tc name f = Alcotest.test_case name `Quick f
+
+let suites =
+  [
+    ( "calltrace",
+      [
+        tc "leaf syscall" test_trace_getpid;
+        tc "vfs read tree shape" test_trace_read_ext4_shape;
+        tc "blocking syscall forms one tree" test_trace_blocking_syscall_single_tree;
+        tc "dispatch targets appear in trees" test_trace_matches_dispatch_declaration;
+        tc "session filters by pid" test_trace_session_filters_pid;
+        tc "tree rendering" test_pp_tree;
+      ] );
+  ]

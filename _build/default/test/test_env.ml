@@ -1,0 +1,5 @@
+(* Shared expensive fixtures for the heavier test modules. *)
+
+let image = lazy (Fc_kernel.Image.build_exn ())
+
+let profiles = lazy (Fc_benchkit.Profiles.compute ~iterations:8 (Lazy.force image))

@@ -1,0 +1,308 @@
+(* Property-based tests of the system's core invariants: view
+   materialization, recovery idempotence, assembler well-formedness, and
+   a workload fuzzer that throws random syscall scripts at an enforced
+   guest. *)
+
+module Action = Fc_machine.Action
+module Process = Fc_machine.Process
+module Os = Fc_machine.Os
+module Image = Fc_kernel.Image
+module Layout = Fc_kernel.Layout
+module Hyp = Fc_hypervisor.Hypervisor
+module View = Fc_core.View
+module View_config = Fc_profiler.View_config
+module Facechange = Fc_core.Facechange
+module Range_list = Fc_ranges.Range_list
+module Segment = Fc_ranges.Segment
+module Asm = Fc_isa.Asm
+module Insn = Fc_isa.Insn
+module Scan = Fc_isa.Scan
+
+let image = lazy (Image.build_exn ())
+
+(* ------------------------------------------------------------------ *)
+(* Assembler properties                                                *)
+(* ------------------------------------------------------------------ *)
+
+let gen_func_specs =
+  let open QCheck.Gen in
+  let gen_item callees =
+    frequency
+      [
+        (3, map (fun n -> Asm.Fill (n + 1)) (int_bound 60));
+        ( 2,
+          if callees = [] then map (fun n -> Asm.Fill (n + 1)) (int_bound 10)
+          else map (fun i -> Asm.Call (List.nth callees (i mod List.length callees)))
+            (int_bound 100) );
+        (1, map (fun id -> Asm.Block_point (id land 0xff)) (int_bound 30));
+      ]
+  in
+  (* functions may only call later functions: acyclic by construction *)
+  let gen_spec idx total =
+    let callees = List.init (total - idx - 1) (fun k -> Printf.sprintf "f%d" (idx + 1 + k)) in
+    let* items = list_size (int_bound 6) (gen_item callees) in
+    let* min_size = int_range 16 400 in
+    return { Asm.fname = Printf.sprintf "f%d" idx; items; min_size }
+  in
+  let* n = int_range 1 12 in
+  let rec build i acc =
+    if i >= n then return (List.rev acc)
+    else
+      let* s = gen_spec i n in
+      build (i + 1) (s :: acc)
+  in
+  build 0 []
+
+let arb_specs =
+  QCheck.make gen_func_specs ~print:(fun specs ->
+      String.concat ";" (List.map (fun s -> s.Asm.fname) specs))
+
+let unit_reader (u : Asm.unit_image) a =
+  let off = a - u.Asm.base in
+  if off >= 0 && off < Bytes.length u.Asm.code then
+    Some (Bytes.get_uint8 u.Asm.code off)
+  else None
+
+let prop_asm_layout =
+  QCheck.Test.make ~name:"assembled functions: aligned, sized, prologue'd, in order"
+    ~count:150 arb_specs (fun specs ->
+      match Asm.assemble ~base:0x10000 specs with
+      | Error _ -> false
+      | Ok u ->
+          let read = unit_reader u in
+          let rec check last = function
+            | [] -> true
+            | (p : Asm.placed) :: rest ->
+                p.Asm.addr mod 16 = 0
+                && p.Asm.addr >= last
+                && p.Asm.size >= 5
+                && Scan.is_prologue_at ~read p.Asm.addr
+                && check (p.Asm.addr + p.Asm.size) rest
+          in
+          check u.Asm.base u.Asm.functions)
+
+let prop_asm_decodable =
+  QCheck.Test.make ~name:"every assembled body decodes as straight-line valid code"
+    ~count:100 arb_specs (fun specs ->
+      match Asm.assemble ~base:0x10000 specs with
+      | Error _ -> false
+      | Ok u ->
+          let read = unit_reader u in
+          List.for_all
+            (fun (p : Asm.placed) ->
+              let rec walk a =
+                if a >= p.Asm.addr + p.Asm.size then true
+                else
+                  match Insn.decode ~read a with
+                  | Ok (Insn.Ret, len) -> a + len = p.Asm.addr + p.Asm.size
+                  | Ok (_, len) -> walk (a + len)
+                  | Error _ -> false
+              in
+              walk p.Asm.addr)
+            u.Asm.functions)
+
+let prop_asm_yields_even =
+  QCheck.Test.make ~name:"block points land at even offsets (resume stays on UD2 phase)"
+    ~count:100 arb_specs (fun specs ->
+      match Asm.assemble ~base:0x10000 specs with
+      | Error _ -> false
+      | Ok u ->
+          let read = unit_reader u in
+          List.for_all
+            (fun (p : Asm.placed) ->
+              let rec walk a =
+                if a >= p.Asm.addr + p.Asm.size then true
+                else
+                  match Insn.decode ~read a with
+                  | Ok (Insn.Yield _, len) -> a land 1 = 0 && walk (a + len)
+                  | Ok (_, len) -> walk (a + len)
+                  | Error _ -> false
+              in
+              walk p.Asm.addr)
+            u.Asm.functions)
+
+(* ------------------------------------------------------------------ *)
+(* View materialization invariant                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Pick random base-kernel spans out of the image and check the
+   materialized view byte-for-byte: original code inside the
+   whole-function expansion of each span, phase-aligned UD2 outside. *)
+let gen_config =
+  let open QCheck.Gen in
+  let img = Lazy.force image in
+  let fns = Array.of_list (Image.functions img) in
+  let* k = int_range 0 8 in
+  let* picks = list_repeat k (int_bound (Array.length fns - 1)) in
+  let ranges =
+    List.fold_left
+      (fun acc i ->
+        let p = fns.(i) in
+        (* a sub-span inside the function *)
+        let lo = p.Asm.addr + (i mod max 1 (p.Asm.size / 2)) in
+        Range_list.add_range acc Segment.Base_kernel ~lo ~hi:(lo + 4))
+      Range_list.empty picks
+  in
+  return (View_config.make ~app:"prop" ranges)
+
+let arb_config =
+  QCheck.make gen_config ~print:(fun c -> View_config.to_string c)
+
+let expanded_functions img (cfg : View_config.t) =
+  (* ground truth for the whole-function expansion, via the image's own
+     function table (the view must agree while using only byte scans) *)
+  List.filter
+    (fun (p : Asm.placed) ->
+      List.exists
+        (fun (seg, (s : Fc_ranges.Span.t)) ->
+          seg = Segment.Base_kernel
+          && s.Fc_ranges.Span.lo < p.Asm.addr + p.Asm.size
+          && p.Asm.addr < s.Fc_ranges.Span.hi)
+        (Range_list.to_list cfg.View_config.ranges))
+    (Image.functions img)
+
+let prop_view_contents =
+  QCheck.Test.make ~name:"view = original inside expanded functions, UD2 outside"
+    ~count:25 arb_config (fun cfg ->
+      let img = Lazy.force image in
+      let os = Os.create img in
+      let hyp = Hyp.attach os in
+      let v = View.build ~hyp ~index:1 cfg in
+      let loaded = expanded_functions img cfg in
+      let in_loaded a =
+        List.exists
+          (fun (p : Asm.placed) ->
+            (* a whole-function load runs to the next prologue, i.e. may
+               include the padding after the function *)
+            p.Asm.addr <= a
+            && a < (p.Asm.addr + p.Asm.size + 15) / 16 * 16)
+          loaded
+      in
+      let ok = ref true in
+      let a = ref (Image.text_base img) in
+      while !ok && !a < Image.text_end img do
+        let got = Option.get (View.read_code v ~gva:!a) in
+        (if in_loaded !a then begin
+           if got <> Option.get (Image.read_byte img !a) then ok := false
+         end
+         else
+           let want = if !a land 1 = 0 then 0x0f else 0x0b in
+           if got <> want then ok := false);
+        incr a
+      done;
+      View.destroy v;
+      !ok)
+
+let prop_view_destroy_frees =
+  QCheck.Test.make ~name:"view destroy frees exactly its frames" ~count:20
+    arb_config (fun cfg ->
+      let os = Os.create (Lazy.force image) in
+      let hyp = Hyp.attach os in
+      let before = Fc_mem.Phys_mem.live_frames (Os.phys os) in
+      let v = View.build ~hyp ~index:1 cfg in
+      View.destroy v;
+      Fc_mem.Phys_mem.live_frames (Os.phys os) = before)
+
+(* ------------------------------------------------------------------ *)
+(* Workload fuzzing under enforcement                                  *)
+(* ------------------------------------------------------------------ *)
+
+let harmless_variants =
+  (* every variant except exit (scripts manage their own exit) *)
+  List.filter (fun v -> v <> "exit") Fc_kernel.Syscalls.names
+
+let gen_script =
+  let open QCheck.Gen in
+  let variants = Array.of_list harmless_variants in
+  let* n = int_range 1 25 in
+  let* picks = list_repeat n (int_bound (Array.length variants - 1)) in
+  return (List.map (fun i -> Action.Syscall variants.(i)) picks @ [ Action.Exit ])
+
+let arb_script =
+  QCheck.make gen_script ~print:(fun acts ->
+      String.concat ";" (List.map (Format.asprintf "%a" Action.pp) acts))
+
+(* A fixed small profile so the fuzzer exercises recovery heavily. *)
+let fuzz_profile =
+  lazy
+    (Fc_profiler.Profiler.profile_app (Lazy.force image) ~name:"fuzz"
+       [ Action.Syscall "getpid"; Action.Syscall "write:tty"; Action.Exit ])
+
+let prop_fuzz_never_panics =
+  QCheck.Test.make
+    ~name:"random syscall workloads under enforcement: silent recovery, no panic"
+    ~count:40 arb_script (fun script ->
+      let os = Os.create ~config:Os.runtime_config (Lazy.force image) in
+      let hyp = Hyp.attach os in
+      let fc = Facechange.enable hyp in
+      let (_ : int) = Facechange.load_view fc (Lazy.force fuzz_profile) in
+      let p = Os.spawn os ~name:"fuzz" script in
+      match Os.run ~max_rounds:10_000 os with
+      | () -> Process.is_exited p
+      | exception Os.Guest_panic _ -> false)
+
+let prop_fuzz_recovery_restores_original =
+  QCheck.Test.make
+    ~name:"after any fuzzed run, active view bytes match original wherever not UD2"
+    ~count:15 arb_script (fun script ->
+      let img = Lazy.force image in
+      let os = Os.create ~config:Os.runtime_config img in
+      let hyp = Hyp.attach os in
+      let fc = Facechange.enable hyp in
+      let idx = Facechange.load_view fc (Lazy.force fuzz_profile) in
+      let p = Os.spawn os ~name:"fuzz" script in
+      Os.run ~max_rounds:10_000 os;
+      ignore (Process.is_exited p);
+      let v = Option.get (Facechange.find_view fc idx) in
+      (* sample a stride of addresses *)
+      let ok = ref true in
+      let a = ref (Image.text_base img) in
+      while !ok && !a < Image.text_end img do
+        (match View.read_code v ~gva:!a with
+        | Some b0 ->
+            (* every byte is either the UD2 fill byte for its parity or a
+               faithful copy of the original code *)
+            let fill_byte = if !a land 1 = 0 then 0x0f else 0x0b in
+            if b0 <> fill_byte && Some b0 <> Image.read_byte img !a then
+              ok := false
+        | None -> ok := false);
+        a := !a + 237
+      done;
+      !ok)
+
+(* ------------------------------------------------------------------ *)
+(* Config/profile determinism and persistence                           *)
+(* ------------------------------------------------------------------ *)
+
+let prop_view_config_roundtrip =
+  QCheck.Test.make ~name:"view-config text roundtrip for random range lists"
+    ~count:100 arb_config (fun cfg ->
+      match View_config.of_string (View_config.to_string cfg) with
+      | Ok cfg' ->
+          Range_list.equal cfg.View_config.ranges cfg'.View_config.ranges
+          && cfg.View_config.app = cfg'.View_config.app
+      | Error _ -> false)
+
+let prop_profiling_deterministic =
+  QCheck.Test.make ~name:"profiling the same workload twice yields identical views"
+    ~count:8 arb_script (fun script ->
+      let p1 = Fc_profiler.Profiler.profile_app (Lazy.force image) ~name:"d" script in
+      let p2 = Fc_profiler.Profiler.profile_app (Lazy.force image) ~name:"d" script in
+      Range_list.equal p1.View_config.ranges p2.View_config.ranges)
+
+let suites =
+  [
+    ( "invariants",
+      List.map QCheck_alcotest.to_alcotest
+        [
+          prop_asm_layout;
+          prop_asm_decodable;
+          prop_asm_yields_even;
+          prop_view_contents;
+          prop_view_destroy_frees;
+          prop_fuzz_never_panics;
+          prop_fuzz_recovery_restores_original;
+          prop_view_config_roundtrip;
+          prop_profiling_deterministic;
+        ] );
+  ]

@@ -1,0 +1,208 @@
+(* Multi-vCPU guests: the paper's §V-C extension.  Per-vCPU EPTs, per-CPU
+   current-task pointers, process pinning, and per-vCPU kernel view
+   switching. *)
+
+module Action = Fc_machine.Action
+module Process = Fc_machine.Process
+module Os = Fc_machine.Os
+module Image = Fc_kernel.Image
+module Layout = Fc_kernel.Layout
+module Hyp = Fc_hypervisor.Hypervisor
+module Facechange = Fc_core.Facechange
+module Profiler = Fc_profiler.Profiler
+module Recovery_log = Fc_core.Recovery_log
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let image () = Lazy.force Test_env.image
+let smp ?(vcpus = 2) ?config () = Os.create ?config ~vcpus (image ())
+
+let test_boot_smp () =
+  let os = smp ~vcpus:4 () in
+  check_int "vcpu count" 4 (Os.vcpu_count os);
+  (* per-CPU current pointers name the per-CPU idle tasks *)
+  for vid = 0 to 3 do
+    match Os.read_guest_u32 os (Layout.current_task_ptr_cpu ~vid) with
+    | Some task -> check_int (Printf.sprintf "cpu%d idle pid" vid)
+        (Layout.task_struct_addr ~pid:vid) task
+    | None -> Alcotest.fail "per-cpu current unmapped"
+  done;
+  check_bool "distinct EPTs" true (Os.ept_of os ~vid:0 != Os.ept_of os ~vid:1)
+
+let test_vcpu_bounds () =
+  let os = smp () in
+  (match Os.ept_of os ~vid:2 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected bounds failure");
+  match Os.create ~vcpus:0 (image ()) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected vcpus>=1"
+
+let test_round_robin_pinning () =
+  let os = smp () in
+  let a = Os.spawn os ~name:"a" [ Action.Exit ] in
+  let b = Os.spawn os ~name:"b" [ Action.Exit ] in
+  let c = Os.spawn os ~name:"c" [ Action.Exit ] in
+  check_bool "alternating cpus" true
+    (a.Process.cpu <> b.Process.cpu && a.Process.cpu = c.Process.cpu);
+  let d = Os.spawn ~cpu:1 os ~name:"d" [ Action.Exit ] in
+  check_int "explicit pin" 1 d.Process.cpu;
+  match Os.spawn ~cpu:7 os ~name:"e" [ Action.Exit ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected bad-cpu failure"
+
+let test_parallel_workloads_complete () =
+  let os = smp ~vcpus:4 () in
+  let mk i =
+    Os.spawn os ~name:(Printf.sprintf "w%d" i)
+      (Action.repeat 6 [ Action.Syscall "getpid"; Action.Syscall "read:proc:pid";
+                         Action.Compute 1_000 ]
+      @ [ Action.Exit ])
+  in
+  let procs = List.init 8 mk in
+  Os.run os;
+  List.iter
+    (fun p ->
+      if not (Process.is_exited p) then
+        Alcotest.failf "%s did not finish" p.Process.name)
+    procs
+
+let test_blocking_across_vcpus () =
+  let os = smp () in
+  let mk name = Os.spawn os ~name
+    (Action.repeat 4 [ Action.Syscall "poll:pipe"; Action.Syscall "getpid" ]
+    @ [ Action.Exit ]) in
+  let a = mk "pollerA" and b = mk "pollerB" in
+  Os.run os;
+  check_bool "both complete" true (Process.is_exited a && Process.is_exited b);
+  check_bool "they ran on different cpus" true (a.Process.cpu <> b.Process.cpu)
+
+(* A small two-app scenario with per-vCPU views. *)
+let two_view_guest () =
+  let img = image () in
+  let cfg_a =
+    Profiler.profile_app img ~name:"appA"
+      (Action.repeat 10 [ Action.Syscall "read:proc:stat"; Action.Syscall "write:tty" ]
+      @ [ Action.Exit ])
+  in
+  let cfg_b =
+    Profiler.profile_app img ~name:"appB"
+      (Action.repeat 10 [ Action.Syscall "open:ext4"; Action.Syscall "read:ext4";
+                          Action.Syscall "close" ]
+      @ [ Action.Exit ])
+  in
+  let os = smp ~config:Os.profiling_config () in
+  let hyp = Hyp.attach os in
+  let fc = Facechange.enable hyp in
+  let ia = Facechange.load_view fc cfg_a in
+  let ib = Facechange.load_view fc cfg_b in
+  (os, fc, ia, ib)
+
+let test_per_vcpu_view_switching () =
+  let os, fc, ia, ib = two_view_guest () in
+  (* pin each app to its own vCPU *)
+  let a =
+    Os.spawn ~cpu:0 os ~name:"appA"
+      (Action.repeat 6 [ Action.Syscall "read:proc:stat"; Action.Syscall "write:tty";
+                         Action.Sleep 2 ]
+      @ [ Action.Exit ])
+  in
+  let b =
+    Os.spawn ~cpu:1 os ~name:"appB"
+      (Action.repeat 6 [ Action.Syscall "open:ext4"; Action.Syscall "read:ext4";
+                         Action.Syscall "close"; Action.Sleep 2 ]
+      @ [ Action.Exit ])
+  in
+  (* mid-run, each vCPU must be enforcing its own application's view *)
+  let observed = ref None in
+  Os.schedule_at_round os 6 (fun os ->
+      ignore os;
+      observed := Some (Facechange.active_index ~vid:0 fc,
+                        Facechange.active_index ~vid:1 fc));
+  Os.run os;
+  check_bool "both complete (silent recovery everywhere)" true
+    (Process.is_exited a && Process.is_exited b);
+  (match !observed with
+  | Some (va, vb) ->
+      (* with Sleep actions both apps park; idle switches install the full
+         view, so accept either the app view or full per vCPU, but they
+         must never hold each other's view *)
+      check_bool "vcpu0 never holds appB's view" true (va <> ib);
+      check_bool "vcpu1 never holds appA's view" true (vb <> ia)
+  | None -> Alcotest.fail "round hook did not fire");
+  check_bool "views actually switched" true (Facechange.switches fc > 2)
+
+let test_no_cross_vcpu_interference () =
+  let os, fc, _ia, _ib = two_view_guest () in
+  (* appA enforced on cpu0; an unbound process on cpu1 uses code far
+     outside appA's view and must never trap *)
+  let a =
+    Os.spawn ~cpu:0 os ~name:"appA"
+      (Action.repeat 6 [ Action.Syscall "read:proc:stat" ] @ [ Action.Exit ])
+  in
+  let free =
+    Os.spawn ~cpu:1 os ~name:"freebird"
+      (Action.repeat 6 [ Action.Syscall "socket:udp"; Action.Syscall "bind:udp";
+                         Action.Syscall "close:udp" ]
+      @ [ Action.Exit ])
+  in
+  Os.run os;
+  check_bool "both complete" true (Process.is_exited a && Process.is_exited free);
+  let bad =
+    List.exists
+      (fun e -> e.Recovery_log.comm = "freebird")
+      (Recovery_log.entries (Facechange.log fc))
+  in
+  check_bool "full-view process on the other vcpu never recovered" false bad
+
+let test_recovery_on_secondary_vcpu () =
+  let os, fc, _ia, ib = two_view_guest () in
+  ignore ib;
+  (* appB (cpu1) gets an out-of-view payload: recovery must fire on vcpu 1
+     and attribute the right process *)
+  let b =
+    Os.spawn ~cpu:1 os ~name:"appB"
+      ([ Action.Syscall "socket:udp"; Action.Syscall "bind:udp" ]
+      @ Action.repeat 3 [ Action.Syscall "open:ext4"; Action.Syscall "close" ]
+      @ [ Action.Exit ])
+  in
+  Os.run os;
+  check_bool "completed" true (Process.is_exited b);
+  let names = Recovery_log.recovered_names (Facechange.log fc) in
+  check_bool "udp recovery on cpu1" true (List.mem "udp_v4_get_port" names);
+  List.iter
+    (fun e ->
+      Alcotest.(check string) "attributed to appB" "appB" e.Recovery_log.comm)
+    (Recovery_log.entries (Facechange.log fc))
+
+let test_smp_determinism () =
+  (* the multi-vCPU interleaving is deterministic: two identical runs give
+     identical cycle counts and switch counts *)
+  let run () =
+    let os, fc, _, _ = two_view_guest () in
+    let mk cpu name script = Os.spawn ~cpu os ~name script in
+    let _ = mk 0 "appA" (Action.repeat 4 [ Action.Syscall "read:proc:stat" ] @ [ Action.Exit ]) in
+    let _ = mk 1 "appB" (Action.repeat 4 [ Action.Syscall "read:ext4" ] @ [ Action.Exit ]) in
+    Os.run os;
+    (Os.cycles os, Facechange.switches fc, Os.context_switches os)
+  in
+  check_bool "deterministic" true (run () = run ())
+
+let tc name f = Alcotest.test_case name `Quick f
+let tc_slow name f = Alcotest.test_case name `Slow f
+
+let suites =
+  [
+    ( "smp",
+      [
+        tc "boot with 4 vcpus (per-cpu idle/current)" test_boot_smp;
+        tc "vcpu bounds checking" test_vcpu_bounds;
+        tc "round-robin and explicit pinning" test_round_robin_pinning;
+        tc "8 workloads across 4 vcpus complete" test_parallel_workloads_complete;
+        tc "blocking workloads across vcpus" test_blocking_across_vcpus;
+        tc_slow "per-vCPU kernel view switching" test_per_vcpu_view_switching;
+        tc_slow "no cross-vCPU view interference" test_no_cross_vcpu_interference;
+        tc_slow "recovery on a secondary vcpu" test_recovery_on_secondary_vcpu;
+        tc_slow "SMP runs are deterministic" test_smp_determinism;
+      ] );
+  ]

@@ -1,0 +1,98 @@
+module Action = Fc_machine.Action
+module Os = Fc_machine.Os
+module Synth = Fc_apps.Synth
+module Facechange = Fc_core.Facechange
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let image () = Lazy.force Test_env.image
+
+let test_deterministic () =
+  let a = Synth.script ~seed:42 ~length:30 () in
+  let b = Synth.script ~seed:42 ~length:30 () in
+  check_bool "same seed, same script" true (a = b);
+  let c = Synth.script ~seed:43 ~length:30 () in
+  check_bool "different seed, different script" true (a <> c)
+
+let test_valid_and_terminating () =
+  List.iter
+    (fun seed ->
+      let s = Synth.script ~seed ~length:50 () in
+      (match List.rev s with
+      | Action.Exit :: _ -> ()
+      | _ -> Alcotest.fail "missing exit");
+      List.iter
+        (function
+          | Action.Syscall v ->
+              if Fc_kernel.Syscalls.find v = None then
+                Alcotest.failf "unknown syscall %s" v
+          | _ -> ())
+        s)
+    [ 1; 7; 99; 1234 ]
+
+let test_profiles_differ () =
+  let has_net s =
+    List.exists
+      (function
+        | Action.Syscall v -> String.length v > 4 && String.sub v 0 4 = "sock"
+        | _ -> false)
+      s
+  in
+  check_bool "file-heavy avoids sockets" false
+    (has_net (Synth.script ~seed:5 ~profile:Synth.File_heavy ~length:200 ()))
+
+let test_synthetic_app_runs_enforced () =
+  (* the full pipeline works for a synthetic app: profile, enforce, run *)
+  let app = Synth.app ~seed:7 ~profile:Synth.Interactive "synth7" in
+  let cfg = Fc_apps.App.profile ~iterations:2 (image ()) app in
+  let os = Os.create ~config:(Fc_apps.App.os_config app) (image ()) in
+  let hyp = Fc_hypervisor.Hypervisor.attach os in
+  let fc = Facechange.enable hyp in
+  let (_ : int) = Facechange.load_view fc cfg in
+  let p = Os.spawn os ~name:"synth7" (app.Fc_apps.App.script 2) in
+  Os.run ~max_rounds:20_000 os;
+  check_bool "completed" true (Fc_machine.Process.is_exited p);
+  check_int "same workload, no recovery" 0 (Facechange.recoveries fc)
+
+let test_stats_capture () =
+  let app = Fc_apps.App.find_exn "top" in
+  let os = Os.create ~config:(Fc_apps.App.os_config app) (image ()) in
+  let hyp = Fc_hypervisor.Hypervisor.attach os in
+  let fc = Facechange.enable hyp in
+  let (_ : int) =
+    Facechange.load_view fc
+      (Fc_benchkit.Profiles.config_of (Lazy.force Test_env.profiles) "top")
+  in
+  let _ = Os.spawn os ~name:"top" (app.Fc_apps.App.script 2) in
+  Os.run os;
+  let st = Fc_core.Stats.capture fc in
+  check_bool "cycles counted" true (st.Fc_core.Stats.guest_cycles > 0);
+  check_int "one view" 1 st.Fc_core.Stats.views_loaded;
+  check_bool "exits recorded" true (st.Fc_core.Stats.breakpoint_exits > 0);
+  check_bool "overhead fraction sane" true
+    (Fc_core.Stats.overhead_fraction st > 0.
+    && Fc_core.Stats.overhead_fraction st < 0.5);
+  let text = Format.asprintf "%a" Fc_core.Stats.pp st in
+  check_bool "renders" true (String.length text > 50)
+
+let test_app_wrapper () =
+  let a = Synth.app ~seed:3 "synth3" in
+  Alcotest.(check string) "category" "synthetic" a.Fc_apps.App.category;
+  check_bool "longer n, longer script" true
+    (List.length (a.Fc_apps.App.script 4) > List.length (a.Fc_apps.App.script 1))
+
+let tc name f = Alcotest.test_case name `Quick f
+let tc_slow name f = Alcotest.test_case name `Slow f
+
+let suites =
+  [
+    ( "synth",
+      [
+        tc "seeded determinism" test_deterministic;
+        tc "valid, terminating scripts" test_valid_and_terminating;
+        tc "profiles shape the syscall mix" test_profiles_differ;
+        tc "app wrapper" test_app_wrapper;
+        tc_slow "synthetic app through the full pipeline" test_synthetic_app_runs_enforced;
+        tc_slow "stats capture" test_stats_capture;
+      ] );
+  ]
