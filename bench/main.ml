@@ -48,14 +48,13 @@ let fig5 profiles =
   print_string (Fc_benchkit.Fig5.render (Fc_benchkit.Fig5.run profiles))
 
 let fig6 ~fast profiles =
-  banner "Fig. 6: Normalized System Performance (UnixBench)";
+  banner "Fig. 6: Normalized System Performance (UnixBench) + Frame Sharing";
   let view_counts = if fast then Some [ 1; 2; 5; 11 ] else None in
-  print_string
-    (Fc_benchkit.Unixbench.render (Fc_benchkit.Unixbench.fig6 ?view_counts profiles))
+  print_string (Fc_benchkit.Fig6.render (Fc_benchkit.Fig6.run ?view_counts profiles))
 
 let fig7 profiles =
   banner "Fig. 7: I/O Performance for Apache Web Server (httperf)";
-  print_string (Fc_benchkit.Httperf.render (Fc_benchkit.Httperf.run profiles))
+  print_string (Fc_benchkit.Fig7.render (Fc_benchkit.Fig7.run profiles))
 
 let ablations profiles =
   banner "Ablations: the design choices of Section III";

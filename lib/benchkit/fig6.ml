@@ -1,0 +1,116 @@
+module Os = Fc_machine.Os
+module Action = Fc_machine.Action
+module Process = Fc_machine.Process
+module Hyp = Fc_hypervisor.Hypervisor
+module Phys = Fc_mem.Phys_mem
+module Facechange = Fc_core.Facechange
+module View = Fc_core.View
+
+type mode_stats = {
+  frames_allocated : int;
+  recoveries : int;
+  recovered_bytes : int;
+  cow_breaks : int;
+}
+
+type sharing_report = {
+  views : int;
+  view_pages : int;
+  shared : mode_stats;
+  unshared : mode_stats;
+  frames_saved : int;
+  bytes_saved : int;
+  reduction : float;
+  parity : bool;
+}
+
+type t = { perf : Unixbench.fig6_point list; sharing : sharing_report }
+
+(* A short resident-style workload: enough timer wakeups and syscalls
+   under the kvmclock runtime environment to drive benign recoveries in
+   every custom view (and therefore copy-on-write breaks when frames are
+   shared). *)
+let workload =
+  Action.repeat 30
+    [ Action.Syscall "getpid"; Action.Compute 2_000; Action.Sleep 20 ]
+  @ [ Action.Exit ]
+
+(* Load every profiled view into one guest with sharing on or off,
+   measure the frames that cost, then run the residents and collect the
+   recovery counters the parity check compares. *)
+let measure_mode profiles ~share =
+  let os = Os.create ~config:Os.runtime_config (Profiles.image profiles) in
+  let hyp = Hyp.attach os in
+  let opts = { Facechange.default_opts with share_frames = share } in
+  let fc = Facechange.enable ~opts hyp in
+  let before = Phys.live_frames (Os.phys os) in
+  List.iter
+    (fun (_, cfg) -> ignore (Facechange.load_view fc cfg))
+    (Profiles.all_configs profiles);
+  let frames_allocated = Phys.live_frames (Os.phys os) - before in
+  let view_pages =
+    List.fold_left
+      (fun n v -> n + View.private_page_count v)
+      0 (Facechange.views fc)
+  in
+  let procs =
+    List.map
+      (fun (app, _) -> Os.spawn os ~name:app workload)
+      (Profiles.all_configs profiles)
+  in
+  Os.run ~until:(fun _ -> List.for_all Process.is_exited procs) os;
+  ( view_pages,
+    {
+      frames_allocated;
+      recoveries = Facechange.recoveries fc;
+      recovered_bytes = Facechange.recovered_bytes fc;
+      cow_breaks = Facechange.cow_breaks fc;
+    } )
+
+let sharing profiles =
+  let view_pages, shared = measure_mode profiles ~share:true in
+  let _, unshared = measure_mode profiles ~share:false in
+  let frames_saved = unshared.frames_allocated - shared.frames_allocated in
+  {
+    views = List.length (Profiles.all_configs profiles);
+    view_pages;
+    shared;
+    unshared;
+    frames_saved;
+    bytes_saved = frames_saved * Phys.page_size;
+    reduction =
+      (if unshared.frames_allocated = 0 then 0.
+       else float_of_int frames_saved /. float_of_int unshared.frames_allocated);
+    parity =
+      shared.recoveries = unshared.recoveries
+      && shared.recovered_bytes = unshared.recovered_bytes;
+  }
+
+let run ?view_counts profiles =
+  { perf = Unixbench.fig6 ?view_counts profiles; sharing = sharing profiles }
+
+let render_sharing r =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "Frame sharing across the %d profiled views (%d view pages total):\n"
+       r.views r.view_pages);
+  Buffer.add_string buf
+    (Printf.sprintf "  %-24s %10s %12s %12s %6s\n" "mode" "frames" "recoveries"
+       "rec. bytes" "CoW");
+  let row name (m : mode_stats) =
+    Buffer.add_string buf
+      (Printf.sprintf "  %-24s %10d %12d %12d %6d\n" name m.frames_allocated
+         m.recoveries m.recovered_bytes m.cow_breaks)
+  in
+  row "sharing off (private)" r.unshared;
+  row "sharing on" r.shared;
+  Buffer.add_string buf
+    (Printf.sprintf "  saved: %d frames (%d KiB), %.1f%% fewer frames\n"
+       r.frames_saved (r.bytes_saved / 1024) (100. *. r.reduction));
+  Buffer.add_string buf
+    (Printf.sprintf "  recovery parity (counts and bytes bit-identical): %s\n"
+       (if r.parity then "yes" else "NO — sharing is not behavior-invisible"));
+  Buffer.contents buf
+
+let render t = Unixbench.render t.perf ^ "\n" ^ render_sharing t.sharing

@@ -1,0 +1,39 @@
+(** Fig. 6, extended: normalized UnixBench performance per loaded-view
+    count ({!Unixbench.fig6}) plus a frame-sharing report.
+
+    The sharing report loads {e all} profiled views into one guest twice
+    — frame sharing on, then off — and compares (a) the physical frames
+    the views cost, and (b) the recovery counters after an identical
+    resident workload.  Sharing is required to be behavior-invisible, so
+    the recovery counts and recovered bytes must be bit-identical in
+    both modes ([parity]). *)
+
+type mode_stats = {
+  frames_allocated : int;
+      (** live-frame delta from loading every view (measured before the
+          workload, i.e. before any copy-on-write break) *)
+  recoveries : int;
+  recovered_bytes : int;
+  cow_breaks : int;  (** always [0] with sharing off *)
+}
+
+type sharing_report = {
+  views : int;
+  view_pages : int;  (** pages mapped across all views — mode-independent *)
+  shared : mode_stats;
+  unshared : mode_stats;
+  frames_saved : int;
+  bytes_saved : int;
+  reduction : float;  (** fraction of the unshared frames avoided *)
+  parity : bool;
+      (** recoveries and recovered bytes identical in both modes *)
+}
+
+type t = { perf : Unixbench.fig6_point list; sharing : sharing_report }
+
+val run : ?view_counts:int list -> Profiles.t -> t
+val sharing : Profiles.t -> sharing_report
+(** Just the sharing half (cheap; no UnixBench runs). *)
+
+val render : t -> string
+val render_sharing : sharing_report -> string

@@ -1,0 +1,48 @@
+module Os = Fc_machine.Os
+module Hyp = Fc_hypervisor.Hypervisor
+module Phys = Fc_mem.Phys_mem
+module Facechange = Fc_core.Facechange
+module View = Fc_core.View
+module App = Fc_apps.App
+
+type t = {
+  io : Httperf.result;
+  view_pages : int;
+  view_frames : int;
+  bytes_saved : int;
+  reduction : float;
+}
+
+(* The apache view on its own already shares heavily: every pure-UD2
+   fill page is the same page.  Build it once (sharing on) and read the
+   pages-vs-frames split off the view. *)
+let view_footprint profiles =
+  let app = App.find_exn "apache" in
+  let os = Os.create ~config:(App.os_config app) (Profiles.image profiles) in
+  let hyp = Hyp.attach os in
+  let fc = Facechange.enable hyp in
+  let (_ : int) = Facechange.load_view fc (Profiles.config_of profiles "apache") in
+  match Facechange.views fc with
+  | [ v ] -> (View.private_page_count v, View.frame_count v)
+  | _ -> assert false
+
+let run ?rates profiles =
+  let io = Httperf.run ?rates profiles in
+  let view_pages, view_frames = view_footprint profiles in
+  {
+    io;
+    view_pages;
+    view_frames;
+    bytes_saved = (view_pages - view_frames) * Phys.page_size;
+    reduction =
+      (if view_pages = 0 then 0.
+       else
+         float_of_int (view_pages - view_frames) /. float_of_int view_pages);
+  }
+
+let render t =
+  Httperf.render t.io
+  ^ Printf.sprintf
+      "\nApache view footprint: %d pages on %d frames (%d KiB saved, %.1f%% \
+       fewer frames)\n"
+      t.view_pages t.view_frames (t.bytes_saved / 1024) (100. *. t.reduction)

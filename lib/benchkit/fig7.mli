@@ -1,0 +1,15 @@
+(** Fig. 7, extended: the httperf Apache I/O experiment ({!Httperf}) plus
+    the apache view's frame footprint — how many physical frames its
+    pages actually occupy once byte-identical pages (above all the
+    pure-UD2 fill pages) are interned in the frame cache. *)
+
+type t = {
+  io : Httperf.result;
+  view_pages : int;   (** pages the apache view maps *)
+  view_frames : int;  (** distinct physical frames backing them *)
+  bytes_saved : int;
+  reduction : float;  (** fraction of pages that needed no own frame *)
+}
+
+val run : ?rates:int list -> Profiles.t -> t
+val render : t -> string

@@ -12,6 +12,7 @@ type opts = {
   same_view_opt : bool;
   whole_function_load : bool;
   instant_recovery : bool;
+  share_frames : bool;
 }
 
 let default_opts =
@@ -20,6 +21,7 @@ let default_opts =
     same_view_opt = true;
     whole_function_load = true;
     instant_recovery = true;
+    share_frames = true;
   }
 
 let full_view_index = 0
@@ -41,6 +43,7 @@ type t = {
   mutable deferred : int;
   mutable recoveries : int;
   mutable recovered_bytes : int;
+  mutable retired_cow_breaks : int;  (* from views since unloaded *)
   mutable enabled : bool;
 }
 
@@ -55,6 +58,14 @@ let switch_skips t = t.switch_skips
 let deferred_switches t = t.deferred
 let recoveries t = t.recoveries
 let recovered_bytes t = t.recovered_bytes
+
+let shared_frames t =
+  List.fold_left
+    (fun n v -> n + View.private_page_count v - View.frame_count v)
+    0 t.views
+
+let cow_breaks t =
+  List.fold_left (fun n v -> n + View.cow_breaks v) t.retired_cow_breaks t.views
 
 let selector t ~comm =
   match List.assoc_opt comm t.bindings with Some i -> i | None -> full_view_index
@@ -308,6 +319,7 @@ let enable ?(opts = default_opts) hyp =
       deferred = 0;
       recoveries = 0;
       recovered_bytes = 0;
+      retired_cow_breaks = 0;
       enabled = true;
     }
   in
@@ -320,8 +332,8 @@ let load_view t config =
   let index = t.next_index in
   t.next_index <- index + 1;
   let v =
-    View.build ~hyp:t.hyp ~whole_function_load:t.opts.whole_function_load ~index
-      config
+    View.build ~hyp:t.hyp ~whole_function_load:t.opts.whole_function_load
+      ~share_frames:t.opts.share_frames ~index config
   in
   t.views <- t.views @ [ v ];
   bind t ~comm:config.Fc_profiler.View_config.app ~index;
@@ -341,6 +353,7 @@ let unload_view t index =
         (fun vid p -> if p = Some index then t.pending.(vid) <- None)
         t.pending;
       sync_resume_breakpoint t;
+      t.retired_cow_breaks <- t.retired_cow_breaks + View.cow_breaks v;
       View.destroy v
 
 let disable t =
@@ -350,7 +363,11 @@ let disable t =
     Array.fill t.pending 0 (Array.length t.pending) None;
     Hyp.clear_breakpoint t.hyp t.ctx_switch_addr;
     Hyp.clear_breakpoint t.hyp t.resume_addr;
-    List.iter View.destroy t.views;
+    List.iter
+      (fun v ->
+        t.retired_cow_breaks <- t.retired_cow_breaks + View.cow_breaks v;
+        View.destroy v)
+      t.views;
     t.views <- [];
     t.bindings <- []
   end

@@ -25,6 +25,9 @@ type opts = {
   same_view_opt : bool;     (** skip EPT updates on same-view switches *)
   whole_function_load : bool;  (** §III-B1 relaxation *)
   instant_recovery : bool;  (** Fig. 3's odd-boundary caller recovery *)
+  share_frames : bool;
+      (** intern byte-identical view pages in the hypervisor's frame
+          cache (default true); behavior-invisible either way *)
 }
 
 val default_opts : opts
@@ -82,3 +85,11 @@ val recoveries : t -> int
 (** Invalid-opcode recoveries performed. *)
 
 val recovered_bytes : t -> int
+
+val shared_frames : t -> int
+(** Across loaded views: pages minus distinct backing frames — the
+    allocations frame sharing avoided. *)
+
+val cow_breaks : t -> int
+(** Shared frames privatized by copy-on-write across all loaded views
+    (including views since unloaded). *)

@@ -15,6 +15,9 @@ type t = {
   recoveries : int;
   recovered_bytes : int;
   views_loaded : int;
+  view_pages : int;
+  shared_frames : int;
+  cow_breaks : int;
 }
 
 let capture fc =
@@ -34,6 +37,12 @@ let capture fc =
     recoveries = Facechange.recoveries fc;
     recovered_bytes = Facechange.recovered_bytes fc;
     views_loaded = List.length (Facechange.views fc);
+    view_pages =
+      List.fold_left
+        (fun n v -> n + View.private_page_count v)
+        0 (Facechange.views fc);
+    shared_frames = Facechange.shared_frames fc;
+    cow_breaks = Facechange.cow_breaks fc;
   }
 
 let overhead_fraction t =
@@ -45,10 +54,11 @@ let pp ppf t =
     "@[<v>guest: %d cycles, %d rounds, %d context switches, %d vCPU(s)@,\
      hypervisor: %d VM exits (%d breakpoints, %d invalid opcodes), %d cycles charged (%.1f%%)@,\
      views: %d loaded, %d switches (%d skipped, %d deferred)@,\
+     frames: %d view pages, %d shared, %d CoW breaks@,\
      recovery: %d recoveries, %d bytes@]"
     t.guest_cycles t.rounds t.context_switches t.vcpus
     (t.breakpoint_exits + t.invalid_opcode_exits)
     t.breakpoint_exits t.invalid_opcode_exits t.hypervisor_cycles
     (100. *. overhead_fraction t)
     t.views_loaded t.view_switches t.switches_skipped t.switches_deferred
-    t.recoveries t.recovered_bytes
+    t.view_pages t.shared_frames t.cow_breaks t.recoveries t.recovered_bytes

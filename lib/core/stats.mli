@@ -15,6 +15,10 @@ type t = {
   recoveries : int;
   recovered_bytes : int;
   views_loaded : int;
+  view_pages : int;  (** pages mapped across all loaded views *)
+  shared_frames : int;
+      (** frame allocations avoided by sharing (pages − distinct frames) *)
+  cow_breaks : int;  (** shared frames privatized by copy-on-write *)
 }
 
 val capture : Facechange.t -> t

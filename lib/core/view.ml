@@ -5,6 +5,7 @@ module Layout = Fc_kernel.Layout
 module Image = Fc_kernel.Image
 module Ept = Fc_mem.Ept
 module Phys = Fc_mem.Phys_mem
+module Frame_cache = Fc_mem.Frame_cache
 module Scan = Fc_isa.Scan
 module Range_list = Fc_ranges.Range_list
 module Segment = Fc_ranges.Segment
@@ -14,9 +15,11 @@ type t = {
   hyp : Hyp.t;
   index : int;
   config : Fc_profiler.View_config.t;
+  share : bool;
   tables : (int * Ept.table) list;
-  page_frames : (int, int) Hashtbl.t; (* gpa_page -> private frame *)
+  page_frames : (int, int) Hashtbl.t; (* gpa_page -> backing frame *)
   mutable loaded_bytes : int;
+  mutable cow_breaks : int;
   mutable destroyed : bool;
 }
 
@@ -27,41 +30,77 @@ let tables t = t.tables
 let dirs t = List.map fst t.tables
 let private_page_count t = Hashtbl.length t.page_frames
 let loaded_bytes t = t.loaded_bytes
+let cow_breaks t = t.cow_breaks
+
+let frame_count t =
+  let seen = Hashtbl.create 64 in
+  Hashtbl.iter (fun _ f -> Hashtbl.replace seen f ()) t.page_frames;
+  Hashtbl.length seen
+
+let shared_page_count t =
+  let phys = Os.phys (Hyp.os t.hyp) in
+  Hashtbl.fold
+    (fun _ f n -> if Phys.refcount phys f > 1 then n + 1 else n)
+    t.page_frames 0
 
 let ud2_pattern = [ Fc_isa.Insn.ud2_first_byte; Fc_isa.Insn.ud2_second_byte ]
 
-(* Find (creating on demand) the view's table for a directory, starting
-   from a copy of the original table so data/unknown pages keep their real
-   mapping (the paper "reuses any entries ... that point to kernel data"). *)
-let table_for t dir =
-  match List.assoc_opt dir t.tables with
-  | Some table -> Some table
-  | None -> None
+(* Find the view's table for a directory; the tables are created up front
+   from copies of the original tables so data/unknown pages keep their
+   real mapping (the paper "reuses any entries ... that point to kernel
+   data"). *)
+let table_for t dir = List.assoc_opt dir t.tables
 
+let map_page t gpa_page frame =
+  (match table_for t (Ept.dir_of_page gpa_page) with
+  | Some table -> Ept.table_set table ~idx:(Ept.slot_of_page gpa_page) (Some frame)
+  | None -> invalid_arg "View: page outside view directories");
+  Hashtbl.replace t.page_frames gpa_page frame
+
+(* A page created on demand (a code-recovery write landing outside the
+   materialized set) is about to be written, so it is allocated private
+   in both modes. *)
 let private_page t gpa_page =
   match Hashtbl.find_opt t.page_frames gpa_page with
   | Some frame -> frame
-  | None -> (
-      let dir = Ept.dir_of_page gpa_page in
-      match table_for t dir with
-      | None -> invalid_arg "View.private_page: page outside view directories"
-      | Some table ->
-          let phys = Os.phys (Hyp.os t.hyp) in
-          let frame = Phys.alloc phys in
-          Phys.fill phys ~addr:(Phys.addr_of_frame frame) ~len:Phys.page_size
-            ~pattern:ud2_pattern;
-          Ept.table_set table ~idx:(Ept.slot_of_page gpa_page) (Some frame);
-          Hashtbl.replace t.page_frames gpa_page frame;
-          Hyp.charge t.hyp Cost.view_page_init;
-          frame)
+  | None ->
+      let phys = Os.phys (Hyp.os t.hyp) in
+      let frame = Phys.alloc phys in
+      Phys.fill phys ~addr:(Phys.addr_of_frame frame) ~len:Phys.page_size
+        ~pattern:ud2_pattern;
+      map_page t gpa_page frame;
+      Hyp.charge t.hyp Cost.view_page_init;
+      frame
 
 let covers t ~gva =
   Layout.is_kernel_address gva
   && Hashtbl.mem t.page_frames (Layout.page_of (Layout.gva_to_gpa gva))
 
+(* Copy-on-write: the first write to a page backed by a shared frame
+   privatizes it.  The fresh frame replaces the shared one in the view's
+   own table (installed tables are shared by reference, so an active
+   view's EPT mapping follows), and the shared frame loses one
+   reference.  Deliberately charges {!Cost.cow_break} = 0 cycles —
+   sharing must be behavior-invisible. *)
+let writable_frame t gpa_page =
+  let frame = private_page t gpa_page in
+  let phys = Os.phys (Hyp.os t.hyp) in
+  if Phys.refcount phys frame <= 1 then frame
+  else begin
+    let fresh = Phys.alloc phys in
+    Phys.copy phys ~src:(Phys.addr_of_frame frame)
+      ~dst:(Phys.addr_of_frame fresh) ~len:Phys.page_size;
+    Phys.free phys frame;
+    map_page t gpa_page fresh;
+    t.cow_breaks <- t.cow_breaks + 1;
+    Frame_cache.note_cow_break (Hyp.frame_cache t.hyp);
+    Hyp.charge t.hyp Cost.cow_break;
+    fresh
+  end
+
 let write_code t ~gva v =
   let gpa = Layout.gva_to_gpa gva in
-  let frame = private_page t (Layout.page_of gpa) in
+  let frame = writable_frame t (Layout.page_of gpa) in
   Phys.write_byte (Os.phys (Hyp.os t.hyp))
     (Phys.addr_of_frame frame + (gpa mod Phys.page_size))
     v
@@ -77,38 +116,88 @@ let read_code t ~gva =
              (Phys.addr_of_frame frame + (gpa mod Phys.page_size)))
     | None -> Hyp.read_original_code t.hyp gva
 
-(* Copy [lo, hi) of original kernel code into the view's private pages. *)
-let load_range t ~lo ~hi =
-  for gva = lo to hi - 1 do
-    match Hyp.read_original_code t.hyp gva with
-    | Some b -> write_code t ~gva b
-    | None -> ()
-  done;
-  t.loaded_bytes <- t.loaded_bytes + (hi - lo);
-  Hyp.charge t.hyp ((hi - lo) / 16 * Cost.code_copy_per_16_bytes)
+(* ---------------- materialization ---------------- *)
 
-(* Load a profiled span, relaxed to whole containing functions when
-   requested.  [region_lo, region_hi) bounds the prologue scan (base
-   kernel text, or one module's code). *)
-let load_span t ~whole_function_load ~region_lo ~region_hi (s : Span.t) =
-  if not whole_function_load then load_range t ~lo:s.Span.lo ~hi:s.Span.hi
+(* Record [lo, hi) of original kernel code as loaded, with the same byte
+   and cycle accounting an in-place copy would have charged. *)
+let note_range t loads ~lo ~hi =
+  loads := Range_list.add_range !loads Segment.Base_kernel ~lo ~hi;
+  t.loaded_bytes <- t.loaded_bytes + (hi - lo);
+  Hyp.charge t.hyp (Cost.code_copy ~bytes:(hi - lo))
+
+(* A profiled span, relaxed to whole containing functions when requested.
+   [region_lo, region_hi) bounds the prologue scan (base kernel text, or
+   one module's code). *)
+let note_span t loads ~whole_function_load ~region_lo ~region_hi (s : Span.t) =
+  if not whole_function_load then note_range t loads ~lo:s.Span.lo ~hi:s.Span.hi
   else begin
     let read = Hyp.read_original_code t.hyp in
     let rec go a =
       if a < s.Span.hi then
         match Scan.function_bounds ~read ~lo:region_lo ~hi:region_hi a with
         | Some (start, stop) ->
-            load_range t ~lo:start ~hi:stop;
+            note_range t loads ~lo:start ~hi:stop;
             go (max stop (a + 1))
         | None ->
             (* no enclosing prologue (shouldn't happen for profiled code):
                fall back to the raw span *)
-            load_range t ~lo:a ~hi:s.Span.hi
+            note_range t loads ~lo:a ~hi:s.Span.hi
     in
     go s.Span.lo
   end
 
-let build ~hyp ?(whole_function_load = true) ~index config =
+(* Build one page's final contents in a host buffer: phase-aligned UD2
+   fill, then the covered parts of the load set overlaid from the
+   original code.  The interval index makes the overlay O(log n) per
+   page plus the covered bytes. *)
+let page_contents t loads gpa_page =
+  let buf = Bytes.create Phys.page_size in
+  for i = 0 to Phys.page_size - 1 do
+    Bytes.set_uint8 buf i
+      (if i land 1 = 0 then Fc_isa.Insn.ud2_first_byte
+       else Fc_isa.Insn.ud2_second_byte)
+  done;
+  let gva_lo = Layout.gpa_to_gva (gpa_page * Phys.page_size) in
+  let window = Span.make ~lo:gva_lo ~hi:(gva_lo + Phys.page_size) in
+  List.iter
+    (fun (s : Span.t) ->
+      for gva = s.Span.lo to s.Span.hi - 1 do
+        match Hyp.read_original_code t.hyp gva with
+        | Some b -> Bytes.set_uint8 buf (gva - gva_lo) b
+        | None -> ()
+      done)
+    (Range_list.covered_spans loads Segment.Base_kernel window);
+  buf
+
+(* Back one page: intern through the hypervisor's content-keyed frame
+   cache when sharing, allocate privately otherwise.  Both modes charge
+   exactly {!Cost.view_page_init}. *)
+let materialize_page t loads gpa_page =
+  let phys = Os.phys (Hyp.os t.hyp) in
+  let buf = page_contents t loads gpa_page in
+  let fill_fresh () =
+    let f = Phys.alloc phys in
+    Phys.blit_bytes phys ~src:buf ~src_off:0 ~dst:(Phys.addr_of_frame f)
+      ~len:Phys.page_size;
+    f
+  in
+  let frame =
+    if not t.share then fill_fresh ()
+    else
+      let cache = Hyp.frame_cache t.hyp in
+      let key = Digest.bytes buf in
+      match Frame_cache.find cache key with
+      | Some f -> f
+      | None ->
+          let f = fill_fresh () in
+          Frame_cache.register cache key f;
+          f
+  in
+  map_page t gpa_page frame;
+  Hyp.charge t.hyp Cost.view_page_init
+
+let build ~hyp ?(whole_function_load = true) ?(share_frames = true) ~index
+    config =
   let os = Hyp.os hyp in
   let image = Os.image os in
   let text_lo = Image.text_base image and text_hi = Image.text_end image in
@@ -139,29 +228,21 @@ let build ~hyp ?(whole_function_load = true) ~index config =
       hyp;
       index;
       config;
+      share = share_frames;
       tables;
       page_frames = Hashtbl.create 256;
       loaded_bytes = 0;
+      cow_breaks = 0;
       destroyed = false;
     }
   in
-  (* UD2-fill every base text page *)
-  let lo_page = Layout.page_of (Layout.gva_to_gpa text_lo) in
-  let hi_page = Layout.page_of (Layout.gva_to_gpa (text_hi - 1)) in
-  for p = lo_page to hi_page do
-    ignore (private_page t p)
-  done;
-  (* UD2-fill the code pages of every VMI-visible module *)
+  (* Pass 1: compute the load set — the exact whole-function relaxation
+     walk, recorded (as absolute guest-virtual spans) in an interval
+     index instead of written byte-by-byte.  Byte and cycle accounting is
+     identical to an in-place loader, and identical in both sharing
+     modes. *)
   let visible = Hyp.module_list hyp in
-  List.iter
-    (fun (_name, base, size) ->
-      let lo_page = Layout.page_of (Layout.gva_to_gpa base) in
-      let hi_page = Layout.page_of (Layout.gva_to_gpa (base + size - 1)) in
-      for p = lo_page to hi_page do
-        ignore (private_page t p)
-      done)
-    visible;
-  (* load profiled ranges *)
+  let loads = ref Range_list.empty in
   let ranges = config.Fc_profiler.View_config.ranges in
   List.iter
     (fun seg ->
@@ -169,7 +250,8 @@ let build ~hyp ?(whole_function_load = true) ~index config =
       | Segment.Base_kernel ->
           List.iter
             (fun s ->
-              load_span t ~whole_function_load ~region_lo:text_lo ~region_hi:text_hi s)
+              note_span t loads ~whole_function_load ~region_lo:text_lo
+                ~region_hi:text_hi s)
             (Range_list.spans ranges seg)
       | Segment.Kernel_module name -> (
           (* locate the module's current base via the VMI module list;
@@ -179,10 +261,26 @@ let build ~hyp ?(whole_function_load = true) ~index config =
           | Some (_, base, size) ->
               List.iter
                 (fun s ->
-                  load_span t ~whole_function_load ~region_lo:base
+                  note_span t loads ~whole_function_load ~region_lo:base
                     ~region_hi:(base + size) (Span.shift s base))
                 (Range_list.spans ranges seg)))
     (Range_list.segments ranges);
+  let loads = !loads in
+  (* Pass 2: materialize every base text page and the code pages of every
+     VMI-visible module from their final contents. *)
+  let lo_page = Layout.page_of (Layout.gva_to_gpa text_lo) in
+  let hi_page = Layout.page_of (Layout.gva_to_gpa (text_hi - 1)) in
+  for p = lo_page to hi_page do
+    materialize_page t loads p
+  done;
+  List.iter
+    (fun (_name, base, size) ->
+      let lo_page = Layout.page_of (Layout.gva_to_gpa base) in
+      let hi_page = Layout.page_of (Layout.gva_to_gpa (base + size - 1)) in
+      for p = lo_page to hi_page do
+        materialize_page t loads p
+      done)
+    visible;
   t
 
 let destroy t =

@@ -10,20 +10,35 @@
 
     The view owns EPT page tables for the affected directories; installing
     a view is {!tables}-for-directory pointer assignment, done by
-    {!Facechange}. *)
+    {!Facechange}.
+
+    Views overlap heavily (Table I), so materialization is content-aware:
+    each page's final contents are composed in a buffer (UD2 fill plus
+    the covered parts of the load set, located through the
+    {!Fc_ranges.Range_list} interval index) and interned through the
+    hypervisor's {!Fc_mem.Frame_cache} — byte-identical pages across (or
+    within) views share one refcounted physical frame.  The first
+    {!write_code} into a shared frame copies it (copy-on-write), so lazy
+    and instant code recovery stay strictly per-view.  Sharing is
+    behavior-invisible: byte and cycle accounting are identical whether
+    it is on or off. *)
 
 type t
 
 val build :
   hyp:Fc_hypervisor.Hypervisor.t ->
   ?whole_function_load:bool ->
+  ?share_frames:bool ->
   index:int ->
   Fc_profiler.View_config.t ->
   t
 (** Materialize a view from a configuration.  [whole_function_load]
     (default true) is the paper's relaxation; disabling it loads raw
     profiled byte ranges instead (the ablation shows why that is a bad
-    idea: more recoveries, and UD2 fill that starts at odd addresses). *)
+    idea: more recoveries, and UD2 fill that starts at odd addresses).
+    [share_frames] (default true) interns byte-identical pages through
+    the hypervisor's frame cache; disabling it allocates every page
+    privately, with bit-identical guest-visible behavior. *)
 
 val index : t -> int
 val config : t -> Fc_profiler.View_config.t
@@ -35,13 +50,27 @@ val tables : t -> (int * Fc_mem.Ept.table) list
 val dirs : t -> int list
 
 val private_page_count : t -> int
+(** Pages this view maps over the original kernel (regardless of whether
+    their backing frames are shared). *)
+
+val frame_count : t -> int
+(** Distinct physical frames backing the view's pages — equal to
+    {!private_page_count} without sharing, and (much) smaller with it. *)
+
+val shared_page_count : t -> int
+(** Pages currently backed by a frame with more than one reference. *)
+
+val cow_breaks : t -> int
+(** Shared frames this view privatized by copy-on-write (first
+    {!write_code} into a shared page). *)
 
 val loaded_bytes : t -> int
 (** Bytes of real code loaded at build time (after the whole-function
     relaxation). *)
 
 val write_code : t -> gva:int -> int -> unit
-(** Patch one byte of the view's private copy (code recovery). *)
+(** Patch one byte of the view's copy (code recovery).  Breaks the
+    page's frame out of sharing first if needed (copy-on-write). *)
 
 val read_code : t -> gva:int -> int option
 (** Read a byte as the vCPU would see it under this view. *)

@@ -5,3 +5,10 @@ let ept_dir_switch = 150
 let backtrace_frame = 60
 let code_copy_per_16_bytes = 4
 let view_page_init = 250
+let code_copy ~bytes = bytes / 16 * code_copy_per_16_bytes
+
+(* Deliberately free: sharing must be behavior-invisible.  Cycles drive
+   timer interrupts and therefore scheduling, so charging anything here
+   would make recovery sequences diverge between a shared and an
+   unshared build of the same views. *)
+let cow_break = 0

@@ -29,3 +29,14 @@ val code_copy_per_16_bytes : int
 
 val view_page_init : int
 (** UD2-filling and populating one page at view load time. *)
+
+val code_copy : bytes:int -> int
+(** Cycles for copying [bytes] of code ([bytes / 16 *
+    code_copy_per_16_bytes]) — the variable part of view loading and
+    code recovery. *)
+
+val cow_break : int
+(** Copying a shared view frame before its first write.  Deliberately
+    [0]: frame sharing must be behavior-invisible, and since cycles
+    drive timer interrupts (and therefore scheduling and recovery
+    sequences), a copy-on-write break may not consume guest time. *)

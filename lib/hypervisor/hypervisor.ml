@@ -8,6 +8,7 @@ module Catalog = Fc_kernel.Catalog
 type t = {
   os : Os.t;
   original_tables : (int, Fc_mem.Ept.table) Hashtbl.t;
+  frame_cache : Fc_mem.Frame_cache.t;
   mutable symbols : Symbols.t;
   mutable visible_modules : (string * int * int) list;
   mutable bp_handlers : (t -> Cpu.regs -> int -> unit) list;
@@ -18,6 +19,7 @@ type t = {
 }
 
 let os t = t.os
+let frame_cache t = t.frame_cache
 
 let charge t n =
   t.cycles_charged <- t.cycles_charged + n;
@@ -144,6 +146,7 @@ let attach os =
     {
       os;
       original_tables = snapshot_tables os;
+      frame_cache = Fc_mem.Frame_cache.create (Os.phys os);
       symbols = Symbols.create ();
       visible_modules = [];
       bp_handlers = [];

@@ -20,6 +20,11 @@ val detach : t -> unit
 
 val os : t -> Fc_machine.Os.t
 
+val frame_cache : t -> Fc_mem.Frame_cache.t
+(** The content-keyed frame cache view materialization interns shareable
+    pages through.  One cache per attached hypervisor: views built for
+    the same guest share frames with each other. *)
+
 (* ---------------- exits ---------------- *)
 
 val on_breakpoint : t -> (t -> Fc_machine.Cpu.regs -> int -> unit) -> unit

@@ -1,0 +1,49 @@
+(* Content-keyed cache of shareable frames.
+
+   An entry remembers the frame's version at registration time; a lookup
+   only hits while the frame is still live with that exact version, so a
+   frame that was freed, recycled, or written in place (a refcount-1
+   copy-on-write "break") invalidates itself without any eager
+   bookkeeping. *)
+
+type entry = { frame : int; version : int }
+
+type t = {
+  phys : Phys_mem.t;
+  entries : (string, entry) Hashtbl.t;
+  mutable hits : int;
+  mutable misses : int;
+  mutable cow_breaks : int;
+}
+
+let create phys =
+  { phys; entries = Hashtbl.create 256; hits = 0; misses = 0; cow_breaks = 0 }
+
+let valid t e =
+  Phys_mem.is_live t.phys e.frame && Phys_mem.version t.phys e.frame = e.version
+
+let find t key =
+  match Hashtbl.find_opt t.entries key with
+  | Some e when valid t e ->
+      t.hits <- t.hits + 1;
+      Phys_mem.incref t.phys e.frame;
+      Some e.frame
+  | Some _ ->
+      Hashtbl.remove t.entries key;
+      t.misses <- t.misses + 1;
+      None
+  | None ->
+      t.misses <- t.misses + 1;
+      None
+
+let register t key frame =
+  Hashtbl.replace t.entries key
+    { frame; version = Phys_mem.version t.phys frame }
+
+let note_cow_break t = t.cow_breaks <- t.cow_breaks + 1
+let hits t = t.hits
+let misses t = t.misses
+let cow_breaks t = t.cow_breaks
+
+let resident t =
+  Hashtbl.fold (fun _ e n -> if valid t e then n + 1 else n) t.entries 0

@@ -1,0 +1,41 @@
+(** Content-keyed, refcounted cache of shareable physical frames.
+
+    Kernel views overlap heavily (Table I: 33.6–86.5% similarity), so
+    most of their materialized pages — the pure-UD2 fill pages, and pages
+    whose loaded ranges coincide after the whole-function relaxation —
+    are byte-identical across views.  Interning those pages here makes a
+    view's memory cost proportional to what is {e unique} about it: a
+    builder hashes the page contents it is about to write, and a cache
+    hit returns an existing frame with one extra reference
+    ({!Phys_mem.incref}) instead of allocating a duplicate.
+
+    Entries do not own references.  A lookup validates the entry against
+    the frame's liveness and write-version, so frames freed when their
+    last owning view unloads — or privatized in place by a copy-on-write
+    break — fall out of the cache lazily, with no eager invalidation
+    hooks. *)
+
+type t
+
+val create : Phys_mem.t -> t
+
+val find : t -> string -> int option
+(** [find t key] — a live frame previously registered under [key], with a
+    fresh reference taken for the caller (release it with
+    {!Phys_mem.free}).  Counts a hit; [None] counts a miss. *)
+
+val register : t -> string -> int -> unit
+(** Publish a filled frame under its content key.  Call after the last
+    build-time write: the entry records the frame's current version and
+    is invalidated by any later write. *)
+
+val note_cow_break : t -> unit
+(** Record that a shared frame was copied (or privatized) so a view could
+    write to it — the copy-on-write path of code recovery. *)
+
+val hits : t -> int
+val misses : t -> int
+val cow_breaks : t -> int
+
+val resident : t -> int
+(** Entries still backed by a live, unmodified frame. *)

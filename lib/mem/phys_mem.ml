@@ -3,14 +3,15 @@ let page_size = 4096
 type t = {
   mutable frames : Bytes.t option array;  (* None = never allocated / freed *)
   mutable versions : int array;           (* bumped on each write *)
+  mutable refcounts : int array;          (* owners of a live frame *)
   mutable next : int;                     (* high-water mark *)
   mutable free_list : int list;
   mutable live : int;
 }
 
 let create () =
-  { frames = Array.make 64 None; versions = Array.make 64 0; next = 0;
-    free_list = []; live = 0 }
+  { frames = Array.make 64 None; versions = Array.make 64 0;
+    refcounts = Array.make 64 0; next = 0; free_list = []; live = 0 }
 
 let grow t want =
   if want >= Array.length t.frames then begin
@@ -20,7 +21,10 @@ let grow t want =
     t.frames <- a;
     let v = Array.make cap 0 in
     Array.blit t.versions 0 v 0 (Array.length t.versions);
-    t.versions <- v
+    t.versions <- v;
+    let r = Array.make cap 0 in
+    Array.blit t.refcounts 0 r 0 (Array.length t.refcounts);
+    t.refcounts <- r
   end
 
 let alloc t =
@@ -37,6 +41,7 @@ let alloc t =
   in
   t.frames.(f) <- Some (Bytes.make page_size '\x00');
   t.versions.(f) <- t.versions.(f) + 1;
+  t.refcounts.(f) <- 1;
   t.live <- t.live + 1;
   f
 
@@ -44,11 +49,21 @@ let alloc_n t n = List.init n (fun _ -> alloc t)
 
 let is_live t f = f >= 0 && f < Array.length t.frames && t.frames.(f) <> None
 
+let incref t f =
+  if not (is_live t f) then invalid_arg "Phys_mem.incref: frame not live";
+  t.refcounts.(f) <- t.refcounts.(f) + 1
+
+let refcount t f = if is_live t f then t.refcounts.(f) else 0
+
 let free t f =
   if not (is_live t f) then invalid_arg "Phys_mem.free: frame not live";
-  t.frames.(f) <- None;
-  t.free_list <- f :: t.free_list;
-  t.live <- t.live - 1
+  if t.refcounts.(f) > 1 then t.refcounts.(f) <- t.refcounts.(f) - 1
+  else begin
+    t.refcounts.(f) <- 0;
+    t.frames.(f) <- None;
+    t.free_list <- f :: t.free_list;
+    t.live <- t.live - 1
+  end
 
 let live_frames t = t.live
 

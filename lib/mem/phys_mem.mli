@@ -19,8 +19,18 @@ val alloc_n : t -> int -> int list
 (** [n] fresh frames, in ascending allocation order. *)
 
 val free : t -> int -> unit
-(** Return a frame to the pool.  Freeing an unallocated frame raises
-    [Invalid_argument]. *)
+(** Drop one reference to a frame; the frame returns to the pool when the
+    last reference is dropped (frames start at refcount 1, see
+    {!incref}).  Freeing an unallocated frame raises [Invalid_argument]. *)
+
+val incref : t -> int -> unit
+(** Add a reference to a live frame — how kernel views share identical
+    page contents.  Each reference is released with {!free}. *)
+
+val refcount : t -> int -> int
+(** Current reference count ([0] for a frame that is not live).  A view
+    page whose frame has refcount [> 1] is shared and must be copied
+    before its first write (copy-on-write). *)
 
 val is_live : t -> int -> bool
 val live_frames : t -> int

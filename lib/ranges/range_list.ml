@@ -1,42 +1,90 @@
 module Seg_map = Map.Make (Segment)
 
-(* Invariant: each segment maps to a sorted list of non-empty, pairwise
-   disjoint, non-adjacent spans; no segment maps to []. *)
-type t = Span.t list Seg_map.t
+(* Invariant: each segment maps to a non-empty sorted array of non-empty,
+   pairwise disjoint, non-adjacent spans — an interval index.  Keeping the
+   spans in a sorted array lets the hot queries of view materialization
+   and recovery ([mem], [covered_spans]) bisect in O(log n) instead of
+   scanning the whole list. *)
+type t = Span.t array Seg_map.t
 
 let empty = Seg_map.empty
 let is_empty = Seg_map.is_empty
 
-(* Insert [s] into sorted disjoint list [spans], merging overlaps and
-   adjacencies. *)
-let insert_span spans s =
-  let rec go acc s = function
-    | [] -> List.rev (s :: acc)
-    | x :: rest ->
-        if Span.overlaps s x || Span.adjacent s x then go acc (Span.hull s x) rest
-        else if (x : Span.t).hi < (s : Span.t).lo then go (x :: acc) s rest
-        else List.rev_append acc (s :: x :: rest)
-  in
-  go [] s spans
+(* Leftmost index whose span ends after [addr]: the unique candidate that
+   can contain [addr], and the first span a window starting at [addr] can
+   intersect.  [Array.length arr] when every span ends at or before
+   [addr]. *)
+let bisect_hi_gt (arr : Span.t array) addr =
+  let lo = ref 0 and hi = ref (Array.length arr) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if arr.(mid).Span.hi > addr then hi := mid else lo := mid + 1
+  done;
+  !lo
+
+(* Insert [s] into sorted disjoint non-adjacent [arr], merging overlaps
+   and adjacencies.  O(log n) to locate the affected window, O(n) for the
+   rebuilt array. *)
+let insert_span (arr : Span.t array) (s : Span.t) =
+  let n = Array.length arr in
+  (* first span that can merge with [s]: ends at or after s.lo *)
+  let i = bisect_hi_gt arr (s.Span.lo - 1) in
+  let merged = ref s and j = ref i in
+  while !j < n && arr.(!j).Span.lo <= !merged.Span.hi do
+    merged := Span.hull !merged arr.(!j);
+    incr j
+  done;
+  let j = !j in
+  let out = Array.make (n - (j - i) + 1) !merged in
+  Array.blit arr 0 out 0 i;
+  Array.blit arr j out (i + 1) (n - j);
+  out
 
 let add t seg s =
   if Span.is_empty s then t
   else
     Seg_map.update seg
-      (function None -> Some [ s ] | Some spans -> Some (insert_span spans s))
+      (function None -> Some [| s |] | Some arr -> Some (insert_span arr s))
       t
 
 let add_range t seg ~lo ~hi = add t seg (Span.make ~lo ~hi)
 let of_list l = List.fold_left (fun t (seg, s) -> add t seg s) empty l
 
 let to_list t =
-  Seg_map.fold (fun seg spans acc -> List.map (fun s -> (seg, s)) spans :: acc) t []
+  Seg_map.fold
+    (fun seg arr acc -> List.map (fun s -> (seg, s)) (Array.to_list arr) :: acc)
+    t []
   |> List.rev |> List.concat
 
 let segments t = Seg_map.fold (fun seg _ acc -> seg :: acc) t [] |> List.rev
-let spans t seg = Option.value ~default:[] (Seg_map.find_opt seg t)
-let mem t seg addr = List.exists (fun s -> Span.contains s addr) (spans t seg)
-let union a b = Seg_map.fold (fun seg spans t -> List.fold_left (fun t s -> add t seg s) t spans) b a
+let spans t seg = Option.value ~default:[] (Option.map Array.to_list (Seg_map.find_opt seg t))
+
+let mem t seg addr =
+  match Seg_map.find_opt seg t with
+  | None -> false
+  | Some arr ->
+      let i = bisect_hi_gt arr addr in
+      i < Array.length arr && Span.contains arr.(i) addr
+
+let covered_spans t seg (window : Span.t) =
+  match Seg_map.find_opt seg t with
+  | None -> []
+  | Some arr ->
+      let n = Array.length arr in
+      let i = ref (bisect_hi_gt arr window.Span.lo) in
+      let acc = ref [] in
+      while !i < n && arr.(!i).Span.lo < window.Span.hi do
+        (match Span.inter arr.(!i) window with
+        | Some s -> acc := s :: !acc
+        | None -> ());
+        incr i
+      done;
+      List.rev !acc
+
+let union a b =
+  Seg_map.fold
+    (fun seg arr t -> Array.fold_left (fun t s -> add t seg s) t arr)
+    b a
 
 let inter_spans xs ys =
   let rec go acc xs ys =
@@ -53,7 +101,9 @@ let inter a b =
     (fun _seg xa xb ->
       match (xa, xb) with
       | Some xs, Some ys -> (
-          match inter_spans xs ys with [] -> None | l -> Some l)
+          match inter_spans (Array.to_list xs) (Array.to_list ys) with
+          | [] -> None
+          | l -> Some (Array.of_list l))
       | _ -> None)
     a b
 
@@ -75,17 +125,20 @@ let diff a b =
     (fun _seg xa xb ->
       match (xa, xb) with
       | Some xs, Some ys -> (
-          match List.concat_map (fun x -> diff_span x ys) xs with
+          let ys = Array.to_list ys in
+          match List.concat_map (fun x -> diff_span x ys) (Array.to_list xs) with
           | [] -> None
-          | l -> Some l)
+          | l -> Some (Array.of_list l))
       | Some xs, None -> Some xs
       | None, _ -> None)
     a b
 
-let len t = Seg_map.fold (fun _ spans n -> n + List.length spans) t 0
+let len t = Seg_map.fold (fun _ arr n -> n + Array.length arr) t 0
 
 let size t =
-  Seg_map.fold (fun _ spans n -> List.fold_left (fun n s -> n + Span.size s) n spans) t 0
+  Seg_map.fold
+    (fun _ arr n -> Array.fold_left (fun n s -> n + Span.size s) n arr)
+    t 0
 
 let size_of_segment t seg = List.fold_left (fun n s -> n + Span.size s) 0 (spans t seg)
 
@@ -96,7 +149,11 @@ let similarity a b =
 let subset a b = is_empty (diff a b)
 
 let equal a b =
-  Seg_map.equal (fun xs ys -> List.equal Span.equal xs ys) a b
+  Seg_map.equal
+    (fun xs ys ->
+      Array.length xs = Array.length ys
+      && Array.for_all2 Span.equal xs ys)
+    a b
 
 let pp ppf t =
   Format.fprintf ppf "@[<v>";
@@ -104,5 +161,3 @@ let pp ppf t =
     (fun (seg, s) -> Format.fprintf ppf "%a %a@," Segment.pp seg Span.pp s)
     (to_list t);
   Format.fprintf ppf "@]"
-
-let covered_spans t seg window = inter_spans (spans t seg) [ window ]

@@ -10,7 +10,12 @@
     - [K1 ∩ K2]        → {!inter}
     - [LEN(K)]         → {!len}
     - [SIZE(K)]        → {!size}
-    - similarity [S]   → {!similarity} (Equation 1). *)
+    - similarity [S]   → {!similarity} (Equation 1).
+
+    Internally each segment's spans form an interval index (a sorted
+    array); the point and window queries that dominate view
+    materialization and recovery — {!mem} and {!covered_spans} — bisect in
+    O(log n) rather than scanning. *)
 
 type t
 
@@ -34,7 +39,7 @@ val spans : t -> Segment.t -> Span.t list
 (** Spans recorded for one segment (empty list if none). *)
 
 val mem : t -> Segment.t -> int -> bool
-(** [mem t seg addr] — is [addr] covered under [seg]? *)
+(** [mem t seg addr] — is [addr] covered under [seg]?  O(log n). *)
 
 val union : t -> t -> t
 val inter : t -> t -> t
@@ -61,4 +66,4 @@ val pp : Format.formatter -> t -> unit
 
 val covered_spans : t -> Segment.t -> Span.t -> Span.t list
 (** [covered_spans t seg window] — the parts of [window] covered by [t]
-    under [seg], in address order. *)
+    under [seg], in address order.  O(log n + answer). *)

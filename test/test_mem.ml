@@ -78,6 +78,59 @@ let test_copy () =
   check_int "copied" (Char.code 'h') (Phys.read_byte m (a2 + 100));
   check_int "copied end" (Char.code 'o') (Phys.read_byte m (a2 + 104))
 
+let test_refcounts () =
+  let m = Phys.create () in
+  let f = Phys.alloc m in
+  check_int "starts at 1" 1 (Phys.refcount m f);
+  Phys.incref m f;
+  Phys.incref m f;
+  check_int "incref'd" 3 (Phys.refcount m f);
+  Phys.free m f;
+  check_bool "still live after one free" true (Phys.is_live m f);
+  check_int "decremented" 2 (Phys.refcount m f);
+  Phys.free m f;
+  Phys.free m f;
+  check_bool "last free releases" false (Phys.is_live m f);
+  check_int "dead frame refcount 0" 0 (Phys.refcount m f);
+  Alcotest.check_raises "incref of dead frame raises"
+    (Invalid_argument "Phys_mem.incref: frame not live") (fun () ->
+      Phys.incref m f)
+
+(* ------------------------------------------------------------------ *)
+(* Frame_cache                                                         *)
+(* ------------------------------------------------------------------ *)
+
+module Fc = Fc_mem.Frame_cache
+
+let test_frame_cache_hit_increfs () =
+  let m = Phys.create () in
+  let c = Fc.create m in
+  let f = Phys.alloc m in
+  Fc.register c "key" f;
+  check_bool "hit" true (Fc.find c "key" = Some f);
+  check_int "hit took a reference" 2 (Phys.refcount m f);
+  check_int "hits" 1 (Fc.hits c);
+  check_bool "miss on unknown key" true (Fc.find c "other" = None);
+  check_int "misses" 1 (Fc.misses c);
+  check_int "resident" 1 (Fc.resident c)
+
+let test_frame_cache_invalidation () =
+  let m = Phys.create () in
+  let c = Fc.create m in
+  (* a later write invalidates the entry (in-place privatize) *)
+  let f1 = Phys.alloc m in
+  Fc.register c "a" f1;
+  Phys.write_byte m (Phys.addr_of_frame f1) 0x55;
+  check_bool "stale after write" true (Fc.find c "a" = None);
+  (* freeing and recycling the frame must not resurrect the entry *)
+  let f2 = Phys.alloc m in
+  Fc.register c "b" f2;
+  Phys.free m f2;
+  let f3 = Phys.alloc m in
+  check_int "frame recycled" f2 f3;
+  check_bool "stale after free+recycle" true (Fc.find c "b" = None);
+  check_int "nothing resident" 0 (Fc.resident c)
+
 (* ------------------------------------------------------------------ *)
 (* Page_table                                                          *)
 (* ------------------------------------------------------------------ *)
@@ -187,7 +240,13 @@ let suites =
         tc "u32 across page boundary" test_u32_cross_page;
         tc "fill pattern phase" test_fill_pattern_phase;
         tc "blit and copy" test_copy;
+        tc "refcounted sharing" test_refcounts;
         QCheck_alcotest.to_alcotest prop_fill_tiles;
+      ] );
+    ( "mem.frame_cache",
+      [
+        tc "hit takes a reference" test_frame_cache_hit_increfs;
+        tc "lazy invalidation (write, free+recycle)" test_frame_cache_invalidation;
       ] );
     ( "mem.page_table",
       [

@@ -259,6 +259,186 @@ let qsuite = List.map QCheck_alcotest.to_alcotest
     prop_mem_matches_to_list;
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Seeded model battery: Range_list vs a naive bitset                  *)
+(*                                                                     *)
+(* The interval-index representation is checked against the dumbest    *)
+(* possible model — one boolean per address per segment — over seeded  *)
+(* random workloads, so every run exercises the same cases.            *)
+(* ------------------------------------------------------------------ *)
+
+let addr_limit = 640
+let model_segs = [ base; m "ext4"; m "snd" ]
+
+let model_create () =
+  List.map (fun s -> (s, Array.make addr_limit false)) model_segs
+
+let model_set bits seg ~lo ~hi =
+  let a = List.assoc seg bits in
+  for i = lo to hi - 1 do
+    a.(i) <- true
+  done
+
+let model_mem bits seg i = (List.assoc seg bits).(i)
+
+let model_size bits =
+  List.fold_left
+    (fun n (_, a) ->
+      n + Array.fold_left (fun n b -> if b then n + 1 else n) 0 a)
+    0 bits
+
+(* maximal runs of set bits = normalized span count *)
+let model_len bits =
+  List.fold_left
+    (fun n (_, a) ->
+      let runs = ref 0 in
+      Array.iteri (fun i b -> if b && (i = 0 || not a.(i - 1)) then incr runs) a;
+      n + !runs)
+    0 bits
+
+let model_equal ba bb =
+  List.for_all2 (fun (_, a) (_, b) -> a = b) ba bb
+
+(* one random range list built by random inserts, plus its model *)
+let gen_model_pair rng =
+  let nspans = 1 + Random.State.int rng 24 in
+  let t = ref Range_list.empty in
+  let bits = model_create () in
+  for _ = 1 to nspans do
+    let seg = List.nth model_segs (Random.State.int rng (List.length model_segs)) in
+    let lo = Random.State.int rng (addr_limit - 80) in
+    let hi = lo + Random.State.int rng 80 in
+    t := Range_list.add_range !t seg ~lo ~hi;
+    model_set bits seg ~lo ~hi
+  done;
+  (!t, bits)
+
+let check_matches_model msg t bits =
+  List.iter
+    (fun seg ->
+      for i = 0 to addr_limit - 1 do
+        if Range_list.mem t seg i <> model_mem bits seg i then
+          Alcotest.failf "%s: mem mismatch at %s/%d" msg (Segment.to_string seg) i
+      done)
+    model_segs
+
+let check_normalized msg t =
+  List.iter
+    (fun seg ->
+      let rec ok = function
+        | [] | [ _ ] -> true
+        | a :: (b :: _ as rest) -> (a : Span.t).hi < (b : Span.t).lo && ok rest
+      in
+      if not (ok (Range_list.spans t seg)) then
+        Alcotest.failf "%s: %s spans not sorted/disjoint/non-adjacent" msg
+          (Segment.to_string seg))
+    (Range_list.segments t)
+
+let test_model_insert_normalize () =
+  let rng = Random.State.make [| 0xFACE; 1 |] in
+  for trial = 1 to 60 do
+    let msg = Printf.sprintf "trial %d" trial in
+    let t, bits = gen_model_pair rng in
+    check_matches_model msg t bits;
+    check_normalized msg t;
+    check_int (msg ^ ": size") (model_size bits) (Range_list.size t);
+    check_int (msg ^ ": len") (model_len bits) (Range_list.len t)
+  done
+
+let test_model_algebra () =
+  let rng = Random.State.make [| 0xFACE; 2 |] in
+  for trial = 1 to 40 do
+    let msg = Printf.sprintf "trial %d" trial in
+    let ta, ba = gen_model_pair rng in
+    let tb, bb = gen_model_pair rng in
+    let u = Range_list.union ta tb in
+    let i = Range_list.inter ta tb in
+    let d = Range_list.diff ta tb in
+    List.iter (fun t -> check_normalized msg t) [ u; i; d ];
+    List.iter
+      (fun seg ->
+        for x = 0 to addr_limit - 1 do
+          let a = model_mem ba seg x and b = model_mem bb seg x in
+          if Range_list.mem u seg x <> (a || b) then
+            Alcotest.failf "%s: union mismatch at %d" msg x;
+          if Range_list.mem i seg x <> (a && b) then
+            Alcotest.failf "%s: inter mismatch at %d" msg x;
+          if Range_list.mem d seg x <> (a && not b) then
+            Alcotest.failf "%s: diff mismatch at %d" msg x
+        done)
+      model_segs;
+    check_bool (msg ^ ": equal agrees with model") (model_equal ba bb)
+      (Range_list.equal ta tb);
+    check_bool (msg ^ ": subset agrees with model")
+      (List.for_all
+         (fun seg ->
+           let rec go x =
+             x >= addr_limit
+             || ((not (model_mem ba seg x)) || model_mem bb seg x) && go (x + 1)
+           in
+           go 0)
+         model_segs)
+      (Range_list.subset ta tb)
+  done
+
+let test_model_covered_spans () =
+  let rng = Random.State.make [| 0xFACE; 3 |] in
+  for trial = 1 to 40 do
+    let msg = Printf.sprintf "trial %d" trial in
+    let t, bits = gen_model_pair rng in
+    for _ = 1 to 10 do
+      let lo = Random.State.int rng (addr_limit - 100) in
+      let window = span lo (lo + 1 + Random.State.int rng 100) in
+      let seg = List.nth model_segs (Random.State.int rng (List.length model_segs)) in
+      let parts = Range_list.covered_spans t seg window in
+      (* parts are clipped to the window, sorted, disjoint *)
+      List.iter
+        (fun (s : Span.t) ->
+          if s.lo < window.Span.lo || s.hi > window.Span.hi || Span.is_empty s
+          then Alcotest.failf "%s: part outside window" msg)
+        parts;
+      let rec sorted = function
+        | [] | [ _ ] -> true
+        | (a : Span.t) :: (b :: _ as rest) -> a.hi <= (b : Span.t).lo && sorted rest
+      in
+      if not (sorted parts) then Alcotest.failf "%s: parts unsorted" msg;
+      (* pointwise coverage within the window matches the model *)
+      for x = window.Span.lo to window.Span.hi - 1 do
+        let covered = List.exists (fun s -> Span.contains s x) parts in
+        if covered <> model_mem bits seg x then
+          Alcotest.failf "%s: covered_spans mismatch at %d" msg x
+      done
+    done
+  done
+
+let test_model_similarity () =
+  let rng = Random.State.make [| 0xFACE; 4 |] in
+  for trial = 1 to 40 do
+    let msg = Printf.sprintf "trial %d" trial in
+    let ta, ba = gen_model_pair rng in
+    let tb, bb = gen_model_pair rng in
+    let inter_pop =
+      List.fold_left
+        (fun n seg ->
+          let acc = ref n in
+          for x = 0 to addr_limit - 1 do
+            if model_mem ba seg x && model_mem bb seg x then incr acc
+          done;
+          !acc)
+        0 model_segs
+    in
+    let pa = model_size ba and pb = model_size bb in
+    let expected =
+      if max pa pb = 0 then 0.
+      else float_of_int inter_pop /. float_of_int (max pa pb)
+    in
+    let s = Range_list.similarity ta tb in
+    Alcotest.(check (float 1e-9)) (msg ^ ": similarity matches model") expected s;
+    Alcotest.(check (float 1e-9)) (msg ^ ": symmetric") s
+      (Range_list.similarity tb ta);
+    check_bool (msg ^ ": bounded") true (s >= 0. && s <= 1.)
+  done
+
 let tc name f = Alcotest.test_case name `Quick f
 
 let suites =
@@ -297,4 +477,13 @@ let suites =
         tc "covered_spans" test_rl_covered_spans;
       ] );
     ("ranges.properties", qsuite);
+    ( "ranges.model",
+      [
+        tc "seeded inserts match bitset model; stay normalized"
+          test_model_insert_normalize;
+        tc "union/inter/diff/equal/subset match bitset model" test_model_algebra;
+        tc "covered_spans matches bitset model" test_model_covered_spans;
+        tc "similarity matches bitset model; symmetric, bounded"
+          test_model_similarity;
+      ] );
   ]
