@@ -1,0 +1,163 @@
+(* CI drift gate over the bench artifact.
+
+     bench/check.exe [BENCH_results.json]
+
+   Fails (exit 1) when the artifact is malformed, a required metric key
+   is missing, or a pinned deterministic counter (switch / recovery
+   counts from the smoke run and the figure experiments) drifts from the
+   seed values recorded below.  The simulation is deterministic, so any
+   drift is a behavior change that must be re-pinned deliberately. *)
+
+module J = Fc_obs.Jsonx
+
+let failures = ref []
+let fail fmt = Printf.ksprintf (fun s -> failures := s :: !failures) fmt
+
+let spell path = String.concat "." path
+
+(* Every key the downstream tooling relies on, whether pinned or not. *)
+let required_keys =
+  [ "schema_version"; "fast"; "experiments" ]
+  |> List.map (fun k -> [ k ])
+
+let stats_fields =
+  [
+    "guest_cycles"; "rounds"; "context_switches"; "vcpus"; "breakpoint_exits";
+    "invalid_opcode_exits"; "hypervisor_cycles"; "view_switches";
+    "switches_skipped"; "switches_deferred"; "recoveries"; "recovered_bytes";
+    "views_loaded"; "view_pages"; "shared_frames"; "cow_breaks";
+  ]
+
+let required_keys =
+  required_keys
+  @ List.map (fun f -> [ "results"; "smoke"; f ]) stats_fields
+  @ [
+      [ "results"; "table1"; "min_similarity"; "similarity" ];
+      [ "results"; "table1"; "max_similarity"; "similarity" ];
+      [ "results"; "table2"; "attacks" ];
+      [ "results"; "table2"; "per_app_detected" ];
+      [ "results"; "table2"; "union_detected" ];
+      [ "results"; "fig3"; "completed" ];
+      [ "results"; "fig3"; "lazy_recovered" ];
+      [ "results"; "fig3"; "instant_recovered" ];
+      [ "results"; "fig6"; "perf" ];
+      [ "results"; "fig6"; "sharing"; "parity" ];
+      [ "results"; "fig6"; "sharing"; "frames_saved" ];
+      [ "results"; "fig6"; "sharing"; "reduction" ];
+      [ "results"; "fig6"; "sharing"; "shared"; "recoveries" ];
+      [ "results"; "fig6"; "sharing"; "shared"; "recovered_bytes" ];
+      [ "results"; "fig6"; "sharing"; "unshared"; "recoveries" ];
+      [ "results"; "fig7"; "base_capacity" ];
+      [ "results"; "fig7"; "fc_capacity" ];
+      [ "results"; "fig7"; "view_pages" ];
+      [ "results"; "fig7"; "view_frames" ];
+    ]
+
+(* Pinned seed values: deterministic counters from the growth seed.
+   Re-pin (with a note in the commit) only when a behavior change is
+   intended. *)
+let pinned_ints =
+  [
+    ([ "schema_version" ], 1);
+    ([ "results"; "smoke"; "view_switches" ], 1);
+    ([ "results"; "smoke"; "switches_skipped" ], 5);
+    ([ "results"; "smoke"; "switches_deferred" ], 1);
+    ([ "results"; "smoke"; "recoveries" ], 0);
+    ([ "results"; "smoke"; "recovered_bytes" ], 0);
+    ([ "results"; "smoke"; "breakpoint_exits" ], 7);
+    ([ "results"; "smoke"; "invalid_opcode_exits" ], 0);
+    ([ "results"; "table2"; "attacks" ], 16);
+    ([ "results"; "table2"; "per_app_detected" ], 16);
+    ([ "results"; "table2"; "union_detected" ], 3);
+    ([ "results"; "fig6"; "sharing"; "shared"; "recoveries" ], 71);
+    ([ "results"; "fig6"; "sharing"; "shared"; "recovered_bytes" ], 9568);
+    ([ "results"; "fig6"; "sharing"; "unshared"; "recoveries" ], 71);
+    ([ "results"; "fig6"; "sharing"; "unshared"; "cow_breaks" ], 0);
+  ]
+
+let pinned_bools =
+  [
+    ([ "results"; "fig3"; "completed" ], true);
+    ([ "results"; "fig6"; "sharing"; "parity" ], true);
+  ]
+
+let check_required j =
+  List.iter
+    (fun p ->
+      match J.path j p with
+      | Some _ -> ()
+      | None -> fail "missing required key %s" (spell p))
+    required_keys
+
+let check_pinned j =
+  List.iter
+    (fun (p, expected) ->
+      match Option.bind (J.path j p) J.to_int with
+      | None -> fail "pinned key %s is missing or not an int" (spell p)
+      | Some v when v <> expected ->
+          fail "%s drifted: expected %d, got %d" (spell p) expected v
+      | Some _ -> ())
+    pinned_ints;
+  List.iter
+    (fun (p, expected) ->
+      match Option.bind (J.path j p) J.to_bool with
+      | None -> fail "pinned key %s is missing or not a bool" (spell p)
+      | Some v when v <> expected ->
+          fail "%s drifted: expected %b, got %b" (spell p) expected v
+      | Some _ -> ())
+    pinned_bools
+
+(* Structural sanity that needs no pinning: finite numbers only (the
+   exporter writes non-finite floats as null, which to_float rejects). *)
+let check_finite j =
+  List.iter
+    (fun p ->
+      match J.path j p with
+      | None -> () (* already reported as missing *)
+      | Some v -> (
+          match J.to_float v with
+          | Some f when Float.is_finite f -> ()
+          | Some _ | None -> fail "%s is not a finite number" (spell p)))
+    [
+      [ "results"; "table1"; "min_similarity"; "similarity" ];
+      [ "results"; "table1"; "max_similarity"; "similarity" ];
+      [ "results"; "fig6"; "sharing"; "reduction" ];
+      [ "results"; "fig7"; "base_capacity" ];
+      [ "results"; "fig7"; "fc_capacity" ];
+    ]
+
+let () =
+  let path =
+    if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH_results.json"
+  in
+  let doc =
+    match open_in_bin path with
+    | exception Sys_error e ->
+        Printf.eprintf "check: cannot open %s: %s\n" path e;
+        exit 1
+    | ic ->
+        let n = in_channel_length ic in
+        let s = really_input_string ic n in
+        close_in ic;
+        s
+  in
+  match J.of_string doc with
+  | Error e ->
+      Printf.eprintf "check: %s is not valid JSON: %s\n" path e;
+      exit 1
+  | Ok j -> (
+      check_required j;
+      check_pinned j;
+      check_finite j;
+      match List.rev !failures with
+      | [] ->
+          Printf.printf
+            "check: %s ok (%d required keys, %d pinned values)\n" path
+            (List.length required_keys)
+            (List.length pinned_ints + List.length pinned_bools);
+          exit 0
+      | fs ->
+          List.iter (Printf.eprintf "check: %s\n") fs;
+          Printf.eprintf "check: %s FAILED (%d problem(s))\n" path
+            (List.length fs);
+          exit 1)

@@ -8,9 +8,15 @@
      bench/main.exe --fast          fig6 at a subset of view counts *)
 
 module Profiles = Fc_benchkit.Profiles
+module J = Fc_obs.Jsonx
 
 let line = String.make 78 '='
 let banner name = Printf.printf "\n%s\n%s\n%s\n%!" line name line
+
+(* Structured results, written as BENCH_results.json at the end of the
+   run — the artifact the CI drift checker (bench/check.exe) gates on. *)
+let results : (string * J.t) list ref = ref []
+let record name j = results := (name, j) :: !results
 
 (* ------------------------------------------------------------------ *)
 (* Experiments                                                         *)
@@ -20,24 +26,60 @@ let table1 profiles =
   banner "Table I: Similarity Matrix for Applications' Kernel Views";
   let t = Fc_benchkit.Table1.compute profiles in
   print_string (Fc_benchkit.Table1.render t);
-  let a, b, s = Fc_benchkit.Table1.min_similarity t in
+  let na, nb, ns = Fc_benchkit.Table1.min_similarity t in
   Printf.printf
-    "\nmost dissimilar: %s vs %s = %.1f%%  (paper: top vs firefox, 33.6%%)\n" a b
-    (100. *. s);
-  let a, b, s = Fc_benchkit.Table1.max_similarity t in
+    "\nmost dissimilar: %s vs %s = %.1f%%  (paper: top vs firefox, 33.6%%)\n" na
+    nb (100. *. ns);
+  let xa, xb, xs = Fc_benchkit.Table1.max_similarity t in
   Printf.printf "most similar:    %s vs %s = %.1f%%  (paper: eog vs totem, 86.5%%)\n"
-    a b (100. *. s)
+    xa xb (100. *. xs);
+  let pair a b s =
+    J.Obj [ ("a", J.String a); ("b", J.String b); ("similarity", J.Float s) ]
+  in
+  record "table1"
+    (J.Obj
+       [
+         ("min_similarity", pair na nb ns); ("max_similarity", pair xa xb xs);
+       ])
 
 let table2 profiles =
   banner "Table II: Security Evaluation Against a Spectrum of User/Kernel Malware";
   let rows = Fc_benchkit.Table2.run_all profiles in
   print_string (Fc_benchkit.Table2.render rows);
   print_newline ();
-  print_endline (Fc_benchkit.Table2.summary rows)
+  print_endline (Fc_benchkit.Table2.summary rows);
+  let count f = List.length (List.filter f rows) in
+  record "table2"
+    (J.Obj
+       [
+         ("attacks", J.Int (List.length rows));
+         ( "per_app_detected",
+           J.Int
+             (count (fun r -> r.Fc_benchkit.Table2.per_app.Fc_benchkit.Detect.detected))
+         );
+         ( "union_detected",
+           J.Int
+             (count (fun r -> r.Fc_benchkit.Table2.union.Fc_benchkit.Detect.detected))
+         );
+       ])
 
 let fig3 profiles =
   banner "Fig. 3: Cross-View Kernel Code Recovery (lazy vs instant)";
-  print_string (Fc_benchkit.Fig3.render (Fc_benchkit.Fig3.run profiles))
+  let r = Fc_benchkit.Fig3.run profiles in
+  print_string (Fc_benchkit.Fig3.render r);
+  record "fig3"
+    (J.Obj
+       [
+         ("completed", J.Bool r.Fc_benchkit.Fig3.completed);
+         ( "lazy_recovered",
+           J.List
+             (List.map (fun s -> J.String s) r.Fc_benchkit.Fig3.lazy_recovered)
+         );
+         ( "instant_recovered",
+           J.List
+             (List.map (fun s -> J.String s) r.Fc_benchkit.Fig3.instant_recovered)
+         );
+       ])
 
 let fig4 profiles =
   banner "Fig. 4: Attack Pattern of Injectso's Payload";
@@ -50,11 +92,80 @@ let fig5 profiles =
 let fig6 ~fast profiles =
   banner "Fig. 6: Normalized System Performance (UnixBench) + Frame Sharing";
   let view_counts = if fast then Some [ 1; 2; 5; 11 ] else None in
-  print_string (Fc_benchkit.Fig6.render (Fc_benchkit.Fig6.run ?view_counts profiles))
+  let t = Fc_benchkit.Fig6.run ?view_counts profiles in
+  print_string (Fc_benchkit.Fig6.render t);
+  let open Fc_benchkit.Fig6 in
+  let sh = t.sharing in
+  let mode (m : mode_stats) =
+    J.Obj
+      [
+        ("frames_allocated", J.Int m.frames_allocated);
+        ("recoveries", J.Int m.recoveries);
+        ("recovered_bytes", J.Int m.recovered_bytes);
+        ("cow_breaks", J.Int m.cow_breaks);
+      ]
+  in
+  record "fig6"
+    (J.Obj
+       [
+         ( "perf",
+           J.List
+             (List.map
+                (fun (p : Fc_benchkit.Unixbench.fig6_point) ->
+                  J.Obj
+                    [
+                      ("views_loaded", J.Int p.Fc_benchkit.Unixbench.views_loaded);
+                      ("overall", J.Float p.Fc_benchkit.Unixbench.overall);
+                    ])
+                t.perf) );
+         ( "sharing",
+           J.Obj
+             [
+               ("views", J.Int sh.views);
+               ("view_pages", J.Int sh.view_pages);
+               ("shared", mode sh.shared);
+               ("unshared", mode sh.unshared);
+               ("frames_saved", J.Int sh.frames_saved);
+               ("reduction", J.Float sh.reduction);
+               ("parity", J.Bool sh.parity);
+             ] );
+       ])
 
 let fig7 profiles =
   banner "Fig. 7: I/O Performance for Apache Web Server (httperf)";
-  print_string (Fc_benchkit.Fig7.render (Fc_benchkit.Fig7.run profiles))
+  let t = Fc_benchkit.Fig7.run profiles in
+  print_string (Fc_benchkit.Fig7.render t);
+  record "fig7"
+    (J.Obj
+       [
+         ("base_capacity", J.Float t.Fc_benchkit.Fig7.io.Fc_benchkit.Httperf.base_capacity);
+         ("fc_capacity", J.Float t.Fc_benchkit.Fig7.io.Fc_benchkit.Httperf.fc_capacity);
+         ("view_pages", J.Int t.Fc_benchkit.Fig7.view_pages);
+         ("view_frames", J.Int t.Fc_benchkit.Fig7.view_frames);
+         ("reduction", J.Float t.Fc_benchkit.Fig7.reduction);
+       ])
+
+(* A deterministic single-guest run (the [top] workload under its own
+   enforced view): its switch and recovery counters are the drift canary
+   the CI gate pins. *)
+let smoke profiles =
+  banner "Smoke: enforced top run (drift canary)";
+  let image = Profiles.image profiles in
+  let app = Fc_apps.App.find_exn "top" in
+  let os = Fc_machine.Os.create ~config:(Fc_apps.App.os_config app) image in
+  let hyp = Fc_hypervisor.Hypervisor.attach os in
+  let fc = Fc_core.Facechange.enable hyp in
+  ignore (Fc_machine.Os.spawn os ~name:"top" (app.Fc_apps.App.script 3));
+  ignore (Fc_core.Facechange.load_view fc (Profiles.config_of profiles "top"));
+  (try Fc_machine.Os.run ~max_rounds:50_000 os
+   with Fc_machine.Os.Guest_panic m -> Printf.printf "GUEST PANIC: %s\n" m);
+  let stats = Fc_core.Stats.capture fc in
+  Format.printf "%a@." Fc_core.Stats.pp stats;
+  record "smoke"
+    (J.Obj
+       (List.map
+          (fun (k, v) -> (k, J.Int v))
+          (Fc_core.Stats.fields stats)))
 
 let ablations profiles =
   banner "Ablations: the design choices of Section III";
@@ -134,17 +245,42 @@ let micro profiles =
 (* ------------------------------------------------------------------ *)
 
 let all_experiments =
-  [ "table1"; "table2"; "fig3"; "fig4"; "fig5"; "fig6"; "fig7"; "ablations"; "micro" ]
+  [ "smoke"; "table1"; "table2"; "fig3"; "fig4"; "fig5"; "fig6"; "fig7";
+    "ablations"; "micro" ]
+
+let write_results path ~fast chosen =
+  let json =
+    J.Obj
+      [
+        ("schema_version", J.Int Fc_obs.Export.schema_version);
+        ("fast", J.Bool fast);
+        ("experiments", J.List (List.map (fun e -> J.String e) chosen));
+        ("results", J.Obj (List.rev !results));
+      ]
+  in
+  let oc = open_out path in
+  output_string oc (J.to_string ~pretty:true json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "results written to %s\n" path
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let fast = List.mem "--fast" args in
+  let rec split_out acc = function
+    | "--out" :: path :: rest -> (Some path, List.rev_append acc rest)
+    | a :: rest -> split_out (a :: acc) rest
+    | [] -> (None, List.rev acc)
+  in
+  let out, args = split_out [] args in
+  let out = Option.value out ~default:"BENCH_results.json" in
   let chosen = List.filter (fun a -> a <> "--fast") args in
   let chosen = if chosen = [] then all_experiments else chosen in
   List.iter
     (fun e ->
       if not (List.mem e all_experiments) then begin
-        Printf.eprintf "unknown experiment %s (available: %s, --fast)\n" e
+        Printf.eprintf "unknown experiment %s (available: %s, --fast, --out FILE)\n"
+          e
           (String.concat " " all_experiments);
         exit 2
       end)
@@ -157,6 +293,7 @@ let () =
   List.iter
     (fun e ->
       match e with
+      | "smoke" -> smoke profiles
       | "table1" -> table1 profiles
       | "table2" -> table2 profiles
       | "fig3" -> fig3 profiles
@@ -168,4 +305,5 @@ let () =
       | "micro" -> micro profiles
       | _ -> assert false)
     chosen;
+  write_results out ~fast chosen;
   Printf.printf "\ndone.\n"

@@ -304,9 +304,9 @@ let syscalls_cmd =
   in
   Cmd.v (Cmd.info "syscalls" ~doc) Term.(const run $ const ())
 
-(* ---------------- trace ---------------- *)
+(* ---------------- calltree ---------------- *)
 
-let trace_cmd =
+let calltree_cmd =
   let doc = "Print the exact kernel call tree of a syscall variant." in
   let variant =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"VARIANT"
@@ -329,11 +329,195 @@ let trace_cmd =
         Format.printf "%a@." (Fc_profiler.Calltrace.pp_tree ~max_depth:depth) n)
       trees
   in
-  Cmd.v (Cmd.info "trace" ~doc) Term.(const run $ variant $ depth)
+  Cmd.v (Cmd.info "calltree" ~doc) Term.(const run $ variant $ depth)
+
+(* ---------------- trace / stats (observability) ---------------- *)
+
+module Obs = Fc_obs.Obs
+module Trace = Fc_obs.Trace
+module Event = Fc_obs.Event
+module Export = Fc_obs.Export
+module Jsonx = Fc_obs.Jsonx
+
+(* Shared driver for the observability commands: enforce [app_name]'s
+   view on a fresh guest (optionally with an armed attack) and run it to
+   completion.  [trace_capacity] arms the trace sink *before* the
+   hypervisor attaches, so view-build events are captured too. *)
+let enforced_run ?trace_capacity app_name attack iterations vcpus =
+  (match App.find app_name with
+  | None ->
+      Printf.eprintf "unknown application %s\n" app_name;
+      exit 1
+  | Some _ -> ());
+  let attack =
+    Option.map
+      (fun n ->
+        match Attack.find n with
+        | Some a -> a
+        | None ->
+            Printf.eprintf "unknown attack %s\n" n;
+            exit 1)
+      attack
+  in
+  let image = Lazy.force image in
+  let app = App.find_exn app_name in
+  let os = Os.create ~config:(App.os_config app) ~vcpus image in
+  (match trace_capacity with
+  | Some capacity -> Trace.arm ~capacity (Obs.trace (Os.obs os))
+  | None -> ());
+  let hyp = Hypervisor.attach os in
+  let fc = Facechange.enable hyp in
+  let proc = Os.spawn os ~name:app_name (app.App.script iterations) in
+  (match attack with Some a -> a.Attack.launch os proc | None -> ());
+  ignore (Facechange.load_view fc (App.profile image app));
+  (try Os.run ~max_rounds:50_000 os
+   with Os.Guest_panic m -> Printf.eprintf "GUEST PANIC: %s\n" m);
+  (os, fc)
+
+let attack_arg =
+  let doc = "Arm an attack from the corpus against the host application." in
+  Arg.(value & opt (some string) None & info [ "attack" ] ~docv:"NAME" ~doc)
+
+let vcpus_arg =
+  let doc = "Number of guest vCPUs." in
+  Arg.(value & opt int 1 & info [ "vcpus" ] ~docv:"N" ~doc)
+
+let out_arg =
+  let doc = "Write the output to this file instead of stdout." in
+  Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+
+let emit_output out s =
+  match out with
+  | None -> print_string s
+  | Some path ->
+      let oc = open_out path in
+      output_string oc s;
+      close_out oc;
+      Printf.printf "wrote %s\n" path
+
+let trace_cmd =
+  let doc =
+    "Run an application under an enforced view and dump the event trace \
+     (view switches, UD2 traps, recoveries, frame sharing, ...)."
+  in
+  let capacity =
+    let doc = "Trace ring capacity; older events beyond it are dropped." in
+    Arg.(value & opt int 65536 & info [ "capacity" ] ~docv:"N" ~doc)
+  in
+  let kinds =
+    let doc = "Only show these event kinds (comma-separated, e.g. \
+               $(i,view_switch,ud2_trap))." in
+    Arg.(value & opt (some string) None & info [ "kind" ] ~docv:"KINDS" ~doc)
+  in
+  let format =
+    let doc = "Output format: $(i,text), $(i,json) or $(i,csv)." in
+    Arg.(value & opt (enum [ ("text", `Text); ("json", `Json); ("csv", `Csv) ])
+           `Text & info [ "format" ] ~docv:"FMT" ~doc)
+  in
+  let run app_name attack iterations vcpus capacity kinds format out =
+    let wanted =
+      Option.map
+        (fun s ->
+          let ks = String.split_on_char ',' s in
+          List.iter
+            (fun k ->
+              if not (List.mem k Event.kinds) then begin
+                Printf.eprintf "unknown event kind %s; known kinds:\n  %s\n" k
+                  (String.concat " " Event.kinds);
+                exit 1
+              end)
+            ks;
+          ks)
+        kinds
+    in
+    let os, _fc =
+      enforced_run ~trace_capacity:capacity app_name attack iterations vcpus
+    in
+    let sink = Obs.trace (Os.obs os) in
+    let keep (r : Trace.record) =
+      match wanted with
+      | None -> true
+      | Some ks -> List.mem (Event.kind r.Trace.event) ks
+    in
+    let records = List.filter keep (Trace.records sink) in
+    match format with
+    | `Text ->
+        let buf = Buffer.create 4096 in
+        let ppf = Format.formatter_of_buffer buf in
+        List.iter (Format.fprintf ppf "%a@." Trace.pp_record) records;
+        Format.fprintf ppf "%d events emitted, %d dropped, %d shown@."
+          (Trace.emitted sink) (Trace.dropped sink) (List.length records);
+        Format.pp_print_flush ppf ();
+        emit_output out (Buffer.contents buf)
+    | `Json ->
+        let json =
+          Jsonx.Obj
+            [
+              ("schema_version", Jsonx.Int Export.schema_version);
+              ("emitted", Jsonx.Int (Trace.emitted sink));
+              ("dropped", Jsonx.Int (Trace.dropped sink));
+              ("events", Jsonx.List (List.map Export.record_to_json records));
+            ]
+        in
+        emit_output out (Jsonx.to_string ~pretty:true json ^ "\n")
+    | `Csv ->
+        if wanted <> None then begin
+          Printf.eprintf "--kind is not supported with --format csv\n";
+          exit 1
+        end;
+        emit_output out (Export.trace_to_csv sink)
+  in
+  Cmd.v (Cmd.info "trace" ~doc)
+    Term.(
+      const run $ app_arg $ attack_arg $ iterations_arg $ vcpus_arg $ capacity
+      $ kinds $ format $ out_arg)
+
+let stats_cmd =
+  let doc =
+    "Run an application under an enforced view and report run statistics \
+     (the Stats.capture projection of the metrics registry)."
+  in
+  let json =
+    let doc = "Emit machine-readable JSON instead of the text summary." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let metrics =
+    let doc = "Also include the full metrics registry (counters, gauges, \
+               cycle histograms)." in
+    Arg.(value & flag & info [ "metrics" ] ~doc)
+  in
+  let run app_name attack iterations vcpus json metrics out =
+    let os, fc = enforced_run app_name attack iterations vcpus in
+    let stats = Fc_core.Stats.capture fc in
+    let registry = Obs.metrics (Os.obs os) in
+    if json then
+      let body =
+        if metrics then
+          Jsonx.Obj
+            [
+              ("stats", Fc_core.Stats.to_json stats);
+              ("metrics", Export.metrics_to_json registry);
+            ]
+        else Fc_core.Stats.to_json stats
+      in
+      emit_output out (Jsonx.to_string ~pretty:true body ^ "\n")
+    else begin
+      let buf = Buffer.create 1024 in
+      let ppf = Format.formatter_of_buffer buf in
+      Format.fprintf ppf "%a@." Fc_core.Stats.pp stats;
+      Format.pp_print_flush ppf ();
+      if metrics then Buffer.add_string buf (Export.metrics_to_csv registry);
+      emit_output out (Buffer.contents buf)
+    end
+  in
+  Cmd.v (Cmd.info "stats" ~doc)
+    Term.(
+      const run $ app_arg $ attack_arg $ iterations_arg $ vcpus_arg $ json
+      $ metrics $ out_arg)
 
 let () =
   let doc = "FACE-CHANGE: application-driven dynamic kernel view switching (simulated)" in
   let info = Cmd.info "facechange" ~version:"1.0.0" ~doc in
   exit (Cmd.eval (Cmd.group info
        [ apps_cmd; attacks_cmd; syscalls_cmd; profile_cmd; inspect_cmd;
-         matrix_cmd; run_cmd; trace_cmd; report_cmd ]))
+         matrix_cmd; run_cmd; trace_cmd; stats_cmd; calltree_cmd; report_cmd ]))

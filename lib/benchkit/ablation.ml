@@ -208,7 +208,11 @@ let smp_scaling profiles =
           [
             mi "baseline cycles" base;
             mi "FACE-CHANGE cycles" fc;
-            m "overhead" (Printf.sprintf "%.1f%%" (100. *. (float_of_int fc /. float_of_int base -. 1.)));
+            m "overhead"
+              (if base = 0 then "n/a"
+               else
+                 Printf.sprintf "%.1f%%"
+                   (100. *. (float_of_int fc /. float_of_int base -. 1.)));
             mi "view switch decisions" switch_events;
           ];
       })

@@ -51,13 +51,22 @@ let run ?(rates = List.init 12 (fun i -> 5 * (i + 1))) profiles =
   (* calibrate the simulated clock so the baseline saturates at ~60.5
      req/s, matching the paper's testbed *)
   let cycles_per_second = per_req_base *. 60.5 in
-  let base_capacity = cycles_per_second /. per_req_base in
-  let fc_capacity = cycles_per_second /. per_req_fc in
+  (* an empty run charges no cycles per request; keep the capacities (and
+     the JSON artifact built from them) finite *)
+  let base_capacity =
+    if per_req_base <= 0. then 0. else cycles_per_second /. per_req_base
+  in
+  let fc_capacity =
+    if per_req_fc <= 0. then 0. else cycles_per_second /. per_req_fc
+  in
   let series =
     List.map
       (fun rate ->
         let r = float_of_int rate in
-        let ratio = Float.min r fc_capacity /. Float.min r base_capacity in
+        let offered = Float.min r base_capacity in
+        let ratio =
+          if offered <= 0. then 1. else Float.min r fc_capacity /. offered
+        in
         (rate, ratio))
       rates
   in

@@ -92,8 +92,13 @@ type fig6_point = {
   per_test : (string * float) list;
 }
 
-let geometric_mean xs =
-  exp (List.fold_left (fun a x -> a +. log x) 0. xs /. float_of_int (List.length xs))
+(* [1.] for an empty list: the neutral normalized index, and no 0/0. *)
+let geometric_mean = function
+  | [] -> 1.
+  | xs ->
+      exp
+        (List.fold_left (fun a x -> a +. log x) 0. xs
+        /. float_of_int (List.length xs))
 
 (* The paper loads the Table I views one at a time, excluding gzip
    ("not a long running application"). *)
@@ -121,7 +126,9 @@ let fig6 ?view_counts profiles =
         (fun st ->
           let base = run_one image ~views:[] ~residents ~enabled:false st in
           let fc = run_one image ~views ~residents ~enabled:true st in
-          (st.st_name, fc /. base))
+          (* a subtest that scored 0 at baseline has no meaningful ratio;
+             report the neutral 1.0 rather than a NaN/infinity *)
+          (st.st_name, if base <= 0. then 1. else fc /. base))
         subtests
     in
     { views_loaded; overall = geometric_mean (List.map snd per_test); per_test }

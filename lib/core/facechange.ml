@@ -6,6 +6,9 @@ module Layout = Fc_kernel.Layout
 module Image = Fc_kernel.Image
 module Ept = Fc_mem.Ept
 module Scan = Fc_isa.Scan
+module Obs = Fc_obs.Obs
+module Metrics = Fc_obs.Metrics
+module Event = Fc_obs.Event
 
 type opts = {
   switch_at_resume : bool;
@@ -28,6 +31,7 @@ let full_view_index = 0
 
 type t = {
   hyp : Hyp.t;
+  obs : Obs.t;
   opts : opts;
   mutable views : View.t list;
   mutable bindings : (string * int) list;
@@ -38,11 +42,13 @@ type t = {
   resume_addr : int;
   all_dirs : int list;
   log : Recovery_log.t;
-  mutable switches : int;
-  mutable switch_skips : int;
-  mutable deferred : int;
-  mutable recoveries : int;
-  mutable recovered_bytes : int;
+  switches : Metrics.counter;
+  switch_skips : Metrics.counter;
+  deferred : Metrics.counter;
+  recoveries : Metrics.counter;
+  recovered_bytes : Metrics.counter;
+  recovery_bytes_h : Metrics.histogram;
+  view_build_cycles : Metrics.histogram;
   mutable retired_cow_breaks : int;  (* from views since unloaded *)
   mutable enabled : bool;
 }
@@ -53,11 +59,11 @@ let opts t = t.opts
 let views t = t.views
 let find_view t index = List.find_opt (fun v -> View.index v = index) t.views
 let active_index ?(vid = 0) t = t.active.(vid)
-let switches t = t.switches
-let switch_skips t = t.switch_skips
-let deferred_switches t = t.deferred
-let recoveries t = t.recoveries
-let recovered_bytes t = t.recovered_bytes
+let switches t = Metrics.value t.switches
+let switch_skips t = Metrics.value t.switch_skips
+let deferred_switches t = Metrics.value t.deferred
+let recoveries t = Metrics.value t.recoveries
+let recovered_bytes t = Metrics.value t.recovered_bytes
 
 let shared_frames t =
   List.fold_left
@@ -85,9 +91,16 @@ let install_tables t ~vid tables =
       Hyp.charge t.hyp Cost.ept_dir_switch)
     tables
 
+let emit_switch t ~vid ~from_index ~to_index outcome =
+  if Obs.armed t.obs then
+    Obs.emit t.obs
+      (Event.View_switch { vid; from_index; to_index; outcome })
+
 let switch_kernel_view t ~vid index =
-  if t.opts.same_view_opt && t.active.(vid) = index then
-    t.switch_skips <- t.switch_skips + 1
+  if t.opts.same_view_opt && t.active.(vid) = index then begin
+    Metrics.incr t.switch_skips;
+    emit_switch t ~vid ~from_index:index ~to_index:index Event.Skipped
+  end
   else begin
     (if index = full_view_index then
        install_tables t ~vid
@@ -99,8 +112,9 @@ let switch_kernel_view t ~vid index =
        match find_view t index with
        | Some v -> install_tables t ~vid (View.tables v)
        | None -> invalid_arg "Facechange: switching to an unloaded view");
+    emit_switch t ~vid ~from_index:t.active.(vid) ~to_index:index Event.Switched;
     t.active.(vid) <- index;
-    t.switches <- t.switches + 1
+    Metrics.incr t.switches
   end
 
 (* ---------------- VMI helpers ---------------- *)
@@ -124,6 +138,8 @@ let handle_kernel_view_trap t (_regs : Cpu.regs) addr =
   let vid = Os.active_vcpu_id (Hyp.os t.hyp) in
   if addr = t.ctx_switch_addr then begin
     let pid, comm = Hyp.current_task t.hyp in
+    if Obs.armed t.obs then
+      Obs.emit t.obs (Event.Breakpoint { vid; addr; pid; comm });
     let index = selector t ~comm in
     if index = full_view_index then begin
       t.pending.(vid) <- None;
@@ -133,7 +149,9 @@ let handle_kernel_view_trap t (_regs : Cpu.regs) addr =
     else if t.opts.switch_at_resume && not (vmi_in_kernel t pid) then begin
       t.pending.(vid) <- Some index;
       sync_resume_breakpoint t;
-      t.deferred <- t.deferred + 1
+      Metrics.incr t.deferred;
+      emit_switch t ~vid ~from_index:t.active.(vid) ~to_index:index
+        Event.Deferred
     end
     else begin
       (* immediate switch: either the optimization is off, or the process
@@ -144,6 +162,10 @@ let handle_kernel_view_trap t (_regs : Cpu.regs) addr =
     end
   end
   else if addr = t.resume_addr then begin
+    if Obs.armed t.obs then begin
+      let pid, comm = Hyp.current_task t.hyp in
+      Obs.emit t.obs (Event.Breakpoint { vid; addr; pid; comm })
+    end;
     match t.pending.(vid) with
     | Some index ->
         t.pending.(vid) <- None;
@@ -181,7 +203,8 @@ let fetch_fill_code t view addr =
             | None -> ()
           done;
           Hyp.charge t.hyp ((stop - start) / 16 * Cost.code_copy_per_16_bytes);
-          t.recovered_bytes <- t.recovered_bytes + (stop - start);
+          Metrics.add t.recovered_bytes (stop - start);
+          Metrics.observe t.recovery_bytes_h (stop - start);
           Some (start, stop))
 
 (* The paper "inspect[s] the current call stack to determine whether the
@@ -208,6 +231,9 @@ let handle_invalid_opcode t (regs : Cpu.regs) =
         (* symbols may have changed (modules hidden/loaded) since attach *)
         Hyp.refresh_symbols t.hyp;
         let pid, comm = Hyp.current_task t.hyp in
+        if Obs.armed t.obs then
+          Obs.emit t.obs
+            (Event.Ud2_trap { vid; eip = regs.Cpu.eip; pid; comm });
         let frames =
           Hyp.stack_frames t.hyp ~eip:regs.Cpu.eip ~ebp:regs.Cpu.ebp
             ~esp:regs.Cpu.esp ()
@@ -234,7 +260,12 @@ let handle_invalid_opcode t (regs : Cpu.regs) =
                 | Some 0x0b, Some 0x0f -> (
                     match fetch_fill_code t view ret with
                     | Some (start, stop) ->
-                        Some (start, stop, Hyp.render_addr t.hyp start)
+                        let symbol = Hyp.render_addr t.hyp start in
+                        if Obs.armed t.obs then
+                          Obs.emit t.obs
+                            (Event.Recovery
+                               { kind = Event.Instant; start; stop; symbol });
+                        Some (start, stop, symbol)
                     | None -> None)
                 | _ -> None)
               (match frames with _ :: rest -> rest | [] -> [])
@@ -244,7 +275,16 @@ let handle_invalid_opcode t (regs : Cpu.regs) =
             `Unhandled
               (Printf.sprintf "cannot locate kernel code containing 0x%x" regs.Cpu.eip)
         | Some (start, stop) ->
-            t.recoveries <- t.recoveries + 1;
+            Metrics.incr t.recoveries;
+            if Obs.armed t.obs then
+              Obs.emit t.obs
+                (Event.Recovery
+                   {
+                     kind = Event.Lazy;
+                     start;
+                     stop;
+                     symbol = Hyp.render_addr t.hyp start;
+                   });
             let rendered = List.map (fun a -> Hyp.render_addr t.hyp a) frames in
             let unknown_frames =
               List.exists
@@ -301,9 +341,12 @@ let enable ?(opts = default_opts) hyp =
     List.rev !acc
   in
   let nvcpus = Os.vcpu_count (Hyp.os hyp) in
+  let obs = Hyp.obs hyp in
+  let m = Obs.metrics obs in
   let t =
     {
       hyp;
+      obs;
       opts;
       views = [];
       bindings = [];
@@ -314,15 +357,30 @@ let enable ?(opts = default_opts) hyp =
       resume_addr;
       all_dirs;
       log = Recovery_log.create ();
-      switches = 0;
-      switch_skips = 0;
-      deferred = 0;
-      recoveries = 0;
-      recovered_bytes = 0;
+      switches = Metrics.counter m ~subsystem:"fc" "view_switches";
+      switch_skips = Metrics.counter m ~subsystem:"fc" "switches_skipped";
+      deferred = Metrics.counter m ~subsystem:"fc" "switches_deferred";
+      recoveries = Metrics.counter m ~subsystem:"fc" "recoveries";
+      recovered_bytes = Metrics.counter m ~subsystem:"fc" "recovered_bytes";
+      recovery_bytes_h = Metrics.histogram m ~subsystem:"fc" "recovery_bytes";
+      view_build_cycles = Metrics.histogram m ~subsystem:"fc" "view_build_cycles";
       retired_cow_breaks = 0;
       enabled = true;
     }
   in
+  (* a fresh enablement owns these instruments, even on a guest that ran
+     an earlier FACE-CHANGE instance *)
+  List.iter Metrics.reset
+    [ t.switches; t.switch_skips; t.deferred; t.recoveries; t.recovered_bytes ];
+  Metrics.reset_histogram t.recovery_bytes_h;
+  Metrics.reset_histogram t.view_build_cycles;
+  (* structural state exported as read-through gauges: Stats.capture is a
+     projection of these plus the counters above *)
+  Metrics.gauge m ~subsystem:"fc" "views_loaded" (fun () -> List.length t.views);
+  Metrics.gauge m ~subsystem:"fc" "view_pages" (fun () ->
+      List.fold_left (fun n v -> n + View.private_page_count v) 0 t.views);
+  Metrics.gauge m ~subsystem:"fc" "shared_frames" (fun () -> shared_frames t);
+  Metrics.gauge m ~subsystem:"fc" "cow_breaks" (fun () -> cow_breaks t);
   Hyp.on_breakpoint hyp (fun _hyp regs addr -> handle_kernel_view_trap t regs addr);
   Hyp.on_invalid_opcode hyp (fun _hyp regs -> handle_invalid_opcode t regs);
   Hyp.set_breakpoint hyp ctx_switch_addr;
@@ -331,12 +389,23 @@ let enable ?(opts = default_opts) hyp =
 let load_view t config =
   let index = t.next_index in
   t.next_index <- index + 1;
+  let charged_before = Hyp.cycles_charged t.hyp in
   let v =
     View.build ~hyp:t.hyp ~whole_function_load:t.opts.whole_function_load
       ~share_frames:t.opts.share_frames ~index config
   in
+  Metrics.observe t.view_build_cycles (Hyp.cycles_charged t.hyp - charged_before);
   t.views <- t.views @ [ v ];
   bind t ~comm:config.Fc_profiler.View_config.app ~index;
+  if Obs.armed t.obs then
+    Obs.emit t.obs
+      (Event.View_load
+         {
+           index;
+           app = View.app v;
+           pages = View.private_page_count v;
+           loaded_bytes = View.loaded_bytes v;
+         });
   index
 
 let unload_view t index =
@@ -354,6 +423,10 @@ let unload_view t index =
         t.pending;
       sync_resume_breakpoint t;
       t.retired_cow_breaks <- t.retired_cow_breaks + View.cow_breaks v;
+      if Obs.armed t.obs then
+        Obs.emit t.obs
+          (Event.View_unload
+             { index; app = View.app v; cow_breaks = View.cow_breaks v });
       View.destroy v
 
 let disable t =

@@ -1,5 +1,8 @@
 module Hyp = Fc_hypervisor.Hypervisor
 module Os = Fc_machine.Os
+module Obs = Fc_obs.Obs
+module Metrics = Fc_obs.Metrics
+module Jsonx = Fc_obs.Jsonx
 
 type t = {
   guest_cycles : int;
@@ -20,34 +23,63 @@ type t = {
   cow_breaks : int;
 }
 
+(* Every field is a read of the guest's metrics registry: the scheduler,
+   hypervisor and FACE-CHANGE core register their counters and gauges
+   under "os.*" / "hyp.*" / "fc.*" keys, and capture is nothing but a
+   stable projection of those.  A key can only be missing if the
+   subsystem that owns it never ran, in which case 0 is the truth. *)
 let capture fc =
   let hyp = Facechange.hyp fc in
   let os = Hyp.os hyp in
+  let m = Obs.metrics (Os.obs os) in
+  let v key = Option.value ~default:0 (Metrics.find m key) in
   {
-    guest_cycles = Os.cycles os;
-    rounds = Os.round os;
-    context_switches = Os.context_switches os;
-    vcpus = Os.vcpu_count os;
-    breakpoint_exits = Hyp.breakpoint_exits hyp;
-    invalid_opcode_exits = Hyp.invalid_opcode_exits hyp;
-    hypervisor_cycles = Hyp.cycles_charged hyp;
-    view_switches = Facechange.switches fc;
-    switches_skipped = Facechange.switch_skips fc;
-    switches_deferred = Facechange.deferred_switches fc;
-    recoveries = Facechange.recoveries fc;
-    recovered_bytes = Facechange.recovered_bytes fc;
-    views_loaded = List.length (Facechange.views fc);
-    view_pages =
-      List.fold_left
-        (fun n v -> n + View.private_page_count v)
-        0 (Facechange.views fc);
-    shared_frames = Facechange.shared_frames fc;
-    cow_breaks = Facechange.cow_breaks fc;
+    guest_cycles = v "os.cycles";
+    rounds = v "os.rounds";
+    context_switches = v "os.context_switches";
+    vcpus = v "os.vcpus";
+    breakpoint_exits = v "hyp.breakpoint_exits";
+    invalid_opcode_exits = v "hyp.invalid_opcode_exits";
+    hypervisor_cycles = v "hyp.cycles_charged";
+    view_switches = v "fc.view_switches";
+    switches_skipped = v "fc.switches_skipped";
+    switches_deferred = v "fc.switches_deferred";
+    recoveries = v "fc.recoveries";
+    recovered_bytes = v "fc.recovered_bytes";
+    views_loaded = v "fc.views_loaded";
+    view_pages = v "fc.view_pages";
+    shared_frames = v "fc.shared_frames";
+    cow_breaks = v "fc.cow_breaks";
   }
 
 let overhead_fraction t =
   if t.guest_cycles = 0 then 0.
   else float_of_int t.hypervisor_cycles /. float_of_int t.guest_cycles
+
+let fields t =
+  [
+    ("guest_cycles", t.guest_cycles);
+    ("rounds", t.rounds);
+    ("context_switches", t.context_switches);
+    ("vcpus", t.vcpus);
+    ("breakpoint_exits", t.breakpoint_exits);
+    ("invalid_opcode_exits", t.invalid_opcode_exits);
+    ("hypervisor_cycles", t.hypervisor_cycles);
+    ("view_switches", t.view_switches);
+    ("switches_skipped", t.switches_skipped);
+    ("switches_deferred", t.switches_deferred);
+    ("recoveries", t.recoveries);
+    ("recovered_bytes", t.recovered_bytes);
+    ("views_loaded", t.views_loaded);
+    ("view_pages", t.view_pages);
+    ("shared_frames", t.shared_frames);
+    ("cow_breaks", t.cow_breaks);
+  ]
+
+let to_json t =
+  Jsonx.Obj
+    (List.map (fun (k, v) -> (k, Jsonx.Int v)) (fields t)
+    @ [ ("overhead_fraction", Jsonx.Float (overhead_fraction t)) ])
 
 let pp ppf t =
   Format.fprintf ppf

@@ -22,9 +22,19 @@ type t = {
 }
 
 val capture : Facechange.t -> t
-(** Snapshot the counters of a FACE-CHANGE instance and its guest. *)
+(** Snapshot the counters of a FACE-CHANGE instance and its guest.  The
+    result is a read-only projection of the guest's {!Fc_obs.Metrics}
+    registry (the ["os.*"], ["hyp.*"] and ["fc.*"] instruments). *)
 
 val overhead_fraction : t -> float
-(** Hypervisor-charged cycles as a fraction of all guest cycles. *)
+(** Hypervisor-charged cycles as a fraction of all guest cycles.
+    [0.] when no guest cycles have elapsed. *)
+
+val fields : t -> (string * int) list
+(** Every integer field as a [(name, value)] pair, in declaration order —
+    the stable key set exporters and the CI gate rely on. *)
+
+val to_json : t -> Fc_obs.Jsonx.t
+(** [fields] plus ["overhead_fraction"] as a JSON object. *)
 
 val pp : Format.formatter -> t -> unit

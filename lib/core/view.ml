@@ -10,6 +10,9 @@ module Scan = Fc_isa.Scan
 module Range_list = Fc_ranges.Range_list
 module Segment = Fc_ranges.Segment
 module Span = Fc_ranges.Span
+module Obs = Fc_obs.Obs
+module Metrics = Fc_obs.Metrics
+module Event = Fc_obs.Event
 
 type t = {
   hyp : Hyp.t;
@@ -18,6 +21,7 @@ type t = {
   share : bool;
   tables : (int * Ept.table) list;
   page_frames : (int, int) Hashtbl.t; (* gpa_page -> backing frame *)
+  pages_materialized : Metrics.counter; (* view.pages_materialized, shared *)
   mutable loaded_bytes : int;
   mutable cow_breaks : int;
   mutable destroyed : bool;
@@ -94,6 +98,8 @@ let writable_frame t gpa_page =
     map_page t gpa_page fresh;
     t.cow_breaks <- t.cow_breaks + 1;
     Frame_cache.note_cow_break (Hyp.frame_cache t.hyp);
+    (let obs = Hyp.obs t.hyp in
+     if Obs.armed obs then Obs.emit obs (Event.Cow_break { frame; fresh }));
     Hyp.charge t.hyp Cost.cow_break;
     fresh
   end
@@ -194,6 +200,7 @@ let materialize_page t loads gpa_page =
           f
   in
   map_page t gpa_page frame;
+  Metrics.incr t.pages_materialized;
   Hyp.charge t.hyp Cost.view_page_init
 
 let build ~hyp ?(whole_function_load = true) ?(share_frames = true) ~index
@@ -231,6 +238,10 @@ let build ~hyp ?(whole_function_load = true) ?(share_frames = true) ~index
       share = share_frames;
       tables;
       page_frames = Hashtbl.create 256;
+      pages_materialized =
+        Metrics.counter
+          (Obs.metrics (Hyp.obs hyp))
+          ~subsystem:"view" "pages_materialized";
       loaded_bytes = 0;
       cow_breaks = 0;
       destroyed = false;

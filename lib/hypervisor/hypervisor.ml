@@ -5,33 +5,41 @@ module Image = Fc_kernel.Image
 module Symbols = Fc_kernel.Symbols
 module Catalog = Fc_kernel.Catalog
 
+module Obs = Fc_obs.Obs
+module Metrics = Fc_obs.Metrics
+module Event = Fc_obs.Event
+
 type t = {
   os : Os.t;
+  obs : Obs.t;
   original_tables : (int, Fc_mem.Ept.table) Hashtbl.t;
   frame_cache : Fc_mem.Frame_cache.t;
   mutable symbols : Symbols.t;
   mutable visible_modules : (string * int * int) list;
   mutable bp_handlers : (t -> Cpu.regs -> int -> unit) list;
   mutable io_handler : t -> Cpu.regs -> [ `Handled | `Unhandled of string ];
-  mutable breakpoint_exits : int;
-  mutable invalid_opcode_exits : int;
-  mutable cycles_charged : int;
+  breakpoint_exits : Metrics.counter;
+  invalid_opcode_exits : Metrics.counter;
+  cycles_charged : Metrics.counter;
+  charge_cycles : Metrics.histogram;
 }
 
 let os t = t.os
+let obs t = t.obs
 let frame_cache t = t.frame_cache
 
 let charge t n =
-  t.cycles_charged <- t.cycles_charged + n;
+  Metrics.add t.cycles_charged n;
+  Metrics.observe t.charge_cycles n;
   Os.add_cycles t.os n
 
 let set_breakpoint t a = Os.set_trap t.os a
 let clear_breakpoint t a = Os.clear_trap t.os a
 let has_breakpoint t a = List.mem a (Os.trap_addresses t.os)
-let breakpoint_exits t = t.breakpoint_exits
-let invalid_opcode_exits t = t.invalid_opcode_exits
-let vm_exits t = t.breakpoint_exits + t.invalid_opcode_exits
-let cycles_charged t = t.cycles_charged
+let breakpoint_exits t = Metrics.value t.breakpoint_exits
+let invalid_opcode_exits t = Metrics.value t.invalid_opcode_exits
+let vm_exits t = breakpoint_exits t + invalid_opcode_exits t
+let cycles_charged t = Metrics.value t.cycles_charged
 let on_breakpoint t f = t.bp_handlers <- t.bp_handlers @ [ f ]
 let on_invalid_opcode t f = t.io_handler <- f
 let current_task t = Os.vmi_current_task t.os
@@ -108,12 +116,19 @@ let render_addr t addr =
 
 let dispatch_exit t regs = function
   | Os.Exit_breakpoint addr ->
-      t.breakpoint_exits <- t.breakpoint_exits + 1;
+      Metrics.incr t.breakpoint_exits;
+      if Obs.armed t.obs then
+        Obs.emit t.obs
+          (Event.Vm_exit { reason = Event.Exit_breakpoint; addr });
       charge t Cost.vm_exit;
       List.iter (fun h -> h t regs addr) t.bp_handlers;
       Os.Resume
   | Os.Exit_invalid_opcode -> (
-      t.invalid_opcode_exits <- t.invalid_opcode_exits + 1;
+      Metrics.incr t.invalid_opcode_exits;
+      if Obs.armed t.obs then
+        Obs.emit t.obs
+          (Event.Vm_exit
+             { reason = Event.Exit_invalid_opcode; addr = regs.Cpu.eip });
       charge t Cost.vm_exit;
       match t.io_handler t regs with
       | `Handled -> Os.Resume
@@ -142,20 +157,31 @@ let snapshot_tables os =
   tables
 
 let attach os =
+  let obs = Os.obs os in
+  let m = Obs.metrics obs in
   let t =
     {
       os;
+      obs;
       original_tables = snapshot_tables os;
-      frame_cache = Fc_mem.Frame_cache.create (Os.phys os);
+      frame_cache = Fc_mem.Frame_cache.create ~obs (Os.phys os);
       symbols = Symbols.create ();
       visible_modules = [];
       bp_handlers = [];
       io_handler = (fun _ _ -> `Unhandled "invalid opcode (no recovery installed)");
-      breakpoint_exits = 0;
-      invalid_opcode_exits = 0;
-      cycles_charged = 0;
+      breakpoint_exits = Metrics.counter m ~subsystem:"hyp" "breakpoint_exits";
+      invalid_opcode_exits =
+        Metrics.counter m ~subsystem:"hyp" "invalid_opcode_exits";
+      cycles_charged = Metrics.counter m ~subsystem:"hyp" "cycles_charged";
+      charge_cycles = Metrics.histogram m ~subsystem:"hyp" "charge_cycles";
     }
   in
+  (* a fresh hypervisor starts from zero even if a previous attachment to
+     this guest registered the same counters *)
+  Metrics.reset t.breakpoint_exits;
+  Metrics.reset t.invalid_opcode_exits;
+  Metrics.reset t.cycles_charged;
+  Metrics.reset_histogram t.charge_cycles;
   refresh_symbols t;
   Os.set_exit_handler os (fun _os regs exit -> dispatch_exit t regs exit);
   t

@@ -20,6 +20,13 @@ val detach : t -> unit
 
 val os : t -> Fc_machine.Os.t
 
+val obs : t -> Fc_obs.Obs.t
+(** The guest's observability hub ([Os.obs]).  The hypervisor registers
+    its exit/cycle counters and a [hyp.charge_cycles] histogram on its
+    metrics registry at attach time (resetting them, so a re-attachment
+    starts from zero) and emits [vm_exit] trace events when the hub is
+    armed. *)
+
 val frame_cache : t -> Fc_mem.Frame_cache.t
 (** The content-keyed frame cache view materialization interns shareable
     pages through.  One cache per attached hypervisor: views built for

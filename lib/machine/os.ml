@@ -73,6 +73,7 @@ type vcpu = {
 type t = {
   image : Image.t;
   config : config;
+  obs : Fc_obs.Obs.t;
   phys : Phys.t;
   vcpus : vcpu array;
   mutable active : int; (* the vCPU currently executing (sequential sim) *)
@@ -113,6 +114,7 @@ and decode_line = {
 
 let image t = t.image
 let config t = t.config
+let obs t = t.obs
 let phys t = t.phys
 let active_vcpu t = t.vcpus.(t.active)
 let active_vcpu_id t = t.active
@@ -345,8 +347,9 @@ let write_task_struct t (p : Process.t) =
     write_guest_byte t (task + 4 + i) c
   done
 
-let create ?(config = default_config) ?(vcpus = 1) image =
+let create ?(config = default_config) ?(vcpus = 1) ?obs image =
   if vcpus < 1 || vcpus > 8 then invalid_arg "Os.create: 1-8 vcpus";
+  let obs = match obs with Some o -> o | None -> Fc_obs.Obs.create () in
   let master_pt = Pt.create () in
   let mk_vcpu vid =
     let name = if vid = 0 then "swapper" else Printf.sprintf "swapper/%d" vid in
@@ -357,7 +360,8 @@ let create ?(config = default_config) ?(vcpus = 1) image =
     {
       image;
       config;
-      phys = Phys.create ();
+      obs;
+      phys = Phys.create ~metrics:(Fc_obs.Obs.metrics obs) ();
       vcpus = Array.init vcpus mk_vcpu;
       active = 0;
       ram = Hashtbl.create 2048;
@@ -388,6 +392,15 @@ let create ?(config = default_config) ?(vcpus = 1) image =
       sleep_override = None;
     }
   in
+  (* the guest cycle counter is the trace timestamp source, and the
+     scheduler state is exported as read-through gauges *)
+  Fc_obs.Obs.set_clock obs (fun () -> !(t.cycles));
+  let gauge name f = Fc_obs.Metrics.gauge (Fc_obs.Obs.metrics obs) ~subsystem:"os" name f in
+  gauge "cycles" (fun () -> !(t.cycles));
+  gauge "rounds" (fun () -> t.round_no);
+  gauge "context_switches" (fun () -> t.context_switches);
+  gauge "vcpus" (fun () -> Array.length t.vcpus);
+  gauge "processes" (fun () -> List.length t.procs);
   (* base kernel text *)
   let text_lo = Image.text_base image and text_hi = Image.text_end image in
   map_fresh_range t ~lo:text_lo ~hi:text_hi;
@@ -643,6 +656,10 @@ let switch_to t (next : Process.t) =
   let v = active_vcpu t in
   if next != v.vcurrent then begin
     t.context_switches <- t.context_switches + 1;
+    if Fc_obs.Obs.armed t.obs then
+      Fc_obs.Obs.emit t.obs
+        (Fc_obs.Event.Sched_switch
+           { vid = v.vid; pid = next.Process.pid; comm = next.Process.name });
     write_guest_u32 t
       (Layout.current_task_ptr_cpu ~vid:v.vid)
       (Layout.task_struct_addr ~pid:next.Process.pid);

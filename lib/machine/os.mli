@@ -38,13 +38,23 @@ type t
 
 (* ---------------- construction ---------------- *)
 
-val create : ?config:config -> ?vcpus:int -> Fc_kernel.Image.t -> t
+val create :
+  ?config:config -> ?vcpus:int -> ?obs:Fc_obs.Obs.t -> Fc_kernel.Image.t -> t
 (** Boots the guest: lays the base kernel image into guest-physical
     frames, builds one identity EPT {e per vCPU} (default 1, max 8 — the
     paper's §V-C extension), creates one idle process per vCPU
     ("swapper", "swapper/1", …) with per-CPU current-task pointers, and
     loads the default modules from
-    {!Fc_kernel.Catalog.module_functions}. *)
+    {!Fc_kernel.Catalog.module_functions}.
+
+    The guest owns an observability hub ([obs], freshly created unless
+    given): its trace clock is the guest cycle counter, physical memory
+    and scheduler instruments register on its metrics registry, and every
+    layer later attached to this guest (hypervisor, FACE-CHANGE) shares
+    it. *)
+
+val obs : t -> Fc_obs.Obs.t
+(** The guest's observability hub. *)
 
 val vcpu_count : t -> int
 

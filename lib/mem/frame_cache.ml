@@ -6,18 +6,39 @@
    copy-on-write "break") invalidates itself without any eager
    bookkeeping. *)
 
+module Obs = Fc_obs.Obs
+module Metrics = Fc_obs.Metrics
+module Event = Fc_obs.Event
+
 type entry = { frame : int; version : int }
 
 type t = {
   phys : Phys_mem.t;
   entries : (string, entry) Hashtbl.t;
-  mutable hits : int;
-  mutable misses : int;
-  mutable cow_breaks : int;
+  obs : Obs.t option;
+  hits : Metrics.counter;
+  misses : Metrics.counter;
+  cow_breaks : Metrics.counter;
 }
 
-let create phys =
-  { phys; entries = Hashtbl.create 256; hits = 0; misses = 0; cow_breaks = 0 }
+let create ?obs phys =
+  let m =
+    match obs with Some o -> Obs.metrics o | None -> Metrics.create ()
+  in
+  let t =
+    {
+      phys;
+      entries = Hashtbl.create 256;
+      obs;
+      hits = Metrics.counter m ~subsystem:"cache" "hits";
+      misses = Metrics.counter m ~subsystem:"cache" "misses";
+      cow_breaks = Metrics.counter m ~subsystem:"cache" "cow_breaks";
+    }
+  in
+  Metrics.reset t.hits;
+  Metrics.reset t.misses;
+  Metrics.reset t.cow_breaks;
+  t
 
 let valid t e =
   Phys_mem.is_live t.phys e.frame && Phys_mem.version t.phys e.frame = e.version
@@ -25,25 +46,28 @@ let valid t e =
 let find t key =
   match Hashtbl.find_opt t.entries key with
   | Some e when valid t e ->
-      t.hits <- t.hits + 1;
+      Metrics.incr t.hits;
       Phys_mem.incref t.phys e.frame;
+      (match t.obs with
+      | Some o when Obs.armed o -> Obs.emit o (Event.Frame_share { frame = e.frame })
+      | Some _ | None -> ());
       Some e.frame
   | Some _ ->
       Hashtbl.remove t.entries key;
-      t.misses <- t.misses + 1;
+      Metrics.incr t.misses;
       None
   | None ->
-      t.misses <- t.misses + 1;
+      Metrics.incr t.misses;
       None
 
 let register t key frame =
   Hashtbl.replace t.entries key
     { frame; version = Phys_mem.version t.phys frame }
 
-let note_cow_break t = t.cow_breaks <- t.cow_breaks + 1
-let hits t = t.hits
-let misses t = t.misses
-let cow_breaks t = t.cow_breaks
+let note_cow_break t = Metrics.incr t.cow_breaks
+let hits t = Metrics.value t.hits
+let misses t = Metrics.value t.misses
+let cow_breaks t = Metrics.value t.cow_breaks
 
 let resident t =
   Hashtbl.fold (fun _ e n -> if valid t e then n + 1 else n) t.entries 0

@@ -17,7 +17,11 @@
 
 type t
 
-val create : Phys_mem.t -> t
+val create : ?obs:Fc_obs.Obs.t -> Phys_mem.t -> t
+(** With an observability hub, hit/miss/CoW counters register on its
+    metrics registry ([cache.hits], [cache.misses], [cache.cow_breaks],
+    reset to zero for the new cache) and each cache hit emits a
+    [frame_share] trace event. *)
 
 val find : t -> string -> int option
 (** [find t key] — a live frame previously registered under [key], with a

@@ -7,11 +7,22 @@ type t = {
   mutable next : int;                     (* high-water mark *)
   mutable free_list : int list;
   mutable live : int;
+  allocs : Fc_obs.Metrics.counter;
+  frees : Fc_obs.Metrics.counter;
 }
 
-let create () =
-  { frames = Array.make 64 None; versions = Array.make 64 0;
-    refcounts = Array.make 64 0; next = 0; free_list = []; live = 0 }
+let create ?metrics () =
+  let m =
+    match metrics with Some m -> m | None -> Fc_obs.Metrics.create ()
+  in
+  let t =
+    { frames = Array.make 64 None; versions = Array.make 64 0;
+      refcounts = Array.make 64 0; next = 0; free_list = []; live = 0;
+      allocs = Fc_obs.Metrics.counter m ~subsystem:"mem" "frames_allocated";
+      frees = Fc_obs.Metrics.counter m ~subsystem:"mem" "frames_freed" }
+  in
+  Fc_obs.Metrics.gauge m ~subsystem:"mem" "live_frames" (fun () -> t.live);
+  t
 
 let grow t want =
   if want >= Array.length t.frames then begin
@@ -43,6 +54,7 @@ let alloc t =
   t.versions.(f) <- t.versions.(f) + 1;
   t.refcounts.(f) <- 1;
   t.live <- t.live + 1;
+  Fc_obs.Metrics.incr t.allocs;
   f
 
 let alloc_n t n = List.init n (fun _ -> alloc t)
@@ -62,7 +74,8 @@ let free t f =
     t.refcounts.(f) <- 0;
     t.frames.(f) <- None;
     t.free_list <- f :: t.free_list;
-    t.live <- t.live - 1
+    t.live <- t.live - 1;
+    Fc_obs.Metrics.incr t.frees
   end
 
 let live_frames t = t.live

@@ -10,7 +10,10 @@ type t
 val page_size : int
 (** 4096. *)
 
-val create : unit -> t
+val create : ?metrics:Fc_obs.Metrics.t -> unit -> t
+(** When a registry is given, allocation/free counters
+    ([mem.frames_allocated], [mem.frames_freed]) and a [mem.live_frames]
+    gauge are registered on it. *)
 
 val alloc : t -> int
 (** Allocate a zeroed frame; returns its frame number. *)

@@ -1,0 +1,104 @@
+type switch_outcome = Switched | Skipped | Deferred
+type recovery_kind = Lazy | Instant
+type exit_reason = Exit_breakpoint | Exit_invalid_opcode
+
+type t =
+  | Vm_exit of { reason : exit_reason; addr : int }
+  | Breakpoint of { vid : int; addr : int; pid : int; comm : string }
+  | View_switch of {
+      vid : int;
+      from_index : int;
+      to_index : int;
+      outcome : switch_outcome;
+    }
+  | Ud2_trap of { vid : int; eip : int; pid : int; comm : string }
+  | Recovery of { kind : recovery_kind; start : int; stop : int; symbol : string }
+  | Frame_share of { frame : int }
+  | Cow_break of { frame : int; fresh : int }
+  | View_load of { index : int; app : string; pages : int; loaded_bytes : int }
+  | View_unload of { index : int; app : string; cow_breaks : int }
+  | Sched_switch of { vid : int; pid : int; comm : string }
+
+type value = Int of int | Str of string
+
+let outcome_label = function
+  | Switched -> "switched"
+  | Skipped -> "skipped"
+  | Deferred -> "deferred"
+
+let recovery_label = function Lazy -> "lazy" | Instant -> "instant"
+
+let reason_label = function
+  | Exit_breakpoint -> "breakpoint"
+  | Exit_invalid_opcode -> "invalid_opcode"
+
+let kind = function
+  | Vm_exit _ -> "vm_exit"
+  | Breakpoint _ -> "breakpoint"
+  | View_switch _ -> "view_switch"
+  | Ud2_trap _ -> "ud2_trap"
+  | Recovery _ -> "recovery"
+  | Frame_share _ -> "frame_share"
+  | Cow_break _ -> "cow_break"
+  | View_load _ -> "view_load"
+  | View_unload _ -> "view_unload"
+  | Sched_switch _ -> "sched_switch"
+
+let kinds =
+  [
+    "vm_exit";
+    "breakpoint";
+    "view_switch";
+    "ud2_trap";
+    "recovery";
+    "frame_share";
+    "cow_break";
+    "view_load";
+    "view_unload";
+    "sched_switch";
+  ]
+
+let fields = function
+  | Vm_exit { reason; addr } ->
+      [ ("reason", Str (reason_label reason)); ("addr", Int addr) ]
+  | Breakpoint { vid; addr; pid; comm } ->
+      [ ("vid", Int vid); ("addr", Int addr); ("pid", Int pid); ("comm", Str comm) ]
+  | View_switch { vid; from_index; to_index; outcome } ->
+      [
+        ("vid", Int vid);
+        ("from", Int from_index);
+        ("to", Int to_index);
+        ("outcome", Str (outcome_label outcome));
+      ]
+  | Ud2_trap { vid; eip; pid; comm } ->
+      [ ("vid", Int vid); ("eip", Int eip); ("pid", Int pid); ("comm", Str comm) ]
+  | Recovery { kind; start; stop; symbol } ->
+      [
+        ("recovery", Str (recovery_label kind));
+        ("start", Int start);
+        ("stop", Int stop);
+        ("bytes", Int (stop - start));
+        ("symbol", Str symbol);
+      ]
+  | Frame_share { frame } -> [ ("frame", Int frame) ]
+  | Cow_break { frame; fresh } -> [ ("frame", Int frame); ("fresh", Int fresh) ]
+  | View_load { index; app; pages; loaded_bytes } ->
+      [
+        ("index", Int index);
+        ("app", Str app);
+        ("pages", Int pages);
+        ("loaded_bytes", Int loaded_bytes);
+      ]
+  | View_unload { index; app; cow_breaks } ->
+      [ ("index", Int index); ("app", Str app); ("cow_breaks", Int cow_breaks) ]
+  | Sched_switch { vid; pid; comm } ->
+      [ ("vid", Int vid); ("pid", Int pid); ("comm", Str comm) ]
+
+let pp ppf e =
+  Format.fprintf ppf "%s" (kind e);
+  List.iter
+    (fun (k, v) ->
+      match v with
+      | Int i -> Format.fprintf ppf " %s=%d" k i
+      | Str s -> Format.fprintf ppf " %s=%s" k s)
+    (fields e)

@@ -1,0 +1,68 @@
+(** The typed event taxonomy of the observability layer.
+
+    One constructor per hypervisor-lifecycle event the paper's evaluation
+    counts: VM exits, the view-switch breakpoints and their outcomes, UD2
+    traps and the lazy/instant code recoveries they trigger, frame-cache
+    sharing and copy-on-write breaks, view load/unload, and guest
+    scheduler switches.  Events are plain immutable values; emission cost
+    is paid only when a trace sink is armed (see {!Trace.armed}). *)
+
+type switch_outcome =
+  | Switched  (** EPT directory entries actually installed *)
+  | Skipped  (** same-view optimization: nothing to do *)
+  | Deferred  (** armed at [resume_userspace] (§III-B2) *)
+
+type recovery_kind =
+  | Lazy  (** recovered at the faulting [eip] (Algorithm 1) *)
+  | Instant  (** a misdecodable return target recovered eagerly (Fig. 3) *)
+
+type exit_reason = Exit_breakpoint | Exit_invalid_opcode
+
+type t =
+  | Vm_exit of { reason : exit_reason; addr : int }
+      (** a guest exit reached the hypervisor dispatcher; [addr] is the
+          breakpoint address, or the faulting [eip] for invalid opcodes *)
+  | Breakpoint of { vid : int; addr : int; pid : int; comm : string }
+      (** FACE-CHANGE observed one of its view-switch breakpoints *)
+  | View_switch of {
+      vid : int;
+      from_index : int;
+      to_index : int;
+      outcome : switch_outcome;
+    }
+  | Ud2_trap of { vid : int; eip : int; pid : int; comm : string }
+      (** an invalid-opcode exit handled by the code-recovery path *)
+  | Recovery of { kind : recovery_kind; start : int; stop : int; symbol : string }
+      (** [[start, stop)] of original kernel code filled into the view *)
+  | Frame_share of { frame : int }
+      (** a view page was backed by an existing frame (cache hit) *)
+  | Cow_break of { frame : int; fresh : int }
+      (** first write privatized shared [frame] into [fresh] *)
+  | View_load of { index : int; app : string; pages : int; loaded_bytes : int }
+  | View_unload of { index : int; app : string; cow_breaks : int }
+  | Sched_switch of { vid : int; pid : int; comm : string }
+      (** the guest scheduler switched to a different task *)
+
+type value = Int of int | Str of string
+(** A flattened field for exporters (JSON objects, CSV cells). *)
+
+val outcome_label : switch_outcome -> string
+(** ["switched"], ["skipped"], ["deferred"]. *)
+
+val recovery_label : recovery_kind -> string
+(** ["lazy"], ["instant"]. *)
+
+val reason_label : exit_reason -> string
+(** ["breakpoint"], ["invalid_opcode"]. *)
+
+val kind : t -> string
+(** Stable snake_case tag, e.g. ["view_switch"]. *)
+
+val kinds : string list
+(** Every tag {!kind} can return, in declaration order. *)
+
+val fields : t -> (string * value) list
+(** The event's payload as ordered (name, value) pairs. *)
+
+val pp : Format.formatter -> t -> unit
+(** ["view_switch vid=0 from=0 to=1 outcome=switched"]. *)

@@ -1,0 +1,122 @@
+let schema_version = 1
+
+(* ---------------- trace ---------------- *)
+
+let value_to_json = function
+  | Event.Int i -> Jsonx.Int i
+  | Event.Str s -> Jsonx.String s
+
+let record_to_json (r : Trace.record) =
+  Jsonx.Obj
+    ([
+       ("seq", Jsonx.Int r.Trace.seq);
+       ("cycle", Jsonx.Int r.Trace.cycle);
+       ("kind", Jsonx.String (Event.kind r.Trace.event));
+     ]
+    @ List.map (fun (k, v) -> (k, value_to_json v)) (Event.fields r.Trace.event))
+
+let trace_to_json t =
+  Jsonx.Obj
+    [
+      ("schema_version", Jsonx.Int schema_version);
+      ("emitted", Jsonx.Int (Trace.emitted t));
+      ("dropped", Jsonx.Int (Trace.dropped t));
+      ("events", Jsonx.List (List.map record_to_json (Trace.records t)));
+    ]
+
+let csv_cell s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then begin
+    let b = Buffer.create (String.length s + 2) in
+    Buffer.add_char b '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string b "\"\"" else Buffer.add_char b c)
+      s;
+    Buffer.add_char b '"';
+    Buffer.contents b
+  end
+  else s
+
+let trace_to_csv t =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "seq,cycle,kind,args\n";
+  List.iter
+    (fun (r : Trace.record) ->
+      let args =
+        String.concat ";"
+          (List.map
+             (fun (k, v) ->
+               match v with
+               | Event.Int i -> Printf.sprintf "%s=%d" k i
+               | Event.Str s -> Printf.sprintf "%s=%s" k s)
+             (Event.fields r.Trace.event))
+      in
+      Buffer.add_string b
+        (Printf.sprintf "%d,%d,%s,%s\n" r.Trace.seq r.Trace.cycle
+           (Event.kind r.Trace.event)
+           (csv_cell args)))
+    (Trace.records t);
+  Buffer.contents b
+
+(* ---------------- metrics ---------------- *)
+
+let histogram_to_json (h : Metrics.histogram_snapshot) =
+  Jsonx.Obj
+    [
+      ("count", Jsonx.Int h.Metrics.h_count);
+      ("sum", Jsonx.Int h.Metrics.h_sum);
+      ("max", Jsonx.Int h.Metrics.h_max);
+      ( "buckets",
+        Jsonx.List
+          (List.map
+             (fun (pow2, count) ->
+               Jsonx.Obj [ ("pow2", Jsonx.Int pow2); ("count", Jsonx.Int count) ])
+             h.Metrics.h_buckets) );
+    ]
+
+let metrics_to_json m =
+  let samples = Metrics.snapshot m in
+  let section pick =
+    List.filter_map
+      (fun (s : Metrics.sample) ->
+        Option.map
+          (fun v -> (s.Metrics.subsystem ^ "." ^ s.Metrics.name, v))
+          (pick s.Metrics.value))
+      samples
+  in
+  Jsonx.Obj
+    [
+      ( "counters",
+        Jsonx.Obj
+          (section (function Metrics.Counter v -> Some (Jsonx.Int v) | _ -> None))
+      );
+      ( "gauges",
+        Jsonx.Obj
+          (section (function Metrics.Gauge v -> Some (Jsonx.Int v) | _ -> None)) );
+      ( "histograms",
+        Jsonx.Obj
+          (section (function
+            | Metrics.Histogram h -> Some (histogram_to_json h)
+            | _ -> None)) );
+    ]
+
+let metrics_to_csv m =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "kind,subsystem,name,value,count,sum,max\n";
+  List.iter
+    (fun (s : Metrics.sample) ->
+      match s.Metrics.value with
+      | Metrics.Counter v ->
+          Buffer.add_string b
+            (Printf.sprintf "counter,%s,%s,%d,,,\n" s.Metrics.subsystem
+               s.Metrics.name v)
+      | Metrics.Gauge v ->
+          Buffer.add_string b
+            (Printf.sprintf "gauge,%s,%s,%d,,,\n" s.Metrics.subsystem
+               s.Metrics.name v)
+      | Metrics.Histogram h ->
+          Buffer.add_string b
+            (Printf.sprintf "histogram,%s,%s,,%d,%d,%d\n" s.Metrics.subsystem
+               s.Metrics.name h.Metrics.h_count h.Metrics.h_sum h.Metrics.h_max))
+    (Metrics.snapshot m);
+  Buffer.contents b

@@ -1,0 +1,28 @@
+(** JSON and CSV exporters over the trace sink and the metrics registry.
+
+    Formats are part of the tool surface (golden-tested): keep them
+    stable or bump the [schema_version] constants. *)
+
+val schema_version : int
+
+(** {1 Trace} *)
+
+val record_to_json : Trace.record -> Jsonx.t
+(** [{"seq": …, "cycle": …, "kind": …, <event fields>}]. *)
+
+val trace_to_json : Trace.t -> Jsonx.t
+(** [{"schema_version", "emitted", "dropped", "events": […]}]. *)
+
+val trace_to_csv : Trace.t -> string
+(** Header [seq,cycle,kind,args]; [args] is a [;]-joined [k=v] list,
+    CSV-quoted when needed. *)
+
+(** {1 Metrics} *)
+
+val metrics_to_json : Metrics.t -> Jsonx.t
+(** [{"counters": {…}, "gauges": {…}, "histograms": {…}}] with
+    ["subsystem.name"] keys, in registration order. *)
+
+val metrics_to_csv : Metrics.t -> string
+(** Header [kind,subsystem,name,value,count,sum,max]: counters and gauges
+    fill [value]; histograms fill [count,sum,max]. *)

@@ -1,0 +1,126 @@
+type counter = { mutable c_value : int }
+
+let bucket_count = 62
+
+type histogram = {
+  buckets : int array; (* index = floor(log2 v), clamped *)
+  mutable h_count : int;
+  mutable h_sum : int;
+  mutable h_max : int;
+}
+
+type instrument =
+  | I_counter of counter
+  | I_gauge of (unit -> int) ref
+  | I_histogram of histogram
+
+type registered = { subsystem : string; name : string; inst : instrument }
+
+type t = {
+  by_key : (string, registered) Hashtbl.t;
+  mutable order : registered list; (* reverse registration order *)
+}
+
+let create () = { by_key = Hashtbl.create 64; order = [] }
+let key ~subsystem name = subsystem ^ "." ^ name
+
+let register t ~subsystem name inst =
+  let r = { subsystem; name; inst } in
+  Hashtbl.replace t.by_key (key ~subsystem name) r;
+  t.order <- r :: t.order;
+  r
+
+let counter t ~subsystem name =
+  match Hashtbl.find_opt t.by_key (key ~subsystem name) with
+  | Some { inst = I_counter c; _ } -> c
+  | Some _ -> invalid_arg ("Metrics.counter: key registered as non-counter: " ^ name)
+  | None ->
+      let c = { c_value = 0 } in
+      ignore (register t ~subsystem name (I_counter c));
+      c
+
+let histogram t ~subsystem name =
+  match Hashtbl.find_opt t.by_key (key ~subsystem name) with
+  | Some { inst = I_histogram h; _ } -> h
+  | Some _ ->
+      invalid_arg ("Metrics.histogram: key registered as non-histogram: " ^ name)
+  | None ->
+      let h =
+        { buckets = Array.make bucket_count 0; h_count = 0; h_sum = 0; h_max = 0 }
+      in
+      ignore (register t ~subsystem name (I_histogram h));
+      h
+
+let gauge t ~subsystem name f =
+  match Hashtbl.find_opt t.by_key (key ~subsystem name) with
+  | Some { inst = I_gauge r; _ } -> r := f
+  | Some _ -> invalid_arg ("Metrics.gauge: key registered as non-gauge: " ^ name)
+  | None -> ignore (register t ~subsystem name (I_gauge (ref f)))
+
+let incr c = c.c_value <- c.c_value + 1
+let add c n = c.c_value <- c.c_value + n
+let value c = c.c_value
+let reset c = c.c_value <- 0
+
+let bucket_of v =
+  if v <= 1 then 0
+  else begin
+    let i = ref 0 and v = ref v in
+    while !v > 1 do
+      v := !v lsr 1;
+      i := !i + 1
+    done;
+    min !i (bucket_count - 1)
+  end
+
+let observe h v =
+  let v = max 0 v in
+  h.buckets.(bucket_of v) <- h.buckets.(bucket_of v) + 1;
+  h.h_count <- h.h_count + 1;
+  h.h_sum <- h.h_sum + v;
+  if v > h.h_max then h.h_max <- v
+
+let reset_histogram h =
+  Array.fill h.buckets 0 bucket_count 0;
+  h.h_count <- 0;
+  h.h_sum <- 0;
+  h.h_max <- 0
+
+type histogram_snapshot = {
+  h_count : int;
+  h_sum : int;
+  h_max : int;
+  h_buckets : (int * int) list;
+}
+
+type sample_value =
+  | Counter of int
+  | Gauge of int
+  | Histogram of histogram_snapshot
+
+type sample = { subsystem : string; name : string; value : sample_value }
+
+let snapshot_histogram (h : histogram) =
+  let buckets = ref [] in
+  for i = bucket_count - 1 downto 0 do
+    if h.buckets.(i) > 0 then buckets := (i, h.buckets.(i)) :: !buckets
+  done;
+  { h_count = h.h_count; h_sum = h.h_sum; h_max = h.h_max; h_buckets = !buckets }
+
+let snapshot t =
+  List.rev_map
+    (fun r ->
+      let value =
+        match r.inst with
+        | I_counter c -> Counter c.c_value
+        | I_gauge f -> Gauge (!f ())
+        | I_histogram h -> Histogram (snapshot_histogram h)
+      in
+      { subsystem = r.subsystem; name = r.name; value })
+    t.order
+
+let find t k =
+  match Hashtbl.find_opt t.by_key k with
+  | Some { inst = I_counter c; _ } -> Some c.c_value
+  | Some { inst = I_gauge f; _ } -> Some (!f ())
+  | Some { inst = I_histogram _; _ } | None -> None

@@ -1,0 +1,61 @@
+(** The metrics registry: named counters, gauges, and cycle histograms.
+
+    Counters are find-or-create and owned by the instrumented subsystem:
+    an increment is one mutable-field write, so hot paths (VM-exit
+    dispatch, the cycle-charging path) pay no more than they did with a
+    plain [mutable int].  Gauges are read-through callbacks over state a
+    subsystem already maintains (live frames, loaded views).  Histograms
+    bucket observations by power of two — cheap enough for per-charge
+    cycle costs.
+
+    Keys are ["subsystem.name"]; registration order is preserved in
+    {!snapshot} so exports are stable. *)
+
+type t
+type counter
+type histogram
+
+val create : unit -> t
+
+val counter : t -> subsystem:string -> string -> counter
+(** Find or create.  A found counter keeps its value; use {!reset} when a
+    fresh owner (a re-attached hypervisor) takes it over. *)
+
+val histogram : t -> subsystem:string -> string -> histogram
+
+val gauge : t -> subsystem:string -> string -> (unit -> int) -> unit
+(** Register (or replace) a read-through gauge. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val value : counter -> int
+val reset : counter -> unit
+
+val observe : histogram -> int -> unit
+(** Negative observations are clamped to 0. *)
+
+val reset_histogram : histogram -> unit
+
+(** {1 Snapshots} *)
+
+type histogram_snapshot = {
+  h_count : int;
+  h_sum : int;
+  h_max : int;
+  h_buckets : (int * int) list;
+      (** (pow2, count): observations with [2^pow2 <= v < 2^(pow2+1)]
+          (pow2 0 also holds 0 and 1); zero buckets omitted *)
+}
+
+type sample_value =
+  | Counter of int
+  | Gauge of int
+  | Histogram of histogram_snapshot
+
+type sample = { subsystem : string; name : string; value : sample_value }
+
+val snapshot : t -> sample list
+(** All registered instruments, in registration order. *)
+
+val find : t -> string -> int option
+(** Value of the counter or gauge registered under ["subsystem.name"]. *)

@@ -1,0 +1,8 @@
+type t = { trace : Trace.t; metrics : Metrics.t }
+
+let create () = { trace = Trace.create (); metrics = Metrics.create () }
+let trace t = t.trace
+let metrics t = t.metrics
+let armed t = Trace.armed t.trace
+let emit t e = Trace.emit t.trace e
+let set_clock t f = Trace.set_clock t.trace f

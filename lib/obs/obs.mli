@@ -1,0 +1,21 @@
+(** One observability hub per guest: a {!Trace} sink and a {!Metrics}
+    registry, created by [Os.create] and shared by every layer attached
+    to that guest (hypervisor, FACE-CHANGE, views, frame cache).
+
+    Subsystems register counters/gauges on {!metrics} at attach time and
+    emit {!Event} records through {!trace}; [Stats.capture] is a
+    read-only projection of the registry. *)
+
+type t
+
+val create : unit -> t
+val trace : t -> Trace.t
+val metrics : t -> Metrics.t
+
+val armed : t -> bool
+(** Shorthand for [Trace.armed (trace t)] — the emission guard. *)
+
+val emit : t -> Event.t -> unit
+(** Shorthand for [Trace.emit (trace t)]. *)
+
+val set_clock : t -> (unit -> int) -> unit

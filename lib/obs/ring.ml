@@ -1,0 +1,43 @@
+type 'a t = {
+  buf : 'a option array;
+  mutable head : int; (* slot the next push writes *)
+  mutable length : int;
+  mutable pushed : int;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Ring.create: capacity must be >= 1";
+  { buf = Array.make capacity None; head = 0; length = 0; pushed = 0 }
+
+let capacity t = Array.length t.buf
+let length t = t.length
+let pushed t = t.pushed
+let dropped t = t.pushed - t.length
+
+let push t x =
+  t.buf.(t.head) <- Some x;
+  t.head <- (t.head + 1) mod Array.length t.buf;
+  if t.length < Array.length t.buf then t.length <- t.length + 1;
+  t.pushed <- t.pushed + 1
+
+let iter f t =
+  let cap = Array.length t.buf in
+  let start = (t.head - t.length + cap) mod cap in
+  for i = 0 to t.length - 1 do
+    match t.buf.((start + i) mod cap) with Some x -> f x | None -> ()
+  done
+
+let to_list t =
+  let acc = ref [] in
+  iter (fun x -> acc := x :: !acc) t;
+  List.rev !acc
+
+let last t =
+  if t.length = 0 then None
+  else t.buf.((t.head - 1 + Array.length t.buf) mod Array.length t.buf)
+
+let clear t =
+  Array.fill t.buf 0 (Array.length t.buf) None;
+  t.head <- 0;
+  t.length <- 0;
+  t.pushed <- 0

@@ -1,0 +1,35 @@
+(** A bounded ring buffer.
+
+    [push] is O(1) and never fails: once [capacity] items are held, each
+    further push overwrites the oldest item and increments the {!dropped}
+    counter, so a long-running trace keeps the most recent window while
+    still reporting how much history it shed. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** [capacity >= 1], or [Invalid_argument]. *)
+
+val capacity : 'a t -> int
+val length : 'a t -> int
+(** Items currently held ([<= capacity]). *)
+
+val push : 'a t -> 'a -> unit
+
+val pushed : 'a t -> int
+(** Total number of items ever pushed. *)
+
+val dropped : 'a t -> int
+(** Items overwritten before being read ([pushed - length]). *)
+
+val to_list : 'a t -> 'a list
+(** Held items, oldest first. *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+(** Oldest first. *)
+
+val last : 'a t -> 'a option
+(** The most recently pushed item. *)
+
+val clear : 'a t -> unit
+(** Drop all held items and reset the pushed/dropped counters. *)

@@ -1,0 +1,47 @@
+type record = { seq : int; cycle : int; event : Event.t }
+
+type t = {
+  mutable ring : record Ring.t option;
+  mutable subscribers : (record -> unit) list;
+  mutable clock : unit -> int;
+  mutable seq : int;
+  mutable armed : bool;
+}
+
+let create () =
+  { ring = None; subscribers = []; clock = (fun () -> 0); seq = 0; armed = false }
+
+let armed t = t.armed
+let set_clock t f = t.clock <- f
+let refresh_armed t = t.armed <- t.ring <> None || t.subscribers <> []
+
+let arm ?(capacity = 4096) t =
+  t.ring <- Some (Ring.create ~capacity);
+  refresh_armed t
+
+let disarm t =
+  t.ring <- None;
+  refresh_armed t
+
+let subscribe t f =
+  t.subscribers <- t.subscribers @ [ f ];
+  refresh_armed t
+
+let clear_subscribers t =
+  t.subscribers <- [];
+  refresh_armed t
+
+let emit t event =
+  if t.armed then begin
+    let r = { seq = t.seq; cycle = t.clock (); event } in
+    t.seq <- t.seq + 1;
+    (match t.ring with Some ring -> Ring.push ring r | None -> ());
+    List.iter (fun f -> f r) t.subscribers
+  end
+
+let records t = match t.ring with Some r -> Ring.to_list r | None -> []
+let emitted t = t.seq
+let dropped t = match t.ring with Some r -> Ring.dropped r | None -> 0
+
+let pp_record ppf r =
+  Format.fprintf ppf "[%10d]  #%-4d %a" r.cycle r.seq Event.pp r.event

@@ -1,0 +1,54 @@
+(** The event trace sink: a bounded ring of timestamped records plus
+    pluggable subscribers.
+
+    The sink starts disarmed — no ring, no subscribers — and emitters are
+    expected to guard event construction with {!armed}, so an
+    uninstrumented run allocates nothing on the hot path:
+
+    {[ if Trace.armed sink then Trace.emit sink (Event.Vm_exit ...) ]}
+
+    Arming installs a ring buffer (the most recent window survives, older
+    records are counted as dropped); subscribing attaches a callback run
+    synchronously on every record.  Timestamps come from the clock
+    callback — the guest cycle counter, once an [Os] owns the sink. *)
+
+type record = { seq : int; cycle : int; event : Event.t }
+(** [seq] numbers every emitted record from 0, including ones the ring
+    has since dropped. *)
+
+type t
+
+val create : unit -> t
+
+val armed : t -> bool
+(** True iff a ring is installed or at least one subscriber is attached.
+    Emitters check this before building an event. *)
+
+val set_clock : t -> (unit -> int) -> unit
+(** Install the timestamp source (default: constantly 0). *)
+
+val arm : ?capacity:int -> t -> unit
+(** Install a fresh ring (default capacity 4096), clearing any previous
+    one. *)
+
+val disarm : t -> unit
+(** Remove the ring.  Subscribers stay attached. *)
+
+val subscribe : t -> (record -> unit) -> unit
+
+val clear_subscribers : t -> unit
+
+val emit : t -> Event.t -> unit
+(** Stamp and record the event.  A no-op when not armed. *)
+
+val records : t -> record list
+(** Ring contents, oldest first ([[]] when disarmed). *)
+
+val emitted : t -> int
+(** Records emitted since creation (armed spells only). *)
+
+val dropped : t -> int
+(** Records the current ring has overwritten. *)
+
+val pp_record : Format.formatter -> record -> unit
+(** ["[      1234]  #7 view_switch vid=0 ..."]. *)

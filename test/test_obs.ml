@@ -1,0 +1,407 @@
+(* The observability layer: ring buffer mechanics, the hand-rolled JSON
+   codec, golden exporter output, and the invariant that ties it all
+   together — event-derived counts equal the Stats.capture projection of
+   the metrics registry on a full scheduler run. *)
+
+module Ring = Fc_obs.Ring
+module Trace = Fc_obs.Trace
+module Event = Fc_obs.Event
+module Metrics = Fc_obs.Metrics
+module Obs = Fc_obs.Obs
+module Jsonx = Fc_obs.Jsonx
+module Export = Fc_obs.Export
+module Action = Fc_machine.Action
+module Process = Fc_machine.Process
+module Os = Fc_machine.Os
+module Image = Fc_kernel.Image
+module Hyp = Fc_hypervisor.Hypervisor
+module Profiler = Fc_profiler.Profiler
+module Facechange = Fc_core.Facechange
+module Stats = Fc_core.Stats
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+let image = lazy (Image.build_exn ())
+
+(* ------------------------------------------------------------------ *)
+(* Ring buffer                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_ring_order () =
+  let r = Ring.create ~capacity:4 in
+  check_int "empty length" 0 (Ring.length r);
+  check_bool "no last" true (Ring.last r = None);
+  List.iter (Ring.push r) [ 1; 2; 3 ];
+  check_int "length" 3 (Ring.length r);
+  check_int "pushed" 3 (Ring.pushed r);
+  check_int "dropped" 0 (Ring.dropped r);
+  Alcotest.(check (list int)) "oldest first" [ 1; 2; 3 ] (Ring.to_list r);
+  check_bool "last" true (Ring.last r = Some 3)
+
+let test_ring_wraparound () =
+  let r = Ring.create ~capacity:4 in
+  for i = 1 to 10 do
+    Ring.push r i
+  done;
+  check_int "length capped" 4 (Ring.length r);
+  check_int "pushed counts everything" 10 (Ring.pushed r);
+  check_int "dropped = pushed - held" 6 (Ring.dropped r);
+  Alcotest.(check (list int)) "most recent window" [ 7; 8; 9; 10 ]
+    (Ring.to_list r);
+  let seen = ref [] in
+  Ring.iter (fun x -> seen := x :: !seen) r;
+  Alcotest.(check (list int)) "iter oldest first" [ 7; 8; 9; 10 ]
+    (List.rev !seen)
+
+let test_ring_clear_and_capacity () =
+  let r = Ring.create ~capacity:2 in
+  List.iter (Ring.push r) [ 1; 2; 3 ];
+  Ring.clear r;
+  check_int "cleared" 0 (Ring.length r);
+  check_int "counters reset" 0 (Ring.pushed r);
+  check_int "dropped reset" 0 (Ring.dropped r);
+  Ring.push r 9;
+  Alcotest.(check (list int)) "usable after clear" [ 9 ] (Ring.to_list r);
+  Alcotest.check_raises "capacity 0 rejected"
+    (Invalid_argument "Ring.create: capacity must be >= 1") (fun () ->
+      ignore (Ring.create ~capacity:0))
+
+(* ------------------------------------------------------------------ *)
+(* Jsonx                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_json_golden () =
+  let j =
+    Jsonx.Obj
+      [
+        ("a", Jsonx.Int 1);
+        ("b", Jsonx.List [ Jsonx.Bool true; Jsonx.Null ]);
+        ("s", Jsonx.String "he\"llo\n");
+        ("f", Jsonx.Float 1.5);
+      ]
+  in
+  check_string "compact form"
+    "{\"a\":1,\"b\":[true,null],\"s\":\"he\\\"llo\\n\",\"f\":1.5}"
+    (Jsonx.to_string j)
+
+let test_json_nonfinite_is_null () =
+  check_string "nan" "null" (Jsonx.to_string (Jsonx.Float Float.nan));
+  check_string "inf" "null" (Jsonx.to_string (Jsonx.Float Float.infinity));
+  check_string "neg inf" "null"
+    (Jsonx.to_string (Jsonx.Float Float.neg_infinity));
+  (* inside a structure the document must stay valid JSON *)
+  let doc = Jsonx.to_string (Jsonx.Obj [ ("x", Jsonx.Float Float.nan) ]) in
+  check_string "embedded" "{\"x\":null}" doc;
+  check_bool "still parses" true (Result.is_ok (Jsonx.of_string doc))
+
+let test_json_roundtrip () =
+  let j =
+    Jsonx.Obj
+      [
+        ("neg", Jsonx.Int (-42));
+        ("pi", Jsonx.Float 3.141592653589793);
+        ("nested", Jsonx.Obj [ ("l", Jsonx.List [ Jsonx.String "x=y,z" ]) ]);
+        ("empty_obj", Jsonx.Obj []);
+        ("empty_list", Jsonx.List []);
+      ]
+  in
+  (match Jsonx.of_string (Jsonx.to_string j) with
+  | Ok j' -> check_bool "roundtrip" true (j = j')
+  | Error e -> Alcotest.failf "roundtrip parse failed: %s" e);
+  (* pretty form parses back to the same value too *)
+  match Jsonx.of_string (Jsonx.to_string ~pretty:true j) with
+  | Ok j' -> check_bool "pretty roundtrip" true (j = j')
+  | Error e -> Alcotest.failf "pretty parse failed: %s" e
+
+let test_json_parse_escapes () =
+  (match Jsonx.of_string "\"\\u0041\\t\\\\\"" with
+  | Ok (Jsonx.String s) -> check_string "escapes" "A\t\\" s
+  | Ok _ | Error _ -> Alcotest.fail "escape parse failed");
+  check_bool "truncated doc rejected" true
+    (Result.is_error (Jsonx.of_string "{\"a\": 1"));
+  check_bool "trailing garbage rejected" true
+    (Result.is_error (Jsonx.of_string "1 2"));
+  check_bool "bare word rejected" true (Result.is_error (Jsonx.of_string "nope"))
+
+let test_json_accessors () =
+  let j =
+    Jsonx.Obj
+      [ ("a", Jsonx.Obj [ ("b", Jsonx.Int 7) ]); ("f", Jsonx.Float 2.0) ]
+  in
+  check_bool "path hit" true (Jsonx.path j [ "a"; "b" ] = Some (Jsonx.Int 7));
+  check_bool "path miss" true (Jsonx.path j [ "a"; "zz" ] = None);
+  check_bool "int of integral float" true
+    (Option.bind (Jsonx.member "f" j) Jsonx.to_int = Some 2)
+
+(* ------------------------------------------------------------------ *)
+(* Exporters (golden)                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let golden_trace () =
+  let t = Trace.create () in
+  let now = ref 100 in
+  Trace.set_clock t (fun () -> !now);
+  Trace.arm ~capacity:8 t;
+  Trace.emit t
+    (Event.View_switch
+       { vid = 0; from_index = 0; to_index = 2; outcome = Event.Switched });
+  now := 250;
+  Trace.emit t
+    (Event.Recovery
+       {
+         kind = Event.Lazy;
+         start = 0x1000;
+         stop = 0x1040;
+         symbol = "0x1000 <foo>";
+       });
+  t
+
+let test_export_trace_json_golden () =
+  check_string "trace json"
+    ("{\"schema_version\":1,\"emitted\":2,\"dropped\":0,\"events\":["
+   ^ "{\"seq\":0,\"cycle\":100,\"kind\":\"view_switch\",\"vid\":0,\"from\":0,\"to\":2,\"outcome\":\"switched\"},"
+   ^ "{\"seq\":1,\"cycle\":250,\"kind\":\"recovery\",\"recovery\":\"lazy\",\"start\":4096,\"stop\":4160,\"bytes\":64,\"symbol\":\"0x1000 <foo>\"}"
+   ^ "]}")
+    (Jsonx.to_string (Export.trace_to_json (golden_trace ())))
+
+let test_export_trace_csv_golden () =
+  check_string "trace csv"
+    ("seq,cycle,kind,args\n"
+   ^ "0,100,view_switch,vid=0;from=0;to=2;outcome=switched\n"
+   ^ "1,250,recovery,recovery=lazy;start=4096;stop=4160;bytes=64;symbol=0x1000 <foo>\n"
+    )
+    (Export.trace_to_csv (golden_trace ()))
+
+let golden_metrics () =
+  let m = Metrics.create () in
+  let c = Metrics.counter m ~subsystem:"fc" "recoveries" in
+  Metrics.add c 3;
+  Metrics.gauge m ~subsystem:"os" "cycles" (fun () -> 500);
+  let h = Metrics.histogram m ~subsystem:"hyp" "charge_cycles" in
+  List.iter (Metrics.observe h) [ 1; 2; 300 ];
+  m
+
+let test_export_metrics_json_golden () =
+  check_string "metrics json"
+    ("{\"counters\":{\"fc.recoveries\":3},"
+   ^ "\"gauges\":{\"os.cycles\":500},"
+   ^ "\"histograms\":{\"hyp.charge_cycles\":{\"count\":3,\"sum\":303,\"max\":300,"
+   ^ "\"buckets\":[{\"pow2\":0,\"count\":1},{\"pow2\":1,\"count\":1},{\"pow2\":8,\"count\":1}]}}}"
+    )
+    (Jsonx.to_string (Export.metrics_to_json (golden_metrics ())))
+
+let test_export_metrics_csv_golden () =
+  check_string "metrics csv"
+    ("kind,subsystem,name,value,count,sum,max\n"
+   ^ "counter,fc,recoveries,3,,,\n" ^ "gauge,os,cycles,500,,,\n"
+   ^ "histogram,hyp,charge_cycles,,3,303,300\n")
+    (Export.metrics_to_csv (golden_metrics ()))
+
+let test_export_csv_quoting () =
+  let t = Trace.create () in
+  Trace.arm t;
+  Trace.emit t
+    (Event.Sched_switch { vid = 0; pid = 7; comm = "a,b\"c" });
+  let csv = Export.trace_to_csv t in
+  check_string "quoted args" "seq,cycle,kind,args\n0,0,sched_switch,\"vid=0;pid=7;comm=a,b\"\"c\"\n" csv
+
+(* ------------------------------------------------------------------ *)
+(* Trace sink mechanics                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_trace_disarmed_records_nothing () =
+  let t = Trace.create () in
+  check_bool "starts disarmed" false (Trace.armed t);
+  Trace.emit t (Event.Frame_share { frame = 1 });
+  check_int "nothing recorded" 0 (Trace.emitted t);
+  check_bool "no records" true (Trace.records t = []);
+  Trace.arm ~capacity:2 t;
+  check_bool "armed" true (Trace.armed t);
+  List.iter (fun f -> Trace.emit t (Event.Frame_share { frame = f })) [ 1; 2; 3 ];
+  check_int "emitted" 3 (Trace.emitted t);
+  check_int "ring dropped oldest" 1 (Trace.dropped t);
+  Trace.disarm t;
+  check_bool "disarmed again" false (Trace.armed t)
+
+let test_trace_subscribers () =
+  let t = Trace.create () in
+  let seen = ref [] in
+  Trace.subscribe t (fun r -> seen := r.Trace.event :: !seen);
+  check_bool "subscriber arms the sink" true (Trace.armed t);
+  Trace.emit t (Event.Frame_share { frame = 5 });
+  check_int "delivered" 1 (List.length !seen);
+  check_bool "no ring yet" true (Trace.records t = []);
+  Trace.clear_subscribers t;
+  check_bool "disarmed after clear" false (Trace.armed t)
+
+(* ------------------------------------------------------------------ *)
+(* Events == Stats.capture on a real run                               *)
+(* ------------------------------------------------------------------ *)
+
+let toplike_script n =
+  Action.repeat n
+    [
+      Action.Syscall "open:proc";
+      Action.Syscall "read:proc:stat";
+      Action.Syscall "close";
+      Action.Syscall "write:tty";
+      Action.Compute 20_000;
+    ]
+  @ [ Action.Exit ]
+
+let toplike_config =
+  lazy
+    (Profiler.profile_app (Lazy.force image) ~name:"toplike"
+       (toplike_script 24))
+
+let test_events_match_stats () =
+  (* the runtime clocksource differs from the profiled one, so the run is
+     guaranteed to exercise the UD2 recovery path too *)
+  let os = Os.create ~config:Os.runtime_config (Lazy.force image) in
+  (* subscribe before anything attaches so every emission is counted *)
+  let counts = Hashtbl.create 16 in
+  let bump k = Hashtbl.replace counts k (1 + Option.value ~default:0 (Hashtbl.find_opt counts k)) in
+  let recovered_bytes = ref 0 in
+  Trace.subscribe
+    (Obs.trace (Os.obs os))
+    (fun r ->
+      (match r.Trace.event with
+      | Event.View_switch { outcome; _ } ->
+          bump ("switch:" ^ Event.outcome_label outcome)
+      | Event.Vm_exit { reason; _ } ->
+          bump ("exit:" ^ Event.reason_label reason)
+      | Event.Recovery { kind; start; stop; _ } ->
+          recovered_bytes := !recovered_bytes + (stop - start);
+          bump ("recovery:" ^ Event.recovery_label kind)
+      | e -> bump (Event.kind e));
+      ());
+  let hyp = Hyp.attach os in
+  let fc = Facechange.enable hyp in
+  let (_ : int) = Facechange.load_view fc (Lazy.force toplike_config) in
+  let p = Os.spawn os ~name:"toplike" (toplike_script 6) in
+  let q =
+    Os.spawn os ~name:"idler"
+      (Action.repeat 8 [ Action.Compute 5_000 ] @ [ Action.Exit ])
+  in
+  Os.run os;
+  check_bool "both completed" true
+    (Process.is_exited p && Process.is_exited q);
+  let n k = Option.value ~default:0 (Hashtbl.find_opt counts k) in
+  let s = Stats.capture fc in
+  check_bool "run produced switches" true (s.Stats.view_switches > 0);
+  check_bool "run produced recoveries" true (s.Stats.recoveries > 0);
+  check_int "switched events" s.Stats.view_switches (n "switch:switched");
+  check_int "skipped events" s.Stats.switches_skipped (n "switch:skipped");
+  check_int "deferred events" s.Stats.switches_deferred (n "switch:deferred");
+  check_int "breakpoint exits" s.Stats.breakpoint_exits (n "exit:breakpoint");
+  check_int "invalid opcode exits" s.Stats.invalid_opcode_exits
+    (n "exit:invalid_opcode");
+  check_int "ud2 traps = handled invalid opcodes" s.Stats.invalid_opcode_exits
+    (n "ud2_trap");
+  check_int "lazy recoveries" s.Stats.recoveries (n "recovery:lazy");
+  check_int "recovered bytes" s.Stats.recovered_bytes !recovered_bytes;
+  check_int "cow breaks" s.Stats.cow_breaks (n "cow_break");
+  check_int "sched switches" s.Stats.context_switches (n "sched_switch");
+  check_int "view loads" s.Stats.views_loaded (n "view_load")
+
+let test_stats_json_valid_and_complete () =
+  let os = Os.create (Lazy.force image) in
+  let hyp = Hyp.attach os in
+  let fc = Facechange.enable hyp in
+  (* empty run: nothing executed, divisions must stay finite *)
+  let s = Stats.capture fc in
+  check_int "no cycles" 0 s.Stats.guest_cycles;
+  Alcotest.(check (float 0.)) "overhead guarded" 0. (Stats.overhead_fraction s);
+  let doc = Jsonx.to_string (Stats.to_json s) in
+  check_bool "no nan leaks" true (Result.is_ok (Jsonx.of_string doc));
+  (* every Stats field appears in the JSON under its own name *)
+  match Jsonx.of_string doc with
+  | Error e -> Alcotest.failf "stats json: %s" e
+  | Ok j ->
+      List.iter
+        (fun (k, v) ->
+          match Option.bind (Jsonx.member k j) Jsonx.to_int with
+          | Some jv -> check_int k v jv
+          | None -> Alcotest.failf "missing stats field %s" k)
+        (Stats.fields s);
+      check_bool "overhead present" true
+        (Jsonx.member "overhead_fraction" j <> None)
+
+let test_metrics_export_covers_registry () =
+  (* the exporters must see exactly what the registry sees, on a guest
+     that actually ran *)
+  let os = Os.create (Lazy.force image) in
+  let hyp = Hyp.attach os in
+  let fc = Facechange.enable hyp in
+  let (_ : int) = Facechange.load_view fc (Lazy.force toplike_config) in
+  let (_ : Process.t) = Os.spawn os ~name:"toplike" (toplike_script 3) in
+  Os.run os;
+  let m = Obs.metrics (Os.obs os) in
+  let j = Export.metrics_to_json m in
+  let s = Stats.capture fc in
+  let get key =
+    match Option.bind (Jsonx.path j [ "counters"; key ]) Jsonx.to_int with
+    | Some v -> v
+    | None -> (
+        match Option.bind (Jsonx.path j [ "gauges"; key ]) Jsonx.to_int with
+        | Some v -> v
+        | None -> Alcotest.failf "metric %s missing from export" key)
+  in
+  check_int "fc.view_switches" s.Stats.view_switches (get "fc.view_switches");
+  check_int "fc.recoveries" s.Stats.recoveries (get "fc.recoveries");
+  check_int "os.cycles" s.Stats.guest_cycles (get "os.cycles");
+  check_int "hyp.cycles_charged" s.Stats.hypervisor_cycles
+    (get "hyp.cycles_charged");
+  check_int "mem gauge tracks phys" (Fc_mem.Phys_mem.live_frames (Os.phys os))
+    (get "mem.live_frames")
+
+let suites =
+  [
+    ( "obs-ring",
+      [
+        Alcotest.test_case "push order and counters" `Quick test_ring_order;
+        Alcotest.test_case "wraparound keeps newest, counts drops" `Quick
+          test_ring_wraparound;
+        Alcotest.test_case "clear resets; capacity validated" `Quick
+          test_ring_clear_and_capacity;
+      ] );
+    ( "obs-json",
+      [
+        Alcotest.test_case "golden serialization" `Quick test_json_golden;
+        Alcotest.test_case "non-finite floats emit null" `Quick
+          test_json_nonfinite_is_null;
+        Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+        Alcotest.test_case "escape parsing and rejects" `Quick
+          test_json_parse_escapes;
+        Alcotest.test_case "accessors" `Quick test_json_accessors;
+      ] );
+    ( "obs-export",
+      [
+        Alcotest.test_case "trace json golden" `Quick
+          test_export_trace_json_golden;
+        Alcotest.test_case "trace csv golden" `Quick
+          test_export_trace_csv_golden;
+        Alcotest.test_case "metrics json golden" `Quick
+          test_export_metrics_json_golden;
+        Alcotest.test_case "metrics csv golden" `Quick
+          test_export_metrics_csv_golden;
+        Alcotest.test_case "csv quoting" `Quick test_export_csv_quoting;
+      ] );
+    ( "obs-trace",
+      [
+        Alcotest.test_case "disarmed sink records nothing" `Quick
+          test_trace_disarmed_records_nothing;
+        Alcotest.test_case "subscribers arm and receive" `Quick
+          test_trace_subscribers;
+      ] );
+    ( "obs-invariants",
+      [
+        Alcotest.test_case "events match Stats.capture" `Quick
+          test_events_match_stats;
+        Alcotest.test_case "stats json is valid and complete" `Quick
+          test_stats_json_valid_and_complete;
+        Alcotest.test_case "metrics export covers the registry" `Quick
+          test_metrics_export_covers_registry;
+      ] );
+  ]
