@@ -1,12 +1,17 @@
-(* CI drift gate over the bench artifact.
+(* CI drift gate over the bench artifacts.
 
-     bench/check.exe [BENCH_results.json]
+     bench/check.exe [BENCH_results.json [BENCH_timeline.json]]
 
-   Fails (exit 1) when the artifact is malformed, a required metric key
+   Fails (exit 1) when an artifact is malformed, a required metric key
    is missing, or a pinned deterministic counter (switch / recovery
    counts from the smoke run and the figure experiments) drifts from the
    seed values recorded below.  The simulation is deterministic, so any
-   drift is a behavior change that must be re-pinned deliberately. *)
+   drift is a behavior change that must be re-pinned deliberately.
+
+   The timeline artifact (Chrome trace-event JSON from the smoke run) is
+   checked structurally: it parses, has events, every span E matches the
+   innermost open B on its (pid, tid) track, and the per-app counters
+   embedded in its stats section sum to the matching globals. *)
 
 module J = Fc_obs.Jsonx
 
@@ -126,38 +131,125 @@ let check_finite j =
       [ "results"; "fig7"; "fc_capacity" ];
     ]
 
+(* ---------------- timeline artifact ---------------- *)
+
+let check_timeline j =
+  let events =
+    match J.path j [ "traceEvents" ] with
+    | Some (J.List evs) -> evs
+    | Some _ | None ->
+        fail "timeline: traceEvents missing or not a list";
+        []
+  in
+  if events = [] then fail "timeline: traceEvents is empty";
+  (* balanced, well-nested spans: per (pid, tid) track, every E must
+     close the innermost open B of the same name *)
+  let stacks : (int * int, string list) Hashtbl.t = Hashtbl.create 8 in
+  let field e k = Option.bind (J.path e [ k ]) J.to_int in
+  let name e =
+    match J.path e [ "name" ] with Some (J.String s) -> s | _ -> ""
+  in
+  List.iter
+    (fun e ->
+      let ph = match J.path e [ "ph" ] with Some (J.String s) -> s | _ -> "" in
+      match (ph, field e "pid", field e "tid") with
+      | "B", Some pid, Some tid ->
+          let k = (pid, tid) in
+          let st = Option.value ~default:[] (Hashtbl.find_opt stacks k) in
+          Hashtbl.replace stacks k (name e :: st)
+      | "E", Some pid, Some tid -> (
+          let k = (pid, tid) in
+          match Hashtbl.find_opt stacks k with
+          | Some (top :: rest) when String.equal top (name e) ->
+              Hashtbl.replace stacks k rest
+          | Some (top :: _) ->
+              fail "timeline: E %s crosses open span %s on (%d,%d)" (name e)
+                top pid tid
+          | Some [] | None ->
+              fail "timeline: E %s without an open B on (%d,%d)" (name e) pid
+                tid)
+      | _ -> ())
+    events;
+  Hashtbl.iter
+    (fun (pid, tid) st ->
+      if st <> [] then
+        fail "timeline: %d span(s) left open on (%d,%d): %s" (List.length st)
+          pid tid (String.concat "," st))
+    stacks;
+  (* per-app attribution must sum to the globals captured in the same
+     stats snapshot *)
+  let stats = J.path j [ "stats" ] in
+  match stats with
+  | None -> fail "timeline: stats section missing"
+  | Some stats -> (
+      match J.path stats [ "per_app" ] with
+      | Some (J.Obj apps) ->
+          let sum field =
+            List.fold_left
+              (fun acc (_, a) ->
+                acc + Option.value ~default:0 (Option.bind (J.path a [ field ]) J.to_int))
+              0 apps
+          in
+          List.iter
+            (fun (app_field, global_field) ->
+              let expected =
+                Option.value ~default:0
+                  (Option.bind (J.path stats [ global_field ]) J.to_int)
+              in
+              let got = sum app_field in
+              if got <> expected then
+                fail "timeline: per-app %s sums to %d, global %s is %d"
+                  app_field got global_field expected)
+            [
+              ("cycles_charged", "hypervisor_cycles");
+              ("view_switches", "view_switches");
+              ("recoveries", "recoveries");
+              ("recovered_bytes", "recovered_bytes");
+              ("cow_breaks", "cow_breaks");
+            ]
+      | Some _ | None -> fail "timeline: stats.per_app missing")
+
+let read_file path =
+  match open_in_bin path with
+  | exception Sys_error e ->
+      Printf.eprintf "check: cannot open %s: %s\n" path e;
+      exit 1
+  | ic ->
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      s
+
 let () =
   let path =
     if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH_results.json"
   in
-  let doc =
-    match open_in_bin path with
-    | exception Sys_error e ->
-        Printf.eprintf "check: cannot open %s: %s\n" path e;
-        exit 1
-    | ic ->
-        let n = in_channel_length ic in
-        let s = really_input_string ic n in
-        close_in ic;
-        s
+  let timeline_path =
+    if Array.length Sys.argv > 2 then Sys.argv.(2) else "BENCH_timeline.json"
   in
-  match J.of_string doc with
+  (match J.of_string (read_file path) with
   | Error e ->
       Printf.eprintf "check: %s is not valid JSON: %s\n" path e;
       exit 1
-  | Ok j -> (
+  | Ok j ->
       check_required j;
       check_pinned j;
-      check_finite j;
-      match List.rev !failures with
-      | [] ->
-          Printf.printf
-            "check: %s ok (%d required keys, %d pinned values)\n" path
-            (List.length required_keys)
-            (List.length pinned_ints + List.length pinned_bools);
-          exit 0
-      | fs ->
-          List.iter (Printf.eprintf "check: %s\n") fs;
-          Printf.eprintf "check: %s FAILED (%d problem(s))\n" path
-            (List.length fs);
-          exit 1)
+      check_finite j);
+  (match J.of_string (read_file timeline_path) with
+  | Error e ->
+      Printf.eprintf "check: %s is not valid JSON: %s\n" timeline_path e;
+      exit 1
+  | Ok j -> check_timeline j);
+  match List.rev !failures with
+  | [] ->
+      Printf.printf
+        "check: %s + %s ok (%d required keys, %d pinned values, timeline \
+         balanced)\n"
+        path timeline_path
+        (List.length required_keys)
+        (List.length pinned_ints + List.length pinned_bools);
+      exit 0
+  | fs ->
+      List.iter (Printf.eprintf "check: %s\n") fs;
+      Printf.eprintf "check: FAILED (%d problem(s))\n" (List.length fs);
+      exit 1

@@ -153,6 +153,9 @@ let smoke profiles =
   let image = Profiles.image profiles in
   let app = Fc_apps.App.find_exn "top" in
   let os = Fc_machine.Os.create ~config:(Fc_apps.App.os_config app) image in
+  (* arm before attach so view-build spans land in the timeline; emission
+     charges no cycles, so the pinned counters below are unaffected *)
+  Fc_obs.Trace.arm ~capacity:65536 (Fc_obs.Obs.trace (Fc_machine.Os.obs os));
   let hyp = Fc_hypervisor.Hypervisor.attach os in
   let fc = Fc_core.Facechange.enable hyp in
   ignore (Fc_machine.Os.spawn os ~name:"top" (app.Fc_apps.App.script 3));
@@ -161,6 +164,16 @@ let smoke profiles =
    with Fc_machine.Os.Guest_panic m -> Printf.printf "GUEST PANIC: %s\n" m);
   let stats = Fc_core.Stats.capture fc in
   Format.printf "%a@." Fc_core.Stats.pp stats;
+  let timeline =
+    Fc_obs.Export.timeline_to_json
+      ~extra:[ ("stats", Fc_core.Stats.to_json stats) ]
+      (Fc_obs.Obs.trace (Fc_machine.Os.obs os))
+  in
+  let oc = open_out "BENCH_timeline.json" in
+  output_string oc (J.to_string ~pretty:true timeline);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "timeline artifact written to BENCH_timeline.json\n";
   record "smoke"
     (J.Obj
        (List.map

@@ -281,14 +281,24 @@ let report_cmd =
     Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
            ~doc:"Log saved with $(b,run --log-out).")
   in
-  let run path =
+  let json =
+    let doc = "Emit the full forensic log as JSON (backtraces, view bytes, \
+               instant recoveries) instead of the text report." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let run path json =
     match Recovery_log.load path with
     | Error e ->
         Printf.eprintf "%s: %s\n" path e;
         exit 1
-    | Ok log -> print_string (Fc_core.Report.render log)
+    | Ok log ->
+        if json then
+          print_string
+            (Fc_obs.Jsonx.to_string ~pretty:true (Recovery_log.to_json log)
+            ^ "\n")
+        else print_string (Fc_core.Report.render log)
   in
-  Cmd.v (Cmd.info "report" ~doc) Term.(const run $ file)
+  Cmd.v (Cmd.info "report" ~doc) Term.(const run $ file $ json)
 
 (* ---------------- syscalls ---------------- *)
 
@@ -515,9 +525,37 @@ let stats_cmd =
       const run $ app_arg $ attack_arg $ iterations_arg $ vcpus_arg $ json
       $ metrics $ out_arg)
 
+let timeline_cmd =
+  let doc =
+    "Run an application under an enforced view and export a Chrome \
+     trace-event timeline (open in Perfetto or about:tracing): per-process \
+     run slices, exit handling, recovery episodes, view switches."
+  in
+  let capacity =
+    let doc = "Trace ring capacity; older events beyond it are dropped." in
+    Arg.(value & opt int 65536 & info [ "capacity" ] ~docv:"N" ~doc)
+  in
+  let run app_name attack iterations vcpus capacity out =
+    let os, fc =
+      enforced_run ~trace_capacity:capacity app_name attack iterations vcpus
+    in
+    let stats = Fc_core.Stats.capture fc in
+    let json =
+      Export.timeline_to_json
+        ~extra:[ ("stats", Fc_core.Stats.to_json stats) ]
+        (Obs.trace (Os.obs os))
+    in
+    emit_output out (Jsonx.to_string ~pretty:true json ^ "\n")
+  in
+  Cmd.v (Cmd.info "timeline" ~doc)
+    Term.(
+      const run $ app_arg $ attack_arg $ iterations_arg $ vcpus_arg $ capacity
+      $ out_arg)
+
 let () =
   let doc = "FACE-CHANGE: application-driven dynamic kernel view switching (simulated)" in
   let info = Cmd.info "facechange" ~version:"1.0.0" ~doc in
   exit (Cmd.eval (Cmd.group info
        [ apps_cmd; attacks_cmd; syscalls_cmd; profile_cmd; inspect_cmd;
-         matrix_cmd; run_cmd; trace_cmd; stats_cmd; calltree_cmd; report_cmd ]))
+         matrix_cmd; run_cmd; trace_cmd; stats_cmd; timeline_cmd; calltree_cmd;
+         report_cmd ]))

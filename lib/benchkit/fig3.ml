@@ -80,7 +80,7 @@ let render r =
               Buffer.add_string buf "  <- '0xb 0xf' cannot trap => Instant recovery"
           | _ -> ());
           Buffer.add_char buf '\n')
-        (match e.Recovery_log.backtrace with _ :: rest -> rest | [] -> []);
+        (Recovery_log.callers e);
       List.iter
         (fun (_, _, s) ->
           Buffer.add_string buf (Printf.sprintf "|== instantly recovered: %s\n" s))

@@ -14,7 +14,7 @@ let render (o : Detect.outcome) =
       | [] -> ());
       List.iter
         (fun f -> Buffer.add_string buf (Printf.sprintf "|-- %s\n" f.Recovery_log.rendered))
-        (match e.Recovery_log.backtrace with _ :: rest -> rest | [] -> []);
+        (Recovery_log.callers e);
       Buffer.add_char buf '\n')
     (Recovery_log.entries o.Detect.log);
   Buffer.add_string buf

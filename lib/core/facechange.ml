@@ -2,6 +2,7 @@ module Hyp = Fc_hypervisor.Hypervisor
 module Cost = Fc_hypervisor.Cost
 module Os = Fc_machine.Os
 module Cpu = Fc_machine.Cpu
+module Process = Fc_machine.Process
 module Layout = Fc_kernel.Layout
 module Image = Fc_kernel.Image
 module Ept = Fc_mem.Ept
@@ -49,9 +50,29 @@ type t = {
   recovered_bytes : Metrics.counter;
   recovery_bytes_h : Metrics.histogram;
   view_build_cycles : Metrics.histogram;
+  (* per-app attribution: one member per comm, summing to the globals *)
+  switches_f : Metrics.family; (* fc.view_switches{comm} *)
+  recoveries_f : Metrics.family; (* fc.recoveries{comm} *)
+  recovered_bytes_f : Metrics.family; (* fc.recovered_bytes{comm} *)
   mutable retired_cow_breaks : int;  (* from views since unloaded *)
   mutable enabled : bool;
 }
+
+(* The simulator's ground truth for "who pays": the task currently on the
+   active vCPU.  Cheaper than the VMI read and always in agreement with
+   the run-slice accounting in [Os]. *)
+let current_comm t = (Os.current (Hyp.os t.hyp)).Process.name
+
+let span_enter t kind =
+  if Obs.armed t.obs then begin
+    let os = Hyp.os t.hyp in
+    let cur = Os.current os in
+    Fc_obs.Span.enter (Obs.spans t.obs) ~vid:(Os.active_vcpu_id os)
+      ~pid:cur.Process.pid ~comm:cur.Process.name kind
+  end
+  else Fc_obs.Span.none
+
+let span_exit t sid = Fc_obs.Span.exit (Obs.spans t.obs) sid
 
 let hyp t = t.hyp
 let log t = t.log
@@ -114,7 +135,8 @@ let switch_kernel_view t ~vid index =
        | None -> invalid_arg "Facechange: switching to an unloaded view");
     emit_switch t ~vid ~from_index:t.active.(vid) ~to_index:index Event.Switched;
     t.active.(vid) <- index;
-    Metrics.incr t.switches
+    Metrics.incr t.switches;
+    Metrics.incr (Metrics.family_counter t.switches_f (current_comm t))
   end
 
 (* ---------------- VMI helpers ---------------- *)
@@ -204,6 +226,9 @@ let fetch_fill_code t view addr =
           done;
           Hyp.charge t.hyp ((stop - start) / 16 * Cost.code_copy_per_16_bytes);
           Metrics.add t.recovered_bytes (stop - start);
+          Metrics.add
+            (Metrics.family_counter t.recovered_bytes_f (current_comm t))
+            (stop - start);
           Metrics.observe t.recovery_bytes_h (stop - start);
           Some (start, stop))
 
@@ -226,7 +251,9 @@ let handle_invalid_opcode t (regs : Cpu.regs) =
   else
     match find_view t t.active.(vid) with
     | None -> `Unhandled "active view disappeared"
-    | Some view -> (
+    | Some view ->
+        let sid = span_enter t Fc_obs.Span.Recovery in
+        let result = (
         Hyp.charge t.hyp Cost.invalid_opcode_handler;
         (* symbols may have changed (modules hidden/loaded) since attach *)
         Hyp.refresh_symbols t.hyp;
@@ -276,6 +303,7 @@ let handle_invalid_opcode t (regs : Cpu.regs) =
               (Printf.sprintf "cannot locate kernel code containing 0x%x" regs.Cpu.eip)
         | Some (start, stop) ->
             Metrics.incr t.recoveries;
+            Metrics.incr (Metrics.family_counter t.recoveries_f (current_comm t));
             if Obs.armed t.obs then
               Obs.emit t.obs
                 (Event.Recovery
@@ -316,6 +344,9 @@ let handle_invalid_opcode t (regs : Cpu.regs) =
                 unknown_frames;
               };
             `Handled)
+        in
+        span_exit t sid;
+        result
 
 (* ---------------- lifecycle ---------------- *)
 
@@ -364,6 +395,9 @@ let enable ?(opts = default_opts) hyp =
       recovered_bytes = Metrics.counter m ~subsystem:"fc" "recovered_bytes";
       recovery_bytes_h = Metrics.histogram m ~subsystem:"fc" "recovery_bytes";
       view_build_cycles = Metrics.histogram m ~subsystem:"fc" "view_build_cycles";
+      switches_f = Metrics.counter_family m ~subsystem:"fc" "view_switches";
+      recoveries_f = Metrics.counter_family m ~subsystem:"fc" "recoveries";
+      recovered_bytes_f = Metrics.counter_family m ~subsystem:"fc" "recovered_bytes";
       retired_cow_breaks = 0;
       enabled = true;
     }
@@ -374,6 +408,13 @@ let enable ?(opts = default_opts) hyp =
     [ t.switches; t.switch_skips; t.deferred; t.recoveries; t.recovered_bytes ];
   Metrics.reset_histogram t.recovery_bytes_h;
   Metrics.reset_histogram t.view_build_cycles;
+  List.iter Metrics.reset_family
+    [
+      t.switches_f;
+      t.recoveries_f;
+      t.recovered_bytes_f;
+      Metrics.counter_family m ~subsystem:"view" "cow_breaks";
+    ];
   (* structural state exported as read-through gauges: Stats.capture is a
      projection of these plus the counters above *)
   Metrics.gauge m ~subsystem:"fc" "views_loaded" (fun () -> List.length t.views);
@@ -390,10 +431,12 @@ let load_view t config =
   let index = t.next_index in
   t.next_index <- index + 1;
   let charged_before = Hyp.cycles_charged t.hyp in
+  let sid = span_enter t Fc_obs.Span.View_build in
   let v =
     View.build ~hyp:t.hyp ~whole_function_load:t.opts.whole_function_load
       ~share_frames:t.opts.share_frames ~index config
   in
+  span_exit t sid;
   Metrics.observe t.view_build_cycles (Hyp.cycles_charged t.hyp - charged_before);
   t.views <- t.views @ [ v ];
   bind t ~comm:config.Fc_profiler.View_config.app ~index;

@@ -50,6 +50,10 @@ let recovered_names t =
 
 let any_unknown t = List.exists (fun e -> e.unknown_frames) t.rev_entries
 
+(* The backtrace's head is the faulting address itself; the callers are
+   everything after it. *)
+let callers e = match e.backtrace with _ :: rest -> rest | [] -> []
+
 let pp_entry ppf e =
   Format.fprintf ppf "@[<v>Recover ";
   (match e.recovered with
@@ -57,9 +61,7 @@ let pp_entry ppf e =
   | [] -> Format.fprintf ppf "0x%x" e.fault_addr);
   Format.fprintf ppf " for kernel[%s] (pid %d %s%s)@," e.view_app e.pid e.comm
     (if e.interrupt_context then ", interrupt context" else "");
-  List.iter
-    (fun f -> Format.fprintf ppf "|-- %s@," f.rendered)
-    (match e.backtrace with _ :: rest -> rest | [] -> []);
+  List.iter (fun f -> Format.fprintf ppf "|-- %s@," f.rendered) (callers e);
   List.iter
     (fun (_, _, s) -> Format.fprintf ppf "|== instant recovery: %s@," s)
     e.instant;
@@ -67,6 +69,49 @@ let pp_entry ppf e =
 
 let pp ppf t =
   List.iter (fun e -> Format.fprintf ppf "%a@." pp_entry e) (entries t)
+
+(* ---------------- JSON ---------------- *)
+
+module Jsonx = Fc_obs.Jsonx
+
+let range_to_json (lo, hi, rendered) =
+  Jsonx.Obj
+    [
+      ("start", Jsonx.Int lo);
+      ("stop", Jsonx.Int hi);
+      ("bytes", Jsonx.Int (hi - lo));
+      ("symbol", Jsonx.String rendered);
+    ]
+
+let frame_to_json f =
+  Jsonx.Obj
+    [
+      ("addr", Jsonx.Int f.addr);
+      ("rendered", Jsonx.String f.rendered);
+      ("view_bytes", Jsonx.List (List.map (fun b -> Jsonx.Int b) f.view_bytes));
+    ]
+
+let entry_to_json e =
+  Jsonx.Obj
+    [
+      ("cycle", Jsonx.Int e.cycle);
+      ("pid", Jsonx.Int e.pid);
+      ("comm", Jsonx.String e.comm);
+      ("view_app", Jsonx.String e.view_app);
+      ("fault_addr", Jsonx.Int e.fault_addr);
+      ("recovered", Jsonx.List (List.map range_to_json e.recovered));
+      ("instant", Jsonx.List (List.map range_to_json e.instant));
+      ("backtrace", Jsonx.List (List.map frame_to_json e.backtrace));
+      ("interrupt_context", Jsonx.Bool e.interrupt_context);
+      ("unknown_frames", Jsonx.Bool e.unknown_frames);
+    ]
+
+let to_json t =
+  Jsonx.Obj
+    [
+      ("count", Jsonx.Int (count t));
+      ("entries", Jsonx.List (List.map entry_to_json (entries t)));
+    ]
 
 (* ---------------- persistence ---------------- *)
 

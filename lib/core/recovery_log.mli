@@ -54,8 +54,20 @@ val recovered_names : t -> string list
     [<name+0x0>] part), deduplicated, chronological. *)
 
 val any_unknown : t -> bool
+
+val callers : entry -> frame list
+(** The backtrace minus its head: the head is the faulting address
+    itself, so these are the caller frames (what Fig. 3/5 render). *)
+
 val pp_entry : Format.formatter -> entry -> unit
 val pp : Format.formatter -> t -> unit
+
+val entry_to_json : entry -> Fc_obs.Jsonx.t
+(** The full forensic entry — recovered/instant ranges with symbols,
+    backtrace frames with view-presented bytes, context flags. *)
+
+val to_json : t -> Fc_obs.Jsonx.t
+(** [{"count": …, "entries": […]}], chronological. *)
 
 val to_string : t -> string
 (** Line-oriented serialization of the full log (entries, backtraces,

@@ -4,6 +4,16 @@ module Obs = Fc_obs.Obs
 module Metrics = Fc_obs.Metrics
 module Jsonx = Fc_obs.Jsonx
 
+type per_app = {
+  a_run_cycles : int;
+  a_run_slices : int;
+  a_cycles_charged : int;
+  a_view_switches : int;
+  a_recoveries : int;
+  a_recovered_bytes : int;
+  a_cow_breaks : int;
+}
+
 type t = {
   guest_cycles : int;
   rounds : int;
@@ -21,6 +31,7 @@ type t = {
   view_pages : int;
   shared_frames : int;
   cow_breaks : int;
+  per_app : (string * per_app) list;
 }
 
 (* Every field is a read of the guest's metrics registry: the scheduler,
@@ -28,6 +39,44 @@ type t = {
    under "os.*" / "hyp.*" / "fc.*" keys, and capture is nothing but a
    stable projection of those.  A key can only be missing if the
    subsystem that owns it never ran, in which case 0 is the truth. *)
+let empty_app =
+  {
+    a_run_cycles = 0;
+    a_run_slices = 0;
+    a_cycles_charged = 0;
+    a_view_switches = 0;
+    a_recoveries = 0;
+    a_recovered_bytes = 0;
+    a_cow_breaks = 0;
+  }
+
+(* Gather every labeled family member under the per-app keys into one
+   record per label (comm/app name), sorted by label for stable output. *)
+let capture_per_app m =
+  let table : (string, per_app) Hashtbl.t = Hashtbl.create 16 in
+  let merge key apply =
+    List.iter
+      (fun (label, v) ->
+        let cur =
+          Option.value ~default:empty_app (Hashtbl.find_opt table label)
+        in
+        Hashtbl.replace table label (apply cur v))
+      (Metrics.labels m key)
+  in
+  merge "os.run_cycles" (fun a v -> { a with a_run_cycles = a.a_run_cycles + v });
+  merge "os.run_slices" (fun a v -> { a with a_run_slices = a.a_run_slices + v });
+  merge "hyp.cycles_charged" (fun a v ->
+      { a with a_cycles_charged = a.a_cycles_charged + v });
+  merge "fc.view_switches" (fun a v ->
+      { a with a_view_switches = a.a_view_switches + v });
+  merge "fc.recoveries" (fun a v -> { a with a_recoveries = a.a_recoveries + v });
+  merge "fc.recovered_bytes" (fun a v ->
+      { a with a_recovered_bytes = a.a_recovered_bytes + v });
+  merge "view.cow_breaks" (fun a v -> { a with a_cow_breaks = a.a_cow_breaks + v });
+  List.sort
+    (fun (a, _) (b, _) -> String.compare a b)
+    (Hashtbl.fold (fun k v acc -> (k, v) :: acc) table [])
+
 let capture fc =
   let hyp = Facechange.hyp fc in
   let os = Hyp.os hyp in
@@ -50,6 +99,7 @@ let capture fc =
     view_pages = v "fc.view_pages";
     shared_frames = v "fc.shared_frames";
     cow_breaks = v "fc.cow_breaks";
+    per_app = capture_per_app m;
   }
 
 let overhead_fraction t =
@@ -76,10 +126,33 @@ let fields t =
     ("cow_breaks", t.cow_breaks);
   ]
 
+let per_app_fields a =
+  [
+    ("run_cycles", a.a_run_cycles);
+    ("run_slices", a.a_run_slices);
+    ("cycles_charged", a.a_cycles_charged);
+    ("view_switches", a.a_view_switches);
+    ("recoveries", a.a_recoveries);
+    ("recovered_bytes", a.a_recovered_bytes);
+    ("cow_breaks", a.a_cow_breaks);
+  ]
+
 let to_json t =
   Jsonx.Obj
     (List.map (fun (k, v) -> (k, Jsonx.Int v)) (fields t)
-    @ [ ("overhead_fraction", Jsonx.Float (overhead_fraction t)) ])
+    @ [
+        ("overhead_fraction", Jsonx.Float (overhead_fraction t));
+        ( "per_app",
+          Jsonx.Obj
+            (List.map
+               (fun (app, a) ->
+                 ( app,
+                   Jsonx.Obj
+                     (List.map
+                        (fun (k, v) -> (k, Jsonx.Int v))
+                        (per_app_fields a)) ))
+               t.per_app) );
+      ])
 
 let pp ppf t =
   Format.fprintf ppf
@@ -93,4 +166,13 @@ let pp ppf t =
     t.breakpoint_exits t.invalid_opcode_exits t.hypervisor_cycles
     (100. *. overhead_fraction t)
     t.views_loaded t.view_switches t.switches_skipped t.switches_deferred
-    t.view_pages t.shared_frames t.cow_breaks t.recoveries t.recovered_bytes
+    t.view_pages t.shared_frames t.cow_breaks t.recoveries t.recovered_bytes;
+  List.iter
+    (fun (app, a) ->
+      Format.fprintf ppf
+        "@\n\
+         %s: %d run cycles over %d slices, %d charged, %d switches, %d \
+         recoveries (%d bytes), %d CoW breaks"
+        app a.a_run_cycles a.a_run_slices a.a_cycles_charged a.a_view_switches
+        a.a_recoveries a.a_recovered_bytes a.a_cow_breaks)
+    t.per_app

@@ -1,6 +1,23 @@
 (** One-stop run statistics — the summary block the CLI and examples
     print after an enforced run. *)
 
+type per_app = {
+  a_run_cycles : int;
+      (** guest cycles elapsed while this comm was current (run-slice
+          accounting; on a multi-vCPU guest slices absorb the other
+          vCPUs' interleaved cycles, so treat as an upper bound there) *)
+  a_run_slices : int;  (** scheduling slices begun *)
+  a_cycles_charged : int;  (** hypervisor cost-model cycles paid *)
+  a_view_switches : int;
+  a_recoveries : int;
+  a_recovered_bytes : int;
+  a_cow_breaks : int;  (** CoW privatizations in this app's view *)
+}
+(** One application's share of the global counters.  Summing a field
+    over every app yields the matching global (attribution sites
+    increment both), except [a_run_cycles]/[a_run_slices], which have no
+    global counterpart. *)
+
 type t = {
   guest_cycles : int;
   rounds : int;
@@ -19,6 +36,8 @@ type t = {
   shared_frames : int;
       (** frame allocations avoided by sharing (pages − distinct frames) *)
   cow_breaks : int;  (** shared frames privatized by copy-on-write *)
+  per_app : (string * per_app) list;
+      (** per-application attribution, sorted by comm/app name *)
 }
 
 val capture : Facechange.t -> t
@@ -31,10 +50,16 @@ val overhead_fraction : t -> float
     [0.] when no guest cycles have elapsed. *)
 
 val fields : t -> (string * int) list
-(** Every integer field as a [(name, value)] pair, in declaration order —
-    the stable key set exporters and the CI gate rely on. *)
+(** Every {e global} integer field as a [(name, value)] pair, in
+    declaration order — the stable key set exporters and the CI gate rely
+    on.  Per-app attribution is not flattened in here; see
+    {!per_app_fields}. *)
+
+val per_app_fields : per_app -> (string * int) list
+(** One app's attribution fields as [(name, value)] pairs. *)
 
 val to_json : t -> Fc_obs.Jsonx.t
-(** [fields] plus ["overhead_fraction"] as a JSON object. *)
+(** [fields] plus ["overhead_fraction"] and a ["per_app"] object (one
+    member per app, keyed by comm) as a JSON object. *)
 
 val pp : Format.formatter -> t -> unit

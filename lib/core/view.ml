@@ -22,6 +22,8 @@ type t = {
   tables : (int * Ept.table) list;
   page_frames : (int, int) Hashtbl.t; (* gpa_page -> backing frame *)
   pages_materialized : Metrics.counter; (* view.pages_materialized, shared *)
+  cow_breaks_c : Metrics.counter; (* view.cow_breaks{app}, accumulates
+                                     across unload/reload of the app *)
   mutable loaded_bytes : int;
   mutable cow_breaks : int;
   mutable destroyed : bool;
@@ -97,6 +99,7 @@ let writable_frame t gpa_page =
     Phys.free phys frame;
     map_page t gpa_page fresh;
     t.cow_breaks <- t.cow_breaks + 1;
+    Metrics.incr t.cow_breaks_c;
     Frame_cache.note_cow_break (Hyp.frame_cache t.hyp);
     (let obs = Hyp.obs t.hyp in
      if Obs.armed obs then Obs.emit obs (Event.Cow_break { frame; fresh }));
@@ -192,7 +195,7 @@ let materialize_page t loads gpa_page =
     else
       let cache = Hyp.frame_cache t.hyp in
       let key = Digest.bytes buf in
-      match Frame_cache.find cache key with
+      match Frame_cache.find cache ~label:(app t) key with
       | Some f -> f
       | None ->
           let f = fill_fresh () in
@@ -242,6 +245,12 @@ let build ~hyp ?(whole_function_load = true) ?(share_frames = true) ~index
         Metrics.counter
           (Obs.metrics (Hyp.obs hyp))
           ~subsystem:"view" "pages_materialized";
+      cow_breaks_c =
+        Metrics.family_counter
+          (Metrics.counter_family
+             (Obs.metrics (Hyp.obs hyp))
+             ~subsystem:"view" "cow_breaks")
+          config.Fc_profiler.View_config.app;
       loaded_bytes = 0;
       cow_breaks = 0;
       destroyed = false;

@@ -1,5 +1,6 @@
 module Os = Fc_machine.Os
 module Cpu = Fc_machine.Cpu
+module Process = Fc_machine.Process
 module Layout = Fc_kernel.Layout
 module Image = Fc_kernel.Image
 module Symbols = Fc_kernel.Symbols
@@ -22,16 +23,43 @@ type t = {
   invalid_opcode_exits : Metrics.counter;
   cycles_charged : Metrics.counter;
   charge_cycles : Metrics.histogram;
+  app_cycles : Metrics.family; (* hyp.cycles_charged{comm} *)
+  mutable app_memo : (string * Metrics.counter) option;
+      (* last (comm, member) resolved from [app_cycles]: charge bursts
+         come from one current task, so one cached pair removes the
+         family lookup from the hot path *)
 }
 
 let os t = t.os
 let obs t = t.obs
 let frame_cache t = t.frame_cache
 
+let app_counter t =
+  let comm = (Os.current t.os).Process.name in
+  match t.app_memo with
+  | Some (c, counter) when String.equal c comm -> counter
+  | _ ->
+      let counter = Metrics.family_counter t.app_cycles comm in
+      t.app_memo <- Some (comm, counter);
+      counter
+
 let charge t n =
   Metrics.add t.cycles_charged n;
+  Metrics.add (app_counter t) n;
   Metrics.observe t.charge_cycles n;
   Os.add_cycles t.os n
+
+(* Open a span attributed to the current task; returns Span.none (and
+   allocates nothing) when the trace is disarmed. *)
+let span_enter t kind =
+  if Obs.armed t.obs then begin
+    let cur = Os.current t.os in
+    Fc_obs.Span.enter (Obs.spans t.obs) ~vid:(Os.active_vcpu_id t.os)
+      ~pid:cur.Process.pid ~comm:cur.Process.name kind
+  end
+  else Fc_obs.Span.none
+
+let span_exit t sid = Fc_obs.Span.exit (Obs.spans t.obs) sid
 
 let set_breakpoint t a = Os.set_trap t.os a
 let clear_breakpoint t a = Os.clear_trap t.os a
@@ -52,6 +80,7 @@ let original_frame t ~gpa_page = Os.ram_frame t.os ~gpa_page
 let original_table t ~dir = Hashtbl.find_opt t.original_tables dir
 
 let stack_frames t ~eip ~ebp ?esp ?(max_depth = 64) () =
+  let sid = span_enter t Fc_obs.Span.Backtrace in
   let rec go acc ebp depth =
     if depth >= max_depth || ebp = 0 || not (Layout.is_kernel_address ebp) then
       List.rev acc
@@ -79,7 +108,9 @@ let stack_frames t ~eip ~ebp ?esp ?(max_depth = 64) () =
         | Some _ | None -> [])
     | Some _ | None -> []
   in
-  (eip :: entry_caller) @ go [] ebp 0
+  let frames = (eip :: entry_caller) @ go [] ebp 0 in
+  span_exit t sid;
+  frames
 
 let refresh_symbols t =
   let syms = Symbols.create () in
@@ -117,20 +148,25 @@ let render_addr t addr =
 let dispatch_exit t regs = function
   | Os.Exit_breakpoint addr ->
       Metrics.incr t.breakpoint_exits;
+      let sid = span_enter t Fc_obs.Span.Exit_handling in
       if Obs.armed t.obs then
         Obs.emit t.obs
           (Event.Vm_exit { reason = Event.Exit_breakpoint; addr });
       charge t Cost.vm_exit;
       List.iter (fun h -> h t regs addr) t.bp_handlers;
+      span_exit t sid;
       Os.Resume
   | Os.Exit_invalid_opcode -> (
       Metrics.incr t.invalid_opcode_exits;
+      let sid = span_enter t Fc_obs.Span.Exit_handling in
       if Obs.armed t.obs then
         Obs.emit t.obs
           (Event.Vm_exit
              { reason = Event.Exit_invalid_opcode; addr = regs.Cpu.eip });
       charge t Cost.vm_exit;
-      match t.io_handler t regs with
+      let result = t.io_handler t regs in
+      span_exit t sid;
+      match result with
       | `Handled -> Os.Resume
       | `Unhandled reason -> Os.Panic reason)
 
@@ -174,6 +210,8 @@ let attach os =
         Metrics.counter m ~subsystem:"hyp" "invalid_opcode_exits";
       cycles_charged = Metrics.counter m ~subsystem:"hyp" "cycles_charged";
       charge_cycles = Metrics.histogram m ~subsystem:"hyp" "charge_cycles";
+      app_cycles = Metrics.counter_family m ~subsystem:"hyp" "cycles_charged";
+      app_memo = None;
     }
   in
   (* a fresh hypervisor starts from zero even if a previous attachment to
@@ -182,6 +220,7 @@ let attach os =
   Metrics.reset t.invalid_opcode_exits;
   Metrics.reset t.cycles_charged;
   Metrics.reset_histogram t.charge_cycles;
+  Metrics.reset_family t.app_cycles;
   refresh_symbols t;
   Os.set_exit_handler os (fun _os regs exit -> dispatch_exit t regs exit);
   t

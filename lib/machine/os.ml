@@ -68,6 +68,8 @@ type vcpu = {
   vidle : Process.t;
   mutable vcurrent : Process.t;
   mutable vin_interrupt : bool;
+  mutable vslice : int; (* open run-slice span id, Span.none when closed *)
+  mutable vslice_start : int; (* cycle at which the current slice began *)
 }
 
 type t = {
@@ -103,6 +105,8 @@ type t = {
   itimers : (int, unit) Hashtbl.t;
   symbols : (string, int) Hashtbl.t; (* OS ground truth, incl. hidden *)
   mutable sleep_override : int option; (* wake delay for the next block *)
+  run_cycles_f : Fc_obs.Metrics.family; (* os.run_cycles{comm} *)
+  run_slices_f : Fc_obs.Metrics.family; (* os.run_slices{comm} *)
 }
 
 and handler = t -> Cpu.regs -> vm_exit -> exit_action
@@ -354,7 +358,15 @@ let create ?(config = default_config) ?(vcpus = 1) ?obs image =
   let mk_vcpu vid =
     let name = if vid = 0 then "swapper" else Printf.sprintf "swapper/%d" vid in
     let vidle = Process.create ~cpu:vid ~pid:vid ~name ~page_table:master_pt [] in
-    { vid; vept = Ept.create (); vidle; vcurrent = vidle; vin_interrupt = false }
+    {
+      vid;
+      vept = Ept.create ();
+      vidle;
+      vcurrent = vidle;
+      vin_interrupt = false;
+      vslice = Fc_obs.Span.none;
+      vslice_start = 0;
+    }
   in
   let t =
     {
@@ -390,6 +402,12 @@ let create ?(config = default_config) ?(vcpus = 1) ?obs image =
       itimers = Hashtbl.create 8;
       symbols = Hashtbl.create 2048;
       sleep_override = None;
+      run_cycles_f =
+        Fc_obs.Metrics.counter_family (Fc_obs.Obs.metrics obs) ~subsystem:"os"
+          "run_cycles";
+      run_slices_f =
+        Fc_obs.Metrics.counter_family (Fc_obs.Obs.metrics obs) ~subsystem:"os"
+          "run_slices";
     }
   in
   (* the guest cycle counter is the trace timestamp source, and the
@@ -652,10 +670,40 @@ let continue_syscall t (p : Process.t) regs q =
 
 (* ---------------- scheduler ---------------- *)
 
+(* Run-slice accounting: the cycles a vCPU spends while a given process
+   is current are charged to os.run_cycles{comm}, and the slice is
+   bracketed by a Run_slice span when the trace is armed.  The sim is
+   sequential with one global clock, so on a multi-vCPU guest a slice
+   also absorbs cycles burned by the other vCPUs' interleaved turns —
+   exact for one vCPU, an upper bound otherwise. *)
+let end_run_slice t (v : vcpu) =
+  let now = !(t.cycles) in
+  let delta = now - v.vslice_start in
+  if delta > 0 then
+    Fc_obs.Metrics.add
+      (Fc_obs.Metrics.family_counter t.run_cycles_f v.vcurrent.Process.name)
+      delta;
+  v.vslice_start <- now;
+  if v.vslice <> Fc_obs.Span.none then begin
+    Fc_obs.Span.exit (Fc_obs.Obs.spans t.obs) v.vslice;
+    v.vslice <- Fc_obs.Span.none
+  end
+
+let begin_run_slice t (v : vcpu) =
+  v.vslice_start <- !(t.cycles);
+  Fc_obs.Metrics.incr
+    (Fc_obs.Metrics.family_counter t.run_slices_f v.vcurrent.Process.name);
+  if Fc_obs.Obs.armed t.obs then
+    v.vslice <-
+      Fc_obs.Span.enter (Fc_obs.Obs.spans t.obs) ~vid:v.vid
+        ~pid:v.vcurrent.Process.pid ~comm:v.vcurrent.Process.name
+        Fc_obs.Span.Run_slice
+
 let switch_to t (next : Process.t) =
   let v = active_vcpu t in
   if next != v.vcurrent then begin
     t.context_switches <- t.context_switches + 1;
+    end_run_slice t v;
     if Fc_obs.Obs.armed t.obs then
       Fc_obs.Obs.emit t.obs
         (Fc_obs.Event.Sched_switch
@@ -664,6 +712,7 @@ let switch_to t (next : Process.t) =
       (Layout.current_task_ptr_cpu ~vid:v.vid)
       (Layout.task_struct_addr ~pid:next.Process.pid);
     v.vcurrent <- next;
+    begin_run_slice t v;
     let esp =
       match next.Process.saved_regs with
       | Some r -> r.Cpu.esp - 16
@@ -777,6 +826,9 @@ let run ?(max_rounds = 1_000_000) ?(until = fun _ -> false) t =
       t.vcpus;
     t.active <- 0
   done;
+  (* flush run-slice accounting and close the spans so the trace stays
+     balanced; a later run (or switch) re-opens slices as needed *)
+  Array.iter (end_run_slice t) t.vcpus;
   if live () && !rounds >= max_rounds then
     raise (Guest_panic "scheduler round budget exhausted")
 

@@ -19,6 +19,7 @@ type t = {
   hits : Metrics.counter;
   misses : Metrics.counter;
   cow_breaks : Metrics.counter;
+  hits_f : Metrics.family; (* cache.hits{label}, per requesting view/app *)
 }
 
 let create ?obs phys =
@@ -33,20 +34,25 @@ let create ?obs phys =
       hits = Metrics.counter m ~subsystem:"cache" "hits";
       misses = Metrics.counter m ~subsystem:"cache" "misses";
       cow_breaks = Metrics.counter m ~subsystem:"cache" "cow_breaks";
+      hits_f = Metrics.counter_family m ~subsystem:"cache" "hits";
     }
   in
   Metrics.reset t.hits;
   Metrics.reset t.misses;
   Metrics.reset t.cow_breaks;
+  Metrics.reset_family t.hits_f;
   t
 
 let valid t e =
   Phys_mem.is_live t.phys e.frame && Phys_mem.version t.phys e.frame = e.version
 
-let find t key =
+let find t ?label key =
   match Hashtbl.find_opt t.entries key with
   | Some e when valid t e ->
       Metrics.incr t.hits;
+      (match label with
+      | Some l -> Metrics.incr (Metrics.family_counter t.hits_f l)
+      | None -> ());
       Phys_mem.incref t.phys e.frame;
       (match t.obs with
       | Some o when Obs.armed o -> Obs.emit o (Event.Frame_share { frame = e.frame })

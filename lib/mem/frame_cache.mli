@@ -23,10 +23,12 @@ val create : ?obs:Fc_obs.Obs.t -> Phys_mem.t -> t
     reset to zero for the new cache) and each cache hit emits a
     [frame_share] trace event. *)
 
-val find : t -> string -> int option
+val find : t -> ?label:string -> string -> int option
 (** [find t key] — a live frame previously registered under [key], with a
     fresh reference taken for the caller (release it with
-    {!Phys_mem.free}).  Counts a hit; [None] counts a miss. *)
+    {!Phys_mem.free}).  Counts a hit; [None] counts a miss.  When [label]
+    is given (the requesting view's app), a hit also increments the
+    [cache.hits{label}] family member, attributing the saved frame. *)
 
 val register : t -> string -> int -> unit
 (** Publish a filled frame under its content key.  Call after the last

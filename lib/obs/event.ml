@@ -18,6 +18,15 @@ type t =
   | View_load of { index : int; app : string; pages : int; loaded_bytes : int }
   | View_unload of { index : int; app : string; cow_breaks : int }
   | Sched_switch of { vid : int; pid : int; comm : string }
+  | Span_begin of {
+      sid : int;
+      parent : int;
+      span : string;
+      vid : int;
+      pid : int;
+      comm : string;
+    }
+  | Span_end of { sid : int; span : string }
 
 type value = Int of int | Str of string
 
@@ -43,6 +52,8 @@ let kind = function
   | View_load _ -> "view_load"
   | View_unload _ -> "view_unload"
   | Sched_switch _ -> "sched_switch"
+  | Span_begin _ -> "span_begin"
+  | Span_end _ -> "span_end"
 
 let kinds =
   [
@@ -56,6 +67,8 @@ let kinds =
     "view_load";
     "view_unload";
     "sched_switch";
+    "span_begin";
+    "span_end";
   ]
 
 let fields = function
@@ -93,6 +106,16 @@ let fields = function
       [ ("index", Int index); ("app", Str app); ("cow_breaks", Int cow_breaks) ]
   | Sched_switch { vid; pid; comm } ->
       [ ("vid", Int vid); ("pid", Int pid); ("comm", Str comm) ]
+  | Span_begin { sid; parent; span; vid; pid; comm } ->
+      [
+        ("sid", Int sid);
+        ("parent", Int parent);
+        ("span", Str span);
+        ("vid", Int vid);
+        ("pid", Int pid);
+        ("comm", Str comm);
+      ]
+  | Span_end { sid; span } -> [ ("sid", Int sid); ("span", Str span) ]
 
 let pp ppf e =
   Format.fprintf ppf "%s" (kind e);

@@ -42,6 +42,21 @@ type t =
   | View_unload of { index : int; app : string; cow_breaks : int }
   | Sched_switch of { vid : int; pid : int; comm : string }
       (** the guest scheduler switched to a different task *)
+  | Span_begin of {
+      sid : int;
+      parent : int;
+      span : string;
+      vid : int;
+      pid : int;
+      comm : string;
+    }
+      (** a timed episode opened (see {!Span}): [sid] is unique per sink,
+          [parent] is the enclosing open span on the same vCPU (0 for a
+          root), [span] is the kind label ("run_slice", "exit_handling",
+          "backtrace", "recovery", "view_build") *)
+  | Span_end of { sid : int; span : string }
+      (** the matching close; always properly nested per vCPU (closing a
+          span auto-closes any children still open) *)
 
 type value = Int of int | Str of string
 (** A flattened field for exporters (JSON objects, CSV cells). *)

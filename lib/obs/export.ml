@@ -60,12 +60,19 @@ let trace_to_csv t =
 
 (* ---------------- metrics ---------------- *)
 
+let sample_key (s : Metrics.sample) =
+  let base = s.Metrics.subsystem ^ "." ^ s.Metrics.name in
+  match s.Metrics.label with None -> base | Some l -> base ^ "{" ^ l ^ "}"
+
 let histogram_to_json (h : Metrics.histogram_snapshot) =
   Jsonx.Obj
     [
       ("count", Jsonx.Int h.Metrics.h_count);
       ("sum", Jsonx.Int h.Metrics.h_sum);
       ("max", Jsonx.Int h.Metrics.h_max);
+      ("p50", Jsonx.Float (Metrics.percentile h 0.5));
+      ("p90", Jsonx.Float (Metrics.percentile h 0.9));
+      ("p99", Jsonx.Float (Metrics.percentile h 0.99));
       ( "buckets",
         Jsonx.List
           (List.map
@@ -79,9 +86,7 @@ let metrics_to_json m =
   let section pick =
     List.filter_map
       (fun (s : Metrics.sample) ->
-        Option.map
-          (fun v -> (s.Metrics.subsystem ^ "." ^ s.Metrics.name, v))
-          (pick s.Metrics.value))
+        Option.map (fun v -> (sample_key s, v)) (pick s.Metrics.value))
       samples
   in
   Jsonx.Obj
@@ -102,21 +107,171 @@ let metrics_to_json m =
 
 let metrics_to_csv m =
   let b = Buffer.create 1024 in
-  Buffer.add_string b "kind,subsystem,name,value,count,sum,max\n";
+  Buffer.add_string b "kind,subsystem,name,label,value,count,sum,max,p50,p90,p99\n";
   List.iter
     (fun (s : Metrics.sample) ->
+      let label = Option.value ~default:"" s.Metrics.label in
       match s.Metrics.value with
       | Metrics.Counter v ->
           Buffer.add_string b
-            (Printf.sprintf "counter,%s,%s,%d,,,\n" s.Metrics.subsystem
-               s.Metrics.name v)
+            (Printf.sprintf "counter,%s,%s,%s,%d,,,,,,\n" s.Metrics.subsystem
+               s.Metrics.name (csv_cell label) v)
       | Metrics.Gauge v ->
           Buffer.add_string b
-            (Printf.sprintf "gauge,%s,%s,%d,,,\n" s.Metrics.subsystem
-               s.Metrics.name v)
+            (Printf.sprintf "gauge,%s,%s,%s,%d,,,,,,\n" s.Metrics.subsystem
+               s.Metrics.name (csv_cell label) v)
       | Metrics.Histogram h ->
           Buffer.add_string b
-            (Printf.sprintf "histogram,%s,%s,,%d,%d,%d\n" s.Metrics.subsystem
-               s.Metrics.name h.Metrics.h_count h.Metrics.h_sum h.Metrics.h_max))
+            (Printf.sprintf "histogram,%s,%s,%s,,%d,%d,%d,%.6g,%.6g,%.6g\n"
+               s.Metrics.subsystem s.Metrics.name (csv_cell label)
+               h.Metrics.h_count h.Metrics.h_sum h.Metrics.h_max
+               (Metrics.percentile h 0.5)
+               (Metrics.percentile h 0.9)
+               (Metrics.percentile h 0.99)))
     (Metrics.snapshot m);
   Buffer.contents b
+
+(* ---------------- Chrome trace-event timeline ---------------- *)
+
+(* Mapping conventions (documented in DESIGN.md §7):
+     traceEvent pid  = vCPU id
+     traceEvent tid  = guest pid of the process being charged
+     ts              = guest cycle count, rendered as-is (1 cycle = 1 µs
+                       in the viewer; displayTimeUnit only affects the
+                       UI's default zoom label)
+   Span_begin/Span_end become B/E duration events, view switches become
+   zero-duration X events on the currently running thread, and UD2 traps
+   become thread-scoped instant events.  Spans still open when the trace
+   ends are closed at the last observed cycle so the stream stays
+   balanced for any viewer. *)
+
+let timeline_to_json ?(extra = []) t =
+  let tev ?(args = []) ?dur ~name ~cat ~ph ~ts ~pid ~tid () =
+    Jsonx.Obj
+      ([
+         ("name", Jsonx.String name);
+         ("cat", Jsonx.String cat);
+         ("ph", Jsonx.String ph);
+         ("ts", Jsonx.Int ts);
+         ("pid", Jsonx.Int pid);
+         ("tid", Jsonx.Int tid);
+       ]
+      @ (match dur with None -> [] | Some d -> [ ("dur", Jsonx.Int d) ])
+      @ (match ph with "i" -> [ ("s", Jsonx.String "t") ] | _ -> [])
+      @ if args = [] then [] else [ ("args", Jsonx.Obj args) ])
+  in
+  let events = ref [] in
+  let push e = events := e :: !events in
+  (* per-vCPU stack of open spans: (sid, guest pid, label) *)
+  let stacks : (int, (int * int * string) list) Hashtbl.t = Hashtbl.create 4 in
+  let stack vid = Option.value ~default:[] (Hashtbl.find_opt stacks vid) in
+  (* sid -> (vid, guest pid) so an E can be placed on the right track *)
+  let sid_track : (int, int * int) Hashtbl.t = Hashtbl.create 64 in
+  let vids : (int, unit) Hashtbl.t = Hashtbl.create 4 in
+  let threads : (int * int, string) Hashtbl.t = Hashtbl.create 16 in
+  let note_track vid pid comm =
+    Hashtbl.replace vids vid ();
+    match Hashtbl.find_opt threads (vid, pid) with
+    | Some existing when existing <> "" -> ()
+    | _ -> Hashtbl.replace threads (vid, pid) comm
+  in
+  let last_cycle = ref 0 in
+  List.iter
+    (fun (r : Trace.record) ->
+      let ts = r.Trace.cycle in
+      if ts > !last_cycle then last_cycle := ts;
+      match r.Trace.event with
+      | Event.Span_begin { sid; parent; span; vid; pid; comm } ->
+          note_track vid pid comm;
+          Hashtbl.replace sid_track sid (vid, pid);
+          Hashtbl.replace stacks vid ((sid, pid, span) :: stack vid);
+          push
+            (tev ~name:span ~cat:"span" ~ph:"B" ~ts ~pid:vid ~tid:pid
+               ~args:
+                 [
+                   ("sid", Jsonx.Int sid);
+                   ("parent", Jsonx.Int parent);
+                   ("comm", Jsonx.String comm);
+                 ]
+               ())
+      | Event.Span_end { sid; span } -> (
+          match Hashtbl.find_opt sid_track sid with
+          | None -> () (* orphan end: B fell out of the bounded ring *)
+          | Some (vid, pid) ->
+              Hashtbl.remove sid_track sid;
+              Hashtbl.replace stacks vid
+                (List.filter (fun (s, _, _) -> s <> sid) (stack vid));
+              push (tev ~name:span ~cat:"span" ~ph:"E" ~ts ~pid:vid ~tid:pid ()))
+      | Event.View_switch { vid; from_index; to_index; outcome } ->
+          let tid = match stack vid with (_, pid, _) :: _ -> pid | [] -> 0 in
+          push
+            (tev ~name:"view_switch" ~cat:"switch" ~ph:"X" ~ts ~dur:0 ~pid:vid
+               ~tid
+               ~args:
+                 [
+                   ("from", Jsonx.Int from_index);
+                   ("to", Jsonx.Int to_index);
+                   ("outcome", Jsonx.String (Event.outcome_label outcome));
+                 ]
+               ())
+      | Event.Ud2_trap { vid; eip; pid; comm } ->
+          note_track vid pid comm;
+          push
+            (tev ~name:"ud2_trap" ~cat:"recovery" ~ph:"i" ~ts ~pid:vid ~tid:pid
+               ~args:[ ("eip", Jsonx.Int eip) ]
+               ())
+      | _ -> ())
+    (Trace.records t);
+  (* close anything still open so every B has a matching E *)
+  Hashtbl.iter
+    (fun vid st ->
+      List.iter
+        (fun (sid, pid, span) ->
+          Hashtbl.remove sid_track sid;
+          push
+            (tev ~name:span ~cat:"span" ~ph:"E" ~ts:!last_cycle ~pid:vid
+               ~tid:pid ()))
+        st)
+    stacks;
+  let meta =
+    let vid_list =
+      List.sort compare (Hashtbl.fold (fun v () acc -> v :: acc) vids [])
+    in
+    let thread_list =
+      List.sort compare
+        (Hashtbl.fold (fun k comm acc -> (k, comm) :: acc) threads [])
+    in
+    List.map
+      (fun vid ->
+        Jsonx.Obj
+          [
+            ("name", Jsonx.String "process_name");
+            ("ph", Jsonx.String "M");
+            ("pid", Jsonx.Int vid);
+            ( "args",
+              Jsonx.Obj
+                [ ("name", Jsonx.String (Printf.sprintf "vcpu %d" vid)) ] );
+          ])
+      vid_list
+    @ List.filter_map
+        (fun ((vid, pid), comm) ->
+          if comm = "" then None
+          else
+            Some
+              (Jsonx.Obj
+                 [
+                   ("name", Jsonx.String "thread_name");
+                   ("ph", Jsonx.String "M");
+                   ("pid", Jsonx.Int vid);
+                   ("tid", Jsonx.Int pid);
+                   ("args", Jsonx.Obj [ ("name", Jsonx.String comm) ]);
+                 ]))
+        thread_list
+  in
+  Jsonx.Obj
+    ([
+       ("schema_version", Jsonx.Int schema_version);
+       ("displayTimeUnit", Jsonx.String "ns");
+       ("traceEvents", Jsonx.List (meta @ List.rev !events));
+     ]
+    @ extra)

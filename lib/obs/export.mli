@@ -21,8 +21,26 @@ val trace_to_csv : Trace.t -> string
 
 val metrics_to_json : Metrics.t -> Jsonx.t
 (** [{"counters": {…}, "gauges": {…}, "histograms": {…}}] with
-    ["subsystem.name"] keys, in registration order. *)
+    ["subsystem.name"] keys (["subsystem.name{label}"] for labeled
+    family members), in registration order.  Histogram objects carry
+    [count], [sum], [max], interpolated [p50]/[p90]/[p99], and the
+    non-empty log2 [buckets]. *)
 
 val metrics_to_csv : Metrics.t -> string
-(** Header [kind,subsystem,name,value,count,sum,max]: counters and gauges
-    fill [value]; histograms fill [count,sum,max]. *)
+(** Header [kind,subsystem,name,label,value,count,sum,max,p50,p90,p99]:
+    counters and gauges fill [value]; histograms fill
+    [count,sum,max,p50,p90,p99].  [label] is empty for unlabeled
+    instruments. *)
+
+(** {1 Chrome trace-event timeline} *)
+
+val timeline_to_json : ?extra:(string * Jsonx.t) list -> Trace.t -> Jsonx.t
+(** Render the trace ring in Chrome trace-event format (loadable in
+    Perfetto / [about:tracing]): [Span_begin]/[Span_end] become [B]/[E]
+    duration events, view switches zero-duration [X] events, UD2 traps
+    thread-scoped instant events.  traceEvent [pid] is the vCPU id,
+    [tid] the guest pid, [ts] the guest cycle; metadata events name each
+    vCPU "process" and each guest-process "thread" by comm.  Spans still
+    open at the end of the ring are closed at the last observed cycle so
+    the event stream is always balanced.  [extra] appends top-level
+    members (e.g. a ["stats"] object) after ["traceEvents"]. *)

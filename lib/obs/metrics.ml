@@ -14,7 +14,12 @@ type instrument =
   | I_gauge of (unit -> int) ref
   | I_histogram of histogram
 
-type registered = { subsystem : string; name : string; inst : instrument }
+type registered = {
+  subsystem : string;
+  name : string;
+  label : string option;
+  inst : instrument;
+}
 
 type t = {
   by_key : (string, registered) Hashtbl.t;
@@ -24,9 +29,17 @@ type t = {
 let create () = { by_key = Hashtbl.create 64; order = [] }
 let key ~subsystem name = subsystem ^ "." ^ name
 
-let register t ~subsystem name inst =
-  let r = { subsystem; name; inst } in
-  Hashtbl.replace t.by_key (key ~subsystem name) r;
+let labeled_key ~subsystem name label =
+  subsystem ^ "." ^ name ^ "{" ^ label ^ "}"
+
+let register t ~subsystem ?label name inst =
+  let r = { subsystem; name; label; inst } in
+  let k =
+    match label with
+    | None -> key ~subsystem name
+    | Some l -> labeled_key ~subsystem name l
+  in
+  Hashtbl.replace t.by_key k r;
   t.order <- r :: t.order;
   r
 
@@ -39,15 +52,16 @@ let counter t ~subsystem name =
       ignore (register t ~subsystem name (I_counter c));
       c
 
+let fresh_histogram () =
+  { buckets = Array.make bucket_count 0; h_count = 0; h_sum = 0; h_max = 0 }
+
 let histogram t ~subsystem name =
   match Hashtbl.find_opt t.by_key (key ~subsystem name) with
   | Some { inst = I_histogram h; _ } -> h
   | Some _ ->
       invalid_arg ("Metrics.histogram: key registered as non-histogram: " ^ name)
   | None ->
-      let h =
-        { buckets = Array.make bucket_count 0; h_count = 0; h_sum = 0; h_max = 0 }
-      in
+      let h = fresh_histogram () in
       ignore (register t ~subsystem name (I_histogram h));
       h
 
@@ -86,6 +100,72 @@ let reset_histogram h =
   h.h_sum <- 0;
   h.h_max <- 0
 
+(* {1 Labeled families} *)
+
+type family = { fam_reg : t; fam_subsystem : string; fam_name : string }
+
+let counter_family t ~subsystem name =
+  { fam_reg = t; fam_subsystem = subsystem; fam_name = name }
+
+let histogram_family = counter_family
+
+let family_counter fam label =
+  let t = fam.fam_reg in
+  let k = labeled_key ~subsystem:fam.fam_subsystem fam.fam_name label in
+  match Hashtbl.find_opt t.by_key k with
+  | Some { inst = I_counter c; _ } -> c
+  | Some _ ->
+      invalid_arg ("Metrics.family_counter: key registered as non-counter: " ^ k)
+  | None ->
+      let c = { c_value = 0 } in
+      ignore
+        (register t ~subsystem:fam.fam_subsystem ~label fam.fam_name
+           (I_counter c));
+      c
+
+let family_histogram fam label =
+  let t = fam.fam_reg in
+  let k = labeled_key ~subsystem:fam.fam_subsystem fam.fam_name label in
+  match Hashtbl.find_opt t.by_key k with
+  | Some { inst = I_histogram h; _ } -> h
+  | Some _ ->
+      invalid_arg
+        ("Metrics.family_histogram: key registered as non-histogram: " ^ k)
+  | None ->
+      let h = fresh_histogram () in
+      ignore
+        (register t ~subsystem:fam.fam_subsystem ~label fam.fam_name
+           (I_histogram h));
+      h
+
+let reset_family fam =
+  List.iter
+    (fun r ->
+      if
+        r.label <> None
+        && String.equal r.subsystem fam.fam_subsystem
+        && String.equal r.name fam.fam_name
+      then
+        match r.inst with
+        | I_counter c -> reset c
+        | I_histogram h -> reset_histogram h
+        | I_gauge _ -> ())
+    fam.fam_reg.order
+
+let labels t k =
+  List.fold_left
+    (fun acc r ->
+      match r.label with
+      | Some l when String.equal (key ~subsystem:r.subsystem r.name) k -> (
+          match r.inst with
+          | I_counter c -> (l, c.c_value) :: acc
+          | I_gauge f -> (l, !f ()) :: acc
+          | I_histogram _ -> acc)
+      | _ -> acc)
+    [] t.order
+
+(* {1 Snapshots} *)
+
 type histogram_snapshot = {
   h_count : int;
   h_sum : int;
@@ -98,7 +178,12 @@ type sample_value =
   | Gauge of int
   | Histogram of histogram_snapshot
 
-type sample = { subsystem : string; name : string; value : sample_value }
+type sample = {
+  subsystem : string;
+  name : string;
+  label : string option;
+  value : sample_value;
+}
 
 let snapshot_histogram (h : histogram) =
   let buckets = ref [] in
@@ -116,7 +201,7 @@ let snapshot t =
         | I_gauge f -> Gauge (!f ())
         | I_histogram h -> Histogram (snapshot_histogram h)
       in
-      { subsystem = r.subsystem; name = r.name; value })
+      { subsystem = r.subsystem; name = r.name; label = r.label; value })
     t.order
 
 let find t k =
@@ -124,3 +209,29 @@ let find t k =
   | Some { inst = I_counter c; _ } -> Some c.c_value
   | Some { inst = I_gauge f; _ } -> Some (!f ())
   | Some { inst = I_histogram _; _ } | None -> None
+
+(* Percentile estimate from log2 buckets: find the bucket holding the
+   q-th observation, then interpolate linearly inside its value range
+   [2^pow2, 2^(pow2+1)) — capped at the observed max, which is exact for
+   the top bucket. *)
+let percentile (s : histogram_snapshot) q =
+  if s.h_count = 0 then 0.
+  else begin
+    let target = Float.max 1. (q *. float_of_int s.h_count) in
+    let rec walk cum = function
+      | [] -> float_of_int s.h_max
+      | (pow2, n) :: rest ->
+          let cum' = cum + n in
+          if float_of_int cum' >= target then begin
+            let lo = if pow2 = 0 then 0. else ldexp 1. pow2 in
+            let hi =
+              Float.max lo
+                (Float.min (ldexp 1. (pow2 + 1)) (float_of_int s.h_max +. 1.))
+            in
+            let frac = (target -. float_of_int cum) /. float_of_int n in
+            lo +. (frac *. (hi -. lo))
+          end
+          else walk cum' rest
+    in
+    walk 0 s.h_buckets
+  end

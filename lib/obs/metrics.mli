@@ -9,7 +9,15 @@
     cycle costs.
 
     Keys are ["subsystem.name"]; registration order is preserved in
-    {!snapshot} so exports are stable. *)
+    {!snapshot} so exports are stable.
+
+    {b Labeled families} break one logical metric down by a bounded
+    dimension — here, the guest application (comm) that paid for the
+    work.  A family member registers under ["subsystem.name{label}"] and
+    appears in {!snapshot} with [label = Some _].  Resolving a member
+    costs a hashtable lookup and a key allocation, so hot paths should
+    memoize the returned counter per label rather than re-resolving on
+    every increment. *)
 
 type t
 type counter
@@ -36,6 +44,28 @@ val observe : histogram -> int -> unit
 
 val reset_histogram : histogram -> unit
 
+(** {1 Labeled families} *)
+
+type family
+(** A handle naming ["subsystem.name"]; members are resolved per label. *)
+
+val counter_family : t -> subsystem:string -> string -> family
+val histogram_family : t -> subsystem:string -> string -> family
+
+val family_counter : family -> string -> counter
+(** Find or create the member counter for a label.  Memoize the result
+    on hot paths. *)
+
+val family_histogram : family -> string -> histogram
+
+val reset_family : family -> unit
+(** Reset every already-registered member of the family (counters to 0,
+    histograms emptied).  Members stay registered. *)
+
+val labels : t -> string -> (string * int) list
+(** [(label, value)] for every labeled counter/gauge member registered
+    under the ["subsystem.name"] key, in registration order. *)
+
 (** {1 Snapshots} *)
 
 type histogram_snapshot = {
@@ -52,10 +82,21 @@ type sample_value =
   | Gauge of int
   | Histogram of histogram_snapshot
 
-type sample = { subsystem : string; name : string; value : sample_value }
+type sample = {
+  subsystem : string;
+  name : string;
+  label : string option;  (** [Some _] for labeled family members *)
+  value : sample_value;
+}
 
 val snapshot : t -> sample list
 (** All registered instruments, in registration order. *)
 
 val find : t -> string -> int option
 (** Value of the counter or gauge registered under ["subsystem.name"]. *)
+
+val percentile : histogram_snapshot -> float -> float
+(** [percentile s q] estimates the [q]-quantile ([0. <= q <= 1.]) by
+    linear interpolation inside the log2 bucket holding the target rank;
+    the bucket's value range is capped at the observed max.  0 for an
+    empty histogram.  Estimates are exact only up to bucket resolution. *)

@@ -1,8 +1,12 @@
-type t = { trace : Trace.t; metrics : Metrics.t }
+type t = { trace : Trace.t; metrics : Metrics.t; spans : Span.t }
 
-let create () = { trace = Trace.create (); metrics = Metrics.create () }
+let create () =
+  let trace = Trace.create () in
+  { trace; metrics = Metrics.create (); spans = Span.create trace }
+
 let trace t = t.trace
 let metrics t = t.metrics
+let spans t = t.spans
 let armed t = Trace.armed t.trace
 let emit t e = Trace.emit t.trace e
 let set_clock t f = Trace.set_clock t.trace f

@@ -12,6 +12,9 @@ val create : unit -> t
 val trace : t -> Trace.t
 val metrics : t -> Metrics.t
 
+val spans : t -> Span.t
+(** The span tracker recording into {!trace} — see {!Span}. *)
+
 val armed : t -> bool
 (** Shorthand for [Trace.armed (trace t)] — the emission guard. *)
 

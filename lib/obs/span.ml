@@ -1,0 +1,62 @@
+type kind = Run_slice | Exit_handling | Backtrace | Recovery | View_build
+
+let kind_label = function
+  | Run_slice -> "run_slice"
+  | Exit_handling -> "exit_handling"
+  | Backtrace -> "backtrace"
+  | Recovery -> "recovery"
+  | View_build -> "view_build"
+
+type open_span = { sid : int; label : string }
+
+type t = {
+  sink : Trace.t;
+  mutable next : int;
+  (* one stack of open spans per vCPU, keyed by vid *)
+  stacks : (int, open_span list) Hashtbl.t;
+}
+
+let none = 0
+
+let create sink = { sink; next = 1; stacks = Hashtbl.create 4 }
+
+let stack t vid = Option.value ~default:[] (Hashtbl.find_opt t.stacks vid)
+
+let enter t ?(vid = 0) ?(pid = 0) ?(comm = "") kind =
+  if not (Trace.armed t.sink) then none
+  else begin
+    let sid = t.next in
+    t.next <- sid + 1;
+    let st = stack t vid in
+    let parent = match st with [] -> none | top :: _ -> top.sid in
+    let label = kind_label kind in
+    Hashtbl.replace t.stacks vid ({ sid; label } :: st);
+    Trace.emit t.sink (Event.Span_begin { sid; parent; span = label; vid; pid; comm });
+    sid
+  end
+
+let exit t sid =
+  if sid <> none then
+    (* find which stack holds it; pop (auto-closing children) down to it *)
+    let found =
+      Hashtbl.fold
+        (fun vid st acc ->
+          match acc with
+          | Some _ -> acc
+          | None ->
+              if List.exists (fun s -> s.sid = sid) st then Some (vid, st)
+              else None)
+        t.stacks None
+    in
+    match found with
+    | None -> ()
+    | Some (vid, st) ->
+        let rec pop = function
+          | [] -> []
+          | s :: rest ->
+              Trace.emit t.sink (Event.Span_end { sid = s.sid; span = s.label });
+              if s.sid = sid then rest else pop rest
+        in
+        Hashtbl.replace t.stacks vid (pop st)
+
+let depth t ?(vid = 0) () = List.length (stack t vid)

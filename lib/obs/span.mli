@@ -1,0 +1,49 @@
+(** Cycle-timestamped begin/end intervals over the {!Trace} hub.
+
+    A span is a nested episode of hypervisor work: the paper's runtime is
+    a stack of them — a process run-slice encloses the exit handling for
+    each breakpoint it hits, exit handling encloses a recovery episode,
+    recovery encloses the backtrace walk that guides instant recovery.
+    Spans are recorded as {!Event.Span_begin}/{!Event.Span_end} pairs in
+    the trace ring, timestamped by the sink's cycle clock, so exporters
+    can reconstruct durations without any extra bookkeeping here.
+
+    Nesting is tracked per vCPU: each vCPU has its own stack of open
+    spans, so interleaved run-slices on different vCPUs never corrupt
+    each other's parentage.  Closing a span auto-closes any children
+    still open on the same stack, keeping the emitted stream well
+    nested even when an instrumentation site forgets a child.
+
+    When the underlying sink is disarmed, {!enter} returns {!none} and
+    allocates nothing — the armed-off path stays free, same as
+    {!Trace.emit}. *)
+
+type kind =
+  | Run_slice  (** a guest process running between scheduler switches *)
+  | Exit_handling  (** hypervisor dispatcher handling one VM exit *)
+  | Backtrace  (** kernel stack walk (§III-C, guides instant recovery) *)
+  | Recovery  (** one UD2-triggered code-recovery episode, end to end *)
+  | View_build  (** constructing a per-application kernel view *)
+
+val kind_label : kind -> string
+(** Stable snake_case tag: ["run_slice"], ["exit_handling"], ... *)
+
+type t
+
+val create : Trace.t -> t
+(** A span tracker recording into the given sink. *)
+
+val none : int
+(** The id returned when the sink is disarmed; {!exit} ignores it. *)
+
+val enter : t -> ?vid:int -> ?pid:int -> ?comm:string -> kind -> int
+(** Open a span on [vid]'s stack and emit [Span_begin].  Returns a
+    sink-unique positive id, or {!none} (without allocating) when the
+    sink is disarmed. *)
+
+val exit : t -> int -> unit
+(** Close the span, first auto-closing any children still open above it
+    on its stack.  No-op for {!none} or an id that is not open. *)
+
+val depth : t -> ?vid:int -> unit -> int
+(** Number of currently open spans on [vid]'s stack (default vCPU 0). *)

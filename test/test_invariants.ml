@@ -241,6 +241,56 @@ let prop_fuzz_never_panics =
       | () -> Process.is_exited p
       | exception Os.Guest_panic _ -> false)
 
+let prop_fuzz_spans_balanced =
+  QCheck.Test.make
+    ~name:
+      "random workloads under an armed trace: span stream balanced, timeline parses"
+    ~count:20 arb_script (fun script ->
+      let module Trace = Fc_obs.Trace in
+      let module Event = Fc_obs.Event in
+      let module Jsonx = Fc_obs.Jsonx in
+      let os = Os.create ~config:Os.runtime_config (Lazy.force image) in
+      Trace.arm ~capacity:65536 (Fc_obs.Obs.trace (Os.obs os));
+      let hyp = Hyp.attach os in
+      let fc = Facechange.enable hyp in
+      let (_ : int) = Facechange.load_view fc (Lazy.force fuzz_profile) in
+      let (_ : Process.t) = Os.spawn os ~name:"fuzz" script in
+      (match Os.run ~max_rounds:10_000 os with
+      | () -> ()
+      | exception Os.Guest_panic _ -> ());
+      (* every end closes the innermost open begin on its vCPU, and the
+         run leaves nothing open *)
+      let stacks : (int, int list) Hashtbl.t = Hashtbl.create 4 in
+      let sid_vid : (int, int) Hashtbl.t = Hashtbl.create 64 in
+      let balanced = ref true in
+      List.iter
+        (fun (r : Trace.record) ->
+          match r.Trace.event with
+          | Event.Span_begin { sid; vid; _ } ->
+              Hashtbl.replace sid_vid sid vid;
+              Hashtbl.replace stacks vid
+                (sid :: Option.value ~default:[] (Hashtbl.find_opt stacks vid))
+          | Event.Span_end { sid; _ } -> (
+              match Hashtbl.find_opt sid_vid sid with
+              | None -> balanced := false
+              | Some vid -> (
+                  Hashtbl.remove sid_vid sid;
+                  match Hashtbl.find_opt stacks vid with
+                  | Some (top :: rest) when top = sid ->
+                      Hashtbl.replace stacks vid rest
+                  | _ -> balanced := false))
+          | _ -> ())
+        (Trace.records (Fc_obs.Obs.trace (Os.obs os)));
+      Hashtbl.iter (fun _ st -> if st <> [] then balanced := false) stacks;
+      let timeline_ok =
+        Result.is_ok
+          (Jsonx.of_string
+             (Jsonx.to_string
+                (Fc_obs.Export.timeline_to_json
+                   (Fc_obs.Obs.trace (Os.obs os)))))
+      in
+      !balanced && timeline_ok)
+
 let prop_fuzz_recovery_restores_original =
   QCheck.Test.make
     ~name:"after any fuzzed run, active view bytes match original wherever not UD2"
@@ -301,6 +351,7 @@ let suites =
           prop_view_contents;
           prop_view_destroy_frees;
           prop_fuzz_never_panics;
+          prop_fuzz_spans_balanced;
           prop_fuzz_recovery_restores_original;
           prop_view_config_roundtrip;
           prop_profiling_deterministic;

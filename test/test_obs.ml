@@ -7,6 +7,7 @@ module Ring = Fc_obs.Ring
 module Trace = Fc_obs.Trace
 module Event = Fc_obs.Event
 module Metrics = Fc_obs.Metrics
+module Span = Fc_obs.Span
 module Obs = Fc_obs.Obs
 module Jsonx = Fc_obs.Jsonx
 module Export = Fc_obs.Export
@@ -183,20 +184,115 @@ let golden_metrics () =
   m
 
 let test_export_metrics_json_golden () =
-  check_string "metrics json"
-    ("{\"counters\":{\"fc.recoveries\":3},"
-   ^ "\"gauges\":{\"os.cycles\":500},"
-   ^ "\"histograms\":{\"hyp.charge_cycles\":{\"count\":3,\"sum\":303,\"max\":300,"
-   ^ "\"buckets\":[{\"pow2\":0,\"count\":1},{\"pow2\":1,\"count\":1},{\"pow2\":8,\"count\":1}]}}}"
-    )
-    (Jsonx.to_string (Export.metrics_to_json (golden_metrics ())))
+  (* percentile floats make an exact string golden brittle; compare
+     structurally and pin the interpolated values with a tolerance *)
+  let j = Export.metrics_to_json (golden_metrics ()) in
+  let int_at path =
+    match Option.bind (Jsonx.path j path) Jsonx.to_int with
+    | Some v -> v
+    | None -> Alcotest.failf "missing %s" (String.concat "." path)
+  in
+  let float_at path =
+    match Option.bind (Jsonx.path j path) Jsonx.to_float with
+    | Some v -> v
+    | None -> Alcotest.failf "missing %s" (String.concat "." path)
+  in
+  check_int "counter" 3 (int_at [ "counters"; "fc.recoveries" ]);
+  check_int "gauge" 500 (int_at [ "gauges"; "os.cycles" ]);
+  let h = [ "histograms"; "hyp.charge_cycles" ] in
+  check_int "count" 3 (int_at (h @ [ "count" ]));
+  check_int "sum" 303 (int_at (h @ [ "sum" ]));
+  check_int "max" 300 (int_at (h @ [ "max" ]));
+  (* obs [1;2;300]: p50 lands in the [2,4) bucket, p90/p99 in the last
+     bucket which is capped at max+1 = [256,301) *)
+  Alcotest.(check (float 1e-9)) "p50" 3.0 (float_at (h @ [ "p50" ]));
+  Alcotest.(check (float 1e-9)) "p90" 287.5 (float_at (h @ [ "p90" ]));
+  Alcotest.(check (float 1e-9)) "p99" 299.65 (float_at (h @ [ "p99" ]));
+  (match Jsonx.path j (h @ [ "buckets" ]) with
+  | Some (Jsonx.List buckets) ->
+      Alcotest.(check (list (pair int int)))
+        "buckets"
+        [ (0, 1); (1, 1); (8, 1) ]
+        (List.map
+           (fun b ->
+             match
+               ( Option.bind (Jsonx.member "pow2" b) Jsonx.to_int,
+                 Option.bind (Jsonx.member "count" b) Jsonx.to_int )
+             with
+             | Some p, Some c -> (p, c)
+             | _ -> Alcotest.fail "malformed bucket")
+           buckets)
+  | _ -> Alcotest.fail "buckets missing");
+  check_bool "document parses back" true
+    (Result.is_ok (Jsonx.of_string (Jsonx.to_string j)))
 
 let test_export_metrics_csv_golden () =
   check_string "metrics csv"
-    ("kind,subsystem,name,value,count,sum,max\n"
-   ^ "counter,fc,recoveries,3,,,\n" ^ "gauge,os,cycles,500,,,\n"
-   ^ "histogram,hyp,charge_cycles,,3,303,300\n")
+    ("kind,subsystem,name,label,value,count,sum,max,p50,p90,p99\n"
+   ^ "counter,fc,recoveries,,3,,,,,,\n" ^ "gauge,os,cycles,,500,,,,,,\n"
+   ^ "histogram,hyp,charge_cycles,,,3,303,300,3,287.5,299.65\n")
     (Export.metrics_to_csv (golden_metrics ()))
+
+let test_metrics_percentiles () =
+  let m = Metrics.create () in
+  let h = Metrics.histogram m ~subsystem:"t" "lat" in
+  for i = 1 to 100 do
+    Metrics.observe h i
+  done;
+  let snap =
+    match Metrics.snapshot m with
+    | [ { Metrics.value = Metrics.Histogram s; _ } ] -> s
+    | _ -> Alcotest.fail "expected one histogram sample"
+  in
+  (* uniform 1..100: rank 50 sits 19/32 into the [32,64) bucket, rank 90
+     and 99 interpolate inside [64,101) (capped at max+1) *)
+  Alcotest.(check (float 1e-6)) "p50" 51.0 (Metrics.percentile snap 0.5);
+  Alcotest.(check (float 1e-6))
+    "p90"
+    (64.0 +. ((90.0 -. 63.0) /. 37.0 *. 37.0))
+    (Metrics.percentile snap 0.9);
+  Alcotest.(check (float 1e-6))
+    "p99"
+    (64.0 +. ((99.0 -. 63.0) /. 37.0 *. 37.0))
+    (Metrics.percentile snap 0.99);
+  (* estimates are monotone in q and bounded by the observed range *)
+  let p q = Metrics.percentile snap q in
+  check_bool "monotone" true (p 0.5 <= p 0.9 && p 0.9 <= p 0.99);
+  check_bool "bounded" true (p 0.99 <= 101.0 && p 0.01 >= 0.0);
+  (* empty histogram yields 0, not NaN *)
+  Metrics.reset_histogram h;
+  let snap' =
+    match Metrics.snapshot m with
+    | [ { Metrics.value = Metrics.Histogram s; _ } ] -> s
+    | _ -> Alcotest.fail "expected one histogram sample"
+  in
+  Alcotest.(check (float 0.)) "empty" 0.0 (Metrics.percentile snap' 0.99)
+
+let test_metrics_labeled_families () =
+  let m = Metrics.create () in
+  let fam = Metrics.counter_family m ~subsystem:"os" "run_cycles" in
+  Metrics.add (Metrics.family_counter fam "top") 10;
+  Metrics.add (Metrics.family_counter fam "vim") 5;
+  (* find-or-create: same label resolves to the same counter *)
+  Metrics.add (Metrics.family_counter fam "top") 7;
+  Alcotest.(check (list (pair string int)))
+    "labels in registration order"
+    [ ("top", 17); ("vim", 5) ]
+    (Metrics.labels m "os.run_cycles");
+  (* labeled members surface in snapshots under sub.name{label} *)
+  let keys =
+    List.map
+      (fun (s : Metrics.sample) ->
+        (s.Metrics.subsystem ^ "." ^ s.Metrics.name, s.Metrics.label))
+      (Metrics.snapshot m)
+  in
+  check_bool "labeled sample present" true
+    (List.mem ("os.run_cycles", Some "top") keys);
+  Metrics.reset_family fam;
+  Alcotest.(check (list (pair string int)))
+    "reset keeps members, zeroes values"
+    [ ("top", 0); ("vim", 0) ]
+    (Metrics.labels m "os.run_cycles")
 
 let test_export_csv_quoting () =
   let t = Trace.create () in
@@ -205,6 +301,75 @@ let test_export_csv_quoting () =
     (Event.Sched_switch { vid = 0; pid = 7; comm = "a,b\"c" });
   let csv = Export.trace_to_csv t in
   check_string "quoted args" "seq,cycle,kind,args\n0,0,sched_switch,\"vid=0;pid=7;comm=a,b\"\"c\"\n" csv
+
+(* ------------------------------------------------------------------ *)
+(* Span tracker                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let span_events sink =
+  List.filter_map
+    (fun (r : Trace.record) ->
+      match r.Trace.event with
+      | (Event.Span_begin _ | Event.Span_end _) as e -> Some e
+      | _ -> None)
+    (Trace.records sink)
+
+let test_span_disarmed_is_free () =
+  let sink = Trace.create () in
+  let sp = Span.create sink in
+  let sid = Span.enter sp Span.Recovery in
+  check_bool "disarmed enter returns none" true (sid = Span.none);
+  Span.exit sp sid;
+  check_int "nothing emitted" 0 (Trace.emitted sink);
+  check_int "no open spans" 0 (Span.depth sp ())
+
+let test_span_balanced_nesting () =
+  let sink = Trace.create () in
+  Trace.arm ~capacity:16 sink;
+  let sp = Span.create sink in
+  let outer = Span.enter sp ~vid:0 ~pid:7 ~comm:"top" Span.Exit_handling in
+  let inner = Span.enter sp ~vid:0 ~pid:7 ~comm:"top" Span.Backtrace in
+  check_int "two open" 2 (Span.depth sp ());
+  Span.exit sp inner;
+  Span.exit sp outer;
+  check_int "all closed" 0 (Span.depth sp ());
+  match span_events sink with
+  | [
+   Event.Span_begin { sid = b1; parent = p1; span = "exit_handling"; _ };
+   Event.Span_begin { sid = b2; parent = p2; span = "backtrace"; _ };
+   Event.Span_end { sid = e1; _ };
+   Event.Span_end { sid = e2; _ };
+  ] ->
+      check_bool "inner parented on outer" true (p2 = b1 && p1 = Span.none);
+      check_bool "LIFO close order" true (e1 = b2 && e2 = b1)
+  | evs -> Alcotest.failf "unexpected stream (%d events)" (List.length evs)
+
+let test_span_exit_autocloses_children () =
+  let sink = Trace.create () in
+  Trace.arm ~capacity:16 sink;
+  let sp = Span.create sink in
+  let outer = Span.enter sp Span.Run_slice in
+  let _inner = Span.enter sp Span.Exit_handling in
+  let _innermost = Span.enter sp Span.Backtrace in
+  (* closing the root must pop the two children first so the event
+     stream stays well-nested for any trace viewer *)
+  Span.exit sp outer;
+  check_int "stack drained" 0 (Span.depth sp ());
+  let ends =
+    List.filter_map
+      (function Event.Span_end { span; _ } -> Some span | _ -> None)
+      (span_events sink)
+  in
+  Alcotest.(check (list string))
+    "children closed innermost-first"
+    [ "backtrace"; "exit_handling"; "run_slice" ]
+    ends;
+  (* spans on different vCPUs keep independent stacks *)
+  let a = Span.enter sp ~vid:0 Span.Run_slice in
+  let _b = Span.enter sp ~vid:1 Span.Run_slice in
+  Span.exit sp a;
+  check_int "vid 1 untouched" 1 (Span.depth sp ~vid:1 ());
+  check_int "vid 0 drained" 0 (Span.depth sp ~vid:0 ())
 
 (* ------------------------------------------------------------------ *)
 (* Trace sink mechanics                                                *)
@@ -356,6 +521,144 @@ let test_metrics_export_covers_registry () =
   check_int "mem gauge tracks phys" (Fc_mem.Phys_mem.live_frames (Os.phys os))
     (get "mem.live_frames")
 
+(* ------------------------------------------------------------------ *)
+(* Timeline on a real run                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_timeline_full_run () =
+  let os = Os.create ~config:Os.runtime_config (Lazy.force image) in
+  (* arm before attach so view-build spans are captured too *)
+  Trace.arm ~capacity:65536 (Obs.trace (Os.obs os));
+  let hyp = Hyp.attach os in
+  let fc = Facechange.enable hyp in
+  let (_ : int) = Facechange.load_view fc (Lazy.force toplike_config) in
+  let (_ : Process.t) = Os.spawn os ~name:"toplike" (toplike_script 6) in
+  let (_ : Process.t) =
+    Os.spawn os ~name:"idler"
+      (Action.repeat 8 [ Action.Compute 5_000 ] @ [ Action.Exit ])
+  in
+  Os.run os;
+  let stats = Stats.capture fc in
+  (* raw stream invariants: every Span_end matches an open Span_begin,
+     closes are LIFO per vCPU, and a begin's parent is the stack top *)
+  let open_spans : (int, int) Hashtbl.t = Hashtbl.create 32 in
+  let stacks : (int, int list) Hashtbl.t = Hashtbl.create 4 in
+  let begins = ref 0 in
+  List.iter
+    (fun (r : Trace.record) ->
+      match r.Trace.event with
+      | Event.Span_begin { sid; parent; vid; _ } ->
+          incr begins;
+          let st = Option.value ~default:[] (Hashtbl.find_opt stacks vid) in
+          check_int "parent is enclosing span"
+            (match st with top :: _ -> top | [] -> 0)
+            parent;
+          Hashtbl.replace stacks vid (sid :: st);
+          Hashtbl.replace open_spans sid vid
+      | Event.Span_end { sid; _ } -> (
+          match Hashtbl.find_opt open_spans sid with
+          | None -> Alcotest.failf "span end %d without an open begin" sid
+          | Some vid -> (
+              Hashtbl.remove open_spans sid;
+              match Hashtbl.find_opt stacks vid with
+              | Some (top :: rest) when top = sid ->
+                  Hashtbl.replace stacks vid rest
+              | _ -> Alcotest.failf "span %d closed out of LIFO order" sid))
+      | _ -> ())
+    (Trace.records (Obs.trace (Os.obs os)));
+  check_bool "run produced spans" true (!begins > 0);
+  check_int "every span closed by run end" 0 (Hashtbl.length open_spans);
+  (* the exported timeline round-trips through the JSON parser *)
+  let doc =
+    Jsonx.to_string ~pretty:true
+      (Export.timeline_to_json
+         ~extra:[ ("stats", Stats.to_json stats) ]
+         (Obs.trace (Os.obs os)))
+  in
+  match Jsonx.of_string doc with
+  | Error e -> Alcotest.failf "timeline does not parse: %s" e
+  | Ok j ->
+      (match Jsonx.path j [ "traceEvents" ] with
+      | Some (Jsonx.List evs) ->
+          check_bool "timeline has events" true (evs <> [])
+      | _ -> Alcotest.fail "traceEvents missing");
+      (* per-app attribution sums to the globals in the same snapshot *)
+      let apps =
+        match Jsonx.path j [ "stats"; "per_app" ] with
+        | Some (Jsonx.Obj apps) -> apps
+        | _ -> Alcotest.fail "stats.per_app missing"
+      in
+      check_bool "both apps attributed" true
+        (List.mem_assoc "toplike" apps && List.mem_assoc "idler" apps);
+      let sum field =
+        List.fold_left
+          (fun acc (_, a) ->
+            acc
+            + Option.value ~default:0
+                (Option.bind (Jsonx.path a [ field ]) Jsonx.to_int))
+          0 apps
+      in
+      check_int "per-app switches sum to global" stats.Stats.view_switches
+        (sum "view_switches");
+      check_int "per-app recoveries sum to global" stats.Stats.recoveries
+        (sum "recoveries");
+      check_int "per-app recovered bytes sum to global"
+        stats.Stats.recovered_bytes (sum "recovered_bytes");
+      check_int "per-app charged cycles sum to global"
+        stats.Stats.hypervisor_cycles (sum "cycles_charged");
+      check_int "per-app run cycles sum to guest cycles"
+        stats.Stats.guest_cycles (sum "run_cycles")
+
+(* ------------------------------------------------------------------ *)
+(* Recovery log JSON                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_recovery_log_json () =
+  let module Rl = Fc_core.Recovery_log in
+  let log = Rl.create () in
+  Rl.add log
+    {
+      Rl.cycle = 42;
+      pid = 7;
+      comm = "top";
+      view_app = "top";
+      fault_addr = 0x1000;
+      recovered = [ (0x1000, 0x1040, "0x1000 <foo+0x0>") ];
+      instant = [];
+      backtrace =
+        [
+          { Rl.addr = 0x1000; rendered = "0x1000 <foo+0x0>"; view_bytes = [ 0xf; 0xb ] };
+          { Rl.addr = 0x2000; rendered = "0x2000 <bar+0x8>"; view_bytes = [] };
+        ];
+      interrupt_context = false;
+      unknown_frames = true;
+    };
+  let doc = Jsonx.to_string ~pretty:true (Rl.to_json log) in
+  match Jsonx.of_string doc with
+  | Error e -> Alcotest.failf "recovery log json: %s" e
+  | Ok j ->
+      check_bool "count" true (Jsonx.path j [ "count" ] = Some (Jsonx.Int 1));
+      let e =
+        match Jsonx.path j [ "entries" ] with
+        | Some (Jsonx.List [ e ]) -> e
+        | _ -> Alcotest.fail "expected one entry"
+      in
+      check_bool "cycle" true (Jsonx.path e [ "cycle" ] = Some (Jsonx.Int 42));
+      check_bool "flags survive" true
+        (Jsonx.path e [ "unknown_frames" ] = Some (Jsonx.Bool true)
+        && Jsonx.path e [ "interrupt_context" ] = Some (Jsonx.Bool false));
+      (match Jsonx.path e [ "recovered" ] with
+      | Some (Jsonx.List [ r ]) ->
+          check_bool "recovered bytes derived" true
+            (Jsonx.path r [ "bytes" ] = Some (Jsonx.Int 0x40))
+      | _ -> Alcotest.fail "recovered range missing");
+      (* callers = backtrace minus the faulting head frame *)
+      let entry = List.hd (Rl.entries log) in
+      Alcotest.(check (list string))
+        "callers drop the head"
+        [ "0x2000 <bar+0x8>" ]
+        (List.map (fun f -> f.Rl.rendered) (Rl.callers entry))
+
 let suites =
   [
     ( "obs-ring",
@@ -388,6 +691,21 @@ let suites =
           test_export_metrics_csv_golden;
         Alcotest.test_case "csv quoting" `Quick test_export_csv_quoting;
       ] );
+    ( "obs-metrics",
+      [
+        Alcotest.test_case "histogram percentiles" `Quick
+          test_metrics_percentiles;
+        Alcotest.test_case "labeled families" `Quick
+          test_metrics_labeled_families;
+      ] );
+    ( "obs-span",
+      [
+        Alcotest.test_case "disarmed enter is free" `Quick
+          test_span_disarmed_is_free;
+        Alcotest.test_case "balanced nesting" `Quick test_span_balanced_nesting;
+        Alcotest.test_case "exit auto-closes children" `Quick
+          test_span_exit_autocloses_children;
+      ] );
     ( "obs-trace",
       [
         Alcotest.test_case "disarmed sink records nothing" `Quick
@@ -403,5 +721,8 @@ let suites =
           test_stats_json_valid_and_complete;
         Alcotest.test_case "metrics export covers the registry" `Quick
           test_metrics_export_covers_registry;
+        Alcotest.test_case "timeline spans balance on a full run" `Quick
+          test_timeline_full_run;
+        Alcotest.test_case "recovery log json" `Quick test_recovery_log_json;
       ] );
   ]
