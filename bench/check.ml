@@ -1,12 +1,19 @@
 (* CI drift gate over the bench artifacts.
 
      bench/check.exe [BENCH_results.json [BENCH_timeline.json]]
+     bench/check.exe --chaos [BENCH_chaos.json]
 
    Fails (exit 1) when an artifact is malformed, a required metric key
    is missing, or a pinned deterministic counter (switch / recovery
    counts from the smoke run and the figure experiments) drifts from the
    seed values recorded below.  The simulation is deterministic, so any
    drift is a behavior change that must be re-pinned deliberately.
+
+   The --chaos mode gates the fault-injection matrix: the governed arm
+   must report zero panics, zero wedged runs, zero validation misses and
+   exact per-app attribution at any plan count; the ungoverned control
+   arm must actually panic; and at the full 100 plans every aggregate
+   counter is pinned.
 
    The timeline artifact (Chrome trace-event JSON from the smoke run) is
    checked structurally: it parses, has events, every span E matches the
@@ -30,7 +37,8 @@ let stats_fields =
     "guest_cycles"; "rounds"; "context_switches"; "vcpus"; "breakpoint_exits";
     "invalid_opcode_exits"; "hypervisor_cycles"; "view_switches";
     "switches_skipped"; "switches_deferred"; "recoveries"; "recovered_bytes";
-    "views_loaded"; "view_pages"; "shared_frames"; "cow_breaks";
+    "views_loaded"; "view_pages"; "shared_frames"; "cow_breaks"; "storms";
+    "degradations"; "renarrows"; "quarantines"; "broken_backtraces";
   ]
 
 let required_keys =
@@ -43,8 +51,13 @@ let required_keys =
       [ "results"; "table2"; "per_app_detected" ];
       [ "results"; "table2"; "union_detected" ];
       [ "results"; "fig3"; "completed" ];
+      [ "results"; "fig3"; "panic" ];
       [ "results"; "fig3"; "lazy_recovered" ];
       [ "results"; "fig3"; "instant_recovered" ];
+      [ "results"; "chaos"; "governed"; "panics" ];
+      [ "results"; "chaos"; "governed"; "wedged" ];
+      [ "results"; "chaos"; "governed"; "attribution_ok" ];
+      [ "results"; "chaos"; "ungoverned"; "panics" ];
       [ "results"; "fig6"; "perf" ];
       [ "results"; "fig6"; "sharing"; "parity" ];
       [ "results"; "fig6"; "sharing"; "frames_saved" ];
@@ -71,6 +84,13 @@ let pinned_ints =
     ([ "results"; "smoke"; "recovered_bytes" ], 0);
     ([ "results"; "smoke"; "breakpoint_exits" ], 7);
     ([ "results"; "smoke"; "invalid_opcode_exits" ], 0);
+    (* the smoke run has no governor and no injected faults: every
+       robustness counter must stay zero *)
+    ([ "results"; "smoke"; "storms" ], 0);
+    ([ "results"; "smoke"; "degradations" ], 0);
+    ([ "results"; "smoke"; "renarrows" ], 0);
+    ([ "results"; "smoke"; "quarantines" ], 0);
+    ([ "results"; "smoke"; "broken_backtraces" ], 0);
     ([ "results"; "table2"; "attacks" ], 16);
     ([ "results"; "table2"; "per_app_detected" ], 16);
     ([ "results"; "table2"; "union_detected" ], 3);
@@ -209,6 +229,77 @@ let check_timeline j =
             ]
       | Some _ | None -> fail "timeline: stats.per_app missing")
 
+(* ---------------- chaos artifact ---------------- *)
+
+(* Exact counter pins for the full 100-plan matrix (seed 1) that the CI
+   chaos-smoke job runs; everything downstream of the seed is
+   deterministic.  Re-pin only with an intended behavior change. *)
+let chaos_pins_100 =
+  [
+    ([ "governed"; "faults_injected" ], 535);
+    ([ "governed"; "recoveries" ], 242);
+    ([ "governed"; "storms" ], 23);
+    ([ "governed"; "degradations" ], 159);
+    ([ "governed"; "renarrows" ], 7);
+    ([ "governed"; "quarantines" ], 36);
+    ([ "governed"; "broken_backtraces" ], 34);
+    ([ "ungoverned"; "panics" ], 54);
+  ]
+
+let check_chaos j =
+  let geti p = Option.bind (J.path j p) J.to_int in
+  let getb p = Option.bind (J.path j p) J.to_bool in
+  List.iter
+    (fun p ->
+      if J.path j p = None then fail "missing required key %s" (spell p))
+    ([ [ "schema_version" ]; [ "seed" ]; [ "plans" ] ]
+    @ List.concat_map
+        (fun arm ->
+          List.map
+            (fun k -> [ arm; k ])
+            [
+              "plans"; "faults_injected"; "bp_misses"; "config_rejects";
+              "validation_misses"; "recoveries"; "storms"; "degradations";
+              "renarrows"; "quarantines"; "broken_backtraces"; "panics";
+              "wedged"; "attribution_ok";
+            ])
+        [ "governed"; "ungoverned" ]);
+  (* the acceptance property: with the governor on, nothing dies, nothing
+     wedges, nothing slips past validation, attribution stays exact *)
+  List.iter
+    (fun (p, expected) ->
+      match geti p with
+      | Some v when v = expected -> ()
+      | Some v -> fail "%s: expected %d, got %d" (spell p) expected v
+      | None -> fail "%s is missing or not an int" (spell p))
+    [
+      ([ "governed"; "panics" ], 0);
+      ([ "governed"; "wedged" ], 0);
+      ([ "governed"; "validation_misses" ], 0);
+      ([ "ungoverned"; "validation_misses" ], 0);
+    ];
+  List.iter
+    (fun p ->
+      match getb p with
+      | Some true -> ()
+      | Some false -> fail "%s: per-app attribution drifted" (spell p)
+      | None -> fail "%s is missing or not a bool" (spell p))
+    [ [ "governed"; "attribution_ok" ]; [ "ungoverned"; "attribution_ok" ] ];
+  (* the control arm must actually demonstrate the fragility the governor
+     removes — a chaos matrix nothing dies under proves nothing *)
+  (match geti [ "ungoverned"; "panics" ] with
+  | Some n when n > 0 -> ()
+  | Some 0 -> fail "ungoverned arm produced no panics: the plans are toothless"
+  | Some _ | None -> ());
+  if geti [ "plans" ] = Some 100 then
+    List.iter
+      (fun (p, expected) ->
+        match geti p with
+        | Some v when v = expected -> ()
+        | Some v -> fail "%s drifted: expected %d, got %d" (spell p) expected v
+        | None -> fail "%s is missing or not an int" (spell p))
+      chaos_pins_100
+
 let read_file path =
   match open_in_bin path with
   | exception Sys_error e ->
@@ -220,36 +311,50 @@ let read_file path =
       close_in ic;
       s
 
-let () =
-  let path =
-    if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH_results.json"
-  in
-  let timeline_path =
-    if Array.length Sys.argv > 2 then Sys.argv.(2) else "BENCH_timeline.json"
-  in
-  (match J.of_string (read_file path) with
+let parse path =
+  match J.of_string (read_file path) with
   | Error e ->
       Printf.eprintf "check: %s is not valid JSON: %s\n" path e;
       exit 1
-  | Ok j ->
-      check_required j;
-      check_pinned j;
-      check_finite j);
-  (match J.of_string (read_file timeline_path) with
-  | Error e ->
-      Printf.eprintf "check: %s is not valid JSON: %s\n" timeline_path e;
-      exit 1
-  | Ok j -> check_timeline j);
+  | Ok j -> j
+
+let report ok_message =
   match List.rev !failures with
   | [] ->
-      Printf.printf
-        "check: %s + %s ok (%d required keys, %d pinned values, timeline \
-         balanced)\n"
-        path timeline_path
-        (List.length required_keys)
-        (List.length pinned_ints + List.length pinned_bools);
+      print_endline ok_message;
       exit 0
   | fs ->
       List.iter (Printf.eprintf "check: %s\n") fs;
       Printf.eprintf "check: FAILED (%d problem(s))\n" (List.length fs);
       exit 1
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: "--chaos" :: rest ->
+      let path = match rest with p :: _ -> p | [] -> "BENCH_chaos.json" in
+      check_chaos (parse path);
+      report
+        (Printf.sprintf
+           "check: %s ok (governed arm survived, ungoverned arm died, %d \
+            pinned counters)"
+           path
+           (List.length chaos_pins_100))
+  | argv ->
+      let path =
+        match argv with _ :: p :: _ -> p | _ -> "BENCH_results.json"
+      in
+      let timeline_path =
+        match argv with _ :: _ :: p :: _ -> p | _ -> "BENCH_timeline.json"
+      in
+      let j = parse path in
+      check_required j;
+      check_pinned j;
+      check_finite j;
+      check_timeline (parse timeline_path);
+      report
+        (Printf.sprintf
+           "check: %s + %s ok (%d required keys, %d pinned values, timeline \
+            balanced)"
+           path timeline_path
+           (List.length required_keys)
+           (List.length pinned_ints + List.length pinned_bools))

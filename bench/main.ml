@@ -18,6 +18,20 @@ let banner name = Printf.printf "\n%s\n%s\n%s\n%!" line name line
 let results : (string * J.t) list ref = ref []
 let record name j = results := (name, j) :: !results
 
+(* Guest panics the paper configuration should never produce.  Expected
+   deaths (attack payloads, governor-off ablation arms, the ungoverned
+   chaos arm) are reported inline and do not land here; anything that
+   does fails the whole run. *)
+let unexpected_panics : string list ref = ref []
+
+let unexpected_panic fmt =
+  Printf.ksprintf (fun s -> unexpected_panics := s :: !unexpected_panics) fmt
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
 (* ------------------------------------------------------------------ *)
 (* Experiments                                                         *)
 (* ------------------------------------------------------------------ *)
@@ -67,10 +81,17 @@ let fig3 profiles =
   banner "Fig. 3: Cross-View Kernel Code Recovery (lazy vs instant)";
   let r = Fc_benchkit.Fig3.run profiles in
   print_string (Fc_benchkit.Fig3.render r);
+  (match r.Fc_benchkit.Fig3.panic with
+  | Some m -> unexpected_panic "fig3: %s" m
+  | None -> ());
   record "fig3"
     (J.Obj
        [
          ("completed", J.Bool r.Fc_benchkit.Fig3.completed);
+         ( "panic",
+           match r.Fc_benchkit.Fig3.panic with
+           | Some m -> J.String m
+           | None -> J.Null );
          ( "lazy_recovered",
            J.List
              (List.map (fun s -> J.String s) r.Fc_benchkit.Fig3.lazy_recovered)
@@ -161,7 +182,9 @@ let smoke profiles =
   ignore (Fc_machine.Os.spawn os ~name:"top" (app.Fc_apps.App.script 3));
   ignore (Fc_core.Facechange.load_view fc (Profiles.config_of profiles "top"));
   (try Fc_machine.Os.run ~max_rounds:50_000 os
-   with Fc_machine.Os.Guest_panic m -> Printf.printf "GUEST PANIC: %s\n" m);
+   with Fc_machine.Os.Guest_panic m ->
+     Printf.printf "GUEST PANIC: %s\n" m;
+     unexpected_panic "smoke: %s" m);
   let stats = Fc_core.Stats.capture fc in
   Format.printf "%a@." Fc_core.Stats.pp stats;
   let timeline =
@@ -182,7 +205,59 @@ let smoke profiles =
 
 let ablations profiles =
   banner "Ablations: the design choices of Section III";
-  print_string (Fc_benchkit.Ablation.render (Fc_benchkit.Ablation.run_all profiles))
+  let sections = Fc_benchkit.Ablation.run_all profiles in
+  print_string (Fc_benchkit.Ablation.render sections);
+  (* an ablation arm marked "(paper)" runs the intended configuration:
+     a guest death there is a regression, not a demonstration *)
+  List.iter
+    (fun (title, rows) ->
+      List.iter
+        (fun (r : Fc_benchkit.Ablation.row) ->
+          if contains r.Fc_benchkit.Ablation.label "(paper)" then
+            List.iter
+              (fun (_, v) ->
+                if contains v "GUEST PANIC" then
+                  unexpected_panic "ablation %s / %s: %s" title
+                    r.Fc_benchkit.Ablation.label v)
+              r.Fc_benchkit.Ablation.metrics)
+        rows)
+    sections
+
+let chaos ~fast profiles =
+  banner "Chaos: seeded fault matrix vs the recovery-storm governor";
+  let plans = if fast then 30 else 100 in
+  let governed = Fc_benchkit.Chaos.run ~plans profiles in
+  print_string (Fc_benchkit.Chaos.render governed);
+  print_newline ();
+  let ungoverned = Fc_benchkit.Chaos.run ~plans ~governed:false profiles in
+  print_string (Fc_benchkit.Chaos.render ungoverned);
+  let open Fc_benchkit.Chaos in
+  if governed.s_panics > 0 then
+    unexpected_panic "chaos (governed): %d guest panic(s)" governed.s_panics;
+  if governed.s_wedged > 0 then
+    unexpected_panic "chaos (governed): %d wedged run(s)" governed.s_wedged;
+  let json =
+    J.Obj
+      [
+        ("schema_version", J.Int Fc_obs.Export.schema_version);
+        ("seed", J.Int 1);
+        ("plans", J.Int plans);
+        ("governed", summary_to_json governed);
+        ("ungoverned", summary_to_json ungoverned);
+      ]
+  in
+  let oc = open_out "BENCH_chaos.json" in
+  output_string oc (J.to_string ~pretty:true json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "chaos artifact written to BENCH_chaos.json\n";
+  record "chaos"
+    (J.Obj
+       [
+         ("plans", J.Int plans);
+         ("governed", summary_to_json governed);
+         ("ungoverned", summary_to_json ungoverned);
+       ])
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the core primitives                    *)
@@ -259,7 +334,7 @@ let micro profiles =
 
 let all_experiments =
   [ "smoke"; "table1"; "table2"; "fig3"; "fig4"; "fig5"; "fig6"; "fig7";
-    "ablations"; "micro" ]
+    "ablations"; "chaos"; "micro" ]
 
 let write_results path ~fast chosen =
   let json =
@@ -315,8 +390,14 @@ let () =
       | "fig6" -> fig6 ~fast profiles
       | "fig7" -> fig7 profiles
       | "ablations" -> ablations profiles
+      | "chaos" -> chaos ~fast profiles
       | "micro" -> micro profiles
       | _ -> assert false)
     chosen;
   write_results out ~fast chosen;
-  Printf.printf "\ndone.\n"
+  match List.rev !unexpected_panics with
+  | [] -> Printf.printf "\ndone.\n"
+  | ps ->
+      List.iter (Printf.eprintf "unexpected guest panic: %s\n") ps;
+      Printf.eprintf "\nFAILED: %d unexpected guest panic(s)\n" (List.length ps);
+      exit 1

@@ -6,7 +6,8 @@
      facechange profile top -o top.view   profiling phase -> config file
      facechange inspect top.view          summarize a view configuration
      facechange matrix top firefox ...    similarity matrix (Table I)
-     facechange run top --attack Injectso runtime phase + recovery log *)
+     facechange run top --attack Injectso runtime phase + recovery log
+     facechange chaos --plans 20          seeded fault injection + governor *)
 
 open Cmdliner
 module App = Fc_apps.App
@@ -228,8 +229,13 @@ let run_cmd =
        ignore (Facechange.load_view fc (App.profile image app))
      end);
     Printf.printf "running...\n%!";
-    (try Os.run ~max_rounds:50_000 os
-     with Os.Guest_panic m -> Printf.printf "GUEST PANIC: %s\n" m);
+    let panic =
+      match Os.run ~max_rounds:50_000 os with
+      | () -> None
+      | exception Os.Guest_panic m ->
+          Printf.printf "GUEST PANIC: %s\n" m;
+          Some m
+    in
     Printf.printf "\ncompleted: %b\n" (Fc_machine.Process.is_exited proc);
     Format.printf "%a@.@." Fc_core.Stats.pp (Fc_core.Stats.capture fc);
     Format.printf "%a@." Recovery_log.pp (Facechange.log fc);
@@ -256,7 +262,7 @@ let run_cmd =
         Recovery_log.save (Facechange.log fc) path;
         Printf.printf "\nrecovery log saved to %s\n" path
     | None -> ());
-    match attack with
+    (match attack with
     | Some a ->
         let hits =
           List.filter
@@ -266,12 +272,52 @@ let run_cmd =
         Printf.printf "attack evidence: %s -> %s\n"
           (String.concat ", " hits)
           (if hits <> [] then "DETECTED" else "not detected")
-    | None -> ()
+    | None -> ());
+    if panic <> None then exit 1
   in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const run $ app_arg $ attack $ union $ kvm $ iterations_arg $ log_out
       $ monitor $ vcpus)
+
+(* ---------------- chaos ---------------- *)
+
+let chaos_cmd =
+  let doc =
+    "Chaos suite: run seeded fault-injection plans against enforced guests \
+     under the recovery-storm governor.  Exits non-zero if any governed \
+     guest panics or wedges."
+  in
+  let plans =
+    let doc = "Number of seeded fault plans (consecutive seeds)." in
+    Arg.(value & opt int 100 & info [ "plans" ] ~docv:"N" ~doc)
+  in
+  let seed =
+    let doc = "First plan seed." in
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let no_governor =
+    let doc =
+      "Disable the governor: reproduces the paper's fragility, so guest \
+       panics are expected and do not affect the exit status."
+    in
+    Arg.(value & flag & info [ "no-governor" ] ~doc)
+  in
+  let run plans seed no_governor =
+    let image = Lazy.force image in
+    Printf.printf "profiling the 12 applications...\n%!";
+    let profiles = Fc_benchkit.Profiles.compute image in
+    let governed = not no_governor in
+    let s = Fc_benchkit.Chaos.run ~plans ~seed ~governed profiles in
+    print_string (Fc_benchkit.Chaos.render s);
+    if
+      governed
+      && (s.Fc_benchkit.Chaos.s_panics > 0
+         || s.Fc_benchkit.Chaos.s_wedged > 0
+         || not s.Fc_benchkit.Chaos.s_attribution_ok)
+    then exit 1
+  in
+  Cmd.v (Cmd.info "chaos" ~doc) Term.(const run $ plans $ seed $ no_governor)
 
 (* ---------------- report ---------------- *)
 
@@ -557,5 +603,5 @@ let () =
   let info = Cmd.info "facechange" ~version:"1.0.0" ~doc in
   exit (Cmd.eval (Cmd.group info
        [ apps_cmd; attacks_cmd; syscalls_cmd; profile_cmd; inspect_cmd;
-         matrix_cmd; run_cmd; trace_cmd; stats_cmd; timeline_cmd; calltree_cmd;
-         report_cmd ]))
+         matrix_cmd; run_cmd; chaos_cmd; trace_cmd; stats_cmd; timeline_cmd;
+         calltree_cmd; report_cmd ]))

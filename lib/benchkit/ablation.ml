@@ -38,7 +38,8 @@ let run_top ~opts profiles =
   let outcome =
     match Os.run ~max_rounds:20_000 os with
     | () -> if Process.is_exited p2 then "completed" else "stuck"
-    | exception Os.Guest_panic _ -> "GUEST PANIC (misdecoded UD2 inside a function)"
+    | exception Os.Guest_panic m ->
+        Printf.sprintf "GUEST PANIC (misdecoded UD2 inside a function): %s" m
   in
   ( build_bytes,
     build_pages,
@@ -145,7 +146,7 @@ let cross_view ~opts profiles =
       ignore (Facechange.load_view fc (Profiles.config_of profiles "top")));
   match Os.run ~max_rounds:5_000 os with
   | () -> (fc, (if Process.is_exited p then "completed" else "stuck"))
-  | exception Os.Guest_panic _ -> (fc, "GUEST PANIC")
+  | exception Os.Guest_panic m -> (fc, Printf.sprintf "GUEST PANIC: %s" m)
 
 let instant_recovery profiles =
   List.map

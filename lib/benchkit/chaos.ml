@@ -1,0 +1,196 @@
+module Os = Fc_machine.Os
+module Hyp = Fc_hypervisor.Hypervisor
+module Facechange = Fc_core.Facechange
+module Governor = Fc_core.Governor
+module Stats = Fc_core.Stats
+module App = Fc_apps.App
+module Fault = Fc_faults.Fault
+module Frand = Fc_faults.Frand
+module Injector = Fc_faults.Injector
+module J = Fc_obs.Jsonx
+
+type plan_row = {
+  p_seed : int;
+  p_app : string;
+  p_faults : int;
+  p_bp_misses : int;
+  p_config_rejects : int;
+  p_validation_misses : int;
+  p_recoveries : int;
+  p_storms : int;
+  p_degradations : int;
+  p_renarrows : int;
+  p_quarantines : int;
+  p_broken_backtraces : int;
+  p_panic : string option;
+  p_wedged : bool;
+  p_attribution_ok : bool;
+}
+
+type summary = {
+  s_governed : bool;
+  s_plans : int;
+  s_faults : int;
+  s_bp_misses : int;
+  s_config_rejects : int;
+  s_validation_misses : int;
+  s_recoveries : int;
+  s_storms : int;
+  s_degradations : int;
+  s_renarrows : int;
+  s_quarantines : int;
+  s_broken_backtraces : int;
+  s_panics : int;
+  s_wedged : int;
+  s_attribution_ok : bool;
+  s_rows : plan_row list;
+}
+
+(* Storm thresholds low enough, and the cooldown short enough, that a
+   ~200-round chaos guest can traverse the whole governor state machine:
+   narrow -> throttled -> degraded -> renarrowed -> quarantined. *)
+let chaos_policy =
+  {
+    Governor.default_policy with
+    Governor.window_cycles = 250_000;
+    throttle_after = 3;
+    storm_after = 5;
+    cooldown_cycles = 120_000;
+  }
+
+(* A stable app pool: variety in syscall mix and interrupt environment
+   without the heaviest scripts (the suite runs hundreds of guests). *)
+let app_pool =
+  [ "top"; "apache"; "gvim"; "tcpdump"; "bash"; "gzip"; "vsftpd"; "eog" ]
+
+let attribution_ok (st : Stats.t) =
+  let sum f = List.fold_left (fun acc (_, a) -> acc + f a) 0 st.Stats.per_app in
+  sum (fun a -> a.Stats.a_cycles_charged) = st.Stats.hypervisor_cycles
+  && sum (fun a -> a.Stats.a_view_switches) = st.Stats.view_switches
+  && sum (fun a -> a.Stats.a_recoveries) = st.Stats.recoveries
+  && sum (fun a -> a.Stats.a_recovered_bytes) = st.Stats.recovered_bytes
+  && sum (fun a -> a.Stats.a_cow_breaks) = st.Stats.cow_breaks
+
+let run_plan ?(governed = true) ?(policy = chaos_policy) profiles ~seed =
+  let r = Frand.create (seed lxor 0x5eed) in
+  let name = Frand.pick r app_pool in
+  let n = 4 + Frand.int r 7 in
+  let plan = Fault.gen ~seed ~rounds:120 ~n in
+  let app = App.find_exn name in
+  let os = Os.create ~config:(App.os_config app) (Profiles.image profiles) in
+  let hyp = Hyp.attach os in
+  let fc =
+    Facechange.enable ?governor:(if governed then Some policy else None) hyp
+  in
+  let (_ : int) = Facechange.load_view fc (Profiles.config_of profiles name) in
+  let (_ : Fc_machine.Process.t) = Os.spawn os ~name (app.App.script 4) in
+  (* a companion on the full view keeps context switches (and renarrow
+     opportunities) flowing even while [name] is degraded *)
+  let companion = App.find_exn "top" in
+  let (_ : Fc_machine.Process.t) =
+    Os.spawn os ~name:"chaos-companion" (companion.App.script 2)
+  in
+  let inj = Injector.arm ~os ~hyp ~fc plan in
+  let panic, wedged =
+    match Os.run ~max_rounds:20_000 os with
+    | () -> (None, false)
+    | exception Os.Guest_panic "scheduler round budget exhausted" ->
+        (None, true)
+    | exception Os.Guest_panic m -> (Some m, false)
+  in
+  Injector.disarm inj;
+  let st = Stats.capture fc in
+  {
+    p_seed = seed;
+    p_app = name;
+    p_faults = Injector.injected inj;
+    p_bp_misses = Injector.bp_misses inj;
+    p_config_rejects = Injector.config_rejects inj;
+    p_validation_misses = Injector.validation_misses inj;
+    p_recoveries = st.Stats.recoveries;
+    p_storms = st.Stats.storms;
+    p_degradations = st.Stats.degradations;
+    p_renarrows = st.Stats.renarrows;
+    p_quarantines = st.Stats.quarantines;
+    p_broken_backtraces = st.Stats.broken_backtraces;
+    p_panic = panic;
+    p_wedged = wedged;
+    p_attribution_ok = attribution_ok st;
+  }
+
+let run ?(plans = 100) ?(seed = 1) ?(governed = true) ?policy profiles =
+  let rows =
+    List.init plans (fun i -> run_plan ~governed ?policy profiles ~seed:(seed + i))
+  in
+  let sum f = List.fold_left (fun acc r -> acc + f r) 0 rows in
+  {
+    s_governed = governed;
+    s_plans = plans;
+    s_faults = sum (fun r -> r.p_faults);
+    s_bp_misses = sum (fun r -> r.p_bp_misses);
+    s_config_rejects = sum (fun r -> r.p_config_rejects);
+    s_validation_misses = sum (fun r -> r.p_validation_misses);
+    s_recoveries = sum (fun r -> r.p_recoveries);
+    s_storms = sum (fun r -> r.p_storms);
+    s_degradations = sum (fun r -> r.p_degradations);
+    s_renarrows = sum (fun r -> r.p_renarrows);
+    s_quarantines = sum (fun r -> r.p_quarantines);
+    s_broken_backtraces = sum (fun r -> r.p_broken_backtraces);
+    s_panics = sum (fun r -> if r.p_panic = None then 0 else 1);
+    s_wedged = sum (fun r -> if r.p_wedged then 1 else 0);
+    s_attribution_ok = List.for_all (fun r -> r.p_attribution_ok) rows;
+    s_rows = rows;
+  }
+
+let summary_to_json s =
+  J.Obj
+    [
+      ("governed", J.Bool s.s_governed);
+      ("plans", J.Int s.s_plans);
+      ("faults_injected", J.Int s.s_faults);
+      ("bp_misses", J.Int s.s_bp_misses);
+      ("config_rejects", J.Int s.s_config_rejects);
+      ("validation_misses", J.Int s.s_validation_misses);
+      ("recoveries", J.Int s.s_recoveries);
+      ("storms", J.Int s.s_storms);
+      ("degradations", J.Int s.s_degradations);
+      ("renarrows", J.Int s.s_renarrows);
+      ("quarantines", J.Int s.s_quarantines);
+      ("broken_backtraces", J.Int s.s_broken_backtraces);
+      ("panics", J.Int s.s_panics);
+      ("wedged", J.Int s.s_wedged);
+      ("attribution_ok", J.Bool s.s_attribution_ok);
+    ]
+
+let render s =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf
+    (Printf.sprintf "Chaos matrix: %d seeded fault plans, governor %s\n"
+       s.s_plans
+       (if s.s_governed then "ON" else "OFF"));
+  List.iter
+    (fun r ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "  seed %-4d %-8s faults=%-2d rec=%-3d storms=%d deg=%d ren=%d \
+            quar=%d broken=%d%s%s%s\n"
+           r.p_seed r.p_app r.p_faults r.p_recoveries r.p_storms
+           r.p_degradations r.p_renarrows r.p_quarantines r.p_broken_backtraces
+           (match r.p_panic with
+           | Some m -> Printf.sprintf "  PANIC: %s" m
+           | None -> "")
+           (if r.p_wedged then "  WEDGED" else "")
+           (if r.p_attribution_ok then "" else "  ATTRIBUTION-DRIFT")))
+    s.s_rows;
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  totals: %d faults (%d bp misses, %d config rejects), %d recoveries, \
+        %d storms, %d degradations, %d renarrows, %d quarantines, %d broken \
+        backtraces\n"
+       s.s_faults s.s_bp_misses s.s_config_rejects s.s_recoveries s.s_storms
+       s.s_degradations s.s_renarrows s.s_quarantines s.s_broken_backtraces);
+  Buffer.add_string buf
+    (Printf.sprintf "  panics: %d  wedged: %d  attribution: %s\n" s.s_panics
+       s.s_wedged
+       (if s.s_attribution_ok then "ok" else "DRIFTED"));
+  Buffer.contents buf

@@ -1,0 +1,81 @@
+(** The chaos matrix: seeded fault plans against live guests.
+
+    Each plan boots a fresh guest running one profiled application (plus
+    a companion on the full view, to keep context switches flowing),
+    arms a {!Fc_faults.Injector} with a {!Fc_faults.Fault.plan} derived
+    from the seed, and runs to completion.  Everything downstream of the
+    seed is deterministic, so the aggregate counters are pinnable by the
+    CI drift gate.
+
+    With the governor on, the acceptance property is: {e zero} guest
+    panics and {e zero} wedged runs across the whole matrix, with
+    per-app attribution still summing to the globals.  With the governor
+    off the same plans reproduce the paper's fragility — unhandled
+    invalid-opcode exits kill the guest. *)
+
+type plan_row = {
+  p_seed : int;
+  p_app : string;  (** the profiled application under fault *)
+  p_faults : int;  (** fault events actually applied *)
+  p_bp_misses : int;
+  p_config_rejects : int;
+  p_validation_misses : int;  (** malformed configs that parsed — holes *)
+  p_recoveries : int;
+  p_storms : int;
+  p_degradations : int;
+  p_renarrows : int;
+  p_quarantines : int;
+  p_broken_backtraces : int;
+  p_panic : string option;  (** a real guest death (wedges excluded) *)
+  p_wedged : bool;  (** hit the scheduler round budget *)
+  p_attribution_ok : bool;  (** per-app sums still match the globals *)
+}
+
+type summary = {
+  s_governed : bool;
+  s_plans : int;
+  s_faults : int;
+  s_bp_misses : int;
+  s_config_rejects : int;
+  s_validation_misses : int;
+  s_recoveries : int;
+  s_storms : int;
+  s_degradations : int;
+  s_renarrows : int;
+  s_quarantines : int;
+  s_broken_backtraces : int;
+  s_panics : int;
+  s_wedged : int;
+  s_attribution_ok : bool;  (** every row's attribution held *)
+  s_rows : plan_row list;
+}
+
+val chaos_policy : Fc_core.Governor.policy
+(** {!Fc_core.Governor.default_policy} with thresholds scaled down so a
+    short chaos guest can traverse the whole state machine (storm,
+    degrade, renarrow, quarantine) within its run. *)
+
+val run_plan :
+  ?governed:bool ->
+  ?policy:Fc_core.Governor.policy ->
+  Profiles.t ->
+  seed:int ->
+  plan_row
+(** One seeded plan against one fresh guest.  [governed] defaults to
+    [true]; [policy] to {!chaos_policy}. *)
+
+val run :
+  ?plans:int ->
+  ?seed:int ->
+  ?governed:bool ->
+  ?policy:Fc_core.Governor.policy ->
+  Profiles.t ->
+  summary
+(** [plans] (default 100) consecutive seeds starting at [seed]
+    (default 1). *)
+
+val summary_to_json : summary -> Fc_obs.Jsonx.t
+(** Aggregate counters only (no per-row detail) — the shape embedded in
+    [BENCH_chaos.json]. *)
+
+val render : summary -> string

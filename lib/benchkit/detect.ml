@@ -11,6 +11,7 @@ type outcome = {
   attack : Attack.t;
   mode : view_mode;
   completed : bool;
+  panic : string option;
   recovered : string list;
   evidence : string list;
   detected : bool;
@@ -44,10 +45,10 @@ let run profiles ~mode (attack : Attack.t) =
      user-level payloads fire later regardless. *)
   attack.Attack.launch os proc;
   load_views profiles fc ~mode ~host:attack.Attack.host;
-  let completed =
+  let completed, panic =
     match Os.run ~max_rounds:20_000 os with
-    | () -> Fc_machine.Process.is_exited proc
-    | exception Os.Guest_panic _ -> false
+    | () -> (Fc_machine.Process.is_exited proc, None)
+    | exception Os.Guest_panic m -> (false, Some m)
   in
   let log = Facechange.log fc in
   let recovered = Recovery_log.recovered_names log in
@@ -58,6 +59,7 @@ let run profiles ~mode (attack : Attack.t) =
     attack;
     mode;
     completed;
+    panic;
     recovered;
     evidence;
     detected = evidence <> [];

@@ -10,6 +10,9 @@ type outcome = {
   attack : Fc_attacks.Attack.t;
   mode : view_mode;
   completed : bool;  (** the host ran to completion (recovery is silent) *)
+  panic : string option;
+      (** the [Guest_panic] message when the run died — expected for
+          attacks whose payload derails kernel execution *)
   recovered : string list;  (** recovered function names, chronological *)
   evidence : string list;   (** recovered ∩ attack signature *)
   detected : bool;

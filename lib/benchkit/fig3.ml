@@ -8,6 +8,7 @@ module App = Fc_apps.App
 type result = {
   log : Recovery_log.t;
   completed : bool;
+  panic : string option;
   lazy_recovered : string list;
   instant_recovered : string list;
 }
@@ -37,10 +38,10 @@ let run profiles =
   Os.schedule_at_round os 2 (fun _ ->
       let (_ : int) = Facechange.load_view fc (Profiles.config_of profiles "top") in
       ());
-  let completed =
+  let completed, panic =
     match Os.run ~max_rounds:10_000 os with
-    | () -> Fc_machine.Process.is_exited proc
-    | exception Os.Guest_panic _ -> false
+    | () -> (Fc_machine.Process.is_exited proc, None)
+    | exception Os.Guest_panic m -> (false, Some m)
   in
   let log = Facechange.log fc in
   let entries = Recovery_log.entries log in
@@ -54,7 +55,7 @@ let run profiles =
       (fun e -> List.map (fun (_, _, s) -> bare s) e.Recovery_log.recovered)
       entries
   in
-  { log; completed; lazy_recovered; instant_recovered }
+  { log; completed; panic; lazy_recovered; instant_recovered }
 
 let render r =
   let buf = Buffer.create 2048 in
@@ -92,4 +93,7 @@ let render r =
        (String.concat ", " r.lazy_recovered)
        (String.concat ", " r.instant_recovered)
        r.completed);
+  (match r.panic with
+  | Some m -> Buffer.add_string buf (Printf.sprintf "GUEST PANIC: %s\n" m)
+  | None -> ());
   Buffer.contents buf

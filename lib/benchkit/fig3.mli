@@ -11,6 +11,7 @@
 type result = {
   log : Fc_core.Recovery_log.t;
   completed : bool;
+  panic : string option;  (** the [Guest_panic] message, if the guest died *)
   lazy_recovered : string list;   (** functions recovered via later traps *)
   instant_recovered : string list;
 }

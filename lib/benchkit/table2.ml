@@ -25,7 +25,12 @@ let render rows =
            (if per_app.Detect.detected then "YES" else "no")
            (if union.Detect.detected then "YES" else "no")
            (if per_app.Detect.unknown_frames then "yes" else "-")
-           (String.concat ", " per_app.Detect.evidence)))
+           (String.concat ", " per_app.Detect.evidence));
+      match per_app.Detect.panic with
+      | Some m ->
+          Buffer.add_string buf
+            (Printf.sprintf "%13s guest panic: %s\n" "" m)
+      | None -> ())
     rows;
   Buffer.contents buf
 

@@ -55,6 +55,16 @@ type t = {
   recoveries_f : Metrics.family; (* fc.recoveries{comm} *)
   recovered_bytes_f : Metrics.family; (* fc.recovered_bytes{comm} *)
   mutable retired_cow_breaks : int;  (* from views since unloaded *)
+  (* degradation governor (None = the paper's die-on-unhandled behavior) *)
+  governor : Governor.t option;
+  saved_bindings : (string, int) Hashtbl.t; (* narrow index while degraded *)
+  storms : Metrics.counter;
+  degraded_c : Metrics.counter;
+  renarrowed_c : Metrics.counter;
+  quarantined_c : Metrics.counter;
+  broken_walks : Metrics.counter;
+  tolerated : Metrics.counter;
+  degraded_f : Metrics.family; (* fc.degradations{comm} *)
   mutable enabled : bool;
 }
 
@@ -85,6 +95,13 @@ let switch_skips t = Metrics.value t.switch_skips
 let deferred_switches t = Metrics.value t.deferred
 let recoveries t = Metrics.value t.recoveries
 let recovered_bytes t = Metrics.value t.recovered_bytes
+let governor t = t.governor
+let storms t = Metrics.value t.storms
+let degradations t = Metrics.value t.degraded_c
+let renarrows t = Metrics.value t.renarrowed_c
+let quarantines t = Metrics.value t.quarantined_c
+let broken_backtraces t = Metrics.value t.broken_walks
+let tolerated_faults t = Metrics.value t.tolerated
 
 let shared_frames t =
   List.fold_left
@@ -155,6 +172,110 @@ let sync_resume_breakpoint t =
     Hyp.set_breakpoint t.hyp t.resume_addr
   else Hyp.clear_breakpoint t.hyp t.resume_addr
 
+(* ---------------- governor escalation ---------------- *)
+
+(* Rebind [comm] to the full kernel view and install it on the vCPU that
+   is faulting right now.  The narrow binding is parked in
+   [saved_bindings] so the cooldown can restore it. *)
+let degrade_to_full t ~vid ~comm ~cycle ~reason =
+  let from_index = selector t ~comm in
+  if from_index <> full_view_index then begin
+    Hashtbl.replace t.saved_bindings comm from_index;
+    bind t ~comm ~index:full_view_index
+  end;
+  t.pending.(vid) <- None;
+  sync_resume_breakpoint t;
+  if t.active.(vid) <> full_view_index then
+    switch_kernel_view t ~vid full_view_index;
+  Metrics.incr t.degraded_c;
+  Metrics.incr (Metrics.family_counter t.degraded_f comm);
+  if Obs.armed t.obs then
+    Obs.emit t.obs (Event.Degraded { vid; comm; from_index; reason });
+  match t.governor with
+  | None -> ()
+  | Some g -> (
+      match Governor.note_degraded g ~comm ~cycle with
+      | `Degraded -> ()
+      | `Quarantine ->
+          (* too many degradations: never renarrow this comm again *)
+          Hashtbl.remove t.saved_bindings comm;
+          Metrics.incr t.quarantined_c;
+          if Obs.armed t.obs then
+            Obs.emit t.obs
+              (Event.Quarantined
+                 { vid; comm; degradations = Governor.degradations g ~comm }))
+
+let quarantine_comm t ~vid ~comm ~cycle ~reason =
+  let from_index = selector t ~comm in
+  if from_index <> full_view_index then bind t ~comm ~index:full_view_index;
+  Hashtbl.remove t.saved_bindings comm;
+  t.pending.(vid) <- None;
+  sync_resume_breakpoint t;
+  if t.active.(vid) <> full_view_index then
+    switch_kernel_view t ~vid full_view_index;
+  (match t.governor with
+  | Some g -> Governor.quarantine g ~comm ~cycle
+  | None -> ());
+  Metrics.incr t.degraded_c;
+  Metrics.incr (Metrics.family_counter t.degraded_f comm);
+  Metrics.incr t.quarantined_c;
+  if Obs.armed t.obs then begin
+    Obs.emit t.obs (Event.Degraded { vid; comm; from_index; reason });
+    Obs.emit t.obs
+      (Event.Quarantined
+         {
+           vid;
+           comm;
+           degradations =
+             (match t.governor with
+             | Some g -> Governor.degradations g ~comm
+             | None -> 0);
+         })
+  end
+
+(* Record one degradable event (lazy recovery or broken backtrace) and
+   escalate if it tipped the comm into a storm. *)
+let governor_note_event t ~vid ~comm ~reason =
+  match t.governor with
+  | None -> ()
+  | Some g -> (
+      let cycle = Os.cycles (Hyp.os t.hyp) in
+      match Governor.note_event g ~comm ~cycle with
+      | `Steady | `Throttle -> ()
+      | `Storm n ->
+          Metrics.incr t.storms;
+          if Obs.armed t.obs then
+            Obs.emit t.obs
+              (Event.Storm_detected
+                 {
+                   vid;
+                   comm;
+                   events = n;
+                   window = (Governor.policy g).Governor.window_cycles;
+                 });
+          degrade_to_full t ~vid ~comm ~cycle
+            ~reason:(Printf.sprintf "%s storm: %d events in window" reason n))
+
+(* Policy for the recovery path's dead ends: the paper lets the guest
+   die; under a governor the comm falls back to the full view instead and
+   execution resumes on the original kernel code. *)
+let governed_unhandled t ~vid ~comm reason =
+  match t.governor with
+  | None -> `Unhandled reason
+  | Some g -> (
+      let cycle = Os.cycles (Hyp.os t.hyp) in
+      match Governor.note_unhandled g ~comm with
+      | `Die -> `Unhandled reason
+      | `Tolerate ->
+          Metrics.incr t.tolerated;
+          `Handled
+      | `Degrade ->
+          degrade_to_full t ~vid ~comm ~cycle ~reason;
+          `Handled
+      | `Quarantine ->
+          quarantine_comm t ~vid ~comm ~cycle ~reason;
+          `Handled)
+
 let handle_kernel_view_trap t (_regs : Cpu.regs) addr =
   Hyp.charge t.hyp Cost.breakpoint_handler;
   let vid = Os.active_vcpu_id (Hyp.os t.hyp) in
@@ -162,6 +283,24 @@ let handle_kernel_view_trap t (_regs : Cpu.regs) addr =
     let pid, comm = Hyp.current_task t.hyp in
     if Obs.armed t.obs then
       Obs.emit t.obs (Event.Breakpoint { vid; addr; pid; comm });
+    (* hysteresis: a degraded comm whose cooldown elapsed re-narrows
+       here, at a context switch — the only moment a rebind is safe *)
+    (match t.governor with
+    | Some g
+      when Governor.renarrow_due g ~comm
+             ~cycle:(Os.cycles (Hyp.os t.hyp)) -> (
+        Governor.note_renarrowed g ~comm;
+        match Hashtbl.find_opt t.saved_bindings comm with
+        | Some narrow when find_view t narrow <> None ->
+            Hashtbl.remove t.saved_bindings comm;
+            bind t ~comm ~index:narrow;
+            Metrics.incr t.renarrowed_c;
+            if Obs.armed t.obs then
+              Obs.emit t.obs (Event.Renarrowed { vid; comm; to_index = narrow })
+        | _ ->
+            (* the narrow view is gone; stay on full but stop tracking *)
+            Hashtbl.remove t.saved_bindings comm)
+    | _ -> ());
     let index = selector t ~comm in
     if index = full_view_index then begin
       t.pending.(vid) <- None;
@@ -246,11 +385,13 @@ let is_interrupt_frame t frames =
 let handle_invalid_opcode t (regs : Cpu.regs) =
   let vid = Os.active_vcpu_id (Hyp.os t.hyp) in
   if t.active.(vid) = full_view_index then
-    `Unhandled
+    governed_unhandled t ~vid ~comm:(current_comm t)
       (Printf.sprintf "invalid opcode at 0x%x under the full kernel view" regs.Cpu.eip)
   else
     match find_view t t.active.(vid) with
-    | None -> `Unhandled "active view disappeared"
+    | None ->
+        governed_unhandled t ~vid ~comm:(current_comm t)
+          "active view disappeared"
     | Some view ->
         let sid = span_enter t Fc_obs.Span.Recovery in
         let result = (
@@ -261,10 +402,24 @@ let handle_invalid_opcode t (regs : Cpu.regs) =
         if Obs.armed t.obs then
           Obs.emit t.obs
             (Event.Ud2_trap { vid; eip = regs.Cpu.eip; pid; comm });
-        let frames =
-          Hyp.stack_frames t.hyp ~eip:regs.Cpu.eip ~ebp:regs.Cpu.ebp
-            ~esp:regs.Cpu.esp ()
+        let walk =
+          let max_depth =
+            match t.governor with
+            | Some g -> (Governor.policy g).Governor.max_backtrace_depth
+            | None -> 64
+          in
+          Hyp.stack_walk t.hyp ~eip:regs.Cpu.eip ~ebp:regs.Cpu.ebp
+            ~esp:regs.Cpu.esp ~max_depth ()
         in
+        let frames = walk.Hyp.frames in
+        (* a malformed chain is a degradable event, not a crash: the walk
+           already stopped at the break, so only the trustworthy prefix
+           is used below *)
+        (match walk.Hyp.broken with
+        | None -> ()
+        | Some why ->
+            Metrics.incr t.broken_walks;
+            governor_note_event t ~vid ~comm ~reason:why);
         (* capture what the view presented at each frame before recovery
            rewrites it (the hex dumps of Fig. 3) *)
         let frame_bytes =
@@ -299,7 +454,7 @@ let handle_invalid_opcode t (regs : Cpu.regs) =
         in
         match fetch_fill_code t view regs.Cpu.eip with
         | None ->
-            `Unhandled
+            governed_unhandled t ~vid ~comm
               (Printf.sprintf "cannot locate kernel code containing 0x%x" regs.Cpu.eip)
         | Some (start, stop) ->
             Metrics.incr t.recoveries;
@@ -343,6 +498,18 @@ let handle_invalid_opcode t (regs : Cpu.regs) =
                   Os.in_interrupt (Hyp.os t.hyp) || is_interrupt_frame t frames;
                 unknown_frames;
               };
+            (* throttle: while a comm is hot, damp the storm by loading
+               the functions of its whole caller chain eagerly, not just
+               misdecodable return targets *)
+            (match t.governor with
+            | Some g when Governor.state g ~comm = Governor.Throttled ->
+                List.iter
+                  (fun a ->
+                    if not (View.covers view ~gva:a) then
+                      ignore (fetch_fill_code t view a))
+                  (match frames with _ :: rest -> rest | [] -> [])
+            | _ -> ());
+            governor_note_event t ~vid ~comm ~reason:"recovery";
             `Handled)
         in
         span_exit t sid;
@@ -350,7 +517,7 @@ let handle_invalid_opcode t (regs : Cpu.regs) =
 
 (* ---------------- lifecycle ---------------- *)
 
-let enable ?(opts = default_opts) hyp =
+let enable ?(opts = default_opts) ?governor hyp =
   let os = Hyp.os hyp in
   let image = Os.image os in
   let ctx_switch_addr = Image.addr_of_exn image "__switch_to" in
@@ -399,13 +566,26 @@ let enable ?(opts = default_opts) hyp =
       recoveries_f = Metrics.counter_family m ~subsystem:"fc" "recoveries";
       recovered_bytes_f = Metrics.counter_family m ~subsystem:"fc" "recovered_bytes";
       retired_cow_breaks = 0;
+      governor = Option.map Governor.create governor;
+      saved_bindings = Hashtbl.create 8;
+      storms = Metrics.counter m ~subsystem:"fc" "storms";
+      degraded_c = Metrics.counter m ~subsystem:"fc" "degradations";
+      renarrowed_c = Metrics.counter m ~subsystem:"fc" "renarrows";
+      quarantined_c = Metrics.counter m ~subsystem:"fc" "quarantines";
+      broken_walks = Metrics.counter m ~subsystem:"fc" "broken_backtraces";
+      tolerated = Metrics.counter m ~subsystem:"fc" "tolerated_faults";
+      degraded_f = Metrics.counter_family m ~subsystem:"fc" "degradations";
       enabled = true;
     }
   in
   (* a fresh enablement owns these instruments, even on a guest that ran
      an earlier FACE-CHANGE instance *)
   List.iter Metrics.reset
-    [ t.switches; t.switch_skips; t.deferred; t.recoveries; t.recovered_bytes ];
+    [
+      t.switches; t.switch_skips; t.deferred; t.recoveries; t.recovered_bytes;
+      t.storms; t.degraded_c; t.renarrowed_c; t.quarantined_c; t.broken_walks;
+      t.tolerated;
+    ];
   Metrics.reset_histogram t.recovery_bytes_h;
   Metrics.reset_histogram t.view_build_cycles;
   List.iter Metrics.reset_family
@@ -413,6 +593,7 @@ let enable ?(opts = default_opts) hyp =
       t.switches_f;
       t.recoveries_f;
       t.recovered_bytes_f;
+      t.degraded_f;
       Metrics.counter_family m ~subsystem:"view" "cow_breaks";
     ];
   (* structural state exported as read-through gauges: Stats.capture is a
@@ -460,6 +641,10 @@ let unload_view t index =
           if active = index then switch_kernel_view t ~vid full_view_index)
         t.active;
       t.bindings <- List.filter (fun (_, i) -> i <> index) t.bindings;
+      Hashtbl.iter
+        (fun comm narrow ->
+          if narrow = index then Hashtbl.remove t.saved_bindings comm)
+        (Hashtbl.copy t.saved_bindings);
       t.views <- List.filter (fun v' -> View.index v' <> index) t.views;
       Array.iteri
         (fun vid p -> if p = Some index then t.pending.(vid) <- None)
@@ -485,5 +670,6 @@ let disable t =
         View.destroy v)
       t.views;
     t.views <- [];
-    t.bindings <- []
+    t.bindings <- [];
+    Hashtbl.reset t.saved_bindings
   end

@@ -17,7 +17,11 @@
     - invalid-opcode VM exits trigger kernel code recovery: backtrace,
       provenance logging, whole-function fetch from the original kernel
       pages, and instant recovery of any caller whose return address
-      lands on a misdecoding [0x0b 0x0f] boundary. *)
+      lands on a misdecoding [0x0b 0x0f] boundary;
+    - optionally, a {!Governor} watches the recovery rate per comm and
+      degrades a storming app to the full kernel view (with cooldown and
+      re-narrowing) instead of letting recovery churn — or the guest
+      die — unbounded. *)
 
 type opts = {
   switch_at_resume : bool;
@@ -34,9 +38,19 @@ val default_opts : opts
 
 type t
 
-val enable : ?opts:opts -> Fc_hypervisor.Hypervisor.t -> t
+val enable :
+  ?opts:opts -> ?governor:Governor.policy -> Fc_hypervisor.Hypervisor.t -> t
 (** Install the traps and the VM-exit handlers.  The full kernel view is
-    active and selected for every process until views are loaded. *)
+    active and selected for every process until views are loaded.
+
+    Without [governor] the runtime behaves exactly as the paper
+    describes: an unhandled invalid-opcode exit panics the guest and
+    recovery storms run unchecked.  With a {!Governor.policy}, recoveries
+    and broken backtraces are tracked per comm; a storming comm is
+    throttled (caller-chain prefetch), then degraded to the full kernel
+    view, re-narrowed after a cooldown, and quarantined if it keeps
+    misbehaving — and [`Unhandled] exits become survivable under the
+    [`Degrade] policy. *)
 
 val disable : t -> unit
 (** Switch back to the full view, clear all traps, and destroy every
@@ -93,3 +107,27 @@ val shared_frames : t -> int
 val cow_breaks : t -> int
 (** Shared frames privatized by copy-on-write across all loaded views
     (including views since unloaded). *)
+
+(* ---------------- governor ---------------- *)
+
+val governor : t -> Governor.t option
+
+val storms : t -> int
+(** Recovery storms detected (sliding-window threshold crossings). *)
+
+val degradations : t -> int
+(** Fallbacks to the full kernel view (including quarantines). *)
+
+val renarrows : t -> int
+(** Degraded comms re-bound to their narrow view after cooldown. *)
+
+val quarantines : t -> int
+(** Comms pinned to the full view for good. *)
+
+val broken_backtraces : t -> int
+(** rbp walks cut short by a cyclic, out-of-range, unreadable, or
+    over-deep chain. *)
+
+val tolerated_faults : t -> int
+(** Unhandled invalid-opcode exits swallowed for already-quarantined
+    comms. *)

@@ -1,0 +1,130 @@
+type policy = {
+  window_cycles : int;
+  throttle_after : int;
+  storm_after : int;
+  cooldown_cycles : int;
+  quarantine_after : int;
+  max_backtrace_depth : int;
+  on_unhandled : [ `Degrade | `Die ];
+}
+
+let default_policy =
+  {
+    window_cycles = 400_000;
+    throttle_after = 4;
+    storm_after = 8;
+    cooldown_cycles = 600_000;
+    quarantine_after = 3;
+    max_backtrace_depth = 32;
+    on_unhandled = `Degrade;
+  }
+
+type state = Narrow | Throttled | Degraded | Quarantined
+
+let state_label = function
+  | Narrow -> "narrow"
+  | Throttled -> "throttled"
+  | Degraded -> "degraded"
+  | Quarantined -> "quarantined"
+
+type app = {
+  mutable st : state;
+  recent : int Queue.t; (* cycles of degradable events, oldest first *)
+  mutable degradations : int;
+  mutable degraded_at : int;
+  mutable unhandled : int;
+}
+
+type t = { policy : policy; apps : (string, app) Hashtbl.t }
+
+let create policy = { policy; apps = Hashtbl.create 8 }
+let policy t = t.policy
+
+let app t comm =
+  match Hashtbl.find_opt t.apps comm with
+  | Some a -> a
+  | None ->
+      let a =
+        {
+          st = Narrow;
+          recent = Queue.create ();
+          degradations = 0;
+          degraded_at = 0;
+          unhandled = 0;
+        }
+      in
+      Hashtbl.add t.apps comm a;
+      a
+
+let state t ~comm =
+  match Hashtbl.find_opt t.apps comm with Some a -> a.st | None -> Narrow
+
+let comms t =
+  List.sort compare
+    (Hashtbl.fold (fun c a acc -> (c, a.st) :: acc) t.apps [])
+
+let degradations t ~comm =
+  match Hashtbl.find_opt t.apps comm with Some a -> a.degradations | None -> 0
+
+let note_event t ~comm ~cycle =
+  let a = app t comm in
+  Queue.push cycle a.recent;
+  let expired c = c + t.policy.window_cycles < cycle in
+  while
+    match Queue.peek_opt a.recent with Some c -> expired c | None -> false
+  do
+    ignore (Queue.pop a.recent)
+  done;
+  let n = Queue.length a.recent in
+  match a.st with
+  | Degraded | Quarantined -> `Steady
+  | Narrow when n >= t.policy.storm_after -> `Storm n
+  | Narrow when n >= t.policy.throttle_after ->
+      a.st <- Throttled;
+      `Throttle
+  | Throttled when n >= t.policy.storm_after -> `Storm n
+  | Narrow | Throttled -> `Steady
+
+let note_degraded t ~comm ~cycle =
+  let a = app t comm in
+  Queue.clear a.recent;
+  a.degradations <- a.degradations + 1;
+  a.degraded_at <- cycle;
+  if a.degradations >= t.policy.quarantine_after then begin
+    a.st <- Quarantined;
+    `Quarantine
+  end
+  else begin
+    a.st <- Degraded;
+    `Degraded
+  end
+
+let note_unhandled t ~comm =
+  match t.policy.on_unhandled with
+  | `Die -> `Die
+  | `Degrade -> (
+      let a = app t comm in
+      a.unhandled <- a.unhandled + 1;
+      match a.st with
+      | Quarantined -> `Tolerate
+      | _ when a.unhandled >= t.policy.quarantine_after -> `Quarantine
+      | _ -> `Degrade)
+
+let quarantine t ~comm ~cycle =
+  let a = app t comm in
+  Queue.clear a.recent;
+  a.degradations <- a.degradations + 1;
+  a.degraded_at <- cycle;
+  a.st <- Quarantined
+
+let renarrow_due t ~comm ~cycle =
+  match Hashtbl.find_opt t.apps comm with
+  | Some a ->
+      a.st = Degraded && cycle - a.degraded_at >= t.policy.cooldown_cycles
+  | None -> false
+
+let note_renarrowed t ~comm =
+  let a = app t comm in
+  a.st <- Narrow;
+  a.unhandled <- 0;
+  Queue.clear a.recent

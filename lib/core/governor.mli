@@ -1,0 +1,100 @@
+(** The recovery-storm governor: bounded degradation instead of death.
+
+    The paper's recovery path (§III-B3) assumes the per-app profile is
+    close enough to the workload that UD2 traps stay rare, and that an
+    unhandled fault is fatal.  This module tracks degradable events —
+    lazy recoveries and broken backtrace chains — per guest comm in a
+    sliding cycle window and decides when FACE-CHANGE should escalate:
+
+    {v
+      narrow --(throttle_after events/window)--> throttled
+      narrow|throttled --(storm_after events/window)--> degraded (full view)
+      degraded --(cooldown elapsed, at a context switch)--> narrow
+      any --(quarantine_after degradations, or repeated unhandled
+             faults)--> quarantined (full view, permanently)
+    v}
+
+    The governor only decides; {!Facechange} performs the view switches
+    and emits the [storm_detected]/[degraded]/[renarrowed]/[quarantined]
+    events.  All state is per-comm: one misbehaving app degrades to the
+    full kernel view while every other app keeps its narrow view. *)
+
+type policy = {
+  window_cycles : int;  (** sliding-window width, in guest cycles *)
+  throttle_after : int;
+      (** degradable events within the window before the comm is
+          throttled (recoveries start prefetching the whole caller
+          chain) *)
+  storm_after : int;
+      (** events within the window before the comm is degraded to the
+          full kernel view *)
+  cooldown_cycles : int;
+      (** hysteresis: cycles a degraded comm must dwell on the full view
+          before it may be re-narrowed *)
+  quarantine_after : int;
+      (** degradations (or unhandled faults) of one comm before it is
+          pinned to the full view for good *)
+  max_backtrace_depth : int;
+      (** depth budget handed to the backtrace walker *)
+  on_unhandled : [ `Degrade | `Die ];
+      (** what an [`Unhandled] invalid-opcode exit becomes: fall back to
+          the full view and resume, or keep the paper's
+          let-the-guest-die behavior *)
+}
+
+val default_policy : policy
+(** [{ window_cycles = 400_000; throttle_after = 4; storm_after = 8;
+      cooldown_cycles = 600_000; quarantine_after = 3;
+      max_backtrace_depth = 32; on_unhandled = `Degrade }] *)
+
+type state = Narrow | Throttled | Degraded | Quarantined
+
+val state_label : state -> string
+(** ["narrow"], ["throttled"], ["degraded"], ["quarantined"]. *)
+
+type t
+
+val create : policy -> t
+val policy : t -> policy
+
+val state : t -> comm:string -> state
+(** Comms never seen are [Narrow]. *)
+
+val comms : t -> (string * state) list
+(** Every comm the governor has seen, with its current state (sorted). *)
+
+val note_event : t -> comm:string -> cycle:int -> [ `Steady | `Throttle | `Storm of int ]
+(** Record one degradable event (a lazy recovery, or a broken rbp chain).
+    [`Throttle] fires once, on the transition into {!Throttled}.
+    [`Storm n] reports [n] events inside the window; the caller is
+    expected to degrade the comm and then call {!note_degraded}.  Already
+    degraded or quarantined comms always report [`Steady]. *)
+
+val note_degraded : t -> comm:string -> cycle:int -> [ `Degraded | `Quarantine ]
+(** The caller fell [comm] back to the full view.  Clears the event
+    window, starts the cooldown clock, and reports [`Quarantine] when
+    this was the [quarantine_after]-th degradation. *)
+
+val note_unhandled : t -> comm:string -> [ `Degrade | `Quarantine | `Tolerate | `Die ]
+(** An invalid-opcode exit the recovery path could not handle.  [`Die]
+    under the [`Die] policy; otherwise [`Degrade] (fall back to the full
+    view), [`Quarantine] once the comm has accumulated
+    [quarantine_after] unhandled faults, or [`Tolerate] when the comm is
+    already quarantined (swallow and resume). *)
+
+val quarantine : t -> comm:string -> cycle:int -> unit
+(** Pin [comm]'s state to {!Quarantined} (counts as one more
+    degradation).  Used by the caller after a [`Quarantine] verdict from
+    {!note_unhandled}; {!note_degraded} transitions by itself. *)
+
+val degradations : t -> comm:string -> int
+
+val renarrow_due : t -> comm:string -> cycle:int -> bool
+(** True when [comm] is degraded (not quarantined) and the cooldown has
+    elapsed — checked at context-switch time, the only moment a view
+    rebind is safe. *)
+
+val note_renarrowed : t -> comm:string -> unit
+(** The caller re-bound [comm] to its narrow view; back to {!Narrow}.
+    The degradation count is kept, so a comm that keeps storming still
+    converges to quarantine. *)

@@ -31,6 +31,11 @@ type t = {
   view_pages : int;
   shared_frames : int;
   cow_breaks : int;
+  storms : int;
+  degradations : int;
+  renarrows : int;
+  quarantines : int;
+  broken_backtraces : int;
   per_app : (string * per_app) list;
 }
 
@@ -99,6 +104,11 @@ let capture fc =
     view_pages = v "fc.view_pages";
     shared_frames = v "fc.shared_frames";
     cow_breaks = v "fc.cow_breaks";
+    storms = v "fc.storms";
+    degradations = v "fc.degradations";
+    renarrows = v "fc.renarrows";
+    quarantines = v "fc.quarantines";
+    broken_backtraces = v "fc.broken_backtraces";
     per_app = capture_per_app m;
   }
 
@@ -124,6 +134,11 @@ let fields t =
     ("view_pages", t.view_pages);
     ("shared_frames", t.shared_frames);
     ("cow_breaks", t.cow_breaks);
+    ("storms", t.storms);
+    ("degradations", t.degradations);
+    ("renarrows", t.renarrows);
+    ("quarantines", t.quarantines);
+    ("broken_backtraces", t.broken_backtraces);
   ]
 
 let per_app_fields a =
@@ -160,13 +175,16 @@ let pp ppf t =
      hypervisor: %d VM exits (%d breakpoints, %d invalid opcodes), %d cycles charged (%.1f%%)@,\
      views: %d loaded, %d switches (%d skipped, %d deferred)@,\
      frames: %d view pages, %d shared, %d CoW breaks@,\
-     recovery: %d recoveries, %d bytes@]"
+     recovery: %d recoveries, %d bytes@,\
+     governor: %d storms, %d degradations, %d renarrows, %d quarantines, %d \
+     broken backtraces@]"
     t.guest_cycles t.rounds t.context_switches t.vcpus
     (t.breakpoint_exits + t.invalid_opcode_exits)
     t.breakpoint_exits t.invalid_opcode_exits t.hypervisor_cycles
     (100. *. overhead_fraction t)
     t.views_loaded t.view_switches t.switches_skipped t.switches_deferred
-    t.view_pages t.shared_frames t.cow_breaks t.recoveries t.recovered_bytes;
+    t.view_pages t.shared_frames t.cow_breaks t.recoveries t.recovered_bytes
+    t.storms t.degradations t.renarrows t.quarantines t.broken_backtraces;
   List.iter
     (fun (app, a) ->
       Format.fprintf ppf

@@ -36,6 +36,11 @@ type t = {
   shared_frames : int;
       (** frame allocations avoided by sharing (pages − distinct frames) *)
   cow_breaks : int;  (** shared frames privatized by copy-on-write *)
+  storms : int;  (** recovery storms the governor detected *)
+  degradations : int;  (** fallbacks to the full view (incl. quarantines) *)
+  renarrows : int;  (** degraded comms restored after cooldown *)
+  quarantines : int;  (** comms pinned to the full view for good *)
+  broken_backtraces : int;  (** rbp walks cut short by a malformed chain *)
   per_app : (string * per_app) list;
       (** per-application attribution, sorted by comm/app name *)
 }

@@ -1,0 +1,55 @@
+type kind =
+  | Spurious_ud2 of { frac : int; count : int }
+  | Broken_rbp of { frac : int }
+  | Cyclic_rbp of { frac : int }
+  | Flip_view_byte of { frac : int }
+  | Evict_frames
+  | Miss_breakpoints of { count : int }
+  | Truncated_config
+  | Overlapping_config
+
+type event = { at_round : int; kind : kind }
+type plan = { seed : int; faults : event list }
+
+let kind_label = function
+  | Spurious_ud2 _ -> "spurious_ud2"
+  | Broken_rbp _ -> "broken_rbp"
+  | Cyclic_rbp _ -> "cyclic_rbp"
+  | Flip_view_byte _ -> "flip_view_byte"
+  | Evict_frames -> "evict_frames"
+  | Miss_breakpoints _ -> "miss_breakpoints"
+  | Truncated_config -> "truncated_config"
+  | Overlapping_config -> "overlapping_config"
+
+let detail = function
+  | Spurious_ud2 { frac; count } -> Printf.sprintf "frac=%d count=%d" frac count
+  | Broken_rbp { frac } | Cyclic_rbp { frac } | Flip_view_byte { frac } ->
+      Printf.sprintf "frac=%d" frac
+  | Evict_frames | Truncated_config | Overlapping_config -> ""
+  | Miss_breakpoints { count } -> Printf.sprintf "count=%d" count
+
+let pp_event ppf e =
+  let d = detail e.kind in
+  Format.fprintf ppf "@%d %s%s" e.at_round (kind_label e.kind)
+    (if d = "" then "" else " " ^ d)
+
+let gen ~seed ~rounds ~n =
+  let r = Frand.create seed in
+  let frac () = Frand.int r 10_000 in
+  let faults =
+    List.init n (fun _ ->
+        let at_round = 2 + Frand.int r (max 1 (rounds - 2)) in
+        let kind =
+          match Frand.int r 100 with
+          | k when k < 30 -> Spurious_ud2 { frac = frac (); count = 1 + Frand.int r 12 }
+          | k when k < 45 -> Broken_rbp { frac = frac () }
+          | k when k < 60 -> Cyclic_rbp { frac = frac () }
+          | k when k < 70 -> Flip_view_byte { frac = frac () }
+          | k when k < 80 -> Miss_breakpoints { count = 1 + Frand.int r 6 }
+          | k when k < 88 -> Evict_frames
+          | k when k < 94 -> Truncated_config
+          | _ -> Overlapping_config
+        in
+        { at_round; kind })
+  in
+  { seed; faults = List.stable_sort (fun a b -> compare a.at_round b.at_round) faults }

@@ -1,0 +1,53 @@
+(** The fault taxonomy and seeded plan generation.
+
+    A fault plan is a deterministic, serializable schedule of guest-level
+    misfortunes: each entry fires at a scheduler round and models one of
+    the failure shapes the governor must survive — spurious invalid
+    opcode exits, corrupted rbp chains, view pages flipped to trapping
+    byte pairs, frame-cache pressure, missed [__switch_to] breakpoints,
+    and malformed view configs.
+
+    Randomness is resolved at {e generation} time: kinds carry abstract
+    fractions ([frac] in [\[0, 10_000)]) that the injector maps onto
+    concrete addresses, so applying a plan consumes no randomness and two
+    runs of the same plan inject byte-identical faults. *)
+
+type kind =
+  | Spurious_ud2 of { frac : int; count : int }
+      (** [count] synthetic invalid-opcode exits (one per scripted guest
+          action) at the kernel-text address selected by [frac] — a burst
+          models the recovery storm of a badly mismatched profile *)
+  | Broken_rbp of { frac : int }
+      (** a synthetic exit whose rbp chain leaves the kernel range after
+          one crafted frame *)
+  | Cyclic_rbp of { frac : int }
+      (** a synthetic exit whose rbp chain loops between two crafted
+          frames *)
+  | Flip_view_byte of { frac : int }
+      (** corrupt two bytes of a loaded narrow view into the trapping
+          UD2 pattern at the text address selected by [frac] (corruptions
+          that misdecode into {e valid} instructions are outside the
+          recoverable fault model — see DESIGN.md §8) *)
+  | Evict_frames  (** drop every entry of the hypervisor's frame cache *)
+  | Miss_breakpoints of { count : int }
+      (** swallow the next [count] [__switch_to] breakpoint hits — the
+          guest context-switches without the hypervisor noticing *)
+  | Truncated_config
+      (** feed {!Fc_profiler.View_config.of_string} a config cut mid-line *)
+  | Overlapping_config
+      (** feed it a config whose spans overlap *)
+
+type event = { at_round : int; kind : kind }
+type plan = { seed : int; faults : event list }
+
+val kind_label : kind -> string
+(** Stable snake_case tag, e.g. ["spurious_ud2"]. *)
+
+val detail : kind -> string
+(** Human-readable parameters, e.g. ["frac=4812 count=9"]. *)
+
+val pp_event : Format.formatter -> event -> unit
+
+val gen : seed:int -> rounds:int -> n:int -> plan
+(** [n] faults at rounds in [\[2, rounds)], sorted by round.  Pure
+    function of [seed] (via {!Frand}). *)

@@ -1,0 +1,28 @@
+type t = { mutable s : int64 }
+
+let create seed = { s = Int64.of_int seed }
+
+let next64 t =
+  t.s <- Int64.add t.s 0x9E3779B97F4A7C15L;
+  let z = t.s in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L
+  in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL
+  in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(* 62 non-negative bits: representable as an OCaml int on 64-bit and
+   exact for every bound this library uses *)
+let bits t = Int64.to_int (Int64.shift_right_logical (next64 t) 2)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Frand.int: bound must be positive";
+  bits t mod bound
+
+let bool t = Int64.logand (next64 t) 1L = 1L
+
+let pick t = function
+  | [] -> invalid_arg "Frand.pick: empty list"
+  | l -> List.nth l (int t (List.length l))

@@ -1,0 +1,22 @@
+(** Deterministic PRNG for fault plans (splitmix64).
+
+    The standard library's [Random] changed algorithms between OCaml 4
+    (lagged Fibonacci) and OCaml 5 (LXM), so seeded fault plans generated
+    with it would differ across the CI matrix and break the pinned chaos
+    counters.  This hand-rolled splitmix64 produces the same stream on
+    every supported compiler and platform. *)
+
+type t
+
+val create : int -> t
+(** A generator seeded with the given integer.  Equal seeds yield equal
+    streams, on any OCaml version. *)
+
+val int : t -> int -> int
+(** [int t bound] — uniform-ish in [\[0, bound)].
+    @raise Invalid_argument when [bound <= 0]. *)
+
+val bool : t -> bool
+
+val pick : t -> 'a list -> 'a
+(** @raise Invalid_argument on an empty list. *)

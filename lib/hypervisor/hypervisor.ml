@@ -79,19 +79,37 @@ let read_active_code t a = Os.fetch_code t.os a
 let original_frame t ~gpa_page = Os.ram_frame t.os ~gpa_page
 let original_table t ~dir = Hashtbl.find_opt t.original_tables dir
 
-let stack_frames t ~eip ~ebp ?esp ?(max_depth = 64) () =
+type walk = { frames : int list; broken : string option }
+
+let stack_walk t ~eip ~ebp ?esp ?(max_depth = 64) () =
   let sid = span_enter t Fc_obs.Span.Backtrace in
+  let broken = ref None in
+  let stop reason acc =
+    broken := Some reason;
+    List.rev acc
+  in
+  (* the stack grows down, so a well-formed chain is strictly increasing;
+     any cycle must contain a non-increasing link, which bounds the walk
+     without remembering visited frames *)
   let rec go acc ebp depth =
-    if depth >= max_depth || ebp = 0 || not (Layout.is_kernel_address ebp) then
-      List.rev acc
+    if ebp = 0 then List.rev acc
+    else if not (Layout.is_kernel_address ebp) then
+      stop (Printf.sprintf "rbp chain left the kernel range at 0x%x" ebp) acc
+    else if depth >= max_depth then
+      stop (Printf.sprintf "rbp chain exceeded depth cap %d" max_depth) acc
     else begin
       charge t Cost.backtrace_frame;
       match (read_guest_u32 t (ebp + 4), read_guest_u32 t ebp) with
       | Some ret, Some prev_ebp ->
-          if ret = Cpu.sentinel_return || not (Layout.is_kernel_address ret) then
-            List.rev acc
+          if ret = Cpu.sentinel_return || not (Layout.is_kernel_address ret)
+          then List.rev acc
+          else if prev_ebp <> 0 && prev_ebp <= ebp then
+            stop
+              (Printf.sprintf "cyclic rbp chain at 0x%x (next frame 0x%x)"
+                 ebp prev_ebp)
+              (ret :: acc)
           else go (ret :: acc) prev_ebp (depth + 1)
-      | _ -> List.rev acc
+      | _ -> stop (Printf.sprintf "unreadable stack frame at 0x%x" ebp) acc
     end
   in
   (* a fault at a function entry has not pushed ebp yet: the immediate
@@ -110,7 +128,10 @@ let stack_frames t ~eip ~ebp ?esp ?(max_depth = 64) () =
   in
   let frames = (eip :: entry_caller) @ go [] ebp 0 in
   span_exit t sid;
-  frames
+  { frames; broken = !broken }
+
+let stack_frames t ~eip ~ebp ?esp ?max_depth () =
+  (stack_walk t ~eip ~ebp ?esp ?max_depth ()).frames
 
 let refresh_symbols t =
   let syms = Symbols.create () in

@@ -83,15 +83,31 @@ val original_table : t -> dir:int -> Fc_mem.Ept.table option
     hypervisor attached (i.e. the guest's real RAM mapping) — what a full
     kernel view restores and what custom views start from. *)
 
+type walk = {
+  frames : int list;  (** [eip] followed by each saved return address *)
+  broken : string option;
+      (** [None] for a chain that terminated cleanly (zero rbp, user-mode
+          sentinel, or non-kernel return address); [Some reason] when the
+          walk was cut short by a malformed chain — an rbp outside the
+          kernel range, a cycle (the chain must be strictly increasing on
+          a downward-growing stack), an unreadable frame, or the depth
+          cap *)
+}
+
+val stack_walk :
+  t -> eip:int -> ebp:int -> ?esp:int -> ?max_depth:int -> unit -> walk
+(** Walk the guest rbp chain defensively.  The frames gathered before the
+    break are always returned, so a caller can still use the trustworthy
+    prefix; [broken] tells it not to trust what lies beyond.  When [esp]
+    is given and the original code at [eip] carries the prologue signature
+    (the fault hit a function entry, before [push ebp] ran), the immediate
+    caller's return address is read from [[esp]] first — otherwise the
+    rbp chain would skip it.  Charges {!Cost.backtrace_frame} per frame;
+    [max_depth] defaults to 64. *)
+
 val stack_frames :
   t -> eip:int -> ebp:int -> ?esp:int -> ?max_depth:int -> unit -> int list
-(** Walk the guest rbp chain: the result is [eip] followed by each saved
-    return address, stopping at the user-mode sentinel, a non-kernel
-    address, or [max_depth] (default 64).  When [esp] is given and the
-    original code at [eip] carries the prologue signature (the fault hit a
-    function entry, before [push ebp] ran), the immediate caller's return
-    address is read from [[esp]] first — otherwise the rbp chain would
-    skip it.  Charges {!Cost.backtrace_frame} per frame. *)
+(** [(stack_walk t ...).frames] — the walk without the verdict. *)
 
 (* ---------------- symbols ---------------- *)
 

@@ -72,6 +72,18 @@ type vcpu = {
   mutable vslice_start : int; (* cycle at which the current slice began *)
 }
 
+(* Fault-injection hooks (see lib/faults).  Same zero-cost-when-disabled
+   contract as the obs armed guard: the option match is the only cost on
+   the hot paths when no injector is armed. *)
+type fault_hooks = {
+  fh_trap_miss : int -> bool;
+      (* consulted when execution reaches a set trap; [true] swallows the
+         breakpoint (models a missed #BP on __switch_to) *)
+  fh_pre_action : unit -> unit;
+      (* fires before each scripted action of the running process; may
+         inject synthetic exits via [inject_invalid_opcode] *)
+}
+
 type t = {
   image : Image.t;
   config : config;
@@ -105,6 +117,7 @@ type t = {
   itimers : (int, unit) Hashtbl.t;
   symbols : (string, int) Hashtbl.t; (* OS ground truth, incl. hidden *)
   mutable sleep_override : int option; (* wake delay for the next block *)
+  mutable faults : fault_hooks option;
   run_cycles_f : Fc_obs.Metrics.family; (* os.run_cycles{comm} *)
   run_slices_f : Fc_obs.Metrics.family; (* os.run_slices{comm} *)
 }
@@ -148,6 +161,7 @@ let set_syscall_rewriter t f = t.rewriter <- Some f
 let clear_syscall_rewriter t = t.rewriter <- None
 let pending_itimer t ~pid = Hashtbl.mem t.itimers pid
 let arm_itimer t ~pid = Hashtbl.replace t.itimers pid ()
+let set_fault_hooks t h = t.faults <- h
 
 (* ---------------- guest memory plumbing ---------------- *)
 
@@ -402,6 +416,7 @@ let create ?(config = default_config) ?(vcpus = 1) ?obs image =
       itimers = Hashtbl.create 8;
       symbols = Hashtbl.create 2048;
       sleep_override = None;
+      faults = None;
       run_cycles_f =
         Fc_obs.Metrics.counter_family (Fc_obs.Obs.metrics obs) ~subsystem:"os"
           "run_cycles";
@@ -512,7 +527,11 @@ let run_cpu t (regs : Cpu.regs) dispatch =
   let decode pc = cached_decode t pc in
   let read_u32 a = read_guest_u32 t a in
   let write_u32 a v = write_guest_u32 t a v in
-  let is_trap a = Hashtbl.mem t.traps a in
+  let is_trap a =
+    Hashtbl.mem t.traps a
+    &&
+    match t.faults with None -> true | Some h -> not (h.fh_trap_miss a)
+  in
   let rec go skip =
     match
       Cpu.run ~decode ~read_u32 ~write_u32 ~is_trap ~trace:t.trace
@@ -546,6 +565,21 @@ let exec_invocation t ~entry_addr ~dispatch_addrs ~esp =
   List.iter (fun a -> Queue.add a q) dispatch_addrs;
   let outcome = run_cpu t regs q in
   (outcome, regs, q)
+
+(* Synthesize an invalid-opcode VM exit without executing anything: the
+   exit is routed through the installed handler exactly as a real UD2
+   trap would be, so the hypervisor's recovery and governor paths see it.
+   Used by the fault-injection harness for spurious exits and for exits
+   whose register file (ebp) points at a crafted stack. *)
+let inject_invalid_opcode t ?(ebp = 0) ?esp ~eip () =
+  let v = active_vcpu t in
+  let esp =
+    match esp with Some e -> e | None -> Process.kstack_top v.vcurrent - 0x100
+  in
+  let regs = { Cpu.eip; ebp; esp } in
+  match t.handler t regs Exit_invalid_opcode with
+  | Resume -> ()
+  | Panic m -> raise (Guest_panic m)
 
 (* ---------------- interrupts ---------------- *)
 
@@ -764,6 +798,7 @@ let run_quantum t (p : Process.t) =
   | None -> exec_resume_userspace t p);
   check_irqs t;
   while !continue_ && !budget > 0 && Process.is_ready p do
+    (match t.faults with None -> () | Some h -> h.fh_pre_action ());
     (match p.Process.script with
     | [] -> p.Process.state <- Process.Exited
     | act :: rest -> (

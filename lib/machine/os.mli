@@ -130,6 +130,30 @@ val set_trap : t -> int -> unit
 val clear_trap : t -> int -> unit
 val trap_addresses : t -> int list
 
+type fault_hooks = {
+  fh_trap_miss : int -> bool;
+      (** consulted when execution reaches a set trap address; returning
+          [true] swallows the breakpoint — the guest runs through it as if
+          the hypervisor never armed it (a missed [#BP] on
+          [__switch_to]) *)
+  fh_pre_action : unit -> unit;
+      (** fires before each scripted action of the running process; the
+          fault injector uses it to apply due faults in the context of the
+          process that will be charged for them *)
+}
+(** Fault-injection hooks (see [lib/faults]).  Zero-cost when disabled:
+    the hot paths pay one option match, same contract as the obs armed
+    guard. *)
+
+val set_fault_hooks : t -> fault_hooks option -> unit
+
+val inject_invalid_opcode : t -> ?ebp:int -> ?esp:int -> eip:int -> unit -> unit
+(** Synthesize an invalid-opcode VM exit at [eip] and route it through
+    the installed exit handler, exactly as a real UD2 trap: [Resume]
+    returns, [Panic] raises {!Guest_panic}.  [ebp] (default 0) lets a
+    crafted rbp chain be walked by the recovery path; [esp] defaults to
+    just below the current process's kernel stack top. *)
+
 val set_trace : t -> (int -> int -> unit) option -> unit
 (** Per-instruction observer [(address, length)] — the profiler. *)
 

@@ -77,3 +77,8 @@ let cow_breaks t = Metrics.value t.cow_breaks
 
 let resident t =
   Hashtbl.fold (fun _ e n -> if valid t e then n + 1 else n) t.entries 0
+
+let evict_all t =
+  let n = resident t in
+  Hashtbl.reset t.entries;
+  n

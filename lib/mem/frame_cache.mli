@@ -45,3 +45,9 @@ val cow_breaks : t -> int
 
 val resident : t -> int
 (** Entries still backed by a live, unmodified frame. *)
+
+val evict_all : t -> int
+(** Drop every entry, returning how many were still live.  Entries own no
+    frame references, so eviction frees nothing and invalidates nothing —
+    it only forces subsequent builds to miss and re-intern.  Used by the
+    fault-injection harness to model cache pressure. *)

@@ -27,6 +27,11 @@ type t =
       comm : string;
     }
   | Span_end of { sid : int; span : string }
+  | Fault_injected of { fault : string; detail : string }
+  | Storm_detected of { vid : int; comm : string; events : int; window : int }
+  | Degraded of { vid : int; comm : string; from_index : int; reason : string }
+  | Renarrowed of { vid : int; comm : string; to_index : int }
+  | Quarantined of { vid : int; comm : string; degradations : int }
 
 type value = Int of int | Str of string
 
@@ -54,6 +59,11 @@ let kind = function
   | Sched_switch _ -> "sched_switch"
   | Span_begin _ -> "span_begin"
   | Span_end _ -> "span_end"
+  | Fault_injected _ -> "fault_injected"
+  | Storm_detected _ -> "storm_detected"
+  | Degraded _ -> "degraded"
+  | Renarrowed _ -> "renarrowed"
+  | Quarantined _ -> "quarantined"
 
 let kinds =
   [
@@ -69,6 +79,11 @@ let kinds =
     "sched_switch";
     "span_begin";
     "span_end";
+    "fault_injected";
+    "storm_detected";
+    "degraded";
+    "renarrowed";
+    "quarantined";
   ]
 
 let fields = function
@@ -116,6 +131,26 @@ let fields = function
         ("comm", Str comm);
       ]
   | Span_end { sid; span } -> [ ("sid", Int sid); ("span", Str span) ]
+  | Fault_injected { fault; detail } ->
+      [ ("fault", Str fault); ("detail", Str detail) ]
+  | Storm_detected { vid; comm; events; window } ->
+      [
+        ("vid", Int vid);
+        ("comm", Str comm);
+        ("events", Int events);
+        ("window", Int window);
+      ]
+  | Degraded { vid; comm; from_index; reason } ->
+      [
+        ("vid", Int vid);
+        ("comm", Str comm);
+        ("from", Int from_index);
+        ("reason", Str reason);
+      ]
+  | Renarrowed { vid; comm; to_index } ->
+      [ ("vid", Int vid); ("comm", Str comm); ("to", Int to_index) ]
+  | Quarantined { vid; comm; degradations } ->
+      [ ("vid", Int vid); ("comm", Str comm); ("degradations", Int degradations) ]
 
 let pp ppf e =
   Format.fprintf ppf "%s" (kind e);

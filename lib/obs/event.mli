@@ -57,6 +57,18 @@ type t =
   | Span_end of { sid : int; span : string }
       (** the matching close; always properly nested per vCPU (closing a
           span auto-closes any children still open) *)
+  | Fault_injected of { fault : string; detail : string }
+      (** the fault-injection harness applied one scheduled fault *)
+  | Storm_detected of { vid : int; comm : string; events : int; window : int }
+      (** the governor saw [events] degradable events for [comm] within a
+          [window]-cycle sliding window *)
+  | Degraded of { vid : int; comm : string; from_index : int; reason : string }
+      (** the governor fell [comm] back to the full kernel view *)
+  | Renarrowed of { vid : int; comm : string; to_index : int }
+      (** cooldown elapsed; [comm] was re-bound to its narrow view *)
+  | Quarantined of { vid : int; comm : string; degradations : int }
+      (** [comm] degraded or faulted too often and is pinned to the full
+          view for the rest of the run *)
 
 type value = Int of int | Str of string
 (** A flattened field for exporters (JSON objects, CSV cells). *)

@@ -220,6 +220,55 @@ let timeline_to_json ?(extra = []) t =
             (tev ~name:"ud2_trap" ~cat:"recovery" ~ph:"i" ~ts ~pid:vid ~tid:pid
                ~args:[ ("eip", Jsonx.Int eip) ]
                ())
+      | Event.Fault_injected { fault; detail } ->
+          push
+            (tev ~name:"fault_injected" ~cat:"fault" ~ph:"i" ~ts ~pid:0 ~tid:0
+               ~args:
+                 [ ("fault", Jsonx.String fault); ("detail", Jsonx.String detail) ]
+               ())
+      | Event.Storm_detected { vid; comm; events = n; window } ->
+          let tid = match stack vid with (_, pid, _) :: _ -> pid | [] -> 0 in
+          push
+            (tev ~name:"storm_detected" ~cat:"governor" ~ph:"i" ~ts ~pid:vid
+               ~tid
+               ~args:
+                 [
+                   ("comm", Jsonx.String comm);
+                   ("events", Jsonx.Int n);
+                   ("window", Jsonx.Int window);
+                 ]
+               ())
+      | Event.Degraded { vid; comm; from_index; reason } ->
+          let tid = match stack vid with (_, pid, _) :: _ -> pid | [] -> 0 in
+          push
+            (tev ~name:"degraded" ~cat:"governor" ~ph:"X" ~ts ~dur:0 ~pid:vid
+               ~tid
+               ~args:
+                 [
+                   ("comm", Jsonx.String comm);
+                   ("from", Jsonx.Int from_index);
+                   ("reason", Jsonx.String reason);
+                 ]
+               ())
+      | Event.Renarrowed { vid; comm; to_index } ->
+          let tid = match stack vid with (_, pid, _) :: _ -> pid | [] -> 0 in
+          push
+            (tev ~name:"renarrowed" ~cat:"governor" ~ph:"X" ~ts ~dur:0 ~pid:vid
+               ~tid
+               ~args:
+                 [ ("comm", Jsonx.String comm); ("to", Jsonx.Int to_index) ]
+               ())
+      | Event.Quarantined { vid; comm; degradations } ->
+          let tid = match stack vid with (_, pid, _) :: _ -> pid | [] -> 0 in
+          push
+            (tev ~name:"quarantined" ~cat:"governor" ~ph:"X" ~ts ~dur:0
+               ~pid:vid ~tid
+               ~args:
+                 [
+                   ("comm", Jsonx.String comm);
+                   ("degradations", Jsonx.Int degradations);
+                 ]
+               ())
       | _ -> ())
     (Trace.records t);
   (* close anything still open so every B has a matching E *)

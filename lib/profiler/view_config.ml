@@ -28,6 +28,12 @@ let of_string text =
   let lines = String.split_on_char '\n' text in
   let app = ref None and ranges = ref Range_list.empty in
   let err = ref None in
+  (* Malformed spans must be rejected here, not silently normalized away
+     by Range_list's interval merging: a truncated or corrupted config
+     that still parses would materialize a wrong view.  Spans are
+     validated per segment: in file order, non-negative, and disjoint
+     (adjacent is fine). *)
+  let last : (string, int * int) Hashtbl.t = Hashtbl.create 8 in
   List.iteri
     (fun i line ->
       let line = String.trim line in
@@ -38,8 +44,30 @@ let of_string text =
             match
               (Segment.of_string seg, int_of_string_opt lo, int_of_string_opt hi)
             with
-            | seg, Some lo, Some hi when hi >= lo ->
-                ranges := Range_list.add_range !ranges seg ~lo ~hi
+            | segment, Some lo, Some hi -> (
+                if lo < 0 || hi < 0 then
+                  err :=
+                    Some
+                      (Printf.sprintf "line %d: negative span 0x%x 0x%x" (i + 1) lo hi)
+                else if hi < lo then
+                  err := Some (Printf.sprintf "line %d: bad range" (i + 1))
+                else
+                  match Hashtbl.find_opt last seg with
+                  | Some (prev_lo, _) when lo < prev_lo ->
+                      err :=
+                        Some
+                          (Printf.sprintf
+                             "line %d: out-of-order span 0x%x (previous span starts at 0x%x)"
+                             (i + 1) lo prev_lo)
+                  | Some (_, prev_hi) when lo < prev_hi ->
+                      err :=
+                        Some
+                          (Printf.sprintf
+                             "line %d: overlapping span 0x%x (previous span ends at 0x%x)"
+                             (i + 1) lo prev_hi)
+                  | Some _ | None ->
+                      Hashtbl.replace last seg (lo, hi);
+                      ranges := Range_list.add_range !ranges segment ~lo ~hi)
             | _ -> err := Some (Printf.sprintf "line %d: bad range" (i + 1))
             | exception Invalid_argument _ ->
                 err := Some (Printf.sprintf "line %d: bad segment" (i + 1)))

@@ -26,6 +26,16 @@ val len : t -> int
 val similarity : t -> t -> float
 
 val to_string : t -> string
+
 val of_string : string -> (t, string) result
+(** Parse and {e validate}.  Beyond syntax, spans are checked per
+    segment: a negative bound, a [hi < lo] range, an out-of-order span
+    (starting before the previous span of the same segment), or an
+    overlap with the previous span is an [Error] naming the offending
+    line — they are not silently normalized into the range list, because
+    a corrupted config that still "parses" would materialize a wrong
+    view.  Adjacent spans ([lo] = previous [hi]) are accepted, so
+    {!to_string} output always round-trips. *)
+
 val save : t -> string -> unit
 val load : string -> (t, string) result
