@@ -2,6 +2,7 @@
 
      bench/check.exe [BENCH_results.json [BENCH_timeline.json]]
      bench/check.exe --chaos [BENCH_chaos.json]
+     bench/check.exe --perf [BENCH_perf.json]
 
    Fails (exit 1) when an artifact is malformed, a required metric key
    is missing, or a pinned deterministic counter (switch / recovery
@@ -300,6 +301,154 @@ let check_chaos j =
         | None -> fail "%s is missing or not an int" (spell p))
       chaos_pins_100
 
+(* ---------------- perf artifact ---------------- *)
+
+(* The perf gate never touches wall-clock numbers (seconds, ips,
+   speedups — recorded for humans, hopeless to pin).  What it gates:
+
+   - behavior parity: the tlb and no-tlb arms of the same workload
+     retired identical instruction and cycle counts — the fast path is
+     an optimization, not a semantic change;
+   - the no-tlb arms really ran with the TLBs off (zero hit/miss
+     counts);
+   - the tlb arms really ran with them on, and the caches work (hits
+     dominate misses);
+   - exact pins for every deterministic counter, captured from one
+     deterministic pass so they are independent of reps / --fast. *)
+let perf_counter_pins =
+  [
+    ( "unixbench",
+      "tlb+views",
+      [ ("instructions", 20348460); ("cycles", 29738269);
+        ("i_hits", 21267231); ("i_misses", 345); ("d_hits", 9133042);
+        ("d_misses", 2112); ("i_flushes", 6253); ("d_flushes", 64) ] );
+    ( "unixbench",
+      "tlb+noviews",
+      [ ("instructions", 20003751); ("cycles", 26496304);
+        ("i_hits", 20620316); ("i_misses", 148); ("d_hits", 5670833);
+        ("d_misses", 1343); ("i_flushes", 3577); ("d_flushes", 46) ] );
+    ( "httperf",
+      "tlb",
+      [ ("instructions", 25702368); ("cycles", 45117642);
+        ("i_hits", 26071610); ("i_misses", 11703); ("d_hits", 1460460);
+        ("d_misses", 219); ("i_flushes", 2140); ("d_flushes", 5) ] );
+  ]
+
+let check_perf j =
+  let geti v p = Option.bind (J.path v p) J.to_int in
+  (match geti j [ "schema_version" ] with
+  | Some 1 -> ()
+  | Some v -> fail "perf: schema_version %d, expected 1" v
+  | None -> fail "perf: schema_version missing");
+  let arms section =
+    match J.path j [ "perf"; section; "arms" ] with
+    | Some (J.List l) -> l
+    | Some _ | None ->
+        fail "perf: %s.arms missing or not a list" section;
+        []
+  in
+  let find_arm section label =
+    List.find_opt
+      (fun a ->
+        match J.path a [ "label" ] with
+        | Some (J.String s) -> s = label
+        | _ -> false)
+      (arms section)
+  in
+  let counter section label name =
+    Option.bind (find_arm section label) (fun a ->
+        geti a [ "counters"; name ])
+  in
+  let arm_labels =
+    [ ("unixbench", [ "tlb+views"; "no-tlb+views"; "tlb+noviews"; "no-tlb+noviews" ]);
+      ("httperf", [ "tlb"; "no-tlb" ]) ]
+  in
+  List.iter
+    (fun (section, labels) ->
+      List.iter
+        (fun label ->
+          match find_arm section label with
+          | None -> fail "perf: %s arm %s missing" section label
+          | Some a ->
+              (* wall clock: present and finite, never compared *)
+              List.iter
+                (fun k ->
+                  match Option.bind (J.path a [ k ]) J.to_float with
+                  | Some f when Float.is_finite f -> ()
+                  | Some _ | None ->
+                      fail "perf: %s/%s.%s is not a finite number" section
+                        label k)
+                [ "seconds"; "ips" ])
+        labels)
+    arm_labels;
+  (* parity: same workload, same retirement, tlb on or off *)
+  List.iter
+    (fun (section, tlb_label, no_label) ->
+      List.iter
+        (fun c ->
+          match (counter section tlb_label c, counter section no_label c) with
+          | Some a, Some b when a = b -> ()
+          | Some a, Some b ->
+              fail "perf: %s %s between %s (%d) and %s (%d) — TLB changed \
+                    guest behavior"
+                section c tlb_label a no_label b
+          | _ -> fail "perf: %s %s missing on %s or %s" section c tlb_label
+                   no_label)
+        [ "instructions"; "cycles" ])
+    [ ("unixbench", "tlb+views", "no-tlb+views");
+      ("unixbench", "tlb+noviews", "no-tlb+noviews");
+      ("httperf", "tlb", "no-tlb") ];
+  (* the no-tlb arms must be a true baseline *)
+  List.iter
+    (fun (section, label) ->
+      List.iter
+        (fun c ->
+          match counter section label c with
+          | Some 0 -> ()
+          | Some v -> fail "perf: %s/%s.%s = %d, expected 0 (TLB off)" section
+                        label c v
+          | None -> fail "perf: %s/%s.%s missing" section label c)
+        [ "i_hits"; "i_misses"; "d_hits"; "d_misses" ])
+    [ ("unixbench", "no-tlb+views"); ("unixbench", "no-tlb+noviews");
+      ("httperf", "no-tlb") ];
+  (* the tlb arms must show working caches *)
+  List.iter
+    (fun (section, label) ->
+      let v c = Option.value ~default:0 (counter section label c) in
+      if v "i_hits" = 0 then fail "perf: %s/%s has no iTLB hits" section label;
+      if v "d_hits" = 0 then fail "perf: %s/%s has no dTLB hits" section label;
+      if v "i_hits" <= v "i_misses" then
+        fail "perf: %s/%s iTLB misses (%d) dominate hits (%d)" section label
+          (v "i_misses") (v "i_hits");
+      if v "d_hits" <= v "d_misses" then
+        fail "perf: %s/%s dTLB misses (%d) dominate hits (%d)" section label
+          (v "d_misses") (v "d_hits"))
+    [ ("unixbench", "tlb+views"); ("unixbench", "tlb+noviews");
+      ("httperf", "tlb") ];
+  (* exact pins *)
+  List.iter
+    (fun (section, label, pins) ->
+      List.iter
+        (fun (c, expected) ->
+          match counter section label c with
+          | Some v when v = expected -> ()
+          | Some v ->
+              fail "perf: %s/%s.%s drifted: expected %d, got %d" section label
+                c expected v
+          | None -> fail "perf: %s/%s.%s missing" section label c)
+        pins)
+    perf_counter_pins;
+  (* warm/cold: instruction counts pinned, times recorded only *)
+  List.iter
+    (fun (leg, expected) ->
+      match geti j [ "perf"; "warm_cold"; leg; "instructions" ] with
+      | Some v when v = expected -> ()
+      | Some v ->
+          fail "perf: warm_cold.%s.instructions drifted: expected %d, got %d"
+            leg expected v
+      | None -> fail "perf: warm_cold.%s.instructions missing" leg)
+    [ ("cold", 152121); ("warm", 155917) ]
+
 let read_file path =
   match open_in_bin path with
   | exception Sys_error e ->
@@ -339,6 +488,17 @@ let () =
             pinned counters)"
            path
            (List.length chaos_pins_100))
+  | _ :: "--perf" :: rest ->
+      let path = match rest with p :: _ -> p | [] -> "BENCH_perf.json" in
+      check_perf (parse path);
+      report
+        (Printf.sprintf
+           "check: %s ok (tlb/no-tlb parity, %d pinned counters; wall clock \
+            recorded, not gated)"
+           path
+           (List.fold_left
+              (fun acc (_, _, pins) -> acc + List.length pins)
+              2 perf_counter_pins))
   | argv ->
       let path =
         match argv with _ :: p :: _ -> p | _ -> "BENCH_results.json"

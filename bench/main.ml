@@ -259,6 +259,31 @@ let chaos ~fast profiles =
          ("ungoverned", summary_to_json ungoverned);
        ])
 
+let perf ~fast profiles =
+  banner "Perf: translation fast path throughput (software TLBs, wall clock)";
+  let reps = if fast then 1 else 3 in
+  let t = Fc_benchkit.Perf.run ~reps profiles in
+  print_string (Fc_benchkit.Perf.render t);
+  let json =
+    J.Obj
+      [
+        ("schema_version", J.Int Fc_obs.Export.schema_version);
+        ("fast", J.Bool fast);
+        ("perf", Fc_benchkit.Perf.to_json t);
+      ]
+  in
+  let oc = open_out "BENCH_perf.json" in
+  output_string oc (J.to_string ~pretty:true json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "perf artifact written to BENCH_perf.json\n";
+  record "perf"
+    (J.Obj
+       [
+         ("unixbench_speedup", J.Float t.Fc_benchkit.Perf.unixbench_speedup);
+         ("httperf_speedup", J.Float t.Fc_benchkit.Perf.httperf_speedup);
+       ])
+
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the core primitives                    *)
 (* ------------------------------------------------------------------ *)
@@ -334,7 +359,7 @@ let micro profiles =
 
 let all_experiments =
   [ "smoke"; "table1"; "table2"; "fig3"; "fig4"; "fig5"; "fig6"; "fig7";
-    "ablations"; "chaos"; "micro" ]
+    "ablations"; "chaos"; "perf"; "micro" ]
 
 let write_results path ~fast chosen =
   let json =
@@ -391,6 +416,7 @@ let () =
       | "fig7" -> fig7 profiles
       | "ablations" -> ablations profiles
       | "chaos" -> chaos ~fast profiles
+      | "perf" -> perf ~fast profiles
       | "micro" -> micro profiles
       | _ -> assert false)
     chosen;

@@ -22,3 +22,11 @@ val run : ?rates:int list -> Profiles.t -> result
 (** Default rates: 5, 10, …, 60 req/s. *)
 
 val render : result -> string
+
+(**/**)
+
+val request_actions : Fc_machine.Action.t list
+(** One request's kernel work, from the apache steady-state loop —
+    shared with the perf benchmark's httperf arms. *)
+
+(**/**)

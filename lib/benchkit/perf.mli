@@ -1,0 +1,62 @@
+(** Wall-clock throughput benchmark for the translation fast path.
+
+    Every other experiment in this suite measures {e simulated} cycles;
+    this one measures real elapsed time, because the software TLBs
+    (see DESIGN.md "Translation fast path") change only how fast the
+    host executes the guest, never what the guest does.  Each arm runs
+    the same deterministic workload with the TLBs on or off
+    ([Os.create ~tlb]) and reports guest instructions retired per
+    wall-clock second, timing only the [Os.run] spans (view builds and
+    profiling are excluded from both the numerator and the
+    denominator).
+
+    Wall-clock numbers vary run to run and are {e recorded, never
+    gated}; the TLB hit/miss counters and instruction counts come from
+    one deterministic pass and are pinned by [bench/check.exe --perf]. *)
+
+type counters = {
+  c_instructions : int;
+  c_cycles : int;
+  c_i_hits : int;
+  c_i_misses : int;
+  c_d_hits : int;
+  c_d_misses : int;
+  c_i_flushes : int;
+  c_d_flushes : int;
+}
+
+type arm = {
+  a_label : string;
+  a_tlb : bool;
+  a_views : bool;
+  a_reps : int;
+  a_seconds : float;  (** wall clock summed over the timed [Os.run] spans *)
+  a_ips : float;      (** guest instructions per wall-clock second *)
+  a_counters : counters;
+      (** from one deterministic pass — identical for every rep, so
+          independent of [reps] / [--fast] *)
+}
+
+type t = {
+  reps : int;
+  unixbench : arm list;
+      (** \{tlb, no-tlb\} × \{views on (top + apache loaded, residents
+          running), views off\} over the nine UnixBench subtests *)
+  unixbench_speedup : float;  (** tlb vs no-tlb ips ratio, views on *)
+  unixbench_speedup_noviews : float;
+  httperf : arm list;  (** apache request batch, view loaded, tlb on/off *)
+  httperf_speedup : float;
+  cold : float * int * float;
+      (** (seconds, instructions, ips) for a syscall loop entered with
+          empty TLBs *)
+  warm : float * int * float;
+      (** the same loop run second in the same guest — kernel working
+          set already cached *)
+}
+
+val run : ?reps:int -> Profiles.t -> t
+(** Default 3 reps; wall time accumulates over reps, counters come from
+    rep 1 only. *)
+
+val to_json : t -> Fc_obs.Jsonx.t
+val render : t -> string

@@ -61,7 +61,12 @@ let map_page t gpa_page frame =
   (match table_for t (Ept.dir_of_page gpa_page) with
   | Some table -> Ept.table_set table ~idx:(Ept.slot_of_page gpa_page) (Some frame)
   | None -> invalid_arg "View: page outside view directories");
-  Hashtbl.replace t.page_frames gpa_page frame
+  Hashtbl.replace t.page_frames gpa_page frame;
+  (* The table just mutated may already be installed in a vCPU's EPT
+     (installed tables are shared by reference), and [table_set] moves no
+     directory entry, so no epoch advanced: invalidate the fetch TLBs
+     explicitly or a COW break / on-demand page would serve stale bytes. *)
+  Os.flush_fetch_tlbs (Hyp.os t.hyp)
 
 (* A page created on demand (a code-recovery write landing outside the
    materialized set) is about to be written, so it is allocated private

@@ -45,8 +45,11 @@ let decoder_of_fetch fetch pc =
 type event = Ev_call of int | Ev_return
 
 let run ~decode ~read_u32 ~write_u32 ~is_trap ~trace ?events
-    ?(branch = fun _ -> true) ~cycles ~dispatch ?skip_bp
+    ?(branch = fun _ -> true) ~cycles ?instrs ~dispatch ?skip_bp
     ?(max_instr = 2_000_000) regs =
+  let count_instr =
+    match instrs with Some r -> fun () -> incr r | None -> fun () -> ()
+  in
   let emit e = match events with Some f -> f e | None -> () in
   let skip_bp = ref skip_bp in
   let exception Stop of exit_reason in
@@ -69,6 +72,7 @@ let run ~decode ~read_u32 ~write_u32 ~is_trap ~trace ?events
       | D_invalid -> raise (Stop Invalid_opcode)
       | D_ok (insn, len) -> (
           (match trace with Some f -> f pc len | None -> ());
+          count_instr ();
           incr cycles;
           match insn with
           | Insn.Ud2 -> raise (Stop Invalid_opcode)

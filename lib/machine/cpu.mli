@@ -62,6 +62,7 @@ val run :
   ?events:(event -> unit) ->
   ?branch:(int -> bool) ->
   cycles:int ref ->
+  ?instrs:int ref ->
   dispatch:int Queue.t ->
   ?skip_bp:int ->
   ?max_instr:int ->
@@ -75,6 +76,8 @@ val run :
     blocks skipped).  [trace] sees every executed instruction as
     [(address, byte length)].  [skip_bp] suppresses the trap check for the
     first instruction when resuming from a [Breakpoint] at that address.
+    [instrs], when given, is incremented once per executed instruction
+    (retired-instruction counting, independent of the cycle cost model).
     [max_instr] defaults to 2,000,000. *)
 
 val push : write_u32:(int -> int -> unit) -> regs -> int -> unit

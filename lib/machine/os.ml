@@ -1,6 +1,7 @@
 module Phys = Fc_mem.Phys_mem
 module Pt = Fc_mem.Page_table
 module Ept = Fc_mem.Ept
+module Tlb = Fc_mem.Tlb
 module Layout = Fc_kernel.Layout
 module Image = Fc_kernel.Image
 module Syscalls = Fc_kernel.Syscalls
@@ -59,9 +60,15 @@ type irq_timer = {
   mutable next_at : int;
 }
 
+type decode_line = {
+  mutable line_version : int;
+  line : Cpu.decode_result option array; (* per byte offset in the frame *)
+}
+
 (* One virtual CPU: its own EPT (so FACE-CHANGE can switch views
-   per-vCPU, the paper's SV-C extension), its own idle task, and its own
-   notion of the current process and interrupt nesting. *)
+   per-vCPU, the paper's SV-C extension), its own idle task, its own
+   notion of the current process and interrupt nesting, and its own
+   software TLBs (translations are per-vCPU because views are). *)
 type vcpu = {
   vid : int;
   vept : Ept.t;
@@ -70,6 +77,12 @@ type vcpu = {
   mutable vin_interrupt : bool;
   mutable vslice : int; (* open run-slice span id, Span.none when closed *)
   mutable vslice_start : int; (* cycle at which the current slice began *)
+  vitlb : decode_line Tlb.t;
+      (* fetch-path TLB: tagged with the EPT epoch, validated against the
+         frame version, payload = the frame's decode line *)
+  vdtlb : unit Tlb.t;
+      (* data-path TLB: tagged with the OS data-mapping generation; guest
+         RAM mappings never change once installed, so no version check *)
 }
 
 (* Fault-injection hooks (see lib/faults).  Same zero-cost-when-disabled
@@ -99,13 +112,19 @@ type t = {
   master_pt : Pt.t;
   mutable page_tables : Pt.t list;
   traps : (int, unit) Hashtbl.t;
+  mutable trap_arr : int array; (* sorted mirror of [traps] for the hot path *)
+  mutable trap_lo : int; (* min trap address, [max_int] when none *)
+  mutable trap_hi : int; (* max trap address, [min_int] when none *)
   mutable trace : (int -> int -> unit) option;
   mutable events : (Cpu.event -> unit) option;
   mutable branch_policy : (int -> bool) option;
   cycles : int ref;
+  instrs : int ref; (* retired guest instructions *)
+  tlb_on : bool;
+  mutable data_epoch : int; (* bumped when guest RAM mappings grow *)
   mutable round_no : int;
   mutable context_switches : int;
-  mutable procs : Process.t list; (* excludes idles; pid order *)
+  mutable procs_rev : Process.t list; (* excludes idles; reverse pid order *)
   mutable next_pid : int;
   mutable handler : handler;
   mutable modules : module_info list; (* load order *)
@@ -120,14 +139,13 @@ type t = {
   mutable faults : fault_hooks option;
   run_cycles_f : Fc_obs.Metrics.family; (* os.run_cycles{comm} *)
   run_slices_f : Fc_obs.Metrics.family; (* os.run_slices{comm} *)
+  tlb_i_hits : Fc_obs.Metrics.counter;
+  tlb_i_misses : Fc_obs.Metrics.counter;
+  tlb_d_hits : Fc_obs.Metrics.counter;
+  tlb_d_misses : Fc_obs.Metrics.counter;
 }
 
 and handler = t -> Cpu.regs -> vm_exit -> exit_action
-
-and decode_line = {
-  mutable line_version : int;
-  line : Cpu.decode_result option array; (* per byte offset in the frame *)
-}
 
 let image t = t.image
 let config t = t.config
@@ -142,18 +160,58 @@ let ept_of t ~vid =
   if vid < 0 || vid >= Array.length t.vcpus then invalid_arg "Os.ept_of: bad vcpu";
   t.vcpus.(vid).vept
 
-let processes t = t.procs
-let find_process t ~pid = List.find_opt (fun (p : Process.t) -> p.pid = pid) t.procs
+let processes t = List.rev t.procs_rev
+let find_process t ~pid = List.find_opt (fun (p : Process.t) -> p.pid = pid) t.procs_rev
 let current t = (active_vcpu t).vcurrent
 let in_interrupt t = (active_vcpu t).vin_interrupt
 let cycles t = !(t.cycles)
 let add_cycles t n = t.cycles := !(t.cycles) + n
+let instructions t = !(t.instrs)
 let round t = t.round_no
 let context_switches t = t.context_switches
 let set_exit_handler t h = t.handler <- h
-let set_trap t a = Hashtbl.replace t.traps a ()
-let clear_trap t a = Hashtbl.remove t.traps a
+
+(* The trap set is consulted before every emulated instruction, so it is
+   mirrored into a sorted array with min/max guards: with no traps set
+   the check is a single integer compare, with the usual handful it is a
+   short monotone probe. *)
+let rebuild_traps t =
+  let arr =
+    Hashtbl.fold (fun a () acc -> a :: acc) t.traps []
+    |> List.sort Int.compare |> Array.of_list
+  in
+  t.trap_arr <- arr;
+  if Array.length arr = 0 then begin
+    t.trap_lo <- max_int;
+    t.trap_hi <- min_int
+  end
+  else begin
+    t.trap_lo <- arr.(0);
+    t.trap_hi <- arr.(Array.length arr - 1)
+  end
+
+let set_trap t a =
+  Hashtbl.replace t.traps a ();
+  rebuild_traps t
+
+let clear_trap t a =
+  Hashtbl.remove t.traps a;
+  rebuild_traps t
+
 let trap_addresses t = Hashtbl.fold (fun a () acc -> a :: acc) t.traps []
+
+let is_trap_addr t a =
+  a >= t.trap_lo && a <= t.trap_hi
+  &&
+  let arr = t.trap_arr in
+  let n = Array.length arr in
+  let rec probe i =
+    i < n
+    &&
+    let x = Array.unsafe_get arr i in
+    x = a || (x < a && probe (i + 1))
+  in
+  probe 0
 let set_trace t f = t.trace <- f
 let set_event_trace t f = t.events <- f
 let set_branch_policy t f = t.branch_policy <- f
@@ -164,6 +222,8 @@ let arm_itimer t ~pid = Hashtbl.replace t.itimers pid ()
 let set_fault_hooks t h = t.faults <- h
 
 (* ---------------- guest memory plumbing ---------------- *)
+
+let page_mask = Layout.page_size - 1
 
 (* Data path: guest-virtual -> guest-physical -> real RAM frame.  Used for
    stacks, VMI and guest writes; kernel views never affect it. *)
@@ -177,14 +237,102 @@ let ram_translate t gva =
 
 let ram_frame t ~gpa_page = Hashtbl.find_opt t.ram gpa_page
 
-let read_guest_byte t gva =
+(* Per-host-frame decode cache backing store.  Keyed by host physical
+   frame, it is naturally coherent across kernel view switches (different
+   views fetch from different frames); writes invalidate through the
+   frame version.  The iTLB carries a pointer to the current page's line
+   so a fetch hit never touches this table. *)
+let decode_line_for t frame ~version =
+  match Hashtbl.find_opt t.decode_cache frame with
+  | Some ln when ln.line_version = version -> ln
+  | Some ln ->
+      Array.fill ln.line 0 (Array.length ln.line) None;
+      ln.line_version <- version;
+      ln
+  | None ->
+      let ln = { line_version = version; line = Array.make Layout.page_size None } in
+      Hashtbl.replace t.decode_cache frame ln;
+      ln
+
+(* dTLB lookup for the page holding [gva-page].  A valid entry needs only
+   the tag and the data-mapping generation: guest RAM translations are
+   add-only (map_fresh_range), so nothing else can invalidate them.
+   Returns the TLB's null entry ([tag] < 0) when the page is unmapped —
+   unmapped pages are never cached, so a later mapping is seen at once. *)
+let dtlb_entry t page =
+  let v = active_vcpu t in
+  let e = Tlb.slot v.vdtlb page in
+  if e.Tlb.tag = page && e.Tlb.epoch = t.data_epoch then begin
+    Fc_obs.Metrics.incr t.tlb_d_hits;
+    e
+  end
+  else begin
+    Fc_obs.Metrics.incr t.tlb_d_misses;
+    match Pt.translate_page t.master_pt page with
+    | None -> Tlb.null v.vdtlb
+    | Some gpa_page -> (
+        match Hashtbl.find_opt t.ram gpa_page with
+        | None -> Tlb.null v.vdtlb
+        | Some frame ->
+            Tlb.fill e ~tag:page ~epoch:t.data_epoch ~frame
+              ~version:(Phys.version t.phys frame)
+              ~bytes:(Phys.frame_bytes t.phys frame) ~payload:();
+            e)
+  end
+
+(* iTLB lookup: additionally validated against the EPT epoch (any
+   set_dir/map_page — i.e. any view switch — bumps it, flushing the whole
+   iTLB in O(1)) and the backing frame's version (so a COW break or a
+   lazy recovery write to the very frame we cached is caught with no
+   eager flush; the version bump also proves [bytes] still belongs to
+   this frame). *)
+let itlb_entry t page =
+  let v = active_vcpu t in
+  let e = Tlb.slot v.vitlb page in
+  if
+    e.Tlb.tag = page
+    && e.Tlb.epoch = Ept.epoch v.vept
+    && e.Tlb.version = Phys.version t.phys e.Tlb.frame
+  then begin
+    Fc_obs.Metrics.incr t.tlb_i_hits;
+    e
+  end
+  else begin
+    Fc_obs.Metrics.incr t.tlb_i_misses;
+    match Pt.translate_page t.master_pt page with
+    | None -> Tlb.null v.vitlb
+    | Some gpa_page -> (
+        match Ept.translate_page v.vept gpa_page with
+        | None -> Tlb.null v.vitlb
+        | Some frame ->
+            let version = Phys.version t.phys frame in
+            Tlb.fill e ~tag:page ~epoch:(Ept.epoch v.vept) ~frame ~version
+              ~bytes:(Phys.frame_bytes t.phys frame)
+              ~payload:(decode_line_for t frame ~version);
+            e)
+  end
+
+(* Invalidate every vCPU's fetch translations.  Called by the view layer
+   when an {e installed} (reference-shared) leaf table is remapped behind
+   the directories — a COW break or an on-demand private page — which no
+   [Ept.set_dir] can observe. *)
+let flush_fetch_tlbs t = Array.iter (fun v -> Ept.bump_epoch v.vept) t.vcpus
+
+let read_guest_byte_slow t gva =
   match ram_translate t gva with
   | None -> None
   | Some hpa -> Some (Phys.read_byte t.phys hpa)
 
+let read_guest_byte t gva =
+  if not t.tlb_on then read_guest_byte_slow t gva
+  else
+    let e = dtlb_entry t (gva / Layout.page_size) in
+    if e.Tlb.tag >= 0 then Some (Bytes.get_uint8 e.Tlb.bytes (gva land page_mask))
+    else None
+
 (* Fetch path: goes through the EPT, so an installed kernel view redirects
    it to the view's frames. *)
-let fetch_code t gva =
+let fetch_code_slow t gva =
   match Pt.translate t.master_pt gva with
   | None -> None
   | Some gpa -> (
@@ -192,7 +340,14 @@ let fetch_code t gva =
       | None -> None
       | Some hpa -> Some (Phys.read_byte t.phys hpa))
 
-let read_guest_u32 t gva =
+let fetch_code t gva =
+  if not t.tlb_on then fetch_code_slow t gva
+  else
+    let e = itlb_entry t (gva / Layout.page_size) in
+    if e.Tlb.tag >= 0 then Some (Bytes.get_uint8 e.Tlb.bytes (gva land page_mask))
+    else None
+
+let read_guest_u32_slow t gva =
   let b i =
     match read_guest_byte t (gva + i) with Some v -> v | None -> raise Exit
   in
@@ -200,15 +355,54 @@ let read_guest_u32 t gva =
   | v -> Some v
   | exception Exit -> None
 
-let write_guest_byte t gva v =
+let read_guest_u32 t gva =
+  if not t.tlb_on then read_guest_u32_slow t gva
+  else
+    let off = gva land page_mask in
+    if off > Layout.page_size - 4 then
+      (* page-straddling access: compose byte-wise (each byte TLB'd) *)
+      read_guest_u32_slow t gva
+    else
+      let e = dtlb_entry t (gva / Layout.page_size) in
+      if e.Tlb.tag >= 0 then
+        let b = e.Tlb.bytes in
+        Some (Bytes.get_uint16_le b off lor (Bytes.get_uint16_le b (off + 2) lsl 16))
+      else None
+
+let write_guest_byte_slow t gva v =
   match ram_translate t gva with
   | None -> invalid_arg (Printf.sprintf "Os.write_guest_byte: unmapped 0x%x" gva)
   | Some hpa -> Phys.write_byte t.phys hpa v
 
-let write_guest_u32 t gva v =
+let write_guest_byte t gva v =
+  if not t.tlb_on then write_guest_byte_slow t gva v
+  else
+    let e = dtlb_entry t (gva / Layout.page_size) in
+    if e.Tlb.tag >= 0 then begin
+      Bytes.set_uint8 e.Tlb.bytes (gva land page_mask) (v land 0xff);
+      Phys.touch t.phys e.Tlb.frame
+    end
+    else invalid_arg (Printf.sprintf "Os.write_guest_byte: unmapped 0x%x" gva)
+
+let write_guest_u32_slow t gva v =
   for i = 0 to 3 do
     write_guest_byte t (gva + i) ((v lsr (8 * i)) land 0xff)
   done
+
+let write_guest_u32 t gva v =
+  if not t.tlb_on then write_guest_u32_slow t gva v
+  else
+    let off = gva land page_mask in
+    if off > Layout.page_size - 4 then write_guest_u32_slow t gva v
+    else
+      let e = dtlb_entry t (gva / Layout.page_size) in
+      if e.Tlb.tag >= 0 then begin
+        let b = e.Tlb.bytes in
+        Bytes.set_uint16_le b off (v land 0xffff);
+        Bytes.set_uint16_le b (off + 2) ((v lsr 16) land 0xffff);
+        Phys.touch t.phys e.Tlb.frame
+      end
+      else invalid_arg (Printf.sprintf "Os.write_guest_byte: unmapped 0x%x" gva)
 
 (* Map [lo, hi) of guest-virtual space to freshly allocated frames, in the
    EPT and in every page table. *)
@@ -232,7 +426,12 @@ let map_fresh_range t ~lo ~hi =
           Ept.set_dir v.vept ~dir (Some table))
       t.vcpus;
     List.iter (fun pt -> Pt.map pt ~gva_page ~gpa_page) t.page_tables
-  done
+  done;
+  (* Guest RAM grew.  Existing translations are still valid (mappings are
+     add-only) and unmapped pages are never cached, so this bump is
+     belt-and-braces rather than load-bearing — it also serves as the
+     deterministic tlb.d_flushes count. *)
+  t.data_epoch <- t.data_epoch + 1
 
 let copy_code_in t ~base (code : Bytes.t) =
   for i = 0 to Bytes.length code - 1 do
@@ -365,7 +564,9 @@ let write_task_struct t (p : Process.t) =
     write_guest_byte t (task + 4 + i) c
   done
 
-let create ?(config = default_config) ?(vcpus = 1) ?obs image =
+let dummy_decode_line = { line_version = min_int; line = [||] }
+
+let create ?(config = default_config) ?(vcpus = 1) ?obs ?(tlb = true) image =
   if vcpus < 1 || vcpus > 8 then invalid_arg "Os.create: 1-8 vcpus";
   let obs = match obs with Some o -> o | None -> Fc_obs.Obs.create () in
   let master_pt = Pt.create () in
@@ -380,6 +581,8 @@ let create ?(config = default_config) ?(vcpus = 1) ?obs image =
       vin_interrupt = false;
       vslice = Fc_obs.Span.none;
       vslice_start = 0;
+      vitlb = Tlb.create ~bits:8 ~payload:dummy_decode_line ();
+      vdtlb = Tlb.create ~bits:8 ~payload:() ();
     }
   in
   let t =
@@ -394,13 +597,19 @@ let create ?(config = default_config) ?(vcpus = 1) ?obs image =
       master_pt;
       page_tables = [ master_pt ];
       traps = Hashtbl.create 8;
+      trap_arr = [||];
+      trap_lo = max_int;
+      trap_hi = min_int;
       trace = None;
       events = None;
       branch_policy = None;
       cycles = ref 0;
+      instrs = ref 0;
+      tlb_on = tlb;
+      data_epoch = 0;
       round_no = 0;
       context_switches = 0;
-      procs = [];
+      procs_rev = [];
       next_pid = vcpus;
       handler = default_handler;
       modules = [];
@@ -423,6 +632,10 @@ let create ?(config = default_config) ?(vcpus = 1) ?obs image =
       run_slices_f =
         Fc_obs.Metrics.counter_family (Fc_obs.Obs.metrics obs) ~subsystem:"os"
           "run_slices";
+      tlb_i_hits = Fc_obs.Metrics.counter (Fc_obs.Obs.metrics obs) ~subsystem:"tlb" "i_hits";
+      tlb_i_misses = Fc_obs.Metrics.counter (Fc_obs.Obs.metrics obs) ~subsystem:"tlb" "i_misses";
+      tlb_d_hits = Fc_obs.Metrics.counter (Fc_obs.Obs.metrics obs) ~subsystem:"tlb" "d_hits";
+      tlb_d_misses = Fc_obs.Metrics.counter (Fc_obs.Obs.metrics obs) ~subsystem:"tlb" "d_misses";
     }
   in
   (* the guest cycle counter is the trace timestamp source, and the
@@ -430,10 +643,17 @@ let create ?(config = default_config) ?(vcpus = 1) ?obs image =
   Fc_obs.Obs.set_clock obs (fun () -> !(t.cycles));
   let gauge name f = Fc_obs.Metrics.gauge (Fc_obs.Obs.metrics obs) ~subsystem:"os" name f in
   gauge "cycles" (fun () -> !(t.cycles));
+  gauge "instructions" (fun () -> !(t.instrs));
   gauge "rounds" (fun () -> t.round_no);
   gauge "context_switches" (fun () -> t.context_switches);
   gauge "vcpus" (fun () -> Array.length t.vcpus);
-  gauge "processes" (fun () -> List.length t.procs);
+  gauge "processes" (fun () -> List.length t.procs_rev);
+  let tlb_gauge name f =
+    Fc_obs.Metrics.gauge (Fc_obs.Obs.metrics obs) ~subsystem:"tlb" name f
+  in
+  tlb_gauge "i_flushes" (fun () ->
+      Array.fold_left (fun acc v -> acc + Ept.epoch v.vept) 0 t.vcpus);
+  tlb_gauge "d_flushes" (fun () -> t.data_epoch);
   (* base kernel text *)
   let text_lo = Image.text_base image and text_hi = Image.text_end image in
   map_fresh_range t ~lo:text_lo ~hi:text_hi;
@@ -479,16 +699,13 @@ let spawn ?cpu t ~name script =
   Pt.copy_range ~src:t.master_pt ~dst:page_table ~lo_page:0 ~hi_page:max_int;
   t.page_tables <- page_table :: t.page_tables;
   let p = Process.create ~cpu ~pid ~name ~page_table script in
-  t.procs <- t.procs @ [ p ];
+  t.procs_rev <- p :: t.procs_rev;
   write_task_struct t p;
   p
 
 (* ---------------- CPU plumbing ---------------- *)
 
-(* Per-host-frame decode cache.  Keyed by host physical frame, it is
-   naturally coherent across kernel view switches (different views fetch
-   from different frames); writes invalidate through the frame version. *)
-let cached_decode t pc =
+let cached_decode_slow t pc =
   match Pt.translate t.master_pt pc with
   | None -> Cpu.D_unmapped
   | Some gpa -> (
@@ -501,20 +718,7 @@ let cached_decode t pc =
             Cpu.decoder_of_fetch (fun a -> fetch_code t a) pc
           else begin
             let version = Phys.version t.phys frame in
-            let ln =
-              match Hashtbl.find_opt t.decode_cache frame with
-              | Some ln when ln.line_version = version -> ln
-              | Some ln ->
-                  Array.fill ln.line 0 (Array.length ln.line) None;
-                  ln.line_version <- version;
-                  ln
-              | None ->
-                  let ln =
-                    { line_version = version; line = Array.make Layout.page_size None }
-                  in
-                  Hashtbl.replace t.decode_cache frame ln;
-                  ln
-            in
+            let ln = decode_line_for t frame ~version in
             match ln.line.(off) with
             | Some r -> r
             | None ->
@@ -523,20 +727,42 @@ let cached_decode t pc =
                 r
           end)
 
+(* Decode with the line pointer folded into the iTLB entry: the common
+   case is one array load plus three integer compares (tag, epoch,
+   version) before indexing the decode line. *)
+let cached_decode t pc =
+  if not t.tlb_on then cached_decode_slow t pc
+  else
+    let e = itlb_entry t (pc / Layout.page_size) in
+    if e.Tlb.tag < 0 then Cpu.D_unmapped
+    else
+      let off = pc land page_mask in
+      if off > Layout.page_size - 6 then
+        (* possible page-crossing instruction: decode uncached *)
+        Cpu.decoder_of_fetch (fun a -> fetch_code t a) pc
+      else
+        let ln = e.Tlb.payload in
+        match Array.unsafe_get ln.line off with
+        | Some r -> r
+        | None ->
+            let r = Cpu.decoder_of_fetch (fun a -> fetch_code t a) pc in
+            ln.line.(off) <- Some r;
+            r
+
 let run_cpu t (regs : Cpu.regs) dispatch =
   let decode pc = cached_decode t pc in
   let read_u32 a = read_guest_u32 t a in
   let write_u32 a v = write_guest_u32 t a v in
   let is_trap a =
-    Hashtbl.mem t.traps a
+    is_trap_addr t a
     &&
     match t.faults with None -> true | Some h -> not (h.fh_trap_miss a)
   in
   let rec go skip =
     match
       Cpu.run ~decode ~read_u32 ~write_u32 ~is_trap ~trace:t.trace
-        ?events:t.events ?branch:t.branch_policy ~cycles:t.cycles ~dispatch
-        ?skip_bp:skip regs
+        ?events:t.events ?branch:t.branch_policy ~cycles:t.cycles
+        ~instrs:t.instrs ~dispatch ?skip_bp:skip regs
     with
     | Cpu.Breakpoint a -> (
         match t.handler t regs (Exit_breakpoint a) with
@@ -818,7 +1044,7 @@ let schedule_at_round t r f = t.at_round <- t.at_round @ [ (r, f) ]
 
 let pick_ready t ~vid =
   let ready =
-    List.filter (fun (p : Process.t) -> Process.is_ready p && p.cpu = vid) t.procs
+    List.filter (fun (p : Process.t) -> Process.is_ready p && p.cpu = vid) t.procs_rev
   in
   match ready with
   | [] -> None
@@ -839,13 +1065,13 @@ let pick_ready t ~vid =
         |> Option.get)
 
 let run ?(max_rounds = 1_000_000) ?(until = fun _ -> false) t =
-  let live () = List.exists (fun p -> not (Process.is_exited p)) t.procs in
+  let live () = List.exists (fun p -> not (Process.is_exited p)) t.procs_rev in
   let rounds = ref 0 in
   while live () && (not (until t)) && !rounds < max_rounds do
     incr rounds;
     t.round_no <- t.round_no + 1;
     fire_round_hooks t;
-    List.iter (fun p -> Process.wake_if_due p ~round:t.round_no) t.procs;
+    List.iter (fun p -> Process.wake_if_due p ~round:t.round_no) t.procs_rev;
     Array.iter
       (fun v ->
         t.active <- v.vid;
@@ -869,7 +1095,7 @@ let run ?(max_rounds = 1_000_000) ?(until = fun _ -> false) t =
 
 let run_process_solo t (p : Process.t) =
   let others_live =
-    List.exists (fun (q : Process.t) -> q != p && not (Process.is_exited q)) t.procs
+    List.exists (fun (q : Process.t) -> q != p && not (Process.is_exited q)) t.procs_rev
   in
   if others_live then invalid_arg "Os.run_process_solo: other processes are live";
   run t

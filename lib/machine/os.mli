@@ -39,7 +39,8 @@ type t
 (* ---------------- construction ---------------- *)
 
 val create :
-  ?config:config -> ?vcpus:int -> ?obs:Fc_obs.Obs.t -> Fc_kernel.Image.t -> t
+  ?config:config -> ?vcpus:int -> ?obs:Fc_obs.Obs.t -> ?tlb:bool ->
+  Fc_kernel.Image.t -> t
 (** Boots the guest: lays the base kernel image into guest-physical
     frames, builds one identity EPT {e per vCPU} (default 1, max 8 — the
     paper's §V-C extension), creates one idle process per vCPU
@@ -51,7 +52,14 @@ val create :
     given): its trace clock is the guest cycle counter, physical memory
     and scheduler instruments register on its metrics registry, and every
     layer later attached to this guest (hypervisor, FACE-CHANGE) shares
-    it. *)
+    it.
+
+    [tlb] (default [true]) enables the per-vCPU software TLBs on the
+    guest-memory fast paths (see DESIGN.md "Translation fast path").
+    Disabling it forces every access down the full two-level walk —
+    guest-visible behavior is identical either way (the benchmark's
+    [--no-tlb] baseline and the coherence tests rely on that); only the
+    [tlb.*] metrics and wall-clock speed differ. *)
 
 val obs : t -> Fc_obs.Obs.t
 (** The guest's observability hub. *)
@@ -183,6 +191,14 @@ val ram_frame : t -> gpa_page:int -> int option
     "original kernel code pages" that recovery fetches from, and the frames
     a full kernel view maps back to. *)
 
+val flush_fetch_tlbs : t -> unit
+(** Invalidate every vCPU's cached fetch translations (O(1): bumps each
+    EPT's epoch).  Required when an {e installed}, reference-shared EPT
+    leaf table is remapped behind the directory ([Ept.table_set] — a COW
+    break or an on-demand private view page): no [Ept.set_dir] runs, so
+    no epoch would otherwise move.  Plain view switches and [map_page]
+    calls self-invalidate and do not need this. *)
+
 val vmi_current_task : t -> int * string
 (** Read the guest's current-task pointer chain: (pid, comm). *)
 
@@ -194,6 +210,12 @@ val vmi_module_list : t -> (string * int * int) list
 
 val cycles : t -> int
 val add_cycles : t -> int -> unit
+
+val instructions : t -> int
+(** Guest instructions retired since boot — the numerator of the perf
+    benchmark's instructions/sec (also the [os.instructions] gauge).
+    Unlike {!cycles}, never advanced by cost-model charges. *)
+
 val round : t -> int
 val context_switches : t -> int
 

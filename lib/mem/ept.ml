@@ -6,26 +6,26 @@ type table = int option array
 let table_create () : table = Array.make entries_per_table None
 let table_copy (t : table) : table = Array.copy t
 
-let check_idx idx =
-  if idx < 0 || idx >= entries_per_table then invalid_arg "Ept: table index out of range"
+(* Indices reaching [table_set]/[table_get] are produced by [slot_of_page]
+   on non-negative page numbers, so they are always within
+   [0, entries_per_table); the array's own bounds check is the only guard
+   needed on this per-instruction-hot path. *)
+let table_set (t : table) ~idx v = t.(idx) <- v
+let table_get (t : table) ~idx = t.(idx)
 
-let table_set t ~idx v =
-  check_idx idx;
-  t.(idx) <- v
+type t = { dirs : (int, table) Hashtbl.t; mutable epoch : int }
 
-let table_get t ~idx =
-  check_idx idx;
-  t.(idx)
+let create () : t = { dirs = Hashtbl.create 32; epoch = 0 }
+let epoch t = t.epoch
+let bump_epoch t = t.epoch <- t.epoch + 1
 
-type t = (int, table) Hashtbl.t
+let set_dir t ~dir v =
+  t.epoch <- t.epoch + 1;
+  match v with
+  | Some table -> Hashtbl.replace t.dirs dir table
+  | None -> Hashtbl.remove t.dirs dir
 
-let create () : t = Hashtbl.create 32
-
-let set_dir t ~dir = function
-  | Some table -> Hashtbl.replace t dir table
-  | None -> Hashtbl.remove t dir
-
-let get_dir t ~dir = Hashtbl.find_opt t dir
+let get_dir t ~dir = Hashtbl.find_opt t.dirs dir
 let dir_of_page p = p / dir_span_pages
 let slot_of_page p = p mod dir_span_pages
 
@@ -36,9 +36,10 @@ let map_page t ~gpa_page ~hpa_frame =
     | Some tb -> tb
     | None ->
         let tb = table_create () in
-        set_dir t ~dir (Some tb);
+        Hashtbl.replace t.dirs dir tb;
         tb
   in
+  t.epoch <- t.epoch + 1;
   table_set table ~idx:(slot_of_page gpa_page) (Some hpa_frame)
 
 let translate_page t gpa_page =

@@ -24,22 +24,45 @@ type table
 val table_create : unit -> table
 val table_copy : table -> table
 val table_set : table -> idx:int -> int option -> unit
-(** Map table slot [idx] (0..1023) to a host frame, or unmap with [None]. *)
+(** Map table slot [idx] to a host frame, or unmap with [None].
+
+    {b Invariant}: [idx] must lie in [0, entries_per_table).  Callers
+    derive it from {!slot_of_page} on a non-negative page number, which
+    guarantees the range, so no explicit check is performed beyond the
+    array access itself — this is on the per-instruction translation
+    path. *)
 
 val table_get : table -> idx:int -> int option
+(** Same index invariant as {!table_set}. *)
 
 type t
 
 val create : unit -> t
 
+val epoch : t -> int
+(** Translation epoch: a counter bumped whenever the gpa→frame mapping
+    may have changed through {e this} structure ([set_dir], [map_page])
+    or was explicitly invalidated ({!bump_epoch}).  Software TLBs tag
+    entries with the epoch at fill time and treat any mismatch as a
+    miss, so a view switch (a [set_dir] swap) flushes every cached
+    translation in O(1) with no eager walk. *)
+
+val bump_epoch : t -> unit
+(** Force-invalidate cached translations derived from [t].  Needed when
+    a page table {e shared by reference} (installed view tables) is
+    mutated behind the directory via {!table_set} — e.g. a
+    copy-on-write break — which [set_dir] cannot observe. *)
+
 val set_dir : t -> dir:int -> table option -> unit
-(** Point directory entry [dir] at a (possibly shared) page table. *)
+(** Point directory entry [dir] at a (possibly shared) page table.
+    Bumps the epoch. *)
 
 val get_dir : t -> dir:int -> table option
 
 val map_page : t -> gpa_page:int -> hpa_frame:int -> unit
 (** Convenience single-page mapping; allocates the directory's table if
-    absent.  Used to build the initial identity-style guest mapping. *)
+    absent.  Used to build the initial identity-style guest mapping.
+    Bumps the epoch. *)
 
 val translate_page : t -> int -> int option
 (** [translate_page t gpa_page] — host frame number. *)

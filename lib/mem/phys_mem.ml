@@ -98,6 +98,10 @@ let write_byte t hpa v =
 
 let version t f = if f >= 0 && f < Array.length t.versions then t.versions.(f) else 0
 
+(* Hot path: callers (the software TLB) only hold [f] while its version
+   matches a snapshot, which implies the frame is live and in range. *)
+let touch t f = t.versions.(f) <- t.versions.(f) + 1
+
 let read_u32 t hpa =
   let b i = read_byte t (hpa + i) in
   b 0 lor (b 1 lsl 8) lor (b 2 lsl 16) lor (b 3 lsl 24)

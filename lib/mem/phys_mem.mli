@@ -71,3 +71,18 @@ val version : t -> int -> int
 (** A counter bumped on every write into the frame (and on reallocation).
     Decoded-instruction caches key their entries on (frame, version) so
     that code patched by recovery or module loading is never stale. *)
+
+val touch : t -> int -> unit
+(** Bump the version of a live frame without writing — used by word-level
+    writers that mutate the frame's storage directly (via {!frame_bytes})
+    and must keep version-keyed caches coherent.  The frame must be live
+    and in range (unchecked; hot path). *)
+
+val frame_bytes : t -> int -> Bytes.t
+(** The live storage of a frame.  The returned buffer is the frame itself,
+    not a copy: writes through it are visible to every reader, but bypass
+    version accounting — pair them with {!touch}.  The buffer becomes
+    stale if the frame is freed and reallocated; any such reallocation
+    bumps the frame's {!version}, so holding a version snapshot is enough
+    to detect staleness.
+    @raise Invalid_argument if the frame is not live. *)

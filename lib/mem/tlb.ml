@@ -1,0 +1,42 @@
+type 'a entry = {
+  mutable tag : int;
+  mutable epoch : int;
+  mutable frame : int;
+  mutable version : int;
+  mutable bytes : Bytes.t;
+  mutable payload : 'a;
+}
+
+type 'a t = {
+  entries : 'a entry array;
+  mask : int;
+  null : 'a entry;  (* permanent miss: tag never matches a real page *)
+}
+
+let no_tag = -1
+
+let fresh_entry payload =
+  { tag = no_tag; epoch = no_tag; frame = no_tag; version = no_tag;
+    bytes = Bytes.empty; payload }
+
+let create ?(bits = 6) ~payload () =
+  if bits < 0 || bits > 20 then invalid_arg "Tlb.create: bits out of range";
+  let n = 1 lsl bits in
+  { entries = Array.init n (fun _ -> fresh_entry payload);
+    mask = n - 1;
+    null = fresh_entry payload }
+
+let size t = Array.length t.entries
+let slot t page = Array.unsafe_get t.entries (page land t.mask)
+let null t = t.null
+
+let fill e ~tag ~epoch ~frame ~version ~bytes ~payload =
+  e.tag <- tag;
+  e.epoch <- epoch;
+  e.frame <- frame;
+  e.version <- version;
+  e.bytes <- bytes;
+  e.payload <- payload
+
+let invalidate_all t =
+  Array.iter (fun e -> e.tag <- no_tag) t.entries

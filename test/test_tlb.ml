@@ -1,0 +1,252 @@
+(* The software TLBs (lib/mem/tlb.ml + the Os fast paths): coherence
+   under view switches, COW breaks and in-place recovery writes, dTLB
+   visibility of new mappings, and the load-bearing property that the
+   fast path is behavior-invisible — a TLB'd guest and a TLB-disabled
+   guest retire the same instructions, charge the same cycles, emit the
+   same traces and capture identical stats, faults and all. *)
+
+module Os = Fc_machine.Os
+module Process = Fc_machine.Process
+module Hyp = Fc_hypervisor.Hypervisor
+module Facechange = Fc_core.Facechange
+module Governor = Fc_core.Governor
+module View = Fc_core.View
+module Stats = Fc_core.Stats
+module Layout = Fc_kernel.Layout
+module Image = Fc_kernel.Image
+module Ept = Fc_mem.Ept
+module App = Fc_apps.App
+module Profiles = Fc_benchkit.Profiles
+module Fault = Fc_faults.Fault
+module Frand = Fc_faults.Frand
+module Injector = Fc_faults.Injector
+module J = Fc_obs.Jsonx
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let profiles () = Lazy.force Test_env.profiles
+
+(* ---------------- the Tlb module itself ---------------- *)
+
+module Tlb = Fc_mem.Tlb
+
+let test_tlb_direct_mapped () =
+  let t = Tlb.create ~bits:2 ~payload:0 () in
+  check_int "2^bits entries" 4 (Tlb.size t);
+  let e = Tlb.slot t 5 in
+  Tlb.fill e ~tag:5 ~epoch:1 ~frame:7 ~version:3 ~bytes:Bytes.empty ~payload:9;
+  check_int "tagged" 5 (Tlb.slot t 5).Tlb.tag;
+  (* page 9 maps to the same slot (9 land 3 = 5 land 3): a conflicting
+     fill evicts *)
+  let e9 = Tlb.slot t 9 in
+  check_bool "conflict slot" true (e == e9);
+  check_bool "miss reads as wrong tag" true (e9.Tlb.tag <> 9);
+  Tlb.invalidate_all t;
+  check_int "invalidated" Tlb.no_tag (Tlb.slot t 5).Tlb.tag
+
+(* ---------------- fetch-path coherence ---------------- *)
+
+let image = lazy (Image.build_exn ())
+
+(* A text address the view remaps to different bytes than the original
+   kernel: warming the iTLB there and then changing the translation is
+   exactly the staleness the epoch/version protocol must catch. *)
+let divergent_gva os view =
+  let img = Lazy.force image in
+  let base = Image.text_base img in
+  let rec go a =
+    if a >= base + 0x40000 then Alcotest.fail "no divergent byte found"
+    else if
+      View.covers view ~gva:a && View.read_code view ~gva:a <> Os.fetch_code os a
+    then a
+    else go (a + 1)
+  in
+  go base
+
+let install_view os view =
+  List.iter
+    (fun (dir, tbl) -> Ept.set_dir (Os.ept os) ~dir (Some tbl))
+    (View.tables view)
+
+let test_view_switch_invalidates_itlb () =
+  let os = Os.create (Lazy.force image) in
+  let hyp = Hyp.attach os in
+  let cfg = Fc_benchkit.Profiles.config_of (profiles ()) "top" in
+  let v = View.build ~hyp ~index:1 cfg in
+  let g = divergent_gva os v in
+  let before = Os.fetch_code os g in
+  (* warm the iTLB on the original translation, then switch: set_dir
+     bumps the EPT epoch, so the warm entry must not be served *)
+  check_bool "warm fetch stable" true (Os.fetch_code os g = before);
+  install_view os v;
+  check_bool "post-switch fetch sees the view, not the stale TLB entry"
+    true
+    (Os.fetch_code os g = View.read_code v ~gva:g);
+  check_bool "view really differs" true (Os.fetch_code os g <> before);
+  View.destroy v
+
+let test_cow_break_visible_on_next_fetch () =
+  let os = Os.create (Lazy.force image) in
+  let hyp = Hyp.attach os in
+  let cfg = Fc_benchkit.Profiles.config_of (profiles ()) "top" in
+  let v1 = View.build ~hyp ~index:1 cfg in
+  (* a byte-identical sibling forces v1's pages into shared frames, so
+     the write below must break COW: a fresh frame is spliced into the
+     installed table with no set_dir and no version change on the old
+     frame — only the explicit flush hook can invalidate the TLB *)
+  let v2 = View.build ~hyp ~index:2 cfg in
+  let g = divergent_gva os v1 in
+  install_view os v1;
+  check_bool "warm fetch under the view" true
+    (Os.fetch_code os g = View.read_code v1 ~gva:g);
+  View.write_code v1 ~gva:g 0x90;
+  check_bool "the write privatized a shared frame" true (View.cow_breaks v1 > 0);
+  check_bool "next fetch sees the recovery write" true
+    (Os.fetch_code os g = Some 0x90);
+  check_bool "sibling view unaffected" true
+    (View.read_code v2 ~gva:g <> Some 0x90);
+  View.destroy v2;
+  View.destroy v1
+
+let test_inplace_recovery_visible_on_next_fetch () =
+  let os = Os.create (Lazy.force image) in
+  let hyp = Hyp.attach os in
+  let cfg = Fc_benchkit.Profiles.config_of (profiles ()) "top" in
+  (* private frames: the recovery write lands in place, and only the
+     frame-version check can invalidate the warm iTLB entry *)
+  let v = View.build ~hyp ~share_frames:false ~index:1 cfg in
+  let g = divergent_gva os v in
+  install_view os v;
+  check_bool "warm fetch under the view" true
+    (Os.fetch_code os g = View.read_code v ~gva:g);
+  View.write_code v ~gva:g 0x90;
+  check_int "no COW involved" 0 (View.cow_breaks v);
+  check_bool "next fetch sees the in-place write" true
+    (Os.fetch_code os g = Some 0x90);
+  View.destroy v
+
+let test_dtlb_sees_new_mappings () =
+  let os = Os.create (Lazy.force image) in
+  (* pid 1 does not exist yet: its kernel stack page is unmapped, and
+     the dTLB must not cache that negative answer *)
+  let a = Layout.kstack_top ~pid:1 - 4 in
+  check_bool "unmapped before spawn" true (Os.read_guest_byte os a = None);
+  let (_ : Process.t) =
+    Os.spawn os ~name:"x" [ Fc_machine.Action.Exit ]
+  in
+  check_bool "mapped after spawn" true (Os.read_guest_byte os a <> None)
+
+let test_word_access_roundtrip () =
+  let os = Os.create (Lazy.force image) in
+  let a = Layout.kstack_top ~pid:0 - 8 in
+  (match Os.read_guest_u32 os a with
+  | None -> Alcotest.fail "kernel stack unmapped"
+  | Some _ -> ());
+  (* a u32 straddling a page boundary takes the byte path; one within a
+     page takes the paired-u16 path — both must agree with byte reads *)
+  let check_at addr =
+    match Os.read_guest_u32 os addr with
+    | None -> ()
+    | Some w ->
+        let byte i = Option.get (Os.read_guest_byte os (addr + i)) in
+        check_int
+          (Printf.sprintf "u32 at 0x%x composes from bytes" addr)
+          (byte 0 lor (byte 1 lsl 8) lor (byte 2 lsl 16) lor (byte 3 lsl 24))
+          w
+  in
+  check_at a;
+  check_at (Layout.kstack_top ~pid:0 - Layout.page_size - 2)
+
+(* ---------------- behavior parity: TLB on vs off ---------------- *)
+
+(* Everything observable about a run, trace streams included, digested
+   into a comparable tuple.  [Stats.capture] is the fixed-field
+   projection the chaos matrix pins; the instruction/event digests catch
+   divergence stats would miss. *)
+type fingerprint = {
+  fp_outcome : string;
+  fp_stats : string;
+  fp_instructions : int;
+  fp_cycles : int;
+  fp_insn_digest : int;
+  fp_event_digest : int;
+}
+
+let run_enforced ~tlb ~fault_seed =
+  let profiles = profiles () in
+  let r = Frand.create (fault_seed lxor 0x7157) in
+  let pool = [ "top"; "apache"; "gvim"; "bash"; "gzip" ] in
+  let name = Frand.pick r pool in
+  let n = 4 + Frand.int r 7 in
+  let plan = Fault.gen ~seed:fault_seed ~rounds:120 ~n in
+  let app = App.find_exn name in
+  let os =
+    Os.create ~config:(App.os_config app) ~tlb (Profiles.image profiles)
+  in
+  let ih = ref 0 and eh = ref 0 in
+  Os.set_trace os (Some (fun a len -> ih := (((!ih * 31) + a) * 31) + len));
+  Os.set_event_trace os (Some (fun ev -> eh := (!eh * 31) + Hashtbl.hash ev));
+  let hyp = Hyp.attach os in
+  let fc = Facechange.enable ~governor:Governor.default_policy hyp in
+  let (_ : int) = Facechange.load_view fc (Profiles.config_of profiles name) in
+  let (_ : Process.t) = Os.spawn os ~name (app.App.script 4) in
+  let companion = App.find_exn "top" in
+  let (_ : Process.t) =
+    Os.spawn os ~name:"companion" (companion.App.script 2)
+  in
+  let inj = Injector.arm ~os ~hyp ~fc plan in
+  let outcome =
+    match Os.run ~max_rounds:20_000 os with
+    | () -> "ok"
+    | exception Os.Guest_panic m -> "panic: " ^ m
+  in
+  Injector.disarm inj;
+  {
+    fp_outcome = outcome;
+    fp_stats = J.to_string (Stats.to_json (Stats.capture fc));
+    fp_instructions = Os.instructions os;
+    fp_cycles = Os.cycles os;
+    fp_insn_digest = !ih;
+    fp_event_digest = !eh;
+  }
+
+let test_parity_enforced_run () =
+  let on = run_enforced ~tlb:true ~fault_seed:1 in
+  let off = run_enforced ~tlb:false ~fault_seed:1 in
+  Alcotest.(check string) "outcome" off.fp_outcome on.fp_outcome;
+  Alcotest.(check string) "stats capture" off.fp_stats on.fp_stats;
+  check_int "instructions retired" off.fp_instructions on.fp_instructions;
+  check_int "cycles" off.fp_cycles on.fp_cycles;
+  check_int "instruction trace" off.fp_insn_digest on.fp_insn_digest;
+  check_int "call/return events" off.fp_event_digest on.fp_event_digest
+
+let prop_tlb_invisible =
+  QCheck.Test.make
+    ~name:"TLB'd and TLB-disabled guests are indistinguishable under faults"
+    ~count:8 (QCheck.int_range 1 1_000_000) (fun seed ->
+      run_enforced ~tlb:true ~fault_seed:seed
+      = run_enforced ~tlb:false ~fault_seed:seed)
+
+let suites =
+  [
+    ( "tlb",
+      let tc n f = Alcotest.test_case n `Quick f in
+      [
+        tc "direct-mapped slots, conflict eviction, invalidate_all"
+          test_tlb_direct_mapped;
+        tc "view switch (set_dir) invalidates warm iTLB entries"
+          test_view_switch_invalidates_itlb;
+        tc "COW break visible on the next fetch"
+          test_cow_break_visible_on_next_fetch;
+        tc "in-place recovery write visible on the next fetch"
+          test_inplace_recovery_visible_on_next_fetch;
+        tc "dTLB never caches negative translations"
+          test_dtlb_sees_new_mappings;
+        tc "word-level u32 access agrees with byte reads"
+          test_word_access_roundtrip;
+        tc "enforced faulted run: full fingerprint parity"
+          test_parity_enforced_run;
+      ] );
+    ( "tlb.properties",
+      List.map QCheck_alcotest.to_alcotest [ prop_tlb_invisible ] );
+  ]
