@@ -306,13 +306,14 @@ let check_chaos j =
 (* The perf gate never touches wall-clock numbers (seconds, ips,
    speedups — recorded for humans, hopeless to pin).  What it gates:
 
-   - behavior parity: the tlb and no-tlb arms of the same workload
-     retired identical instruction and cycle counts — the fast path is
-     an optimization, not a semantic change;
+   - behavior parity: the tlb, no-tlb and sb+tlb arms of the same
+     workload retired identical instruction and cycle counts — the fast
+     paths are optimizations, not semantic changes;
    - the no-tlb arms really ran with the TLBs off (zero hit/miss
-     counts);
+     counts), and every non-sb arm kept the superblock counters silent;
    - the tlb arms really ran with them on, and the caches work (hits
-     dominate misses);
+     dominate misses); the sb arms really built, hit, chained — and on
+     the view-switching workloads, invalidated — blocks;
    - exact pins for every deterministic counter, captured from one
      deterministic pass so they are independent of reps / --fast. *)
 let perf_counter_pins =
@@ -332,6 +333,32 @@ let perf_counter_pins =
       [ ("instructions", 25702368); ("cycles", 45117642);
         ("i_hits", 26071610); ("i_misses", 11703); ("d_hits", 1460460);
         ("d_misses", 219); ("i_flushes", 2140); ("d_flushes", 5) ] );
+    (* superblock arms: identical retirement (parity is also asserted
+       structurally below), a tiny residue of iTLB traffic (classic-path
+       fallbacks at page tails and trap resumes), and the block-cache
+       counters.  sb_invals is zero without views — nothing remaps pages
+       mid-run — and positive on the view-switching workloads. *)
+    ( "unixbench",
+      "sb+tlb+views",
+      [ ("instructions", 20348460); ("cycles", 29738269);
+        ("i_hits", 92008); ("i_misses", 259); ("d_hits", 9133042);
+        ("d_misses", 2112); ("i_flushes", 6253); ("d_flushes", 64);
+        ("sb_built", 7378); ("sb_hits", 160450); ("sb_invals", 3049);
+        ("sb_chains", 351511) ] );
+    ( "unixbench",
+      "sb+tlb+noviews",
+      [ ("instructions", 20003751); ("cycles", 26496304);
+        ("i_hits", 90353); ("i_misses", 103); ("d_hits", 5670833);
+        ("d_misses", 1343); ("i_flushes", 3577); ("d_flushes", 46);
+        ("sb_built", 4683); ("sb_hits", 157966); ("sb_invals", 0);
+        ("sb_chains", 347480) ] );
+    ( "httperf",
+      "sb+tlb",
+      [ ("instructions", 25702368); ("cycles", 45117642);
+        ("i_hits", 123861); ("i_misses", 9085); ("d_hits", 1460460);
+        ("d_misses", 219); ("i_flushes", 2140); ("d_flushes", 5);
+        ("sb_built", 2282); ("sb_hits", 181925); ("sb_invals", 42164);
+        ("sb_chains", 440748) ] );
   ]
 
 let check_perf j =
@@ -360,8 +387,10 @@ let check_perf j =
         geti a [ "counters"; name ])
   in
   let arm_labels =
-    [ ("unixbench", [ "tlb+views"; "no-tlb+views"; "tlb+noviews"; "no-tlb+noviews" ]);
-      ("httperf", [ "tlb"; "no-tlb" ]) ]
+    [ ( "unixbench",
+        [ "tlb+views"; "no-tlb+views"; "tlb+noviews"; "no-tlb+noviews";
+          "sb+tlb+views"; "sb+tlb+noviews" ] );
+      ("httperf", [ "tlb"; "no-tlb"; "sb+tlb" ]) ]
   in
   List.iter
     (fun (section, labels) ->
@@ -381,23 +410,26 @@ let check_perf j =
                 [ "seconds"; "ips" ])
         labels)
     arm_labels;
-  (* parity: same workload, same retirement, tlb on or off *)
+  (* parity: same workload, same retirement, whatever fast paths are on *)
   List.iter
-    (fun (section, tlb_label, no_label) ->
+    (fun (section, fast_label, base_label) ->
       List.iter
         (fun c ->
-          match (counter section tlb_label c, counter section no_label c) with
+          match (counter section fast_label c, counter section base_label c) with
           | Some a, Some b when a = b -> ()
           | Some a, Some b ->
-              fail "perf: %s %s between %s (%d) and %s (%d) — TLB changed \
-                    guest behavior"
-                section c tlb_label a no_label b
-          | _ -> fail "perf: %s %s missing on %s or %s" section c tlb_label
-                   no_label)
+              fail "perf: %s %s between %s (%d) and %s (%d) — a fast path \
+                    changed guest behavior"
+                section c fast_label a base_label b
+          | _ -> fail "perf: %s %s missing on %s or %s" section c fast_label
+                   base_label)
         [ "instructions"; "cycles" ])
     [ ("unixbench", "tlb+views", "no-tlb+views");
       ("unixbench", "tlb+noviews", "no-tlb+noviews");
-      ("httperf", "tlb", "no-tlb") ];
+      ("unixbench", "sb+tlb+views", "tlb+views");
+      ("unixbench", "sb+tlb+noviews", "tlb+noviews");
+      ("httperf", "tlb", "no-tlb");
+      ("httperf", "sb+tlb", "tlb") ];
   (* the no-tlb arms must be a true baseline *)
   List.iter
     (fun (section, label) ->
@@ -411,6 +443,36 @@ let check_perf j =
         [ "i_hits"; "i_misses"; "d_hits"; "d_misses" ])
     [ ("unixbench", "no-tlb+views"); ("unixbench", "no-tlb+noviews");
       ("httperf", "no-tlb") ];
+  (* non-sb arms must keep the superblock engine silent *)
+  List.iter
+    (fun (section, label) ->
+      List.iter
+        (fun c ->
+          match counter section label c with
+          | Some 0 -> ()
+          | Some v ->
+              fail "perf: %s/%s.%s = %d, expected 0 (superblocks off)" section
+                label c v
+          | None -> fail "perf: %s/%s.%s missing" section label c)
+        [ "sb_built"; "sb_hits"; "sb_invals"; "sb_chains" ])
+    [ ("unixbench", "tlb+views"); ("unixbench", "no-tlb+views");
+      ("unixbench", "tlb+noviews"); ("unixbench", "no-tlb+noviews");
+      ("httperf", "tlb"); ("httperf", "no-tlb") ];
+  (* the sb arms must show a working block cache: blocks decoded once,
+     re-executed many times, chained block-to-block; retention keeps
+     rebuilds far below re-executions *)
+  List.iter
+    (fun (section, label) ->
+      let v c = Option.value ~default:0 (counter section label c) in
+      if v "sb_built" = 0 then fail "perf: %s/%s built no blocks" section label;
+      if v "sb_hits" = 0 then fail "perf: %s/%s has no block hits" section label;
+      if v "sb_chains" = 0 then
+        fail "perf: %s/%s followed no chains" section label;
+      if v "sb_hits" <= v "sb_built" then
+        fail "perf: %s/%s rebuilds (%d) dominate hits (%d)" section label
+          (v "sb_built") (v "sb_hits"))
+    [ ("unixbench", "sb+tlb+views"); ("unixbench", "sb+tlb+noviews");
+      ("httperf", "sb+tlb") ];
   (* the tlb arms must show working caches *)
   List.iter
     (fun (section, label) ->
@@ -493,8 +555,8 @@ let () =
       check_perf (parse path);
       report
         (Printf.sprintf
-           "check: %s ok (tlb/no-tlb parity, %d pinned counters; wall clock \
-            recorded, not gated)"
+           "check: %s ok (tlb/no-tlb/sblocks parity, %d pinned counters; wall \
+            clock recorded, not gated)"
            path
            (List.fold_left
               (fun acc (_, _, pins) -> acc + List.length pins)

@@ -260,7 +260,7 @@ let chaos ~fast profiles =
        ])
 
 let perf ~fast profiles =
-  banner "Perf: translation fast path throughput (software TLBs, wall clock)";
+  banner "Perf: execution fast path throughput (TLBs + superblocks, wall clock)";
   let reps = if fast then 1 else 3 in
   let t = Fc_benchkit.Perf.run ~reps profiles in
   print_string (Fc_benchkit.Perf.render t);
@@ -282,6 +282,10 @@ let perf ~fast profiles =
        [
          ("unixbench_speedup", J.Float t.Fc_benchkit.Perf.unixbench_speedup);
          ("httperf_speedup", J.Float t.Fc_benchkit.Perf.httperf_speedup);
+         ( "unixbench_speedup_sblocks",
+           J.Float t.Fc_benchkit.Perf.unixbench_speedup_sblocks );
+         ( "httperf_speedup_sblocks",
+           J.Float t.Fc_benchkit.Perf.httperf_speedup_sblocks );
        ])
 
 (* ------------------------------------------------------------------ *)

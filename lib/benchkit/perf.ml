@@ -15,11 +15,16 @@ type counters = {
   c_d_misses : int;
   c_i_flushes : int;
   c_d_flushes : int;
+  c_sb_built : int;
+  c_sb_hits : int;
+  c_sb_invals : int;
+  c_sb_chains : int;
 }
 
 let zero_counters =
   { c_instructions = 0; c_cycles = 0; c_i_hits = 0; c_i_misses = 0;
-    c_d_hits = 0; c_d_misses = 0; c_i_flushes = 0; c_d_flushes = 0 }
+    c_d_hits = 0; c_d_misses = 0; c_i_flushes = 0; c_d_flushes = 0;
+    c_sb_built = 0; c_sb_hits = 0; c_sb_invals = 0; c_sb_chains = 0 }
 
 (* Whole-guest counters at end of life.  Guest instructions only retire
    inside [Os.run]/exec paths — exactly the spans the arms time — so
@@ -36,10 +41,15 @@ let collect os acc =
     c_d_misses = acc.c_d_misses + v "tlb.d_misses";
     c_i_flushes = acc.c_i_flushes + v "tlb.i_flushes";
     c_d_flushes = acc.c_d_flushes + v "tlb.d_flushes";
+    c_sb_built = acc.c_sb_built + v "sb.blocks_built";
+    c_sb_hits = acc.c_sb_hits + v "sb.hits";
+    c_sb_invals = acc.c_sb_invals + v "sb.invalidations";
+    c_sb_chains = acc.c_sb_chains + v "sb.chain_follows";
   }
 
 type arm = {
   a_label : string;
+  a_sblocks : bool;
   a_tlb : bool;
   a_views : bool;
   a_reps : int;
@@ -52,9 +62,10 @@ let ips ~instructions ~reps ~seconds =
   if seconds <= 0. then 0.
   else float_of_int (instructions * reps) /. seconds
 
-let make_arm ~label ~tlb ~views ~reps ~seconds ~counters =
+let make_arm ~label ~sblocks ~tlb ~views ~reps ~seconds ~counters =
   {
     a_label = label;
+    a_sblocks = sblocks;
     a_tlb = tlb;
     a_views = views;
     a_reps = reps;
@@ -75,10 +86,11 @@ let now () = Unix.gettimeofday ()
 let perf_view_apps = [ "top"; "apache" ]
 
 (* One subtest in a fresh guest, mirroring [Unixbench.run_one] but with
-   the TLB toggle and wall-clock timing of the run spans.  Returns the
-   elapsed seconds; the guest is handed back for counter collection. *)
-let run_subtest image ~tlb ~views ~residents (st : Unixbench.subtest) =
-  let os = Os.create ~config:Unixbench.bench_config ~tlb image in
+   the engine toggles and wall-clock timing of the run spans.  Returns
+   the elapsed seconds; the guest is handed back for counter
+   collection. *)
+let run_subtest image ~sblocks ~tlb ~views ~residents (st : Unixbench.subtest) =
+  let os = Os.create ~config:Unixbench.bench_config ~sblocks ~tlb image in
   if views <> [] then begin
     let hyp = Hyp.attach os in
     let fc = Facechange.enable hyp in
@@ -104,7 +116,7 @@ let run_subtest image ~tlb ~views ~residents (st : Unixbench.subtest) =
   elapsed := !elapsed +. (now () -. t0);
   (os, !elapsed)
 
-let unixbench_arm profiles ~tlb ~views_on ~reps =
+let unixbench_arm profiles ~sblocks ~tlb ~views_on ~reps =
   let image = Profiles.image profiles in
   let views =
     if views_on then List.map (Profiles.config_of profiles) perf_view_apps
@@ -116,7 +128,7 @@ let unixbench_arm profiles ~tlb ~views_on ~reps =
   for rep = 1 to max 1 reps do
     List.iter
       (fun st ->
-        let os, dt = run_subtest image ~tlb ~views ~residents st in
+        let os, dt = run_subtest image ~sblocks ~tlb ~views ~residents st in
         seconds := !seconds +. dt;
         (* counters from the first rep only: every rep is the same
            deterministic run, so the pinned numbers are rep-independent *)
@@ -124,27 +136,28 @@ let unixbench_arm profiles ~tlb ~views_on ~reps =
       Unixbench.subtests
   done;
   let label =
-    Printf.sprintf "%s+%s"
+    Printf.sprintf "%s%s+%s"
+      (if sblocks then "sb+" else "")
       (if tlb then "tlb" else "no-tlb")
       (if views_on then "views" else "noviews")
   in
-  make_arm ~label ~tlb ~views:views_on ~reps:(max 1 reps) ~seconds:!seconds
-    ~counters:!counters
+  make_arm ~label ~sblocks ~tlb ~views:views_on ~reps:(max 1 reps)
+    ~seconds:!seconds ~counters:!counters
 
 (* ------------------------------------------------------------------ *)
 (* httperf workload                                                    *)
 (* ------------------------------------------------------------------ *)
 
 (* The Fig. 7 apache request batch (same scripts as [Httperf]), with
-   FACE-CHANGE enabled and the apache view loaded in both arms — only
-   the TLB differs. *)
-let httperf_arm profiles ~tlb ~reps =
+   FACE-CHANGE enabled and the apache view loaded in every arm — only
+   the engine toggles differ. *)
+let httperf_arm profiles ~sblocks ~tlb ~reps =
   let app = Fc_apps.App.find_exn "apache" in
   let config = { (Fc_apps.App.os_config app) with Os.wake_delay = 2 } in
   let seconds = ref 0. in
   let counters = ref zero_counters in
   for rep = 1 to max 1 reps do
-    let os = Os.create ~config ~tlb (Profiles.image profiles) in
+    let os = Os.create ~config ~sblocks ~tlb (Profiles.image profiles) in
     let hyp = Hyp.attach os in
     let fc = Facechange.enable hyp in
     let (_ : int) =
@@ -164,8 +177,12 @@ let httperf_arm profiles ~tlb ~reps =
     if rep = 1 then counters := collect os !counters
   done;
   make_arm
-    ~label:(if tlb then "tlb" else "no-tlb")
-    ~tlb ~views:true ~reps:(max 1 reps) ~seconds:!seconds ~counters:!counters
+    ~label:
+      (Printf.sprintf "%s%s"
+         (if sblocks then "sb+" else "")
+         (if tlb then "tlb" else "no-tlb"))
+    ~sblocks ~tlb ~views:true ~reps:(max 1 reps) ~seconds:!seconds
+    ~counters:!counters
 
 (* ------------------------------------------------------------------ *)
 (* Warm vs cold TLB                                                    *)
@@ -204,45 +221,67 @@ type t = {
   unixbench : arm list;
   unixbench_speedup : float;  (* tlb vs no-tlb, views on *)
   unixbench_speedup_noviews : float;
+  unixbench_speedup_sblocks : float;  (* sb+tlb vs tlb, views on *)
+  unixbench_speedup_sblocks_noviews : float;
   httperf : arm list;
   httperf_speedup : float;
+  httperf_speedup_sblocks : float;
   cold : float * int * float;  (* seconds, instructions, ips *)
   warm : float * int * float;
 }
 
-let speedup ~tlb_arm ~no_tlb_arm =
-  if no_tlb_arm.a_ips <= 0. then 0. else tlb_arm.a_ips /. no_tlb_arm.a_ips
+let speedup ~fast_arm ~base_arm =
+  if base_arm.a_ips <= 0. then 0. else fast_arm.a_ips /. base_arm.a_ips
 
-let find_arm arms ~tlb ~views =
-  List.find (fun a -> a.a_tlb = tlb && a.a_views = views) arms
+let find_arm arms ~sblocks ~tlb ~views =
+  List.find
+    (fun a -> a.a_sblocks = sblocks && a.a_tlb = tlb && a.a_views = views)
+    arms
 
 let run ?(reps = 3) profiles =
   let ub =
     [
-      unixbench_arm profiles ~tlb:true ~views_on:true ~reps;
-      unixbench_arm profiles ~tlb:false ~views_on:true ~reps;
-      unixbench_arm profiles ~tlb:true ~views_on:false ~reps;
-      unixbench_arm profiles ~tlb:false ~views_on:false ~reps;
+      unixbench_arm profiles ~sblocks:false ~tlb:true ~views_on:true ~reps;
+      unixbench_arm profiles ~sblocks:false ~tlb:false ~views_on:true ~reps;
+      unixbench_arm profiles ~sblocks:false ~tlb:true ~views_on:false ~reps;
+      unixbench_arm profiles ~sblocks:false ~tlb:false ~views_on:false ~reps;
+      unixbench_arm profiles ~sblocks:true ~tlb:true ~views_on:true ~reps;
+      unixbench_arm profiles ~sblocks:true ~tlb:true ~views_on:false ~reps;
     ]
   in
   let hp =
-    [ httperf_arm profiles ~tlb:true ~reps; httperf_arm profiles ~tlb:false ~reps ]
+    [
+      httperf_arm profiles ~sblocks:false ~tlb:true ~reps;
+      httperf_arm profiles ~sblocks:false ~tlb:false ~reps;
+      httperf_arm profiles ~sblocks:true ~tlb:true ~reps;
+    ]
   in
+  let ub_arm = find_arm ub in
   let cold, warm = warm_cold (Profiles.image profiles) in
   {
     reps = max 1 reps;
     unixbench = ub;
     unixbench_speedup =
       speedup
-        ~tlb_arm:(find_arm ub ~tlb:true ~views:true)
-        ~no_tlb_arm:(find_arm ub ~tlb:false ~views:true);
+        ~fast_arm:(ub_arm ~sblocks:false ~tlb:true ~views:true)
+        ~base_arm:(ub_arm ~sblocks:false ~tlb:false ~views:true);
     unixbench_speedup_noviews =
       speedup
-        ~tlb_arm:(find_arm ub ~tlb:true ~views:false)
-        ~no_tlb_arm:(find_arm ub ~tlb:false ~views:false);
+        ~fast_arm:(ub_arm ~sblocks:false ~tlb:true ~views:false)
+        ~base_arm:(ub_arm ~sblocks:false ~tlb:false ~views:false);
+    unixbench_speedup_sblocks =
+      speedup
+        ~fast_arm:(ub_arm ~sblocks:true ~tlb:true ~views:true)
+        ~base_arm:(ub_arm ~sblocks:false ~tlb:true ~views:true);
+    unixbench_speedup_sblocks_noviews =
+      speedup
+        ~fast_arm:(ub_arm ~sblocks:true ~tlb:true ~views:false)
+        ~base_arm:(ub_arm ~sblocks:false ~tlb:true ~views:false);
     httperf = hp;
     httperf_speedup =
-      speedup ~tlb_arm:(List.nth hp 0) ~no_tlb_arm:(List.nth hp 1);
+      speedup ~fast_arm:(List.nth hp 0) ~base_arm:(List.nth hp 1);
+    httperf_speedup_sblocks =
+      speedup ~fast_arm:(List.nth hp 2) ~base_arm:(List.nth hp 0);
     cold;
     warm;
   }
@@ -258,12 +297,17 @@ let counters_to_json c =
       ("d_misses", J.Int c.c_d_misses);
       ("i_flushes", J.Int c.c_i_flushes);
       ("d_flushes", J.Int c.c_d_flushes);
+      ("sb_built", J.Int c.c_sb_built);
+      ("sb_hits", J.Int c.c_sb_hits);
+      ("sb_invals", J.Int c.c_sb_invals);
+      ("sb_chains", J.Int c.c_sb_chains);
     ]
 
 let arm_to_json a =
   J.Obj
     [
       ("label", J.String a.a_label);
+      ("sblocks", J.Bool a.a_sblocks);
       ("tlb", J.Bool a.a_tlb);
       ("views", J.Bool a.a_views);
       ("reps", J.Int a.a_reps);
@@ -286,12 +330,16 @@ let to_json t =
             ("arms", J.List (List.map arm_to_json t.unixbench));
             ("speedup_tlb_vs_no_tlb", J.Float t.unixbench_speedup);
             ("speedup_tlb_vs_no_tlb_noviews", J.Float t.unixbench_speedup_noviews);
+            ("speedup_sblocks_vs_tlb", J.Float t.unixbench_speedup_sblocks);
+            ( "speedup_sblocks_vs_tlb_noviews",
+              J.Float t.unixbench_speedup_sblocks_noviews );
           ] );
       ( "httperf",
         J.Obj
           [
             ("arms", J.List (List.map arm_to_json t.httperf));
             ("speedup_tlb_vs_no_tlb", J.Float t.httperf_speedup);
+            ("speedup_sblocks_vs_tlb", J.Float t.httperf_speedup_sblocks);
           ] );
       ( "warm_cold",
         J.Obj [ ("cold", point_to_json t.cold); ("warm", point_to_json t.warm) ]
@@ -301,21 +349,30 @@ let to_json t =
 let render t =
   let buf = Buffer.create 2048 in
   let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
-  pr "Translation fast path: wall-clock guest instructions/sec (reps=%d)\n\n"
+  pr "Execution fast paths: wall-clock guest instructions/sec (reps=%d)\n\n"
     t.reps;
   let arm_line a =
     pr "  %-16s %10.3fs  %12d instr  %12.0f ips  (iTLB %d/%d, dTLB %d/%d)\n"
       a.a_label a.a_seconds a.a_counters.c_instructions a.a_ips
       a.a_counters.c_i_hits a.a_counters.c_i_misses a.a_counters.c_d_hits
-      a.a_counters.c_d_misses
+      a.a_counters.c_d_misses;
+    if a.a_sblocks then
+      pr "  %-16s   sblocks: %d built, %d hits, %d invalidations, %d chains\n"
+        "" a.a_counters.c_sb_built a.a_counters.c_sb_hits
+        a.a_counters.c_sb_invals a.a_counters.c_sb_chains
   in
   pr "UnixBench suite:\n";
   List.iter arm_line t.unixbench;
-  pr "  speedup (views on):  %.2fx\n" t.unixbench_speedup;
-  pr "  speedup (views off): %.2fx\n\n" t.unixbench_speedup_noviews;
+  pr "  tlb speedup (views on):      %.2fx\n" t.unixbench_speedup;
+  pr "  tlb speedup (views off):     %.2fx\n" t.unixbench_speedup_noviews;
+  pr "  sblocks speedup (views on):  %.2fx over the tlb arm\n"
+    t.unixbench_speedup_sblocks;
+  pr "  sblocks speedup (views off): %.2fx over the tlb arm\n\n"
+    t.unixbench_speedup_sblocks_noviews;
   pr "httperf batch (apache view):\n";
   List.iter arm_line t.httperf;
-  pr "  speedup: %.2fx\n\n" t.httperf_speedup;
+  pr "  tlb speedup:     %.2fx\n" t.httperf_speedup;
+  pr "  sblocks speedup: %.2fx over the tlb arm\n\n" t.httperf_speedup_sblocks;
   let s, i, v = t.cold in
   pr "syscall loop, cold TLB: %.4fs  %d instr  %.0f ips\n" s i v;
   let s, i, v = t.warm in

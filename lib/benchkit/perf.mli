@@ -1,18 +1,20 @@
-(** Wall-clock throughput benchmark for the translation fast path.
+(** Wall-clock throughput benchmark for the execution fast paths.
 
     Every other experiment in this suite measures {e simulated} cycles;
     this one measures real elapsed time, because the software TLBs
-    (see DESIGN.md "Translation fast path") change only how fast the
-    host executes the guest, never what the guest does.  Each arm runs
-    the same deterministic workload with the TLBs on or off
-    ([Os.create ~tlb]) and reports guest instructions retired per
-    wall-clock second, timing only the [Os.run] spans (view builds and
-    profiling are excluded from both the numerator and the
+    (see DESIGN.md "Translation fast path") and the decode-once
+    superblocks (DESIGN.md §10) change only how fast the host executes
+    the guest, never what the guest does.  Each arm runs the same
+    deterministic workload with the toggles on or off
+    ([Os.create ~sblocks ~tlb]) and reports guest instructions retired
+    per wall-clock second, timing only the [Os.run] spans (view builds
+    and profiling are excluded from both the numerator and the
     denominator).
 
     Wall-clock numbers vary run to run and are {e recorded, never
-    gated}; the TLB hit/miss counters and instruction counts come from
-    one deterministic pass and are pinned by [bench/check.exe --perf]. *)
+    gated}; the TLB and superblock counters and instruction counts come
+    from one deterministic pass and are pinned by
+    [bench/check.exe --perf]. *)
 
 type counters = {
   c_instructions : int;
@@ -23,10 +25,15 @@ type counters = {
   c_d_misses : int;
   c_i_flushes : int;
   c_d_flushes : int;
+  c_sb_built : int;
+  c_sb_hits : int;
+  c_sb_invals : int;
+  c_sb_chains : int;
 }
 
 type arm = {
   a_label : string;
+  a_sblocks : bool;
   a_tlb : bool;
   a_views : bool;
   a_reps : int;
@@ -41,11 +48,18 @@ type t = {
   reps : int;
   unixbench : arm list;
       (** \{tlb, no-tlb\} × \{views on (top + apache loaded, residents
-          running), views off\} over the nine UnixBench subtests *)
+          running), views off\} over the nine UnixBench subtests, plus
+          the sb+tlb arms with superblocks enabled on top of the TLBs *)
   unixbench_speedup : float;  (** tlb vs no-tlb ips ratio, views on *)
   unixbench_speedup_noviews : float;
-  httperf : arm list;  (** apache request batch, view loaded, tlb on/off *)
+  unixbench_speedup_sblocks : float;
+      (** sb+tlb vs tlb ips ratio, views on — the superblock win over
+          the already-TLB'd engine *)
+  unixbench_speedup_sblocks_noviews : float;
+  httperf : arm list;
+      (** apache request batch, view loaded: tlb, no-tlb, sb+tlb *)
   httperf_speedup : float;
+  httperf_speedup_sblocks : float;
   cold : float * int * float;
       (** (seconds, instructions, ips) for a syscall loop entered with
           empty TLBs *)

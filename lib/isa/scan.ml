@@ -1,3 +1,33 @@
+(* ---------------- block-terminator classification ---------------- *)
+
+type boundary =
+  | B_seq
+  | B_cond of int
+  | B_jump of int
+  | B_call of int
+  | B_call_dynamic
+  | B_return
+  | B_stop
+
+let boundary insn ~pc ~len =
+  match insn with
+  | Insn.Jcc_rel d -> B_cond (pc + len + d)
+  | Insn.Jmp_rel d -> B_jump (pc + len + d)
+  | Insn.Call_rel d -> B_call (pc + len + d)
+  | Insn.Call_indirect -> B_call_dynamic
+  | Insn.Ret | Insn.Iret -> B_return
+  | Insn.Ud2 | Insn.Yield _ -> B_stop
+  | Insn.Push_ebp | Insn.Mov_ebp_esp | Insn.Nop | Insn.Leave | Insn.Alu _
+  | Insn.Or_mem _ | Insn.Int_sw _ ->
+      B_seq
+
+let ends_block insn =
+  match boundary insn ~pc:0 ~len:0 with
+  | B_seq | B_cond _ -> false
+  | B_jump _ | B_call _ | B_call_dynamic | B_return | B_stop -> true
+
+(* ---------------- prologue-signature scanning ---------------- *)
+
 let is_prologue_at ~read addr =
   let byte_is a v = match read a with Some b -> b = v | None -> false in
   byte_is addr 0x55 && byte_is (addr + 1) 0x89 && byte_is (addr + 2) 0xe5

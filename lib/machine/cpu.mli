@@ -53,6 +53,55 @@ type event =
   | Ev_return       (** a ret/iret executed (excluding the final return to
                         user mode) *)
 
+(** {2 Superblocks}
+
+    A superblock is one basic block decoded {e once} into flat parallel
+    arrays of micro-op records — no per-instruction closures, no
+    re-decoding — and executed straight-line: the trap probe runs only at
+    block entry, never between ops.  The builder (the OS) guarantees the
+    safety invariants that make that sound: every instruction of a block
+    lies within one host frame, no instruction at index [>= 1] is a trap
+    address, and the [(epoch, frame version, trap generation)] snapshot is
+    re-validated before every execution (see DESIGN.md §10). *)
+
+type sop =
+  | S_step          (** Nop/Alu/Or_mem/Int_sw: advance eip only *)
+  | S_push_ebp
+  | S_mov_ebp_esp
+  | S_leave
+  | S_jcc           (** arg = taken target; falls through in-block *)
+  | S_jmp           (** arg = target; ends the block *)
+  | S_call          (** arg = target; ends the block *)
+  | S_call_ind
+  | S_ret           (** ret/iret (identical semantics here) *)
+  | S_yield         (** arg = yield id *)
+  | S_ud2
+
+type sblock = {
+  sb_start : int;       (** address of the first instruction *)
+  sb_ops : sop array;
+  sb_pcs : int array;   (** per-op instruction address *)
+  sb_lens : int array;  (** per-op byte length *)
+  sb_args : int array;  (** per-op argument (targets, yield id) *)
+  sb_steps : int array;
+      (** [sb_steps.(i)] = length of the consecutive [S_step] run starting
+          at op [i] ([0] when op [i] is not a step) — the executor retires
+          a whole run at once when no per-instruction tracer is armed *)
+  sb_exit : int;
+      (** static successor pc (fall-through split, direct jump/call), or
+          [-1] when the successor is dynamic — drives block chaining *)
+  mutable sb_epoch : int;
+      (** [Ept.epoch] the block was last validated under; the owner
+          restamps it when an epoch bump left this page's translation
+          unchanged, so view switches do not force re-decodes *)
+  sb_frame : int;       (** host frame the block decoded from *)
+  sb_version : int;     (** [Phys_mem.version] of [sb_frame] at build time *)
+  mutable sb_trap_gen : int;
+      (** trap-set generation last validated under; the owner restamps it
+          when a trap-set change left the block's interior trap-free *)
+  mutable sb_next : sblock option;  (** chained block at [sb_exit] *)
+}
+
 val run :
   decode:(int -> decode_result) ->
   read_u32:(int -> int option) ->
@@ -65,6 +114,7 @@ val run :
   ?instrs:int ref ->
   dispatch:int Queue.t ->
   ?skip_bp:int ->
+  ?sblocks:(int -> sblock option) ->
   ?max_instr:int ->
   regs ->
   exit_reason
@@ -78,7 +128,14 @@ val run :
     first instruction when resuming from a [Breakpoint] at that address.
     [instrs], when given, is incremented once per executed instruction
     (retired-instruction counting, independent of the cycle cost model).
-    [max_instr] defaults to 2,000,000. *)
+    [sblocks], when given, is consulted with the pc at every block
+    boundary: a returned block (which must start at that pc and be valid —
+    the CPU does not re-check the snapshot) executes straight-line;
+    [None] falls back to single-instruction decode/execute for that
+    instruction.  Either way every observable (cycles, retired count,
+    traces, events, register file at every step, exit reasons) is
+    identical to running without [sblocks].  [max_instr] defaults to
+    2,000,000. *)
 
 val push : write_u32:(int -> int -> unit) -> regs -> int -> unit
 (** Push a 32-bit value (used by the OS to seed the sentinel return

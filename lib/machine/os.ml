@@ -7,6 +7,8 @@ module Image = Fc_kernel.Image
 module Syscalls = Fc_kernel.Syscalls
 module Irq_paths = Fc_kernel.Irq_paths
 module Asm = Fc_isa.Asm
+module Insn = Fc_isa.Insn
+module Scan = Fc_isa.Scan
 
 type clocksource = Irq_paths.clocksource
 
@@ -83,6 +85,12 @@ type vcpu = {
   vdtlb : unit Tlb.t;
       (* data-path TLB: tagged with the OS data-mapping generation; guest
          RAM mappings never change once installed, so no version check *)
+  vsbc : Cpu.sblock Tlb.t;
+      (* superblock cache, keyed like the iTLB but tagged with the block's
+         start pc; validity = (EPT epoch, frame version, trap generation) *)
+  mutable vsb_last : Cpu.sblock option;
+      (* the block this vCPU executed last: the chaining anchor — when the
+         next pc is its static exit, follow sb_next instead of probing *)
 }
 
 (* Fault-injection hooks (see lib/faults).  Same zero-cost-when-disabled
@@ -121,6 +129,11 @@ type t = {
   cycles : int ref;
   instrs : int ref; (* retired guest instructions *)
   tlb_on : bool;
+  sblocks_on : bool;
+  mutable trap_gen : int;
+      (* bumped whenever the trap set changes: superblocks embed the
+         generation at build time, so a new trap address landing inside a
+         cached block invalidates it without scanning the cache *)
   mutable data_epoch : int; (* bumped when guest RAM mappings grow *)
   mutable round_no : int;
   mutable context_switches : int;
@@ -131,6 +144,12 @@ type t = {
   mutable next_module_base : int;
   mutable timers : irq_timer list;
   decode_cache : (int, decode_line) Hashtbl.t; (* host frame -> line *)
+  sb_store : (int, (int, Cpu.sblock) Hashtbl.t) Hashtbl.t;
+      (* host frame -> (page offset -> superblock): the retention tier
+         behind the per-vCPU block cache.  Blocks here outlive view
+         switches — a switch back to a frame resurrects its blocks
+         without re-decoding — and die with the frame (same release hook
+         as [decode_cache]) or on a version/trap-generation mismatch. *)
   mutable at_round : (int * (t -> unit)) list;
   mutable rewriter : (Syscalls.t -> (string * string list) option) option;
   itimers : (int, unit) Hashtbl.t;
@@ -143,6 +162,10 @@ type t = {
   tlb_i_misses : Fc_obs.Metrics.counter;
   tlb_d_hits : Fc_obs.Metrics.counter;
   tlb_d_misses : Fc_obs.Metrics.counter;
+  sb_built : Fc_obs.Metrics.counter;
+  sb_hits : Fc_obs.Metrics.counter;
+  sb_invals : Fc_obs.Metrics.counter;
+  sb_chains : Fc_obs.Metrics.counter;
 }
 
 and handler = t -> Cpu.regs -> vm_exit -> exit_action
@@ -167,6 +190,7 @@ let in_interrupt t = (active_vcpu t).vin_interrupt
 let cycles t = !(t.cycles)
 let add_cycles t n = t.cycles := !(t.cycles) + n
 let instructions t = !(t.instrs)
+let decode_cache_frames t = Hashtbl.length t.decode_cache
 let round t = t.round_no
 let context_switches t = t.context_switches
 let set_exit_handler t h = t.handler <- h
@@ -176,6 +200,7 @@ let set_exit_handler t h = t.handler <- h
    the check is a single integer compare, with the usual handful it is a
    short monotone probe. *)
 let rebuild_traps t =
+  t.trap_gen <- t.trap_gen + 1;
   let arr =
     Hashtbl.fold (fun a () acc -> a :: acc) t.traps []
     |> List.sort Int.compare |> Array.of_list
@@ -566,7 +591,24 @@ let write_task_struct t (p : Process.t) =
 
 let dummy_decode_line = { line_version = min_int; line = [||] }
 
-let create ?(config = default_config) ?(vcpus = 1) ?obs ?(tlb = true) image =
+let dummy_sblock =
+  {
+    Cpu.sb_start = -1;
+    sb_ops = [||];
+    sb_pcs = [||];
+    sb_lens = [||];
+    sb_args = [||];
+    sb_steps = [||];
+    sb_exit = -1;
+    sb_epoch = -1;
+    sb_frame = -1;
+    sb_version = -1;
+    sb_trap_gen = -1;
+    sb_next = None;
+  }
+
+let create ?(config = default_config) ?(vcpus = 1) ?obs ?(tlb = true)
+    ?(sblocks = false) image =
   if vcpus < 1 || vcpus > 8 then invalid_arg "Os.create: 1-8 vcpus";
   let obs = match obs with Some o -> o | None -> Fc_obs.Obs.create () in
   let master_pt = Pt.create () in
@@ -583,6 +625,8 @@ let create ?(config = default_config) ?(vcpus = 1) ?obs ?(tlb = true) image =
       vslice_start = 0;
       vitlb = Tlb.create ~bits:8 ~payload:dummy_decode_line ();
       vdtlb = Tlb.create ~bits:8 ~payload:() ();
+      vsbc = Tlb.create ~bits:(if sblocks then 12 else 0) ~payload:dummy_sblock ();
+      vsb_last = None;
     }
   in
   let t =
@@ -606,6 +650,8 @@ let create ?(config = default_config) ?(vcpus = 1) ?obs ?(tlb = true) image =
       cycles = ref 0;
       instrs = ref 0;
       tlb_on = tlb;
+      sblocks_on = sblocks;
+      trap_gen = 0;
       data_epoch = 0;
       round_no = 0;
       context_switches = 0;
@@ -620,6 +666,7 @@ let create ?(config = default_config) ?(vcpus = 1) ?obs ?(tlb = true) image =
              (fun (source, period) -> { source; period; next_at = period })
              config.background_irqs;
       decode_cache = Hashtbl.create 512;
+      sb_store = Hashtbl.create 512;
       at_round = [];
       rewriter = None;
       itimers = Hashtbl.create 8;
@@ -636,8 +683,20 @@ let create ?(config = default_config) ?(vcpus = 1) ?obs ?(tlb = true) image =
       tlb_i_misses = Fc_obs.Metrics.counter (Fc_obs.Obs.metrics obs) ~subsystem:"tlb" "i_misses";
       tlb_d_hits = Fc_obs.Metrics.counter (Fc_obs.Obs.metrics obs) ~subsystem:"tlb" "d_hits";
       tlb_d_misses = Fc_obs.Metrics.counter (Fc_obs.Obs.metrics obs) ~subsystem:"tlb" "d_misses";
+      sb_built = Fc_obs.Metrics.counter (Fc_obs.Obs.metrics obs) ~subsystem:"sb" "blocks_built";
+      sb_hits = Fc_obs.Metrics.counter (Fc_obs.Obs.metrics obs) ~subsystem:"sb" "hits";
+      sb_invals = Fc_obs.Metrics.counter (Fc_obs.Obs.metrics obs) ~subsystem:"sb" "invalidations";
+      sb_chains = Fc_obs.Metrics.counter (Fc_obs.Obs.metrics obs) ~subsystem:"sb" "chain_follows";
     }
   in
+  (* decode lines (and, transitively, the blocks rebuilt from them) are
+     keyed by host frame: drop the line the moment its frame dies, rather
+     than leaking one per freed view frame until the number is recycled *)
+  Phys.set_release_hook t.phys
+    (Some
+       (fun frame ->
+         Hashtbl.remove t.decode_cache frame;
+         Hashtbl.remove t.sb_store frame));
   (* the guest cycle counter is the trace timestamp source, and the
      scheduler state is exported as read-through gauges *)
   Fc_obs.Obs.set_clock obs (fun () -> !(t.cycles));
@@ -648,6 +707,7 @@ let create ?(config = default_config) ?(vcpus = 1) ?obs ?(tlb = true) image =
   gauge "context_switches" (fun () -> t.context_switches);
   gauge "vcpus" (fun () -> Array.length t.vcpus);
   gauge "processes" (fun () -> List.length t.procs_rev);
+  gauge "decode_cache_frames" (fun () -> Hashtbl.length t.decode_cache);
   let tlb_gauge name f =
     Fc_obs.Metrics.gauge (Fc_obs.Obs.metrics obs) ~subsystem:"tlb" name f
   in
@@ -749,6 +809,272 @@ let cached_decode t pc =
             ln.line.(off) <- Some r;
             r
 
+(* ---------------- superblocks ---------------- *)
+
+(* Decode-once basic blocks (DESIGN.md §10).  A block is built from the
+   bytes of the single host frame backing its page — translated through
+   the master page table and the active vCPU's EPT, exactly like the
+   fetch path — and snapshots (EPT epoch, frame version, trap generation)
+   at build time.  Any view switch ([Ept.set_dir]), COW break or recovery
+   write ([Phys_mem.version]), [table_set] splice ([flush_fetch_tlbs]'s
+   epoch bump) or trap-set change invalidates it with zero eager work. *)
+
+let sblock_cap = 64
+
+let build_sblock t pc =
+  let v = active_vcpu t in
+  if pc land page_mask > Layout.page_size - 6 then None
+  else
+    match Pt.translate_page t.master_pt (pc / Layout.page_size) with
+    | None -> None
+    | Some gpa_page -> (
+        match Ept.translate_page v.vept gpa_page with
+        | None -> None
+        | Some frame ->
+            let epoch = Ept.epoch v.vept in
+            let version = Phys.version t.phys frame in
+            let bytes = Phys.frame_bytes t.phys frame in
+            let base = pc - (pc land page_mask) in
+            let read a =
+              let o = a - base in
+              if o >= 0 && o < Layout.page_size then
+                Some (Bytes.get_uint8 bytes o)
+              else None
+            in
+            (* (op, pc, len, arg) in reverse; the block ends before the
+               page tail (where an instruction could straddle pages),
+               before any trap address at index >= 1 (so the executor's
+               entry-only trap probe is exact), at the op cap, and at any
+               unconditional terminator.  Jcc continues in-block: its
+               fall-through is the next op, its taken target exits. *)
+            let ops = ref [] in
+            let n = ref 0 in
+            let exit_pc = ref (-1) in
+            let add op ~pc ~len ~arg =
+              ops := (op, pc, len, arg) :: !ops;
+              incr n
+            in
+            let rec go a =
+              if
+                !n >= sblock_cap
+                || a land page_mask > Layout.page_size - 6
+                || is_trap_addr t a
+              then exit_pc := a
+              else
+                match Insn.decode ~read a with
+                | Error _ ->
+                    (* undecodable bytes: stop before them; the classic
+                       path raises Invalid_opcode there with eip = a *)
+                    exit_pc := a
+                | Ok (insn, len) -> (
+                    match Scan.boundary insn ~pc:a ~len with
+                    | Scan.B_seq ->
+                        let op =
+                          match insn with
+                          | Insn.Push_ebp -> Cpu.S_push_ebp
+                          | Insn.Mov_ebp_esp -> Cpu.S_mov_ebp_esp
+                          | Insn.Leave -> Cpu.S_leave
+                          | _ -> Cpu.S_step
+                        in
+                        add op ~pc:a ~len ~arg:0;
+                        go (a + len)
+                    | Scan.B_cond taken ->
+                        add Cpu.S_jcc ~pc:a ~len ~arg:taken;
+                        go (a + len)
+                    | Scan.B_jump target ->
+                        add Cpu.S_jmp ~pc:a ~len ~arg:target;
+                        exit_pc := target
+                    | Scan.B_call target ->
+                        add Cpu.S_call ~pc:a ~len ~arg:target;
+                        exit_pc := target
+                    | Scan.B_call_dynamic ->
+                        add Cpu.S_call_ind ~pc:a ~len ~arg:0
+                    | Scan.B_return -> add Cpu.S_ret ~pc:a ~len ~arg:0
+                    | Scan.B_stop -> (
+                        match insn with
+                        | Insn.Yield id -> add Cpu.S_yield ~pc:a ~len ~arg:id
+                        | _ -> add Cpu.S_ud2 ~pc:a ~len ~arg:0))
+            in
+            go pc;
+            if !n = 0 then None
+            else begin
+              let items = Array.of_list (List.rev !ops) in
+              let sb_ops = Array.map (fun (o, _, _, _) -> o) items in
+              let len = Array.length sb_ops in
+              let steps = Array.make len 0 in
+              for i = len - 1 downto 0 do
+                if sb_ops.(i) = Cpu.S_step then
+                  steps.(i) <- (if i + 1 < len then steps.(i + 1) else 0) + 1
+              done;
+              let b =
+                {
+                  Cpu.sb_start = pc;
+                  sb_ops;
+                  sb_pcs = Array.map (fun (_, p, _, _) -> p) items;
+                  sb_lens = Array.map (fun (_, _, l, _) -> l) items;
+                  sb_args = Array.map (fun (_, _, _, g) -> g) items;
+                  sb_steps = steps;
+                  sb_exit = !exit_pc;
+                  sb_epoch = epoch;
+                  sb_frame = frame;
+                  sb_version = version;
+                  sb_trap_gen = t.trap_gen;
+                  sb_next = None;
+                }
+              in
+              (* retain per (frame, offset): the block survives in the
+                 store as long as the frame's bytes do, so remapping this
+                 page back later resurrects it instead of re-decoding *)
+              let per =
+                match Hashtbl.find_opt t.sb_store frame with
+                | Some per -> per
+                | None ->
+                    let per = Hashtbl.create 16 in
+                    Hashtbl.add t.sb_store frame per;
+                    per
+              in
+              Hashtbl.replace per (pc land page_mask) b;
+              Some b
+            end)
+
+(* No trap address in [lo, hi]?  One probe of the sorted trap mirror. *)
+let no_trap_in t ~lo ~hi =
+  lo > hi || t.trap_hi < lo || t.trap_lo > hi
+  ||
+  let arr = t.trap_arr in
+  let n = Array.length arr in
+  let rec least l r =
+    if l >= r then l
+    else
+      let m = (l + r) / 2 in
+      if arr.(m) < lo then least (m + 1) r else least l m
+  in
+  let i = least 0 n in
+  i >= n || arr.(i) > hi
+
+(* The frame's bytes are what the block decoded; version unchanged means
+   they still are, so execution is byte-identical no matter how many EPT
+   epochs have passed.  The trap generation is a fast path only: the
+   builder split the block so no interior op was a trap, and on a
+   generation bump we re-check just that — entry traps are the outer
+   loop's probe, not the block's — and restamp.  The enforcement layer
+   arms and disarms its context-switch/resume breakpoints (always block
+   entries) constantly; without restamping every switch would flush the
+   whole block cache. *)
+let sblock_fresh t (b : Cpu.sblock) =
+  b.Cpu.sb_version = Phys.version t.phys b.Cpu.sb_frame
+  && (b.Cpu.sb_trap_gen = t.trap_gen
+     ||
+     let pcs = b.Cpu.sb_pcs in
+     let n = Array.length pcs in
+     if n <= 1 || no_trap_in t ~lo:pcs.(1) ~hi:pcs.(n - 1) then begin
+       b.Cpu.sb_trap_gen <- t.trap_gen;
+       true
+     end
+     else false)
+
+let sblock_current_frame t (v : vcpu) pc =
+  match Pt.translate_page t.master_pt (pc / Layout.page_size) with
+  | None -> -1
+  | Some gpa_page -> (
+      match Ept.translate_page v.vept gpa_page with
+      | None -> -1
+      | Some frame -> frame)
+
+(* Validity = freshness plus "the current translation still maps this pc
+   to the frame the block decoded from".  The epoch stamp is a fast path
+   for the second half: when it matches, no EPT mapping this vCPU sees
+   has changed since the block was validated, so the translation check is
+   skipped.  On a mismatch we re-translate; if the frame is unchanged
+   (the common case after a view switched away and back, or a flush that
+   spliced some *other* page) the block is restamped in place rather than
+   rebuilt.  A genuine splice of this page yields a different frame and
+   the block dies. *)
+let sblock_valid t (v : vcpu) (b : Cpu.sblock) =
+  sblock_fresh t b
+  && (b.Cpu.sb_epoch = Ept.epoch v.vept
+     ||
+     if sblock_current_frame t v b.Cpu.sb_start = b.Cpu.sb_frame then begin
+       b.Cpu.sb_epoch <- Ept.epoch v.vept;
+       true
+     end
+     else false)
+
+let sblock_probe t (v : vcpu) pc =
+  (* index on pc with the page bits folded in: block starts cluster at
+     repeated page offsets (every function entry the linker page-aligns,
+     every post-page-tail resume), so raw low bits would put them all in
+     one slot *)
+  let e = Tlb.slot v.vsbc (pc lxor (pc / Layout.page_size)) in
+  if e.Tlb.tag = pc && sblock_valid t v e.Tlb.payload then begin
+    Fc_obs.Metrics.incr t.sb_hits;
+    let b = e.Tlb.payload in
+    v.vsb_last <- Some b;
+    Some b
+  end
+  else begin
+    (* a tag match whose block no longer covers this pc under the current
+       mapping is a genuine invalidation (this page remapped to another
+       frame, code write, trap change); a tag mismatch is just a cold or
+       conflicted slot *)
+    if e.Tlb.tag = pc then Fc_obs.Metrics.incr t.sb_invals;
+    let resurrected =
+      (* second-chance lookup in the per-frame store: if the current
+         translation maps pc to a frame we already decoded blocks from —
+         and its bytes are unchanged — the old block is still exact, no
+         matter which view installed the mapping *)
+      match sblock_current_frame t v pc with
+      | -1 -> None
+      | frame -> (
+          match Hashtbl.find_opt t.sb_store frame with
+          | None -> None
+          | Some per -> (
+              match Hashtbl.find_opt per (pc land page_mask) with
+              | Some b when b.Cpu.sb_start = pc && sblock_fresh t b ->
+                  b.Cpu.sb_epoch <- Ept.epoch v.vept;
+                  Some b
+              | _ -> None))
+    in
+    match resurrected with
+    | Some b ->
+        Fc_obs.Metrics.incr t.sb_hits;
+        Tlb.fill e ~tag:pc ~epoch:b.Cpu.sb_epoch ~frame:b.Cpu.sb_frame
+          ~version:b.Cpu.sb_version ~bytes:Bytes.empty ~payload:b;
+        v.vsb_last <- Some b;
+        Some b
+    | None -> (
+        match build_sblock t pc with
+        | None ->
+            v.vsb_last <- None;
+            None
+        | Some b ->
+            Fc_obs.Metrics.incr t.sb_built;
+            Tlb.fill e ~tag:pc ~epoch:b.Cpu.sb_epoch ~frame:b.Cpu.sb_frame
+              ~version:b.Cpu.sb_version ~bytes:Bytes.empty ~payload:b;
+            v.vsb_last <- Some b;
+            Some b)
+  end
+
+(* Block lookup with chaining: when the previous block's static exit is
+   exactly the requested pc, follow its sb_next link — one pointer chase
+   plus the validity snapshot — instead of re-hashing into the cache.  A
+   stale or missing link falls back to the probe (and re-links, so a
+   rebuilt target heals the chain). *)
+let sblock_find t pc =
+  let v = active_vcpu t in
+  match v.vsb_last with
+  | Some lb when lb.Cpu.sb_exit = pc -> (
+      match lb.Cpu.sb_next with
+      | Some nb when nb.Cpu.sb_start = pc && sblock_valid t v nb ->
+          Fc_obs.Metrics.incr t.sb_chains;
+          v.vsb_last <- Some nb;
+          Some nb
+      | _ ->
+          let r = sblock_probe t v pc in
+          (match r with Some nb -> lb.Cpu.sb_next <- Some nb | None -> ());
+          r)
+  | _ -> sblock_probe t v pc
+
 let run_cpu t (regs : Cpu.regs) dispatch =
   let decode pc = cached_decode t pc in
   let read_u32 a = read_guest_u32 t a in
@@ -758,11 +1084,12 @@ let run_cpu t (regs : Cpu.regs) dispatch =
     &&
     match t.faults with None -> true | Some h -> not (h.fh_trap_miss a)
   in
+  let sblocks = if t.sblocks_on then Some (fun pc -> sblock_find t pc) else None in
   let rec go skip =
     match
       Cpu.run ~decode ~read_u32 ~write_u32 ~is_trap ~trace:t.trace
         ?events:t.events ?branch:t.branch_policy ~cycles:t.cycles
-        ~instrs:t.instrs ~dispatch ?skip_bp:skip regs
+        ~instrs:t.instrs ~dispatch ?skip_bp:skip ?sblocks regs
     with
     | Cpu.Breakpoint a -> (
         match t.handler t regs (Exit_breakpoint a) with

@@ -40,7 +40,7 @@ type t
 
 val create :
   ?config:config -> ?vcpus:int -> ?obs:Fc_obs.Obs.t -> ?tlb:bool ->
-  Fc_kernel.Image.t -> t
+  ?sblocks:bool -> Fc_kernel.Image.t -> t
 (** Boots the guest: lays the base kernel image into guest-physical
     frames, builds one identity EPT {e per vCPU} (default 1, max 8 — the
     paper's §V-C extension), creates one idle process per vCPU
@@ -59,7 +59,24 @@ val create :
     Disabling it forces every access down the full two-level walk —
     guest-visible behavior is identical either way (the benchmark's
     [--no-tlb] baseline and the coherence tests rely on that); only the
-    [tlb.*] metrics and wall-clock speed differ. *)
+    [tlb.*] metrics and wall-clock speed differ.
+
+    [sblocks] (default [false]) enables decode-once superblocks on the
+    execute loop (DESIGN.md §10): each basic block is decoded once into a
+    flat micro-op array, cached per-vCPU keyed by start address like the
+    iTLB, chained across direct jumps/calls, and executed straight-line
+    with the trap probe only at block boundaries.  Invalidation rides the
+    existing machinery — the EPT translation epoch (re-validated against
+    the current translation, so a view switching away and back restamps
+    warm blocks instead of rebuilding them, helped by a per-frame
+    retention store), the backing frame's {!Fc_mem.Phys_mem.version}
+    (COW breaks and recovery writes), and a trap-set generation
+    (restamped when a trap change leaves a block's interior clear) — so
+    guest
+    behavior is bit-identical with the toggle on or off (the differential
+    harness in test/differential.ml enforces this across the whole
+    {[sblocks] × [tlb]} matrix); only the [sb.*] metrics and wall-clock
+    speed differ.  Orthogonal to [tlb]. *)
 
 val obs : t -> Fc_obs.Obs.t
 (** The guest's observability hub. *)
@@ -215,6 +232,13 @@ val instructions : t -> int
 (** Guest instructions retired since boot — the numerator of the perf
     benchmark's instructions/sec (also the [os.instructions] gauge).
     Unlike {!cycles}, never advanced by cost-model charges. *)
+
+val decode_cache_frames : t -> int
+(** Number of host frames with a live entry in the per-frame decode cache
+    (also the [os.decode_cache_frames] gauge).  Entries are evicted when
+    their frame's last reference is dropped, so view churn must not grow
+    this monotonically — the regression test for the old unbounded
+    behavior reads it. *)
 
 val round : t -> int
 val context_switches : t -> int

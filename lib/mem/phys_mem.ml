@@ -7,6 +7,10 @@ type t = {
   mutable next : int;                     (* high-water mark *)
   mutable free_list : int list;
   mutable live : int;
+  mutable on_release : (int -> unit) option;
+      (* fired when a frame's last reference drops: caches keyed by frame
+         number (the OS decode cache) evict their entry instead of holding
+         it until the frame number happens to be recycled *)
   allocs : Fc_obs.Metrics.counter;
   frees : Fc_obs.Metrics.counter;
 }
@@ -18,6 +22,7 @@ let create ?metrics () =
   let t =
     { frames = Array.make 64 None; versions = Array.make 64 0;
       refcounts = Array.make 64 0; next = 0; free_list = []; live = 0;
+      on_release = None;
       allocs = Fc_obs.Metrics.counter m ~subsystem:"mem" "frames_allocated";
       frees = Fc_obs.Metrics.counter m ~subsystem:"mem" "frames_freed" }
   in
@@ -67,6 +72,8 @@ let incref t f =
 
 let refcount t f = if is_live t f then t.refcounts.(f) else 0
 
+let set_release_hook t f = t.on_release <- f
+
 let free t f =
   if not (is_live t f) then invalid_arg "Phys_mem.free: frame not live";
   if t.refcounts.(f) > 1 then t.refcounts.(f) <- t.refcounts.(f) - 1
@@ -75,7 +82,8 @@ let free t f =
     t.frames.(f) <- None;
     t.free_list <- f :: t.free_list;
     t.live <- t.live - 1;
-    Fc_obs.Metrics.incr t.frees
+    Fc_obs.Metrics.incr t.frees;
+    match t.on_release with Some hook -> hook f | None -> ()
   end
 
 let live_frames t = t.live

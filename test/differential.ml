@@ -1,0 +1,131 @@
+(* Differential-testing harness: run the same randomized, fault-injected
+   guest under different execution-engine configurations and digest
+   everything observable about the run into one comparable fingerprint.
+
+   The execution fast paths — the software TLBs ([?tlb]) and the
+   decode-once superblocks ([?sblocks]) — are sound only if they are
+   behavior-invisible: a guest must retire the same instructions, charge
+   the same cycles, emit the same per-instruction and call/return traces,
+   and capture identical stats with any combination of them enabled, even
+   while a fault plan is switching views, injecting spurious exits and
+   storming the recovery governor underneath.  test_tlb.ml and
+   test_sblocks.ml both drive their parity properties through this
+   module. *)
+
+module Os = Fc_machine.Os
+module Process = Fc_machine.Process
+module Hyp = Fc_hypervisor.Hypervisor
+module Facechange = Fc_core.Facechange
+module Governor = Fc_core.Governor
+module Stats = Fc_core.Stats
+module App = Fc_apps.App
+module Profiles = Fc_benchkit.Profiles
+module Fault = Fc_faults.Fault
+module Frand = Fc_faults.Frand
+module Injector = Fc_faults.Injector
+module Metrics = Fc_obs.Metrics
+module J = Fc_obs.Jsonx
+
+(* Everything observable about a run, trace streams included, digested
+   into a comparable tuple.  [Stats.capture] is the fixed-field
+   projection the chaos matrix pins; the instruction/event digests catch
+   divergence stats would miss.  Engine-internal counters ([tlb.*],
+   [sb.*]) are deliberately outside the fingerprint: they are exactly
+   what is allowed to differ. *)
+type fingerprint = {
+  fp_outcome : string;
+  fp_stats : string;
+  fp_instructions : int;
+  fp_cycles : int;
+  fp_insn_digest : int;
+  fp_event_digest : int;
+}
+
+(* Engine counters of the run, reported alongside the fingerprint so
+   tests can assert the fast paths actually engaged (or stayed silent)
+   without polluting the parity comparison. *)
+type engine = {
+  en_sb_built : int;
+  en_sb_hits : int;
+  en_sb_invalidations : int;
+  en_sb_chain_follows : int;
+  en_itlb_hits : int;
+}
+
+(* The full {sblocks} x {tlb} matrix, baseline first. *)
+let configs = [ (false, false); (false, true); (true, false); (true, true) ]
+
+let describe ~sblocks ~tlb =
+  Printf.sprintf "%s+%s"
+    (if sblocks then "sb" else "no-sb")
+    (if tlb then "tlb" else "no-tlb")
+
+(* One enforced run: a random application from the pool (plus a fixed
+   companion, so context switches and cross-app view switching happen), a
+   random fault plan derived from the seed, FACE-CHANGE enabled with the
+   default governor, full tracing armed. *)
+let run ~profiles ~sblocks ~tlb ~fault_seed () =
+  let r = Frand.create (fault_seed lxor 0x7157) in
+  let pool = [ "top"; "apache"; "gvim"; "bash"; "gzip" ] in
+  let name = Frand.pick r pool in
+  let n = 4 + Frand.int r 7 in
+  let plan = Fault.gen ~seed:fault_seed ~rounds:120 ~n in
+  let app = App.find_exn name in
+  let os =
+    Os.create ~config:(App.os_config app) ~tlb ~sblocks (Profiles.image profiles)
+  in
+  let ih = ref 0 and eh = ref 0 in
+  Os.set_trace os (Some (fun a len -> ih := (((!ih * 31) + a) * 31) + len));
+  Os.set_event_trace os (Some (fun ev -> eh := (!eh * 31) + Hashtbl.hash ev));
+  let hyp = Hyp.attach os in
+  let fc = Facechange.enable ~governor:Governor.default_policy hyp in
+  let (_ : int) = Facechange.load_view fc (Profiles.config_of profiles name) in
+  let (_ : Process.t) = Os.spawn os ~name (app.App.script 4) in
+  let companion = App.find_exn "top" in
+  let (_ : Process.t) =
+    Os.spawn os ~name:"companion" (companion.App.script 2)
+  in
+  let inj = Injector.arm ~os ~hyp ~fc plan in
+  let outcome =
+    match Os.run ~max_rounds:20_000 os with
+    | () -> "ok"
+    | exception Os.Guest_panic m -> "panic: " ^ m
+  in
+  Injector.disarm inj;
+  let m = Fc_obs.Obs.metrics (Os.obs os) in
+  let c key = Option.value ~default:0 (Metrics.find m key) in
+  ( {
+      fp_outcome = outcome;
+      fp_stats = J.to_string (Stats.to_json (Stats.capture fc));
+      fp_instructions = Os.instructions os;
+      fp_cycles = Os.cycles os;
+      fp_insn_digest = !ih;
+      fp_event_digest = !eh;
+    },
+    {
+      en_sb_built = c "sb.blocks_built";
+      en_sb_hits = c "sb.hits";
+      en_sb_invalidations = c "sb.invalidations";
+      en_sb_chain_follows = c "sb.chain_follows";
+      en_itlb_hits = c "tlb.i_hits";
+    } )
+
+let fingerprint ~profiles ~sblocks ~tlb ~fault_seed () =
+  fst (run ~profiles ~sblocks ~tlb ~fault_seed ())
+
+(* Field-by-field Alcotest comparison: a mismatch names the diverging
+   observable instead of dumping two opaque tuples. *)
+let check_parity ~label ~expect ~got =
+  Alcotest.(check string) (label ^ ": outcome") expect.fp_outcome got.fp_outcome;
+  Alcotest.(check string) (label ^ ": stats capture") expect.fp_stats
+    got.fp_stats;
+  Alcotest.(check int)
+    (label ^ ": instructions retired")
+    expect.fp_instructions got.fp_instructions;
+  Alcotest.(check int) (label ^ ": cycles") expect.fp_cycles got.fp_cycles;
+  Alcotest.(check int)
+    (label ^ ": instruction trace")
+    expect.fp_insn_digest got.fp_insn_digest;
+  Alcotest.(check int)
+    (label ^ ": call/return events")
+    expect.fp_event_digest got.fp_event_digest

@@ -1,0 +1,399 @@
+(* Decode-once superblocks (lib/machine/cpu.ml + the Os block cache):
+   coherence of the invalidation sources — a view switch that remaps a
+   page to a different host frame, the backing frame's version (COW
+   breaks and in-place recovery writes), trap-set changes — plus the
+   retention fast paths (an EPT epoch bump whose translations are
+   unchanged restamps warm blocks instead of rebuilding them, and the
+   per-frame store resurrects blocks when a view switches back); chain
+   fallback across invalidated targets; interrupt delivery parity; and
+   the full {sblocks} x {tlb} differential matrix under random fault
+   plans.  Every test runs its scenario on twin guests (superblocks on
+   and off) and requires identical observables, so the coherence
+   machinery is proven not just to invalidate, but to invalidate without
+   changing behavior. *)
+
+module Os = Fc_machine.Os
+module Process = Fc_machine.Process
+module Hyp = Fc_hypervisor.Hypervisor
+module Facechange = Fc_core.Facechange
+module Governor = Fc_core.Governor
+module View = Fc_core.View
+module Ept = Fc_mem.Ept
+module Phys = Fc_mem.Phys_mem
+module Image = Fc_kernel.Image
+module Layout = Fc_kernel.Layout
+module Irq_paths = Fc_kernel.Irq_paths
+module Metrics = Fc_obs.Metrics
+module App = Fc_apps.App
+module Profiles = Fc_benchkit.Profiles
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let profiles () = Lazy.force Test_env.profiles
+let image () = Lazy.force Test_env.image
+
+let metric os key =
+  Option.value ~default:0 (Metrics.find (Fc_obs.Obs.metrics (Os.obs os)) key)
+
+(* ---------------- twin-guest scenario runner ---------------- *)
+
+(* Run [scenario] on one guest with full tracing armed.  [noted] is a
+   per-run scratchpad: scheduled hooks stash counter snapshots there so a
+   test can compare hook-time values against end-of-run values without
+   sharing mutable state between the two twins. *)
+let run_engine ~sblocks scenario =
+  let os = Os.create ~sblocks (image ()) in
+  let noted : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  let ih = ref 0 and eh = ref 0 in
+  Os.set_trace os (Some (fun a len -> ih := (((!ih * 31) + a) * 31) + len));
+  Os.set_event_trace os (Some (fun ev -> eh := (!eh * 31) + Hashtbl.hash ev));
+  scenario os noted;
+  ( os,
+    noted,
+    (Os.instructions os, Os.cycles os, !ih, !eh, Os.vmi_current_task os) )
+
+let note os noted name key = Hashtbl.replace noted name (metric os key)
+let noted_exn noted key = Hashtbl.find noted key
+
+(* Identical observables on both twins, or the scenario is not
+   behavior-invisible under superblocks.  Returns the sblocks guest (and
+   its scratchpad) for counter assertions. *)
+let twin_check ~label scenario =
+  let os_on, noted_on, on = run_engine ~sblocks:true scenario in
+  let _os_off, _noted_off, off = run_engine ~sblocks:false scenario in
+  let i_off, c_off, ih_off, eh_off, task_off = off in
+  let i_on, c_on, ih_on, eh_on, task_on = on in
+  check_int (label ^ ": instructions retired") i_off i_on;
+  check_int (label ^ ": cycles") c_off c_on;
+  check_int (label ^ ": instruction trace") ih_off ih_on;
+  check_int (label ^ ": call/return events") eh_off eh_on;
+  check_bool (label ^ ": VMI current task") true (task_off = task_on);
+  (os_on, noted_on)
+
+let spawn_app os ~name ?(len = 16) () =
+  let app = App.find_exn name in
+  ignore (Os.spawn os ~name (app.App.script len) : Process.t)
+
+(* ---------------- invalidation sources ---------------- *)
+
+(* View switch: Facechange flips the fetch path between the bound app's
+   view frames and the full-view frames on every context switch, so
+   kernel-text pages really change host frame mid-run.  A warm block
+   whose page now maps elsewhere must never execute — the probe's
+   re-translation kills it — while the per-instruction twin proves the
+   kill is behavior-invisible. *)
+let test_view_switch_invalidates () =
+  let scenario os noted =
+    let hyp = Hyp.attach os in
+    let fc = Facechange.enable ~governor:Governor.default_policy hyp in
+    let p = profiles () in
+    ignore (Facechange.load_view fc (Profiles.config_of p "top") : int);
+    spawn_app os ~name:"top" ~len:8 ();
+    (* unbound: runs under the full view, so every context switch between
+       the two remaps the shared kernel text *)
+    spawn_app os ~name:"gzip" ();
+    Os.schedule_at_round os 3 (fun os -> note os noted "hits_pre" "sb.hits");
+    Os.run os
+  in
+  let os_on, noted = twin_check ~label:"view-switch" scenario in
+  check_bool "blocks warm under switching" true (noted_exn noted "hits_pre" > 0);
+  check_bool "remapped pages invalidated warm blocks" true
+    (metric os_on "sb.invalidations" > 0);
+  (* the store bounds the rebuild cost: switching back to a frame already
+     decoded resurrects its blocks, so hits outnumber builds even under
+     per-context-switch view churn *)
+  check_bool "retention keeps rebuilds below hits" true
+    (metric os_on "sb.hits" > metric os_on "sb.blocks_built")
+
+(* The converse retention property: [Ept.set_dir] bumps the epoch even
+   when the directories it installs translate identically (install a
+   view, restore the original — net effect nil).  Warm blocks must be
+   restamped in place, not invalidated: the epoch is a fast path, the
+   frame identity is the truth. *)
+let test_epoch_restamp_retains () =
+  let scenario os noted =
+    let hyp = Hyp.attach os in
+    let cfg = Profiles.config_of (profiles ()) "top" in
+    let v = View.build ~hyp ~index:1 cfg in
+    spawn_app os ~name:"gzip" ();
+    Os.schedule_at_round os 3 (fun os ->
+        note os noted "hits_pre" "sb.hits";
+        note os noted "flushes_pre" "tlb.i_flushes";
+        List.iter
+          (fun (dir, tbl) -> Ept.set_dir (Os.ept os) ~dir (Some tbl))
+          (View.tables v);
+        List.iter
+          (fun (dir, _) ->
+            Ept.set_dir (Os.ept os) ~dir (Hyp.original_table hyp ~dir))
+          (View.tables v));
+    Os.run os;
+    note os noted "flushes_end" "tlb.i_flushes";
+    View.destroy v
+  in
+  let os_on, noted = twin_check ~label:"epoch-restamp" scenario in
+  check_bool "blocks warm before the bump" true (noted_exn noted "hits_pre" > 0);
+  check_bool "the epoch really moved" true
+    (noted_exn noted "flushes_end" > noted_exn noted "flushes_pre");
+  check_int "unchanged translations never invalidate" 0
+    (metric os_on "sb.invalidations")
+
+(* In-place write: [Phys.touch] on the hot syscall-path text frame bumps
+   its version without changing a byte — the signal an in-place
+   lazy-recovery write emits, and the only invalidation source in this
+   scenario (no set_dir, no map_page, no table_set after boot). *)
+let test_version_invalidates () =
+  let scenario os noted =
+    spawn_app os ~name:"gzip" ();
+    Os.schedule_at_round os 3 (fun os ->
+        note os noted "invals_pre" "sb.invalidations";
+        note os noted "hits_pre" "sb.hits";
+        note os noted "flushes_at_write" "tlb.i_flushes";
+        let a = Os.resolve_exn os "syscall_call" in
+        let gpa_page = Layout.page_of (Layout.gva_to_gpa a) in
+        match Os.ram_frame os ~gpa_page with
+        | Some frame -> Phys.touch (Os.phys os) frame
+        | None -> Alcotest.fail "syscall_call frame missing");
+    Os.run os;
+    note os noted "flushes_end" "tlb.i_flushes"
+  in
+  let os_on, noted = twin_check ~label:"in-place-write" scenario in
+  check_bool "blocks warm before the write" true (noted_exn noted "hits_pre" > 0);
+  check_int "no invalidations before the write" 0 (noted_exn noted "invals_pre");
+  check_bool "the write invalidated warm blocks" true
+    (metric os_on "sb.invalidations" > 0);
+  (* and the epoch never moved: the invalidation was version-driven *)
+  check_int "no epoch bump involved"
+    (noted_exn noted "flushes_at_write")
+    (noted_exn noted "flushes_end")
+
+(* A COW break during enforced execution: the first write into a shared
+   view frame splices a private copy into the installed table
+   ([Ept.table_set] + the flush hook) while superblocks built from the
+   old frame are live.  Rewriting the byte with its current value keeps
+   the twins comparable. *)
+let test_cow_break_invalidates () =
+  let covered_gva v =
+    let base = Image.text_base (image ()) in
+    let rec go a =
+      if a >= base + 0x40000 then Alcotest.fail "no covered page"
+      else if View.covers v ~gva:a then a
+      else go (a + Layout.page_size)
+    in
+    go base
+  in
+  let scenario os noted =
+    let hyp = Hyp.attach os in
+    let fc = Facechange.enable ~governor:Governor.default_policy hyp in
+    let p = profiles () in
+    let idx = Facechange.load_view fc (Profiles.config_of p "top") in
+    (* a byte-identical sibling forces the loaded view's pages into
+       shared frames, so the write below must break COW *)
+    let sib = View.build ~hyp ~index:77 (Profiles.config_of p "top") in
+    spawn_app os ~name:"top" ~len:8 ();
+    Os.schedule_at_round os 4 (fun os ->
+        note os noted "hits_pre" "sb.hits";
+        match Facechange.find_view fc idx with
+        | None -> Alcotest.fail "view vanished"
+        | Some v -> (
+            let g = covered_gva v in
+            match View.read_code v ~gva:g with
+            | Some b ->
+                View.write_code v ~gva:g b;
+                Hashtbl.replace noted "cow_breaks" (View.cow_breaks v)
+            | None -> Alcotest.fail "unreadable view byte"));
+    Os.run os;
+    ignore (sib : View.t)
+  in
+  let os_on, noted = twin_check ~label:"cow-break" scenario in
+  check_bool "blocks warm before the break" true (noted_exn noted "hits_pre" > 0);
+  check_bool "the write privatized a shared frame" true
+    (noted_exn noted "cow_breaks" > 0);
+  check_bool "warm blocks invalidated" true (metric os_on "sb.invalidations" > 0)
+
+(* [Os.flush_fetch_tlbs] — the hook the view layer fires after a
+   table_set splice — bumps the epoch conservatively over every page.
+   Pages the splice did not actually remap must survive it (restamp, not
+   rebuild); a page the splice did remap changes frame and is caught by
+   the probe's re-translation, which the COW test exercises end to end. *)
+let test_flush_hook_restamps_unchanged () =
+  let scenario os noted =
+    spawn_app os ~name:"gzip" ();
+    Os.schedule_at_round os 3 (fun os ->
+        note os noted "invals_pre" "sb.invalidations";
+        note os noted "hits_pre" "sb.hits";
+        note os noted "built_pre" "sb.blocks_built";
+        Os.flush_fetch_tlbs os);
+    Os.run os
+  in
+  let os_on, noted = twin_check ~label:"flush-hook" scenario in
+  check_bool "blocks warm before the flush" true (noted_exn noted "hits_pre" > 0);
+  check_int "no invalidations before the flush" 0 (noted_exn noted "invals_pre");
+  check_int "unchanged mappings survive the flush" 0
+    (metric os_on "sb.invalidations");
+  check_bool "warm execution continued after the flush" true
+    (metric os_on "sb.hits" > noted_exn noted "hits_pre")
+
+(* Chained blocks: direct jumps/calls follow sb_next without re-probing
+   the cache — but a chain link into an invalidated target must fall
+   back to a rebuild, never execute the stale block. *)
+let test_chain_rebuild_fallback () =
+  let scenario os noted =
+    spawn_app os ~name:"gzip" ();
+    Os.schedule_at_round os 3 (fun os ->
+        note os noted "chains_pre" "sb.chain_follows";
+        note os noted "built_pre" "sb.blocks_built";
+        (* version-bump the hot syscall-path frame: its blocks (and the
+           store's copies) die for good, so chain links into them must
+           fall back to real rebuilds *)
+        let a = Os.resolve_exn os "syscall_call" in
+        let gpa_page = Layout.page_of (Layout.gva_to_gpa a) in
+        match Os.ram_frame os ~gpa_page with
+        | Some frame -> Phys.touch (Os.phys os) frame
+        | None -> Alcotest.fail "syscall_call frame missing");
+    Os.run os
+  in
+  let os_on, noted = twin_check ~label:"chain-fallback" scenario in
+  check_bool "chains were followed before the flush" true
+    (noted_exn noted "chains_pre" > 0);
+  check_bool "invalidated chain targets were rebuilt" true
+    (metric os_on "sb.blocks_built" > noted_exn noted "built_pre");
+  check_bool "chains resumed after the rebuild" true
+    (metric os_on "sb.chain_follows" > noted_exn noted "chains_pre")
+
+(* Trap-set changes: arming a breakpoint on an address in the {e middle}
+   of a hot block must split rebuilt blocks at that address, so the
+   entry-only trap probe still observes it — the per-instruction twin is
+   the oracle. *)
+let test_trap_set_splits_blocks () =
+  let scenario os noted =
+    spawn_app os ~name:"gzip" ();
+    Os.schedule_at_round os 3 (fun os ->
+        note os noted "invals_pre" "sb.invalidations";
+        (* the second instruction of syscall_call: interior to a block
+           warmed by every preceding syscall *)
+        Os.set_trap os (Os.resolve_exn os "syscall_call" + 1));
+    Os.run os
+  in
+  let os_on, noted = twin_check ~label:"trap-split" scenario in
+  check_int "no invalidations before arming" 0 (noted_exn noted "invals_pre");
+  check_bool "arming the trap invalidated warm blocks" true
+    (metric os_on "sb.invalidations" > 0)
+
+(* Interrupts are delivered at block boundaries only (between CPU
+   invocations); the handler's full execution — and the vCPU state VMI
+   reads afterwards — must match the per-instruction path. *)
+let test_interrupt_at_boundary () =
+  let scenario os noted =
+    spawn_app os ~name:"apache" ~len:8 ();
+    Os.schedule_at_round os 3 (fun os ->
+        Hashtbl.replace noted "fired" 1;
+        Os.inject_irq os Irq_paths.Net_rx_tcp;
+        Os.inject_irq os Irq_paths.Disk);
+    Os.run os
+  in
+  let _os_on, noted = twin_check ~label:"interrupt" scenario in
+  check_int "interrupts were injected" 1 (noted_exn noted "fired")
+
+(* ---------------- decode-cache eviction (regression) ---------------- *)
+
+(* Churning views used to leak one decode line per freed view frame:
+   the per-frame decode cache was never evicted, and a freed frame's
+   number could be recycled for a non-code page (a kernel stack), parking
+   its stale line forever.  With the release hook the line dies with the
+   frame, so repeated load/run/unload cycles hold the cache at a steady
+   size.  The spawn-before-load ordering below is what forced the leak in
+   the unfixed code: each cycle the previous view's frame numbers are
+   recycled for kernel stacks and the new view allocates fresh numbers. *)
+let test_decode_cache_bounded_under_view_churn () =
+  let os = Os.create (image ()) in
+  let hyp = Hyp.attach os in
+  let fc = Facechange.enable ~governor:Governor.default_policy hyp in
+  let p = profiles () in
+  let app = App.find_exn "top" in
+  let sizes =
+    List.init 6 (fun i ->
+        ignore (Os.spawn os ~name:"top" (app.App.script 3) : Process.t);
+        let idx = Facechange.load_view fc (Profiles.config_of p "top") in
+        Os.run os;
+        Facechange.unload_view fc idx;
+        ignore (i : int);
+        Os.decode_cache_frames os)
+  in
+  let steady = List.nth sizes 1 in
+  List.iteri
+    (fun i s ->
+      if i >= 1 then
+        check_int (Printf.sprintf "cycle %d holds the steady size" i) steady s)
+    sizes
+
+(* ---------------- the full differential matrix ---------------- *)
+
+let test_enforced_matrix () =
+  let p = profiles () in
+  let base, _ =
+    Differential.run ~profiles:p ~sblocks:false ~tlb:false ~fault_seed:2 ()
+  in
+  List.iter
+    (fun (sblocks, tlb) ->
+      let fp, en = Differential.run ~profiles:p ~sblocks ~tlb ~fault_seed:2 () in
+      let label = Differential.describe ~sblocks ~tlb in
+      Differential.check_parity ~label ~expect:base ~got:fp;
+      if sblocks then begin
+        check_bool (label ^ ": blocks built") true (en.Differential.en_sb_built > 0);
+        check_bool (label ^ ": block hits") true (en.Differential.en_sb_hits > 0);
+        check_bool (label ^ ": chains followed") true
+          (en.Differential.en_sb_chain_follows > 0);
+        check_bool (label ^ ": view switching invalidates") true
+          (en.Differential.en_sb_invalidations > 0)
+      end
+      else begin
+        check_int (label ^ ": sb counters silent") 0 en.Differential.en_sb_built;
+        check_int (label ^ ": sb hits silent") 0 en.Differential.en_sb_hits
+      end)
+    (List.tl Differential.configs)
+
+let prop_matrix_invisible =
+  QCheck.Test.make
+    ~name:
+      "superblock'd, TLB'd and plain guests are indistinguishable under faults"
+    ~count:6 (QCheck.int_range 1 1_000_000) (fun seed ->
+      let p = profiles () in
+      let base =
+        Differential.fingerprint ~profiles:p ~sblocks:false ~tlb:false
+          ~fault_seed:seed ()
+      in
+      List.for_all
+        (fun (sblocks, tlb) ->
+          Differential.fingerprint ~profiles:p ~sblocks ~tlb ~fault_seed:seed ()
+          = base)
+        (List.tl Differential.configs))
+
+let suites =
+  [
+    ( "sblocks",
+      let tc n f = Alcotest.test_case n `Quick f in
+      [
+        tc "view switch to different frames invalidates warm blocks"
+          test_view_switch_invalidates;
+        tc "epoch bump with unchanged translations restamps, never rebuilds"
+          test_epoch_restamp_retains;
+        tc "in-place code write (frame version) invalidates warm blocks"
+          test_version_invalidates;
+        tc "COW break during enforced execution invalidates warm blocks"
+          test_cow_break_invalidates;
+        tc "flush_fetch_tlbs leaves unchanged mappings warm"
+          test_flush_hook_restamps_unchanged;
+        tc "chained jump across an invalidated target rebuilds, then re-chains"
+          test_chain_rebuild_fallback;
+        tc "arming a trap inside a hot block splits rebuilt blocks"
+          test_trap_set_splits_blocks;
+        tc "interrupt at a block boundary sees identical vCPU state"
+          test_interrupt_at_boundary;
+        tc "decode cache stays bounded under view churn"
+          test_decode_cache_bounded_under_view_churn;
+        tc "enforced faulted run: fingerprint parity across the matrix"
+          test_enforced_matrix;
+      ] );
+    ( "sblocks.properties",
+      List.map QCheck_alcotest.to_alcotest [ prop_matrix_invisible ] );
+  ]

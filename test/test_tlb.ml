@@ -159,66 +159,17 @@ let test_word_access_roundtrip () =
 
 (* ---------------- behavior parity: TLB on vs off ---------------- *)
 
-(* Everything observable about a run, trace streams included, digested
-   into a comparable tuple.  [Stats.capture] is the fixed-field
-   projection the chaos matrix pins; the instruction/event digests catch
-   divergence stats would miss. *)
-type fingerprint = {
-  fp_outcome : string;
-  fp_stats : string;
-  fp_instructions : int;
-  fp_cycles : int;
-  fp_insn_digest : int;
-  fp_event_digest : int;
-}
-
+(* The fingerprint machinery lives in test/differential.ml, shared with
+   the superblock suite — this file exercises the {tlb} axis with
+   superblocks off; test_sblocks.ml covers the full matrix. *)
 let run_enforced ~tlb ~fault_seed =
-  let profiles = profiles () in
-  let r = Frand.create (fault_seed lxor 0x7157) in
-  let pool = [ "top"; "apache"; "gvim"; "bash"; "gzip" ] in
-  let name = Frand.pick r pool in
-  let n = 4 + Frand.int r 7 in
-  let plan = Fault.gen ~seed:fault_seed ~rounds:120 ~n in
-  let app = App.find_exn name in
-  let os =
-    Os.create ~config:(App.os_config app) ~tlb (Profiles.image profiles)
-  in
-  let ih = ref 0 and eh = ref 0 in
-  Os.set_trace os (Some (fun a len -> ih := (((!ih * 31) + a) * 31) + len));
-  Os.set_event_trace os (Some (fun ev -> eh := (!eh * 31) + Hashtbl.hash ev));
-  let hyp = Hyp.attach os in
-  let fc = Facechange.enable ~governor:Governor.default_policy hyp in
-  let (_ : int) = Facechange.load_view fc (Profiles.config_of profiles name) in
-  let (_ : Process.t) = Os.spawn os ~name (app.App.script 4) in
-  let companion = App.find_exn "top" in
-  let (_ : Process.t) =
-    Os.spawn os ~name:"companion" (companion.App.script 2)
-  in
-  let inj = Injector.arm ~os ~hyp ~fc plan in
-  let outcome =
-    match Os.run ~max_rounds:20_000 os with
-    | () -> "ok"
-    | exception Os.Guest_panic m -> "panic: " ^ m
-  in
-  Injector.disarm inj;
-  {
-    fp_outcome = outcome;
-    fp_stats = J.to_string (Stats.to_json (Stats.capture fc));
-    fp_instructions = Os.instructions os;
-    fp_cycles = Os.cycles os;
-    fp_insn_digest = !ih;
-    fp_event_digest = !eh;
-  }
+  Differential.fingerprint ~profiles:(profiles ()) ~sblocks:false ~tlb
+    ~fault_seed ()
 
 let test_parity_enforced_run () =
   let on = run_enforced ~tlb:true ~fault_seed:1 in
   let off = run_enforced ~tlb:false ~fault_seed:1 in
-  Alcotest.(check string) "outcome" off.fp_outcome on.fp_outcome;
-  Alcotest.(check string) "stats capture" off.fp_stats on.fp_stats;
-  check_int "instructions retired" off.fp_instructions on.fp_instructions;
-  check_int "cycles" off.fp_cycles on.fp_cycles;
-  check_int "instruction trace" off.fp_insn_digest on.fp_insn_digest;
-  check_int "call/return events" off.fp_event_digest on.fp_event_digest
+  Differential.check_parity ~label:"tlb-vs-no-tlb" ~expect:off ~got:on
 
 let prop_tlb_invisible =
   QCheck.Test.make
