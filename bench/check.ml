@@ -3,6 +3,14 @@
      bench/check.exe [BENCH_results.json [BENCH_timeline.json]]
      bench/check.exe --chaos [BENCH_chaos.json]
      bench/check.exe --perf [BENCH_perf.json]
+     bench/check.exe --fleet [BENCH_fleet.json]
+
+   Modes combine in one invocation — e.g.
+     bench/check.exe a.json b.json --chaos c.json --fleet d.json
+   — and every artifact is validated even when an earlier one fails
+   (including when it is missing or malformed): failures accumulate
+   across all given artifacts, each prefixed with its path, and the
+   process exits non-zero exactly once at the end.
 
    Fails (exit 1) when an artifact is malformed, a required metric key
    is missing, or a pinned deterministic counter (switch / recovery
@@ -16,6 +24,12 @@
    arm must actually panic; and at the full 100 plans every aggregate
    counter is pinned.
 
+   The --fleet mode gates the sharded fleet: the pinned 40-guest cell's
+   counters are exact, its merged fingerprint is byte-identical at 1, 2
+   and 4 domains (sharding must be behavior-invisible), and every sweep
+   row at the same guest count agrees with its siblings; wall-clock
+   seconds/ips are checked finite, never compared.
+
    The timeline artifact (Chrome trace-event JSON from the smoke run) is
    checked structurally: it parses, has events, every span E matches the
    innermost open B on its (pid, tid) track, and the per-app counters
@@ -24,7 +38,14 @@
 module J = Fc_obs.Jsonx
 
 let failures = ref []
-let fail fmt = Printf.ksprintf (fun s -> failures := s :: !failures) fmt
+let context = ref ""
+
+let fail fmt =
+  Printf.ksprintf
+    (fun s ->
+      let s = if !context = "" then s else !context ^ ": " ^ s in
+      failures := s :: !failures)
+    fmt
 
 let spell path = String.concat "." path
 
@@ -511,72 +532,254 @@ let check_perf j =
       | None -> fail "perf: warm_cold.%s.instructions missing" leg)
     [ ("cold", 152121); ("warm", 155917) ]
 
+(* ---------------- fleet artifact ---------------- *)
+
+(* Exact counter pins for the pinned fleet cell: 40 guests, seed 7, run
+   at 1, 2 and 4 domains regardless of --fast.  Everything downstream of
+   the seed is deterministic and independent of the domain count, so one
+   set of pins covers all three cells.  Re-pin only with an intended
+   behavior change. *)
+let fleet_cell_pins =
+  [
+    ("instructions", 40617176);
+    ("cycles", 53150303);
+    ("context_switches", 1299);
+    ("view_switches", 1274);
+    ("recoveries", 139);
+    ("recovered_bytes", 61568);
+    ("degradations", 70);
+    ("quarantines", 19);
+    ("total_frames", 2081);
+    ("unique_frames", 180);
+    ("panics", 0);
+    ("wedged", 0);
+  ]
+
+let check_fleet j =
+  let geti v p = Option.bind (J.path v p) J.to_int in
+  let getf v p = Option.bind (J.path v p) J.to_float in
+  (match geti j [ "schema_version" ] with
+  | Some 1 -> ()
+  | Some v -> fail "fleet: schema_version %d, expected 1" v
+  | None -> fail "fleet: schema_version missing");
+  (match geti j [ "fleet"; "seed" ] with
+  | Some 7 -> ()
+  | Some v -> fail "fleet: seed %d, expected 7" v
+  | None -> fail "fleet: seed missing");
+  (match geti j [ "fleet"; "pinned"; "guests" ] with
+  | Some 40 -> ()
+  | Some v -> fail "fleet: pinned.guests %d, expected 40" v
+  | None -> fail "fleet: pinned.guests missing");
+  (* structural + wall-clock sanity shared by pinned and sweep cells *)
+  let check_cell_shape ctx cell =
+    List.iter
+      (fun k ->
+        match getf cell [ k ] with
+        | Some f when Float.is_finite f -> ()
+        | Some _ | None -> fail "fleet: %s.%s is not a finite number" ctx k)
+      [ "seconds"; "ips"; "dedup_ratio" ];
+    (match J.path cell [ "per_app_ok" ] with
+    | Some (J.Bool true) -> ()
+    | Some (J.Bool false) ->
+        fail "fleet: %s: per-app sums drifted from merged globals" ctx
+    | Some _ | None -> fail "fleet: %s.per_app_ok missing" ctx);
+    (* the ratio is derived — make sure it derives from its own ints *)
+    match (geti cell [ "unique_frames" ], geti cell [ "total_frames" ]) with
+    | Some u, Some t when t > 0 ->
+        let expect = 1. -. (float_of_int u /. float_of_int t) in
+        (match getf cell [ "dedup_ratio" ] with
+        | Some r when Float.abs (r -. expect) < 1e-9 -> ()
+        | Some r ->
+            fail "fleet: %s.dedup_ratio %g inconsistent with %d/%d frames" ctx
+              r u t
+        | None -> ())
+    | Some _, Some _ | Some _, None | None, _ ->
+        fail "fleet: %s frame counts missing or empty" ctx
+  in
+  let fingerprint cell =
+    match J.path cell [ "fingerprint" ] with
+    | Some (J.String s) when s <> "" -> Some s
+    | _ -> None
+  in
+  (* pinned cells: exact counters, identical fingerprints across domain
+     counts — the determinism acceptance bar *)
+  (match J.path j [ "fleet"; "pinned"; "cells" ] with
+  | Some (J.List cells) when List.length cells >= 2 ->
+      let domains =
+        List.filter_map (fun c -> geti c [ "domains" ]) cells
+      in
+      if not (List.mem 1 domains) then
+        fail "fleet: pinned cells lack the 1-domain baseline";
+      List.iteri
+        (fun i cell ->
+          let ctx =
+            Printf.sprintf "pinned[%d] (d=%d)" i
+              (Option.value ~default:(-1) (geti cell [ "domains" ]))
+          in
+          check_cell_shape ctx cell;
+          List.iter
+            (fun (k, expected) ->
+              match geti cell [ k ] with
+              | Some v when v = expected -> ()
+              | Some v ->
+                  fail "fleet: %s.%s drifted: expected %d, got %d" ctx k
+                    expected v
+              | None -> fail "fleet: %s.%s missing" ctx k)
+            fleet_cell_pins)
+        cells;
+      (match List.map fingerprint cells with
+      | fps when List.mem None fps ->
+          fail "fleet: a pinned cell has no fingerprint"
+      | fps -> (
+          match List.sort_uniq compare fps with
+          | [ _ ] -> ()
+          | distinct ->
+              fail
+                "fleet: merged fingerprint differs across domain counts (%d \
+                 distinct values) — sharding changed guest behavior"
+                (List.length distinct)))
+  | Some (J.List _) -> fail "fleet: fewer than 2 pinned cells"
+  | Some _ | None -> fail "fleet: pinned.cells missing or not a list");
+  (* sweep: rows at the same guest count must agree with each other,
+     whatever their domain count; the grid itself depends on --fast and
+     is not pinned *)
+  match J.path j [ "fleet"; "sweep" ] with
+  | Some (J.List rows) ->
+      let by_guests : (int, (string option * int option) list ref) Hashtbl.t =
+        Hashtbl.create 8
+      in
+      List.iteri
+        (fun i row ->
+          let ctx =
+            Printf.sprintf "sweep[%d] (d=%d g=%d)" i
+              (Option.value ~default:(-1) (geti row [ "domains" ]))
+              (Option.value ~default:(-1) (geti row [ "guests" ]))
+          in
+          check_cell_shape ctx row;
+          match geti row [ "guests" ] with
+          | None -> fail "fleet: %s.guests missing" ctx
+          | Some g ->
+              let l =
+                match Hashtbl.find_opt by_guests g with
+                | Some l -> l
+                | None ->
+                    let l = ref [] in
+                    Hashtbl.add by_guests g l;
+                    l
+              in
+              l := (fingerprint row, geti row [ "instructions" ]) :: !l)
+        rows;
+      Hashtbl.iter
+        (fun guests l ->
+          match List.sort_uniq compare !l with
+          | [] | [ _ ] -> ()
+          | distinct ->
+              fail
+                "fleet: sweep rows at %d guests disagree (%d distinct \
+                 fingerprint/instruction pairs across domain counts)"
+                guests (List.length distinct))
+        by_guests
+  | Some _ | None -> fail "fleet: sweep missing or not a list"
+
+(* ---------------- driver ---------------- *)
+
 let read_file path =
   match open_in_bin path with
-  | exception Sys_error e ->
-      Printf.eprintf "check: cannot open %s: %s\n" path e;
-      exit 1
+  | exception Sys_error e -> Error e
   | ic ->
       let n = in_channel_length ic in
       let s = really_input_string ic n in
       close_in ic;
-      s
+      Ok s
 
+(* A missing or malformed artifact is a recorded failure, not an early
+   exit: the remaining artifacts still get validated. *)
 let parse path =
-  match J.of_string (read_file path) with
+  match read_file path with
   | Error e ->
-      Printf.eprintf "check: %s is not valid JSON: %s\n" path e;
-      exit 1
-  | Ok j -> j
+      fail "cannot open: %s" e;
+      None
+  | Ok s -> (
+      match J.of_string s with
+      | Error e ->
+          fail "not valid JSON: %s" e;
+          None
+      | Ok j -> Some j)
 
-let report ok_message =
+type kind = Results | Timeline | Chaos | Perf | Fleet
+
+let default_file = function
+  | Results -> "BENCH_results.json"
+  | Timeline -> "BENCH_timeline.json"
+  | Chaos -> "BENCH_chaos.json"
+  | Perf -> "BENCH_perf.json"
+  | Fleet -> "BENCH_fleet.json"
+
+(* Mode flags apply to the paths that follow them; bare paths keep the
+   historical meaning (results, then its timeline).  Flags without a
+   path check that mode's default artifact. *)
+let parse_args args =
+  let jobs = ref [] and mode = ref Results and flagged = ref false in
+  List.iter
+    (fun a ->
+      match a with
+      | "--chaos" -> mode := Chaos; flagged := true
+      | "--perf" -> mode := Perf; flagged := true
+      | "--fleet" -> mode := Fleet; flagged := true
+      | "--results" -> mode := Results; flagged := true
+      | "--timeline" -> mode := Timeline; flagged := true
+      | path ->
+          flagged := false;
+          jobs := (!mode, path) :: !jobs;
+          (* a bare path in results mode makes the next bare path the
+             timeline, as `check.exe results.json timeline.json` always
+             meant *)
+          if !mode = Results then mode := Timeline)
+    args;
+  if !flagged then jobs := (!mode, default_file !mode) :: !jobs;
+  let jobs = List.rev !jobs in
+  match jobs with
+  | [] -> [ (Results, default_file Results); (Timeline, default_file Timeline) ]
+  | jobs ->
+      (* a results check without its timeline pulls in the default, as
+         the zero/one-argument historical forms did *)
+      let has k = List.exists (fun (k', _) -> k' = k) jobs in
+      if has Results && not (has Timeline) then
+        jobs @ [ (Timeline, default_file Timeline) ]
+      else jobs
+
+let run_job (kind, path) =
+  context := path;
+  (match parse path with
+  | None -> ()
+  | Some j -> (
+      match kind with
+      | Results ->
+          check_required j;
+          check_pinned j;
+          check_finite j
+      | Timeline -> check_timeline j
+      | Chaos -> check_chaos j
+      | Perf -> check_perf j
+      | Fleet -> check_fleet j));
+  context := ""
+
+let () =
+  let jobs = parse_args (List.tl (Array.to_list Sys.argv)) in
+  List.iter run_job jobs;
   match List.rev !failures with
   | [] ->
-      print_endline ok_message;
+      Printf.printf "check: %s ok (%d pinned results values, %d chaos pins, \
+                     %d perf pins, %d fleet pins where applicable)\n"
+        (String.concat " + " (List.map snd jobs))
+        (List.length pinned_ints + List.length pinned_bools)
+        (List.length chaos_pins_100)
+        (List.fold_left (fun acc (_, _, pins) -> acc + List.length pins) 2
+           perf_counter_pins)
+        (List.length fleet_cell_pins);
       exit 0
   | fs ->
       List.iter (Printf.eprintf "check: %s\n") fs;
-      Printf.eprintf "check: FAILED (%d problem(s))\n" (List.length fs);
+      Printf.eprintf "check: FAILED (%d problem(s) across %d artifact(s))\n"
+        (List.length fs) (List.length jobs);
       exit 1
-
-let () =
-  match Array.to_list Sys.argv with
-  | _ :: "--chaos" :: rest ->
-      let path = match rest with p :: _ -> p | [] -> "BENCH_chaos.json" in
-      check_chaos (parse path);
-      report
-        (Printf.sprintf
-           "check: %s ok (governed arm survived, ungoverned arm died, %d \
-            pinned counters)"
-           path
-           (List.length chaos_pins_100))
-  | _ :: "--perf" :: rest ->
-      let path = match rest with p :: _ -> p | [] -> "BENCH_perf.json" in
-      check_perf (parse path);
-      report
-        (Printf.sprintf
-           "check: %s ok (tlb/no-tlb/sblocks parity, %d pinned counters; wall \
-            clock recorded, not gated)"
-           path
-           (List.fold_left
-              (fun acc (_, _, pins) -> acc + List.length pins)
-              2 perf_counter_pins))
-  | argv ->
-      let path =
-        match argv with _ :: p :: _ -> p | _ -> "BENCH_results.json"
-      in
-      let timeline_path =
-        match argv with _ :: _ :: p :: _ -> p | _ -> "BENCH_timeline.json"
-      in
-      let j = parse path in
-      check_required j;
-      check_pinned j;
-      check_finite j;
-      check_timeline (parse timeline_path);
-      report
-        (Printf.sprintf
-           "check: %s + %s ok (%d required keys, %d pinned values, timeline \
-            balanced)"
-           path timeline_path
-           (List.length required_keys)
-           (List.length pinned_ints + List.length pinned_bools))

@@ -288,6 +288,41 @@ let perf ~fast profiles =
            J.Float t.Fc_benchkit.Perf.httperf_speedup_sblocks );
        ])
 
+let fleet ~fast profiles =
+  banner "Fleet: guest fleets sharded across OCaml 5 domains (wall clock)";
+  let t = Fc_benchkit.Fleet.run ~fast profiles in
+  print_string (Fc_benchkit.Fleet.render t);
+  (* the acceptance bar: one fleet, any domain count, same merged
+     fingerprint — sharding must be behavior-invisible *)
+  let fps =
+    List.sort_uniq String.compare
+      (List.map
+         (fun (c : Fc_benchkit.Fleet.cell) ->
+           c.Fc_benchkit.Fleet.c_report.Fc_host.Fleet.r_fingerprint)
+         t.Fc_benchkit.Fleet.f_pinned)
+  in
+  if List.length fps > 1 then
+    unexpected_panic "fleet: merged fingerprint diverged across domain counts";
+  let json =
+    J.Obj
+      [
+        ("schema_version", J.Int Fc_obs.Export.schema_version);
+        ("fast", J.Bool fast);
+        ("fleet", Fc_benchkit.Fleet.to_json t);
+      ]
+  in
+  let oc = open_out "BENCH_fleet.json" in
+  output_string oc (J.to_string ~pretty:true json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "fleet artifact written to BENCH_fleet.json\n";
+  record "fleet"
+    (J.Obj
+       [
+         ("pinned_guests", J.Int t.Fc_benchkit.Fleet.f_pinned_guests);
+         ("fingerprints_identical", J.Bool (List.length fps <= 1));
+       ])
+
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the core primitives                    *)
 (* ------------------------------------------------------------------ *)
@@ -363,7 +398,7 @@ let micro profiles =
 
 let all_experiments =
   [ "smoke"; "table1"; "table2"; "fig3"; "fig4"; "fig5"; "fig6"; "fig7";
-    "ablations"; "chaos"; "perf"; "micro" ]
+    "ablations"; "chaos"; "perf"; "fleet"; "micro" ]
 
 let write_results path ~fast chosen =
   let json =
@@ -421,6 +456,7 @@ let () =
       | "ablations" -> ablations profiles
       | "chaos" -> chaos ~fast profiles
       | "perf" -> perf ~fast profiles
+      | "fleet" -> fleet ~fast profiles
       | "micro" -> micro profiles
       | _ -> assert false)
     chosen;

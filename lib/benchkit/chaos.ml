@@ -63,14 +63,6 @@ let chaos_policy =
 let app_pool =
   [ "top"; "apache"; "gvim"; "tcpdump"; "bash"; "gzip"; "vsftpd"; "eog" ]
 
-let attribution_ok (st : Stats.t) =
-  let sum f = List.fold_left (fun acc (_, a) -> acc + f a) 0 st.Stats.per_app in
-  sum (fun a -> a.Stats.a_cycles_charged) = st.Stats.hypervisor_cycles
-  && sum (fun a -> a.Stats.a_view_switches) = st.Stats.view_switches
-  && sum (fun a -> a.Stats.a_recoveries) = st.Stats.recoveries
-  && sum (fun a -> a.Stats.a_recovered_bytes) = st.Stats.recovered_bytes
-  && sum (fun a -> a.Stats.a_cow_breaks) = st.Stats.cow_breaks
-
 let run_plan ?(governed = true) ?(policy = chaos_policy) profiles ~seed =
   let r = Frand.create (seed lxor 0x5eed) in
   let name = Frand.pick r app_pool in
@@ -115,7 +107,7 @@ let run_plan ?(governed = true) ?(policy = chaos_policy) profiles ~seed =
     p_broken_backtraces = st.Stats.broken_backtraces;
     p_panic = panic;
     p_wedged = wedged;
-    p_attribution_ok = attribution_ok st;
+    p_attribution_ok = Stats.attribution_ok st;
   }
 
 let run ?(plans = 100) ?(seed = 1) ?(governed = true) ?policy profiles =

@@ -1,0 +1,45 @@
+(** The fleet benchmark arm: hundreds of independent guests sharded
+    across domains ([bench/main.exe -- fleet]).
+
+    Every guest is a seeded chaos-style run — one profiled application
+    under its enforced view, a companion on the full view, a governed
+    fault plan — whose entire behavior derives from
+    [Frand.mix seed index], so a cell's merged report is independent of
+    its domain count.  The sweep measures aggregate
+    guest-instructions/sec and the fleet-wide frame-dedup ratio (what a
+    cross-guest content-keyed cache would save on top of each guest's own
+    sharing); the pinned cell re-runs a fixed 40-guest fleet at 1, 2 and
+    4 domains so the CI gate ([bench/check.exe --fleet]) can prove the
+    merged fingerprints identical and pin the deterministic counters
+    independent of [--fast]. *)
+
+type cell = {
+  c_report : Fc_host.Fleet.report;
+  c_requested_domains : int;
+      (** as asked; [c_report.r_domains] matches, including on the
+          sequential fallback where only wall-clock parallelism is lost *)
+}
+
+type t = {
+  f_seed : int;
+  f_parallel : bool;  (** the build's {!Fc_host.Pool.parallel} *)
+  f_pinned_guests : int;
+  f_pinned : cell list;  (** the fixed cell at 1, 2, 4 domains *)
+  f_sweep : cell list;  (** domains x guests grid (smaller with [fast]) *)
+}
+
+val run_cell :
+  Profiles.t -> seed:int -> domains:int -> guests:int -> cell
+(** One fleet: [guests] seeded guest VMs sharded over [domains]. *)
+
+val run : ?fast:bool -> ?seed:int -> Profiles.t -> t
+(** The full arm: pinned cell (always 40 guests x domains {1,2,4}) plus
+    the sweep — 1..8 domains x 10..500 guests, or a reduced grid when
+    [fast] (default [false]).  [seed] defaults to 7. *)
+
+val to_json : t -> Fc_obs.Jsonx.t
+(** The [BENCH_fleet.json] payload (under the ["fleet"] key): wall-clock
+    [seconds]/[ips] recorded for humans, never gated; every counter the
+    gate pins is an exact int. *)
+
+val render : t -> string

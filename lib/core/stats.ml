@@ -112,6 +112,68 @@ let capture fc =
     per_app = capture_per_app m;
   }
 
+let merge_app a b =
+  {
+    a_run_cycles = a.a_run_cycles + b.a_run_cycles;
+    a_run_slices = a.a_run_slices + b.a_run_slices;
+    a_cycles_charged = a.a_cycles_charged + b.a_cycles_charged;
+    a_view_switches = a.a_view_switches + b.a_view_switches;
+    a_recoveries = a.a_recoveries + b.a_recoveries;
+    a_recovered_bytes = a.a_recovered_bytes + b.a_recovered_bytes;
+    a_cow_breaks = a.a_cow_breaks + b.a_cow_breaks;
+  }
+
+let merge stats =
+  let sum f = List.fold_left (fun acc s -> acc + f s) 0 stats in
+  let per_app =
+    let table : (string, per_app) Hashtbl.t = Hashtbl.create 16 in
+    List.iter
+      (fun s ->
+        List.iter
+          (fun (comm, a) ->
+            let cur =
+              Option.value ~default:empty_app (Hashtbl.find_opt table comm)
+            in
+            Hashtbl.replace table comm (merge_app cur a))
+          s.per_app)
+      stats;
+    List.sort
+      (fun (a, _) (b, _) -> String.compare a b)
+      (Hashtbl.fold (fun k v acc -> (k, v) :: acc) table [])
+  in
+  {
+    guest_cycles = sum (fun s -> s.guest_cycles);
+    rounds = sum (fun s -> s.rounds);
+    context_switches = sum (fun s -> s.context_switches);
+    vcpus = sum (fun s -> s.vcpus);
+    breakpoint_exits = sum (fun s -> s.breakpoint_exits);
+    invalid_opcode_exits = sum (fun s -> s.invalid_opcode_exits);
+    hypervisor_cycles = sum (fun s -> s.hypervisor_cycles);
+    view_switches = sum (fun s -> s.view_switches);
+    switches_skipped = sum (fun s -> s.switches_skipped);
+    switches_deferred = sum (fun s -> s.switches_deferred);
+    recoveries = sum (fun s -> s.recoveries);
+    recovered_bytes = sum (fun s -> s.recovered_bytes);
+    views_loaded = sum (fun s -> s.views_loaded);
+    view_pages = sum (fun s -> s.view_pages);
+    shared_frames = sum (fun s -> s.shared_frames);
+    cow_breaks = sum (fun s -> s.cow_breaks);
+    storms = sum (fun s -> s.storms);
+    degradations = sum (fun s -> s.degradations);
+    renarrows = sum (fun s -> s.renarrows);
+    quarantines = sum (fun s -> s.quarantines);
+    broken_backtraces = sum (fun s -> s.broken_backtraces);
+    per_app;
+  }
+
+let attribution_ok t =
+  let sum f = List.fold_left (fun acc (_, a) -> acc + f a) 0 t.per_app in
+  sum (fun a -> a.a_cycles_charged) = t.hypervisor_cycles
+  && sum (fun a -> a.a_view_switches) = t.view_switches
+  && sum (fun a -> a.a_recoveries) = t.recoveries
+  && sum (fun a -> a.a_recovered_bytes) = t.recovered_bytes
+  && sum (fun a -> a.a_cow_breaks) = t.cow_breaks
+
 let overhead_fraction t =
   if t.guest_cycles = 0 then 0.
   else float_of_int t.hypervisor_cycles /. float_of_int t.guest_cycles

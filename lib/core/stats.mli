@@ -50,6 +50,21 @@ val capture : Facechange.t -> t
     result is a read-only projection of the guest's {!Fc_obs.Metrics}
     registry (the ["os.*"], ["hyp.*"] and ["fc.*"] instruments). *)
 
+val merge : t list -> t
+(** Pointwise sum of every global field, with the [per_app] lists merged
+    by comm (fields summed) and re-sorted.  The merge is associative and
+    commutative, so folding per-guest captures in any grouping — per
+    domain first, then across domains, as the fleet host does — yields
+    the same aggregate.  Counts like [vcpus] and [rounds] become fleet
+    totals.  [merge []] is all-zero. *)
+
+val attribution_ok : t -> bool
+(** The per-app invariant the chaos and fleet gates pin: summing each
+    attributed field over [per_app] reproduces the matching global
+    (charged cycles, view switches, recoveries, recovered bytes, CoW
+    breaks).  Holds by construction for a single capture; {!merge}
+    preserves it. *)
+
 val overhead_fraction : t -> float
 (** Hypervisor-charged cycles as a fraction of all guest cycles.
     [0.] when no guest cycles have elapsed. *)

@@ -23,6 +23,13 @@ let int t bound =
 
 let bool t = Int64.logand (next64 t) 1L = 1L
 
+let mix seed i =
+  (* one splitmix64 step over a stream-salted state: cheap, stateless,
+     and as platform-stable as the generator itself *)
+  let t = create seed in
+  t.s <- Int64.add t.s (Int64.mul (Int64.of_int i) 0xD1B54A32D192ED03L);
+  bits t
+
 let pick t = function
   | [] -> invalid_arg "Frand.pick: empty list"
   | l -> List.nth l (int t (List.length l))

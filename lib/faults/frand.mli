@@ -18,5 +18,14 @@ val int : t -> int -> int
 
 val bool : t -> bool
 
+val mix : int -> int -> int
+(** [mix seed i] — a well-scrambled derived seed for stream [i] of a
+    family rooted at [seed] (one splitmix64 finalization over a
+    stream-salted state; same stability guarantees as the generator).
+    The fleet host seeds guest [i] with [mix fleet_seed i], so each
+    guest's fault plan depends only on its index — never on which domain
+    ran it or in what order — keeping sharded runs deterministic at any
+    domain count. *)
+
 val pick : t -> 'a list -> 'a
 (** @raise Invalid_argument on an empty list. *)

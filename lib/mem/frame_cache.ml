@@ -78,6 +78,12 @@ let cow_breaks t = Metrics.value t.cow_breaks
 let resident t =
   Hashtbl.fold (fun _ e n -> if valid t e then n + 1 else n) t.entries 0
 
+let resident_keys t =
+  List.sort String.compare
+    (Hashtbl.fold
+       (fun key e acc -> if valid t e then key :: acc else acc)
+       t.entries [])
+
 let evict_all t =
   let n = resident t in
   Hashtbl.reset t.entries;

@@ -46,6 +46,14 @@ val cow_breaks : t -> int
 val resident : t -> int
 (** Entries still backed by a live, unmodified frame. *)
 
+val resident_keys : t -> string list
+(** The content keys of every resident entry, sorted.  Keys are content
+    digests, so two guests' lists can be merged to measure {e cross-guest}
+    dedup potential: byte-identical view pages in different guests carry
+    the same key.  The fleet host's frame-reduction accounting is a
+    merge-on-export fold over these — each guest's cache stays private to
+    its domain; only these immutable keys cross domains. *)
+
 val evict_all : t -> int
 (** Drop every entry, returning how many were still live.  Entries own no
     frame references, so eviction frees nothing and invalidates nothing —
