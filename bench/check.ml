@@ -4,6 +4,7 @@
      bench/check.exe --chaos [BENCH_chaos.json]
      bench/check.exe --perf [BENCH_perf.json]
      bench/check.exe --fleet [BENCH_fleet.json]
+     bench/check.exe --telemetry [BENCH_telemetry.json]
 
    Modes combine in one invocation — e.g.
      bench/check.exe a.json b.json --chaos c.json --fleet d.json
@@ -29,6 +30,14 @@
    and 4 domains (sharding must be behavior-invisible), and every sweep
    row at the same guest count agrees with its siblings; wall-clock
    seconds/ips are checked finite, never compared.
+
+   The --telemetry mode gates the continuous-telemetry layer: the armed
+   pinned fleet cell's counters sit exactly on the --fleet pins and its
+   fingerprint equals the disarmed control's (the probe is
+   behavior-invisible); the merged series and profiler fingerprints are
+   identical across domain counts; the four {sblocks}x{tlb} engine arms
+   fingerprint identically; interval/sample counts are pinned; and the
+   per-interval deltas re-sum to the final totals.
 
    The timeline artifact (Chrome trace-event JSON from the smoke run) is
    checked structurally: it parses, has events, every span E matches the
@@ -681,6 +690,181 @@ let check_fleet j =
         by_guests
   | Some _ | None -> fail "fleet: sweep missing or not a list"
 
+(* ---------------- telemetry artifact ---------------- *)
+
+(* The armed pinned cell is the exact fleet the --fleet pins describe
+   (seed 7, 40 guests), so its counters reuse fleet_cell_pins; the
+   telemetry pins below are the interval/sample counts of that cell and
+   of the fixed engine-matrix guest — deterministic by construction of
+   the instruction-count ticker.  Re-pin only with an intended behavior
+   change. *)
+let telemetry_cell_pins = [ ("intervals", 17); ("samples", 428); ("stacks", 24) ]
+let telemetry_matrix_pins = [ ("intervals", 14); ("samples", 14) ]
+
+let telemetry_profile_pins =
+  [ ("ticks", 26); ("samples", 26); ("intervals", 26); ("fold_total", 26) ]
+
+(* series keys whose cell totals must equal the merged stats counter of
+   the same name — the sum-equals-total invariant, checked end to end
+   from the artifact *)
+let telemetry_total_keys =
+  [
+    ("fc.view_switches", "view_switches");
+    ("fc.recoveries", "recoveries");
+    ("fc.recovered_bytes", "recovered_bytes");
+    ("fc.degradations", "degradations");
+    ("fc.quarantines", "quarantines");
+  ]
+
+let check_telemetry j =
+  let geti v p = Option.bind (J.path v p) J.to_int in
+  let gets v p =
+    match J.path v p with Some (J.String s) when s <> "" -> Some s | _ -> None
+  in
+  let pin ctx cell (k, expected) =
+    match geti cell [ k ] with
+    | Some v when v = expected -> ()
+    | Some v ->
+        fail "telemetry: %s.%s drifted: expected %d, got %d" ctx k expected v
+    | None -> fail "telemetry: %s.%s missing" ctx k
+  in
+  (match geti j [ "schema_version" ] with
+  | Some 1 -> ()
+  | Some v -> fail "telemetry: schema_version %d, expected 1" v
+  | None -> fail "telemetry: schema_version missing");
+  (match geti j [ "telemetry"; "seed" ] with
+  | Some 7 -> ()
+  | Some v -> fail "telemetry: seed %d, expected 7" v
+  | None -> fail "telemetry: seed missing");
+  let disarmed_fp = gets j [ "telemetry"; "disarmed_cell"; "fingerprint" ] in
+  (match J.path j [ "telemetry"; "disarmed_cell" ] with
+  | Some cell ->
+      List.iter (pin "disarmed_cell" cell) fleet_cell_pins;
+      if J.path cell [ "telemetry" ] <> None then
+        fail "telemetry: the disarmed control cell carries telemetry"
+  | None -> fail "telemetry: disarmed_cell missing");
+  (* armed cells: fleet counters must sit exactly on the --fleet pins
+     (arming is behavior-invisible), fleet fingerprint must equal the
+     disarmed control's, and the merged telemetry must be identical
+     across domain counts *)
+  (match J.path j [ "telemetry"; "armed_cells" ] with
+  | Some (J.List cells) when List.length cells >= 2 ->
+      let series_fps = ref [] and sampler_fps = ref [] in
+      List.iteri
+        (fun i cell ->
+          let ctx =
+            Printf.sprintf "armed[%d] (d=%d)" i
+              (Option.value ~default:(-1) (geti cell [ "domains" ]))
+          in
+          List.iter (pin ctx cell) fleet_cell_pins;
+          (match (gets cell [ "fingerprint" ], disarmed_fp) with
+          | Some a, Some d when a <> d ->
+              fail
+                "telemetry: %s fleet fingerprint differs from the disarmed \
+                 control — arming the probe changed guest behavior"
+                ctx
+          | None, _ -> fail "telemetry: %s.fingerprint missing" ctx
+          | _ -> ());
+          match J.path cell [ "telemetry" ] with
+          | None -> fail "telemetry: %s carries no telemetry" ctx
+          | Some tel ->
+              List.iter (pin (ctx ^ ".telemetry") tel) telemetry_cell_pins;
+              pin (ctx ^ ".telemetry") tel ("dropped", 0);
+              series_fps := gets tel [ "series_fingerprint" ] :: !series_fps;
+              sampler_fps := gets tel [ "sampler_fingerprint" ] :: !sampler_fps;
+              (* sum-equals-total, end to end: the series deltas re-sum
+                 to the merged stats counters *)
+              List.iter
+                (fun (key, stat) ->
+                  match (geti tel [ "totals"; key ], geti cell [ stat ]) with
+                  | Some t, Some s when t <> s ->
+                      fail
+                        "telemetry: %s: series %s re-sums to %d but the \
+                         merged stats report %d"
+                        ctx key t s
+                  | None, _ -> fail "telemetry: %s.totals.%s missing" ctx key
+                  | _, None -> fail "telemetry: %s.%s missing" ctx stat
+                  | Some _, Some _ -> ())
+                telemetry_total_keys)
+        cells;
+      List.iter
+        (fun (what, fps) ->
+          match List.sort_uniq compare fps with
+          | [ Some _ ] -> ()
+          | [ None ] | [] -> fail "telemetry: armed cells lack %s" what
+          | distinct ->
+              fail
+                "telemetry: %s differs across domain counts (%d distinct \
+                 values) — the merge is shard-dependent"
+                what (List.length distinct))
+        [ ("series fingerprint", !series_fps);
+          ("sampler fingerprint", !sampler_fps) ]
+  | Some (J.List _) -> fail "telemetry: fewer than 2 armed cells"
+  | Some _ | None -> fail "telemetry: armed_cells missing or not a list");
+  (* engine matrix: all four {sblocks}x{tlb} arms fingerprint identically *)
+  (match J.path j [ "telemetry"; "matrix" ] with
+  | Some (J.List arms) when List.length arms = 4 ->
+      let fps = ref [] in
+      List.iter
+        (fun arm ->
+          let ctx =
+            Printf.sprintf "matrix[%s]"
+              (Option.value ~default:"?" (gets arm [ "arm" ]))
+          in
+          (match gets arm [ "outcome" ] with
+          | Some "ok" -> ()
+          | Some o -> fail "telemetry: %s outcome %s" ctx o
+          | None -> fail "telemetry: %s.outcome missing" ctx);
+          List.iter (pin ctx arm) telemetry_matrix_pins;
+          (match J.path arm [ "resum_errors" ] with
+          | Some (J.List []) -> ()
+          | Some (J.List es) ->
+              fail "telemetry: %s: %d counter(s) fail to re-sum" ctx
+                (List.length es)
+          | Some _ | None -> fail "telemetry: %s.resum_errors missing" ctx);
+          fps :=
+            ( gets arm [ "series_fingerprint" ],
+              gets arm [ "sampler_fingerprint" ] )
+            :: !fps)
+        arms;
+      (match List.sort_uniq compare !fps with
+      | [ (Some _, Some _) ] -> ()
+      | [ _ ] -> fail "telemetry: matrix arms lack fingerprints"
+      | distinct ->
+          fail
+            "telemetry: fingerprints differ across engine arms (%d distinct \
+             values) — an engine toggle is telemetry-visible"
+            (List.length distinct))
+  | Some (J.List arms) ->
+      fail "telemetry: expected 4 engine arms, found %d" (List.length arms)
+  | Some _ | None -> fail "telemetry: matrix missing or not a list");
+  (* profile: the armed unixbench-style run produced a non-empty folded
+     profile whose sample count equals the ticks fired *)
+  match J.path j [ "telemetry"; "profile" ] with
+  | None -> fail "telemetry: profile missing"
+  | Some p -> (
+      (match gets p [ "outcome" ] with
+      | Some "ok" -> ()
+      | Some o -> fail "telemetry: profile outcome %s" o
+      | None -> fail "telemetry: profile.outcome missing");
+      List.iter (pin "profile" p) telemetry_profile_pins;
+      pin "profile" p ("dropped", 0);
+      (match (geti p [ "samples" ], geti p [ "ticks" ], geti p [ "vcpus" ]) with
+      | Some s, Some t, Some v when s <> t * v ->
+          fail "telemetry: profile recorded %d samples over %d ticks x %d vcpus"
+            s t v
+      | _ -> ());
+      (match J.path p [ "resum_errors" ] with
+      | Some (J.List []) -> ()
+      | Some (J.List es) ->
+          fail "telemetry: profile: %d counter(s) fail to re-sum"
+            (List.length es)
+      | Some _ | None -> fail "telemetry: profile.resum_errors missing");
+      match geti p [ "stacks" ] with
+      | Some s when s > 0 -> ()
+      | Some _ -> fail "telemetry: profile folded-stack profile is empty"
+      | None -> fail "telemetry: profile.stacks missing")
+
 (* ---------------- driver ---------------- *)
 
 let read_file path =
@@ -706,7 +890,7 @@ let parse path =
           None
       | Ok j -> Some j)
 
-type kind = Results | Timeline | Chaos | Perf | Fleet
+type kind = Results | Timeline | Chaos | Perf | Fleet | Telemetry
 
 let default_file = function
   | Results -> "BENCH_results.json"
@@ -714,6 +898,7 @@ let default_file = function
   | Chaos -> "BENCH_chaos.json"
   | Perf -> "BENCH_perf.json"
   | Fleet -> "BENCH_fleet.json"
+  | Telemetry -> "BENCH_telemetry.json"
 
 (* Mode flags apply to the paths that follow them; bare paths keep the
    historical meaning (results, then its timeline).  Flags without a
@@ -726,6 +911,7 @@ let parse_args args =
       | "--chaos" -> mode := Chaos; flagged := true
       | "--perf" -> mode := Perf; flagged := true
       | "--fleet" -> mode := Fleet; flagged := true
+      | "--telemetry" -> mode := Telemetry; flagged := true
       | "--results" -> mode := Results; flagged := true
       | "--timeline" -> mode := Timeline; flagged := true
       | path ->
@@ -761,7 +947,8 @@ let run_job (kind, path) =
       | Timeline -> check_timeline j
       | Chaos -> check_chaos j
       | Perf -> check_perf j
-      | Fleet -> check_fleet j));
+      | Fleet -> check_fleet j
+      | Telemetry -> check_telemetry j));
   context := ""
 
 let () =
@@ -770,13 +957,16 @@ let () =
   match List.rev !failures with
   | [] ->
       Printf.printf "check: %s ok (%d pinned results values, %d chaos pins, \
-                     %d perf pins, %d fleet pins where applicable)\n"
+                     %d perf pins, %d fleet pins, %d telemetry pins where \
+                     applicable)\n"
         (String.concat " + " (List.map snd jobs))
         (List.length pinned_ints + List.length pinned_bools)
         (List.length chaos_pins_100)
         (List.fold_left (fun acc (_, _, pins) -> acc + List.length pins) 2
            perf_counter_pins)
-        (List.length fleet_cell_pins);
+        (List.length fleet_cell_pins)
+        (List.length telemetry_cell_pins + List.length telemetry_matrix_pins
+        + List.length telemetry_profile_pins);
       exit 0
   | fs ->
       List.iter (Printf.eprintf "check: %s\n") fs;

@@ -324,6 +324,66 @@ let fleet ~fast profiles =
        ])
 
 (* ------------------------------------------------------------------ *)
+(* Telemetry: armed fleet + engine matrix + flamegraph profile         *)
+(* ------------------------------------------------------------------ *)
+
+let telemetry profiles =
+  banner "Telemetry: time-series sampling, profiler and exposition";
+  let t = Fc_benchkit.Telemetry.run profiles in
+  print_string (Fc_benchkit.Telemetry.render t);
+  (* the acceptance bars: arming the probe must not move the fleet
+     fingerprint, and the telemetry itself must fingerprint identically
+     across domain counts and engine arms *)
+  let cell_fp (c : Fc_benchkit.Fleet.cell) =
+    c.Fc_benchkit.Fleet.c_report.Fc_host.Fleet.r_fingerprint
+  in
+  let armed_fps =
+    List.sort_uniq String.compare
+      (List.map cell_fp t.Fc_benchkit.Telemetry.t_armed)
+  in
+  if armed_fps <> [ cell_fp t.Fc_benchkit.Telemetry.t_disarmed ] then
+    unexpected_panic
+      "telemetry: armed fleet fingerprint differs from the disarmed control";
+  let arm_fps =
+    List.sort_uniq String.compare
+      (List.map
+         (fun (a : Fc_benchkit.Telemetry.engine_arm) ->
+           a.Fc_benchkit.Telemetry.ea_series_fp
+           ^ "/" ^ a.Fc_benchkit.Telemetry.ea_sampler_fp)
+         t.Fc_benchkit.Telemetry.t_matrix)
+  in
+  if List.length arm_fps > 1 then
+    unexpected_panic
+      "telemetry: series/sampler fingerprints diverged across engine arms";
+  let json =
+    J.Obj
+      [
+        ("schema_version", J.Int Fc_obs.Export.schema_version);
+        ("telemetry", Fc_benchkit.Telemetry.to_json t);
+      ]
+  in
+  let oc = open_out "BENCH_telemetry.json" in
+  output_string oc (J.to_string ~pretty:true json);
+  output_char oc '\n';
+  close_out oc;
+  let oc = open_out "BENCH_profile.folded" in
+  output_string oc (Fc_benchkit.Telemetry.folded t);
+  close_out oc;
+  Printf.printf
+    "telemetry artifacts written to BENCH_telemetry.json and \
+     BENCH_profile.folded\n";
+  record "telemetry"
+    (J.Obj
+       [
+         ("armed_matches_disarmed", J.Bool (List.length armed_fps = 1));
+         ("engine_arms_identical", J.Bool (List.length arm_fps <= 1));
+         ( "profile_samples",
+           J.Int
+             t.Fc_benchkit.Telemetry.t_profile
+               .Fc_benchkit.Telemetry.pr_samples );
+       ])
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the core primitives                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -398,7 +458,7 @@ let micro profiles =
 
 let all_experiments =
   [ "smoke"; "table1"; "table2"; "fig3"; "fig4"; "fig5"; "fig6"; "fig7";
-    "ablations"; "chaos"; "perf"; "fleet"; "micro" ]
+    "ablations"; "chaos"; "perf"; "fleet"; "telemetry"; "micro" ]
 
 let write_results path ~fast chosen =
   let json =
@@ -457,6 +517,7 @@ let () =
       | "chaos" -> chaos ~fast profiles
       | "perf" -> perf ~fast profiles
       | "fleet" -> fleet ~fast profiles
+      | "telemetry" -> telemetry profiles
       | "micro" -> micro profiles
       | _ -> assert false)
     chosen;

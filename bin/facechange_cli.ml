@@ -398,8 +398,10 @@ module Jsonx = Fc_obs.Jsonx
 (* Shared driver for the observability commands: enforce [app_name]'s
    view on a fresh guest (optionally with an armed attack) and run it to
    completion.  [trace_capacity] arms the trace sink *before* the
-   hypervisor attaches, so view-build events are captured too. *)
-let enforced_run ?trace_capacity app_name attack iterations vcpus =
+   hypervisor attaches, so view-build events are captured too.
+   [telemetry] arms the probe (time series + profiler) at that period in
+   instructions; its result is the third component. *)
+let enforced_run ?trace_capacity ?telemetry app_name attack iterations vcpus =
   (match App.find app_name with
   | None ->
       Printf.eprintf "unknown application %s\n" app_name;
@@ -423,12 +425,18 @@ let enforced_run ?trace_capacity app_name attack iterations vcpus =
   | None -> ());
   let hyp = Hypervisor.attach os in
   let fc = Facechange.enable hyp in
+  let probe =
+    Option.map
+      (fun period ->
+        Fc_benchkit.Probe.arm ~period ~wall:Unix.gettimeofday ~os ~hyp ~fc ())
+      telemetry
+  in
   let proc = Os.spawn os ~name:app_name (app.App.script iterations) in
   (match attack with Some a -> a.Attack.launch os proc | None -> ());
   ignore (Facechange.load_view fc (App.profile image app));
   (try Os.run ~max_rounds:50_000 os
    with Os.Guest_panic m -> Printf.eprintf "GUEST PANIC: %s\n" m);
-  (os, fc)
+  (os, fc, Option.map Fc_benchkit.Probe.finish probe)
 
 let attack_arg =
   let doc = "Arm an attack from the corpus against the host application." in
@@ -486,7 +494,7 @@ let trace_cmd =
           ks)
         kinds
     in
-    let os, _fc =
+    let os, _fc, _ =
       enforced_run ~trace_capacity:capacity app_name attack iterations vcpus
     in
     let sink = Obs.trace (Os.obs os) in
@@ -542,19 +550,58 @@ let stats_cmd =
                cycle histograms)." in
     Arg.(value & flag & info [ "metrics" ] ~doc)
   in
-  let run app_name attack iterations vcpus json metrics out =
-    let os, fc = enforced_run app_name attack iterations vcpus in
+  let prom =
+    let doc = "Emit the metrics registry in Prometheus text exposition \
+               format instead of the summary (for a pushgateway or a \
+               node_exporter textfile collector)." in
+    Arg.(value & flag & info [ "prom" ] ~doc)
+  in
+  let timeseries =
+    let doc = "Arm the telemetry probe at this period (instructions per \
+               interval) and include the time series: CSV after the text \
+               summary, a $(i,telemetry) object with $(i,--json) — the \
+               latter is a $(b,facechange top) artifact." in
+    Arg.(value & opt (some int) None & info [ "timeseries" ] ~docv:"PERIOD" ~doc)
+  in
+  let run app_name attack iterations vcpus json metrics prom timeseries out =
+    let os, fc, tel =
+      enforced_run ?telemetry:timeseries app_name attack iterations vcpus
+    in
     let stats = Fc_core.Stats.capture fc in
     let registry = Obs.metrics (Os.obs os) in
-    if json then
+    if prom then emit_output out (Export.metrics_to_prometheus registry)
+    else if json then
       let body =
-        if metrics then
-          Jsonx.Obj
-            [
-              ("stats", Fc_core.Stats.to_json stats);
-              ("metrics", Export.metrics_to_json registry);
-            ]
-        else Fc_core.Stats.to_json stats
+        Jsonx.Obj
+          ([ ("stats", Fc_core.Stats.to_json stats) ]
+          @ (if metrics then
+               [ ("metrics", Export.metrics_to_json registry) ]
+             else [])
+          @
+          match tel with
+          | None -> []
+          | Some r ->
+              [
+                ( "telemetry",
+                  Jsonx.Obj
+                    [
+                      ("ticks", Jsonx.Int r.Fc_benchkit.Probe.r_ticks);
+                      ("samples", Jsonx.Int r.Fc_benchkit.Probe.r_samples);
+                      ( "series",
+                        Export.timeseries_to_json
+                          r.Fc_benchkit.Probe.r_series );
+                      ( "folds",
+                        Jsonx.List
+                          (List.map
+                             (fun (f : Fc_obs.Sampler.fold) ->
+                               Jsonx.Obj
+                                 [
+                                   ("stack", Jsonx.String f.Fc_obs.Sampler.f_stack);
+                                   ("count", Jsonx.Int f.Fc_obs.Sampler.f_count);
+                                 ])
+                             r.Fc_benchkit.Probe.r_folds) );
+                    ] );
+              ])
       in
       emit_output out (Jsonx.to_string ~pretty:true body ^ "\n")
     else begin
@@ -563,13 +610,196 @@ let stats_cmd =
       Format.fprintf ppf "%a@." Fc_core.Stats.pp stats;
       Format.pp_print_flush ppf ();
       if metrics then Buffer.add_string buf (Export.metrics_to_csv registry);
+      (match tel with
+      | None -> ()
+      | Some r ->
+          Buffer.add_string buf
+            (Export.timeseries_to_csv r.Fc_benchkit.Probe.r_series));
       emit_output out (Buffer.contents buf)
     end
   in
   Cmd.v (Cmd.info "stats" ~doc)
     Term.(
       const run $ app_arg $ attack_arg $ iterations_arg $ vcpus_arg $ json
-      $ metrics $ out_arg)
+      $ metrics $ prom $ timeseries $ out_arg)
+
+(* `facechange top`: render the tail of a recorded time series the way
+   top(1) renders a system — one row per interval with rates, plus the
+   hottest comms from the profiler folds.  Reads the artifacts the bench
+   harness (BENCH_telemetry.json) and `stats --timeseries --json` write;
+   it never runs a guest itself. *)
+let top_cmd =
+  let doc =
+    "Render the last K telemetry intervals from a run artifact \
+     (BENCH_telemetry.json or $(b,facechange stats --timeseries --json) \
+     output): instructions/s, view switches/s, recoveries/s and the \
+     hottest comms."
+  in
+  let artifact =
+    let doc = "The telemetry artifact to read." in
+    Arg.(value & pos 0 string "BENCH_telemetry.json"
+         & info [] ~docv:"ARTIFACT" ~doc)
+  in
+  let k =
+    let doc = "Number of trailing intervals to show." in
+    Arg.(value & opt int 10 & info [ "k"; "intervals" ] ~docv:"K" ~doc)
+  in
+  let run artifact k out =
+    let contents =
+      match open_in_bin artifact with
+      | exception Sys_error e ->
+          Printf.eprintf "cannot open %s: %s\n" artifact e;
+          exit 1
+      | ic ->
+          let n = in_channel_length ic in
+          let s = really_input_string ic n in
+          close_in ic;
+          s
+    in
+    let j =
+      match Jsonx.of_string contents with
+      | Ok j -> j
+      | Error e ->
+          Printf.eprintf "%s is not valid JSON: %s\n" artifact e;
+          exit 1
+    in
+    (* the series lives under telemetry.profile (bench artifact),
+       telemetry (stats --timeseries --json) or at the root *)
+    let node =
+      List.find_map
+        (fun p ->
+          match Option.bind (Jsonx.path j p) (fun n ->
+                    Jsonx.path n [ "series"; "points" ])
+          with
+          | Some _ -> Jsonx.path j p
+          | None -> None)
+        [ [ "telemetry"; "profile" ]; [ "telemetry" ]; [] ]
+    in
+    let node =
+      match node with
+      | Some n -> n
+      | None ->
+          Printf.eprintf "%s carries no telemetry series\n" artifact;
+          exit 1
+    in
+    let points =
+      match Jsonx.path node [ "series"; "points" ] with
+      | Some (Jsonx.List l) -> l
+      | _ -> []
+    in
+    let geti p path = Option.bind (Jsonx.path p path) Jsonx.to_int in
+    let getf p path = Option.bind (Jsonx.path p path) Jsonx.to_float in
+    let counter p key = Option.value ~default:0 (geti p [ "counters"; key ]) in
+    let buf = Buffer.create 1024 in
+    Buffer.add_string buf
+      (Printf.sprintf "facechange top — %s (period %s instructions)\n" artifact
+         (match Jsonx.path node [ "series"; "period" ] with
+         | Some (Jsonx.Int p) -> string_of_int p
+         | _ -> "?"));
+    Buffer.add_string buf
+      "  boundary     Minstrs      Mips    sw/s   rec/s  hottest comm\n";
+    let shown = max 0 (List.length points - k) in
+    let prev = ref None in
+    List.iteri
+      (fun i p ->
+        let instrs = Option.value ~default:0 (geti p [ "instructions" ]) in
+        let wall = getf p [ "wall" ] in
+        (if i >= shown then
+           let d_instr =
+             instrs
+             - match !prev with Some q -> Option.value ~default:0 (geti q [ "instructions" ]) | None -> 0
+           in
+           let d_wall =
+             match (wall, Option.bind !prev (fun q -> getf q [ "wall" ])) with
+             | Some w, Some pw when w > pw -> Some (w -. pw)
+             | Some w, None when w > 0. -> None (* no baseline: rate unknown *)
+             | _ -> None
+           in
+           let rate n =
+             match d_wall with
+             | Some dt -> Printf.sprintf "%7.1f" (float_of_int n /. dt)
+             | None -> "      -"
+           in
+           let hottest =
+             (* the busiest comm this interval: run-slice cycle
+                attribution first (lands when a slice ends), then slices
+                begun, then hypervisor cycles charged *)
+             match Jsonx.path p [ "counters" ] with
+             | Some (Jsonx.Obj kvs) ->
+                 let best_in pfx =
+                   let n = String.length pfx in
+                   List.fold_left
+                     (fun acc (key, v) ->
+                       if String.length key > n + 1
+                          && String.sub key 0 n = pfx
+                       then
+                         match Jsonx.to_int v with
+                         | Some c when c > (match acc with Some (_, b) -> b | None -> 0) ->
+                             Some (String.sub key n (String.length key - n - 1), c)
+                         | _ -> acc
+                       else acc)
+                     None kvs
+                 in
+                 let best =
+                   List.find_map best_in
+                     [ "os.run_cycles{"; "os.run_slices{";
+                       "hyp.cycles_charged{" ]
+                 in
+                 (match best with Some (comm, _) -> comm | None -> "-")
+             | _ -> "-"
+           in
+           Buffer.add_string buf
+             (Printf.sprintf "  @%-8d %9.2f  %8s %7s %7s  %s\n"
+                (Option.value ~default:0 (geti p [ "boundary" ]))
+                (float_of_int d_instr /. 1e6)
+                (match d_wall with
+                | Some dt ->
+                    Printf.sprintf "%.1f" (float_of_int d_instr /. dt /. 1e6)
+                | None -> "-")
+                (rate (counter p "fc.view_switches"))
+                (rate (counter p "fc.recoveries"))
+                hottest));
+        prev := Some p)
+      points;
+    (match Jsonx.path node [ "folds" ] with
+    | Some (Jsonx.List folds) when folds <> [] ->
+        let by_comm = Hashtbl.create 16 in
+        List.iter
+          (fun f ->
+            match
+              (Option.bind (Jsonx.path f [ "stack" ]) Jsonx.to_str,
+               geti f [ "count" ])
+            with
+            | Some stack, Some count ->
+                let comm =
+                  match String.index_opt stack ';' with
+                  | Some i -> String.sub stack 0 i
+                  | None -> stack
+                in
+                Hashtbl.replace by_comm comm
+                  (count
+                  + Option.value ~default:0 (Hashtbl.find_opt by_comm comm))
+            | _ -> ())
+          folds;
+        let ranked =
+          Hashtbl.fold (fun c n acc -> (c, n) :: acc) by_comm []
+          |> List.sort (fun (_, a) (_, b) -> compare b a)
+        in
+        let total =
+          List.fold_left (fun acc (_, n) -> acc + n) 0 ranked
+        in
+        Buffer.add_string buf "  hottest comms (profiler samples):\n";
+        List.iteri
+          (fun i (comm, n) ->
+            if i < 5 then
+              Buffer.add_string buf
+                (Printf.sprintf "    %-20s %6d  %5.1f%%\n" comm n
+                   (100. *. float_of_int n /. float_of_int (max 1 total))))
+          ranked
+    | _ -> ());
+    emit_output out (Buffer.contents buf)
+  in
+  Cmd.v (Cmd.info "top" ~doc) Term.(const run $ artifact $ k $ out_arg)
 
 let timeline_cmd =
   let doc =
@@ -582,7 +812,7 @@ let timeline_cmd =
     Arg.(value & opt int 65536 & info [ "capacity" ] ~docv:"N" ~doc)
   in
   let run app_name attack iterations vcpus capacity out =
-    let os, fc =
+    let os, fc, _ =
       enforced_run ~trace_capacity:capacity app_name attack iterations vcpus
     in
     let stats = Fc_core.Stats.capture fc in
@@ -603,5 +833,5 @@ let () =
   let info = Cmd.info "facechange" ~version:"1.0.0" ~doc in
   exit (Cmd.eval (Cmd.group info
        [ apps_cmd; attacks_cmd; syscalls_cmd; profile_cmd; inspect_cmd;
-         matrix_cmd; run_cmd; chaos_cmd; trace_cmd; stats_cmd; timeline_cmd;
-         calltree_cmd; report_cmd ]))
+         matrix_cmd; run_cmd; chaos_cmd; trace_cmd; stats_cmd; top_cmd;
+         timeline_cmd; calltree_cmd; report_cmd ]))

@@ -32,8 +32,13 @@ let app_pool =
    domain that ran it.  Chaos-style (governed fault plan, enforced view,
    full-view companion) with the fast execution engine on; the
    differential harness (test/differential.ml) is what licenses flipping
-   [sblocks] on without changing guest behavior. *)
-let run_guest profiles ~seed index =
+   [sblocks] on without changing guest behavior.
+
+   [?telemetry] arms the probe (ticker + sampler) at that period; the
+   armed guest must produce the same digest as a disarmed one — the
+   probe is behavior-invisible — which bench/check.exe --telemetry
+   gates. *)
+let run_guest ?telemetry profiles ~seed index =
   let gseed = Frand.mix seed index in
   let r = Frand.create gseed in
   let name = Frand.pick r app_pool in
@@ -52,6 +57,9 @@ let run_guest profiles ~seed index =
   let (_ : Fc_machine.Process.t) =
     Os.spawn os ~name:"fleet-companion" (companion.App.script 2)
   in
+  let probe =
+    Option.map (fun period -> Probe.arm ~period ~os ~hyp ~fc ()) telemetry
+  in
   let inj = Injector.arm ~os ~hyp ~fc plan in
   let outcome =
     match Os.run ~max_rounds:12_000 os with
@@ -60,14 +68,31 @@ let run_guest profiles ~seed index =
     | exception Os.Guest_panic m -> "panic: " ^ m
   in
   Injector.disarm inj;
-  HFleet.guest ~index ~app:name ~outcome ~stats:(Stats.capture fc)
+  let telemetry =
+    Option.map
+      (fun p ->
+        let r = Probe.finish p in
+        (* the sum-equals-total invariant holds per guest or the whole
+           armed cell is worthless — fail loudly, not in the merge *)
+        List.iter
+          (fun e -> failwith (Printf.sprintf "guest %d telemetry: %s" index e))
+          r.Probe.r_resum_errors;
+        {
+          HFleet.t_series = r.Probe.r_series;
+          t_folds = r.Probe.r_folds;
+          t_samples = r.Probe.r_samples;
+        })
+      probe
+  in
+  HFleet.guest ?telemetry ~index ~app:name ~outcome ~stats:(Stats.capture fc)
     ~instructions:(Os.instructions os) ~cycles:(Os.cycles os)
     ~frame_keys:(Frame_cache.resident_keys (Hyp.frame_cache hyp))
+    ()
 
-let run_cell profiles ~seed ~domains ~guests =
+let run_cell ?telemetry profiles ~seed ~domains ~guests =
   {
     c_report =
-      HFleet.run ~domains ~guests (run_guest profiles ~seed);
+      HFleet.run ~domains ~guests (run_guest ?telemetry profiles ~seed);
     c_requested_domains = domains;
   }
 

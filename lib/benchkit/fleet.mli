@@ -28,9 +28,19 @@ type t = {
   f_sweep : cell list;  (** domains x guests grid (smaller with [fast]) *)
 }
 
+val pinned_guests : int
+(** 40 — the fixed cell the gates pin, independent of [--fast]. *)
+
+val pinned_domains : int list
+(** [[1; 2; 4]] — the domain counts the pinned cell re-runs at. *)
+
 val run_cell :
-  Profiles.t -> seed:int -> domains:int -> guests:int -> cell
-(** One fleet: [guests] seeded guest VMs sharded over [domains]. *)
+  ?telemetry:int -> Profiles.t -> seed:int -> domains:int -> guests:int -> cell
+(** One fleet: [guests] seeded guest VMs sharded over [domains].
+    [telemetry] arms the {!Probe} on every guest at that period
+    (instructions per interval); the probe is behavior-invisible, so an
+    armed cell's fingerprint and counters match a disarmed one's —
+    [bench/check.exe --telemetry] holds it to that. *)
 
 val run : ?fast:bool -> ?seed:int -> Profiles.t -> t
 (** The full arm: pinned cell (always 40 guests x domains {1,2,4}) plus

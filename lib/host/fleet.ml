@@ -1,4 +1,12 @@
 module Stats = Fc_core.Stats
+module Timeseries = Fc_obs.Timeseries
+module Sampler = Fc_obs.Sampler
+
+type telemetry = {
+  t_series : Timeseries.series;
+  t_folds : Sampler.fold list;
+  t_samples : int;
+}
 
 type guest = {
   g_index : int;
@@ -8,6 +16,7 @@ type guest = {
   g_instructions : int;
   g_cycles : int;
   g_frame_keys : string list;
+  g_telemetry : telemetry option;
   g_digest : string;
 }
 
@@ -42,7 +51,8 @@ let digest_of ~app ~outcome ~stats ~instructions ~cycles ~frame_keys =
     frame_keys;
   Digest.to_hex (Digest.string (Buffer.contents b))
 
-let guest ~index ~app ~outcome ~stats ~instructions ~cycles ~frame_keys =
+let guest ?telemetry ~index ~app ~outcome ~stats ~instructions ~cycles
+    ~frame_keys () =
   {
     g_index = index;
     g_app = app;
@@ -51,6 +61,9 @@ let guest ~index ~app ~outcome ~stats ~instructions ~cycles ~frame_keys =
     g_instructions = instructions;
     g_cycles = cycles;
     g_frame_keys = frame_keys;
+    g_telemetry = telemetry;
+    (* telemetry never enters the digest: the same seed must fingerprint
+       identically with the profiler armed or disarmed *)
     g_digest =
       digest_of ~app ~outcome ~stats ~instructions ~cycles ~frame_keys;
   }
@@ -71,8 +84,27 @@ type report = {
   r_dedup_ratio : float;
   r_per_app_ok : bool;
   r_fingerprint : string;
+  r_telemetry : telemetry option;
   r_guests_detail : guest array;
 }
+
+(* Telemetry merges like Stats does: aligned interval union through
+   Timeseries.merge, per-stack fold through Sampler.merge.  Both operate
+   on plain data folded after the pool joins, so the merged result is
+   independent of the domain count. *)
+let merge_telemetry guests =
+  let ts =
+    Array.to_list guests |> List.filter_map (fun g -> g.g_telemetry)
+  in
+  match ts with
+  | [] -> None
+  | _ ->
+      Some
+        {
+          t_series = Timeseries.merge (List.map (fun t -> t.t_series) ts);
+          t_folds = Sampler.merge (List.map (fun t -> t.t_folds) ts);
+          t_samples = List.fold_left (fun a t -> a + t.t_samples) 0 ts;
+        }
 
 let merge ~domains ~seconds guests =
   let sum f = Array.fold_left (fun acc g -> acc + f g) 0 guests in
@@ -133,6 +165,7 @@ let merge ~domains ~seconds guests =
     r_dedup_ratio = dedup_ratio;
     r_per_app_ok = Stats.attribution_ok merged;
     r_fingerprint = fingerprint;
+    r_telemetry = merge_telemetry guests;
     r_guests_detail = guests;
   }
 

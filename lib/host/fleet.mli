@@ -13,6 +13,15 @@
     bit-identical for 1 domain and N domains, which
     [bench/check.exe --fleet] and [test/test_fleet.ml] enforce. *)
 
+type telemetry = {
+  t_series : Fc_obs.Timeseries.series;
+      (** delta-encoded interval series (merged: aligned by nominal
+          boundary index, summed per key) *)
+  t_folds : Fc_obs.Sampler.fold list;
+      (** collapsed profiler stacks (merged: counts summed per stack) *)
+  t_samples : int;  (** profiler samples recorded (= sum of fold counts) *)
+}
+
 type guest = {
   g_index : int;
   g_app : string;  (** the profiled application this guest ran *)
@@ -24,12 +33,18 @@ type guest = {
       (** content keys of the resident view frames
           ({!Fc_mem.Frame_cache.resident_keys}) — the fleet's cross-guest
           dedup unit *)
+  g_telemetry : telemetry option;
+      (** per-guest time series + profiler folds when the run was
+          telemetry-armed; plain data, safe to move across Domains *)
   g_digest : string;
       (** deterministic per-guest fingerprint (integer counters and
-          content keys only — no wall-clock, no floats) *)
+          content keys only — no wall-clock, no floats, no telemetry, so
+          armed and disarmed runs of the same seed fingerprint
+          identically) *)
 }
 
 val guest :
+  ?telemetry:telemetry ->
   index:int ->
   app:string ->
   outcome:string ->
@@ -37,8 +52,10 @@ val guest :
   instructions:int ->
   cycles:int ->
   frame_keys:string list ->
+  unit ->
   guest
-(** Build a guest record, computing [g_digest] from the other fields. *)
+(** Build a guest record, computing [g_digest] from the non-telemetry
+    fields. *)
 
 type report = {
   r_domains : int;  (** workers requested (1 on the 4.14 fallback) *)
@@ -64,6 +81,10 @@ type report = {
   r_fingerprint : string;
       (** digest of every guest digest, folded in index order —
           independent of domain count by construction *)
+  r_telemetry : telemetry option;
+      (** fleet-wide merge of every telemetry-armed guest's series and
+          folds ({!Fc_obs.Timeseries.merge} / {!Fc_obs.Sampler.merge});
+          [None] when no guest carried telemetry *)
   r_guests_detail : guest array;  (** in index order *)
 }
 

@@ -81,8 +81,13 @@ let original_table t ~dir = Hashtbl.find_opt t.original_tables dir
 
 type walk = { frames : int list; broken : string option }
 
-let stack_walk t ~eip ~ebp ?esp ?(max_depth = 64) () =
-  let sid = span_enter t Fc_obs.Span.Backtrace in
+(* The frame-chain logic shared by the charged recovery walk and the
+   telemetry sampler's free walk.  [on_frame] is the per-frame cost hook:
+   the recovery path charges Cost.backtrace_frame through it (advancing
+   guest time and perturbing timer IRQs — correct for a walk the
+   hypervisor really performs), while the sampler passes a no-op so
+   profiling stays behavior-invisible. *)
+let walk_impl t ~on_frame ~eip ~ebp ~esp ~max_depth =
   let broken = ref None in
   let stop reason acc =
     broken := Some reason;
@@ -98,7 +103,7 @@ let stack_walk t ~eip ~ebp ?esp ?(max_depth = 64) () =
     else if depth >= max_depth then
       stop (Printf.sprintf "rbp chain exceeded depth cap %d" max_depth) acc
     else begin
-      charge t Cost.backtrace_frame;
+      on_frame ();
       match (read_guest_u32 t (ebp + 4), read_guest_u32 t ebp) with
       | Some ret, Some prev_ebp ->
           if ret = Cpu.sentinel_return || not (Layout.is_kernel_address ret)
@@ -118,7 +123,7 @@ let stack_walk t ~eip ~ebp ?esp ?(max_depth = 64) () =
     match esp with
     | Some esp
       when Fc_isa.Scan.is_prologue_at ~read:(read_original_code t) eip -> (
-        charge t Cost.backtrace_frame;
+        on_frame ();
         match read_guest_u32 t esp with
         | Some ret
           when ret <> Cpu.sentinel_return && Layout.is_kernel_address ret ->
@@ -127,8 +132,23 @@ let stack_walk t ~eip ~ebp ?esp ?(max_depth = 64) () =
     | Some _ | None -> []
   in
   let frames = (eip :: entry_caller) @ go [] ebp 0 in
-  span_exit t sid;
   { frames; broken = !broken }
+
+let stack_walk t ~eip ~ebp ?esp ?(max_depth = 64) () =
+  let sid = span_enter t Fc_obs.Span.Backtrace in
+  let w =
+    walk_impl t
+      ~on_frame:(fun () -> charge t Cost.backtrace_frame)
+      ~eip ~ebp ~esp ~max_depth
+  in
+  span_exit t sid;
+  w
+
+let sample_stack t ~eip ~ebp ?esp ?(max_depth = 64) () =
+  (* uncharged and span-free: the telemetry sampler walks stacks without
+     advancing guest time or emitting trace records, so an armed profiler
+     cannot drift any pinned counter *)
+  walk_impl t ~on_frame:(fun () -> ()) ~eip ~ebp ~esp ~max_depth
 
 let stack_frames t ~eip ~ebp ?esp ?max_depth () =
   (stack_walk t ~eip ~ebp ?esp ?max_depth ()).frames

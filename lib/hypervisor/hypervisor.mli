@@ -109,6 +109,15 @@ val stack_frames :
   t -> eip:int -> ebp:int -> ?esp:int -> ?max_depth:int -> unit -> int list
 (** [(stack_walk t ...).frames] — the walk without the verdict. *)
 
+val sample_stack :
+  t -> eip:int -> ebp:int -> ?esp:int -> ?max_depth:int -> unit -> walk
+(** The same defensive walk as {!stack_walk}, but free: no cycles are
+    charged and no backtrace span is emitted.  This is the telemetry
+    sampler's walk — charging would advance guest time and shift every
+    timer interrupt after the first profiler tick, so an armed profiler
+    would silently drift the pinned deterministic counters.  Reads guest
+    memory through the data path only (never guest-visible). *)
+
 (* ---------------- symbols ---------------- *)
 
 val refresh_symbols : t -> unit

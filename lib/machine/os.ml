@@ -105,6 +105,18 @@ type fault_hooks = {
          inject synthetic exits via [inject_invalid_opcode] *)
 }
 
+(* Telemetry ticker (see lib/obs Timeseries): fires every [th_period]
+   retired guest instructions, checked at vCPU turn boundaries in [run].
+   Instruction counts at turn boundaries are engine-invariant (the
+   differential harness pins them across the {sblocks}×{tlb} matrix), so
+   interval boundaries are reproducible and gateable.  Same
+   zero-cost-when-disarmed contract as [fault_hooks]. *)
+type tick_hook = {
+  th_period : int;
+  mutable th_next : int; (* next instruction mark; always a period multiple *)
+  th_fire : unit -> unit;
+}
+
 type t = {
   image : Image.t;
   config : config;
@@ -156,6 +168,7 @@ type t = {
   symbols : (string, int) Hashtbl.t; (* OS ground truth, incl. hidden *)
   mutable sleep_override : int option; (* wake delay for the next block *)
   mutable faults : fault_hooks option;
+  mutable tick : tick_hook option;
   run_cycles_f : Fc_obs.Metrics.family; (* os.run_cycles{comm} *)
   run_slices_f : Fc_obs.Metrics.family; (* os.run_slices{comm} *)
   tlb_i_hits : Fc_obs.Metrics.counter;
@@ -245,6 +258,20 @@ let clear_syscall_rewriter t = t.rewriter <- None
 let pending_itimer t ~pid = Hashtbl.mem t.itimers pid
 let arm_itimer t ~pid = Hashtbl.replace t.itimers pid ()
 let set_fault_hooks t h = t.faults <- h
+
+let current_of t ~vid =
+  if vid < 0 || vid >= Array.length t.vcpus then
+    invalid_arg "Os.current_of: bad vcpu";
+  t.vcpus.(vid).vcurrent
+
+let arm_tick t ~period fire =
+  if period < 1 then invalid_arg "Os.arm_tick: period must be >= 1";
+  (* marks stay period-aligned from instruction 0 regardless of when the
+     ticker is armed, so interval boundaries depend only on the period *)
+  let next = ((!(t.instrs) / period) + 1) * period in
+  t.tick <- Some { th_period = period; th_next = next; th_fire = fire }
+
+let disarm_tick t = t.tick <- None
 
 (* ---------------- guest memory plumbing ---------------- *)
 
@@ -673,6 +700,7 @@ let create ?(config = default_config) ?(vcpus = 1) ?obs ?(tlb = true)
       symbols = Hashtbl.create 2048;
       sleep_override = None;
       faults = None;
+      tick = None;
       run_cycles_f =
         Fc_obs.Metrics.counter_family (Fc_obs.Obs.metrics obs) ~subsystem:"os"
           "run_cycles";
@@ -1402,7 +1430,7 @@ let run ?(max_rounds = 1_000_000) ?(until = fun _ -> false) t =
     Array.iter
       (fun v ->
         t.active <- v.vid;
-        match pick_ready t ~vid:v.vid with
+        (match pick_ready t ~vid:v.vid with
         | None ->
             (* nothing runnable on this vCPU: idle in its swapper *)
             switch_to t v.vidle;
@@ -1410,7 +1438,17 @@ let run ?(max_rounds = 1_000_000) ?(until = fun _ -> false) t =
             check_irqs t
         | Some p ->
             switch_to t p;
-            run_quantum t p)
+            run_quantum t p);
+        (* telemetry ticker: a turn can retire past several marks at
+           once — fire once per crossed mark so the interval count is
+           exactly floor(instructions / period) *)
+        match t.tick with
+        | None -> ()
+        | Some th ->
+            while !(t.instrs) >= th.th_next do
+              th.th_next <- th.th_next + th.th_period;
+              th.th_fire ()
+            done)
       t.vcpus;
     t.active <- 0
   done;

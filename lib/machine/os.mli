@@ -107,6 +107,12 @@ val spawn : ?cpu:int -> t -> name:string -> Action.t list -> Process.t
 val processes : t -> Process.t list
 val find_process : t -> pid:int -> Process.t option
 val current : t -> Process.t
+
+val current_of : t -> vid:int -> Process.t
+(** The process currently scheduled on a given vCPU (its idle task when
+    nothing is runnable there) — what the telemetry sampler attributes a
+    profiler tick to. *)
+
 val in_interrupt : t -> bool
 
 (* ---------------- modules ---------------- *)
@@ -171,6 +177,21 @@ type fault_hooks = {
     guard. *)
 
 val set_fault_hooks : t -> fault_hooks option -> unit
+
+val arm_tick : t -> period:int -> (unit -> unit) -> unit
+(** Arm the telemetry ticker: the callback fires every [period] retired
+    guest instructions, checked at vCPU turn boundaries inside {!run}
+    (never mid-quantum).  A turn that retires past several marks fires
+    once per crossed mark, so over a whole run the callback fires exactly
+    [floor (instructions / period)] times regardless of quantum or engine
+    toggles — instruction counts at turn boundaries are engine-invariant.
+    Marks are aligned to multiples of [period] from instruction 0 even
+    when armed mid-run.  Zero-cost when disarmed: the run loop pays one
+    option match per vCPU turn, the same contract as {!fault_hooks}.
+    The callback must not mutate guest state; it is meant to scrape
+    metrics ({!Fc_obs.Timeseries}) and sample VMI state. *)
+
+val disarm_tick : t -> unit
 
 val inject_invalid_opcode : t -> ?ebp:int -> ?esp:int -> eip:int -> unit -> unit
 (** Synthesize an invalid-opcode VM exit at [eip] and route it through

@@ -32,6 +32,7 @@ type t =
   | Degraded of { vid : int; comm : string; from_index : int; reason : string }
   | Renarrowed of { vid : int; comm : string; to_index : int }
   | Quarantined of { vid : int; comm : string; degradations : int }
+  | Sample of { vid : int; pid : int; comm : string; pc : int; view : int }
 
 type value = Int of int | Str of string
 
@@ -64,6 +65,7 @@ let kind = function
   | Degraded _ -> "degraded"
   | Renarrowed _ -> "renarrowed"
   | Quarantined _ -> "quarantined"
+  | Sample _ -> "sample"
 
 let kinds =
   [
@@ -84,6 +86,7 @@ let kinds =
     "degraded";
     "renarrowed";
     "quarantined";
+    "sample";
   ]
 
 let fields = function
@@ -151,6 +154,14 @@ let fields = function
       [ ("vid", Int vid); ("comm", Str comm); ("to", Int to_index) ]
   | Quarantined { vid; comm; degradations } ->
       [ ("vid", Int vid); ("comm", Str comm); ("degradations", Int degradations) ]
+  | Sample { vid; pid; comm; pc; view } ->
+      [
+        ("vid", Int vid);
+        ("pid", Int pid);
+        ("comm", Str comm);
+        ("pc", Int pc);
+        ("view", Int view);
+      ]
 
 let pp ppf e =
   Format.fprintf ppf "%s" (kind e);

@@ -69,6 +69,10 @@ type t =
   | Quarantined of { vid : int; comm : string; degradations : int }
       (** [comm] degraded or faulted too often and is pinned to the full
           view for the rest of the run *)
+  | Sample of { vid : int; pid : int; comm : string; pc : int; view : int }
+      (** a profiler tick observed [comm] at guest [pc] under view index
+          [view] (see {!Sampler}); emitted by the telemetry glue, never
+          by the machine itself *)
 
 type value = Int of int | Str of string
 (** A flattened field for exporters (JSON objects, CSV cells). *)

@@ -105,6 +105,10 @@ let metrics_to_json m =
             | _ -> None)) );
     ]
 
+(* an empty histogram has nan percentiles (see Metrics.percentile): the
+   CSV cell is left empty rather than printing the string "nan" *)
+let float_cell v = if Float.is_nan v then "" else Printf.sprintf "%.6g" v
+
 let metrics_to_csv m =
   let b = Buffer.create 1024 in
   Buffer.add_string b "kind,subsystem,name,label,value,count,sum,max,p50,p90,p99\n";
@@ -114,21 +118,193 @@ let metrics_to_csv m =
       match s.Metrics.value with
       | Metrics.Counter v ->
           Buffer.add_string b
-            (Printf.sprintf "counter,%s,%s,%s,%d,,,,,,\n" s.Metrics.subsystem
-               s.Metrics.name (csv_cell label) v)
+            (Printf.sprintf "counter,%s,%s,%s,%d,,,,,,\n"
+               (csv_cell s.Metrics.subsystem)
+               (csv_cell s.Metrics.name) (csv_cell label) v)
       | Metrics.Gauge v ->
           Buffer.add_string b
-            (Printf.sprintf "gauge,%s,%s,%s,%d,,,,,,\n" s.Metrics.subsystem
-               s.Metrics.name (csv_cell label) v)
+            (Printf.sprintf "gauge,%s,%s,%s,%d,,,,,,\n"
+               (csv_cell s.Metrics.subsystem)
+               (csv_cell s.Metrics.name) (csv_cell label) v)
       | Metrics.Histogram h ->
           Buffer.add_string b
-            (Printf.sprintf "histogram,%s,%s,%s,,%d,%d,%d,%.6g,%.6g,%.6g\n"
-               s.Metrics.subsystem s.Metrics.name (csv_cell label)
-               h.Metrics.h_count h.Metrics.h_sum h.Metrics.h_max
-               (Metrics.percentile h 0.5)
-               (Metrics.percentile h 0.9)
-               (Metrics.percentile h 0.99)))
+            (Printf.sprintf "histogram,%s,%s,%s,,%d,%d,%d,%s,%s,%s\n"
+               (csv_cell s.Metrics.subsystem)
+               (csv_cell s.Metrics.name) (csv_cell label) h.Metrics.h_count
+               h.Metrics.h_sum h.Metrics.h_max
+               (float_cell (Metrics.percentile h 0.5))
+               (float_cell (Metrics.percentile h 0.9))
+               (float_cell (Metrics.percentile h 0.99))))
     (Metrics.snapshot m);
+  Buffer.contents b
+
+(* ---------------- Prometheus text exposition ---------------- *)
+
+(* Registry keys are "sub.name" / "sub.name{label}"; the Prometheus text
+   format allows [a-zA-Z_:][a-zA-Z0-9_:]* metric names, so dots (and any
+   other stray character) become underscores under a facechange_ prefix.
+   Label values get the text-format escapes: backslash, quote, newline. *)
+let prom_name ~subsystem name =
+  let raw = "facechange_" ^ subsystem ^ "_" ^ name in
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> c
+      | _ -> '_')
+    raw
+
+let prom_escape_label v =
+  let b = Buffer.create (String.length v) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    v;
+  Buffer.contents b
+
+let metrics_to_prometheus m =
+  let b = Buffer.create 2048 in
+  let typed : (string, unit) Hashtbl.t = Hashtbl.create 32 in
+  let type_line name kind =
+    if not (Hashtbl.mem typed name) then begin
+      Hashtbl.add typed name ();
+      Buffer.add_string b (Printf.sprintf "# TYPE %s %s\n" name kind)
+    end
+  in
+  let labels = function
+    | None -> ""
+    | Some l -> Printf.sprintf "{app=\"%s\"}" (prom_escape_label l)
+  in
+  List.iter
+    (fun (s : Metrics.sample) ->
+      let name = prom_name ~subsystem:s.Metrics.subsystem s.Metrics.name in
+      match s.Metrics.value with
+      | Metrics.Counter v ->
+          type_line name "counter";
+          Buffer.add_string b
+            (Printf.sprintf "%s%s %d\n" name (labels s.Metrics.label) v)
+      | Metrics.Gauge v ->
+          type_line name "gauge";
+          Buffer.add_string b
+            (Printf.sprintf "%s%s %d\n" name (labels s.Metrics.label) v)
+      | Metrics.Histogram h ->
+          type_line name "histogram";
+          (* log2 buckets to cumulative le form: every observation in
+             pow2 bucket i is < 2^(i+1) (pow2 0 holds 0 and 1) *)
+          let extra_label =
+            match s.Metrics.label with
+            | None -> ""
+            | Some l -> Printf.sprintf ",app=\"%s\"" (prom_escape_label l)
+          in
+          let cum = ref 0 in
+          List.iter
+            (fun (pow2, count) ->
+              cum := !cum + count;
+              Buffer.add_string b
+                (Printf.sprintf "%s_bucket{le=\"%d\"%s} %d\n" name
+                   (1 lsl (pow2 + 1))
+                   extra_label !cum))
+            h.Metrics.h_buckets;
+          Buffer.add_string b
+            (Printf.sprintf "%s_bucket{le=\"+Inf\"%s} %d\n" name extra_label
+               h.Metrics.h_count);
+          Buffer.add_string b
+            (Printf.sprintf "%s_sum%s %d\n" name (labels s.Metrics.label)
+               h.Metrics.h_sum);
+          Buffer.add_string b
+            (Printf.sprintf "%s_count%s %d\n" name (labels s.Metrics.label)
+               h.Metrics.h_count))
+    (Metrics.snapshot m);
+  Buffer.contents b
+
+(* ---------------- time series ---------------- *)
+
+let hrow_to_json (r : Timeseries.hrow) =
+  Jsonx.Obj
+    [
+      ("count", Jsonx.Int r.Timeseries.hr_count);
+      ("sum", Jsonx.Int r.Timeseries.hr_sum);
+      ("max", Jsonx.Int r.Timeseries.hr_max);
+      ("p50", Jsonx.Float (Timeseries.row_percentile r 0.5));
+      ("p90", Jsonx.Float (Timeseries.row_percentile r 0.9));
+      ("p99", Jsonx.Float (Timeseries.row_percentile r 0.99));
+      ( "buckets",
+        Jsonx.List
+          (List.map
+             (fun (pow2, n) -> Jsonx.List [ Jsonx.Int pow2; Jsonx.Int n ])
+             r.Timeseries.hr_buckets) );
+    ]
+
+let point_to_json (p : Timeseries.point) =
+  Jsonx.Obj
+    ([
+       ("boundary", Jsonx.Int p.Timeseries.p_boundary);
+       ("instructions", Jsonx.Int p.Timeseries.p_instructions);
+     ]
+    @ (match p.Timeseries.p_wall with
+      | None -> []
+      | Some w -> [ ("wall", Jsonx.Float w) ])
+    @ [
+        ( "counters",
+          Jsonx.Obj
+            (List.map (fun (k, v) -> (k, Jsonx.Int v)) p.Timeseries.p_counters)
+        );
+        ( "gauges",
+          Jsonx.Obj
+            (List.map (fun (k, v) -> (k, Jsonx.Int v)) p.Timeseries.p_gauges) );
+        ( "histograms",
+          Jsonx.Obj
+            (List.map
+               (fun (k, r) -> (k, hrow_to_json r))
+               p.Timeseries.p_histograms) );
+      ])
+
+let timeseries_to_json (s : Timeseries.series) =
+  Jsonx.Obj
+    [
+      ("schema_version", Jsonx.Int schema_version);
+      ("period", Jsonx.Int s.Timeseries.s_period);
+      ("intervals", Jsonx.Int s.Timeseries.s_intervals);
+      ("dropped", Jsonx.Int s.Timeseries.s_dropped);
+      ("fingerprint", Jsonx.String (Timeseries.fingerprint s));
+      ("points", Jsonx.List (List.map point_to_json s.Timeseries.s_points));
+    ]
+
+let timeseries_to_csv (s : Timeseries.series) =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b
+    "boundary,instructions,wall,kind,key,value,count,sum,max,p50,p90,p99\n";
+  List.iter
+    (fun (p : Timeseries.point) ->
+      let wall =
+        match p.Timeseries.p_wall with
+        | None -> ""
+        | Some w -> Printf.sprintf "%.6f" w
+      in
+      let row kind key tail =
+        Buffer.add_string b
+          (Printf.sprintf "%d,%d,%s,%s,%s,%s\n" p.Timeseries.p_boundary
+             p.Timeseries.p_instructions wall kind (csv_cell key) tail)
+      in
+      List.iter
+        (fun (k, v) -> row "counter" k (Printf.sprintf "%d,,,,,," v))
+        p.Timeseries.p_counters;
+      List.iter
+        (fun (k, v) -> row "gauge" k (Printf.sprintf "%d,,,,,," v))
+        p.Timeseries.p_gauges;
+      List.iter
+        (fun (k, (r : Timeseries.hrow)) ->
+          row "histogram" k
+            (Printf.sprintf ",%d,%d,%d,%s,%s,%s" r.Timeseries.hr_count
+               r.Timeseries.hr_sum r.Timeseries.hr_max
+               (float_cell (Timeseries.row_percentile r 0.5))
+               (float_cell (Timeseries.row_percentile r 0.9))
+               (float_cell (Timeseries.row_percentile r 0.99))))
+        p.Timeseries.p_histograms)
+    s.Timeseries.s_points;
   Buffer.contents b
 
 (* ---------------- Chrome trace-event timeline ---------------- *)
@@ -267,6 +443,17 @@ let timeline_to_json ?(extra = []) t =
                  [
                    ("comm", Jsonx.String comm);
                    ("degradations", Jsonx.Int degradations);
+                 ]
+               ())
+      | Event.Sample { vid; pid; comm; pc; view } ->
+          note_track vid pid comm;
+          push
+            (tev ~name:"sample" ~cat:"profiler" ~ph:"i" ~ts ~pid:vid ~tid:pid
+               ~args:
+                 [
+                   ("comm", Jsonx.String comm);
+                   ("pc", Jsonx.Int pc);
+                   ("view", Jsonx.Int view);
                  ]
                ())
       | _ -> ())

@@ -30,7 +30,39 @@ val metrics_to_csv : Metrics.t -> string
 (** Header [kind,subsystem,name,label,value,count,sum,max,p50,p90,p99]:
     counters and gauges fill [value]; histograms fill
     [count,sum,max,p50,p90,p99].  [label] is empty for unlabeled
-    instruments. *)
+    instruments.  Every string cell is CSV-quoted when needed; the nan
+    percentiles of an empty histogram render as empty cells. *)
+
+(** {1 Prometheus text exposition} *)
+
+val prom_name : subsystem:string -> string -> string
+(** Registry key to Prometheus metric name: ["facechange_<sub>_<name>"]
+    with every character outside [[a-zA-Z0-9_:]] mapped to [_] (registry
+    dots become underscores). *)
+
+val prom_escape_label : string -> string
+(** Label-value escaping per the text format: backslash, double quote
+    and newline are backslash-escaped. *)
+
+val metrics_to_prometheus : Metrics.t -> string
+(** Prometheus text exposition of the registry ([facechange stats
+    --prom]).  One [# TYPE] line per metric name; labeled family members
+    render as [app="<label>"] variants of the shared name; histograms
+    expose cumulative [le] buckets (log2 bucket [pow2] ends at
+    [2^(pow2+1)]) plus [_sum]/[_count]. *)
+
+(** {1 Time series} *)
+
+val timeseries_to_json : Timeseries.series -> Jsonx.t
+(** [{"schema_version", "period", "intervals", "dropped", "fingerprint",
+    "points": […]}]; each point carries [boundary], [instructions],
+    optional [wall], and [counters]/[gauges]/[histograms] objects
+    (histogram rows include interpolated p50/p90/p99 — [null] when the
+    interval saw no observations). *)
+
+val timeseries_to_csv : Timeseries.series -> string
+(** Long form, one row per (interval, key):
+    [boundary,instructions,wall,kind,key,value,count,sum,max,p50,p90,p99]. *)
 
 (** {1 Chrome trace-event timeline} *)
 

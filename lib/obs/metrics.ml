@@ -213,9 +213,10 @@ let find t k =
 (* Percentile estimate from log2 buckets: find the bucket holding the
    q-th observation, then interpolate linearly inside its value range
    [2^pow2, 2^(pow2+1)) — capped at the observed max, which is exact for
-   the top bucket. *)
+   the top bucket.  An empty histogram has no quantiles: nan, never a
+   fake 0 that downstream math could mistake for a real observation. *)
 let percentile (s : histogram_snapshot) q =
-  if s.h_count = 0 then 0.
+  if s.h_count = 0 then Float.nan
   else begin
     let target = Float.max 1. (q *. float_of_int s.h_count) in
     let rec walk cum = function

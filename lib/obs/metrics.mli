@@ -98,5 +98,8 @@ val find : t -> string -> int option
 val percentile : histogram_snapshot -> float -> float
 (** [percentile s q] estimates the [q]-quantile ([0. <= q <= 1.]) by
     linear interpolation inside the log2 bucket holding the target rank;
-    the bucket's value range is capped at the observed max.  0 for an
-    empty histogram.  Estimates are exact only up to bucket resolution. *)
+    the bucket's value range is capped at the observed max.  [nan] for an
+    empty histogram — a quantile of nothing is undefined, and exporters
+    must render it as absent (Jsonx maps non-finite floats to [null];
+    the CSV exporter leaves the cell empty).  Estimates are exact only up
+    to bucket resolution. *)

@@ -2,7 +2,12 @@ type t = { trace : Trace.t; metrics : Metrics.t; spans : Span.t }
 
 let create () =
   let trace = Trace.create () in
-  { trace; metrics = Metrics.create (); spans = Span.create trace }
+  let metrics = Metrics.create () in
+  (* silent trace loss under long runs must be visible in snapshots and
+     time series, not only by diffing Ring counters by hand *)
+  Metrics.gauge metrics ~subsystem:"obs" "trace_dropped" (fun () ->
+      Trace.dropped trace);
+  { trace; metrics; spans = Span.create trace }
 
 let trace t = t.trace
 let metrics t = t.metrics

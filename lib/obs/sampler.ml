@@ -1,0 +1,53 @@
+(* Sampling profiler folds: each recorded sample is one (comm, stack)
+   observation; equal stacks collapse into a count.  The fold is the
+   flamegraph.pl "collapsed" representation — `comm;frame;...;leaf N` —
+   and plain data, so per-guest folds merge fleet-wide exactly like
+   Timeseries points do.  Symbolization happens at record time (the
+   caller passes rendered frame strings); the sampler itself never
+   touches guest state, which is what keeps sampling behavior-invisible. *)
+
+type fold = { f_stack : string; f_count : int }
+
+type t = {
+  counts : (string, int) Hashtbl.t;
+  mutable samples : int;
+}
+
+let create () = { counts = Hashtbl.create 64; samples = 0 }
+let samples t = t.samples
+
+(* flamegraph.pl frame separator; frames containing it would corrupt the
+   fold line, so map it away at record time *)
+let clean frame =
+  String.map (function ';' -> ':' | ' ' -> '_' | c -> c) frame
+
+let record t ~comm ~frames =
+  t.samples <- t.samples + 1;
+  let key = String.concat ";" (clean comm :: List.map clean frames) in
+  Hashtbl.replace t.counts key
+    (1 + Option.value ~default:0 (Hashtbl.find_opt t.counts key))
+
+let export t =
+  Hashtbl.fold (fun k v l -> { f_stack = k; f_count = v } :: l) t.counts []
+  |> List.sort (fun a b -> String.compare a.f_stack b.f_stack)
+
+let merge folds =
+  let acc = Hashtbl.create 64 in
+  List.iter
+    (List.iter (fun f ->
+         Hashtbl.replace acc f.f_stack
+           (f.f_count + Option.value ~default:0 (Hashtbl.find_opt acc f.f_stack))))
+    folds;
+  Hashtbl.fold (fun k v l -> { f_stack = k; f_count = v } :: l) acc []
+  |> List.sort (fun a b -> String.compare a.f_stack b.f_stack)
+
+let total folds = List.fold_left (fun a f -> a + f.f_count) 0 folds
+
+let folded_text folds =
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun f -> Buffer.add_string b (Printf.sprintf "%s %d\n" f.f_stack f.f_count))
+    folds;
+  Buffer.contents b
+
+let fingerprint folds = Digest.to_hex (Digest.string (folded_text folds))

@@ -1,0 +1,39 @@
+(** Sampling-profiler folds: collapsed (comm, stack) observations in the
+    flamegraph.pl "folded" representation.
+
+    The telemetry glue records one sample per vCPU per ticker fire — the
+    current comm plus its symbolized kernel stack (root-first) — and the
+    sampler collapses equal stacks into counts.  Folds are plain data:
+    per-guest folds {!merge} fleet-wide, and {!folded_text} feeds
+    [flamegraph.pl] directly.  The sampler never reads guest state
+    itself; callers symbolize frames before recording, via the
+    hypervisor's uncharged [sample_stack] walk. *)
+
+type fold = { f_stack : string; f_count : int }
+(** [f_stack] is ["comm;frame;...;leaf"]; [;] and spaces inside frames
+    are rewritten at record time so the folded line stays parseable. *)
+
+type t
+
+val create : unit -> t
+
+val record : t -> comm:string -> frames:string list -> unit
+(** One observation: [frames] root-first (leaf last), already rendered.
+    An empty [frames] records the bare comm — used when the sampled task
+    has no walkable kernel context. *)
+
+val samples : t -> int
+(** Observations recorded; equals the sum of the exported counts. *)
+
+val export : t -> fold list
+(** Sorted by stack string — deterministic for equal sample sets. *)
+
+val merge : fold list list -> fold list
+(** Sum counts per stack across guests; sorted, order-independent. *)
+
+val total : fold list -> int
+val folded_text : fold list -> string
+(** One ["stack count\n"] line per fold — flamegraph.pl input. *)
+
+val fingerprint : fold list -> string
+(** Hex MD5 of {!folded_text}. *)

@@ -39,6 +39,12 @@ type fingerprint = {
   fp_cycles : int;
   fp_insn_digest : int;
   fp_event_digest : int;
+  fp_series : string;
+      (* Timeseries.fingerprint of the armed telemetry probe: interval
+         boundaries and per-interval deltas (engine counters excluded)
+         must not move under any engine toggle — the ticker fires at
+         instruction marks, and instruction retirement is pinned *)
+  fp_sampler : string; (* Sampler.fingerprint: the folded profiler stacks *)
 }
 
 (* Engine counters of the run, reported alongside the fingerprint so
@@ -85,6 +91,10 @@ let run ~profiles ~sblocks ~tlb ~fault_seed () =
   let (_ : Process.t) =
     Os.spawn os ~name:"companion" (companion.App.script 2)
   in
+  (* the probe is always armed here: every parity property this harness
+     proves now also proves that sampling telemetry is behavior-invisible
+     (it shares the run with pinned instruction/event digests) *)
+  let probe = Fc_benchkit.Probe.arm ~period:25_000 ~os ~hyp ~fc () in
   let inj = Injector.arm ~os ~hyp ~fc plan in
   let outcome =
     match Os.run ~max_rounds:20_000 os with
@@ -92,6 +102,10 @@ let run ~profiles ~sblocks ~tlb ~fault_seed () =
     | exception Os.Guest_panic m -> "panic: " ^ m
   in
   Injector.disarm inj;
+  let telemetry = Fc_benchkit.Probe.finish probe in
+  (match telemetry.Fc_benchkit.Probe.r_resum_errors with
+  | [] -> ()
+  | e :: _ -> failwith ("telemetry deltas fail to re-sum: " ^ e));
   let m = Fc_obs.Obs.metrics (Os.obs os) in
   let c key = Option.value ~default:0 (Metrics.find m key) in
   ( {
@@ -101,6 +115,10 @@ let run ~profiles ~sblocks ~tlb ~fault_seed () =
       fp_cycles = Os.cycles os;
       fp_insn_digest = !ih;
       fp_event_digest = !eh;
+      fp_series =
+        Fc_obs.Timeseries.fingerprint telemetry.Fc_benchkit.Probe.r_series;
+      fp_sampler =
+        Fc_obs.Sampler.fingerprint telemetry.Fc_benchkit.Probe.r_folds;
     },
     {
       en_sb_built = c "sb.blocks_built";
@@ -128,4 +146,10 @@ let check_parity ~label ~expect ~got =
     expect.fp_insn_digest got.fp_insn_digest;
   Alcotest.(check int)
     (label ^ ": call/return events")
-    expect.fp_event_digest got.fp_event_digest
+    expect.fp_event_digest got.fp_event_digest;
+  Alcotest.(check string)
+    (label ^ ": telemetry series (interval boundaries + deltas)")
+    expect.fp_series got.fp_series;
+  Alcotest.(check string)
+    (label ^ ": profiler folds")
+    expect.fp_sampler got.fp_sampler

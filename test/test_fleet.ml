@@ -209,6 +209,7 @@ let identical_guest profiles index =
   HFleet.guest ~index ~app:"top" ~outcome ~stats:(Stats.capture fc)
     ~instructions:(Os.instructions os) ~cycles:(Os.cycles os)
     ~frame_keys:(Frame_cache.resident_keys (Hyp.frame_cache hyp))
+    ()
 
 let test_identical_guests_dedup () =
   let r = HFleet.run ~domains:2 ~guests:2 (identical_guest (profiles ())) in

@@ -259,14 +259,15 @@ let test_metrics_percentiles () =
   let p q = Metrics.percentile snap q in
   check_bool "monotone" true (p 0.5 <= p 0.9 && p 0.9 <= p 0.99);
   check_bool "bounded" true (p 0.99 <= 101.0 && p 0.01 >= 0.0);
-  (* empty histogram yields 0, not NaN *)
+  (* an empty histogram has no quantiles: nan, never a fake 0 that
+     downstream math could mistake for a real observation *)
   Metrics.reset_histogram h;
   let snap' =
     match Metrics.snapshot m with
     | [ { Metrics.value = Metrics.Histogram s; _ } ] -> s
     | _ -> Alcotest.fail "expected one histogram sample"
   in
-  Alcotest.(check (float 0.)) "empty" 0.0 (Metrics.percentile snap' 0.99)
+  check_bool "empty is nan" true (Float.is_nan (Metrics.percentile snap' 0.99))
 
 let test_metrics_labeled_families () =
   let m = Metrics.create () in
