@@ -5,6 +5,8 @@
      bench/check.exe --perf [BENCH_perf.json]
      bench/check.exe --fleet [BENCH_fleet.json]
      bench/check.exe --telemetry [BENCH_telemetry.json]
+     bench/check.exe --migrate [BENCH_migrate.json]
+     bench/check.exe --snapshot [bench/golden.fcsnap]
 
    Modes combine in one invocation — e.g.
      bench/check.exe a.json b.json --chaos c.json --fleet d.json
@@ -865,8 +867,6 @@ let check_telemetry j =
       | Some _ -> fail "telemetry: profile folded-stack profile is empty"
       | None -> fail "telemetry: profile.stacks missing")
 
-(* ---------------- driver ---------------- *)
-
 let read_file path =
   match open_in_bin path with
   | exception Sys_error e -> Error e
@@ -876,8 +876,144 @@ let read_file path =
       close_in ic;
       Ok s
 
+(* ---------------- migrate artifact ---------------- *)
+
+(* Exact pins for the migration rows the fast and full grids share: the
+   row seed is Frand.mix of the arm seed and (precopy_rounds, index), so
+   the first two seeds of the precopy-1 and precopy-3 columns are
+   identical in both grids.  Keyed by (precopy_rounds, row seed); the
+   pinned fields are everything deterministic about the transfer —
+   downtime_cycles is a model output recorded for humans and is NEVER
+   gated.  Re-pin only with an intended behavior change. *)
+let migrate_row_pins =
+  [
+    ( (1, 3913828523329621081),
+      [ ("pages_total", 455); ("pages_copied", 455); ("final_dirty", 0);
+        ("bytes_copied", 1863680); ("snapshot_bytes", 813964) ] );
+    ( (1, 99671189725526193),
+      [ ("pages_total", 473); ("pages_copied", 473); ("final_dirty", 0);
+        ("bytes_copied", 1937408); ("snapshot_bytes", 819604) ] );
+    ( (3, 725993633631596918),
+      [ ("pages_total", 477); ("pages_copied", 481); ("final_dirty", 0);
+        ("bytes_copied", 1970176); ("snapshot_bytes", 853041) ] );
+    ( (3, 1520132603867492020),
+      [ ("pages_total", 473); ("pages_copied", 480); ("final_dirty", 0);
+        ("bytes_copied", 1966080); ("snapshot_bytes", 820115) ] );
+  ]
+
+let check_migrate j =
+  let geti v p = Option.bind (J.path v p) J.to_int in
+  (match geti j [ "schema_version" ] with
+  | Some 1 -> ()
+  | Some v -> fail "migrate: schema_version %d, expected 1" v
+  | None -> fail "migrate: schema_version missing");
+  (* the acceptance property: every migrated guest finished with its
+     uninterrupted control's digest, and nothing died *)
+  (match J.path j [ "migrate"; "parity_ok" ] with
+  | Some (J.Bool true) -> ()
+  | Some (J.Bool false) ->
+      fail "migrate: a migrated guest diverged from its control"
+  | Some _ | None -> fail "migrate: parity_ok missing");
+  (match geti j [ "migrate"; "panics" ] with
+  | Some 0 -> ()
+  | Some n -> fail "migrate: %d guest(s) panicked" n
+  | None -> fail "migrate: panics missing");
+  match J.path j [ "migrate"; "rows" ] with
+  | Some (J.List []) -> fail "migrate: no rows — nothing migrated"
+  | Some (J.List rows) ->
+      List.iteri
+        (fun i row ->
+          let ctx =
+            Printf.sprintf "row[%d] (precopy=%d)" i
+              (Option.value ~default:(-1) (geti row [ "precopy_rounds" ]))
+          in
+          (match J.path row [ "migrated" ] with
+          | Some (J.Bool true) -> ()
+          | Some (J.Bool false) ->
+              fail "migrate: %s: guest died before the handoff" ctx
+          | Some _ | None -> fail "migrate: %s.migrated missing" ctx);
+          (match J.path row [ "parity" ] with
+          | Some (J.Bool true) -> ()
+          | Some (J.Bool false) ->
+              fail "migrate: %s: post-handoff digest diverged" ctx
+          | Some _ | None -> fail "migrate: %s.parity missing" ctx);
+          (* structural invariants of any transfer, fast or full *)
+          (match (geti row [ "final_dirty" ], geti row [ "pages_total" ]) with
+          | Some d, Some t when d > t ->
+              fail "migrate: %s: final dirty set (%d) exceeds live pages (%d)"
+                ctx d t
+          | None, _ | _, None ->
+              fail "migrate: %s page counts missing" ctx
+          | Some _, Some _ -> ());
+          (match (geti row [ "pages_copied" ], geti row [ "pages_total" ]) with
+          | Some c, Some t when c < t ->
+              fail "migrate: %s: copied %d pages but %d were live" ctx c t
+          | _ -> ());
+          (match geti row [ "snapshot_bytes" ] with
+          | Some b when b > 0 -> ()
+          | Some _ -> fail "migrate: %s: empty wire snapshot" ctx
+          | None -> fail "migrate: %s.snapshot_bytes missing" ctx);
+          (* downtime: present and positive — recorded, never compared *)
+          (match geti row [ "downtime_cycles" ] with
+          | Some d when d > 0 -> ()
+          | Some _ -> fail "migrate: %s: downtime_cycles not positive" ctx
+          | None -> fail "migrate: %s.downtime_cycles missing" ctx);
+          (* exact pins where this row is one the grids share *)
+          match (geti row [ "precopy_rounds" ], geti row [ "seed" ]) with
+          | Some pr, Some seed -> (
+              match List.assoc_opt (pr, seed) migrate_row_pins with
+              | None -> ()
+              | Some pins ->
+                  List.iter
+                    (fun (k, expected) ->
+                      match geti row [ k ] with
+                      | Some v when v = expected -> ()
+                      | Some v ->
+                          fail "migrate: %s.%s drifted: expected %d, got %d"
+                            ctx k expected v
+                      | None -> fail "migrate: %s.%s missing" ctx k)
+                    pins)
+          | _ -> fail "migrate: %s seed/precopy_rounds missing" ctx)
+        rows
+  | Some _ | None -> fail "migrate: rows missing or not a list"
+
+(* ---------------- golden snapshot artifact ---------------- *)
+
+(* Format-stability gate: the committed golden .fcsnap must decode with
+   today's decoder, and re-encoding the decoded value must reproduce the
+   committed bytes exactly.  Any codec change that breaks either is a
+   wire-format break: bump the version and regenerate the golden
+   deliberately (bin/facechange_cli.ml snapshot), never silently. *)
+let check_snapshot path =
+  match read_file path with
+  | Error e -> fail "cannot open: %s" e
+  | Ok wire -> (
+      match Fc_snapshot.Snapshot.decode wire with
+      | Error e ->
+          fail "golden snapshot rejected (%d bytes on disk): %s"
+            (String.length wire)
+            (Fc_snapshot.Snapshot.error_to_string e)
+      | Ok snap ->
+          let reencoded = Fc_snapshot.Snapshot.encode snap in
+          if not (String.equal reencoded wire) then
+            fail
+              "golden snapshot is not a fixed point: re-encoding yields %d \
+               bytes vs %d committed — the wire format changed without a \
+               version bump"
+              (String.length reencoded) (String.length wire);
+          (match Fc_snapshot.Snapshot.meta_find snap "kind" with
+          | Some _ -> ()
+          | None -> fail "golden snapshot carries no kind meta entry");
+          if snap.Fc_snapshot.Snapshot.s_tables = [||] then
+            fail "golden snapshot has no EPT tables")
+
+(* ---------------- driver ---------------- *)
+
 (* A missing or malformed artifact is a recorded failure, not an early
-   exit: the remaining artifacts still get validated. *)
+   exit: the remaining artifacts still get validated.  A parse failure
+   names the artifact (via the context prefix), its size on disk and the
+   byte offset the parser died at — enough to pull the artifact from CI
+   and look at the exact spot. *)
 let parse path =
   match read_file path with
   | Error e ->
@@ -886,11 +1022,11 @@ let parse path =
   | Ok s -> (
       match J.of_string s with
       | Error e ->
-          fail "not valid JSON: %s" e;
+          fail "not valid JSON (%d bytes on disk): %s" (String.length s) e;
           None
       | Ok j -> Some j)
 
-type kind = Results | Timeline | Chaos | Perf | Fleet | Telemetry
+type kind = Results | Timeline | Chaos | Perf | Fleet | Telemetry | Migrate | Snapshot
 
 let default_file = function
   | Results -> "BENCH_results.json"
@@ -899,21 +1035,34 @@ let default_file = function
   | Perf -> "BENCH_perf.json"
   | Fleet -> "BENCH_fleet.json"
   | Telemetry -> "BENCH_telemetry.json"
+  | Migrate -> "BENCH_migrate.json"
+  | Snapshot -> "bench/golden.fcsnap"
 
 (* Mode flags apply to the paths that follow them; bare paths keep the
    historical meaning (results, then its timeline).  Flags without a
-   path check that mode's default artifact. *)
+   path check that mode's default artifact — including when several
+   trailing flags stack (`--snapshot --migrate` checks both defaults). *)
 let parse_args args =
   let jobs = ref [] and mode = ref Results and flagged = ref false in
+  let flush_flag () =
+    if !flagged then jobs := (!mode, default_file !mode) :: !jobs
+  in
+  let set m =
+    flush_flag ();
+    mode := m;
+    flagged := true
+  in
   List.iter
     (fun a ->
       match a with
-      | "--chaos" -> mode := Chaos; flagged := true
-      | "--perf" -> mode := Perf; flagged := true
-      | "--fleet" -> mode := Fleet; flagged := true
-      | "--telemetry" -> mode := Telemetry; flagged := true
-      | "--results" -> mode := Results; flagged := true
-      | "--timeline" -> mode := Timeline; flagged := true
+      | "--chaos" -> set Chaos
+      | "--perf" -> set Perf
+      | "--fleet" -> set Fleet
+      | "--telemetry" -> set Telemetry
+      | "--results" -> set Results
+      | "--timeline" -> set Timeline
+      | "--migrate" -> set Migrate
+      | "--snapshot" -> set Snapshot
       | path ->
           flagged := false;
           jobs := (!mode, path) :: !jobs;
@@ -922,7 +1071,7 @@ let parse_args args =
              meant *)
           if !mode = Results then mode := Timeline)
     args;
-  if !flagged then jobs := (!mode, default_file !mode) :: !jobs;
+  flush_flag ();
   let jobs = List.rev !jobs in
   match jobs with
   | [] -> [ (Results, default_file Results); (Timeline, default_file Timeline) ]
@@ -936,19 +1085,24 @@ let parse_args args =
 
 let run_job (kind, path) =
   context := path;
-  (match parse path with
-  | None -> ()
-  | Some j -> (
-      match kind with
-      | Results ->
-          check_required j;
-          check_pinned j;
-          check_finite j
-      | Timeline -> check_timeline j
-      | Chaos -> check_chaos j
-      | Perf -> check_perf j
-      | Fleet -> check_fleet j
-      | Telemetry -> check_telemetry j));
+  (match kind with
+  | Snapshot -> check_snapshot path (* binary, not JSON *)
+  | _ -> (
+      match parse path with
+      | None -> ()
+      | Some j -> (
+          match kind with
+          | Results ->
+              check_required j;
+              check_pinned j;
+              check_finite j
+          | Timeline -> check_timeline j
+          | Chaos -> check_chaos j
+          | Perf -> check_perf j
+          | Fleet -> check_fleet j
+          | Telemetry -> check_telemetry j
+          | Migrate -> check_migrate j
+          | Snapshot -> assert false)));
   context := ""
 
 let () =
@@ -957,8 +1111,8 @@ let () =
   match List.rev !failures with
   | [] ->
       Printf.printf "check: %s ok (%d pinned results values, %d chaos pins, \
-                     %d perf pins, %d fleet pins, %d telemetry pins where \
-                     applicable)\n"
+                     %d perf pins, %d fleet pins, %d telemetry pins, %d \
+                     migrate pins where applicable)\n"
         (String.concat " + " (List.map snd jobs))
         (List.length pinned_ints + List.length pinned_bools)
         (List.length chaos_pins_100)
@@ -966,7 +1120,9 @@ let () =
            perf_counter_pins)
         (List.length fleet_cell_pins)
         (List.length telemetry_cell_pins + List.length telemetry_matrix_pins
-        + List.length telemetry_profile_pins);
+        + List.length telemetry_profile_pins)
+        (List.fold_left (fun acc (_, pins) -> acc + List.length pins) 0
+           migrate_row_pins);
       exit 0
   | fs ->
       List.iter (Printf.eprintf "check: %s\n") fs;

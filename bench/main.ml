@@ -229,8 +229,28 @@ let chaos ~fast profiles =
   let governed = Fc_benchkit.Chaos.run ~plans profiles in
   print_string (Fc_benchkit.Chaos.render governed);
   print_newline ();
-  let ungoverned = Fc_benchkit.Chaos.run ~plans ~governed:false profiles in
+  (* The ungoverned arm reproduces the paper's fragility, so it is where
+     panics live: run it in time-travel mode and keep the first few
+     last-boundary snapshots as replayable [.fcsnap] artifacts —
+     [facechange replay FILE] re-executes just the failing window. *)
+  let repro : (int * string * string) list ref = ref [] in
+  let on_panic ~seed ~panic snap =
+    if List.length !repro < 3 then begin
+      let file = Printf.sprintf "BENCH_repro_seed%d.fcsnap" seed in
+      Fc_snapshot.Snapshot.save snap file;
+      repro := (seed, panic, file) :: !repro
+    end
+  in
+  let ungoverned =
+    Fc_benchkit.Chaos.run ~plans ~governed:false ~snapshot_every:100 ~on_panic
+      profiles
+  in
   print_string (Fc_benchkit.Chaos.render ungoverned);
+  List.iter
+    (fun (seed, panic, file) ->
+      Printf.printf "repro snapshot for seed %d (%s) written to %s\n" seed
+        panic file)
+    (List.rev !repro);
   let open Fc_benchkit.Chaos in
   if governed.s_panics > 0 then
     unexpected_panic "chaos (governed): %d guest panic(s)" governed.s_panics;
@@ -244,6 +264,17 @@ let chaos ~fast profiles =
         ("plans", J.Int plans);
         ("governed", summary_to_json governed);
         ("ungoverned", summary_to_json ungoverned);
+        ( "repro_snapshots",
+          J.List
+            (List.rev_map
+               (fun (seed, panic, file) ->
+                 J.Obj
+                   [
+                     ("seed", J.Int seed);
+                     ("panic", J.String panic);
+                     ("file", J.String file);
+                   ])
+               !repro) );
       ]
   in
   let oc = open_out "BENCH_chaos.json" in
@@ -321,6 +352,36 @@ let fleet ~fast profiles =
        [
          ("pinned_guests", J.Int t.Fc_benchkit.Fleet.f_pinned_guests);
          ("fingerprints_identical", J.Bool (List.length fps <= 1));
+       ])
+
+let migrate ~fast profiles =
+  banner "Migrate: live migration (pre-copy dirty pages, wire-format handoff)";
+  let t = Fc_benchkit.Migration.run ~fast profiles in
+  print_string (Fc_benchkit.Migration.render t);
+  if not t.Fc_benchkit.Migration.g_parity_ok then
+    unexpected_panic "migrate: migrated digest diverged from the control run";
+  if t.Fc_benchkit.Migration.g_panics > 0 then
+    unexpected_panic "migrate: %d guest panic(s) under governed migration"
+      t.Fc_benchkit.Migration.g_panics;
+  let json =
+    J.Obj
+      [
+        ("schema_version", J.Int Fc_obs.Export.schema_version);
+        ("fast", J.Bool fast);
+        ("migrate", Fc_benchkit.Migration.to_json t);
+      ]
+  in
+  let oc = open_out "BENCH_migrate.json" in
+  output_string oc (J.to_string ~pretty:true json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "migrate artifact written to BENCH_migrate.json\n";
+  record "migrate"
+    (J.Obj
+       [
+         ("parity_ok", J.Bool t.Fc_benchkit.Migration.g_parity_ok);
+         ("panics", J.Int t.Fc_benchkit.Migration.g_panics);
+         ("rows", J.Int (List.length t.Fc_benchkit.Migration.g_rows));
        ])
 
 (* ------------------------------------------------------------------ *)
@@ -458,7 +519,7 @@ let micro profiles =
 
 let all_experiments =
   [ "smoke"; "table1"; "table2"; "fig3"; "fig4"; "fig5"; "fig6"; "fig7";
-    "ablations"; "chaos"; "perf"; "fleet"; "telemetry"; "micro" ]
+    "ablations"; "chaos"; "perf"; "fleet"; "migrate"; "telemetry"; "micro" ]
 
 let write_results path ~fast chosen =
   let json =
@@ -517,6 +578,7 @@ let () =
       | "chaos" -> chaos ~fast profiles
       | "perf" -> perf ~fast profiles
       | "fleet" -> fleet ~fast profiles
+      | "migrate" -> migrate ~fast profiles
       | "telemetry" -> telemetry profiles
       | "micro" -> micro profiles
       | _ -> assert false)

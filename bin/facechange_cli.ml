@@ -319,6 +319,136 @@ let chaos_cmd =
   in
   Cmd.v (Cmd.info "chaos" ~doc) Term.(const run $ plans $ seed $ no_governor)
 
+(* ---------------- snapshot / restore / replay ---------------- *)
+
+module Snapshot = Fc_snapshot.Snapshot
+
+let snapshot_cmd =
+  let doc =
+    "Freeze a deterministic enforced guest to a $(i,.fcsnap) file: boot \
+     the application under its view, run a fixed number of scheduler \
+     rounds, snapshot at the boundary.  The same invocation produces \
+     byte-identical files on every platform (the CI format-stability \
+     gate is built on exactly that)."
+  in
+  let out =
+    let doc = "Output snapshot file (default: $(i,APP).fcsnap)." in
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+  in
+  let rounds =
+    let doc = "Scheduler rounds to run before freezing." in
+    Arg.(value & opt int 40 & info [ "rounds" ] ~docv:"N" ~doc)
+  in
+  let run app_name out rounds iterations =
+    (match App.find app_name with
+    | None ->
+        Printf.eprintf "unknown application %s\n" app_name;
+        exit 1
+    | Some _ -> ());
+    let image = Lazy.force image in
+    let app = App.find_exn app_name in
+    let os = Os.create ~config:(App.os_config app) image in
+    let hyp = Hypervisor.attach os in
+    let fc = Facechange.enable hyp in
+    ignore (Facechange.load_view fc (App.profile image app));
+    ignore (Os.spawn os ~name:app_name (app.App.script iterations));
+    (try Os.run ~until:(fun t -> Os.round t >= rounds) ~max_rounds:50_000 os
+     with Os.Guest_panic m ->
+       Printf.eprintf "GUEST PANIC before the snapshot round: %s\n" m;
+       exit 1);
+    let snap =
+      Snapshot.capture
+        ~meta:
+          [
+            ("kind", "cli");
+            ("app", app_name);
+            ("round", string_of_int (Os.round os));
+          ]
+        ~fc ~hyp os
+    in
+    let path = Option.value out ~default:(app_name ^ ".fcsnap") in
+    Snapshot.save snap path;
+    print_string (Snapshot.describe snap);
+    Printf.printf "written to %s\n" path
+  in
+  Cmd.v (Cmd.info "snapshot" ~doc)
+    Term.(const run $ app_arg $ out $ rounds $ iterations_arg)
+
+let snap_file_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"FILE" ~doc:"A $(i,.fcsnap) snapshot file.")
+
+let load_or_die path =
+  match Snapshot.load path with
+  | Ok s -> s
+  | Error e ->
+      Printf.eprintf "%s: %s\n" path (Snapshot.error_to_string e);
+      exit 1
+
+let restore_cmd =
+  let doc =
+    "Verify and describe a $(i,.fcsnap) file (CRCs, section layout, \
+     captured layers); with $(b,--resume), rebuild the machine and run \
+     it to completion."
+  in
+  let resume =
+    let doc = "Restore the machine and resume execution." in
+    Arg.(value & flag & info [ "resume" ] ~doc)
+  in
+  let max_rounds =
+    let doc = "Scheduler round budget for $(b,--resume)." in
+    Arg.(value & opt int 50_000 & info [ "max-rounds" ] ~docv:"N" ~doc)
+  in
+  let run path resume max_rounds =
+    let snap = load_or_die path in
+    print_string (Snapshot.describe snap);
+    if resume then begin
+      let r = Snapshot.restore snap in
+      let os = r.Snapshot.r_os in
+      Printf.printf "resuming at round %d...\n%!" (Os.round os);
+      (match Os.run ~max_rounds os with
+      | () -> Printf.printf "completed at round %d\n" (Os.round os)
+      | exception Os.Guest_panic m -> Printf.printf "GUEST PANIC: %s\n" m);
+      match r.Snapshot.r_fc with
+      | Some fc -> Format.printf "%a@." Fc_core.Stats.pp (Fc_core.Stats.capture fc)
+      | None -> ()
+    end
+  in
+  Cmd.v (Cmd.info "restore" ~doc)
+    Term.(const run $ snap_file_arg $ resume $ max_rounds)
+
+let replay_cmd =
+  let doc =
+    "Time-travel replay: restore a chaos repro snapshot (written by the \
+     bench's ungoverned arm on a guest panic) and re-execute just the \
+     failing window — the fault-plan cursor re-arms the surviving \
+     events, so the recorded death reproduces deterministically."
+  in
+  let run path =
+    let snap = load_or_die path in
+    print_string (Snapshot.describe snap);
+    let meta k = Snapshot.meta_find snap k in
+    let budget =
+      match Option.bind (meta "max_rounds") int_of_string_opt with
+      | Some n -> n
+      | None -> 20_000
+    in
+    let r = Snapshot.restore snap in
+    let os = r.Snapshot.r_os in
+    Printf.printf "replaying%s from round %d (budget %d rounds)...\n%!"
+      (match meta "seed" with Some s -> " seed " ^ s | None -> "")
+      (Os.round os) budget;
+    match Os.run ~max_rounds:budget os with
+    | () -> Printf.printf "no death reproduced: guest ran to completion\n"
+    | exception Os.Guest_panic "scheduler round budget exhausted" ->
+        Printf.printf "guest wedged (round budget exhausted)\n"
+    | exception Os.Guest_panic m ->
+        Printf.printf "reproduced: GUEST PANIC: %s\n" m
+  in
+  Cmd.v (Cmd.info "replay" ~doc) Term.(const run $ snap_file_arg)
+
 (* ---------------- report ---------------- *)
 
 let report_cmd =
@@ -834,4 +964,5 @@ let () =
   exit (Cmd.eval (Cmd.group info
        [ apps_cmd; attacks_cmd; syscalls_cmd; profile_cmd; inspect_cmd;
          matrix_cmd; run_cmd; chaos_cmd; trace_cmd; stats_cmd; top_cmd;
-         timeline_cmd; calltree_cmd; report_cmd ]))
+         timeline_cmd; calltree_cmd; report_cmd; snapshot_cmd; restore_cmd;
+         replay_cmd ]))

@@ -7,6 +7,7 @@ module App = Fc_apps.App
 module Fault = Fc_faults.Fault
 module Frand = Fc_faults.Frand
 module Injector = Fc_faults.Injector
+module Snapshot = Fc_snapshot.Snapshot
 module J = Fc_obs.Jsonx
 
 type plan_row = {
@@ -63,7 +64,10 @@ let chaos_policy =
 let app_pool =
   [ "top"; "apache"; "gvim"; "tcpdump"; "bash"; "gzip"; "vsftpd"; "eog" ]
 
-let run_plan ?(governed = true) ?(policy = chaos_policy) profiles ~seed =
+let round_budget = 20_000
+
+let run_plan ?(governed = true) ?(policy = chaos_policy) ?snapshot_every
+    ?on_panic profiles ~seed =
   let r = Frand.create (seed lxor 0x5eed) in
   let name = Frand.pick r app_pool in
   let n = 4 + Frand.int r 7 in
@@ -84,11 +88,59 @@ let run_plan ?(governed = true) ?(policy = chaos_policy) profiles ~seed =
   in
   let inj = Injector.arm ~os ~hyp ~fc plan in
   let panic, wedged =
-    match Os.run ~max_rounds:20_000 os with
-    | () -> (None, false)
-    | exception Os.Guest_panic "scheduler round budget exhausted" ->
-        (None, true)
-    | exception Os.Guest_panic m -> (Some m, false)
+    match snapshot_every with
+    | None -> (
+        match Os.run ~max_rounds:round_budget os with
+        | () -> (None, false)
+        | exception Os.Guest_panic "scheduler round budget exhausted" ->
+            (None, true)
+        | exception Os.Guest_panic m -> (Some m, false))
+    | Some every ->
+        (* Time-travel mode: run in [every]-round windows, keeping the
+           last boundary snapshot.  A panic hands that snapshot (at most
+           [every] rounds before the death) to [on_panic] — restoring it
+           re-executes just the failing window. *)
+        if every < 1 then
+          invalid_arg "Chaos.run_plan: snapshot_every must be >= 1";
+        let take () =
+          let cursor = Injector.cursor inj ~position:(Os.round os) in
+          Snapshot.capture
+            ~meta:
+              [
+                ("kind", "chaos");
+                ("seed", string_of_int seed);
+                ("app", name);
+                ("governed", if governed then "true" else "false");
+                ("round", string_of_int (Os.round os));
+                ( "max_rounds",
+                  string_of_int (round_budget - Os.round os) );
+              ]
+            ~cursor ~fc ~hyp os
+        in
+        (* boot snapshot first: a panic inside the first window still has
+           a restore point *)
+        let last = ref (take ()) in
+        let rec windows () =
+          let stop_at = Os.round os + every in
+          match
+            Os.run
+              ~until:(fun t -> Os.round t >= stop_at)
+              ~max_rounds:(round_budget - Os.round os)
+              os
+          with
+          | () ->
+              if Os.round os >= stop_at then begin
+                last := take ();
+                windows ()
+              end
+              else (None, false) (* every process exited *)
+          | exception Os.Guest_panic "scheduler round budget exhausted" ->
+              (None, true)
+          | exception Os.Guest_panic m ->
+              Option.iter (fun f -> f ~seed ~panic:m !last) on_panic;
+              (Some m, false)
+        in
+        windows ()
   in
   Injector.disarm inj;
   let st = Stats.capture fc in
@@ -110,9 +162,12 @@ let run_plan ?(governed = true) ?(policy = chaos_policy) profiles ~seed =
     p_attribution_ok = Stats.attribution_ok st;
   }
 
-let run ?(plans = 100) ?(seed = 1) ?(governed = true) ?policy profiles =
+let run ?(plans = 100) ?(seed = 1) ?(governed = true) ?policy ?snapshot_every
+    ?on_panic profiles =
   let rows =
-    List.init plans (fun i -> run_plan ~governed ?policy profiles ~seed:(seed + i))
+    List.init plans (fun i ->
+        run_plan ~governed ?policy ?snapshot_every ?on_panic profiles
+          ~seed:(seed + i))
   in
   let sum f = List.fold_left (fun acc r -> acc + f r) 0 rows in
   {

@@ -55,20 +55,37 @@ val chaos_policy : Fc_core.Governor.policy
     short chaos guest can traverse the whole state machine (storm,
     degrade, renarrow, quarantine) within its run. *)
 
+val round_budget : int
+(** 20_000 — the scheduler round budget every plan runs under. *)
+
 val run_plan :
   ?governed:bool ->
   ?policy:Fc_core.Governor.policy ->
+  ?snapshot_every:int ->
+  ?on_panic:(seed:int -> panic:string -> Fc_snapshot.Snapshot.t -> unit) ->
   Profiles.t ->
   seed:int ->
   plan_row
 (** One seeded plan against one fresh guest.  [governed] defaults to
-    [true]; [policy] to {!chaos_policy}. *)
+    [true]; [policy] to {!chaos_policy}.
+
+    [snapshot_every] switches on time-travel mode: the guest runs in
+    windows of that many scheduler rounds, a full machine snapshot
+    (fault-plan cursor included) taken at each boundary, and a guest
+    panic hands the {e last boundary} snapshot — at most one window
+    before the death — to [on_panic].  The bench arm writes it out as a
+    [.fcsnap]; [facechange replay] restores it and re-executes just the
+    failing window.  Counters are unchanged by the mode: windowed
+    execution is behavior-invisible (the split-run differential property
+    in [test/test_snapshot.ml]). *)
 
 val run :
   ?plans:int ->
   ?seed:int ->
   ?governed:bool ->
   ?policy:Fc_core.Governor.policy ->
+  ?snapshot_every:int ->
+  ?on_panic:(seed:int -> panic:string -> Fc_snapshot.Snapshot.t -> unit) ->
   Profiles.t ->
   summary
 (** [plans] (default 100) consecutive seeds starting at [seed]

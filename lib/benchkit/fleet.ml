@@ -9,6 +9,7 @@ module Injector = Fc_faults.Injector
 module Frame_cache = Fc_mem.Frame_cache
 module HFleet = Fc_host.Fleet
 module Pool = Fc_host.Pool
+module Snapshot = Fc_snapshot.Snapshot
 module J = Fc_obs.Jsonx
 
 type cell = { c_report : HFleet.report; c_requested_domains : int }
@@ -18,6 +19,7 @@ type t = {
   f_parallel : bool;
   f_pinned_guests : int;
   f_pinned : cell list;
+  f_warm : cell list;
   f_sweep : cell list;
 }
 
@@ -38,7 +40,7 @@ let app_pool =
    armed guest must produce the same digest as a disarmed one — the
    probe is behavior-invisible — which bench/check.exe --telemetry
    gates. *)
-let run_guest ?telemetry profiles ~seed index =
+let run_guest ?telemetry ?(warm_start = false) profiles ~seed index =
   let gseed = Frand.mix seed index in
   let r = Frand.create gseed in
   let name = Frand.pick r app_pool in
@@ -57,10 +59,37 @@ let run_guest ?telemetry profiles ~seed index =
   let (_ : Fc_machine.Process.t) =
     Os.spawn os ~name:"fleet-companion" (companion.App.script 2)
   in
+  let inj = Injector.arm ~os ~hyp ~fc plan in
+  (* Warm start: freeze the fully-armed guest at its boot round, push it
+     through the wire format, and run the restored machine instead.  The
+     cell's digests must equal a cold boot's — the gate holds it there. *)
+  let os, hyp, fc, inj =
+    if not warm_start then (os, hyp, fc, inj)
+    else begin
+      let cursor = Injector.cursor inj ~position:(Os.round os) in
+      let snap =
+        Snapshot.capture
+          ~meta:[ ("kind", "warm-boot"); ("app", name) ]
+          ~cursor ~fc ~hyp os
+      in
+      Injector.disarm inj;
+      match Snapshot.decode (Snapshot.encode snap) with
+      | Error e ->
+          failwith
+            (Printf.sprintf "guest %d warm boot: %s" index
+               (Snapshot.error_to_string e))
+      | Ok s -> (
+          let rs = Snapshot.restore ~image:(Profiles.image profiles) s in
+          match (rs.Snapshot.r_hyp, rs.Snapshot.r_fc, rs.Snapshot.r_inj) with
+          | Some hyp, Some fc, Some inj -> (rs.Snapshot.r_os, hyp, fc, inj)
+          | _ ->
+              failwith
+                (Printf.sprintf "guest %d warm boot: layer missing" index))
+    end
+  in
   let probe =
     Option.map (fun period -> Probe.arm ~period ~os ~hyp ~fc ()) telemetry
   in
-  let inj = Injector.arm ~os ~hyp ~fc plan in
   let outcome =
     match Os.run ~max_rounds:12_000 os with
     | () -> "ok"
@@ -89,10 +118,11 @@ let run_guest ?telemetry profiles ~seed index =
     ~frame_keys:(Frame_cache.resident_keys (Hyp.frame_cache hyp))
     ()
 
-let run_cell ?telemetry profiles ~seed ~domains ~guests =
+let run_cell ?telemetry ?warm_start profiles ~seed ~domains ~guests =
   {
     c_report =
-      HFleet.run ~domains ~guests (run_guest ?telemetry profiles ~seed);
+      HFleet.run ~domains ~guests
+        (run_guest ?telemetry ?warm_start profiles ~seed);
     c_requested_domains = domains;
   }
 
@@ -104,12 +134,24 @@ let pinned_domains = [ 1; 2; 4 ]
 let sweep_grid ~fast =
   if fast then ([ 1; 2 ], [ 10; 30 ]) else ([ 1; 2; 4; 8 ], [ 10; 50; 150; 500 ])
 
+(* The warm cell re-runs the pinned fleet booted from wire-format
+   snapshots; smaller domain set — the digest parity it proves is
+   domain-count independent already. *)
+let warm_domains = [ 1; 2 ]
+
 let run ?(fast = false) ?(seed = 7) profiles =
   let pinned =
     List.map
       (fun domains ->
         run_cell profiles ~seed ~domains ~guests:pinned_guests)
       pinned_domains
+  in
+  let warm =
+    List.map
+      (fun domains ->
+        run_cell ~warm_start:true profiles ~seed ~domains
+          ~guests:pinned_guests)
+      warm_domains
   in
   let domain_counts, guest_counts = sweep_grid ~fast in
   let sweep =
@@ -125,6 +167,7 @@ let run ?(fast = false) ?(seed = 7) profiles =
     f_parallel = Pool.parallel;
     f_pinned_guests = pinned_guests;
     f_pinned = pinned;
+    f_warm = warm;
     f_sweep = sweep;
   }
 
@@ -168,6 +211,12 @@ let to_json t =
             ("guests", J.Int t.f_pinned_guests);
             ("cells", J.List (List.map cell_to_json t.f_pinned));
           ] );
+      ( "warm",
+        J.Obj
+          [
+            ("guests", J.Int t.f_pinned_guests);
+            ("cells", J.List (List.map cell_to_json t.f_warm));
+          ] );
       ("sweep", J.List (List.map cell_to_json t.f_sweep));
     ]
 
@@ -203,6 +252,15 @@ let render t =
   Buffer.add_string buf
     (Printf.sprintf "  pinned fingerprints across domain counts: %s\n"
        (if List.length fps <= 1 then "IDENTICAL" else "DIVERGED"));
+  Buffer.add_string buf "  warm-start cell (booted from snapshots):\n";
+  List.iter (line "warm ") t.f_warm;
+  let warm_fps =
+    List.sort_uniq String.compare
+      (List.map (fun c -> c.c_report.HFleet.r_fingerprint) t.f_warm)
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "  warm-start fingerprints vs cold boot: %s\n"
+       (if warm_fps = fps || warm_fps = [] then "IDENTICAL" else "DIVERGED"));
   Buffer.add_string buf "  sweep:\n";
   List.iter (line "sweep") t.f_sweep;
   Buffer.contents buf

@@ -25,6 +25,10 @@ type t = {
   f_parallel : bool;  (** the build's {!Fc_host.Pool.parallel} *)
   f_pinned_guests : int;
   f_pinned : cell list;  (** the fixed cell at 1, 2, 4 domains *)
+  f_warm : cell list;
+      (** the fixed cell again, every guest booted from a wire-format
+          snapshot ({!run_cell} [~warm_start:true]); its fingerprints
+          must equal the cold-boot pinned cell's *)
   f_sweep : cell list;  (** domains x guests grid (smaller with [fast]) *)
 }
 
@@ -35,12 +39,21 @@ val pinned_domains : int list
 (** [[1; 2; 4]] — the domain counts the pinned cell re-runs at. *)
 
 val run_cell :
-  ?telemetry:int -> Profiles.t -> seed:int -> domains:int -> guests:int -> cell
+  ?telemetry:int ->
+  ?warm_start:bool ->
+  Profiles.t ->
+  seed:int ->
+  domains:int ->
+  guests:int ->
+  cell
 (** One fleet: [guests] seeded guest VMs sharded over [domains].
     [telemetry] arms the {!Probe} on every guest at that period
     (instructions per interval); the probe is behavior-invisible, so an
     armed cell's fingerprint and counters match a disarmed one's —
-    [bench/check.exe --telemetry] holds it to that. *)
+    [bench/check.exe --telemetry] holds it to that.  [warm_start]
+    (default [false]) freezes each fully-armed guest at its boot round,
+    round-trips it through {!Fc_snapshot.Snapshot} wire bytes, and runs
+    the restored machine — digests must match a cold boot's. *)
 
 val run : ?fast:bool -> ?seed:int -> Profiles.t -> t
 (** The full arm: pinned cell (always 40 guests x domains {1,2,4}) plus

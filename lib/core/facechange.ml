@@ -517,27 +517,30 @@ let handle_invalid_opcode t (regs : Cpu.regs) =
 
 (* ---------------- lifecycle ---------------- *)
 
+(* The kernel-code EPT directory set, derived from the (deterministic)
+   image layout — shared by [enable] and the snapshot [restore]. *)
+let compute_all_dirs image =
+  let dir_of gva = Ept.dir_of_page (Layout.page_of (Layout.gva_to_gpa gva)) in
+  let acc = ref [] in
+  let add d = if not (List.mem d !acc) then acc := d :: !acc in
+  let rec sweep gva limit =
+    if gva < limit then begin
+      add (dir_of gva);
+      sweep (gva + (Ept.dir_span_pages * Layout.page_size)) limit
+    end
+  in
+  sweep (Image.text_base image) (Image.text_end image);
+  add (dir_of (Image.text_end image - 1));
+  sweep Layout.module_area_base Layout.module_area_limit;
+  add (dir_of (Layout.module_area_limit - 1));
+  List.rev !acc
+
 let enable ?(opts = default_opts) ?governor hyp =
   let os = Hyp.os hyp in
   let image = Os.image os in
   let ctx_switch_addr = Image.addr_of_exn image "__switch_to" in
   let resume_addr = Image.addr_of_exn image "resume_userspace" in
-  let dir_of gva = Ept.dir_of_page (Layout.page_of (Layout.gva_to_gpa gva)) in
-  let all_dirs =
-    let acc = ref [] in
-    let add d = if not (List.mem d !acc) then acc := d :: !acc in
-    let rec sweep gva limit =
-      if gva < limit then begin
-        add (dir_of gva);
-        sweep (gva + (Ept.dir_span_pages * Layout.page_size)) limit
-      end
-    in
-    sweep (Image.text_base image) (Image.text_end image);
-    add (dir_of (Image.text_end image - 1));
-    sweep Layout.module_area_base Layout.module_area_limit;
-    add (dir_of (Layout.module_area_limit - 1));
-    List.rev !acc
-  in
+  let all_dirs = compute_all_dirs image in
   let nvcpus = Os.vcpu_count (Hyp.os hyp) in
   let obs = Hyp.obs hyp in
   let m = Obs.metrics obs in
@@ -603,6 +606,8 @@ let enable ?(opts = default_opts) ?governor hyp =
       List.fold_left (fun n v -> n + View.private_page_count v) 0 t.views);
   Metrics.gauge m ~subsystem:"fc" "shared_frames" (fun () -> shared_frames t);
   Metrics.gauge m ~subsystem:"fc" "cow_breaks" (fun () -> cow_breaks t);
+  Metrics.gauge m ~subsystem:"fc" "recovery_log_dropped" (fun () ->
+      Recovery_log.dropped t.log);
   Hyp.on_breakpoint hyp (fun _hyp regs addr -> handle_kernel_view_trap t regs addr);
   Hyp.on_invalid_opcode hyp (fun _hyp regs -> handle_invalid_opcode t regs);
   Hyp.set_breakpoint hyp ctx_switch_addr;
@@ -673,3 +678,109 @@ let disable t =
     t.bindings <- [];
     Hashtbl.reset t.saved_bindings
   end
+
+(* ---------------- snapshot: freeze / restore ---------------- *)
+
+type frozen = {
+  zf_opts : opts;
+  zf_views : View.frozen list; (* load order *)
+  zf_bindings : (string * int) list; (* assoc order kept verbatim *)
+  zf_next_index : int;
+  zf_active : int list; (* per vCPU *)
+  zf_pending : int option list; (* per vCPU *)
+  zf_retired_cow_breaks : int;
+  zf_governor : Governor.frozen option;
+  zf_saved_bindings : (string * int) list; (* sorted *)
+  zf_log : string; (* Recovery_log.to_string, retained window *)
+  zf_log_dropped : int;
+  zf_log_cap : int;
+  zf_enabled : bool;
+}
+
+let freeze t ~table_id =
+  {
+    zf_opts = t.opts;
+    zf_views = List.map (View.freeze ~table_id) t.views;
+    zf_bindings = t.bindings;
+    zf_next_index = t.next_index;
+    zf_active = Array.to_list t.active;
+    zf_pending = Array.to_list t.pending;
+    zf_retired_cow_breaks = t.retired_cow_breaks;
+    zf_governor = Option.map Governor.freeze t.governor;
+    zf_saved_bindings =
+      List.sort compare
+        (Hashtbl.fold (fun c i acc -> (c, i) :: acc) t.saved_bindings []);
+    zf_log = Recovery_log.to_string t.log;
+    zf_log_dropped = Recovery_log.dropped t.log;
+    zf_log_cap = Recovery_log.cap t.log;
+    zf_enabled = t.enabled;
+  }
+
+let restore ~hyp ~table_of (z : frozen) =
+  let os = Hyp.os hyp in
+  let image = Os.image os in
+  let log =
+    match Recovery_log.of_string ~cap:z.zf_log_cap z.zf_log with
+    | Ok l ->
+        Recovery_log.restore_dropped l z.zf_log_dropped;
+        l
+    | Error e -> invalid_arg ("Facechange.restore: bad recovery log: " ^ e)
+  in
+  let obs = Hyp.obs hyp in
+  let m = Obs.metrics obs in
+  let t =
+    {
+      hyp;
+      obs;
+      opts = z.zf_opts;
+      views = List.map (fun zv -> View.restore ~hyp ~table_of zv) z.zf_views;
+      bindings = z.zf_bindings;
+      next_index = z.zf_next_index;
+      active = Array.of_list z.zf_active;
+      pending = Array.of_list z.zf_pending;
+      ctx_switch_addr = Image.addr_of_exn image "__switch_to";
+      resume_addr = Image.addr_of_exn image "resume_userspace";
+      all_dirs = compute_all_dirs image;
+      log;
+      switches = Metrics.counter m ~subsystem:"fc" "view_switches";
+      switch_skips = Metrics.counter m ~subsystem:"fc" "switches_skipped";
+      deferred = Metrics.counter m ~subsystem:"fc" "switches_deferred";
+      recoveries = Metrics.counter m ~subsystem:"fc" "recoveries";
+      recovered_bytes = Metrics.counter m ~subsystem:"fc" "recovered_bytes";
+      recovery_bytes_h = Metrics.histogram m ~subsystem:"fc" "recovery_bytes";
+      view_build_cycles = Metrics.histogram m ~subsystem:"fc" "view_build_cycles";
+      switches_f = Metrics.counter_family m ~subsystem:"fc" "view_switches";
+      recoveries_f = Metrics.counter_family m ~subsystem:"fc" "recoveries";
+      recovered_bytes_f = Metrics.counter_family m ~subsystem:"fc" "recovered_bytes";
+      retired_cow_breaks = z.zf_retired_cow_breaks;
+      governor = Option.map Governor.thaw z.zf_governor;
+      saved_bindings =
+        (let h = Hashtbl.create 8 in
+         List.iter (fun (c, i) -> Hashtbl.replace h c i) z.zf_saved_bindings;
+         h);
+      storms = Metrics.counter m ~subsystem:"fc" "storms";
+      degraded_c = Metrics.counter m ~subsystem:"fc" "degradations";
+      renarrowed_c = Metrics.counter m ~subsystem:"fc" "renarrows";
+      quarantined_c = Metrics.counter m ~subsystem:"fc" "quarantines";
+      broken_walks = Metrics.counter m ~subsystem:"fc" "broken_backtraces";
+      tolerated = Metrics.counter m ~subsystem:"fc" "tolerated_faults";
+      degraded_f = Metrics.counter_family m ~subsystem:"fc" "degradations";
+      enabled = z.zf_enabled;
+    }
+  in
+  (* no counter resets here (the codec's metrics section is applied after
+     every layer is restored); gauges re-register over the new instance *)
+  Metrics.gauge m ~subsystem:"fc" "views_loaded" (fun () -> List.length t.views);
+  Metrics.gauge m ~subsystem:"fc" "view_pages" (fun () ->
+      List.fold_left (fun n v -> n + View.private_page_count v) 0 t.views);
+  Metrics.gauge m ~subsystem:"fc" "shared_frames" (fun () -> shared_frames t);
+  Metrics.gauge m ~subsystem:"fc" "cow_breaks" (fun () -> cow_breaks t);
+  Metrics.gauge m ~subsystem:"fc" "recovery_log_dropped" (fun () ->
+      Recovery_log.dropped t.log);
+  Hyp.on_breakpoint hyp (fun _hyp regs addr -> handle_kernel_view_trap t regs addr);
+  Hyp.on_invalid_opcode hyp (fun _hyp regs -> handle_invalid_opcode t regs);
+  (* breakpoints are NOT re-set: the __switch_to trap (and the resume
+     trap, when a deferred switch was pending) live in the restored trap
+     set already — setting them again would bump the trap generation a
+     second time *)
+  t

@@ -131,3 +131,32 @@ val broken_backtraces : t -> int
 val tolerated_faults : t -> int
 (** Unhandled invalid-opcode exits swallowed for already-quarantined
     comms. *)
+
+(** {1 Snapshot: freeze / restore} *)
+
+type frozen = {
+  zf_opts : opts;
+  zf_views : View.frozen list;  (** load order *)
+  zf_bindings : (string * int) list;
+  zf_next_index : int;
+  zf_active : int list;  (** per vCPU *)
+  zf_pending : int option list;  (** per vCPU *)
+  zf_retired_cow_breaks : int;
+  zf_governor : Governor.frozen option;
+  zf_saved_bindings : (string * int) list;  (** sorted *)
+  zf_log : string;  (** {!Recovery_log.to_string}, retained window *)
+  zf_log_dropped : int;
+  zf_log_cap : int;
+  zf_enabled : bool;
+}
+
+val freeze : t -> table_id:(Fc_mem.Ept.table -> int) -> frozen
+
+val restore :
+  hyp:Fc_hypervisor.Hypervisor.t ->
+  table_of:(int -> Fc_mem.Ept.table) -> frozen -> t
+(** Re-enable FACE-CHANGE from a frozen image on a restored hypervisor:
+    views, bindings, per-vCPU active/pending switches, the governor and
+    the recovery log come back verbatim; the breakpoint and
+    invalid-opcode handlers are installed, but no breakpoints are set —
+    the guest's restored trap set already holds them. *)

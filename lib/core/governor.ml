@@ -128,3 +128,47 @@ let note_renarrowed t ~comm =
   a.st <- Narrow;
   a.unhandled <- 0;
   Queue.clear a.recent
+
+(* ---------------- snapshot state ---------------- *)
+
+type frozen_app = {
+  za_st : state;
+  za_recent : int list; (* event-window cycles, oldest first *)
+  za_degradations : int;
+  za_degraded_at : int;
+  za_unhandled : int;
+}
+
+type frozen = { zg_policy : policy; zg_apps : (string * frozen_app) list }
+
+let freeze t =
+  {
+    zg_policy = t.policy;
+    zg_apps =
+      List.sort compare
+        (Hashtbl.fold
+           (fun comm a acc ->
+             ( comm,
+               {
+                 za_st = a.st;
+                 za_recent = List.of_seq (Queue.to_seq a.recent);
+                 za_degradations = a.degradations;
+                 za_degraded_at = a.degraded_at;
+                 za_unhandled = a.unhandled;
+               } )
+             :: acc)
+           t.apps []);
+  }
+
+let thaw z =
+  let t = create z.zg_policy in
+  List.iter
+    (fun (comm, za) ->
+      let a = app t comm in
+      a.st <- za.za_st;
+      List.iter (fun c -> Queue.push c a.recent) za.za_recent;
+      a.degradations <- za.za_degradations;
+      a.degraded_at <- za.za_degraded_at;
+      a.unhandled <- za.za_unhandled)
+    z.zg_apps;
+  t

@@ -98,3 +98,25 @@ val note_renarrowed : t -> comm:string -> unit
 (** The caller re-bound [comm] to its narrow view; back to {!Narrow}.
     The degradation count is kept, so a comm that keeps storming still
     converges to quarantine. *)
+
+(** {1 Snapshot state}
+
+    The complete per-comm decision state as plain data — the sliding
+    event windows included, because a restored guest must make the same
+    throttle/storm/quarantine decisions at the same cycles as one that
+    never stopped. *)
+
+type frozen_app = {
+  za_st : state;
+  za_recent : int list;  (** event-window cycles, oldest first *)
+  za_degradations : int;
+  za_degraded_at : int;
+  za_unhandled : int;
+}
+
+type frozen = { zg_policy : policy; zg_apps : (string * frozen_app) list }
+
+val freeze : t -> frozen
+(** Comms sorted, windows oldest-first: byte-stable for the codec. *)
+
+val thaw : frozen -> t

@@ -13,20 +13,46 @@ type entry = {
   unknown_frames : bool;
 }
 
-type t = { mutable rev_entries : entry list; mutable count : int }
+(* Retention is bounded: a chaos/soak run appending recoveries forever
+   must not grow the log without bound.  [rev_entries] holds at most
+   [cap] entries (newest first); older ones are dropped in batches —
+   one O(cap) trim per cap/4 adds, amortized O(1) — and only counted. *)
+type t = {
+  cap : int;
+  mutable rev_entries : entry list;
+  mutable retained : int;
+  mutable dropped : int;
+}
 
-let create () = { rev_entries = []; count = 0 }
+let default_cap = 4096
+
+let create ?(cap = default_cap) () =
+  { cap = max 1 cap; rev_entries = []; retained = 0; dropped = 0 }
+
+let rec take n = function
+  | x :: rest when n > 0 -> x :: take (n - 1) rest
+  | _ -> []
 
 let add t e =
   t.rev_entries <- e :: t.rev_entries;
-  t.count <- t.count + 1
+  t.retained <- t.retained + 1;
+  if t.retained > t.cap then begin
+    let keep = t.cap - (t.cap / 4) in
+    t.rev_entries <- take keep t.rev_entries;
+    t.dropped <- t.dropped + (t.retained - keep);
+    t.retained <- keep
+  end
 
 let entries t = List.rev t.rev_entries
-let count t = t.count
+let count t = t.retained + t.dropped
+let cap t = t.cap
+let dropped t = t.dropped
+let restore_dropped t n = t.dropped <- max 0 n
 
 let clear t =
   t.rev_entries <- [];
-  t.count <- 0
+  t.retained <- 0;
+  t.dropped <- 0
 
 let recovered_symbols t =
   List.concat_map (fun e -> List.map (fun (_, _, s) -> s) e.recovered) (entries t)
@@ -110,6 +136,7 @@ let to_json t =
   Jsonx.Obj
     [
       ("count", Jsonx.Int (count t));
+      ("dropped", Jsonx.Int t.dropped);
       ("entries", Jsonx.List (List.map entry_to_json (entries t)));
     ]
 
@@ -155,7 +182,7 @@ let split_tokens n line =
   in
   go [] 0 n
 
-let of_string text =
+let of_string ?cap text =
   let exception Bad of string in
   let int_of s =
     match int_of_string_opt s with
@@ -163,7 +190,7 @@ let of_string text =
     | None -> raise (Bad ("bad integer " ^ s))
   in
   try
-    let t = create () in
+    let t = create ?cap () in
     let current = ref None in
     let flush () =
       match !current with

@@ -36,12 +36,29 @@ type entry = {
 
 type t
 
-val create : unit -> t
+val create : ?cap:int -> unit -> t
+(** [cap] (default 4096) bounds the {e retained} entries: a soak run
+    appending recoveries forever keeps at most [cap] of the newest
+    entries in memory; older ones are dropped (in amortized-O(1)
+    batches) and only counted. *)
+
 val add : t -> entry -> unit
 val entries : t -> entry list
-(** Chronological. *)
+(** Chronological — the retained window (at most [cap] entries). *)
 
 val count : t -> int
+(** Total entries ever added: retained plus dropped. *)
+
+val cap : t -> int
+
+val dropped : t -> int
+(** Entries trimmed by the retention cap (surfaced as the
+    [fc.recovery_log_dropped] gauge). *)
+
+val restore_dropped : t -> int -> unit
+(** Snapshot-restore hook: reinstate the dropped count alongside a log
+    rebuilt from {!of_string}. *)
+
 val clear : t -> unit
 
 val recovered_symbols : t -> string list
@@ -73,7 +90,7 @@ val to_string : t -> string
 (** Line-oriented serialization of the full log (entries, backtraces,
     instant recoveries) — the evidence artifact an administrator archives. *)
 
-val of_string : string -> (t, string) result
+val of_string : ?cap:int -> string -> (t, string) result
 (** Inverse of {!to_string} (frame byte dumps are preserved). *)
 
 val save : t -> string -> unit

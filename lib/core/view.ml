@@ -315,3 +315,62 @@ let destroy t =
     Hashtbl.iter (fun _ frame -> Phys.free phys frame) t.page_frames;
     Hashtbl.reset t.page_frames
   end
+
+(* ---------------- snapshot: freeze / restore ---------------- *)
+
+type frozen = {
+  zv_index : int;
+  zv_config : string; (* View_config.to_string *)
+  zv_share : bool;
+  zv_tables : (int * int) list; (* dir -> pool table id, list order kept *)
+  zv_page_frames : (int * int) list; (* gpa_page -> frame, sorted *)
+  zv_loaded_bytes : int;
+  zv_cow_breaks : int;
+  zv_destroyed : bool;
+}
+
+let freeze t ~table_id =
+  {
+    zv_index = t.index;
+    zv_config = Fc_profiler.View_config.to_string t.config;
+    zv_share = t.share;
+    zv_tables = List.map (fun (d, tbl) -> (d, table_id tbl)) t.tables;
+    zv_page_frames =
+      List.sort compare
+        (Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.page_frames []);
+    zv_loaded_bytes = t.loaded_bytes;
+    zv_cow_breaks = t.cow_breaks;
+    zv_destroyed = t.destroyed;
+  }
+
+let restore ~hyp ~table_of (z : frozen) =
+  let config =
+    match Fc_profiler.View_config.of_string z.zv_config with
+    | Ok c -> c
+    | Error e -> invalid_arg ("View.restore: bad embedded config: " ^ e)
+  in
+  let page_frames = Hashtbl.create 256 in
+  List.iter (fun (p, f) -> Hashtbl.replace page_frames p f) z.zv_page_frames;
+  (* page frames carry their references through the restored pool, so no
+     refcounts are taken here; [destroy] stays balanced *)
+  {
+    hyp;
+    index = z.zv_index;
+    config;
+    share = z.zv_share;
+    tables = List.map (fun (d, id) -> (d, table_of id)) z.zv_tables;
+    page_frames;
+    pages_materialized =
+      Metrics.counter
+        (Obs.metrics (Hyp.obs hyp))
+        ~subsystem:"view" "pages_materialized";
+    cow_breaks_c =
+      Metrics.family_counter
+        (Metrics.counter_family
+           (Obs.metrics (Hyp.obs hyp))
+           ~subsystem:"view" "cow_breaks")
+        config.Fc_profiler.View_config.app;
+    loaded_bytes = z.zv_loaded_bytes;
+    cow_breaks = z.zv_cow_breaks;
+    destroyed = z.zv_destroyed;
+  }

@@ -80,3 +80,25 @@ val covers : t -> gva:int -> bool
 
 val destroy : t -> unit
 (** Free all private frames (view unload, §III-B4). *)
+
+(** {1 Snapshot: freeze / restore} *)
+
+type frozen = {
+  zv_index : int;
+  zv_config : string;  (** {!Fc_profiler.View_config.to_string} text *)
+  zv_share : bool;
+  zv_tables : (int * int) list;  (** dir -> pool table id, list order *)
+  zv_page_frames : (int * int) list;  (** gpa_page -> frame, sorted *)
+  zv_loaded_bytes : int;
+  zv_cow_breaks : int;
+  zv_destroyed : bool;
+}
+
+val freeze : t -> table_id:(Fc_mem.Ept.table -> int) -> frozen
+
+val restore :
+  hyp:Fc_hypervisor.Hypervisor.t ->
+  table_of:(int -> Fc_mem.Ept.table) -> frozen -> t
+(** Rebuild a view over the restored frame pool.  The view's frame
+    references were restored with the pool, so no frames are allocated,
+    copied or re-referenced — restore is pure bookkeeping. *)

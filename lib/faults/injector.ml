@@ -17,6 +17,7 @@ type t = {
   hyp : Hyp.t;
   fc : Facechange.t;
   obs : Obs.t;
+  plan : Fault.plan;
   switch_addr : int;
   injected_c : Metrics.counter;
   injected_f : Metrics.family; (* faults.injected{kind} *)
@@ -149,32 +150,28 @@ let apply_at_round t kind =
       feed_config t overlapping_config;
       note t kind
 
-let arm ~os ~hyp ~fc (plan : Fault.plan) =
+let mk ~os ~hyp ~fc (plan : Fault.plan) =
   let m = Obs.metrics (Os.obs os) in
-  let t =
-    {
-      os;
-      hyp;
-      fc;
-      obs = Os.obs os;
-      switch_addr = Image.addr_of_exn (Os.image os) "__switch_to";
-      injected_c = Metrics.counter m ~subsystem:"faults" "injected";
-      injected_f = Metrics.counter_family m ~subsystem:"faults" "injected";
-      bp_misses_c = Metrics.counter m ~subsystem:"faults" "bp_misses";
-      config_rejects_c = Metrics.counter m ~subsystem:"faults" "config_rejects";
-      validation_misses_c =
-        Metrics.counter m ~subsystem:"faults" "validation_misses";
-      miss_budget = 0;
-      queue = [];
-      armed = true;
-    }
-  in
-  List.iter Metrics.reset
-    [
-      t.injected_c; t.bp_misses_c; t.config_rejects_c; t.validation_misses_c;
-    ];
-  Metrics.reset_family t.injected_f;
-  Os.set_fault_hooks os
+  {
+    os;
+    hyp;
+    fc;
+    obs = Os.obs os;
+    plan;
+    switch_addr = Image.addr_of_exn (Os.image os) "__switch_to";
+    injected_c = Metrics.counter m ~subsystem:"faults" "injected";
+    injected_f = Metrics.counter_family m ~subsystem:"faults" "injected";
+    bp_misses_c = Metrics.counter m ~subsystem:"faults" "bp_misses";
+    config_rejects_c = Metrics.counter m ~subsystem:"faults" "config_rejects";
+    validation_misses_c =
+      Metrics.counter m ~subsystem:"faults" "validation_misses";
+    miss_budget = 0;
+    queue = [];
+    armed = true;
+  }
+
+let install_hooks t =
+  Os.set_fault_hooks t.os
     (Some
        {
          Os.fh_trap_miss =
@@ -193,12 +190,27 @@ let arm ~os ~hyp ~fc (plan : Fault.plan) =
                | kind :: rest ->
                    t.queue <- rest;
                    apply_in_context t kind);
-       });
+       })
+
+(* Register the plan's round callbacks, skipping events at or before
+   [after] (they fired before a snapshot was taken). *)
+let schedule_events t ~after =
   List.iter
     (fun (e : Fault.event) ->
-      Os.schedule_at_round os e.Fault.at_round (fun _ ->
-          if t.armed then apply_at_round t e.Fault.kind))
-    plan.Fault.faults;
+      if e.Fault.at_round > after then
+        Os.schedule_at_round t.os e.Fault.at_round (fun _ ->
+            if t.armed then apply_at_round t e.Fault.kind))
+    t.plan.Fault.faults
+
+let arm ~os ~hyp ~fc (plan : Fault.plan) =
+  let t = mk ~os ~hyp ~fc plan in
+  List.iter Metrics.reset
+    [
+      t.injected_c; t.bp_misses_c; t.config_rejects_c; t.validation_misses_c;
+    ];
+  Metrics.reset_family t.injected_f;
+  install_hooks t;
+  schedule_events t ~after:min_int;
   t
 
 let disarm t =
@@ -208,3 +220,34 @@ let disarm t =
     t.miss_budget <- 0;
     Os.set_fault_hooks t.os None
   end
+
+(* ---------------- snapshot: cursor / rearm ---------------- *)
+
+type cursor = {
+  cu_seed : int;
+  cu_events : Fault.event list;
+  cu_position : int; (* last scheduler round executed before the snapshot *)
+  cu_queue : Fault.kind list;
+  cu_miss_budget : int;
+}
+
+let cursor t ~position =
+  {
+    cu_seed = t.plan.Fault.seed;
+    cu_events = t.plan.Fault.faults;
+    cu_position = position;
+    cu_queue = t.queue;
+    cu_miss_budget = t.miss_budget;
+  }
+
+let rearm ~os ~hyp ~fc (c : cursor) =
+  let t = mk ~os ~hyp ~fc { Fault.seed = c.cu_seed; faults = c.cu_events } in
+  t.queue <- c.cu_queue;
+  t.miss_budget <- c.cu_miss_budget;
+  (* no metric resets: the snapshot codec restores the faults.* counters
+     after every layer is re-attached *)
+  install_hooks t;
+  (* rounds are absolute and [Os.thaw] restored the round counter, so
+     events strictly after the cursor fire at their original rounds *)
+  schedule_events t ~after:c.cu_position;
+  t

@@ -43,3 +43,29 @@ val config_rejects : t -> int
 val validation_misses : t -> int
 (** Malformed configs that {e parsed} — should stay 0; anything else is
     a validation hole. *)
+
+(** {1 Snapshot: cursor / rearm} *)
+
+type cursor = {
+  cu_seed : int;  (** the plan's generator seed (replay provenance) *)
+  cu_events : Fault.event list;  (** the full plan, absolute rounds *)
+  cu_position : int;  (** last round executed before the snapshot *)
+  cu_queue : Fault.kind list;  (** queued in-context faults, FIFO *)
+  cu_miss_budget : int;  (** breakpoint misses still to swallow *)
+}
+
+val cursor : t -> position:int -> cursor
+(** The injector's replay state at a round boundary: everything needed to
+    re-arm the {e remainder} of the plan on a restored guest. *)
+
+val rearm :
+  os:Fc_machine.Os.t ->
+  hyp:Fc_hypervisor.Hypervisor.t ->
+  fc:Fc_core.Facechange.t ->
+  cursor ->
+  t
+(** Like {!arm}, but resumes from a cursor: only events strictly after
+    [cu_position] are scheduled (earlier ones fired before the snapshot,
+    and their effects live in the restored machine), the in-context fault
+    queue and miss budget carry over, and no [faults.*] metrics are
+    reset. *)

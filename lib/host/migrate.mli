@@ -1,0 +1,62 @@
+(** Live guest migration: iterative pre-copy over the dirty-page tracker,
+    then stop-and-copy through the snapshot wire format.
+
+    The page-granular dirty log is {!Fc_mem.Phys_mem.versions_snapshot}
+    deltas — a page is dirty between two instants iff its version moved
+    (allocation bumps versions, so freshly mapped pages count too).
+    Iteration 1 ships every live page; each later iteration lets the
+    guest run [window_rounds] scheduler rounds and ships only what it
+    dirtied.  The final dirty set rides inside the [.fcsnap] container,
+    which is encoded, decoded and restored — the destination only ever
+    sees bytes that crossed the wire, so every migration also exercises
+    the format end to end.
+
+    Downtime is a deterministic cycle cost model (quiesce + per-page copy
+    + per-KiB wire charge), recorded by the bench arm and never pinned by
+    the gate; the pinned counters are the page/byte/round numbers, which
+    are exact for a seeded guest. *)
+
+type guest = {
+  g_os : Fc_machine.Os.t;
+  g_hyp : Fc_hypervisor.Hypervisor.t option;
+  g_fc : Fc_core.Facechange.t option;
+  g_inj : Fc_faults.Injector.t option;
+}
+
+type round_stat = {
+  mr_round : int;  (** guest scheduler round when this copy ran *)
+  mr_pages : int;
+  mr_bytes : int;
+}
+
+type report = {
+  m_precopy : round_stat list;  (** one entry per pre-copy iteration *)
+  m_rounds_run : int;  (** scheduler rounds executed during pre-copy *)
+  m_pages_total : int;  (** live frames at stop-and-copy *)
+  m_final_dirty : int;  (** pages shipped during the blackout *)
+  m_pages_copied : int;  (** total shipped, pre-copy + final *)
+  m_bytes_copied : int;
+  m_snapshot_bytes : int;  (** the [.fcsnap] container size *)
+  m_downtime_cycles : int;  (** cost model — never gated *)
+}
+
+val downtime : final_dirty:int -> snapshot_bytes:int -> int
+(** The stop-and-copy cost model, exposed so benches can tabulate
+    downtime against pre-copy round counts without running a guest. *)
+
+val migrate :
+  ?obs:Fc_obs.Obs.t ->
+  ?image:Fc_kernel.Image.t ->
+  ?precopy_rounds:int ->
+  window_rounds:int ->
+  guest ->
+  guest * report
+(** Move [guest] to a fresh machine (its own metrics registry unless
+    [obs] shares one) — in the fleet bench, from one pool shard to
+    another.  [precopy_rounds] (default 3, min 1) counts copy
+    iterations including the initial full copy; the source's injector is
+    disarmed and re-armed on the destination from its cursor.  The
+    source guest is left stopped; resume the destination with
+    {!Fc_machine.Os.run}.  Raises [Failure] if the wire bytes fail to
+    decode (cannot happen short of memory corruption) and propagates
+    guest panics from the pre-copy windows. *)

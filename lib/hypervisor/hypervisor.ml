@@ -271,3 +271,54 @@ let detach t =
   Os.set_exit_handler t.os (fun _ _ -> function
     | Os.Exit_breakpoint _ -> Os.Resume
     | Os.Exit_invalid_opcode -> Os.Panic "invalid opcode in guest kernel (no hypervisor)")
+
+(* ---------------- snapshot: freeze / restore ---------------- *)
+
+type frozen = {
+  zh_tables : (int * int) list; (* EPT dir -> pool table id, sorted *)
+  zh_cache : (string * int * int) list; (* Frame_cache.export *)
+}
+
+let freeze t ~table_id =
+  {
+    zh_tables =
+      List.sort compare
+        (Hashtbl.fold
+           (fun dir tbl acc -> (dir, table_id tbl) :: acc)
+           t.original_tables []);
+    zh_cache = Fc_mem.Frame_cache.export t.frame_cache;
+  }
+
+let restore ~os ~table_of (z : frozen) =
+  let obs = Os.obs os in
+  let m = Obs.metrics obs in
+  let original_tables = Hashtbl.create 16 in
+  List.iter
+    (fun (dir, id) -> Hashtbl.replace original_tables dir (table_of id))
+    z.zh_tables;
+  let frame_cache = Fc_mem.Frame_cache.create ~obs (Os.phys os) in
+  Fc_mem.Frame_cache.import frame_cache z.zh_cache;
+  let t =
+    {
+      os;
+      obs;
+      original_tables;
+      frame_cache;
+      symbols = Symbols.create ();
+      visible_modules = [];
+      bp_handlers = [];
+      io_handler = (fun _ _ -> `Unhandled "invalid opcode (no recovery installed)");
+      breakpoint_exits = Metrics.counter m ~subsystem:"hyp" "breakpoint_exits";
+      invalid_opcode_exits =
+        Metrics.counter m ~subsystem:"hyp" "invalid_opcode_exits";
+      cycles_charged = Metrics.counter m ~subsystem:"hyp" "cycles_charged";
+      charge_cycles = Metrics.histogram m ~subsystem:"hyp" "charge_cycles";
+      app_cycles = Metrics.counter_family m ~subsystem:"hyp" "cycles_charged";
+      app_memo = None;
+    }
+  in
+  (* no counter resets here: the codec applies its metrics section after
+     every layer is restored, and a fresh registry already reads zero *)
+  refresh_symbols t;
+  Os.set_exit_handler os (fun _os regs exit -> dispatch_exit t regs exit);
+  t

@@ -134,3 +134,22 @@ val render_addr : t -> int -> string
     ["0xf8078bbe <UNKNOWN>"] otherwise. *)
 
 val addr_of_symbol : t -> string -> int option
+
+(** {1 Snapshot: freeze / restore} *)
+
+type frozen = {
+  zh_tables : (int * int) list;
+      (** the pristine-view EPT leaf tables, dir -> pool table id, sorted *)
+  zh_cache : (string * int * int) list;
+      (** {!Fc_mem.Frame_cache.export} of the content-keyed frame cache *)
+}
+
+val freeze : t -> table_id:(Fc_mem.Ept.table -> int) -> frozen
+
+val restore :
+  os:Fc_machine.Os.t -> table_of:(int -> Fc_mem.Ept.table) -> frozen -> t
+(** Re-attach a hypervisor to a thawed guest without re-deriving state
+    from the live EPT (the way {!attach} does): the pristine table set
+    and frame cache come from the snapshot, symbols are refreshed from
+    restored guest RAM, the exit handler is installed, and no counters
+    are reset — the codec's metrics section is applied afterwards. *)

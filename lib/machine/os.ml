@@ -1464,3 +1464,340 @@ let run_process_solo t (p : Process.t) =
   in
   if others_live then invalid_arg "Os.run_process_solo: other processes are live";
   run t
+
+(* ---------------- snapshot: freeze / thaw ---------------- *)
+
+(* The frozen image captures everything [run] consults that cannot be
+   re-derived from guest RAM: scheduler and process state, timers,
+   traps, EPT directory shapes, and the physical pool itself.  Caches
+   (TLBs, decode lines, superblocks) and registered hooks are
+   deliberately absent — they are rebuilt demand-side after [thaw], and
+   their metrics are restored by the snapshot codec's metrics section. *)
+
+type frozen_proc = {
+  zp_pid : int;
+  zp_name : string;
+  zp_cpu : int;
+  zp_script : Action.t list;
+  zp_state : Process.run_state;
+  zp_saved_regs : (int * int * int) option; (* eip, ebp, esp *)
+  zp_saved_dispatch : int list; (* front of the queue first *)
+  zp_in_kernel : bool;
+  zp_syscall_count : int;
+  zp_last_scheduled_round : int;
+  zp_mappings : (int * int) list; (* gva_page -> gpa_page, sorted *)
+}
+
+type frozen_module = {
+  zm_name : string;
+  zm_hidden : bool;
+  zm_base : int;
+  zm_code : string;
+  zm_functions : (string * int * int) list; (* pname, addr, size *)
+}
+
+type frozen_timer = {
+  zt_source : Irq_paths.source;
+  zt_period : int;
+  zt_next_at : int;
+}
+
+type frozen_vcpu = {
+  zv_dirs : (int * int) list; (* EPT dir -> pool table id, sorted *)
+  zv_current_pid : int;
+  zv_in_interrupt : bool;
+  zv_idle_last_round : int;
+  zv_slice_start : int;
+      (* the open run slice's start cycle: boot work before the first
+         run (or the tail of an interrupted slice) is still pending
+         attribution to os.run_cycles{current}, and the restored machine
+         must charge the same window the uninterrupted one would *)
+}
+
+type frozen = {
+  z_config : config;
+  z_tlb_on : bool;
+  z_sblocks_on : bool;
+  z_cycles : int;
+  z_instrs : int;
+  z_round_no : int;
+  z_context_switches : int;
+  z_next_pid : int;
+  z_next_module_base : int;
+  z_data_epoch : int;
+  z_trap_gen : int;
+  z_ram : (int * int) list; (* gpa_page -> host frame, sorted *)
+  z_phys : Phys.frozen;
+  z_master_pt : (int * int) list;
+  z_vcpus : frozen_vcpu list;
+  z_procs : frozen_proc list; (* newest first, as [procs_rev] *)
+  z_modules : frozen_module list; (* load order *)
+  z_timers : frozen_timer list; (* list order: clocksource then background *)
+  z_traps : int list; (* sorted *)
+  z_itimers : int list; (* sorted pids *)
+  z_sleep_override : int option;
+}
+
+let freeze t ~table_id =
+  Array.iter
+    (fun v ->
+      if v.vslice <> Fc_obs.Span.none then
+        invalid_arg "Os.freeze: vCPU mid-slice; snapshot only at round boundaries")
+    t.vcpus;
+  let freeze_proc (p : Process.t) =
+    {
+      zp_pid = p.Process.pid;
+      zp_name = p.Process.name;
+      zp_cpu = p.Process.cpu;
+      zp_script = p.Process.script;
+      zp_state = p.Process.state;
+      zp_saved_regs =
+        Option.map
+          (fun (r : Cpu.regs) -> (r.Cpu.eip, r.Cpu.ebp, r.Cpu.esp))
+          p.Process.saved_regs;
+      zp_saved_dispatch = List.of_seq (Queue.to_seq p.Process.saved_dispatch);
+      zp_in_kernel = p.Process.in_kernel;
+      zp_syscall_count = p.Process.syscall_count;
+      zp_last_scheduled_round = p.Process.last_scheduled_round;
+      zp_mappings = Pt.mappings p.Process.page_table;
+    }
+  in
+  {
+    z_config = t.config;
+    z_tlb_on = t.tlb_on;
+    z_sblocks_on = t.sblocks_on;
+    z_cycles = !(t.cycles);
+    z_instrs = !(t.instrs);
+    z_round_no = t.round_no;
+    z_context_switches = t.context_switches;
+    z_next_pid = t.next_pid;
+    z_next_module_base = t.next_module_base;
+    z_data_epoch = t.data_epoch;
+    z_trap_gen = t.trap_gen;
+    z_ram =
+      List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.ram []);
+    z_phys = Phys.export t.phys;
+    z_master_pt = Pt.mappings t.master_pt;
+    z_vcpus =
+      Array.to_list
+        (Array.map
+           (fun v ->
+             {
+               zv_dirs =
+                 List.map (fun (d, tbl) -> (d, table_id tbl)) (Ept.dirs v.vept);
+               zv_current_pid = v.vcurrent.Process.pid;
+               zv_in_interrupt = v.vin_interrupt;
+               zv_idle_last_round = v.vidle.Process.last_scheduled_round;
+               zv_slice_start = v.vslice_start;
+             })
+           t.vcpus);
+    z_procs = List.map freeze_proc t.procs_rev;
+    z_modules =
+      List.map
+        (fun m ->
+          {
+            zm_name = m.mod_name;
+            zm_hidden = m.hidden;
+            zm_base = m.unit_image.Asm.base;
+            zm_code = Bytes.to_string m.unit_image.Asm.code;
+            zm_functions =
+              List.map
+                (fun (p : Asm.placed) -> (p.Asm.pname, p.Asm.addr, p.Asm.size))
+                m.unit_image.Asm.functions;
+          })
+        t.modules;
+    z_timers =
+      List.map
+        (fun tm -> { zt_source = tm.source; zt_period = tm.period; zt_next_at = tm.next_at })
+        t.timers;
+    z_traps =
+      List.sort Int.compare (Hashtbl.fold (fun a () acc -> a :: acc) t.traps []);
+    z_itimers =
+      List.sort Int.compare (Hashtbl.fold (fun p () acc -> p :: acc) t.itimers []);
+    z_sleep_override = t.sleep_override;
+  }
+
+let thaw ?obs ~image ~table_of (z : frozen) =
+  let obs = match obs with Some o -> o | None -> Fc_obs.Obs.create () in
+  let metrics = Fc_obs.Obs.metrics obs in
+  let master_pt = Pt.create () in
+  List.iter
+    (fun (gva_page, gpa_page) -> Pt.map master_pt ~gva_page ~gpa_page)
+    z.z_master_pt;
+  (* processes, newest first as stored: identity (and [pick_ready]'s
+     tie-break order) depends on [procs_rev] order *)
+  let procs_rev =
+    List.map
+      (fun zp ->
+        let page_table = Pt.create () in
+        List.iter
+          (fun (gva_page, gpa_page) -> Pt.map page_table ~gva_page ~gpa_page)
+          zp.zp_mappings;
+        let p =
+          Process.create ~cpu:zp.zp_cpu ~pid:zp.zp_pid ~name:zp.zp_name
+            ~page_table zp.zp_script
+        in
+        p.Process.state <- zp.zp_state;
+        p.Process.saved_regs <-
+          Option.map
+            (fun (eip, ebp, esp) -> { Cpu.eip; ebp; esp })
+            zp.zp_saved_regs;
+        let q = Queue.create () in
+        List.iter (fun d -> Queue.push d q) zp.zp_saved_dispatch;
+        p.Process.saved_dispatch <- q;
+        p.Process.in_kernel <- zp.zp_in_kernel;
+        p.Process.syscall_count <- zp.zp_syscall_count;
+        p.Process.last_scheduled_round <- zp.zp_last_scheduled_round;
+        p)
+      z.z_procs
+  in
+  let proc_by_pid pid =
+    List.find_opt (fun (p : Process.t) -> p.Process.pid = pid) procs_rev
+  in
+  let vcpu_arr = Array.of_list z.z_vcpus in
+  let vcpus = Array.length vcpu_arr in
+  if vcpus < 1 then invalid_arg "Os.thaw: no vCPUs in frozen state";
+  let mk_vcpu vid =
+    let zv = vcpu_arr.(vid) in
+    let name = if vid = 0 then "swapper" else Printf.sprintf "swapper/%d" vid in
+    let vidle = Process.create ~cpu:vid ~pid:vid ~name ~page_table:master_pt [] in
+    vidle.Process.last_scheduled_round <- zv.zv_idle_last_round;
+    let vept = Ept.create () in
+    List.iter
+      (fun (dir, id) -> Ept.set_dir vept ~dir (Some (table_of id)))
+      zv.zv_dirs;
+    let vcurrent =
+      if zv.zv_current_pid = vid then vidle
+      else
+        match proc_by_pid zv.zv_current_pid with
+        | Some p -> p
+        | None ->
+            invalid_arg
+              (Printf.sprintf "Os.thaw: vCPU %d current pid %d not in snapshot"
+                 vid zv.zv_current_pid)
+    in
+    {
+      vid;
+      vept;
+      vidle;
+      vcurrent;
+      vin_interrupt = zv.zv_in_interrupt;
+      vslice = Fc_obs.Span.none;
+      vslice_start = zv.zv_slice_start;
+      vitlb = Tlb.create ~bits:8 ~payload:dummy_decode_line ();
+      vdtlb = Tlb.create ~bits:8 ~payload:() ();
+      vsbc =
+        Tlb.create ~bits:(if z.z_sblocks_on then 12 else 0) ~payload:dummy_sblock ();
+      vsb_last = None;
+    }
+  in
+  let ram = Hashtbl.create 2048 in
+  List.iter (fun (gpa_page, frame) -> Hashtbl.replace ram gpa_page frame) z.z_ram;
+  let itimers = Hashtbl.create 8 in
+  List.iter (fun pid -> Hashtbl.replace itimers pid ()) z.z_itimers;
+  let modules =
+    List.map
+      (fun zm ->
+        {
+          mod_name = zm.zm_name;
+          hidden = zm.zm_hidden;
+          unit_image =
+            {
+              Asm.base = zm.zm_base;
+              code = Bytes.of_string zm.zm_code;
+              functions =
+                List.map
+                  (fun (pname, addr, size) -> { Asm.pname; addr; size })
+                  zm.zm_functions;
+            };
+        })
+      z.z_modules
+  in
+  let t =
+    {
+      image;
+      config = z.z_config;
+      obs;
+      phys = Phys.create ~metrics ();
+      vcpus = Array.init vcpus mk_vcpu;
+      active = 0;
+      ram;
+      master_pt;
+      page_tables =
+        List.map (fun (p : Process.t) -> p.Process.page_table) procs_rev
+        @ [ master_pt ];
+      traps = Hashtbl.create 8;
+      trap_arr = [||];
+      trap_lo = max_int;
+      trap_hi = min_int;
+      trace = None;
+      events = None;
+      branch_policy = None;
+      cycles = ref z.z_cycles;
+      instrs = ref z.z_instrs;
+      tlb_on = z.z_tlb_on;
+      sblocks_on = z.z_sblocks_on;
+      trap_gen = 0;
+      data_epoch = z.z_data_epoch;
+      round_no = z.z_round_no;
+      context_switches = z.z_context_switches;
+      procs_rev;
+      next_pid = z.z_next_pid;
+      handler = default_handler;
+      modules;
+      next_module_base = z.z_next_module_base;
+      timers =
+        List.map
+          (fun zt -> { source = zt.zt_source; period = zt.zt_period; next_at = zt.zt_next_at })
+          z.z_timers;
+      decode_cache = Hashtbl.create 512;
+      sb_store = Hashtbl.create 512;
+      at_round = [];
+      rewriter = None;
+      itimers;
+      symbols = Hashtbl.create 2048;
+      sleep_override = z.z_sleep_override;
+      faults = None;
+      tick = None;
+      run_cycles_f = Fc_obs.Metrics.counter_family metrics ~subsystem:"os" "run_cycles";
+      run_slices_f = Fc_obs.Metrics.counter_family metrics ~subsystem:"os" "run_slices";
+      tlb_i_hits = Fc_obs.Metrics.counter metrics ~subsystem:"tlb" "i_hits";
+      tlb_i_misses = Fc_obs.Metrics.counter metrics ~subsystem:"tlb" "i_misses";
+      tlb_d_hits = Fc_obs.Metrics.counter metrics ~subsystem:"tlb" "d_hits";
+      tlb_d_misses = Fc_obs.Metrics.counter metrics ~subsystem:"tlb" "d_misses";
+      sb_built = Fc_obs.Metrics.counter metrics ~subsystem:"sb" "blocks_built";
+      sb_hits = Fc_obs.Metrics.counter metrics ~subsystem:"sb" "hits";
+      sb_invals = Fc_obs.Metrics.counter metrics ~subsystem:"sb" "invalidations";
+      sb_chains = Fc_obs.Metrics.counter metrics ~subsystem:"sb" "chain_follows";
+    }
+  in
+  Phys.import t.phys z.z_phys;
+  Phys.set_release_hook t.phys
+    (Some
+       (fun frame ->
+         Hashtbl.remove t.decode_cache frame;
+         Hashtbl.remove t.sb_store frame));
+  Fc_obs.Obs.set_clock obs (fun () -> !(t.cycles));
+  let gauge name f = Fc_obs.Metrics.gauge metrics ~subsystem:"os" name f in
+  gauge "cycles" (fun () -> !(t.cycles));
+  gauge "instructions" (fun () -> !(t.instrs));
+  gauge "rounds" (fun () -> t.round_no);
+  gauge "context_switches" (fun () -> t.context_switches);
+  gauge "vcpus" (fun () -> Array.length t.vcpus);
+  gauge "processes" (fun () -> List.length t.procs_rev);
+  gauge "decode_cache_frames" (fun () -> Hashtbl.length t.decode_cache);
+  let tlb_gauge name f = Fc_obs.Metrics.gauge metrics ~subsystem:"tlb" name f in
+  tlb_gauge "i_flushes" (fun () ->
+      Array.fold_left (fun acc v -> acc + Ept.epoch v.vept) 0 t.vcpus);
+  tlb_gauge "d_flushes" (fun () -> t.data_epoch);
+  (* traps: refill the set, rebuild the sorted mirror, then pin the
+     generation back to the frozen value (superblock caches are empty, so
+     only monotonic faithfulness matters) *)
+  List.iter (fun a -> Hashtbl.replace t.traps a ()) z.z_traps;
+  rebuild_traps t;
+  t.trap_gen <- z.z_trap_gen;
+  (* symbols: base image first, then modules in load order — the same
+     registration sequence [create]/[load_module] produced *)
+  register_symbols t (Image.unit_image image);
+  List.iter (fun m -> register_symbols t m.unit_image) t.modules;
+  t

@@ -290,3 +290,98 @@ val pending_itimer : t -> pid:int -> bool
 val arm_itimer : t -> pid:int -> unit
 (** A [setitimer]-armed process receives [Timer_itimer] expiries (the
     Cymothoa parasite's SIGALRM path) on subsequent timer interrupts. *)
+
+(** {1 Snapshot: freeze / thaw}
+
+    The frozen machine as plain data: scheduler and process state,
+    timers, traps, itimers, the guest-RAM map, the physical frame pool,
+    and each vCPU's EPT directory shape (tables referenced by pool id —
+    the snapshot codec owns the identity-preserving table pool, so
+    tables shared between vCPUs, the hypervisor's pristine set and the
+    views stay shared after restore).
+
+    Not captured, by design: TLBs, decode lines, superblocks (caches —
+    rebuilt demand-side, invisible to the differential fingerprints),
+    trace/event/fault/tick hooks and the exit handler (re-attached by
+    the owning layer after {!thaw}), and counter values (restored by the
+    codec's metrics section, last). *)
+
+type frozen_proc = {
+  zp_pid : int;
+  zp_name : string;
+  zp_cpu : int;
+  zp_script : Action.t list;
+  zp_state : Process.run_state;
+  zp_saved_regs : (int * int * int) option;  (** eip, ebp, esp *)
+  zp_saved_dispatch : int list;  (** front of the queue first *)
+  zp_in_kernel : bool;
+  zp_syscall_count : int;
+  zp_last_scheduled_round : int;
+  zp_mappings : (int * int) list;  (** gva_page -> gpa_page, sorted *)
+}
+
+type frozen_module = {
+  zm_name : string;
+  zm_hidden : bool;
+  zm_base : int;
+  zm_code : string;
+  zm_functions : (string * int * int) list;  (** pname, addr, size *)
+}
+
+type frozen_timer = {
+  zt_source : Fc_kernel.Irq_paths.source;
+  zt_period : int;
+  zt_next_at : int;
+}
+
+type frozen_vcpu = {
+  zv_dirs : (int * int) list;  (** EPT dir -> pool table id, sorted *)
+  zv_current_pid : int;
+  zv_in_interrupt : bool;
+  zv_idle_last_round : int;
+  zv_slice_start : int;
+      (** start cycle of the still-open run slice — pending
+          [os.run_cycles] attribution the restored machine must charge *)
+}
+
+type frozen = {
+  z_config : config;
+  z_tlb_on : bool;
+  z_sblocks_on : bool;
+  z_cycles : int;
+  z_instrs : int;
+  z_round_no : int;
+  z_context_switches : int;
+  z_next_pid : int;
+  z_next_module_base : int;
+  z_data_epoch : int;
+  z_trap_gen : int;
+  z_ram : (int * int) list;  (** gpa_page -> host frame, sorted *)
+  z_phys : Fc_mem.Phys_mem.frozen;
+  z_master_pt : (int * int) list;
+  z_vcpus : frozen_vcpu list;
+  z_procs : frozen_proc list;  (** newest first, matching [procs_rev] *)
+  z_modules : frozen_module list;  (** load order *)
+  z_timers : frozen_timer list;
+  z_traps : int list;  (** sorted *)
+  z_itimers : int list;  (** sorted pids *)
+  z_sleep_override : int option;
+}
+
+val freeze : t -> table_id:(Fc_mem.Ept.table -> int) -> frozen
+(** Capture the machine at a scheduler round boundary.  [table_id] maps
+    each EPT leaf table to its identity-preserving pool id (assigned by
+    the snapshot codec).  Raises [Invalid_argument] if any vCPU has an
+    open run slice — snapshots are only meaningful between rounds. *)
+
+val thaw :
+  ?obs:Fc_obs.Obs.t ->
+  image:Fc_kernel.Image.t ->
+  table_of:(int -> Fc_mem.Ept.table) -> frozen -> t
+(** Rebuild a machine from a frozen image over a freshly-decoded table
+    pool.  The kernel [image] is not serialized — {!Fc_kernel.Image.build}
+    is deterministic; guest RAM contents come from the restored frame
+    pool, so nothing is re-written (frame versions stay faithful).
+    Hooks, views and breakpoints are re-attached by the hypervisor
+    layer; apply the codec's metrics section after every layer is
+    restored. *)

@@ -50,3 +50,25 @@ let translate_page t gpa_page =
 let translate t gpa =
   let page = gpa / Phys_mem.page_size and off = gpa mod Phys_mem.page_size in
   Option.map (fun f -> (f * Phys_mem.page_size) + off) (translate_page t page)
+
+let dirs t =
+  List.sort
+    (fun (a, _) (b, _) -> compare a b)
+    (Hashtbl.fold (fun dir tb acc -> (dir, tb) :: acc) t.dirs [])
+
+let table_entries (t : table) =
+  let acc = ref [] in
+  for idx = entries_per_table - 1 downto 0 do
+    match t.(idx) with None -> () | Some f -> acc := (idx, f) :: !acc
+  done;
+  !acc
+
+let table_of_entries entries : table =
+  let t = table_create () in
+  List.iter
+    (fun (idx, f) ->
+      if idx < 0 || idx >= entries_per_table then
+        invalid_arg "Ept.table_of_entries: slot out of range";
+      t.(idx) <- Some f)
+    entries;
+  t

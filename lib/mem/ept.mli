@@ -73,3 +73,23 @@ val translate : t -> int -> int option
 val dir_of_page : int -> int
 val slot_of_page : int -> int
 (** Decompose a guest-physical page number into (directory, table slot). *)
+
+(** {1 Snapshot support}
+
+    Tables are shared {e by reference} — one leaf table can sit behind
+    several vCPUs' directories, the hypervisor's original-table map and
+    a view's table list at once.  The snapshot layer therefore walks
+    every holder, assigns each distinct table an identity-based id, and
+    serializes the sparse contents once; these helpers are that walk's
+    vocabulary. *)
+
+val dirs : t -> (int * table) list
+(** Every (directory, table) pair, sorted by directory.  The tables are
+    the live structures, not copies. *)
+
+val table_entries : table -> (int * int) list
+(** The mapped (slot, frame) pairs, in slot order. *)
+
+val table_of_entries : (int * int) list -> table
+(** Rebuild a table from its sparse entries.
+    @raise Invalid_argument on a slot outside [[0, entries_per_table)]. *)

@@ -88,3 +88,17 @@ let evict_all t =
   let n = resident t in
   Hashtbl.reset t.entries;
   n
+
+let export t =
+  List.sort
+    (fun (a, _, _) (b, _, _) -> String.compare a b)
+    (Hashtbl.fold
+       (fun key e acc ->
+         if valid t e then (key, e.frame, e.version) :: acc else acc)
+       t.entries [])
+
+let import t entries =
+  List.iter
+    (fun (key, frame, version) ->
+      Hashtbl.replace t.entries key { frame; version })
+    entries

@@ -54,6 +54,17 @@ val resident_keys : t -> string list
     merge-on-export fold over these — each guest's cache stays private to
     its domain; only these immutable keys cross domains. *)
 
+val export : t -> (string * int * int) list
+(** The still-valid entries as (content key, frame, registered version),
+    sorted by key — the snapshot codec's image of the cache.  Stale
+    entries (dead or since-written frames) are dropped, which is
+    semantically identity: a lookup would never hit them. *)
+
+val import : t -> (string * int * int) list -> unit
+(** Re-publish exported entries into a (typically fresh) cache over a
+    pool whose frames/versions have been restored.  Entries own no
+    references, so importing is pure bookkeeping. *)
+
 val evict_all : t -> int
 (** Drop every entry, returning how many were still live.  Entries own no
     frame references, so eviction frees nothing and invalidates nothing —

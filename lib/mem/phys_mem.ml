@@ -137,3 +137,48 @@ let copy t ~src ~dst ~len =
   for i = 0 to len - 1 do
     write_byte t (dst + i) (read_byte t (src + i))
   done
+
+let frame_count t = t.next
+
+let versions_snapshot t = Array.sub t.versions 0 t.next
+
+(* ---------------- snapshot state ---------------- *)
+
+type frozen = {
+  z_next : int;
+  z_free_list : int list;
+  z_versions : int array;  (* length z_next: dead frames keep their
+                              version so post-restore reallocation
+                              continues the same version stream *)
+  z_live : (int * int * Bytes.t) list;  (* (frame, refcount, contents) *)
+}
+
+let export t =
+  let live = ref [] in
+  for f = t.next - 1 downto 0 do
+    match t.frames.(f) with
+    | None -> ()
+    | Some b -> live := (f, t.refcounts.(f), Bytes.copy b) :: !live
+  done;
+  {
+    z_next = t.next;
+    z_free_list = t.free_list;
+    z_versions = Array.sub t.versions 0 t.next;
+    z_live = !live;
+  }
+
+let import t z =
+  if t.next <> 0 || t.live <> 0 then
+    invalid_arg "Phys_mem.import: pool not fresh";
+  grow t z.z_next;
+  t.next <- z.z_next;
+  t.free_list <- z.z_free_list;
+  Array.blit z.z_versions 0 t.versions 0 z.z_next;
+  List.iter
+    (fun (f, rc, b) ->
+      if f < 0 || f >= z.z_next then
+        invalid_arg "Phys_mem.import: frame out of range";
+      t.frames.(f) <- Some (Bytes.copy b);
+      t.refcounts.(f) <- rc;
+      t.live <- t.live + 1)
+    z.z_live

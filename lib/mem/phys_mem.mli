@@ -86,6 +86,38 @@ val touch : t -> int -> unit
     and must keep version-keyed caches coherent.  The frame must be live
     and in range (unchecked; hot path). *)
 
+val frame_count : t -> int
+(** The allocation high-water mark: every frame number ever handed out is
+    below it.  With {!versions_snapshot}, the dirty-page tracker's whole
+    interface: a page is dirty between two instants iff its version moved. *)
+
+val versions_snapshot : t -> int array
+(** A copy of the per-frame version counters for frames
+    [[0, frame_count))].  Allocation bumps the version too, so a
+    frame freed and re-allocated between two snapshots still reads as
+    dirty — exactly what pre-copy migration needs. *)
+
+(** {1 Snapshot state}
+
+    The pool's complete state as plain data.  [export] deep-copies the
+    live frame contents; [import] rebuilds them into a {e freshly
+    created} pool (so the metrics registry hooks from {!create} stay
+    wired).  Dead-frame versions are preserved: version counters feed
+    version-keyed caches, and the post-restore allocation stream must
+    continue where the snapshot left off. *)
+
+type frozen = {
+  z_next : int;
+  z_free_list : int list;
+  z_versions : int array;
+  z_live : (int * int * Bytes.t) list;  (** (frame, refcount, contents) *)
+}
+
+val export : t -> frozen
+
+val import : t -> frozen -> unit
+(** @raise Invalid_argument if the pool has ever allocated. *)
+
 val frame_bytes : t -> int -> Bytes.t
 (** The live storage of a frame.  The returned buffer is the frame itself,
     not a copy: writes through it are visible to every reader, but bypass

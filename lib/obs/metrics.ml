@@ -210,6 +210,91 @@ let find t k =
   | Some { inst = I_gauge f; _ } -> Some (!f ())
   | Some { inst = I_histogram _; _ } | None -> None
 
+(* {1 Dump / load} *)
+
+type dump_value =
+  | D_counter of int
+  | D_histogram of {
+      d_buckets : (int * int) list;
+      d_count : int;
+      d_sum : int;
+      d_max : int;
+    }
+
+type dump_entry = {
+  d_subsystem : string;
+  d_name : string;
+  d_label : string option;
+  d_value : dump_value;
+}
+
+let dump t =
+  List.fold_left
+    (fun acc r ->
+      match r.inst with
+      | I_gauge _ -> acc
+      | I_counter c ->
+          {
+            d_subsystem = r.subsystem;
+            d_name = r.name;
+            d_label = r.label;
+            d_value = D_counter c.c_value;
+          }
+          :: acc
+      | I_histogram h ->
+          let s = snapshot_histogram h in
+          {
+            d_subsystem = r.subsystem;
+            d_name = r.name;
+            d_label = r.label;
+            d_value =
+              D_histogram
+                {
+                  d_buckets = s.h_buckets;
+                  d_count = s.h_count;
+                  d_sum = s.h_sum;
+                  d_max = s.h_max;
+                };
+          }
+          :: acc)
+    [] t.order
+(* [t.order] is reverse registration order, so the fold yields
+   registration order — the dump is as deterministic as the run that
+   registered the instruments. *)
+
+let load t entries =
+  List.iter
+    (fun e ->
+      match e.d_value with
+      | D_counter v ->
+          let c =
+            match e.d_label with
+            | None -> counter t ~subsystem:e.d_subsystem e.d_name
+            | Some label ->
+                family_counter
+                  (counter_family t ~subsystem:e.d_subsystem e.d_name)
+                  label
+          in
+          c.c_value <- v
+      | D_histogram d ->
+          let h =
+            match e.d_label with
+            | None -> histogram t ~subsystem:e.d_subsystem e.d_name
+            | Some label ->
+                family_histogram
+                  (histogram_family t ~subsystem:e.d_subsystem e.d_name)
+                  label
+          in
+          reset_histogram h;
+          List.iter
+            (fun (pow2, n) ->
+              if pow2 >= 0 && pow2 < bucket_count then h.buckets.(pow2) <- n)
+            d.d_buckets;
+          h.h_count <- d.d_count;
+          h.h_sum <- d.d_sum;
+          h.h_max <- d.d_max)
+    entries
+
 (* Percentile estimate from log2 buckets: find the bucket holding the
    q-th observation, then interpolate linearly inside its value range
    [2^pow2, 2^(pow2+1)) — capped at the observed max, which is exact for

@@ -95,6 +95,40 @@ val snapshot : t -> sample list
 val find : t -> string -> int option
 (** Value of the counter or gauge registered under ["subsystem.name"]. *)
 
+(** {1 Dump / load}
+
+    A plain-data image of every {e stored} instrument — counters and
+    histograms, labeled family members included — used by the snapshot
+    codec.  Gauges are read-through closures over live subsystem state
+    and are deliberately excluded: the restoring side re-registers them
+    over the rebuilt structures, and their values follow.  Dumps list
+    instruments in registration order, so a deterministic run produces a
+    byte-stable dump. *)
+
+type dump_value =
+  | D_counter of int
+  | D_histogram of {
+      d_buckets : (int * int) list;  (** (pow2, count), zero buckets omitted *)
+      d_count : int;
+      d_sum : int;
+      d_max : int;
+    }
+
+type dump_entry = {
+  d_subsystem : string;
+  d_name : string;
+  d_label : string option;
+  d_value : dump_value;
+}
+
+val dump : t -> dump_entry list
+
+val load : t -> dump_entry list -> unit
+(** Find-or-create each instrument (family members via their label) and
+    overwrite its value.  Instruments already registered keep their
+    registration slot; new ones append.  Apply {e last} during a restore:
+    the constructors run beforehand reset the counters they own. *)
+
 val percentile : histogram_snapshot -> float -> float
 (** [percentile s q] estimates the [q]-quantile ([0. <= q <= 1.]) by
     linear interpolation inside the log2 bucket holding the target rank;
