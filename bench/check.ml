@@ -346,6 +346,11 @@ let check_chaos j =
    - the tlb arms really ran with them on, and the caches work (hits
      dominate misses); the sb arms really built, hit, chained — and on
      the view-switching workloads, invalidated — blocks;
+   - the view-tagged arms (PCID/VPID-style per-view generations) retire
+     the identical instruction and cycle counts as their untagged twins
+     while driving view-switch- and COW-caused flushes, and superblock
+     restamps, to exactly zero — the headline claim of the tagged
+     translation cache, gated as hard equalities below;
    - exact pins for every deterministic counter, captured from one
      deterministic pass so they are independent of reps / --fast. *)
 let perf_counter_pins =
@@ -354,17 +359,23 @@ let perf_counter_pins =
       "tlb+views",
       [ ("instructions", 20348460); ("cycles", 29738269);
         ("i_hits", 21267231); ("i_misses", 345); ("d_hits", 9133042);
-        ("d_misses", 2112); ("i_flushes", 6253); ("d_flushes", 64) ] );
+        ("d_misses", 2112); ("i_flushes", 6253); ("d_flushes", 64);
+        ("fl_view_switch", 66); ("fl_cow", 2538); ("fl_growth", 3713);
+        ("fl_explicit", 0) ] );
     ( "unixbench",
       "tlb+noviews",
       [ ("instructions", 20003751); ("cycles", 26496304);
         ("i_hits", 20620316); ("i_misses", 148); ("d_hits", 5670833);
-        ("d_misses", 1343); ("i_flushes", 3577); ("d_flushes", 46) ] );
+        ("d_misses", 1343); ("i_flushes", 3577); ("d_flushes", 46);
+        ("fl_view_switch", 0); ("fl_cow", 0); ("fl_growth", 3623);
+        ("fl_explicit", 0) ] );
     ( "httperf",
       "tlb",
       [ ("instructions", 25702368); ("cycles", 45117642);
         ("i_hits", 26071610); ("i_misses", 11703); ("d_hits", 1460460);
-        ("d_misses", 219); ("i_flushes", 2140); ("d_flushes", 5) ] );
+        ("d_misses", 219); ("i_flushes", 2140); ("d_flushes", 5);
+        ("fl_view_switch", 1602); ("fl_cow", 141); ("fl_growth", 402);
+        ("fl_explicit", 0) ] );
     (* superblock arms: identical retirement (parity is also asserted
        structurally below), a tiny residue of iTLB traffic (classic-path
        fallbacks at page tails and trap resumes), and the block-cache
@@ -376,21 +387,57 @@ let perf_counter_pins =
         ("i_hits", 92008); ("i_misses", 259); ("d_hits", 9133042);
         ("d_misses", 2112); ("i_flushes", 6253); ("d_flushes", 64);
         ("sb_built", 7378); ("sb_hits", 160450); ("sb_invals", 3049);
-        ("sb_chains", 351511) ] );
+        ("sb_chains", 351511); ("sb_restamps", 3031) ] );
     ( "unixbench",
       "sb+tlb+noviews",
       [ ("instructions", 20003751); ("cycles", 26496304);
         ("i_hits", 90353); ("i_misses", 103); ("d_hits", 5670833);
         ("d_misses", 1343); ("i_flushes", 3577); ("d_flushes", 46);
         ("sb_built", 4683); ("sb_hits", 157966); ("sb_invals", 0);
-        ("sb_chains", 347480) ] );
+        ("sb_chains", 347480); ("sb_restamps", 0) ] );
     ( "httperf",
       "sb+tlb",
       [ ("instructions", 25702368); ("cycles", 45117642);
         ("i_hits", 123861); ("i_misses", 9085); ("d_hits", 1460460);
         ("d_misses", 219); ("i_flushes", 2140); ("d_flushes", 5);
         ("sb_built", 2282); ("sb_hits", 181925); ("sb_invals", 42164);
-        ("sb_chains", 440748) ] );
+        ("sb_chains", 440748); ("sb_restamps", 311406) ] );
+    (* view-tagged arms: same retirement as the untagged twins, zero
+       translation-shootdown traffic.  i_flushes = 0 because under tags a
+       view switch retags instead of flushing, a COW break touches the
+       displaced frame's version instead of bumping a generation, and
+       guest-RAM growth installs pages quietly (nothing cached a negative
+       translation).  sb_restamps = 0 because blocks on never-diverged
+       pages carry a global-page stamp and blocks on diverged shared
+       frames are pre-stamped with their sibling views' tags at build
+       time.  These zeros ARE the acceptance criterion: untagged
+       view-switch flushes (66 / 1602) and restamps (3031 / 311406)
+       drop to nothing at identical instruction and cycle counts. *)
+    ( "unixbench",
+      "tag+tlb+views",
+      [ ("instructions", 20348460); ("cycles", 29738269);
+        ("i_hits", 21267261); ("i_misses", 315); ("d_hits", 9133042);
+        ("d_misses", 2112); ("i_flushes", 0); ("d_flushes", 64);
+        ("fl_view_switch", 0); ("fl_cow", 0); ("fl_growth", 64);
+        ("fl_explicit", 0) ] );
+    ( "unixbench",
+      "tag+sb+tlb+views",
+      [ ("instructions", 20348460); ("cycles", 29738269);
+        ("i_hits", 92010); ("i_misses", 257); ("d_hits", 9133042);
+        ("d_misses", 2112); ("i_flushes", 0); ("d_flushes", 64);
+        ("sb_built", 7378); ("sb_hits", 160450); ("sb_invals", 3049);
+        ("sb_chains", 351511); ("sb_restamps", 0);
+        ("fl_view_switch", 0); ("fl_cow", 0); ("fl_growth", 64);
+        ("fl_explicit", 0) ] );
+    ( "httperf",
+      "tag+sb+tlb",
+      [ ("instructions", 25702368); ("cycles", 45117642);
+        ("i_hits", 128760); ("i_misses", 4186); ("d_hits", 1460460);
+        ("d_misses", 219); ("i_flushes", 0); ("d_flushes", 5);
+        ("sb_built", 2282); ("sb_hits", 181925); ("sb_invals", 42164);
+        ("sb_chains", 440748); ("sb_restamps", 0);
+        ("fl_view_switch", 0); ("fl_cow", 0); ("fl_growth", 5);
+        ("fl_explicit", 0) ] );
   ]
 
 let check_perf j =
@@ -421,8 +468,9 @@ let check_perf j =
   let arm_labels =
     [ ( "unixbench",
         [ "tlb+views"; "no-tlb+views"; "tlb+noviews"; "no-tlb+noviews";
-          "sb+tlb+views"; "sb+tlb+noviews" ] );
-      ("httperf", [ "tlb"; "no-tlb"; "sb+tlb" ]) ]
+          "sb+tlb+views"; "sb+tlb+noviews"; "tag+tlb+views";
+          "tag+sb+tlb+views" ] );
+      ("httperf", [ "tlb"; "no-tlb"; "sb+tlb"; "tag+sb+tlb" ]) ]
   in
   List.iter
     (fun (section, labels) ->
@@ -460,8 +508,11 @@ let check_perf j =
       ("unixbench", "tlb+noviews", "no-tlb+noviews");
       ("unixbench", "sb+tlb+views", "tlb+views");
       ("unixbench", "sb+tlb+noviews", "tlb+noviews");
+      ("unixbench", "tag+tlb+views", "tlb+views");
+      ("unixbench", "tag+sb+tlb+views", "sb+tlb+views");
       ("httperf", "tlb", "no-tlb");
-      ("httperf", "sb+tlb", "tlb") ];
+      ("httperf", "sb+tlb", "tlb");
+      ("httperf", "tag+sb+tlb", "sb+tlb") ];
   (* the no-tlb arms must be a true baseline *)
   List.iter
     (fun (section, label) ->
@@ -489,6 +540,7 @@ let check_perf j =
         [ "sb_built"; "sb_hits"; "sb_invals"; "sb_chains" ])
     [ ("unixbench", "tlb+views"); ("unixbench", "no-tlb+views");
       ("unixbench", "tlb+noviews"); ("unixbench", "no-tlb+noviews");
+      ("unixbench", "tag+tlb+views");
       ("httperf", "tlb"); ("httperf", "no-tlb") ];
   (* the sb arms must show a working block cache: blocks decoded once,
      re-executed many times, chained block-to-block; retention keeps
@@ -504,7 +556,8 @@ let check_perf j =
         fail "perf: %s/%s rebuilds (%d) dominate hits (%d)" section label
           (v "sb_built") (v "sb_hits"))
     [ ("unixbench", "sb+tlb+views"); ("unixbench", "sb+tlb+noviews");
-      ("httperf", "sb+tlb") ];
+      ("unixbench", "tag+sb+tlb+views"); ("httperf", "sb+tlb");
+      ("httperf", "tag+sb+tlb") ];
   (* the tlb arms must show working caches *)
   List.iter
     (fun (section, label) ->
@@ -518,7 +571,36 @@ let check_perf j =
         fail "perf: %s/%s dTLB misses (%d) dominate hits (%d)" section label
           (v "d_misses") (v "d_hits"))
     [ ("unixbench", "tlb+views"); ("unixbench", "tlb+noviews");
-      ("httperf", "tlb") ];
+      ("unixbench", "tag+tlb+views"); ("httperf", "tlb") ];
+  (* the acceptance criterion, stated as a relation rather than relying
+     on the pins alone: tagging must cut view-switch-caused flushes and
+     superblock restamps at least 10x against the untagged twin of the
+     same workload (in fact to zero), and must not introduce COW or
+     explicit flushes the untagged arm didn't have *)
+  List.iter
+    (fun (section, tagged, untagged, counters) ->
+      List.iter
+        (fun c ->
+          match (counter section tagged c, counter section untagged c) with
+          | Some t, Some u when u > 0 && t * 10 > u ->
+              fail
+                "perf: %s %s: tagging left %d (untagged %s had %d) — less \
+                 than the 10x reduction the tagged translation cache \
+                 promises"
+                section c t untagged u
+          | Some _, Some _ -> ()
+          | _ -> fail "perf: %s %s missing on %s or %s" section c tagged
+                   untagged)
+        counters)
+    [ ("unixbench", "tag+tlb+views", "tlb+views", [ "fl_view_switch"; "fl_cow" ]);
+      ( "unixbench",
+        "tag+sb+tlb+views",
+        "sb+tlb+views",
+        [ "fl_view_switch"; "fl_cow"; "sb_restamps" ] );
+      ( "httperf",
+        "tag+sb+tlb",
+        "sb+tlb",
+        [ "fl_view_switch"; "fl_cow"; "sb_restamps" ] ) ];
   (* exact pins *)
   List.iter
     (fun (section, label, pins) ->

@@ -292,7 +292,9 @@ let chaos ~fast profiles =
 
 let perf ~fast profiles =
   banner "Perf: execution fast path throughput (TLBs + superblocks, wall clock)";
-  let reps = if fast then 1 else 3 in
+  (* seconds are min-of-reps: even --fast takes two samples so one
+     scheduler hiccup cannot pollute the recorded wall clock *)
+  let reps = if fast then 2 else 3 in
   let t = Fc_benchkit.Perf.run ~reps profiles in
   print_string (Fc_benchkit.Perf.render t);
   let json =

@@ -121,13 +121,37 @@ let unbind t ~comm = t.bindings <- List.remove_assoc comm t.bindings
 
 (* ---------------- view switching (per-vCPU, the paper's SV-C) ------- *)
 
-let install_tables t ~vid tables =
-  let ept = Os.ept_of (Hyp.os t.hyp) ~vid in
-  List.iter
-    (fun (dir, table) ->
-      Ept.set_dir ept ~dir (Some table);
-      Hyp.charge t.hyp Cost.ept_dir_switch)
-    tables
+(* Install a view's directory entries on one vCPU.  Cost-model parity
+   between the two paths is load-bearing: both charge
+   [Cost.ept_dir_switch] per directory, so instruction/cycle fingerprints
+   are identical with tags on or off and the differential harness can
+   hold the tagged toggle to behavior-invisibility. *)
+let install_tables t ~vid ~to_index tables =
+  let os = Hyp.os t.hyp in
+  let ept = Os.ept_of os ~vid in
+  if Os.tagged_on os then begin
+    (* tagged (VPID-style) switch-in: quiet directory installs plus one
+       active-tag change.  Nothing is flushed — translations cached under
+       [to_index] in an earlier activation still carry its current
+       (view, generation) tag and revalidate by compare. *)
+    List.iter
+      (fun (dir, table) ->
+        Ept.install_dir ept ~dir (Some table);
+        Hyp.charge t.hyp Cost.ept_dir_switch)
+      tables;
+    Ept.set_view ept ~view:to_index
+  end
+  else begin
+    (* legacy path: every set_dir bumps the (single) generation — a full
+       fetch-TLB/superblock flush per directory, attributed so the bench
+       can show the cost the tags remove *)
+    List.iter
+      (fun (dir, table) ->
+        Ept.set_dir ept ~dir (Some table);
+        Hyp.charge t.hyp Cost.ept_dir_switch)
+      tables;
+    Os.note_flushes os ~cause:Os.Flush_view_switch (List.length tables)
+  end
 
 let emit_switch t ~vid ~from_index ~to_index outcome =
   if Obs.armed t.obs then
@@ -141,14 +165,14 @@ let switch_kernel_view t ~vid index =
   end
   else begin
     (if index = full_view_index then
-       install_tables t ~vid
+       install_tables t ~vid ~to_index:index
          (List.filter_map
             (fun dir ->
               Option.map (fun tb -> (dir, tb)) (Hyp.original_table t.hyp ~dir))
             t.all_dirs)
      else
        match find_view t index with
-       | Some v -> install_tables t ~vid (View.tables v)
+       | Some v -> install_tables t ~vid ~to_index:index (View.tables v)
        | None -> invalid_arg "Facechange: switching to an unloaded view");
     emit_switch t ~vid ~from_index:t.active.(vid) ~to_index:index Event.Switched;
     t.active.(vid) <- index;
@@ -660,7 +684,11 @@ let unload_view t index =
         Obs.emit t.obs
           (Event.View_unload
              { index; app = View.app v; cow_breaks = View.cow_breaks v });
-      View.destroy v
+      View.destroy v;
+      (* retire only the dead view's tag — survivors (and the full view)
+         keep every cached translation; the pre-tag scheme full-flushed
+         here via the switch-away set_dirs *)
+      Os.retire_view_translations (Hyp.os t.hyp) ~view:index
 
 let disable t =
   if t.enabled then begin
@@ -672,7 +700,9 @@ let disable t =
     List.iter
       (fun v ->
         t.retired_cow_breaks <- t.retired_cow_breaks + View.cow_breaks v;
-        View.destroy v)
+        let index = View.index v in
+        View.destroy v;
+        Os.retire_view_translations (Hyp.os t.hyp) ~view:index)
       t.views;
     t.views <- [];
     t.bindings <- [];

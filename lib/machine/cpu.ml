@@ -81,10 +81,27 @@ type sblock = {
       (* static successor pc when the block always continues at one known
          address (fall-through split, direct jump, direct call); -1 when
          the successor is dynamic (ret, indirect call, yield, ud2) *)
-  mutable sb_epoch : int;
-      (* Ept.epoch the block was last validated under; restamped in place
-         when an epoch bump turns out not to have changed this page's
-         translation (a view switched away and back) *)
+  mutable sb_tag : int;
+      (* Ept.tag the block was last validated under; on the tagged path a
+         re-entered view's blocks match by compare, and on the untagged
+         path the block is restamped in place when a generation bump turns
+         out not to have changed this page's translation (a view switched
+         away and back) *)
+  mutable sb_tag2 : int;
+  mutable sb_tag3 : int;
+      (* older validation tags, MRU-ordered — a 3-deep memo (hardware
+         PCID-cache style) so a shared-frame block entered from the full
+         kernel view and two app views in rotation revalidates by compare
+         every way instead of paying a re-translation restamp on every
+         switch; a fourth concurrently-hot view degrades to one restamp
+         per switch-in, never to a rebuild *)
+  mutable sb_ggen : int;
+      (* the x86 global-page bit, generation-stamped: >= 0 iff the block
+         was built from a page no kernel view has ever remapped, whose
+         translation is therefore identical under every view — validity
+         then skips the tag check entirely (one compare against the
+         owner's global generation, bumped by bare full flushes).  -1 on
+         divergent pages and whenever tags are off. *)
   sb_frame : int;  (* host frame the block decoded from *)
   sb_version : int;  (* Phys_mem.version of sb_frame at build time *)
   mutable sb_trap_gen : int;

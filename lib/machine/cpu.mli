@@ -90,10 +90,23 @@ type sblock = {
   sb_exit : int;
       (** static successor pc (fall-through split, direct jump/call), or
           [-1] when the successor is dynamic — drives block chaining *)
-  mutable sb_epoch : int;
-      (** [Ept.epoch] the block was last validated under; the owner
-          restamps it when an epoch bump left this page's translation
+  mutable sb_tag : int;
+      (** [Ept.tag] the block was last validated under; a re-entered
+          view's blocks revalidate by compare, and the owner restamps the
+          field when a generation bump left this page's translation
           unchanged, so view switches do not force re-decodes *)
+  mutable sb_tag2 : int;
+  mutable sb_tag3 : int;
+      (** older validation tags, MRU-ordered — a 3-deep memo (hardware
+          PCID-cache style) letting a shared-frame block rotate through
+          the full kernel view plus two app views with zero restamps; a
+          tag minted under any bumped generation or rolled era can never
+          match again, so a stale memo entry is inert, never unsound *)
+  mutable sb_ggen : int;
+      (** the x86 global-page bit, generation-stamped: [>= 0] iff the
+          block's page has never been remapped by any kernel view, so
+          its translation is view-invariant and validity skips the tag
+          check; [-1] on divergent pages and whenever tags are off *)
   sb_frame : int;       (** host frame the block decoded from *)
   sb_version : int;     (** [Phys_mem.version] of [sb_frame] at build time *)
   mutable sb_trap_gen : int;

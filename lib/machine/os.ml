@@ -142,10 +142,30 @@ type t = {
   instrs : int ref; (* retired guest instructions *)
   tlb_on : bool;
   sblocks_on : bool;
+  tagged_on : bool;
+      (* view-tagged translation caching: when set, the facechange layer
+         switches views by retagging ([Ept.set_view] + quiet
+         [Ept.install_dir]) instead of bumping generations, so cached
+         translations survive re-entry into an already-seen view *)
   mutable trap_gen : int;
       (* bumped whenever the trap set changes: superblocks embed the
          generation at build time, so a new trap address landing inside a
          cached block invalidates it without scanning the cache *)
+  divergent : (int, unit) Hashtbl.t;
+      (* gpa pages some kernel view has remapped to a private frame —
+         monotone (a destroyed view does not un-diverge its pages).
+         Blocks on pages outside this set are view-invariant (x86
+         global-page style) and skip tag validation entirely. *)
+  bindings : (int, (int, int) Hashtbl.t) Hashtbl.t;
+      (* divergent gpa page -> (view id -> private frame), kept current
+         by the view layer's remaps.  When several views bind one page to
+         the same shared frame, a block built there is pre-stamped with
+         the sibling views' tags, so even the first switch into a sibling
+         revalidates by compare — no memo-cold restamp. *)
+  mutable global_gen : int;
+      (* stamp for view-invariant superblocks; a bare full flush bumps
+         it so "every cached translation is suspect" stays true even for
+         blocks that skip the tag check *)
   mutable data_epoch : int; (* bumped when guest RAM mappings grow *)
   mutable round_no : int;
   mutable context_switches : int;
@@ -179,14 +199,45 @@ type t = {
   sb_hits : Fc_obs.Metrics.counter;
   sb_invals : Fc_obs.Metrics.counter;
   sb_chains : Fc_obs.Metrics.counter;
+  sb_restamps : Fc_obs.Metrics.counter;
+      (* in-place sb_tag restamps in [sblock_valid]: the per-switch
+         revalidation cost tags exist to eliminate (near-zero when
+         [tagged_on]) *)
+  tlb_flushes_f : Fc_obs.Metrics.family; (* tlb.flushes{cause} *)
 }
 
 and handler = t -> Cpu.regs -> vm_exit -> exit_action
+
+(* Why was a cached fetch translation invalidated?  Surfaced as the
+   [tlb.flushes{cause}] counter family so the bench can prove that
+   view-switch-caused flushes drop to ~0 under tagged caching.
+   [Flush_patch] is reserved for live kernel patching (ROADMAP item 1),
+   whose patched-view generations will churn through the same API. *)
+type flush_cause =
+  | Flush_view_switch
+  | Flush_cow
+  | Flush_patch
+  | Flush_growth
+  | Flush_explicit
+
+let flush_cause_label = function
+  | Flush_view_switch -> "view_switch"
+  | Flush_cow -> "cow"
+  | Flush_patch -> "patch"
+  | Flush_growth -> "growth"
+  | Flush_explicit -> "explicit"
+
+let note_flushes t ~cause n =
+  if n > 0 then
+    Fc_obs.Metrics.add
+      (Fc_obs.Metrics.family_counter t.tlb_flushes_f (flush_cause_label cause))
+      n
 
 let image t = t.image
 let config t = t.config
 let obs t = t.obs
 let phys t = t.phys
+let tagged_on t = t.tagged_on
 let active_vcpu t = t.vcpus.(t.active)
 let active_vcpu_id t = t.active
 let vcpu_count t = Array.length t.vcpus
@@ -314,7 +365,7 @@ let decode_line_for t frame ~version =
 let dtlb_entry t page =
   let v = active_vcpu t in
   let e = Tlb.slot v.vdtlb page in
-  if e.Tlb.tag = page && e.Tlb.epoch = t.data_epoch then begin
+  if e.Tlb.tag = page && e.Tlb.stamp = t.data_epoch then begin
     Fc_obs.Metrics.incr t.tlb_d_hits;
     e
   end
@@ -326,24 +377,25 @@ let dtlb_entry t page =
         match Hashtbl.find_opt t.ram gpa_page with
         | None -> Tlb.null v.vdtlb
         | Some frame ->
-            Tlb.fill e ~tag:page ~epoch:t.data_epoch ~frame
+            Tlb.fill e ~tag:page ~stamp:t.data_epoch ~frame
               ~version:(Phys.version t.phys frame)
               ~bytes:(Phys.frame_bytes t.phys frame) ~payload:();
             e)
   end
 
-(* iTLB lookup: additionally validated against the EPT epoch (any
-   set_dir/map_page — i.e. any view switch — bumps it, flushing the whole
-   iTLB in O(1)) and the backing frame's version (so a COW break or a
-   lazy recovery write to the very frame we cached is caught with no
-   eager flush; the version bump also proves [bytes] still belongs to
-   this frame). *)
+(* iTLB lookup: additionally validated against the EPT view tag (the
+   packed (era, view, generation): a generation bump on the cached view
+   flushes its entries in O(1), while a tagged view switch merely changes
+   the active tag — entries cached under the re-entered view match again)
+   and the backing frame's version (so a COW break or a lazy recovery
+   write to the very frame we cached is caught with no eager flush; the
+   version bump also proves [bytes] still belongs to this frame). *)
 let itlb_entry t page =
   let v = active_vcpu t in
   let e = Tlb.slot v.vitlb page in
   if
     e.Tlb.tag = page
-    && e.Tlb.epoch = Ept.epoch v.vept
+    && e.Tlb.stamp = Ept.tag v.vept
     && e.Tlb.version = Phys.version t.phys e.Tlb.frame
   then begin
     Fc_obs.Metrics.incr t.tlb_i_hits;
@@ -358,17 +410,75 @@ let itlb_entry t page =
         | None -> Tlb.null v.vitlb
         | Some frame ->
             let version = Phys.version t.phys frame in
-            Tlb.fill e ~tag:page ~epoch:(Ept.epoch v.vept) ~frame ~version
+            Tlb.fill e ~tag:page ~stamp:(Ept.tag v.vept) ~frame ~version
               ~bytes:(Phys.frame_bytes t.phys frame)
               ~payload:(decode_line_for t frame ~version);
             e)
   end
 
-(* Invalidate every vCPU's fetch translations.  Called by the view layer
-   when an {e installed} (reference-shared) leaf table is remapped behind
-   the directories — a COW break or an on-demand private page — which no
-   [Ept.set_dir] can observe. *)
-let flush_fetch_tlbs t = Array.iter (fun v -> Ept.bump_epoch v.vept) t.vcpus
+(* Invalidate cached fetch translations on every vCPU.  Called by the
+   view layer when an {e installed} (reference-shared) leaf table is
+   remapped behind the directories — a COW break or an on-demand private
+   page — which no [Ept.set_dir] can observe.  When the caller knows
+   which view owns the mutated table and tagged caching is on, only that
+   view's generation is bumped, so translations other views hold (which
+   still map the old, untouched frame) survive; otherwise everything is
+   dropped. *)
+let flush_fetch_tlbs ?view ?(cause = Flush_explicit) t =
+  (match view with
+  | Some view when t.tagged_on ->
+      Array.iter (fun v -> Ept.bump_view v.vept ~view) t.vcpus
+  | None when t.tagged_on ->
+      (* no owner known: every view's cached entries are suspect —
+         including view-invariant (global) blocks, hence the global
+         generation bump *)
+      t.global_gen <- t.global_gen + 1;
+      Array.iter (fun v -> Ept.flush_all v.vept) t.vcpus
+  | _ ->
+      (* tags off: everything lives in view 0, one bump is the full
+         flush — and counts exactly what the pre-tag global epoch did *)
+      Array.iter (fun v -> Ept.bump v.vept) t.vcpus);
+  note_flushes t ~cause (Array.length t.vcpus)
+
+(* A destroyed view's translations can never be revalidated (view ids are
+   not reused), but retiring its tag keeps the invalidation honest without
+   the full flush the pre-tag scheme needed: other views' cached entries
+   are untouched.  No-op when tags are off — the legacy path's switch-away
+   bumps already flushed everything. *)
+let retire_view_translations ?(cause = Flush_explicit) t ~view =
+  if t.tagged_on then begin
+    Array.iter (fun v -> Ept.retire_view v.vept ~view) t.vcpus;
+    note_flushes t ~cause (Array.length t.vcpus)
+  end
+
+(* A kernel view remapped [gpa_page] to a private frame: from here on the
+   page's translation is view-dependent, so blocks built from it can
+   never be stamped view-invariant.  Monotone by design — un-diverging on
+   view destruction would need proof that no other view still diverges
+   the page, and staying conservative only costs those blocks a tag
+   compare.  Existing view-invariant blocks on the displaced frame are
+   not handled here: the caller's version touch on that frame is what
+   kills them. *)
+let note_divergent_page t ~gpa_page = Hashtbl.replace t.divergent gpa_page ()
+let page_divergent t ~gpa_page = Hashtbl.mem t.divergent gpa_page
+
+(* Record the current (view, page) -> frame binding.  Only accuracy at
+   read time matters for soundness — see [build_sblock]'s pre-stamping:
+   a stale entry could at worst mint a tag for a (view, generation) pair
+   that is either never active again (retired view, bumped generation)
+   or whose rebinding already version-touched the displaced frame and
+   killed the block.  Entries therefore need no cleanup on view
+   destruction. *)
+let note_view_binding t ~gpa_page ~view ~frame =
+  let per =
+    match Hashtbl.find_opt t.bindings gpa_page with
+    | Some per -> per
+    | None ->
+        let per = Hashtbl.create 4 in
+        Hashtbl.add t.bindings gpa_page per;
+        per
+  in
+  Hashtbl.replace per view frame
 
 let read_guest_byte_slow t gva =
   match ram_translate t gva with
@@ -461,6 +571,9 @@ let write_guest_u32 t gva v =
 let map_fresh_range t ~lo ~hi =
   let lo_page = Layout.page_of lo and hi_page = Layout.page_of (hi - 1) + 1 in
   let e0 = t.vcpus.(0).vept in
+  let flushes_before =
+    Array.fold_left (fun acc v -> acc + Ept.flushes v.vept) 0 t.vcpus
+  in
   for gva_page = lo_page to hi_page - 1 do
     let gpa_page = Layout.page_of (Layout.gva_to_gpa (gva_page * Layout.page_size)) in
     let frame = Phys.alloc t.phys in
@@ -468,14 +581,19 @@ let map_fresh_range t ~lo ~hi =
     (* map in vCPU 0, then alias its leaf table into any vCPU that does
        not have that directory yet: RAM mappings stay shared while each
        vCPU keeps its own directory (views replace directory entries
-       per-vCPU) *)
-    Ept.map_page e0 ~gpa_page ~hpa_frame:frame;
+       per-vCPU).  Under tags the installs are quiet: a fresh page was
+       never cached (no negative caching), so no generation needs to
+       move — the legacy path keeps its belt-and-braces bumps because
+       they are the pinned i_flushes count. *)
+    (if t.tagged_on then Ept.install_page else Ept.map_page)
+      e0 ~gpa_page ~hpa_frame:frame;
     let dir = Ept.dir_of_page gpa_page in
     let table = Option.get (Ept.get_dir e0 ~dir) in
     Array.iter
       (fun v ->
         if v.vid > 0 && Ept.get_dir v.vept ~dir = None then
-          Ept.set_dir v.vept ~dir (Some table))
+          (if t.tagged_on then Ept.install_dir else Ept.set_dir)
+            v.vept ~dir (Some table))
       t.vcpus;
     List.iter (fun pt -> Pt.map pt ~gva_page ~gpa_page) t.page_tables
   done;
@@ -483,7 +601,13 @@ let map_fresh_range t ~lo ~hi =
      add-only) and unmapped pages are never cached, so this bump is
      belt-and-braces rather than load-bearing — it also serves as the
      deterministic tlb.d_flushes count. *)
-  t.data_epoch <- t.data_epoch + 1
+  t.data_epoch <- t.data_epoch + 1;
+  let flushes_after =
+    Array.fold_left (fun acc v -> acc + Ept.flushes v.vept) 0 t.vcpus
+  in
+  (* the per-page map_page/set_dir generation bumps above, plus the data
+     epoch bump, all attribute to guest-RAM growth *)
+  note_flushes t ~cause:Flush_growth (flushes_after - flushes_before + 1)
 
 let copy_code_in t ~base (code : Bytes.t) =
   for i = 0 to Bytes.length code - 1 do
@@ -627,7 +751,10 @@ let dummy_sblock =
     sb_args = [||];
     sb_steps = [||];
     sb_exit = -1;
-    sb_epoch = -1;
+    sb_tag = -1;
+    sb_tag2 = -1;
+    sb_tag3 = -1;
+    sb_ggen = -1;
     sb_frame = -1;
     sb_version = -1;
     sb_trap_gen = -1;
@@ -635,7 +762,7 @@ let dummy_sblock =
   }
 
 let create ?(config = default_config) ?(vcpus = 1) ?obs ?(tlb = true)
-    ?(sblocks = false) image =
+    ?(sblocks = false) ?(tagged = true) image =
   if vcpus < 1 || vcpus > 8 then invalid_arg "Os.create: 1-8 vcpus";
   let obs = match obs with Some o -> o | None -> Fc_obs.Obs.create () in
   let master_pt = Pt.create () in
@@ -678,7 +805,11 @@ let create ?(config = default_config) ?(vcpus = 1) ?obs ?(tlb = true)
       instrs = ref 0;
       tlb_on = tlb;
       sblocks_on = sblocks;
+      tagged_on = tagged;
       trap_gen = 0;
+      divergent = Hashtbl.create 64;
+      bindings = Hashtbl.create 64;
+      global_gen = 0;
       data_epoch = 0;
       round_no = 0;
       context_switches = 0;
@@ -715,6 +846,10 @@ let create ?(config = default_config) ?(vcpus = 1) ?obs ?(tlb = true)
       sb_hits = Fc_obs.Metrics.counter (Fc_obs.Obs.metrics obs) ~subsystem:"sb" "hits";
       sb_invals = Fc_obs.Metrics.counter (Fc_obs.Obs.metrics obs) ~subsystem:"sb" "invalidations";
       sb_chains = Fc_obs.Metrics.counter (Fc_obs.Obs.metrics obs) ~subsystem:"sb" "chain_follows";
+      sb_restamps = Fc_obs.Metrics.counter (Fc_obs.Obs.metrics obs) ~subsystem:"sb" "restamps";
+      tlb_flushes_f =
+        Fc_obs.Metrics.counter_family (Fc_obs.Obs.metrics obs) ~subsystem:"tlb"
+          "flushes";
     }
   in
   (* decode lines (and, transitively, the blocks rebuilt from them) are
@@ -740,7 +875,7 @@ let create ?(config = default_config) ?(vcpus = 1) ?obs ?(tlb = true)
     Fc_obs.Metrics.gauge (Fc_obs.Obs.metrics obs) ~subsystem:"tlb" name f
   in
   tlb_gauge "i_flushes" (fun () ->
-      Array.fold_left (fun acc v -> acc + Ept.epoch v.vept) 0 t.vcpus);
+      Array.fold_left (fun acc v -> acc + Ept.flushes v.vept) 0 t.vcpus);
   tlb_gauge "d_flushes" (fun () -> t.data_epoch);
   (* base kernel text *)
   let text_lo = Image.text_base image and text_hi = Image.text_end image in
@@ -842,10 +977,12 @@ let cached_decode t pc =
 (* Decode-once basic blocks (DESIGN.md §10).  A block is built from the
    bytes of the single host frame backing its page — translated through
    the master page table and the active vCPU's EPT, exactly like the
-   fetch path — and snapshots (EPT epoch, frame version, trap generation)
-   at build time.  Any view switch ([Ept.set_dir]), COW break or recovery
-   write ([Phys_mem.version]), [table_set] splice ([flush_fetch_tlbs]'s
-   epoch bump) or trap-set change invalidates it with zero eager work. *)
+   fetch path — and snapshots (EPT view tag, frame version, trap
+   generation) at build time.  A generation bump on the block's view
+   ([Ept.set_dir], a COW splice via [flush_fetch_tlbs]), a write to the
+   backing frame ([Phys_mem.version]) or a trap-set change invalidates it
+   with zero eager work; a tagged view switch merely changes the active
+   tag, so a re-entered view's blocks compare valid untouched. *)
 
 let sblock_cap = 64
 
@@ -859,7 +996,40 @@ let build_sblock t pc =
         match Ept.translate_page v.vept gpa_page with
         | None -> None
         | Some frame ->
-            let epoch = Ept.epoch v.vept in
+            let tag = Ept.tag v.vept in
+            (* global-page stamp: a page no view has ever remapped
+               translates identically under every view, so the block can
+               skip tag validation for as long as no bare full flush
+               bumps the global generation (and any later divergence of
+               the page kills it through the displaced frame's version
+               touch) *)
+            let ggen =
+              if t.tagged_on && not (Hashtbl.mem t.divergent gpa_page) then
+                t.global_gen
+              else -1
+            in
+            (* pre-stamp the tag memo with sibling views currently
+               binding this page to this very frame: the first switch
+               into a sibling then revalidates the block by compare
+               instead of restamping.  A pre-stamped tag only ever
+               matches while that view is active at this same era and
+               generation, and any later rebinding of the sibling's page
+               version-touches this frame and kills the block — so a
+               stale stamp is inert, never unsound. *)
+            let tag2 = ref (-1) and tag3 = ref (-1) in
+            (if ggen < 0 && t.tagged_on then
+               match Hashtbl.find_opt t.bindings gpa_page with
+               | None -> ()
+               | Some per ->
+                   Hashtbl.iter
+                     (fun view frame' ->
+                       if frame' = frame then begin
+                         let tg = Ept.tag_for v.vept ~view in
+                         if tg <> tag && !tag2 < 0 then tag2 := tg
+                         else if tg <> tag && !tag3 < 0 && tg <> !tag2 then
+                           tag3 := tg
+                       end)
+                     per);
             let version = Phys.version t.phys frame in
             let bytes = Phys.frame_bytes t.phys frame in
             let base = pc - (pc land page_mask) in
@@ -943,7 +1113,10 @@ let build_sblock t pc =
                   sb_args = Array.map (fun (_, _, _, g) -> g) items;
                   sb_steps = steps;
                   sb_exit = !exit_pc;
-                  sb_epoch = epoch;
+                  sb_tag = tag;
+                  sb_tag2 = !tag2;
+                  sb_tag3 = !tag3;
+                  sb_ggen = ggen;
                   sb_frame = frame;
                   sb_version = version;
                   sb_trap_gen = t.trap_gen;
@@ -1010,23 +1183,56 @@ let sblock_current_frame t (v : vcpu) pc =
       | Some frame -> frame)
 
 (* Validity = freshness plus "the current translation still maps this pc
-   to the frame the block decoded from".  The epoch stamp is a fast path
-   for the second half: when it matches, no EPT mapping this vCPU sees
-   has changed since the block was validated, so the translation check is
-   skipped.  On a mismatch we re-translate; if the frame is unchanged
-   (the common case after a view switched away and back, or a flush that
-   spliced some *other* page) the block is restamped in place rather than
-   rebuilt.  A genuine splice of this page yields a different frame and
-   the block dies. *)
+   to the frame the block decoded from".  The tag stamp is a fast path
+   for the second half: when it matches, the view that validated the
+   block is active again with no generation bump in between, so the
+   translation check is skipped — under tagged switching this is the
+   common case and a view switched away and back costs nothing.  On a
+   mismatch we re-translate; if the frame is unchanged (always the case
+   on the untagged path after a view switched away and back, or after a
+   flush that spliced some *other* page) the block is restamped in place
+   rather than rebuilt — [sb.restamps] counts exactly these, the
+   per-switch revalidation tax tags exist to eliminate.  A genuine splice
+   of this page yields a different frame and the block dies. *)
 let sblock_valid t (v : vcpu) (b : Cpu.sblock) =
   sblock_fresh t b
-  && (b.Cpu.sb_epoch = Ept.epoch v.vept
+  && ((* global pages first: a view-invariant block needs no tag at all —
+         every view resolves its pc to the very frame it decoded *)
+      b.Cpu.sb_ggen = t.global_gen
      ||
-     if sblock_current_frame t v b.Cpu.sb_start = b.Cpu.sb_frame then begin
-       b.Cpu.sb_epoch <- Ept.epoch v.vept;
-       true
-     end
-     else false)
+     let tag = Ept.tag v.vept in
+  b.Cpu.sb_tag = tag
+  || (b.Cpu.sb_tag2 = tag
+     && begin
+          (* tag memo hit (the PCID-cache case): the block was already
+             verified under this exact (era, view, gen) — a tag any
+             later bump would have changed — so the translation check is
+             skipped and the tags swap MRU-first.  This is what lets one
+             shared frame's blocks rotate between views with zero
+             restamps. *)
+          b.Cpu.sb_tag2 <- b.Cpu.sb_tag;
+          b.Cpu.sb_tag <- tag;
+          true
+        end)
+  || (b.Cpu.sb_tag3 = tag
+     && begin
+          b.Cpu.sb_tag3 <- b.Cpu.sb_tag2;
+          b.Cpu.sb_tag2 <- b.Cpu.sb_tag;
+          b.Cpu.sb_tag <- tag;
+          true
+        end)
+  ||
+  if sblock_current_frame t v b.Cpu.sb_start = b.Cpu.sb_frame then begin
+    b.Cpu.sb_tag3 <- b.Cpu.sb_tag2;
+    b.Cpu.sb_tag2 <- b.Cpu.sb_tag;
+    b.Cpu.sb_tag <- tag;
+    (* a block stamped global before a bare full flush just re-proved its
+       translation; re-arm the fast path under the new generation *)
+    if b.Cpu.sb_ggen >= 0 then b.Cpu.sb_ggen <- t.global_gen;
+    Fc_obs.Metrics.incr t.sb_restamps;
+    true
+  end
+  else false)
 
 let sblock_probe t (v : vcpu) pc =
   (* index on pc with the page bits folded in: block starts cluster at
@@ -1059,14 +1265,19 @@ let sblock_probe t (v : vcpu) pc =
           | Some per -> (
               match Hashtbl.find_opt per (pc land page_mask) with
               | Some b when b.Cpu.sb_start = pc && sblock_fresh t b ->
-                  b.Cpu.sb_epoch <- Ept.epoch v.vept;
+                  let tag = Ept.tag v.vept in
+                  if b.Cpu.sb_tag <> tag then begin
+                    b.Cpu.sb_tag3 <- b.Cpu.sb_tag2;
+                    b.Cpu.sb_tag2 <- b.Cpu.sb_tag;
+                    b.Cpu.sb_tag <- tag
+                  end;
                   Some b
               | _ -> None))
     in
     match resurrected with
     | Some b ->
         Fc_obs.Metrics.incr t.sb_hits;
-        Tlb.fill e ~tag:pc ~epoch:b.Cpu.sb_epoch ~frame:b.Cpu.sb_frame
+        Tlb.fill e ~tag:pc ~stamp:b.Cpu.sb_tag ~frame:b.Cpu.sb_frame
           ~version:b.Cpu.sb_version ~bytes:Bytes.empty ~payload:b;
         v.vsb_last <- Some b;
         Some b
@@ -1077,7 +1288,7 @@ let sblock_probe t (v : vcpu) pc =
             None
         | Some b ->
             Fc_obs.Metrics.incr t.sb_built;
-            Tlb.fill e ~tag:pc ~epoch:b.Cpu.sb_epoch ~frame:b.Cpu.sb_frame
+            Tlb.fill e ~tag:pc ~stamp:b.Cpu.sb_tag ~frame:b.Cpu.sb_frame
               ~version:b.Cpu.sb_version ~bytes:Bytes.empty ~payload:b;
             v.vsb_last <- Some b;
             Some b)
@@ -1512,12 +1723,17 @@ type frozen_vcpu = {
          run (or the tail of an interrupted slice) is still pending
          attribution to os.run_cycles{current}, and the restored machine
          must charge the same window the uninterrupted one would *)
+  zv_tags : Ept.tags;
+      (* per-view generations, active view/era and the flush count: a
+         restored machine's tlb.i_flushes gauge and tag validity evolve
+         exactly as the uninterrupted one's would *)
 }
 
 type frozen = {
   z_config : config;
   z_tlb_on : bool;
   z_sblocks_on : bool;
+  z_tagged_on : bool;
   z_cycles : int;
   z_instrs : int;
   z_round_no : int;
@@ -1526,6 +1742,8 @@ type frozen = {
   z_next_module_base : int;
   z_data_epoch : int;
   z_trap_gen : int;
+  z_global_gen : int;
+  z_divergent : int list; (* view-diverged gpa pages, sorted *)
   z_ram : (int * int) list; (* gpa_page -> host frame, sorted *)
   z_phys : Phys.frozen;
   z_master_pt : (int * int) list;
@@ -1566,6 +1784,7 @@ let freeze t ~table_id =
     z_config = t.config;
     z_tlb_on = t.tlb_on;
     z_sblocks_on = t.sblocks_on;
+    z_tagged_on = t.tagged_on;
     z_cycles = !(t.cycles);
     z_instrs = !(t.instrs);
     z_round_no = t.round_no;
@@ -1574,6 +1793,9 @@ let freeze t ~table_id =
     z_next_module_base = t.next_module_base;
     z_data_epoch = t.data_epoch;
     z_trap_gen = t.trap_gen;
+    z_global_gen = t.global_gen;
+    z_divergent =
+      List.sort compare (Hashtbl.fold (fun p () acc -> p :: acc) t.divergent []);
     z_ram =
       List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.ram []);
     z_phys = Phys.export t.phys;
@@ -1589,6 +1811,7 @@ let freeze t ~table_id =
                zv_in_interrupt = v.vin_interrupt;
                zv_idle_last_round = v.vidle.Process.last_scheduled_round;
                zv_slice_start = v.vslice_start;
+               zv_tags = Ept.freeze_tags v.vept;
              })
            t.vcpus);
     z_procs = List.map freeze_proc t.procs_rev;
@@ -1664,8 +1887,12 @@ let thaw ?obs ~image ~table_of (z : frozen) =
     vidle.Process.last_scheduled_round <- zv.zv_idle_last_round;
     let vept = Ept.create () in
     List.iter
-      (fun (dir, id) -> Ept.set_dir vept ~dir (Some (table_of id)))
+      (fun (dir, id) -> Ept.install_dir vept ~dir (Some (table_of id)))
       zv.zv_dirs;
+    (* tags last: the frozen view/era/generations (and flush count)
+       overwrite whatever construction did, so the i_flushes gauge and
+       tag validity resume exactly where the snapshot left them *)
+    Ept.restore_tags vept zv.zv_tags;
     let vcurrent =
       if zv.zv_current_pid = vid then vidle
       else
@@ -1737,7 +1964,16 @@ let thaw ?obs ~image ~table_of (z : frozen) =
       instrs = ref z.z_instrs;
       tlb_on = z.z_tlb_on;
       sblocks_on = z.z_sblocks_on;
+      tagged_on = z.z_tagged_on;
       trap_gen = 0;
+      divergent =
+        (let d = Hashtbl.create 64 in
+         List.iter (fun p -> Hashtbl.replace d p ()) z.z_divergent;
+         d);
+      (* deliberately not serialized: an empty registry only forfeits
+         pre-stamping (first re-entries restamp once), never soundness *)
+      bindings = Hashtbl.create 64;
+      global_gen = z.z_global_gen;
       data_epoch = z.z_data_epoch;
       round_no = z.z_round_no;
       context_switches = z.z_context_switches;
@@ -1769,6 +2005,9 @@ let thaw ?obs ~image ~table_of (z : frozen) =
       sb_hits = Fc_obs.Metrics.counter metrics ~subsystem:"sb" "hits";
       sb_invals = Fc_obs.Metrics.counter metrics ~subsystem:"sb" "invalidations";
       sb_chains = Fc_obs.Metrics.counter metrics ~subsystem:"sb" "chain_follows";
+      sb_restamps = Fc_obs.Metrics.counter metrics ~subsystem:"sb" "restamps";
+      tlb_flushes_f =
+        Fc_obs.Metrics.counter_family metrics ~subsystem:"tlb" "flushes";
     }
   in
   Phys.import t.phys z.z_phys;
@@ -1788,7 +2027,7 @@ let thaw ?obs ~image ~table_of (z : frozen) =
   gauge "decode_cache_frames" (fun () -> Hashtbl.length t.decode_cache);
   let tlb_gauge name f = Fc_obs.Metrics.gauge metrics ~subsystem:"tlb" name f in
   tlb_gauge "i_flushes" (fun () ->
-      Array.fold_left (fun acc v -> acc + Ept.epoch v.vept) 0 t.vcpus);
+      Array.fold_left (fun acc v -> acc + Ept.flushes v.vept) 0 t.vcpus);
   tlb_gauge "d_flushes" (fun () -> t.data_epoch);
   (* traps: refill the set, rebuild the sorted mirror, then pin the
      generation back to the frozen value (superblock caches are empty, so

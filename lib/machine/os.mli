@@ -40,7 +40,7 @@ type t
 
 val create :
   ?config:config -> ?vcpus:int -> ?obs:Fc_obs.Obs.t -> ?tlb:bool ->
-  ?sblocks:bool -> Fc_kernel.Image.t -> t
+  ?sblocks:bool -> ?tagged:bool -> Fc_kernel.Image.t -> t
 (** Boots the guest: lays the base kernel image into guest-physical
     frames, builds one identity EPT {e per vCPU} (default 1, max 8 — the
     paper's §V-C extension), creates one idle process per vCPU
@@ -76,7 +76,21 @@ val create :
     behavior is bit-identical with the toggle on or off (the differential
     harness in test/differential.ml enforces this across the whole
     {[sblocks] × [tlb]} matrix); only the [sb.*] metrics and wall-clock
-    speed differ.  Orthogonal to [tlb]. *)
+    speed differ.  Orthogonal to [tlb].
+
+    [tagged] (default [true]) enables view-tagged translation caching,
+    the software analogue of VPID/PCID: cached translations (TLB entries,
+    superblock stamps) carry a packed [(era, view, generation)] tag
+    ({!Fc_mem.Ept.tag}) and the facechange layer switches kernel views by
+    changing the active tag ({!Fc_mem.Ept.set_view} + quiet directory
+    installs) instead of bumping generations — so a switch between two
+    already-seen views flushes nothing and re-entry revalidates by
+    compare.  With [tagged:false] every view switch bumps the active
+    generation exactly as the pre-tag global epoch did.  Guest-visible
+    behavior, instruction and cycle counts are identical either way (the
+    differential harness enforces the full {[tagged] × [sblocks] ×
+    [tlb]} matrix); only the [tlb.*]/[sb.*] metrics and wall-clock speed
+    differ. *)
 
 val obs : t -> Fc_obs.Obs.t
 (** The guest's observability hub. *)
@@ -97,6 +111,11 @@ val ept : t -> Fc_mem.Ept.t
     vCPU's (which is what per-vCPU view switching manipulates). *)
 
 val ept_of : t -> vid:int -> Fc_mem.Ept.t
+
+val tagged_on : t -> bool
+(** Whether view-tagged translation caching is enabled (the [tagged]
+    creation flag) — the facechange layer consults this to pick the
+    retag-only or legacy bump-every-directory switch-in path. *)
 
 (* ---------------- processes ---------------- *)
 
@@ -229,13 +248,67 @@ val ram_frame : t -> gpa_page:int -> int option
     "original kernel code pages" that recovery fetches from, and the frames
     a full kernel view maps back to. *)
 
-val flush_fetch_tlbs : t -> unit
-(** Invalidate every vCPU's cached fetch translations (O(1): bumps each
-    EPT's epoch).  Required when an {e installed}, reference-shared EPT
-    leaf table is remapped behind the directory ([Ept.table_set] — a COW
-    break or an on-demand private view page): no [Ept.set_dir] runs, so
-    no epoch would otherwise move.  Plain view switches and [map_page]
-    calls self-invalidate and do not need this. *)
+type flush_cause =
+  | Flush_view_switch  (** legacy (untagged) view switch-in bumps *)
+  | Flush_cow  (** COW break / on-demand private view page splice *)
+  | Flush_patch  (** reserved: live kernel patching (ROADMAP item 1) *)
+  | Flush_growth  (** guest RAM growth ([map_fresh_range]) *)
+  | Flush_explicit  (** caller-requested, incl. view retirement *)
+(** Why cached fetch translations were invalidated.  Every invalidation
+    site attributes to the [tlb.flushes{cause}] counter family, so the
+    bench can prove view-switch-caused flushes drop to ~0 under tagged
+    caching while COW/growth flushes stay put. *)
+
+val flush_fetch_tlbs : ?view:int -> ?cause:flush_cause -> t -> unit
+(** Invalidate cached fetch translations on every vCPU (O(1) per vCPU:
+    generation bumps).  Required when an {e installed}, reference-shared
+    EPT leaf table is remapped behind the directory ([Ept.table_set] — a
+    COW break or an on-demand private view page): no [Ept.set_dir] runs,
+    so no generation would otherwise move.  When [view] names the owner
+    of the mutated table and tagged caching is on, only that view's
+    generation is bumped — translations other views hold still map the
+    old, untouched frame and survive.  Without [view] (or with tags
+    off) everything is dropped.  [cause] (default [Flush_explicit])
+    labels the [tlb.flushes{cause}] attribution.  Plain view switches
+    and [map_page] calls self-invalidate and do not need this. *)
+
+val retire_view_translations : ?cause:flush_cause -> t -> view:int -> unit
+(** Retire a destroyed view's tag on every vCPU: its cached translations
+    can never revalidate (view ids are not reused), and other views'
+    entries are untouched — the tagged replacement for the full flush
+    the pre-tag unload/disable/quarantine paths paid.  No-op when tags
+    are off ([create ~tagged:false]): there the switch-away from the
+    dying view already bumped the only generation there is. *)
+
+val note_flushes : t -> cause:flush_cause -> int -> unit
+(** Attribute [n] already-performed invalidation events to
+    [tlb.flushes{cause}] — for layers (facechange's legacy switch-in
+    path) that drive [Ept] directly rather than through
+    {!flush_fetch_tlbs}. *)
+
+val note_divergent_page : t -> gpa_page:int -> unit
+(** Record that a kernel view remapped [gpa_page] to a private frame, so
+    the page's translation is view-{e dependent} from now on.  Monotone:
+    destroying the view does not un-diverge the page.  Superblocks built
+    from pages {e outside} this set carry the x86 global-page stamp and
+    skip tag validation entirely — they are what make a fresh guest's
+    first switch into each view restamp-free, not just re-entries.  The
+    caller must pair this with a {!Fc_mem.Phys_mem.touch} of the
+    displaced frame (the view layer's COW/materialization path does):
+    that version bump is what kills any already-built global block on
+    it. *)
+
+val page_divergent : t -> gpa_page:int -> bool
+(** Whether {!note_divergent_page} was ever called for [gpa_page]. *)
+
+val note_view_binding : t -> gpa_page:int -> view:int -> frame:int -> unit
+(** Record that [view] currently maps [gpa_page] to [frame], replacing
+    the view's previous binding for the page.  When several views bind a
+    page to one shared frame, superblocks built there are pre-stamped
+    with every sibling's tag ({!Fc_mem.Ept.tag_for}), so even the {e
+    first} switch into a sibling revalidates them by compare — the last
+    source of per-switch restamps.  Call on every view-private remap of
+    a kernel page (the view layer's materialization/COW path does). *)
 
 val vmi_current_task : t -> int * string
 (** Read the guest's current-task pointer chain: (pid, comm). *)
@@ -342,12 +415,17 @@ type frozen_vcpu = {
   zv_slice_start : int;
       (** start cycle of the still-open run slice — pending
           [os.run_cycles] attribution the restored machine must charge *)
+  zv_tags : Fc_mem.Ept.tags;
+      (** active view/era, per-view generations and the flush count —
+          restored last so tag validity and the [tlb.i_flushes] gauge
+          resume exactly where the snapshot left them *)
 }
 
 type frozen = {
   z_config : config;
   z_tlb_on : bool;
   z_sblocks_on : bool;
+  z_tagged_on : bool;
   z_cycles : int;
   z_instrs : int;
   z_round_no : int;
@@ -356,6 +434,8 @@ type frozen = {
   z_next_module_base : int;
   z_data_epoch : int;
   z_trap_gen : int;
+  z_global_gen : int;
+  z_divergent : int list;  (** view-diverged gpa pages, sorted *)
   z_ram : (int * int) list;  (** gpa_page -> host frame, sorted *)
   z_phys : Fc_mem.Phys_mem.frozen;
   z_master_pt : (int * int) list;

@@ -11,7 +11,33 @@
 
     Page tables are first-class ({!table}) so that every kernel view can
     pre-build its tables once at load time and switching is pointer
-    assignment, exactly as in the paper. *)
+    assignment, exactly as in the paper.
+
+    {1 View-tagged translation validity}
+
+    Cached translations (software TLB entries, superblock stamps) are not
+    validated against a single global epoch but against a packed
+    {e (era, view, generation)} tag, mirroring hardware VPID/PCID:
+
+    - every kernel view gets a compact id; view 0 is the full/original
+      kernel view;
+    - each view carries its own generation counter, bumped whenever that
+      view's gpa→frame mapping may have changed ([set_dir], [map_page],
+      {!bump_view});
+    - the {e active tag} packs the era, the active view id and that
+      view's current generation into one int.
+
+    A cached entry is valid iff its fill-time tag equals the active tag —
+    one integer compare.  Switching between two already-seen views only
+    changes the active tag ({!set_view} + {!install_dir}); nothing is
+    flushed, and translations cached under the re-entered view revalidate
+    by comparison.  Mutating one view's mapping bumps only that view's
+    generation, so other views' cached translations survive.
+
+    Generation wraparound: when a view's generation would exceed
+    [2^gen_bits - 1] the {e era} is bumped instead and every per-view
+    generation resets to 0 — tags minted in any earlier era can never
+    compare equal again, making overflow safe at O(1) amortized cost. *)
 
 val entries_per_table : int
 (** 1024. *)
@@ -23,6 +49,7 @@ type table
 
 val table_create : unit -> table
 val table_copy : table -> table
+
 val table_set : table -> idx:int -> int option -> unit
 (** Map table slot [idx] to a host frame, or unmap with [None].
 
@@ -38,31 +65,93 @@ val table_get : table -> idx:int -> int option
 type t
 
 val create : unit -> t
+(** Active view 0, era 0, every generation 0. *)
 
-val epoch : t -> int
-(** Translation epoch: a counter bumped whenever the gpa→frame mapping
-    may have changed through {e this} structure ([set_dir], [map_page])
-    or was explicitly invalidated ({!bump_epoch}).  Software TLBs tag
-    entries with the epoch at fill time and treat any mismatch as a
-    miss, so a view switch (a [set_dir] swap) flushes every cached
-    translation in O(1) with no eager walk. *)
+val gen_bits : int
+(** Generation field width of the packed tag (20). *)
 
-val bump_epoch : t -> unit
-(** Force-invalidate cached translations derived from [t].  Needed when
-    a page table {e shared by reference} (installed view tables) is
-    mutated behind the directory via {!table_set} — e.g. a
-    copy-on-write break — which [set_dir] cannot observe. *)
+val view_bits : int
+(** View-id field width of the packed tag (20). *)
+
+val max_view : int
+(** Largest representable view id, [2^view_bits - 1]. *)
+
+val tag : t -> int
+(** The active packed [(era, view, generation)] tag.  Consumers stamp
+    cached translations with this value at fill time and treat any later
+    mismatch as a miss.  Strictly non-negative. *)
+
+val tag_for : t -> view:int -> int
+(** The tag [view] {e would} mint if activated right now — what {!tag}
+    returns after [set_view t ~view].  Lets a consumer pre-stamp a cached
+    translation it can prove valid under a non-active view (e.g. a
+    superblock on a frame several views share): the stamp is inert unless
+    that view is re-activated at this same era and generation. *)
+
+val view : t -> int
+(** The active view id. *)
+
+val gen : t -> view:int -> int
+(** Current generation of [view] (0 if never bumped this era). *)
+
+val flushes : t -> int
+(** Number of invalidation events ever applied: every generation bump
+    ({!set_dir}, {!map_page}, {!bump}, {!bump_view}, {!retire_view})
+    plus every {!flush_all}.  When {!set_view} is never called the
+    structure degenerates to the pre-tag global-epoch scheme and this
+    counts exactly what the old [epoch] did. *)
+
+val set_view : t -> view:int -> unit
+(** Make [view] the active view.  {b Flushes nothing} — translations
+    cached under the new view in an earlier activation revalidate by tag
+    compare.  Callers are responsible for also pointing the directory at
+    the view's tables ({!install_dir}).
+    @raise Invalid_argument if [view] is outside [[0, max_view]]. *)
+
+val bump : t -> unit
+(** Bump the {e active} view's generation, invalidating translations
+    cached under it.  Other views' cached translations survive. *)
+
+val bump_view : t -> view:int -> unit
+(** Bump [view]'s generation (whether or not it is active).  Used when a
+    page table owned by a non-active view is mutated behind the
+    directory — e.g. a COW break on a frame the view maps privately. *)
+
+val retire_view : t -> view:int -> unit
+(** Invalidate every translation cached under [view] because the view is
+    being destroyed (unload, disable, quarantine).  Equivalent to a
+    generation bump; other views are untouched.  View ids are never
+    reused by the hypervisor, so a retired tag can never be minted
+    again. *)
+
+val flush_all : t -> unit
+(** Drop every cached translation for {e all} views by bumping the era:
+    any tag minted before this call mismatches forever.  The
+    belt-and-braces big hammer; per-view bumps are the normal path. *)
 
 val set_dir : t -> dir:int -> table option -> unit
 (** Point directory entry [dir] at a (possibly shared) page table.
-    Bumps the epoch. *)
+    Bumps the active view's generation — the legacy epoch-like path used
+    when tags are off. *)
+
+val install_dir : t -> dir:int -> table option -> unit
+(** Like {!set_dir} but {b quiet}: no generation bump.  The tagged
+    view-switch path — combined with {!set_view}, switching to an
+    already-seen view flushes nothing because its cached translations
+    carry the view's own still-current tag. *)
 
 val get_dir : t -> dir:int -> table option
 
 val map_page : t -> gpa_page:int -> hpa_frame:int -> unit
 (** Convenience single-page mapping; allocates the directory's table if
     absent.  Used to build the initial identity-style guest mapping.
-    Bumps the epoch. *)
+    Bumps the active view's generation. *)
+
+val install_page : t -> gpa_page:int -> hpa_frame:int -> unit
+(** Like {!map_page} but {b quiet}: no generation bump.  Sound only for
+    mapping a {e previously unmapped} page — consumers never cache
+    negative translations, so nothing stale can exist for it.  The
+    tagged guest-RAM growth path. *)
 
 val translate_page : t -> int -> int option
 (** [translate_page t gpa_page] — host frame number. *)
@@ -93,3 +182,20 @@ val table_entries : table -> (int * int) list
 val table_of_entries : (int * int) list -> table
 (** Rebuild a table from its sparse entries.
     @raise Invalid_argument on a slot outside [[0, entries_per_table)]. *)
+
+type tags = {
+  zt_view : int;
+  zt_era : int;
+  zt_flushes : int;
+  zt_gens : (int * int) list;  (** (view id, generation), sorted by view *)
+}
+(** Frozen tag state, serialized by the snapshot codec so restored
+    guests keep their per-view generations (and flush gauge) instead of
+    restarting every counter at zero. *)
+
+val freeze_tags : t -> tags
+val restore_tags : t -> tags -> unit
+(** Overwrites the live tag state (view, era, generations, flush count)
+    and recomputes the active tag.  Directory contents are untouched —
+    the snapshot layer installs those separately via {!install_dir} /
+    {!set_dir}. *)

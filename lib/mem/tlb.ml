@@ -1,6 +1,6 @@
 type 'a entry = {
   mutable tag : int;
-  mutable epoch : int;
+  mutable stamp : int;
   mutable frame : int;
   mutable version : int;
   mutable bytes : Bytes.t;
@@ -16,7 +16,7 @@ type 'a t = {
 let no_tag = -1
 
 let fresh_entry payload =
-  { tag = no_tag; epoch = no_tag; frame = no_tag; version = no_tag;
+  { tag = no_tag; stamp = no_tag; frame = no_tag; version = no_tag;
     bytes = Bytes.empty; payload }
 
 let create ?(bits = 6) ~payload () =
@@ -30,9 +30,9 @@ let size t = Array.length t.entries
 let slot t page = Array.unsafe_get t.entries (page land t.mask)
 let null t = t.null
 
-let fill e ~tag ~epoch ~frame ~version ~bytes ~payload =
+let fill e ~tag ~stamp ~frame ~version ~bytes ~payload =
   e.tag <- tag;
-  e.epoch <- epoch;
+  e.stamp <- stamp;
   e.frame <- frame;
   e.version <- version;
   e.bytes <- bytes;

@@ -13,11 +13,12 @@
 
     - [tag = page] — the slot actually holds this page (direct-mapped
       conflicts just overwrite each other);
-    - [epoch = <current epoch>] — no mapping change since fill.  The
-      fetch path uses {!Ept.epoch} (bumped by every [set_dir]/[map_page],
-      so a kernel-view switch flushes the whole iTLB in O(1), mirroring
-      the EPTP switch on hardware); the data path uses an OS-level
-      generation counter bumped when guest RAM grows.
+    - [stamp = <current validity stamp>] — no mapping change since fill.
+      The fetch path uses {!Ept.tag} (the packed view/generation tag, so
+      a kernel-view switch retags rather than flushes and a re-entered
+      view's entries revalidate by compare, mirroring VPID); the data
+      path uses an OS-level generation counter bumped when guest RAM
+      grows.
     - [version = Phys_mem.version frame] (fetch path only) — no write to
       the backing frame since fill, which keeps copy-on-write breaks and
       lazy recovery writes coherent with {e zero} eager flushing, and
@@ -29,7 +30,8 @@
 
 type 'a entry = {
   mutable tag : int;      (** guest-virtual page number; [-1] = empty *)
-  mutable epoch : int;    (** mapping epoch at fill time *)
+  mutable stamp : int;    (** caller-defined validity stamp at fill time
+                              (fetch: {!Ept.tag}; data: RAM generation) *)
   mutable frame : int;    (** host frame backing the page *)
   mutable version : int;  (** {!Phys_mem.version} of [frame] at fill time *)
   mutable bytes : Bytes.t;  (** the frame's live storage *)
@@ -58,9 +60,12 @@ val null : 'a t -> 'a entry
     callers test [e.tag = page] instead of allocating an option. *)
 
 val fill :
-  'a entry -> tag:int -> epoch:int -> frame:int -> version:int ->
+  'a entry -> tag:int -> stamp:int -> frame:int -> version:int ->
   bytes:Bytes.t -> payload:'a -> unit
 
 val invalidate_all : 'a t -> unit
-(** Drop every entry.  Rarely needed — epoch bumps are the normal flush
-    mechanism — but useful for tests and belt-and-braces resets. *)
+(** Drop every entry.  A last-resort reset: stamp mismatches are the
+    normal flush mechanism, and retiring a single view's tag
+    ({!Ept.retire_view}) invalidates just that view's entries without
+    touching translations other views still hold — prefer those over
+    this full wipe outside tests. *)

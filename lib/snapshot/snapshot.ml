@@ -519,12 +519,29 @@ let r_frozen_timer r =
   let zt_next_at = r_int r in
   { Os.zt_source; zt_period; zt_next_at }
 
+(* Format version 2: each vCPU carries its EPT tag state (active view,
+   era, per-view generations, flush count) so view-tagged translation
+   validity — and the tlb.i_flushes gauge — survive restore. *)
+let w_ept_tags b (z : Ept.tags) =
+  w_int b z.Ept.zt_view;
+  w_int b z.Ept.zt_era;
+  w_int b z.Ept.zt_flushes;
+  w_list b w_int_pair z.Ept.zt_gens
+
+let r_ept_tags r =
+  let zt_view = r_int r in
+  let zt_era = r_int r in
+  let zt_flushes = r_int r in
+  let zt_gens = r_list r r_int_pair in
+  { Ept.zt_view; zt_era; zt_flushes; zt_gens }
+
 let w_frozen_vcpu b (v : Os.frozen_vcpu) =
   w_list b w_int_pair v.Os.zv_dirs;
   w_int b v.Os.zv_current_pid;
   w_bool b v.Os.zv_in_interrupt;
   w_int b v.Os.zv_idle_last_round;
-  w_int b v.Os.zv_slice_start
+  w_int b v.Os.zv_slice_start;
+  w_ept_tags b v.Os.zv_tags
 
 let r_frozen_vcpu r =
   let zv_dirs = r_list r r_int_pair in
@@ -532,12 +549,14 @@ let r_frozen_vcpu r =
   let zv_in_interrupt = r_bool r in
   let zv_idle_last_round = r_int r in
   let zv_slice_start = r_int r in
+  let zv_tags = r_ept_tags r in
   {
     Os.zv_dirs;
     zv_current_pid;
     zv_in_interrupt;
     zv_idle_last_round;
     zv_slice_start;
+    zv_tags;
   }
 
 (* The physical pool splits across two sections: frame contents live in
@@ -571,6 +590,7 @@ let w_os ~content_id b (z : Os.frozen) =
   w_config b z.Os.z_config;
   w_bool b z.Os.z_tlb_on;
   w_bool b z.Os.z_sblocks_on;
+  w_bool b z.Os.z_tagged_on;
   w_int b z.Os.z_cycles;
   w_int b z.Os.z_instrs;
   w_int b z.Os.z_round_no;
@@ -579,6 +599,8 @@ let w_os ~content_id b (z : Os.frozen) =
   w_int b z.Os.z_next_module_base;
   w_int b z.Os.z_data_epoch;
   w_int b z.Os.z_trap_gen;
+  w_int b z.Os.z_global_gen;
+  w_list b w_int z.Os.z_divergent;
   w_list b w_int_pair z.Os.z_ram;
   w_phys ~content_id b z.Os.z_phys;
   w_list b w_int_pair z.Os.z_master_pt;
@@ -594,6 +616,7 @@ let r_os ~content_of r =
   let z_config = r_config r in
   let z_tlb_on = r_bool r in
   let z_sblocks_on = r_bool r in
+  let z_tagged_on = r_bool r in
   let z_cycles = r_int r in
   let z_instrs = r_int r in
   let z_round_no = r_int r in
@@ -602,6 +625,8 @@ let r_os ~content_of r =
   let z_next_module_base = r_int r in
   let z_data_epoch = r_int r in
   let z_trap_gen = r_int r in
+  let z_global_gen = r_int r in
+  let z_divergent = r_list r r_int in
   let z_ram = r_list r r_int_pair in
   let z_phys = r_phys ~content_of r in
   let z_master_pt = r_list r r_int_pair in
@@ -616,6 +641,7 @@ let r_os ~content_of r =
     Os.z_config;
     z_tlb_on;
     z_sblocks_on;
+    z_tagged_on;
     z_cycles;
     z_instrs;
     z_round_no;
@@ -624,6 +650,8 @@ let r_os ~content_of r =
     z_next_module_base;
     z_data_epoch;
     z_trap_gen;
+    z_global_gen;
+    z_divergent;
     z_ram;
     z_phys;
     z_master_pt;
@@ -793,7 +821,11 @@ let r_metric r =
 (* ---------------- container format ---------------- *)
 
 let magic = "FCSN"
-let version = 1
+
+(* 2: the OS section carries per-vCPU EPT tag state (view-tagged
+   translation caching) and the tagged_on flag.  Version-1 snapshots are
+   rejected with the typed unsupported-version error, as always. *)
+let version = 2
 
 let encode t =
   (* content-keyed page store: unique page bytes, MD5-keyed, referenced
@@ -1031,8 +1063,8 @@ let describe t =
        (List.length os.Os.z_procs));
   Buffer.add_string b
     (Printf.sprintf
-       "  engines: tlb=%b sblocks=%b; %d live frame(s), %d EPT table(s)\n"
-       os.Os.z_tlb_on os.Os.z_sblocks_on
+       "  engines: tlb=%b sblocks=%b tagged=%b; %d live frame(s), %d EPT table(s)\n"
+       os.Os.z_tlb_on os.Os.z_sblocks_on os.Os.z_tagged_on
        (List.length os.Os.z_phys.Phys.z_live)
        (Array.length t.s_tables));
   (match t.s_fc with

@@ -64,6 +64,13 @@ val restore :
     injector re-arm → metrics (last, overwriting the fresh instruments
     with the captured continuous-run values). *)
 
+val version : int
+(** The wire-format version written into (and required of) every
+    container.  Version 2 added per-vCPU EPT tag state (active view,
+    era, per-view generations) and the OS-level global-generation /
+    divergent-page set for the view-tagged translation cache; version 1
+    streams are rejected with the typed unsupported-version error. *)
+
 val encode : t -> string
 (** The [.fcsnap] container bytes.  Encoding is deterministic: equal
     snapshots produce byte-identical output on OCaml 4.14 and 5.x (the

@@ -2,15 +2,15 @@
    guest under different execution-engine configurations and digest
    everything observable about the run into one comparable fingerprint.
 
-   The execution fast paths — the software TLBs ([?tlb]) and the
-   decode-once superblocks ([?sblocks]) — are sound only if they are
-   behavior-invisible: a guest must retire the same instructions, charge
-   the same cycles, emit the same per-instruction and call/return traces,
-   and capture identical stats with any combination of them enabled, even
-   while a fault plan is switching views, injecting spurious exits and
-   storming the recovery governor underneath.  test_tlb.ml and
-   test_sblocks.ml both drive their parity properties through this
-   module. *)
+   The execution fast paths — the software TLBs ([?tlb]), the
+   decode-once superblocks ([?sblocks]) and view-tagged translation
+   caching ([?tagged]) — are sound only if they are behavior-invisible:
+   a guest must retire the same instructions, charge the same cycles,
+   emit the same per-instruction and call/return traces, and capture
+   identical stats with any combination of them enabled, even while a
+   fault plan is switching views, injecting spurious exits and storming
+   the recovery governor underneath.  test_tlb.ml and test_sblocks.ml
+   both drive their parity properties through this module. *)
 
 module Os = Fc_machine.Os
 module Process = Fc_machine.Process
@@ -61,8 +61,19 @@ type engine = {
 (* The full {sblocks} x {tlb} matrix, baseline first. *)
 let configs = [ (false, false); (false, true); (true, false); (true, true) ]
 
-let describe ~sblocks ~tlb =
-  Printf.sprintf "%s+%s"
+(* The {tagged} x {sblocks} x {tlb} cube: the view-tag dimension crossed
+   with every engine combination tags interact with. *)
+let tagged_configs =
+  List.concat_map
+    (fun tagged -> List.map (fun (sb, tlb) -> (tagged, sb, tlb)) configs)
+    [ false; true ]
+
+let describe ?tagged ~sblocks ~tlb () =
+  Printf.sprintf "%s%s+%s"
+    (match tagged with
+    | None -> ""
+    | Some true -> "tag+"
+    | Some false -> "untag+")
     (if sblocks then "sb" else "no-sb")
     (if tlb then "tlb" else "no-tlb")
 
@@ -70,7 +81,7 @@ let describe ~sblocks ~tlb =
    companion, so context switches and cross-app view switching happen), a
    random fault plan derived from the seed, FACE-CHANGE enabled with the
    default governor, full tracing armed. *)
-let run ~profiles ~sblocks ~tlb ~fault_seed () =
+let run ?(tagged = true) ~profiles ~sblocks ~tlb ~fault_seed () =
   let r = Frand.create (fault_seed lxor 0x7157) in
   let pool = [ "top"; "apache"; "gvim"; "bash"; "gzip" ] in
   let name = Frand.pick r pool in
@@ -78,7 +89,8 @@ let run ~profiles ~sblocks ~tlb ~fault_seed () =
   let plan = Fault.gen ~seed:fault_seed ~rounds:120 ~n in
   let app = App.find_exn name in
   let os =
-    Os.create ~config:(App.os_config app) ~tlb ~sblocks (Profiles.image profiles)
+    Os.create ~config:(App.os_config app) ~tlb ~sblocks ~tagged
+      (Profiles.image profiles)
   in
   let ih = ref 0 and eh = ref 0 in
   Os.set_trace os (Some (fun a len -> ih := (((!ih * 31) + a) * 31) + len));
@@ -128,8 +140,8 @@ let run ~profiles ~sblocks ~tlb ~fault_seed () =
       en_itlb_hits = c "tlb.i_hits";
     } )
 
-let fingerprint ~profiles ~sblocks ~tlb ~fault_seed () =
-  fst (run ~profiles ~sblocks ~tlb ~fault_seed ())
+let fingerprint ?(tagged = true) ~profiles ~sblocks ~tlb ~fault_seed () =
+  fst (run ~tagged ~profiles ~sblocks ~tlb ~fault_seed ())
 
 (* Field-by-field Alcotest comparison: a mismatch names the diverging
    observable instead of dumping two opaque tuples. *)

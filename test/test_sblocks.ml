@@ -331,12 +331,15 @@ let test_decode_cache_bounded_under_view_churn () =
 let test_enforced_matrix () =
   let p = profiles () in
   let base, _ =
-    Differential.run ~profiles:p ~sblocks:false ~tlb:false ~fault_seed:2 ()
+    Differential.run ~tagged:false ~profiles:p ~sblocks:false ~tlb:false
+      ~fault_seed:2 ()
   in
   List.iter
-    (fun (sblocks, tlb) ->
-      let fp, en = Differential.run ~profiles:p ~sblocks ~tlb ~fault_seed:2 () in
-      let label = Differential.describe ~sblocks ~tlb in
+    (fun (tagged, sblocks, tlb) ->
+      let fp, en =
+        Differential.run ~tagged ~profiles:p ~sblocks ~tlb ~fault_seed:2 ()
+      in
+      let label = Differential.describe ~tagged ~sblocks ~tlb () in
       Differential.check_parity ~label ~expect:base ~got:fp;
       if sblocks then begin
         check_bool (label ^ ": blocks built") true (en.Differential.en_sb_built > 0);
@@ -350,23 +353,25 @@ let test_enforced_matrix () =
         check_int (label ^ ": sb counters silent") 0 en.Differential.en_sb_built;
         check_int (label ^ ": sb hits silent") 0 en.Differential.en_sb_hits
       end)
-    (List.tl Differential.configs)
+    (List.tl Differential.tagged_configs)
 
 let prop_matrix_invisible =
   QCheck.Test.make
     ~name:
-      "superblock'd, TLB'd and plain guests are indistinguishable under faults"
-    ~count:6 (QCheck.int_range 1 1_000_000) (fun seed ->
+      "tagged, superblock'd, TLB'd and plain guests are indistinguishable \
+       under faults"
+    ~count:4 (QCheck.int_range 1 1_000_000) (fun seed ->
       let p = profiles () in
       let base =
-        Differential.fingerprint ~profiles:p ~sblocks:false ~tlb:false
-          ~fault_seed:seed ()
+        Differential.fingerprint ~tagged:false ~profiles:p ~sblocks:false
+          ~tlb:false ~fault_seed:seed ()
       in
       List.for_all
-        (fun (sblocks, tlb) ->
-          Differential.fingerprint ~profiles:p ~sblocks ~tlb ~fault_seed:seed ()
+        (fun (tagged, sblocks, tlb) ->
+          Differential.fingerprint ~tagged ~profiles:p ~sblocks ~tlb
+            ~fault_seed:seed ()
           = base)
-        (List.tl Differential.configs))
+        (List.tl Differential.tagged_configs))
 
 let suites =
   [

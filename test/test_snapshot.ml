@@ -249,6 +249,30 @@ let corrupt_errors_name_sections () =
       check_bool "section tag is 4 chars" true (String.length e.Snapshot.section = 4)
   | Ok _ -> Alcotest.fail "payload corruption decoded"
 
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let old_version_rejected () =
+  (* the v1 wire format predates per-view tag state (EPT generations,
+     the OS global-gen / divergent-page set): a v1 byte stream must come
+     back as the typed unsupported-version error naming both versions,
+     never a silent partial decode *)
+  let snap = capture_machine ~fault_seed:9 ~at:12 in
+  let b = Bytes.of_string (Snapshot.encode snap) in
+  Bytes.set b 4 '\x01';
+  match Snapshot.decode (Bytes.to_string b) with
+  | Error ({ section = "header"; offset = 4; _ } as e) ->
+      let msg = Snapshot.error_to_string e in
+      check_bool "error names the rejected version" true
+        (contains msg "unsupported format version 1");
+      check_bool "error names the expected version" true
+        (contains msg (Printf.sprintf "expect %d" Snapshot.version))
+  | Error e ->
+      Alcotest.fail ("expected version error, got " ^ Snapshot.error_to_string e)
+  | Ok _ -> Alcotest.fail "previous-version (v1) snapshot decoded"
+
 let empty_and_trailing () =
   (match Snapshot.decode "" with
   | Error { section = "header"; _ } -> ()
@@ -410,6 +434,8 @@ let suites =
         QCheck_alcotest.to_alcotest prop_corrupt_total;
         Alcotest.test_case "corrupt errors name section and offset" `Quick
           corrupt_errors_name_sections;
+        Alcotest.test_case "previous-version (v1) stream rejected" `Quick
+          old_version_rejected;
         Alcotest.test_case "empty input and trailing bytes" `Quick
           empty_and_trailing;
         Alcotest.test_case "save/load roundtrip + missing file" `Quick

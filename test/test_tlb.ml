@@ -34,7 +34,7 @@ let test_tlb_direct_mapped () =
   let t = Tlb.create ~bits:2 ~payload:0 () in
   check_int "2^bits entries" 4 (Tlb.size t);
   let e = Tlb.slot t 5 in
-  Tlb.fill e ~tag:5 ~epoch:1 ~frame:7 ~version:3 ~bytes:Bytes.empty ~payload:9;
+  Tlb.fill e ~tag:5 ~stamp:1 ~frame:7 ~version:3 ~bytes:Bytes.empty ~payload:9;
   check_int "tagged" 5 (Tlb.slot t 5).Tlb.tag;
   (* page 9 maps to the same slot (9 land 3 = 5 land 3): a conflicting
      fill evicts *)
@@ -63,10 +63,23 @@ let divergent_gva os view =
   in
   go base
 
+(* Mirror the facechange switch-in.  Tagged: quiet directory installs
+   plus a tag swap — nothing is flushed, and the active tag names the
+   view so a later COW splice (which bumps the owning view's generation)
+   invalidates exactly this vCPU's warm entries.  Untagged: the legacy
+   bumping set_dir path. *)
 let install_view os view =
-  List.iter
-    (fun (dir, tbl) -> Ept.set_dir (Os.ept os) ~dir (Some tbl))
-    (View.tables view)
+  let ept = Os.ept os in
+  if Os.tagged_on os then begin
+    List.iter
+      (fun (dir, tbl) -> Ept.install_dir ept ~dir (Some tbl))
+      (View.tables view);
+    Ept.set_view ept ~view:(View.index view)
+  end
+  else
+    List.iter
+      (fun (dir, tbl) -> Ept.set_dir ept ~dir (Some tbl))
+      (View.tables view)
 
 let test_view_switch_invalidates_itlb () =
   let os = Os.create (Lazy.force image) in
@@ -157,26 +170,153 @@ let test_word_access_roundtrip () =
   check_at a;
   check_at (Layout.kstack_top ~pid:0 - Layout.page_size - 2)
 
+(* ---------------- view-tag survival across switches ---------------- *)
+
+let counters os =
+  let m = Fc_obs.Obs.metrics (Os.obs os) in
+  fun key -> Option.value ~default:0 (Fc_obs.Metrics.find m key)
+
+let test_seen_view_reentry_keeps_itlb_warm () =
+  let os = Os.create (Lazy.force image) in
+  let hyp = Hyp.attach os in
+  let p = profiles () in
+  let v1 = View.build ~hyp ~index:1 (Profiles.config_of p "top") in
+  let v2 = View.build ~hyp ~index:2 (Profiles.config_of p "apache") in
+  let g = divergent_gva os v1 in
+  install_view os v1;
+  let expect = View.read_code v1 ~gva:g in
+  check_bool "warm fetch under v1" true (Os.fetch_code os g = expect);
+  (* bounce through v2 and back: both installs are pure tag swaps, so
+     v1's warm entry must survive and revalidate by compare on re-entry *)
+  install_view os v2;
+  install_view os v1;
+  let c = counters os in
+  let hits = c "tlb.i_hits" and misses = c "tlb.i_misses" in
+  let flushes = Ept.flushes (Os.ept os) in
+  check_bool "re-entry fetch reads the view" true (Os.fetch_code os g = expect);
+  check_int "re-entry is an iTLB hit" (hits + 1) (c "tlb.i_hits");
+  check_int "no iTLB miss on re-entry" misses (c "tlb.i_misses");
+  check_int "the round trip flushed nothing" flushes
+    (Ept.flushes (Os.ept os));
+  View.destroy v2;
+  View.destroy v1
+
+let test_cow_break_invalidates_only_broken_page () =
+  let os = Os.create (Lazy.force image) in
+  let hyp = Hyp.attach os in
+  let cfg = Fc_benchkit.Profiles.config_of (profiles ()) "top" in
+  let v1 = View.build ~hyp ~index:1 cfg in
+  (* byte-identical sibling: v1 and v2 share frames, so a write to v1
+     breaks COW rather than landing in place *)
+  let v2 = View.build ~hyp ~index:2 cfg in
+  let g = divergent_gva os v1 in
+  (* a second warm page, untouched by the break, to prove the
+     invalidation really is frame-targeted *)
+  let g2 = g + Fc_kernel.Layout.page_size in
+  install_view os v2;
+  let before = Os.fetch_code os g in
+  let before2 = Os.fetch_code os g2 in
+  check_bool "warm fetch under v2" true (before = View.read_code v2 ~gva:g);
+  let c = counters os in
+  (* the COW break copies the shared frame into a fresh private one for
+     v1 and touches the displaced shared frame's version: only
+     translations through that one frame die — v2 pays a single
+     revalidation miss on the broken page, keeps every other warm entry,
+     and never observes the writer's private byte *)
+  View.write_code v1 ~gva:g 0x90;
+  check_bool "the write privatized a shared frame" true (View.cow_breaks v1 > 0);
+  let misses = c "tlb.i_misses" in
+  check_bool "v2's fetch is unchanged" true (Os.fetch_code os g = before);
+  check_int "one revalidation miss on the broken page" (misses + 1)
+    (c "tlb.i_misses");
+  check_bool "v2 never sees v1's private byte" true (before <> Some 0x90);
+  let hits = c "tlb.i_hits" in
+  check_bool "the refilled entry serves the same bytes" true
+    (Os.fetch_code os g = before);
+  check_bool "v2's unrelated page stayed warm" true
+    (Os.fetch_code os g2 = before2);
+  check_int "both as iTLB hits" (hits + 2) (c "tlb.i_hits");
+  install_view os v1;
+  check_bool "v1 sees its own write after switch-in" true
+    (Os.fetch_code os g = Some 0x90);
+  View.destroy v2;
+  View.destroy v1
+
+(* Regression for the quarantine/unload paths: retiring one view's tag
+   must invalidate only that view's cached translations.  The pre-tag
+   scheme full-flushed both TLBs here, taxing every surviving view. *)
+let test_retire_view_spares_other_views () =
+  let os = Os.create (Lazy.force image) in
+  let hyp = Hyp.attach os in
+  let cfg = Fc_benchkit.Profiles.config_of (profiles ()) "top" in
+  let v1 = View.build ~hyp ~index:1 cfg in
+  let v2 = View.build ~hyp ~index:2 cfg in
+  let g = divergent_gva os v1 in
+  install_view os v1;
+  let expect = Os.fetch_code os g in
+  let c = counters os in
+  Os.retire_view_translations os ~view:(View.index v2);
+  let hits = c "tlb.i_hits" in
+  check_bool "v1 fetch after retiring v2" true (Os.fetch_code os g = expect);
+  check_int "v1's warm entry survived v2's retirement" (hits + 1)
+    (c "tlb.i_hits");
+  Os.retire_view_translations os ~view:(View.index v1);
+  let misses = c "tlb.i_misses" in
+  check_bool "v1 fetch after retiring v1" true (Os.fetch_code os g = expect);
+  check_int "the retired view's entry is dead" (misses + 1)
+    (c "tlb.i_misses");
+  View.destroy v2;
+  View.destroy v1
+
+(* Generation wraparound: driving one view's generation past the field
+   width must spill into an era bump that kills every outstanding tag at
+   once — tags from the old era can never compare equal again. *)
+let test_ept_gen_overflow_era_bump () =
+  let e = Ept.create () in
+  Ept.set_view e ~view:3;
+  let t0 = Ept.tag e in
+  Ept.bump e;
+  let t1 = Ept.tag e in
+  check_bool "a bump changes the tag" true (t1 <> t0);
+  let max_gen = (1 lsl Ept.gen_bits) - 1 in
+  (* drive the generation to the ceiling... *)
+  for _ = 2 to max_gen do
+    Ept.bump e
+  done;
+  check_int "at the ceiling" max_gen (Ept.gen e ~view:3);
+  (* ...then one more bump must roll the era instead of overflowing *)
+  Ept.bump e;
+  check_int "generations restart in the new era" 0 (Ept.gen e ~view:3);
+  let fresh = Ept.tag e in
+  check_bool "old-era tags never match again" true
+    (fresh <> t0 && fresh <> t1);
+  check_bool "the tag stays non-negative" true (fresh >= 0)
+
 (* ---------------- behavior parity: TLB on vs off ---------------- *)
 
 (* The fingerprint machinery lives in test/differential.ml, shared with
    the superblock suite — this file exercises the {tlb} axis with
    superblocks off; test_sblocks.ml covers the full matrix. *)
-let run_enforced ~tlb ~fault_seed =
-  Differential.fingerprint ~profiles:(profiles ()) ~sblocks:false ~tlb
+let run_enforced ?tagged ~tlb ~fault_seed () =
+  Differential.fingerprint ?tagged ~profiles:(profiles ()) ~sblocks:false ~tlb
     ~fault_seed ()
 
 let test_parity_enforced_run () =
-  let on = run_enforced ~tlb:true ~fault_seed:1 in
-  let off = run_enforced ~tlb:false ~fault_seed:1 in
+  let on = run_enforced ~tlb:true ~fault_seed:1 () in
+  let off = run_enforced ~tlb:false ~fault_seed:1 () in
   Differential.check_parity ~label:"tlb-vs-no-tlb" ~expect:off ~got:on
+
+let test_parity_tagged_run () =
+  let tagged = run_enforced ~tagged:true ~tlb:true ~fault_seed:1 () in
+  let untagged = run_enforced ~tagged:false ~tlb:true ~fault_seed:1 () in
+  Differential.check_parity ~label:"tag-vs-untag" ~expect:untagged ~got:tagged
 
 let prop_tlb_invisible =
   QCheck.Test.make
     ~name:"TLB'd and TLB-disabled guests are indistinguishable under faults"
     ~count:8 (QCheck.int_range 1 1_000_000) (fun seed ->
-      run_enforced ~tlb:true ~fault_seed:seed
-      = run_enforced ~tlb:false ~fault_seed:seed)
+      run_enforced ~tlb:true ~fault_seed:seed ()
+      = run_enforced ~tlb:false ~fault_seed:seed ())
 
 let suites =
   [
@@ -195,8 +335,18 @@ let suites =
           test_dtlb_sees_new_mappings;
         tc "word-level u32 access agrees with byte reads"
           test_word_access_roundtrip;
+        tc "seen-view re-entry keeps iTLB entries warm (no flush)"
+          test_seen_view_reentry_keeps_itlb_warm;
+        tc "COW break invalidates only the broken page's frame"
+          test_cow_break_invalidates_only_broken_page;
+        tc "retiring a view spares other views' cached translations"
+          test_retire_view_spares_other_views;
+        tc "generation overflow rolls the era, killing old tags"
+          test_ept_gen_overflow_era_bump;
         tc "enforced faulted run: full fingerprint parity"
           test_parity_enforced_run;
+        tc "enforced faulted run: tagged caching is behavior-invisible"
+          test_parity_tagged_run;
       ] );
     ( "tlb.properties",
       List.map QCheck_alcotest.to_alcotest [ prop_tlb_invisible ] );
